@@ -1,0 +1,199 @@
+//! Paper-style pretty printing of ADL expressions.
+//!
+//! Output mirrors the paper's notation: `σ[x : p](X)`, `α[x : f](X)`,
+//! `X ⋉_{x,y : p} Y`, `X ⊣_{x,y : p; a} Y`, `∃y ∈ Y • p`, `ν_{A→a}(e)`,
+//! `μ_a(e)` — so rewrite traces read like the derivations in §5.
+
+use crate::expr::{Expr, JoinKind, QuantKind};
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self, f)
+    }
+}
+
+fn write_names(f: &mut fmt::Formatter<'_>, names: &[oodb_value::Name]) -> fmt::Result {
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{n}")?;
+    }
+    Ok(())
+}
+
+fn write_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use Expr::*;
+    match e {
+        Lit(v) => write!(f, "{v}"),
+        Var(n) => write!(f, "{n}"),
+        Table(n) => write!(f, "{n}"),
+        TupleCons(fields) => {
+            write!(f, "⟨")?;
+            for (i, (n, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n} = {v}")?;
+            }
+            write!(f, "⟩")
+        }
+        Field(e, n) => write!(f, "{e}.{n}"),
+        TupleProject(e, ns) => {
+            write!(f, "{e}[")?;
+            write_names(f, ns)?;
+            write!(f, "]")
+        }
+        Except(e, updates) => {
+            write!(f, "{e} except (")?;
+            for (i, (n, v)) in updates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n} = {v}")?;
+            }
+            write!(f, ")")
+        }
+        Concat(a, b) => write!(f, "({a} ∘ {b})"),
+        Deref(e, c) => write!(f, "deref⟨{c}⟩({e})"),
+        Cmp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        Not(e) => write!(f, "¬{e}"),
+        IsNull(e) => write!(f, "isnull({e})"),
+        And(a, b) => write!(f, "({a} ∧ {b})"),
+        Or(a, b) => write!(f, "({a} ∨ {b})"),
+        SetCons(es) => {
+            write!(f, "{{")?;
+            for (i, v) in es.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")
+        }
+        SetOp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        SetCmp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        Flatten(e) => write!(f, "⋃({e})"),
+        Agg(op, e) => write!(f, "{}({e})", op.name()),
+        Map { var, body, input } => write!(f, "α[{var} : {body}]({input})"),
+        Select { var, pred, input } => write!(f, "σ[{var} : {pred}]({input})"),
+        Project { attrs, input } => {
+            write!(f, "π_")?;
+            write_names(f, attrs)?;
+            write!(f, "({input})")
+        }
+        Rename { pairs, input } => {
+            write!(f, "ρ_")?;
+            for (i, (o, n)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{o}→{n}")?;
+            }
+            write!(f, "({input})")
+        }
+        Unnest { attr, input } => write!(f, "μ_{attr}({input})"),
+        Nest { attrs, as_attr, input } => {
+            write!(f, "ν_")?;
+            write_names(f, attrs)?;
+            write!(f, "→{as_attr}({input})")
+        }
+        Product(a, b) => write!(f, "({a} × {b})"),
+        Join { kind, lvar, rvar, pred, left, right } => {
+            let sym = match kind {
+                JoinKind::Inner => "⋈",
+                JoinKind::Semi => "⋉",
+                JoinKind::Anti => "▷",
+                JoinKind::LeftOuter => "⟕",
+            };
+            write!(f, "({left} {sym}_{{{lvar},{rvar} : {pred}}} {right})")
+        }
+        NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+            write!(f, "({left} ⊣_{{{lvar},{rvar} : {pred}")?;
+            if let Some(g) = rfunc {
+                write!(f, "; {rvar} : {g}")?;
+            }
+            write!(f, "; {as_attr}}} {right})")
+        }
+        Quant { q, var, range, pred } => {
+            let sym = match q {
+                QuantKind::Exists => "∃",
+                QuantKind::Forall => "∀",
+            };
+            write!(f, "{sym}{var} ∈ {range} • {pred}")
+        }
+        Div(a, b) => write!(f, "({a} ÷ {b})"),
+        Let { var, value, body } => write!(f, "let {var} = {value} in {body}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dsl::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn selection_prints_like_the_paper() {
+        let q = select(
+            "x",
+            exists("y", table("Y"), eq(var("y"), var("x").field("c"))),
+            table("X"),
+        );
+        assert_eq!(q.to_string(), "σ[x : ∃y ∈ Y • (y = x.c)](X)");
+    }
+
+    #[test]
+    fn semijoin_prints_like_the_paper() {
+        // X ⋉_{x,y : y = x.c ∧ q} Y  (Rewriting Example 1's result)
+        let e = semijoin(
+            "x",
+            "y",
+            and(eq(var("y"), var("x").field("c")), var("q")),
+            table("X"),
+            table("Y"),
+        );
+        assert_eq!(e.to_string(), "(X ⋉_{x,y : ((y = x.c) ∧ q)} Y)");
+    }
+
+    #[test]
+    fn nestjoin_prints_group_attribute() {
+        let e = nestjoin(
+            "s",
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            "parts_suppl",
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        assert_eq!(
+            e.to_string(),
+            "(SUPPLIER ⊣_{s,p : (p.pid ∈ s.parts); parts_suppl} PART)"
+        );
+    }
+
+    #[test]
+    fn restructuring_operators_print() {
+        assert_eq!(unnest("parts", table("SUPPLIER")).to_string(), "μ_parts(SUPPLIER)");
+        assert_eq!(
+            nest(&["e"], "ys", table("Z")).to_string(),
+            "ν_e→ys(Z)"
+        );
+        assert_eq!(project(&["a", "c"], table("X")).to_string(), "π_a,c(X)");
+        assert_eq!(flatten(table("X")).to_string(), "⋃(X)");
+    }
+
+    #[test]
+    fn quantifiers_and_let_print() {
+        let e = let_(
+            "Y1",
+            select("y", Expr::true_(), table("Y")),
+            forall("z", var("c"), member(var("z"), var("Y1"))),
+        );
+        assert_eq!(
+            e.to_string(),
+            "let Y1 = σ[y : true](Y) in ∀z ∈ c • (z ∈ Y1)"
+        );
+    }
+}

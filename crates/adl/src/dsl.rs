@@ -1,0 +1,340 @@
+//! A small construction DSL for ADL expressions.
+//!
+//! Rewrite rules, tests and benchmarks build many expressions; these free
+//! functions keep them close to the paper's notation:
+//!
+//! ```
+//! use oodb_adl::dsl::*;
+//! // σ[s : ∃x ∈ s.parts • ∃p ∈ PART • x = p.pid ∧ p.color = "red"](SUPPLIER)
+//! let q = select(
+//!     "s",
+//!     exists(
+//!         "x",
+//!         var("s").field("parts"),
+//!         exists(
+//!             "p",
+//!             table("PART"),
+//!             and(
+//!                 eq(var("x"), var("p").field("pid")),
+//!                 eq(var("p").field("color"), str_lit("red")),
+//!             ),
+//!         ),
+//!     ),
+//!     table("SUPPLIER"),
+//! );
+//! assert!(q.mentions_table());
+//! ```
+
+use crate::expr::{AggOp, Expr, JoinKind, QuantKind, SetOp};
+use oodb_value::{ArithOp, CmpOp, Name, SetCmpOp, Value};
+
+/// Variable reference.
+pub fn var(n: &str) -> Expr {
+    Expr::var(n)
+}
+
+/// Base table reference.
+pub fn table(n: &str) -> Expr {
+    Expr::table(n)
+}
+
+/// Integer literal.
+pub fn int(i: i64) -> Expr {
+    Expr::int(i)
+}
+
+/// String literal.
+pub fn str_lit(s: &str) -> Expr {
+    Expr::str(s)
+}
+
+/// Literal from a value.
+pub fn lit(v: Value) -> Expr {
+    Expr::Lit(v)
+}
+
+/// `a = b`
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Eq, Box::new(a), Box::new(b))
+}
+
+/// `a ≠ b`
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Ne, Box::new(a), Box::new(b))
+}
+
+/// `a < b`
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Lt, Box::new(a), Box::new(b))
+}
+
+/// `a ≤ b`
+pub fn le(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Le, Box::new(a), Box::new(b))
+}
+
+/// `a > b`
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Gt, Box::new(a), Box::new(b))
+}
+
+/// `a ≥ b`
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Ge, Box::new(a), Box::new(b))
+}
+
+/// `a ∧ b`
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::And(Box::new(a), Box::new(b))
+}
+
+/// `a ∨ b`
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::Or(Box::new(a), Box::new(b))
+}
+
+/// `¬a`
+pub fn not(a: Expr) -> Expr {
+    Expr::Not(Box::new(a))
+}
+
+/// Arithmetic.
+pub fn arith(op: ArithOp, a: Expr, b: Expr) -> Expr {
+    Expr::Arith(op, Box::new(a), Box::new(b))
+}
+
+/// Set comparison `a θ b`.
+pub fn set_cmp(op: SetCmpOp, a: Expr, b: Expr) -> Expr {
+    Expr::SetCmp(op, Box::new(a), Box::new(b))
+}
+
+/// `x ∈ s`
+pub fn member(x: Expr, s: Expr) -> Expr {
+    set_cmp(SetCmpOp::In, x, s)
+}
+
+/// Binary set operation.
+pub fn set_op(op: SetOp, a: Expr, b: Expr) -> Expr {
+    Expr::SetOp(op, Box::new(a), Box::new(b))
+}
+
+/// `⋃(e)` — flatten / multiple union.
+pub fn flatten(e: Expr) -> Expr {
+    Expr::Flatten(Box::new(e))
+}
+
+/// `count(e)`
+pub fn count(e: Expr) -> Expr {
+    Expr::Agg(AggOp::Count, Box::new(e))
+}
+
+/// Aggregate application.
+pub fn agg(op: AggOp, e: Expr) -> Expr {
+    Expr::Agg(op, Box::new(e))
+}
+
+/// `α[var : body](input)`
+pub fn map(v: &str, body: Expr, input: Expr) -> Expr {
+    Expr::Map { var: Name::from(v), body: Box::new(body), input: Box::new(input) }
+}
+
+/// `σ[var : pred](input)`
+pub fn select(v: &str, pred: Expr, input: Expr) -> Expr {
+    Expr::Select { var: Name::from(v), pred: Box::new(pred), input: Box::new(input) }
+}
+
+/// `π_{attrs}(input)`
+pub fn project(attrs: &[&str], input: Expr) -> Expr {
+    Expr::Project {
+        attrs: attrs.iter().map(|a| Name::from(*a)).collect(),
+        input: Box::new(input),
+    }
+}
+
+/// `ρ_{old→new}(input)`
+pub fn rename(pairs: &[(&str, &str)], input: Expr) -> Expr {
+    Expr::Rename {
+        pairs: pairs.iter().map(|(o, n)| (Name::from(*o), Name::from(*n))).collect(),
+        input: Box::new(input),
+    }
+}
+
+/// `μ_attr(input)`
+pub fn unnest(attr: &str, input: Expr) -> Expr {
+    Expr::Unnest { attr: Name::from(attr), input: Box::new(input) }
+}
+
+/// `ν_{attrs→as_attr}(input)`
+pub fn nest(attrs: &[&str], as_attr: &str, input: Expr) -> Expr {
+    Expr::Nest {
+        attrs: attrs.iter().map(|a| Name::from(*a)).collect(),
+        as_attr: Name::from(as_attr),
+        input: Box::new(input),
+    }
+}
+
+/// `l × r`
+pub fn product(l: Expr, r: Expr) -> Expr {
+    Expr::Product(Box::new(l), Box::new(r))
+}
+
+/// `l ⋈_{lv,rv : pred} r`
+pub fn join(lv: &str, rv: &str, pred: Expr, l: Expr, r: Expr) -> Expr {
+    Expr::Join {
+        kind: JoinKind::Inner,
+        lvar: Name::from(lv),
+        rvar: Name::from(rv),
+        pred: Box::new(pred),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+/// `l ⋉_{lv,rv : pred} r`
+pub fn semijoin(lv: &str, rv: &str, pred: Expr, l: Expr, r: Expr) -> Expr {
+    Expr::Join {
+        kind: JoinKind::Semi,
+        lvar: Name::from(lv),
+        rvar: Name::from(rv),
+        pred: Box::new(pred),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+/// `l ▷_{lv,rv : pred} r`
+pub fn antijoin(lv: &str, rv: &str, pred: Expr, l: Expr, r: Expr) -> Expr {
+    Expr::Join {
+        kind: JoinKind::Anti,
+        lvar: Name::from(lv),
+        rvar: Name::from(rv),
+        pred: Box::new(pred),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+/// `l ⟕_{lv,rv : pred} r` — left outer join.
+pub fn outerjoin(lv: &str, rv: &str, pred: Expr, l: Expr, r: Expr) -> Expr {
+    Expr::Join {
+        kind: JoinKind::LeftOuter,
+        lvar: Name::from(lv),
+        rvar: Name::from(rv),
+        pred: Box::new(pred),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+/// Simple nestjoin `l ⊣_{lv,rv : pred; as_attr} r`.
+pub fn nestjoin(lv: &str, rv: &str, pred: Expr, as_attr: &str, l: Expr, r: Expr) -> Expr {
+    Expr::NestJoin {
+        lvar: Name::from(lv),
+        rvar: Name::from(rv),
+        pred: Box::new(pred),
+        rfunc: None,
+        as_attr: Name::from(as_attr),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+/// Extended nestjoin with a function over right tuples.
+pub fn nestjoin_with(
+    lv: &str,
+    rv: &str,
+    pred: Expr,
+    rfunc: Expr,
+    as_attr: &str,
+    l: Expr,
+    r: Expr,
+) -> Expr {
+    Expr::NestJoin {
+        lvar: Name::from(lv),
+        rvar: Name::from(rv),
+        pred: Box::new(pred),
+        rfunc: Some(Box::new(rfunc)),
+        as_attr: Name::from(as_attr),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+/// `∃v ∈ range • pred`
+pub fn exists(v: &str, range: Expr, pred: Expr) -> Expr {
+    Expr::Quant {
+        q: QuantKind::Exists,
+        var: Name::from(v),
+        range: Box::new(range),
+        pred: Box::new(pred),
+    }
+}
+
+/// `∀v ∈ range • pred`
+pub fn forall(v: &str, range: Expr, pred: Expr) -> Expr {
+    Expr::Quant {
+        q: QuantKind::Forall,
+        var: Name::from(v),
+        range: Box::new(range),
+        pred: Box::new(pred),
+    }
+}
+
+/// Tuple construction `⟨n₁ = e₁, …⟩`.
+pub fn tuple(fields: Vec<(&str, Expr)>) -> Expr {
+    Expr::TupleCons(fields.into_iter().map(|(n, e)| (Name::from(n), e)).collect())
+}
+
+/// Tuple concatenation `a ∘ b`.
+pub fn concat(a: Expr, b: Expr) -> Expr {
+    Expr::Concat(Box::new(a), Box::new(b))
+}
+
+/// Tuple subscription `e[attrs]`.
+pub fn tuple_project(e: Expr, attrs: &[&str]) -> Expr {
+    Expr::TupleProject(Box::new(e), attrs.iter().map(|a| Name::from(*a)).collect())
+}
+
+/// `e except (n₁ = e₁, …)`
+pub fn except(e: Expr, updates: Vec<(&str, Expr)>) -> Expr {
+    Expr::Except(
+        Box::new(e),
+        updates.into_iter().map(|(n, u)| (Name::from(n), u)).collect(),
+    )
+}
+
+/// Materialize / pointer dereference: the `class` object named by oid `e`.
+pub fn deref(e: Expr, class: &str) -> Expr {
+    Expr::Deref(Box::new(e), Name::from(class))
+}
+
+/// `let v = value in body`
+pub fn let_(v: &str, value: Expr, body: Expr) -> Expr {
+    Expr::Let { var: Name::from(v), value: Box::new(value), body: Box::new(body) }
+}
+
+/// Relational division `a ÷ b`.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    Expr::Div(Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsl_builds_expected_nodes() {
+        assert!(matches!(var("x"), Expr::Var(_)));
+        assert!(matches!(select("x", Expr::true_(), table("X")), Expr::Select { .. }));
+        assert!(matches!(
+            semijoin("a", "b", Expr::true_(), table("X"), table("Y")),
+            Expr::Join { kind: JoinKind::Semi, .. }
+        ));
+        assert!(matches!(
+            nestjoin("a", "b", Expr::true_(), "ys", table("X"), table("Y")),
+            Expr::NestJoin { rfunc: None, .. }
+        ));
+        assert!(matches!(count(table("X")), Expr::Agg(AggOp::Count, _)));
+        assert!(matches!(set_op(SetOp::Union, var("a"), var("b")), Expr::SetOp(..)));
+    }
+}

@@ -1,0 +1,578 @@
+//! The ADL expression IR.
+//!
+//! ADL (paper §3) is a typed algebra for complex objects allowing nesting
+//! of expressions. Its *iterators* — map `α`, select `σ`, the join family,
+//! and quantifiers — take functions (lambda expressions `λx.e`, written
+//! `x : e`) as parameters; within a function body other operators may
+//! occur, which is exactly how nested (tuple-oriented) queries are
+//! represented. The unnesting rules of the paper rewrite these nested
+//! shapes into the set-oriented operators (`×`, `⋈`, `⋉`, `▷`, `⊣`, `ν`,
+//! `μ`, …).
+
+use oodb_value::{ArithOp, CmpOp, Name, SetCmpOp, Value};
+
+/// Quantifier kinds appearing in predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QuantKind {
+    /// `∃x ∈ e • p`
+    Exists,
+    /// `∀x ∈ e • p`
+    Forall,
+}
+
+impl QuantKind {
+    /// The dual quantifier (used when pushing negations through).
+    pub fn dual(self) -> QuantKind {
+        match self {
+            QuantKind::Exists => QuantKind::Forall,
+            QuantKind::Forall => QuantKind::Exists,
+        }
+    }
+}
+
+/// Join operator kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JoinKind {
+    /// Regular join `⋈`: concatenation of every matching pair.
+    Inner,
+    /// Semijoin `⋉`: left tuples with at least one match (paper def. 11) —
+    /// "useful in processing so-called tree queries".
+    Semi,
+    /// Antijoin `▷`: left tuples with **no** match (paper def. 12) — "can
+    /// be employed to efficiently process tree queries involving universal
+    /// quantification".
+    Anti,
+    /// Left outer join `⟕`: like `⋈` but dangling left tuples survive with
+    /// `NULL`-padded right attributes. Not part of core ADL; §5.2.2 cites
+    /// it (\[GaWo87\]) as one repair of the COUNT/Complex-Object bug.
+    LeftOuter,
+}
+
+/// Aggregate functions ("of course aggregate functions are part of the
+/// language too", §3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggOp {
+    /// Set cardinality.
+    Count,
+    /// Sum of a set of numbers.
+    Sum,
+    /// Minimum (error on `∅`).
+    Min,
+    /// Maximum (error on `∅`).
+    Max,
+    /// Average (error on `∅`).
+    Avg,
+}
+
+impl AggOp {
+    /// Lower-case name as used in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggOp::Count => "count",
+            AggOp::Sum => "sum",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Avg => "avg",
+        }
+    }
+}
+
+/// Binary set operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SetOp {
+    /// `∪`
+    Union,
+    /// `∩`
+    Intersect,
+    /// `−`
+    Difference,
+}
+
+impl SetOp {
+    /// Paper symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            SetOp::Union => "∪",
+            SetOp::Intersect => "∩",
+            SetOp::Difference => "−",
+        }
+    }
+}
+
+/// An ADL expression.
+///
+/// Lambda-bearing variants (`Map`, `Select`, `Join`, `NestJoin`, `Quant`,
+/// `Let`) carry the bound variable name explicitly; [`crate::vars`]
+/// provides free-variable analysis and capture-avoiding substitution over
+/// this representation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A constant.
+    Lit(Value),
+    /// A variable reference.
+    Var(Name),
+    /// A base table (class extension) by extent name.
+    Table(Name),
+
+    /// Tuple construction `⟨a₁ = e₁, …⟩`.
+    TupleCons(Vec<(Name, Expr)>),
+    /// Attribute access `e.a`.
+    Field(Box<Expr>, Name),
+    /// Tuple subscription `e[a₁, …, aₙ]` (paper def. 2).
+    TupleProject(Box<Expr>, Vec<Name>),
+    /// Tuple update/extension `e except (a₁ = e₁, …)` (paper def. 3).
+    Except(Box<Expr>, Vec<(Name, Expr)>),
+    /// Tuple concatenation `e₁ ∘ e₂`.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Materialization of an object reference: the object of class `.1`
+    /// identified by the oid `.0` evaluates to. This is the logical
+    /// *materialize* operator of \[BlMG93\] (paper §6.2), inserted wherever
+    /// OOSQL path expressions traverse inter-object references.
+    Deref(Box<Expr>, Name),
+
+    /// `NULL` test. Only meaningful on outerjoin padding (§5.2.2's
+    /// \[GaWo87\] repair of the COUNT bug needs to distinguish padded
+    /// groups); ADL proper never produces `NULL`.
+    IsNull(Box<Expr>),
+    /// Scalar comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+
+    /// Set construction `{e₁, …, eₙ}`.
+    SetCons(Vec<Expr>),
+    /// Binary set operator.
+    SetOp(SetOp, Box<Expr>, Box<Expr>),
+    /// Set comparison (Table 1 operators).
+    SetCmp(SetCmpOp, Box<Expr>, Box<Expr>),
+    /// Multiple union `⋃(e)` (paper def. 1).
+    Flatten(Box<Expr>),
+    /// Aggregate application.
+    Agg(AggOp, Box<Expr>),
+
+    /// Map / function application `α[x : body](input)` (paper def. 4).
+    Map {
+        /// Bound variable.
+        var: Name,
+        /// Function body (may reference `var`).
+        body: Box<Expr>,
+        /// Set operand.
+        input: Box<Expr>,
+    },
+    /// Selection `σ[x : pred](input)` (paper def. 5).
+    Select {
+        /// Bound variable.
+        var: Name,
+        /// Selection predicate.
+        pred: Box<Expr>,
+        /// Set operand.
+        input: Box<Expr>,
+    },
+    /// Projection `π_{a₁,…,aₙ}(input)` (paper def. 6).
+    Project {
+        /// Retained attributes.
+        attrs: Vec<Name>,
+        /// Set-of-tuples operand.
+        input: Box<Expr>,
+    },
+    /// Renaming `ρ_{a→b,…}(input)`.
+    Rename {
+        /// `(old, new)` attribute name pairs.
+        pairs: Vec<(Name, Name)>,
+        /// Set-of-tuples operand.
+        input: Box<Expr>,
+    },
+    /// Unnest `μ_a(input)` (paper def. 7).
+    Unnest {
+        /// The set-valued attribute to flatten into the parent.
+        attr: Name,
+        /// Set-of-tuples operand.
+        input: Box<Expr>,
+    },
+    /// Nest `ν_{A→a}(input)` (paper def. 8): group on `SCH ∖ A`, collect
+    /// the `A`-projections as a set-valued attribute `a`.
+    Nest {
+        /// The attributes `A` that are collected into the new set.
+        attrs: Vec<Name>,
+        /// Name of the new set-valued attribute.
+        as_attr: Name,
+        /// Set-of-tuples operand.
+        input: Box<Expr>,
+    },
+    /// Extended Cartesian product (operand tuples are concatenated,
+    /// paper def. 9).
+    Product(Box<Expr>, Box<Expr>),
+    /// The join family (paper defs. 10–12 + left outer).
+    Join {
+        /// Which join.
+        kind: JoinKind,
+        /// Variable bound to left tuples in `pred`.
+        lvar: Name,
+        /// Variable bound to right tuples in `pred`.
+        rvar: Name,
+        /// Join predicate `x₁,x₂ : p(x₁,x₂)`.
+        pred: Box<Expr>,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// The nestjoin `e₁ ⊣_{x₁,x₂ : p(x₁,x₂); g; a} e₂` (paper §6.1,
+    /// definition 1, and \[StAB94\]'s extended form): each left tuple is
+    /// concatenated with `⟨a = X⟩` where `X` collects `g(x₂)` over the
+    /// matching right tuples. Dangling left tuples keep `a = ∅`.
+    NestJoin {
+        /// Variable bound to left tuples in `pred`.
+        lvar: Name,
+        /// Variable bound to right tuples in `pred` and in `rfunc`.
+        rvar: Name,
+        /// Match predicate.
+        pred: Box<Expr>,
+        /// Optional function applied to matching right tuples (the
+        /// extended nestjoin parameter; `None` = identity, the paper's
+        /// simple form).
+        rfunc: Option<Box<Expr>>,
+        /// Name of the new set-valued attribute (`a ∉ SCH(e₁)`).
+        as_attr: Name,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Quantifier expression `∃/∀ x ∈ range • pred`.
+    Quant {
+        /// Which quantifier.
+        q: QuantKind,
+        /// Bound variable.
+        var: Name,
+        /// Range expression (a set).
+        range: Box<Expr>,
+        /// Quantified predicate.
+        pred: Box<Expr>,
+    },
+    /// Relational division `e₁ ÷ e₂` (\[Codd72\]; the paper lists division
+    /// among ADL's operators — universal quantification over base tables
+    /// maps to it in the classical translation).
+    Div(Box<Expr>, Box<Expr>),
+    /// Local definition `let x = e₁ in e₂` — the paper's `with` construct;
+    /// also the target of uncorrelated-subquery hoisting ("uncorrelated
+    /// subqueries simply are constants, and treated as such", §3).
+    Let {
+        /// Bound variable.
+        var: Name,
+        /// Bound value.
+        value: Box<Expr>,
+        /// Body.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// `true` literal.
+    pub fn true_() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// `false` literal.
+    pub fn false_() -> Expr {
+        Expr::Lit(Value::Bool(false))
+    }
+
+    /// Integer literal.
+    pub fn int(i: i64) -> Expr {
+        Expr::Lit(Value::Int(i))
+    }
+
+    /// String literal.
+    pub fn str(s: &str) -> Expr {
+        Expr::Lit(Value::str(s))
+    }
+
+    /// The empty-set literal `∅`.
+    pub fn empty_set() -> Expr {
+        Expr::Lit(Value::empty_set())
+    }
+
+    /// Variable reference.
+    pub fn var(n: &str) -> Expr {
+        Expr::Var(Name::from(n))
+    }
+
+    /// Base table reference.
+    pub fn table(n: &str) -> Expr {
+        Expr::Table(Name::from(n))
+    }
+
+    /// `self.field`
+    pub fn field(self, f: &str) -> Expr {
+        Expr::Field(Box::new(self), Name::from(f))
+    }
+
+    /// Is this expression a boolean literal with the given value?
+    pub fn is_bool_lit(&self, b: bool) -> bool {
+        matches!(self, Expr::Lit(Value::Bool(v)) if *v == b)
+    }
+
+    /// Structural size (node count) — used to cap rewriting and report
+    /// plan complexity.
+    pub fn size(&self) -> usize {
+        let mut n = 1;
+        self.for_each_child(&mut |c| n += c.size());
+        n
+    }
+
+    /// Applies `f` to every direct child expression.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        use Expr::*;
+        match self {
+            Lit(_) | Var(_) | Table(_) => {}
+            TupleCons(fields) => fields.iter().for_each(|(_, e)| f(e)),
+            Field(e, _) | TupleProject(e, _) | Deref(e, _) | Not(e) | IsNull(e)
+            | Flatten(e) | Agg(_, e) => f(e),
+            Except(e, updates) => {
+                f(e);
+                updates.iter().for_each(|(_, u)| f(u));
+            }
+            Concat(a, b)
+            | Cmp(_, a, b)
+            | Arith(_, a, b)
+            | And(a, b)
+            | Or(a, b)
+            | SetOp(_, a, b)
+            | SetCmp(_, a, b)
+            | Product(a, b)
+            | Div(a, b) => {
+                f(a);
+                f(b);
+            }
+            SetCons(es) => es.iter().for_each(f),
+            Map { body, input, .. } => {
+                f(body);
+                f(input);
+            }
+            Select { pred, input, .. } => {
+                f(pred);
+                f(input);
+            }
+            Project { input, .. } | Rename { input, .. } | Unnest { input, .. }
+            | Nest { input, .. } => f(input),
+            Join { pred, left, right, .. } => {
+                f(pred);
+                f(left);
+                f(right);
+            }
+            NestJoin { pred, rfunc, left, right, .. } => {
+                f(pred);
+                if let Some(g) = rfunc {
+                    f(g);
+                }
+                f(left);
+                f(right);
+            }
+            Quant { range, pred, .. } => {
+                f(range);
+                f(pred);
+            }
+            Let { value, body, .. } => {
+                f(value);
+                f(body);
+            }
+        }
+    }
+
+    /// Rebuilds this node with every direct child replaced by
+    /// `f(child)`. The workhorse of bottom-up rewriting.
+    pub fn map_children(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        use Expr::*;
+        let fb = |e: Box<Expr>, f: &mut dyn FnMut(Expr) -> Expr| Box::new(f(*e));
+        match self {
+            e @ (Lit(_) | Var(_) | Table(_)) => e,
+            TupleCons(fields) => {
+                TupleCons(fields.into_iter().map(|(n, e)| (n, f(e))).collect())
+            }
+            Field(e, n) => Field(fb(e, f), n),
+            TupleProject(e, ns) => TupleProject(fb(e, f), ns),
+            Except(e, updates) => {
+                let e = fb(e, f);
+                Except(e, updates.into_iter().map(|(n, u)| (n, f(u))).collect())
+            }
+            Concat(a, b) => {
+                let a = fb(a, f);
+                Concat(a, fb(b, f))
+            }
+            Deref(e, c) => Deref(fb(e, f), c),
+            Cmp(op, a, b) => {
+                let a = fb(a, f);
+                Cmp(op, a, fb(b, f))
+            }
+            Arith(op, a, b) => {
+                let a = fb(a, f);
+                Arith(op, a, fb(b, f))
+            }
+            Not(e) => Not(fb(e, f)),
+            IsNull(e) => IsNull(fb(e, f)),
+            And(a, b) => {
+                let a = fb(a, f);
+                And(a, fb(b, f))
+            }
+            Or(a, b) => {
+                let a = fb(a, f);
+                Or(a, fb(b, f))
+            }
+            SetCons(es) => SetCons(es.into_iter().map(&mut *f).collect()),
+            SetOp(op, a, b) => {
+                let a = fb(a, f);
+                SetOp(op, a, fb(b, f))
+            }
+            SetCmp(op, a, b) => {
+                let a = fb(a, f);
+                SetCmp(op, a, fb(b, f))
+            }
+            Flatten(e) => Flatten(fb(e, f)),
+            Agg(op, e) => Agg(op, fb(e, f)),
+            Map { var, body, input } => {
+                let body = fb(body, f);
+                Map { var, body, input: fb(input, f) }
+            }
+            Select { var, pred, input } => {
+                let pred = fb(pred, f);
+                Select { var, pred, input: fb(input, f) }
+            }
+            Project { attrs, input } => Project { attrs, input: fb(input, f) },
+            Rename { pairs, input } => Rename { pairs, input: fb(input, f) },
+            Unnest { attr, input } => Unnest { attr, input: fb(input, f) },
+            Nest { attrs, as_attr, input } => {
+                Nest { attrs, as_attr, input: fb(input, f) }
+            }
+            Product(a, b) => {
+                let a = fb(a, f);
+                Product(a, fb(b, f))
+            }
+            Join { kind, lvar, rvar, pred, left, right } => {
+                let pred = fb(pred, f);
+                let left = fb(left, f);
+                Join { kind, lvar, rvar, pred, left, right: fb(right, f) }
+            }
+            NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+                let pred = fb(pred, f);
+                let rfunc = rfunc.map(|g| fb(g, f));
+                let left = fb(left, f);
+                NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right: fb(right, f) }
+            }
+            Quant { q, var, range, pred } => {
+                let range = fb(range, f);
+                Quant { q, var, range, pred: fb(pred, f) }
+            }
+            Div(a, b) => {
+                let a = fb(a, f);
+                Div(a, fb(b, f))
+            }
+            Let { var, value, body } => {
+                let value = fb(value, f);
+                Let { var, value, body: fb(body, f) }
+            }
+        }
+    }
+
+    /// True if any node in the tree satisfies `p`.
+    pub fn any_node(&self, p: &mut impl FnMut(&Expr) -> bool) -> bool {
+        if p(self) {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |c| {
+            if !found && c.any_node(p) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the expression mentions any base table anywhere.
+    pub fn mentions_table(&self) -> bool {
+        self.any_node(&mut |e| matches!(e, Expr::Table(_)))
+    }
+}
+
+/// Splits a predicate into its top-level conjuncts.
+pub fn conjuncts(pred: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(pred, &mut out);
+    out
+}
+
+/// Rebuilds a conjunction from parts (`true` for the empty list).
+pub fn conjoin(parts: Vec<Expr>) -> Expr {
+    parts
+        .into_iter()
+        .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+        .unwrap_or_else(Expr::true_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::int(1).size(), 1);
+        let e = and(eq(var("x").field("a"), Expr::int(1)), Expr::true_());
+        // And, Cmp, Field, Var, Lit, Lit
+        assert_eq!(e.size(), 6);
+    }
+
+    #[test]
+    fn map_children_rebuilds_structure() {
+        let e = select("x", eq(var("x").field("a"), Expr::int(1)), Expr::table("X"));
+        // replace every integer literal 1 with 2, only at child level + recursion
+        fn bump(e: Expr) -> Expr {
+            match e {
+                Expr::Lit(Value::Int(1)) => Expr::int(2),
+                other => other.map_children(&mut bump),
+            }
+        }
+        let out = bump(e);
+        let expected =
+            select("x", eq(var("x").field("a"), Expr::int(2)), Expr::table("X"));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let p = and(and(var("a"), var("b")), var("c"));
+        let cs = conjuncts(&p);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(conjoin(cs.into_iter().cloned().collect()), p);
+        assert_eq!(conjoin(vec![]), Expr::true_());
+    }
+
+    #[test]
+    fn mentions_table_scans_deeply() {
+        let e = exists("y", Expr::table("PART"), Expr::true_());
+        assert!(e.mentions_table());
+        let e2 = exists("z", var("x").field("c"), Expr::true_());
+        assert!(!e2.mentions_table());
+    }
+
+    #[test]
+    fn quant_dual() {
+        assert_eq!(QuantKind::Exists.dual(), QuantKind::Forall);
+        assert_eq!(QuantKind::Forall.dual(), QuantKind::Exists);
+    }
+}

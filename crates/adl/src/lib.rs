@@ -1,0 +1,35 @@
+//! # ADL — a typed algebra for complex objects
+//!
+//! The algebraic target language of *From Nested-Loop to Join Queries in
+//! OODB* (Steenhagen, Apers, Blanken, de By; VLDB 1994), §3.
+//!
+//! ADL supports the tuple `⟨⟩` and set `{}` constructors, object identity
+//! (`oid`), and two families of operators:
+//!
+//! * **iterators** — operators with lambda-expression parameters: map `α`,
+//!   select `σ`, the join family (`⋈`, `⋉`, `▷`, and the paper's nestjoin
+//!   `⊣`), and quantifiers `∃`/`∀`. Nesting other operators inside their
+//!   parameters is how tuple-oriented (nested-loop) processing is
+//!   expressed;
+//! * **set-oriented operators** — product `×`, flatten `⋃`, projection
+//!   `π`, renaming `ρ`, nest `ν` / unnest `μ`, division `÷`, set
+//!   operations and comparisons, aggregates.
+//!
+//! The crate provides the expression IR ([`expr::Expr`]), variable
+//! analysis and substitution ([`vars`]), type inference ([`typecheck`]),
+//! a construction DSL ([`dsl`]), and a paper-notation pretty printer.
+//!
+//! The goal of translation and optimization (paper §3): *"to remove base
+//! tables from the parameter expressions of iterators, moving from tuple-
+//! to set-oriented query processing"* — implemented in the `oodb-core`
+//! crate on top of this IR.
+
+pub mod display;
+pub mod dsl;
+pub mod expr;
+pub mod typecheck;
+pub mod vars;
+
+pub use expr::{AggOp, Expr, JoinKind, QuantKind, SetOp};
+pub use typecheck::{infer, infer_closed, AdlTypeError, TypeEnv};
+pub use vars::{alpha_eq, free_vars, fresh_name, is_free_in, negate, subst};

@@ -1,0 +1,806 @@
+//! Type inference for ADL expressions.
+//!
+//! ADL is a typed algebra (§3); every operator has typing constraints
+//! (e.g. unnest requires a set-valued attribute whose elements are tuples,
+//! joins require disjoint schemas so tuple concatenation is defined). The
+//! checker both validates hand-built plans and computes the schemas the
+//! physical planner needs (outer joins must know the right-hand attribute
+//! set to pad, nest must know the grouping attributes, …).
+
+use crate::expr::{AggOp, Expr, JoinKind};
+use oodb_catalog::Catalog;
+use oodb_value::fxhash::FxHashMap;
+use oodb_value::{Name, TupleType, Type};
+use std::fmt;
+
+/// Static type errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdlTypeError {
+    /// Unbound variable.
+    UnboundVar(Name),
+    /// Unknown base table.
+    UnknownTable(Name),
+    /// Unknown class in a `Deref`.
+    UnknownClass(Name),
+    /// Attribute missing from a tuple type.
+    NoSuchAttr { attr: Name, ty: String },
+    /// Operator applied to an operand of the wrong shape.
+    Shape { op: &'static str, found: String },
+    /// Two operand types failed to unify.
+    Mismatch { op: &'static str, lhs: String, rhs: String },
+    /// Attribute conflicts in concatenation/product/join.
+    Conflict { op: &'static str, attr: Name },
+    /// Nestjoin group attribute already present in the left schema
+    /// (`a ∉ SCH(e₁)` side condition of definition 1).
+    GroupAttrTaken(Name),
+    /// Aggregate typing error.
+    BadAggregate { agg: &'static str, found: String },
+    /// Division schema condition violated (`SCH(e₂) ⊄ SCH(e₁)`).
+    BadDivision { lhs: String, rhs: String },
+}
+
+impl fmt::Display for AdlTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdlTypeError::UnboundVar(n) => write!(f, "unbound variable `{n}`"),
+            AdlTypeError::UnknownTable(n) => write!(f, "unknown base table `{n}`"),
+            AdlTypeError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            AdlTypeError::NoSuchAttr { attr, ty } => {
+                write!(f, "no attribute `{attr}` in {ty}")
+            }
+            AdlTypeError::Shape { op, found } => {
+                write!(f, "`{op}` applied to operand of type {found}")
+            }
+            AdlTypeError::Mismatch { op, lhs, rhs } => {
+                write!(f, "`{op}` operand types do not match: {lhs} vs {rhs}")
+            }
+            AdlTypeError::Conflict { op, attr } => {
+                write!(f, "attribute `{attr}` appears on both sides of `{op}`")
+            }
+            AdlTypeError::GroupAttrTaken(a) => {
+                write!(f, "nestjoin group attribute `{a}` already in left schema")
+            }
+            AdlTypeError::BadAggregate { agg, found } => {
+                write!(f, "aggregate `{agg}` not defined on {found}")
+            }
+            AdlTypeError::BadDivision { lhs, rhs } => {
+                write!(f, "division schema condition violated: {lhs} ÷ {rhs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdlTypeError {}
+
+/// A lexical variable typing environment.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEnv {
+    vars: FxHashMap<Name, Type>,
+}
+
+impl TypeEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        TypeEnv::default()
+    }
+
+    /// Returns an environment extended with `var : ty`.
+    pub fn bind(&self, var: &Name, ty: Type) -> TypeEnv {
+        let mut vars = self.vars.clone();
+        vars.insert(var.clone(), ty);
+        TypeEnv { vars }
+    }
+
+    /// Looks a variable up.
+    pub fn get(&self, var: &str) -> Option<&Type> {
+        self.vars.get(var)
+    }
+}
+
+/// Infers the type of `e` in environment `env` against `catalog`.
+pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlTypeError> {
+    use Expr::*;
+    match e {
+        Lit(v) => Ok(v.type_of()),
+        Var(n) => env
+            .get(n)
+            .cloned()
+            .ok_or_else(|| AdlTypeError::UnboundVar(n.clone())),
+        Table(n) => catalog
+            .extent_type(n)
+            .ok_or_else(|| AdlTypeError::UnknownTable(n.clone())),
+
+        TupleCons(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (n, fe) in fields {
+                out.push((n.clone(), infer(fe, env, catalog)?));
+            }
+            TupleType::new(out)
+                .map(Type::Tuple)
+                .map_err(|_| AdlTypeError::Conflict {
+                    op: "tuple construction",
+                    attr: dup_name(fields),
+                })
+        }
+        Field(inner, attr) => {
+            let t = infer(inner, env, catalog)?;
+            field_type(&t, attr)
+        }
+        TupleProject(inner, attrs) => {
+            let t = infer(inner, env, catalog)?;
+            let tt = tuple_of(&t, "tuple subscription")?;
+            tt.subscript(attrs).map(Type::Tuple).map_err(|_| {
+                AdlTypeError::NoSuchAttr {
+                    attr: attrs
+                        .iter()
+                        .find(|a| !tt.has_field(a))
+                        .cloned()
+                        .unwrap_or_else(|| Name::from("?")),
+                    ty: t.to_string(),
+                }
+            })
+        }
+        Except(inner, updates) => {
+            let t = infer(inner, env, catalog)?;
+            let mut tt = tuple_of(&t, "except")?.clone();
+            for (n, ue) in updates {
+                let ut = infer(ue, env, catalog)?;
+                tt = tt.with_field(n.clone(), ut);
+            }
+            Ok(Type::Tuple(tt))
+        }
+        Concat(a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let (ta, tb) = (tuple_of(&ta, "∘")?, tuple_of(&tb, "∘")?);
+            ta.concat(tb).map(Type::Tuple).map_err(|e| match e {
+                oodb_value::ValueError::DuplicateField(a) => {
+                    AdlTypeError::Conflict { op: "∘", attr: a }
+                }
+                _ => AdlTypeError::Shape { op: "∘", found: ta.to_string() },
+            })
+        }
+        Deref(inner, class) => {
+            let t = infer(inner, env, catalog)?;
+            let c = catalog
+                .class(class)
+                .ok_or_else(|| AdlTypeError::UnknownClass(class.clone()))?;
+            match t {
+                Type::Oid(None) => Ok(c.object_type()),
+                Type::Oid(Some(tag)) if tag == c.name => Ok(c.object_type()),
+                other => Err(AdlTypeError::Shape {
+                    op: "deref",
+                    found: other.to_string(),
+                }),
+            }
+        }
+
+        Cmp(op, a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let numeric_mix = matches!(
+                (&ta, &tb),
+                (Type::Int, Type::Float) | (Type::Float, Type::Int)
+            );
+            if ta.unify(&tb).is_none() && !numeric_mix {
+                return Err(AdlTypeError::Mismatch {
+                    op: op.symbol(),
+                    lhs: ta.to_string(),
+                    rhs: tb.to_string(),
+                });
+            }
+            use oodb_value::CmpOp;
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) && !ta.is_ordered() && !numeric_mix {
+                return Err(AdlTypeError::Shape { op: op.symbol(), found: ta.to_string() });
+            }
+            Ok(Type::Bool)
+        }
+        Arith(op, a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            match (&ta, &tb) {
+                (Type::Int, Type::Int) => Ok(Type::Int),
+                (Type::Float, Type::Float)
+                | (Type::Int, Type::Float)
+                | (Type::Float, Type::Int) => Ok(Type::Float),
+                (Type::Unknown, _) | (_, Type::Unknown) => Ok(Type::Unknown),
+                _ => Err(AdlTypeError::Mismatch {
+                    op: op.symbol(),
+                    lhs: ta.to_string(),
+                    rhs: tb.to_string(),
+                }),
+            }
+        }
+        Not(inner) => {
+            expect_bool(infer(inner, env, catalog)?, "¬")?;
+            Ok(Type::Bool)
+        }
+        IsNull(inner) => {
+            infer(inner, env, catalog)?;
+            Ok(Type::Bool)
+        }
+        And(a, b) | Or(a, b) => {
+            expect_bool(infer(a, env, catalog)?, "∧/∨")?;
+            expect_bool(infer(b, env, catalog)?, "∧/∨")?;
+            Ok(Type::Bool)
+        }
+
+        SetCons(es) => {
+            let mut elem = Type::Unknown;
+            for se in es {
+                let t = infer(se, env, catalog)?;
+                elem = elem.unify(&t).ok_or_else(|| AdlTypeError::Mismatch {
+                    op: "set construction",
+                    lhs: elem.to_string(),
+                    rhs: t.to_string(),
+                })?;
+            }
+            Ok(Type::set(elem))
+        }
+        SetOp(op, a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            set_of(&ta, op.symbol())?;
+            ta.unify(&tb).ok_or_else(|| AdlTypeError::Mismatch {
+                op: op.symbol(),
+                lhs: ta.to_string(),
+                rhs: tb.to_string(),
+            })
+        }
+        SetCmp(op, a, b) => {
+            use oodb_value::SetCmpOp::*;
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let ok = match op {
+                In | NotIn => {
+                    let eb = set_of(&tb, op.symbol())?;
+                    ta.unify(eb).is_some()
+                }
+                Contains | NotContains => {
+                    let ea = set_of(&ta, op.symbol())?;
+                    ea.unify(&tb).is_some()
+                }
+                _ => {
+                    set_of(&ta, op.symbol())?;
+                    set_of(&tb, op.symbol())?;
+                    ta.unify(&tb).is_some()
+                }
+            };
+            if ok {
+                Ok(Type::Bool)
+            } else {
+                Err(AdlTypeError::Mismatch {
+                    op: op.symbol(),
+                    lhs: ta.to_string(),
+                    rhs: tb.to_string(),
+                })
+            }
+        }
+        Flatten(inner) => {
+            let t = infer(inner, env, catalog)?;
+            let elem = set_of(&t, "⋃")?;
+            match elem {
+                Type::Set(_) => Ok(elem.clone()),
+                Type::Unknown => Ok(Type::set(Type::Unknown)),
+                other => {
+                    Err(AdlTypeError::Shape { op: "⋃", found: format!("{{{other}}}") })
+                }
+            }
+        }
+        Agg(op, inner) => {
+            let t = infer(inner, env, catalog)?;
+            let elem = set_of(&t, op.name())?;
+            match op {
+                AggOp::Count => Ok(Type::Int),
+                AggOp::Sum => match elem {
+                    Type::Int | Type::Unknown => Ok(Type::Int),
+                    Type::Float => Ok(Type::Float),
+                    other => Err(AdlTypeError::BadAggregate {
+                        agg: op.name(),
+                        found: format!("{{{other}}}"),
+                    }),
+                },
+                AggOp::Min | AggOp::Max => {
+                    if elem.is_ordered() {
+                        Ok(elem.clone())
+                    } else {
+                        Err(AdlTypeError::BadAggregate {
+                            agg: op.name(),
+                            found: format!("{{{elem}}}"),
+                        })
+                    }
+                }
+                AggOp::Avg => match elem {
+                    Type::Int | Type::Float | Type::Unknown => Ok(Type::Float),
+                    other => Err(AdlTypeError::BadAggregate {
+                        agg: op.name(),
+                        found: format!("{{{other}}}"),
+                    }),
+                },
+            }
+        }
+
+        Map { var, body, input } => {
+            let ti = infer(input, env, catalog)?;
+            let elem = set_of(&ti, "α")?.clone();
+            let bt = infer(body, &env.bind(var, elem), catalog)?;
+            Ok(Type::set(bt))
+        }
+        Select { var, pred, input } => {
+            let ti = infer(input, env, catalog)?;
+            let elem = set_of(&ti, "σ")?.clone();
+            expect_bool(infer(pred, &env.bind(var, elem), catalog)?, "σ predicate")?;
+            Ok(ti)
+        }
+        Project { attrs, input } => {
+            let ti = infer(input, env, catalog)?;
+            let tt = table_of(&ti, "π")?;
+            tt.subscript(attrs).map(|t| Type::set(Type::Tuple(t))).map_err(|_| {
+                AdlTypeError::NoSuchAttr {
+                    attr: attrs
+                        .iter()
+                        .find(|a| !tt.has_field(a))
+                        .cloned()
+                        .unwrap_or_else(|| Name::from("?")),
+                    ty: ti.to_string(),
+                }
+            })
+        }
+        Rename { pairs, input } => {
+            let ti = infer(input, env, catalog)?;
+            let tt = table_of(&ti, "ρ")?;
+            let mut fields: Vec<(Name, Type)> = Vec::with_capacity(tt.arity());
+            for (n, t) in tt.iter() {
+                let new = pairs
+                    .iter()
+                    .find(|(o, _)| o == n)
+                    .map(|(_, nn)| nn.clone())
+                    .unwrap_or_else(|| n.clone());
+                fields.push((new, t.clone()));
+            }
+            for (o, _) in pairs {
+                if !tt.has_field(o) {
+                    return Err(AdlTypeError::NoSuchAttr {
+                        attr: o.clone(),
+                        ty: ti.to_string(),
+                    });
+                }
+            }
+            TupleType::new(fields)
+                .map(|t| Type::set(Type::Tuple(t)))
+                .map_err(|_| AdlTypeError::Conflict {
+                    op: "ρ",
+                    attr: pairs.first().map(|(_, n)| n.clone()).unwrap_or_default(),
+                })
+        }
+        Unnest { attr, input } => {
+            let ti = infer(input, env, catalog)?;
+            let tt = table_of(&ti, "μ")?;
+            let at = tt.field(attr).ok_or_else(|| AdlTypeError::NoSuchAttr {
+                attr: attr.clone(),
+                ty: ti.to_string(),
+            })?;
+            let inner_elem = set_of(at, "μ")?;
+            // Generalized μ: tuple elements concatenate (paper def. 7);
+            // atomic elements replace the attribute in place, so that
+            // set-valued attributes of atoms (e.g. sets of oids) can be
+            // flattened by the option-1 rewrite as well.
+            let inner_tt = match inner_elem {
+                Type::Tuple(t) => t.clone(),
+                Type::Unknown => TupleType::default(),
+                atomic if atomic.is_atomic() => {
+                    TupleType::from_pairs([(attr.as_ref(), atomic.clone())])
+                }
+                other => {
+                    return Err(AdlTypeError::Shape {
+                        op: "μ",
+                        found: format!("{{{other}}}"),
+                    })
+                }
+            };
+            let rest = tt.without(attr);
+            rest.concat(&inner_tt)
+                .map(|t| Type::set(Type::Tuple(t)))
+                .map_err(|e| match e {
+                    oodb_value::ValueError::DuplicateField(a) => {
+                        AdlTypeError::Conflict { op: "μ", attr: a }
+                    }
+                    _ => AdlTypeError::Shape { op: "μ", found: ti.to_string() },
+                })
+        }
+        Nest { attrs, as_attr, input } => {
+            let ti = infer(input, env, catalog)?;
+            let tt = table_of(&ti, "ν")?;
+            let grouped = tt.subscript(attrs).map_err(|_| AdlTypeError::NoSuchAttr {
+                attr: attrs
+                    .iter()
+                    .find(|a| !tt.has_field(a))
+                    .cloned()
+                    .unwrap_or_else(|| Name::from("?")),
+                ty: ti.to_string(),
+            })?;
+            let mut rest = tt.clone();
+            for a in attrs {
+                rest = rest.without(a);
+            }
+            if rest.has_field(as_attr) {
+                return Err(AdlTypeError::GroupAttrTaken(as_attr.clone()));
+            }
+            let out = rest
+                .with_field(as_attr.clone(), Type::set(Type::Tuple(grouped)));
+            Ok(Type::set(Type::Tuple(out)))
+        }
+        Product(a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let (ta_t, tb_t) = (table_of(&ta, "×")?, table_of(&tb, "×")?);
+            ta_t.concat(tb_t)
+                .map(|t| Type::set(Type::Tuple(t)))
+                .map_err(|e| match e {
+                    oodb_value::ValueError::DuplicateField(attr) => {
+                        AdlTypeError::Conflict { op: "×", attr }
+                    }
+                    _ => AdlTypeError::Shape { op: "×", found: ta.to_string() },
+                })
+        }
+        Join { kind, lvar, rvar, pred, left, right } => {
+            let tl = infer(left, env, catalog)?;
+            let tr = infer(right, env, catalog)?;
+            let (lelem, relem) =
+                (set_of(&tl, "join")?.clone(), set_of(&tr, "join")?.clone());
+            let penv = env.bind(lvar, lelem.clone()).bind(rvar, relem.clone());
+            expect_bool(infer(pred, &penv, catalog)?, "join predicate")?;
+            match kind {
+                JoinKind::Semi | JoinKind::Anti => Ok(tl),
+                JoinKind::Inner | JoinKind::LeftOuter => {
+                    let lt = table_of(&tl, "⋈")?;
+                    let rt = table_of(&tr, "⋈")?;
+                    lt.concat(rt)
+                        .map(|t| Type::set(Type::Tuple(t)))
+                        .map_err(|e| match e {
+                            oodb_value::ValueError::DuplicateField(attr) => {
+                                AdlTypeError::Conflict { op: "⋈", attr }
+                            }
+                            _ => AdlTypeError::Shape { op: "⋈", found: tl.to_string() },
+                        })
+                }
+            }
+        }
+        NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+            let tl = infer(left, env, catalog)?;
+            let tr = infer(right, env, catalog)?;
+            let lelem = set_of(&tl, "⊣")?.clone();
+            let relem = set_of(&tr, "⊣")?.clone();
+            let penv = env.bind(lvar, lelem.clone()).bind(rvar, relem.clone());
+            expect_bool(infer(pred, &penv, catalog)?, "⊣ predicate")?;
+            let collected = match rfunc {
+                Some(g) => infer(g, &env.bind(rvar, relem), catalog)?,
+                None => relem.clone(),
+            };
+            let lt = tuple_of(&lelem, "⊣")?;
+            if lt.has_field(as_attr) {
+                return Err(AdlTypeError::GroupAttrTaken(as_attr.clone()));
+            }
+            let out = lt.with_field(as_attr.clone(), Type::set(collected));
+            Ok(Type::set(Type::Tuple(out)))
+        }
+        Quant { q: _, var, range, pred } => {
+            let tr = infer(range, env, catalog)?;
+            let elem = set_of(&tr, "quantifier range")?.clone();
+            expect_bool(
+                infer(pred, &env.bind(var, elem), catalog)?,
+                "quantified predicate",
+            )?;
+            Ok(Type::Bool)
+        }
+        Div(a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let (at, bt) = (table_of(&ta, "÷")?, table_of(&tb, "÷")?);
+            // SCH(b) must be a proper, type-compatible subset of SCH(a)
+            let mut rest = at.clone();
+            for (n, t) in bt.iter() {
+                match at.field(n) {
+                    Some(ft) if ft.unify(t).is_some() => rest = rest.without(n),
+                    _ => {
+                        return Err(AdlTypeError::BadDivision {
+                            lhs: ta.to_string(),
+                            rhs: tb.to_string(),
+                        })
+                    }
+                }
+            }
+            if rest.arity() == 0 || rest.arity() == at.arity() {
+                return Err(AdlTypeError::BadDivision {
+                    lhs: ta.to_string(),
+                    rhs: tb.to_string(),
+                });
+            }
+            Ok(Type::set(Type::Tuple(rest)))
+        }
+        Let { var, value, body } => {
+            let tv = infer(value, env, catalog)?;
+            infer(body, &env.bind(var, tv), catalog)
+        }
+    }
+}
+
+fn field_type(t: &Type, attr: &Name) -> Result<Type, AdlTypeError> {
+    match t {
+        Type::Tuple(tt) => tt.field(attr).cloned().ok_or_else(|| {
+            AdlTypeError::NoSuchAttr { attr: attr.clone(), ty: t.to_string() }
+        }),
+        other => Err(AdlTypeError::Shape { op: "field access", found: other.to_string() }),
+    }
+}
+
+fn dup_name(fields: &[(Name, Expr)]) -> Name {
+    let mut seen: Vec<&Name> = Vec::new();
+    for (n, _) in fields {
+        if seen.contains(&n) {
+            return n.clone();
+        }
+        seen.push(n);
+    }
+    Name::from("?")
+}
+
+fn expect_bool(t: Type, op: &'static str) -> Result<(), AdlTypeError> {
+    match t {
+        Type::Bool | Type::Unknown => Ok(()),
+        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+    }
+}
+
+fn set_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a Type, AdlTypeError> {
+    match t {
+        Type::Set(e) => Ok(e),
+        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+    }
+}
+
+fn tuple_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a TupleType, AdlTypeError> {
+    match t {
+        Type::Tuple(tt) => Ok(tt),
+        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+    }
+}
+
+/// The element tuple type of a table type (`{⟨…⟩}`).
+fn table_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a TupleType, AdlTypeError> {
+    match t {
+        Type::Set(e) => tuple_of(e, op),
+        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+    }
+}
+
+/// Infers the type of a closed expression (no free variables).
+pub fn infer_closed(e: &Expr, catalog: &Catalog) -> Result<Type, AdlTypeError> {
+    infer(e, &TypeEnv::new(), catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn infer_sp(e: &Expr) -> Result<Type, AdlTypeError> {
+        infer_closed(e, &supplier_part_catalog())
+    }
+
+    #[test]
+    fn tables_and_selections_type() {
+        let cat = supplier_part_catalog();
+        let t = infer_closed(&table("SUPPLIER"), &cat).unwrap();
+        assert!(t.is_set());
+        let q = select(
+            "s",
+            eq(var("s").field("sname"), str_lit("s1")),
+            table("SUPPLIER"),
+        );
+        assert_eq!(infer_sp(&q).unwrap(), t);
+    }
+
+    #[test]
+    fn unknown_table_and_unbound_var_error() {
+        assert!(matches!(
+            infer_sp(&table("NOPE")),
+            Err(AdlTypeError::UnknownTable(_))
+        ));
+        assert!(matches!(infer_sp(&var("x")), Err(AdlTypeError::UnboundVar(_))));
+    }
+
+    #[test]
+    fn map_produces_set_of_body_type() {
+        let q = map("s", var("s").field("sname"), table("SUPPLIER"));
+        assert_eq!(infer_sp(&q).unwrap(), Type::set(Type::Str));
+    }
+
+    #[test]
+    fn field_on_non_tuple_fails() {
+        let q = map("s", var("s").field("sname").field("oops"), table("SUPPLIER"));
+        assert!(matches!(infer_sp(&q), Err(AdlTypeError::Shape { .. })));
+    }
+
+    #[test]
+    fn semijoin_keeps_left_type() {
+        let cat = supplier_part_catalog();
+        let q = semijoin(
+            "s",
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        assert_eq!(
+            infer_closed(&q, &cat).unwrap(),
+            cat.extent_type("SUPPLIER").unwrap()
+        );
+    }
+
+    #[test]
+    fn inner_join_concatenates_schemas_and_detects_conflicts() {
+        // SUPPLIER ⋈ PART works (disjoint attrs)…
+        let q = join("s", "p", Expr::true_(), table("SUPPLIER"), table("PART"));
+        let t = infer_sp(&q).unwrap();
+        let sch = t.sch().unwrap();
+        assert!(sch.iter().any(|n| n.as_ref() == "sname"));
+        assert!(sch.iter().any(|n| n.as_ref() == "color"));
+        // …but SUPPLIER ⋈ SUPPLIER conflicts.
+        let q2 = join("a", "b", Expr::true_(), table("SUPPLIER"), table("SUPPLIER"));
+        assert!(matches!(infer_sp(&q2), Err(AdlTypeError::Conflict { .. })));
+    }
+
+    #[test]
+    fn quantifier_types_as_bool() {
+        let q = exists(
+            "p",
+            table("PART"),
+            eq(var("p").field("color"), str_lit("red")),
+        );
+        assert_eq!(infer_sp(&q).unwrap(), Type::Bool);
+        // non-bool predicate rejected
+        let bad = exists("p", table("PART"), var("p").field("price"));
+        assert!(infer_sp(&bad).is_err());
+    }
+
+    #[test]
+    fn nestjoin_adds_group_attribute() {
+        let q = nestjoin(
+            "s",
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            "parts_suppl",
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        let t = infer_sp(&q).unwrap();
+        let tt = t.elem().unwrap().as_tuple().unwrap();
+        assert!(tt.has_field("parts_suppl"));
+        assert!(tt.field("parts_suppl").unwrap().is_set());
+        // group attr collision detected
+        let bad = nestjoin("s", "p", Expr::true_(), "sname", table("SUPPLIER"), table("PART"));
+        assert!(matches!(infer_sp(&bad), Err(AdlTypeError::GroupAttrTaken(_))));
+    }
+
+    #[test]
+    fn nestjoin_rfunc_changes_collected_type() {
+        let q = nestjoin_with(
+            "s",
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            var("p").field("pname"),
+            "names",
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        let t = infer_sp(&q).unwrap();
+        let tt = t.elem().unwrap().as_tuple().unwrap();
+        assert_eq!(tt.field("names").unwrap(), &Type::set(Type::Str));
+    }
+
+    #[test]
+    fn nest_and_unnest_type() {
+        let cat = supplier_part_catalog();
+        // μ_supply(DELIVERY): supply elements are ⟨part, quantity⟩ tuples
+        let q = unnest("supply", table("DELIVERY"));
+        let t = infer_closed(&q, &cat).unwrap();
+        let tt = t.elem().unwrap().as_tuple().unwrap();
+        assert!(tt.has_field("part"));
+        assert!(tt.has_field("quantity"));
+        assert!(tt.has_field("did"));
+        assert!(!tt.has_field("supply"));
+        // ν groups them back
+        let q2 = nest(&["part", "quantity"], "supply", q);
+        let t2 = infer_closed(&q2, &cat).unwrap();
+        let tt2 = t2.elem().unwrap().as_tuple().unwrap();
+        assert!(tt2.has_field("supply"));
+    }
+
+    #[test]
+    fn unnest_of_atomic_set_flattens_in_place() {
+        // SUPPLIER.parts is a set of oids; the generalized μ replaces the
+        // attribute by each element (the paper's def. 7 covers tuple
+        // elements; atoms are the unary-tuple degenerate case).
+        let q = unnest("parts", table("SUPPLIER"));
+        let t = infer_sp(&q).unwrap();
+        let tt = t.elem().unwrap().as_tuple().unwrap();
+        assert_eq!(tt.field("parts"), Some(&Type::Oid(Some(oodb_value::name("Part")))));
+        assert!(tt.has_field("sname"));
+        // a set of sets still cannot be μ-flattened into a tuple schema
+        let q2 = unnest("c", Expr::Lit(oodb_value::Value::set([
+            oodb_value::Value::tuple([
+                ("c", oodb_value::Value::set([oodb_value::Value::set([])])),
+            ]),
+        ])));
+        let _ = q2; // typing a literal needs no catalog lookups
+    }
+
+    #[test]
+    fn aggregates_type() {
+        assert_eq!(infer_sp(&count(table("PART"))).unwrap(), Type::Int);
+        let prices = map("p", var("p").field("price"), table("PART"));
+        assert_eq!(infer_sp(&agg(AggOp::Sum, prices.clone())).unwrap(), Type::Int);
+        assert_eq!(infer_sp(&agg(AggOp::Avg, prices.clone())).unwrap(), Type::Float);
+        assert_eq!(infer_sp(&agg(AggOp::Min, prices)).unwrap(), Type::Int);
+        assert!(infer_sp(&agg(AggOp::Sum, table("PART"))).is_err());
+    }
+
+    #[test]
+    fn deref_materializes_class_type() {
+        let cat = supplier_part_catalog();
+        let q = map(
+            "d",
+            deref(var("d").field("supplier"), "Supplier").field("sname"),
+            table("DELIVERY"),
+        );
+        assert_eq!(infer_closed(&q, &cat).unwrap(), Type::set(Type::Str));
+        // wrong class tag rejected
+        let bad = map("d", deref(var("d").field("supplier"), "Part"), table("DELIVERY"));
+        assert!(infer_closed(&bad, &cat).is_err());
+    }
+
+    #[test]
+    fn division_schema_condition() {
+        let cat = supplier_part_catalog();
+        // π_{did,part}(μ_supply(DELIVERY)) ÷ π_{part}(…) is well-formed
+        let all = project(
+            &["did", "part"],
+            unnest("supply", table("DELIVERY")),
+        );
+        let divisor = project(&["part"], unnest("supply", table("DELIVERY")));
+        let q = div(all.clone(), divisor);
+        let t = infer_closed(&q, &cat).unwrap();
+        let tt = t.elem().unwrap().as_tuple().unwrap();
+        assert!(tt.has_field("did") && !tt.has_field("part"));
+        // dividing by itself violates the proper-subset condition
+        assert!(matches!(
+            infer_closed(&div(all.clone(), all), &cat),
+            Err(AdlTypeError::BadDivision { .. })
+        ));
+    }
+
+    #[test]
+    fn let_binds_subquery_type() {
+        let q = let_(
+            "Y1",
+            map("p", var("p").field("pid"), table("PART")),
+            count(var("Y1")),
+        );
+        assert_eq!(infer_sp(&q).unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn set_cmp_typing() {
+        let pids = map("p", var("p").field("pid"), table("PART"));
+        let q = set_cmp(oodb_value::SetCmpOp::SubsetEq, pids.clone(), pids.clone());
+        assert_eq!(infer_sp(&q).unwrap(), Type::Bool);
+        let bad = set_cmp(
+            oodb_value::SetCmpOp::SubsetEq,
+            pids,
+            map("p", var("p").field("pname"), table("PART")),
+        );
+        assert!(infer_sp(&bad).is_err());
+    }
+}

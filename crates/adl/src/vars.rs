@@ -1,0 +1,549 @@
+//! Variable analysis: free variables, fresh names, capture-avoiding
+//! substitution, and α-equivalence.
+//!
+//! The rewrite rules of the paper all carry side conditions like "let `x`
+//! not be free in `Y`" (Rule 1) or involve substitutions such as
+//! `P' = P(x, Y')[z[X]/x, z.ys/Y']` (§6.1). This module implements the
+//! binding discipline those rules rely on.
+
+use crate::expr::Expr;
+use oodb_value::fxhash::FxHashSet;
+use oodb_value::Name;
+
+/// The set of variables occurring free in `e`.
+pub fn free_vars(e: &Expr) -> FxHashSet<Name> {
+    let mut out = FxHashSet::default();
+    collect_free(e, &mut Vec::new(), &mut out);
+    out
+}
+
+/// True if `var` occurs free in `e` — the "x not free in Y" side
+/// condition of Rule 1.
+pub fn is_free_in(var: &str, e: &Expr) -> bool {
+    free_vars(e).iter().any(|n| n.as_ref() == var)
+}
+
+fn collect_free(e: &Expr, bound: &mut Vec<Name>, out: &mut FxHashSet<Name>) {
+    match e {
+        Expr::Var(n) => {
+            if !bound.iter().any(|b| b == n) {
+                out.insert(n.clone());
+            }
+        }
+        Expr::Map { var, body, input } => {
+            collect_free(input, bound, out);
+            bound.push(var.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        Expr::Select { var, pred, input } => {
+            collect_free(input, bound, out);
+            bound.push(var.clone());
+            collect_free(pred, bound, out);
+            bound.pop();
+        }
+        Expr::Join { lvar, rvar, pred, left, right, .. } => {
+            collect_free(left, bound, out);
+            collect_free(right, bound, out);
+            bound.push(lvar.clone());
+            bound.push(rvar.clone());
+            collect_free(pred, bound, out);
+            bound.pop();
+            bound.pop();
+        }
+        Expr::NestJoin { lvar, rvar, pred, rfunc, left, right, .. } => {
+            collect_free(left, bound, out);
+            collect_free(right, bound, out);
+            bound.push(lvar.clone());
+            bound.push(rvar.clone());
+            collect_free(pred, bound, out);
+            bound.pop();
+            bound.pop();
+            if let Some(g) = rfunc {
+                bound.push(rvar.clone());
+                collect_free(g, bound, out);
+                bound.pop();
+            }
+        }
+        Expr::Quant { var, range, pred, .. } => {
+            collect_free(range, bound, out);
+            bound.push(var.clone());
+            collect_free(pred, bound, out);
+            bound.pop();
+        }
+        Expr::Let { var, value, body } => {
+            collect_free(value, bound, out);
+            bound.push(var.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        other => other.for_each_child(&mut |c| collect_free(c, bound, out)),
+    }
+}
+
+/// Produces a variable name based on `base` that is not in `avoid`.
+///
+/// Deterministic: tries `base`, then `base_1`, `base_2`, … — rewrite output
+/// is stable across runs, which tests rely on.
+pub fn fresh_name(base: &str, avoid: &FxHashSet<Name>) -> Name {
+    let contains = |n: &str| avoid.iter().any(|a| a.as_ref() == n);
+    if !contains(base) {
+        return Name::from(base);
+    }
+    for i in 1u32.. {
+        let cand = format!("{base}_{i}");
+        if !contains(&cand) {
+            return Name::from(cand.as_str());
+        }
+    }
+    unreachable!("u32 namespace exhausted")
+}
+
+/// Capture-avoiding substitution `e[replacement / var]`.
+///
+/// Binders shadow: descending under a binder for `var` stops the
+/// substitution. Binders whose name occurs free in `replacement` are
+/// α-renamed first so the replacement's free variables are never captured.
+pub fn subst(e: &Expr, var: &str, replacement: &Expr) -> Expr {
+    let fv = free_vars(replacement);
+    subst_inner(e, var, replacement, &fv)
+}
+
+fn subst_inner(
+    e: &Expr,
+    var: &str,
+    replacement: &Expr,
+    repl_fv: &FxHashSet<Name>,
+) -> Expr {
+    // Rename binder `b` of `scopes` (sub-expressions in the binder's scope)
+    // when it would capture; returns the possibly renamed binder + scopes.
+    fn guard_binder(
+        b: &Name,
+        scopes: Vec<&Expr>,
+        var: &str,
+        repl_fv: &FxHashSet<Name>,
+    ) -> (Name, Vec<Expr>) {
+        let needs_rename =
+            b.as_ref() != var && repl_fv.iter().any(|n| n == b)
+                && scopes.iter().any(|s| is_free_in(var, s));
+        if needs_rename {
+            let mut avoid = repl_fv.clone();
+            for s in &scopes {
+                avoid.extend(free_vars(s));
+            }
+            avoid.insert(Name::from(var));
+            let nb = fresh_name(b, &avoid);
+            let renamed = scopes
+                .into_iter()
+                .map(|s| subst(s, b, &Expr::Var(nb.clone())))
+                .collect();
+            (nb, renamed)
+        } else {
+            (b.clone(), scopes.into_iter().cloned().collect())
+        }
+    }
+
+    match e {
+        Expr::Var(n) if n.as_ref() == var => replacement.clone(),
+        Expr::Var(_) | Expr::Lit(_) | Expr::Table(_) => e.clone(),
+        Expr::Map { var: b, body, input } => {
+            let input = subst_inner(input, var, replacement, repl_fv);
+            if b.as_ref() == var {
+                return Expr::Map {
+                    var: b.clone(),
+                    body: body.clone(),
+                    input: Box::new(input),
+                };
+            }
+            let (b, mut scopes) = guard_binder(b, vec![body], var, repl_fv);
+            let body = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
+            Expr::Map { var: b, body: Box::new(body), input: Box::new(input) }
+        }
+        Expr::Select { var: b, pred, input } => {
+            let input = subst_inner(input, var, replacement, repl_fv);
+            if b.as_ref() == var {
+                return Expr::Select {
+                    var: b.clone(),
+                    pred: pred.clone(),
+                    input: Box::new(input),
+                };
+            }
+            let (b, mut scopes) = guard_binder(b, vec![pred], var, repl_fv);
+            let pred = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
+            Expr::Select { var: b, pred: Box::new(pred), input: Box::new(input) }
+        }
+        Expr::Quant { q, var: b, range, pred } => {
+            let range = subst_inner(range, var, replacement, repl_fv);
+            if b.as_ref() == var {
+                return Expr::Quant {
+                    q: *q,
+                    var: b.clone(),
+                    range: Box::new(range),
+                    pred: pred.clone(),
+                };
+            }
+            let (b, mut scopes) = guard_binder(b, vec![pred], var, repl_fv);
+            let pred = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
+            Expr::Quant { q: *q, var: b, range: Box::new(range), pred: Box::new(pred) }
+        }
+        Expr::Let { var: b, value, body } => {
+            let value = subst_inner(value, var, replacement, repl_fv);
+            if b.as_ref() == var {
+                return Expr::Let {
+                    var: b.clone(),
+                    value: Box::new(value),
+                    body: body.clone(),
+                };
+            }
+            let (b, mut scopes) = guard_binder(b, vec![body], var, repl_fv);
+            let body = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
+            Expr::Let { var: b, value: Box::new(value), body: Box::new(body) }
+        }
+        Expr::Join { kind, lvar, rvar, pred, left, right } => {
+            let left = subst_inner(left, var, replacement, repl_fv);
+            let right = subst_inner(right, var, replacement, repl_fv);
+            if lvar.as_ref() == var || rvar.as_ref() == var {
+                return Expr::Join {
+                    kind: *kind,
+                    lvar: lvar.clone(),
+                    rvar: rvar.clone(),
+                    pred: pred.clone(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+            }
+            // Join predicates bind two variables; guard each in turn.
+            let (lvar2, mut scopes) = guard_binder(lvar, vec![pred], var, repl_fv);
+            let pred1 = scopes.remove(0);
+            let (rvar2, mut scopes) = guard_binder(rvar, vec![&pred1], var, repl_fv);
+            let pred2 = scopes.remove(0);
+            let pred = subst_inner(&pred2, var, replacement, repl_fv);
+            Expr::Join {
+                kind: *kind,
+                lvar: lvar2,
+                rvar: rvar2,
+                pred: Box::new(pred),
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        Expr::NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+            let left = subst_inner(left, var, replacement, repl_fv);
+            let right = subst_inner(right, var, replacement, repl_fv);
+            if lvar.as_ref() == var || rvar.as_ref() == var {
+                return Expr::NestJoin {
+                    lvar: lvar.clone(),
+                    rvar: rvar.clone(),
+                    pred: pred.clone(),
+                    rfunc: rfunc.clone(),
+                    as_attr: as_attr.clone(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+            }
+            let (lvar2, mut scopes) = guard_binder(lvar, vec![pred], var, repl_fv);
+            let pred1 = scopes.remove(0);
+            let mut scope_vec: Vec<&Expr> = vec![&pred1];
+            let rfunc_ref;
+            if let Some(g) = rfunc {
+                rfunc_ref = g.as_ref().clone();
+                scope_vec.push(&rfunc_ref);
+            }
+            let (rvar2, mut scopes) = guard_binder(rvar, scope_vec, var, repl_fv);
+            let pred2 = scopes.remove(0);
+            let rfunc2 = if rfunc.is_some() { Some(scopes.remove(0)) } else { None };
+            let pred = subst_inner(&pred2, var, replacement, repl_fv);
+            let rfunc = rfunc2
+                .map(|g| Box::new(subst_inner(&g, var, replacement, repl_fv)));
+            Expr::NestJoin {
+                lvar: lvar2,
+                rvar: rvar2,
+                pred: Box::new(pred),
+                rfunc,
+                as_attr: as_attr.clone(),
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        other => other
+            .clone()
+            .map_children(&mut |c| subst_inner(&c, var, replacement, repl_fv)),
+    }
+}
+
+/// α-equivalence: structural equality modulo bound variable names.
+pub fn alpha_eq(a: &Expr, b: &Expr) -> bool {
+    alpha_eq_inner(a, b, &mut Vec::new())
+}
+
+/// Bound-variable correspondence stack used by α-equivalence.
+type PairStack = Vec<(Name, Name)>;
+
+fn alpha_eq_inner(a: &Expr, b: &Expr, pairs: &mut PairStack) -> bool {
+    use Expr::*;
+    let with_pair =
+        |pairs: &mut PairStack, va: &Name, vb: &Name, k: &mut dyn FnMut(&mut PairStack) -> bool| {
+            pairs.push((va.clone(), vb.clone()));
+            let r = k(pairs);
+            pairs.pop();
+            r
+        };
+    match (a, b) {
+        (Var(x), Var(y)) => {
+            for (px, py) in pairs.iter().rev() {
+                if px == x || py == y {
+                    return px == x && py == y;
+                }
+            }
+            x == y
+        }
+        (Lit(x), Lit(y)) => x == y,
+        (Table(x), Table(y)) => x == y,
+        (Map { var: va, body: ba, input: ia }, Map { var: vb, body: bb, input: ib }) => {
+            alpha_eq_inner(ia, ib, pairs)
+                && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(ba, bb, p))
+        }
+        (
+            Select { var: va, pred: pa, input: ia },
+            Select { var: vb, pred: pb, input: ib },
+        ) => {
+            alpha_eq_inner(ia, ib, pairs)
+                && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(pa, pb, p))
+        }
+        (
+            Quant { q: qa, var: va, range: ra, pred: pa },
+            Quant { q: qb, var: vb, range: rb, pred: pb },
+        ) => {
+            qa == qb
+                && alpha_eq_inner(ra, rb, pairs)
+                && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(pa, pb, p))
+        }
+        (
+            Let { var: va, value: la, body: ba },
+            Let { var: vb, value: lb, body: bb },
+        ) => {
+            alpha_eq_inner(la, lb, pairs)
+                && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(ba, bb, p))
+        }
+        (
+            Join { kind: ka, lvar: la, rvar: ra, pred: pa, left: lla, right: rra },
+            Join { kind: kb, lvar: lb, rvar: rb, pred: pb, left: llb, right: rrb },
+        ) => {
+            ka == kb
+                && alpha_eq_inner(lla, llb, pairs)
+                && alpha_eq_inner(rra, rrb, pairs)
+                && with_pair(pairs, la, lb, &mut |p| {
+                    with_pair(p, ra, rb, &mut |p2| alpha_eq_inner(pa, pb, p2))
+                })
+        }
+        (
+            NestJoin {
+                lvar: la,
+                rvar: ra,
+                pred: pa,
+                rfunc: fa,
+                as_attr: aa,
+                left: lla,
+                right: rra,
+            },
+            NestJoin {
+                lvar: lb,
+                rvar: rb,
+                pred: pb,
+                rfunc: fbx,
+                as_attr: ab,
+                left: llb,
+                right: rrb,
+            },
+        ) => {
+            aa == ab
+                && alpha_eq_inner(lla, llb, pairs)
+                && alpha_eq_inner(rra, rrb, pairs)
+                && with_pair(pairs, la, lb, &mut |p| {
+                    with_pair(p, ra, rb, &mut |p2| alpha_eq_inner(pa, pb, p2))
+                })
+                && match (fa, fbx) {
+                    (None, None) => true,
+                    (Some(ga), Some(gb)) => {
+                        with_pair(pairs, ra, rb, &mut |p| alpha_eq_inner(ga, gb, p))
+                    }
+                    _ => false,
+                }
+        }
+        // Non-binding nodes: same discriminant, same non-expr payload,
+        // α-equivalent children in order.
+        _ => {
+            if std::mem::discriminant(a) != std::mem::discriminant(b) {
+                return false;
+            }
+            if !same_shape(a, b) {
+                return false;
+            }
+            let (mut ca, mut cb) = (Vec::new(), Vec::new());
+            a.for_each_child(&mut |c| ca.push(c));
+            b.for_each_child(&mut |c| cb.push(c));
+            ca.len() == cb.len()
+                && ca
+                    .iter()
+                    .zip(&cb)
+                    .all(|(x, y)| alpha_eq_inner(x, y, pairs))
+        }
+    }
+}
+
+/// Non-expression payload equality for non-binding variants.
+fn same_shape(a: &Expr, b: &Expr) -> bool {
+    use Expr::*;
+    match (a, b) {
+        (TupleCons(fa), TupleCons(fbb)) => {
+            fa.len() == fbb.len()
+                && fa.iter().zip(fbb).all(|((na, _), (nb, _))| na == nb)
+        }
+        (Field(_, na), Field(_, nb)) => na == nb,
+        (TupleProject(_, na), TupleProject(_, nb)) => na == nb,
+        (Except(_, ua), Except(_, ub)) => {
+            ua.len() == ub.len()
+                && ua.iter().zip(ub).all(|((na, _), (nb, _))| na == nb)
+        }
+        (Deref(_, ca), Deref(_, cb)) => ca == cb,
+        (Cmp(oa, ..), Cmp(ob, ..)) => oa == ob,
+        (Arith(oa, ..), Arith(ob, ..)) => oa == ob,
+        (SetOp(oa, ..), SetOp(ob, ..)) => oa == ob,
+        (SetCmp(oa, ..), SetCmp(ob, ..)) => oa == ob,
+        (Agg(oa, _), Agg(ob, _)) => oa == ob,
+        (Project { attrs: aa, .. }, Project { attrs: ab, .. }) => aa == ab,
+        (Rename { pairs: pa, .. }, Rename { pairs: pb, .. }) => pa == pb,
+        (Unnest { attr: aa, .. }, Unnest { attr: ab, .. }) => aa == ab,
+        (
+            Nest { attrs: aa, as_attr: na, .. },
+            Nest { attrs: ab, as_attr: nb, .. },
+        ) => aa == ab && na == nb,
+        _ => true,
+    }
+}
+
+/// Negation of a quantifier expression by pushing `¬` through (¬∃ ≡ ∀¬,
+/// ¬∀ ≡ ∃¬) — §5.2.1: "the universal quantifier is transformed into a
+/// negated existential quantifier by pushing through negation".
+pub fn negate(e: &Expr) -> Expr {
+    match e {
+        Expr::Not(inner) => (**inner).clone(),
+        Expr::Lit(Value::Bool(b)) => Expr::Lit(Value::Bool(!b)),
+        Expr::And(a, b) => Expr::Or(Box::new(negate(a)), Box::new(negate(b))),
+        Expr::Or(a, b) => Expr::And(Box::new(negate(a)), Box::new(negate(b))),
+        Expr::Quant { q, var, range, pred } => Expr::Quant {
+            q: q.dual(),
+            var: var.clone(),
+            range: range.clone(),
+            pred: Box::new(negate(pred)),
+        },
+        Expr::Cmp(op, a, b) => Expr::Cmp(op.negate(), a.clone(), b.clone()),
+        other => Expr::Not(Box::new(other.clone())),
+    }
+}
+
+use oodb_value::Value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn free_vars_respects_binders() {
+        // σ[x : x.a = y.b](X) — x bound, y free
+        let e = select("x", eq(var("x").field("a"), var("y").field("b")), table("X"));
+        let fv = free_vars(&e);
+        assert!(fv.iter().any(|n| n.as_ref() == "y"));
+        assert!(!fv.iter().any(|n| n.as_ref() == "x"));
+        assert!(is_free_in("y", &e));
+        assert!(!is_free_in("x", &e));
+    }
+
+    #[test]
+    fn free_vars_in_quantifier_range_but_not_pred() {
+        // ∃x ∈ x.c • x.a = 1 : the *range* x is free, the pred x is bound
+        let e = exists("x", var("x").field("c"), eq(var("x").field("a"), Expr::int(1)));
+        assert!(is_free_in("x", &e));
+    }
+
+    #[test]
+    fn subst_replaces_free_occurrences_only() {
+        let e = and(
+            eq(var("x"), Expr::int(1)),
+            exists("x", table("Y"), eq(var("x"), Expr::int(2))),
+        );
+        let out = subst(&e, "x", &Expr::int(9));
+        let expected = and(
+            eq(Expr::int(9), Expr::int(1)),
+            exists("x", table("Y"), eq(var("x"), Expr::int(2))),
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // (∃y ∈ Y • y = x)[y / x] must not capture: the binder is renamed.
+        let e = exists("y", table("Y"), eq(var("y"), var("x")));
+        let out = subst(&e, "x", &var("y"));
+        // the result must be α-equivalent to ∃y' ∈ Y • y' = y
+        let expected = exists("y_1", table("Y"), eq(var("y_1"), var("y")));
+        assert!(alpha_eq(&out, &expected), "got {out:?}");
+        // and NOT equal to the captured version
+        let captured = exists("y", table("Y"), eq(var("y"), var("y")));
+        assert!(!alpha_eq(&out, &captured));
+    }
+
+    #[test]
+    fn subst_into_join_predicate() {
+        let e = semijoin("a", "b", eq(var("a").field("k"), var("z")), table("X"), table("Y"));
+        let out = subst(&e, "z", &Expr::int(5));
+        let expected =
+            semijoin("a", "b", eq(var("a").field("k"), Expr::int(5)), table("X"), table("Y"));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn fresh_name_is_deterministic() {
+        let mut avoid = FxHashSet::default();
+        assert_eq!(fresh_name("y", &avoid).as_ref(), "y");
+        avoid.insert(Name::from("y"));
+        assert_eq!(fresh_name("y", &avoid).as_ref(), "y_1");
+        avoid.insert(Name::from("y_1"));
+        assert_eq!(fresh_name("y", &avoid).as_ref(), "y_2");
+    }
+
+    #[test]
+    fn alpha_eq_ignores_binder_names() {
+        let a = select("x", eq(var("x").field("a"), Expr::int(1)), table("X"));
+        let b = select("u", eq(var("u").field("a"), Expr::int(1)), table("X"));
+        assert!(alpha_eq(&a, &b));
+        let c = select("u", eq(var("u").field("b"), Expr::int(1)), table("X"));
+        assert!(!alpha_eq(&a, &c));
+    }
+
+    #[test]
+    fn alpha_eq_distinguishes_free_vars() {
+        assert!(alpha_eq(&var("x"), &var("x")));
+        assert!(!alpha_eq(&var("x"), &var("y")));
+    }
+
+    #[test]
+    fn negate_pushes_through_quantifiers() {
+        // ¬∀z ∈ c • p  ≡  ∃z ∈ c • ¬p
+        let e = forall("z", var("c"), eq(var("z"), Expr::int(1)));
+        let n = negate(&e);
+        let expected = exists("z", var("c"), ne(var("z"), Expr::int(1)));
+        assert_eq!(n, expected);
+        // double negation cancels
+        assert_eq!(negate(&Expr::Not(Box::new(var("p")))), var("p"));
+        assert_eq!(negate(&Expr::true_()), Expr::false_());
+    }
+
+    #[test]
+    fn negate_demorgan() {
+        let e = and(var("p"), var("q"));
+        let n = negate(&e);
+        assert_eq!(n, or(Expr::Not(Box::new(var("p"))), Expr::Not(Box::new(var("q")))));
+    }
+}

@@ -1,0 +1,290 @@
+//! Shared benchmark workloads and runners.
+//!
+//! Everything the criterion benches and the `report` binary execute lives
+//! here: the paper's queries as ADL builders, a scaled generator for the
+//! Figure 1/2 tables, and naive/optimized runners with work counters.
+
+use oodb_adl::dsl::*;
+use oodb_adl::expr::Expr;
+use oodb_catalog::{Catalog, ClassDef, Database};
+use oodb_core::strategy::{Optimized, Optimizer};
+use oodb_engine::{Evaluator, Planner, PlannerConfig, Stats};
+use oodb_value::{name, Oid, SetCmpOp, Tuple, TupleType, Type, Value};
+
+/// Runs the naive nested-loop evaluation.
+pub fn run_naive(db: &Database, e: &Expr) -> (Value, Stats) {
+    let ev = Evaluator::new(db);
+    let mut stats = Stats::new();
+    let v = ev.eval_closed_with(e, &mut stats).expect("naive evaluation");
+    (v, stats)
+}
+
+/// Optimizes with the §4 strategy, then executes through the physical
+/// planner.
+pub fn run_optimized(db: &Database, e: &Expr) -> (Value, Stats, Optimized) {
+    run_optimized_with(db, e, PlannerConfig::default())
+}
+
+/// Like [`run_optimized`] with an explicit planner configuration.
+pub fn run_optimized_with(
+    db: &Database,
+    e: &Expr,
+    config: PlannerConfig,
+) -> (Value, Stats, Optimized) {
+    let optimized = Optimizer::default().optimize(e, db.catalog()).expect("optimize");
+    let planner = Planner::with_config(db, config);
+    let plan = planner.plan(&optimized.expr).expect("plan");
+    let mut stats = Stats::new();
+    let v = plan.execute(&mut stats).expect("execute");
+    (v, stats, optimized)
+}
+
+/// Executes an already-rewritten expression through the planner.
+pub fn run_planned(db: &Database, e: &Expr, config: PlannerConfig) -> (Value, Stats) {
+    let planner = Planner::with_config(db, config);
+    let plan = planner.plan(e).expect("plan");
+    let mut stats = Stats::new();
+    let v = plan.execute(&mut stats).expect("execute");
+    (v, stats)
+}
+
+/// Example Query 5's nested translation (suppliers supplying red parts).
+pub fn query5_nested() -> Expr {
+    map(
+        "s0",
+        var("s0").field("sname"),
+        select(
+            "s",
+            exists(
+                "x",
+                var("s").field("parts"),
+                exists(
+                    "p",
+                    table("PART"),
+                    and(
+                        eq(var("x"), var("p").field("pid")),
+                        eq(var("p").field("color"), str_lit("red")),
+                    ),
+                ),
+            ),
+            table("SUPPLIER"),
+        ),
+    )
+}
+
+/// Example Query 4's nested translation (referential integrity).
+pub fn query4_nested() -> Expr {
+    map(
+        "s",
+        var("s").field("eid"),
+        select(
+            "s",
+            exists(
+                "z",
+                var("s").field("parts"),
+                not(exists("p", table("PART"), eq(var("z"), var("p").field("pid")))),
+            ),
+            table("SUPPLIER"),
+        ),
+    )
+}
+
+/// Example Query 6's nested translation (supplier portfolios).
+pub fn query6_nested() -> Expr {
+    map(
+        "s",
+        tuple(vec![
+            ("sname", var("s").field("sname")),
+            (
+                "partssuppl",
+                select(
+                    "p",
+                    member(var("p").field("pid"), var("s").field("parts")),
+                    table("PART"),
+                ),
+            ),
+        ]),
+        table("SUPPLIER"),
+    )
+}
+
+/// Example Query 3.1's nested translation (uncorrelated ⊇ between blocks).
+pub fn query31_nested(anchor: &str) -> Expr {
+    map(
+        "s0",
+        var("s0").field("sname"),
+        select(
+            "s",
+            set_cmp(
+                SetCmpOp::SupersetEq,
+                var("s").field("parts"),
+                flatten(map(
+                    "t",
+                    var("t").field("parts"),
+                    select(
+                        "t",
+                        eq(var("t").field("sname"), str_lit(anchor)),
+                        table("SUPPLIER"),
+                    ),
+                )),
+            ),
+            table("SUPPLIER"),
+        ),
+    )
+}
+
+/// The Figure 1/2 nested query, over the fixture or a scaled database
+/// built by [`figure_db`].
+pub fn figure_query() -> Expr {
+    select(
+        "x",
+        set_cmp(
+            SetCmpOp::SubsetEq,
+            var("x").field("c"),
+            map(
+                "y",
+                var("y").field("e"),
+                select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+            ),
+        ),
+        table("X"),
+    )
+}
+
+/// The §6.2 materialization query:
+/// `α[s : s except (parts = σ[p : p.pid ∈ s.parts](PART))](SUPPLIER)`.
+pub fn materialize_query() -> Expr {
+    map(
+        "s",
+        except(
+            var("s"),
+            vec![(
+                "parts",
+                select(
+                    "p",
+                    member(var("p").field("pid"), var("s").field("parts")),
+                    table("PART"),
+                ),
+            )],
+        ),
+        table("SUPPLIER"),
+    )
+}
+
+/// A scaled version of the Figure 1/2 tables: `nx` X-rows with `c` sets of
+/// size ≤ `fanout`, `ny` Y-rows, join values in `0..groups`. A fraction of
+/// X rows keeps `c = ∅` and a fraction gets an `a` matching no Y row —
+/// the dangling tuples the Complex Object bug loses.
+pub fn figure_db(nx: usize, ny: usize, groups: i64, fanout: usize) -> Database {
+    let mut cat = Catalog::new();
+    cat.add_class(
+        ClassDef::new(
+            name("XRow"),
+            name("X"),
+            name("xid"),
+            TupleType::from_pairs([
+                ("xid", Type::Oid(Some(name("XRow")))),
+                ("a", Type::Int),
+                ("c", Type::set(Type::Int)),
+            ]),
+        )
+        .expect("valid class"),
+    )
+    .expect("fresh catalog");
+    cat.add_class(
+        ClassDef::new(
+            name("YRow"),
+            name("Y"),
+            name("yid"),
+            TupleType::from_pairs([
+                ("yid", Type::Oid(Some(name("YRow")))),
+                ("d", Type::Int),
+                ("e", Type::Int),
+            ]),
+        )
+        .expect("valid class"),
+    )
+    .expect("fresh catalog");
+    let mut db = Database::new(cat).expect("catalog closed");
+
+    // deterministic pseudo-random content (LCG) — reproducible without an
+    // RNG dependency in this crate
+    let mut state = 0x5DEECE66Du64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    };
+    for i in 0..nx {
+        let dangling = i % 10 == 3; // this row's `a` joins nothing
+        let a = if dangling {
+            groups + (next() % 1000).abs()
+        } else {
+            next().rem_euclid(groups)
+        };
+        let csize = if i % 7 == 0 { 0 } else { 1 + (next() as usize % fanout.max(1)) };
+        let c: Vec<Value> = (0..csize).map(|_| Value::Int(next().rem_euclid(8))).collect();
+        db.insert(
+            "X",
+            Tuple::from_pairs([
+                ("xid", Value::Oid(Oid(1_000_000 + i as u64))),
+                ("a", Value::Int(a)),
+                ("c", Value::set(c)),
+            ]),
+        )
+        .expect("x row");
+    }
+    for j in 0..ny {
+        db.insert(
+            "Y",
+            Tuple::from_pairs([
+                ("yid", Value::Oid(Oid(2_000_000 + j as u64))),
+                ("d", Value::Int(next().rem_euclid(groups))),
+                ("e", Value::Int(next().rem_euclid(8))),
+            ]),
+        )
+        .expect("y row");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_datagen::{generate, GenConfig};
+
+    #[test]
+    fn all_workloads_agree_naive_vs_optimized() {
+        let db = generate(&GenConfig::scaled(120));
+        for q in [
+            query5_nested(),
+            query4_nested(),
+            query6_nested(),
+            query31_nested("supplier-0"),
+            materialize_query(),
+        ] {
+            let (naive, _) = run_naive(&db, &q);
+            let (opt, _, rewritten) = run_optimized(&db, &q);
+            assert_eq!(naive, opt, "diverged: {}", rewritten.trace);
+        }
+    }
+
+    #[test]
+    fn figure_db_scales_and_agrees() {
+        let db = figure_db(60, 80, 10, 4);
+        assert_eq!(db.table("X").unwrap().len(), 60);
+        assert_eq!(db.table("Y").unwrap().len(), 80);
+        let (naive, _) = run_naive(&db, &figure_query());
+        let (opt, _, _) = run_optimized(&db, &figure_query());
+        assert_eq!(naive, opt);
+        // the empty-c and dangling-a rows exist (bug bait)
+        let empties = db
+            .table("X")
+            .unwrap()
+            .rows()
+            .filter(|r| r.get("c").unwrap().as_set().unwrap().is_empty())
+            .count();
+        assert!(empties > 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Structural class definitions.
+
+use crate::CatalogError;
+use oodb_value::{Name, TupleType, Type};
+use std::fmt;
+
+/// A class with an extension (base table), as in the paper's §2 schema:
+///
+/// ```text
+/// Class Supplier with extension SUPPLIER
+/// attributes
+///   sname : string,
+///   parts_supplied : { Part }
+/// end Supplier
+/// ```
+///
+/// Following the §3 mapping, the attribute list here already contains the
+/// added identity field of type `oid⟨Self⟩` (named by `identity`), and
+/// class-typed attributes have been lowered to `oid⟨Class⟩` pointers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name, e.g. `Supplier`.
+    pub name: Name,
+    /// Extension (base table) name, e.g. `SUPPLIER`.
+    pub extent: Name,
+    /// Identity attribute, e.g. `eid`; has type `oid⟨name⟩` in `attrs`.
+    pub identity: Name,
+    /// All attributes, including the identity field.
+    pub attrs: TupleType,
+}
+
+impl ClassDef {
+    /// Builds a class definition, validating the identity field.
+    pub fn new(
+        name: Name,
+        extent: Name,
+        identity: Name,
+        attrs: TupleType,
+    ) -> Result<Self, CatalogError> {
+        match attrs.field(&identity) {
+            Some(Type::Oid(Some(class))) if *class == name => {}
+            _ => {
+                return Err(CatalogError::BadIdentityField {
+                    class: name,
+                    field: identity,
+                })
+            }
+        }
+        Ok(ClassDef { name, extent, identity, attrs })
+    }
+
+    /// The type of one object of this class: a tuple of `attrs`.
+    pub fn object_type(&self) -> Type {
+        Type::Tuple(self.attrs.clone())
+    }
+
+    /// The type of the class extension: a set of objects — what the paper's
+    /// §4 example writes as
+    /// `SUPPLIER : {⟨eid : oid, sname : string, parts : {…}⟩}`.
+    pub fn extent_type(&self) -> Type {
+        Type::set(self.object_type())
+    }
+
+    /// The class names referenced by this class's attributes (directly or
+    /// inside set/tuple constructors).
+    pub fn referenced_classes(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        for (_, t) in self.attrs.iter() {
+            collect_refs(t, &mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn collect_refs(t: &Type, out: &mut Vec<Name>) {
+    match t {
+        Type::Oid(Some(c)) => out.push(c.clone()),
+        Type::Set(e) => collect_refs(e, out),
+        Type::Tuple(tt) => {
+            for (_, ft) in tt.iter() {
+                collect_refs(ft, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+impl fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Class {} with extension {}", self.name, self.extent)?;
+        writeln!(f, "attributes")?;
+        let mut first = true;
+        for (n, t) in self.attrs.iter() {
+            if !first {
+                writeln!(f, ",")?;
+            }
+            write!(f, "  {n} : {t}")?;
+            first = false;
+        }
+        writeln!(f)?;
+        write!(f, "end {}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_value::name;
+
+    fn supplier() -> ClassDef {
+        ClassDef::new(
+            name("Supplier"),
+            name("SUPPLIER"),
+            name("eid"),
+            TupleType::from_pairs([
+                ("eid", Type::Oid(Some(name("Supplier")))),
+                ("sname", Type::Str),
+                ("parts", Type::set(Type::Oid(Some(name("Part"))))),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_field_must_be_self_oid() {
+        let bad = ClassDef::new(
+            name("Supplier"),
+            name("SUPPLIER"),
+            name("eid"),
+            TupleType::from_pairs([("eid", Type::Int)]),
+        );
+        assert!(matches!(bad, Err(CatalogError::BadIdentityField { .. })));
+        let missing = ClassDef::new(
+            name("Supplier"),
+            name("SUPPLIER"),
+            name("eid"),
+            TupleType::from_pairs([("sname", Type::Str)]),
+        );
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn extent_type_is_set_of_objects() {
+        let s = supplier();
+        assert!(s.extent_type().is_set());
+        assert_eq!(s.extent_type().elem(), Some(&s.object_type()));
+        let sch = s.extent_type().sch().unwrap();
+        assert!(sch.iter().any(|n| n.as_ref() == "sname"));
+    }
+
+    #[test]
+    fn referenced_classes_found_through_sets() {
+        let s = supplier();
+        let refs = s.referenced_classes();
+        assert!(refs.contains(&name("Part")));
+        assert!(refs.contains(&name("Supplier"))); // its own identity oid
+    }
+
+    #[test]
+    fn display_matches_paper_shape() {
+        let text = supplier().to_string();
+        assert!(text.starts_with("Class Supplier with extension SUPPLIER"));
+        assert!(text.contains("sname : string"));
+        assert!(text.ends_with("end Supplier"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Catalog and store errors.
+
+use oodb_value::{Name, Oid};
+use std::fmt;
+
+/// Errors raised when building or mutating the catalog / database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// Two classes share a name.
+    DuplicateClass(Name),
+    /// Two classes share an extent name.
+    DuplicateExtent(Name),
+    /// A class referenced another class that is not defined.
+    UnknownClass(Name),
+    /// An extent name that the catalog does not know.
+    UnknownExtent(Name),
+    /// The declared identity attribute is missing from the class's
+    /// attribute list or has the wrong type.
+    BadIdentityField { class: Name, field: Name },
+    /// Inserted tuple does not match the class's attribute types.
+    SchemaViolation { extent: Name, detail: String },
+    /// Two objects in one extent carry the same oid.
+    DuplicateOid { extent: Name, oid: Oid },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateClass(n) => write!(f, "duplicate class `{n}`"),
+            CatalogError::DuplicateExtent(n) => write!(f, "duplicate extent `{n}`"),
+            CatalogError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            CatalogError::UnknownExtent(n) => write!(f, "unknown extent `{n}`"),
+            CatalogError::BadIdentityField { class, field } => {
+                write!(f, "class `{class}` identity field `{field}` missing or not an oid")
+            }
+            CatalogError::SchemaViolation { extent, detail } => {
+                write!(f, "schema violation inserting into `{extent}`: {detail}")
+            }
+            CatalogError::DuplicateOid { extent, oid } => {
+                write!(f, "duplicate oid {oid} in extent `{extent}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_value::name;
+
+    #[test]
+    fn display_mentions_offender() {
+        assert!(CatalogError::UnknownExtent(name("NOPE")).to_string().contains("NOPE"));
+        let e = CatalogError::DuplicateOid { extent: name("PART"), oid: Oid(3) };
+        assert!(e.to_string().contains("@3"));
+    }
+}

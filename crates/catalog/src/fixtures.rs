@@ -1,0 +1,390 @@
+//! The paper's example databases, as executable fixtures.
+//!
+//! * [`supplier_part_catalog`] / [`supplier_part_db`] — the §2 schema
+//!   (`Supplier`, `Part`, `Delivery`) with a small hand-authored instance
+//!   that exercises every example query of the paper, including a supplier
+//!   violating referential integrity (Example Query 4) and a supplier with
+//!   an empty `parts` set (the dangling-tuple cases of §5.2.2);
+//! * [`figure12_db`] — the `X`/`Y` tables of Figures 1 and 2 (the Complex
+//!   Object bug example);
+//! * [`figure3_db`] — the `X`/`Y` tables of Figure 3 (the nestjoin
+//!   example).
+//!
+//! Figure tables in the paper are plain relations without object identity;
+//! our store keys every row by an oid, so the fixtures add surrogate
+//! identity attributes (`xid`, `yid`). Tests project them away before
+//! comparing against the paper's printed results.
+
+use crate::{Catalog, ClassDef, Database};
+use oodb_value::{name, Oid, Tuple, TupleType, Type, Value};
+
+/// The §2 schema: Supplier / Part / Delivery, lowered per §3 (identity
+/// oid fields added, class references as oid pointers).
+///
+/// ADL types, as printed in §4:
+/// ```text
+/// SUPPLIER : {⟨eid : oid, sname : string, parts : {oid⟨Part⟩}⟩}
+/// PART     : {⟨pid : oid, pname : string, price : int, color : string⟩}
+/// DELIVERY : {⟨did : oid, supplier : oid⟨Supplier⟩,
+///              supply : {⟨part : oid⟨Part⟩, quantity : int⟩}, date : date⟩}
+/// ```
+/// (The paper's `parts : {⟨pid : oid⟩}` wraps each pointer in a unary
+/// tuple; we store the oids directly — the two representations are
+/// isomorphic and all rewrite rules are representation-agnostic.)
+pub fn supplier_part_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_class(
+        ClassDef::new(
+            name("Supplier"),
+            name("SUPPLIER"),
+            name("eid"),
+            TupleType::from_pairs([
+                ("eid", Type::Oid(Some(name("Supplier")))),
+                ("sname", Type::Str),
+                ("parts", Type::set(Type::Oid(Some(name("Part"))))),
+            ]),
+        )
+        .expect("valid Supplier class"),
+    )
+    .expect("fresh catalog");
+    c.add_class(
+        ClassDef::new(
+            name("Part"),
+            name("PART"),
+            name("pid"),
+            TupleType::from_pairs([
+                ("pid", Type::Oid(Some(name("Part")))),
+                ("pname", Type::Str),
+                ("price", Type::Int),
+                ("color", Type::Str),
+            ]),
+        )
+        .expect("valid Part class"),
+    )
+    .expect("fresh catalog");
+    c.add_class(
+        ClassDef::new(
+            name("Delivery"),
+            name("DELIVERY"),
+            name("did"),
+            TupleType::from_pairs([
+                ("did", Type::Oid(Some(name("Delivery")))),
+                ("supplier", Type::Oid(Some(name("Supplier")))),
+                (
+                    "supply",
+                    Type::set(Type::tuple([
+                        ("part", Type::Oid(Some(name("Part")))),
+                        ("quantity", Type::Int),
+                    ])),
+                ),
+                ("date", Type::Date),
+            ]),
+        )
+        .expect("valid Delivery class"),
+    )
+    .expect("fresh catalog");
+    c
+}
+
+/// Part oids used by [`supplier_part_db`]; `DANGLING_PART` names no object.
+pub const PART_OIDS: [u64; 7] = [11, 12, 13, 14, 15, 16, 17];
+/// A pointer that violates referential integrity (Example Query 4).
+pub const DANGLING_PART: u64 = 999;
+
+/// A small, fully hand-authored supplier–part instance.
+///
+/// * `s1` supplies `{p1, p2, p3}`; `s2` supplies `{p2, p3}` (⊂ of s1's);
+///   `s3` supplies `{p1, p2, p3, p4}` (⊇ of s1's — the answer to Example
+///   Query 3.1 together with `s1` itself); `s4` supplies nothing (empty
+///   set-valued attribute); `s5` supplies `{p7, @999}` — `@999` dangles,
+///   making `s5` the answer to Example Query 4.
+/// * Parts `p1`, `p3`, `p5` are red.
+/// * `d1`/`d3` (both dated 940101, the date of Example Query 2) are by
+///   `s1`; `d3` includes red parts, `d2` (by `s2`) does not.
+pub fn supplier_part_db() -> Database {
+    let mut db = Database::new(supplier_part_catalog()).expect("catalog is closed");
+
+    let parts: [(u64, &str, i64, &str); 7] = [
+        (11, "bolt", 10, "red"),
+        (12, "nut", 5, "blue"),
+        (13, "screw", 7, "red"),
+        (14, "washer", 2, "green"),
+        (15, "gear", 50, "red"),
+        (16, "axle", 30, "blue"),
+        (17, "pin", 1, "black"),
+    ];
+    for (pid, pname, price, color) in parts {
+        db.insert(
+            "PART",
+            Tuple::from_pairs([
+                ("pid", Value::Oid(Oid(pid))),
+                ("pname", Value::str(pname)),
+                ("price", Value::Int(price)),
+                ("color", Value::str(color)),
+            ]),
+        )
+        .expect("part row conforms");
+    }
+
+    let suppliers: [(u64, &str, &[u64]); 5] = [
+        (1, "s1", &[11, 12, 13]),
+        (2, "s2", &[12, 13]),
+        (3, "s3", &[11, 12, 13, 14]),
+        (4, "s4", &[]),
+        (5, "s5", &[17, DANGLING_PART]),
+    ];
+    for (eid, sname, part_oids) in suppliers {
+        db.insert(
+            "SUPPLIER",
+            Tuple::from_pairs([
+                ("eid", Value::Oid(Oid(eid))),
+                ("sname", Value::str(sname)),
+                ("parts", Value::set(part_oids.iter().map(|&p| Value::Oid(Oid(p))))),
+            ]),
+        )
+        .expect("supplier row conforms");
+    }
+
+    #[allow(clippy::type_complexity)]
+    let deliveries: [(u64, u64, &[(u64, i64)], i64); 3] = [
+        (21, 1, &[(11, 100), (12, 50)], 940101),
+        (22, 2, &[(14, 10)], 940102),
+        (23, 1, &[(13, 5), (15, 2)], 940101),
+    ];
+    for (did, supplier, supply, date) in deliveries {
+        db.insert(
+            "DELIVERY",
+            Tuple::from_pairs([
+                ("did", Value::Oid(Oid(did))),
+                ("supplier", Value::Oid(Oid(supplier))),
+                (
+                    "supply",
+                    Value::set(supply.iter().map(|&(p, q)| {
+                        Value::tuple([
+                            ("part", Value::Oid(Oid(p))),
+                            ("quantity", Value::Int(q)),
+                        ])
+                    })),
+                ),
+                ("date", Value::Date(date)),
+            ]),
+        )
+        .expect("delivery row conforms");
+    }
+    db
+}
+
+/// The `X`/`Y` tables of Figures 1 and 2.
+///
+/// Reconstructed from the running text of §5.2.2: the nested query is
+/// `σ[x : x.c ⊆ α[y : y.e](σ[y : x.a = y.d](Y))](X)`; the tuple
+/// `⟨a = 2, c = ∅⟩ ∈ X` is matched by no `y ∈ Y`, so its subquery result
+/// is empty, `∅ ⊆ ∅` holds, and the tuple **must** appear in the result —
+/// but the join of the GaWo87 transformation loses it (the Complex Object
+/// bug). Column names follow the figure (`X(a, c)`, `Y(d, e)`, join
+/// columns `a`/`d`), which keeps the join schemas disjoint.
+///
+/// ```text
+/// X: a  c            Y: d  e
+///    1  {1,2}           1  1
+///    2  {}              1  2
+///    3  {2,3}           1  3
+///                       3  3
+/// ```
+pub fn figure12_db() -> Database {
+    let mut cat = Catalog::new();
+    cat.add_class(
+        ClassDef::new(
+            name("XRow"),
+            name("X"),
+            name("xid"),
+            TupleType::from_pairs([
+                ("xid", Type::Oid(Some(name("XRow")))),
+                ("a", Type::Int),
+                ("c", Type::set(Type::Int)),
+            ]),
+        )
+        .expect("valid XRow class"),
+    )
+    .expect("fresh catalog");
+    cat.add_class(
+        ClassDef::new(
+            name("YRow"),
+            name("Y"),
+            name("yid"),
+            TupleType::from_pairs([
+                ("yid", Type::Oid(Some(name("YRow")))),
+                ("d", Type::Int),
+                ("e", Type::Int),
+            ]),
+        )
+        .expect("valid YRow class"),
+    )
+    .expect("fresh catalog");
+    let mut db = Database::new(cat).expect("catalog is closed");
+
+    let xs: [(u64, i64, &[i64]); 3] = [(1, 1, &[1, 2]), (2, 2, &[]), (3, 3, &[2, 3])];
+    for (xid, a, c) in xs {
+        db.insert(
+            "X",
+            Tuple::from_pairs([
+                ("xid", Value::Oid(Oid(xid))),
+                ("a", Value::Int(a)),
+                ("c", Value::set(c.iter().map(|&i| Value::Int(i)))),
+            ]),
+        )
+        .expect("X row conforms");
+    }
+    let ys: [(u64, i64, i64); 4] = [(11, 1, 1), (12, 1, 2), (13, 1, 3), (14, 3, 3)];
+    for (yid, d, e) in ys {
+        db.insert(
+            "Y",
+            Tuple::from_pairs([
+                ("yid", Value::Oid(Oid(yid))),
+                ("d", Value::Int(d)),
+                ("e", Value::Int(e)),
+            ]),
+        )
+        .expect("Y row conforms");
+    }
+    db
+}
+
+/// The `X`/`Y` tables of Figure 3 (nestjoin example): `X` and `Y` are
+/// equijoined on the second attribute (`x.b = y.d`); each left tuple is
+/// concatenated with the **set** of matching right tuples, and a left
+/// tuple with no matches keeps an empty set instead of being lost.
+///
+/// ```text
+/// X: a  b            Y: c  d
+///    1  1               1  1
+///    2  1               2  1
+///    3  3               3  2
+/// ```
+pub fn figure3_db() -> Database {
+    let mut cat = Catalog::new();
+    cat.add_class(
+        ClassDef::new(
+            name("XRow"),
+            name("X"),
+            name("xid"),
+            TupleType::from_pairs([
+                ("xid", Type::Oid(Some(name("XRow")))),
+                ("a", Type::Int),
+                ("b", Type::Int),
+            ]),
+        )
+        .expect("valid XRow class"),
+    )
+    .expect("fresh catalog");
+    cat.add_class(
+        ClassDef::new(
+            name("YRow"),
+            name("Y"),
+            name("yid"),
+            TupleType::from_pairs([
+                ("yid", Type::Oid(Some(name("YRow")))),
+                ("c", Type::Int),
+                ("d", Type::Int),
+            ]),
+        )
+        .expect("valid YRow class"),
+    )
+    .expect("fresh catalog");
+    let mut db = Database::new(cat).expect("catalog is closed");
+
+    for (xid, a, b) in [(1, 1, 1), (2, 2, 1), (3, 3, 3)] {
+        db.insert(
+            "X",
+            Tuple::from_pairs([
+                ("xid", Value::Oid(Oid(xid))),
+                ("a", Value::Int(a)),
+                ("b", Value::Int(b)),
+            ]),
+        )
+        .expect("X row conforms");
+    }
+    for (yid, c, d) in [(11, 1, 1), (12, 2, 1), (13, 3, 2)] {
+        db.insert(
+            "Y",
+            Tuple::from_pairs([
+                ("yid", Value::Oid(Oid(yid))),
+                ("c", Value::Int(c)),
+                ("d", Value::Int(d)),
+            ]),
+        )
+        .expect("Y row conforms");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supplier_part_db_is_well_formed() {
+        let db = supplier_part_db();
+        assert_eq!(db.table("SUPPLIER").unwrap().len(), 5);
+        assert_eq!(db.table("PART").unwrap().len(), 7);
+        assert_eq!(db.table("DELIVERY").unwrap().len(), 3);
+        assert_eq!(db.object_count(), 15);
+    }
+
+    #[test]
+    fn s5_has_a_dangling_part_pointer() {
+        let db = supplier_part_db();
+        assert!(db.deref("Part", Oid(DANGLING_PART)).is_none());
+        let s5 = db.deref("Supplier", Oid(5)).unwrap();
+        let parts = s5.get("parts").unwrap().as_set().unwrap();
+        assert!(parts.contains(&Value::Oid(Oid(DANGLING_PART))));
+    }
+
+    #[test]
+    fn s4_has_empty_parts() {
+        let db = supplier_part_db();
+        let s4 = db.deref("Supplier", Oid(4)).unwrap();
+        assert!(s4.get("parts").unwrap().as_set().unwrap().is_empty());
+    }
+
+    #[test]
+    fn deliveries_by_s1_on_940101() {
+        let db = supplier_part_db();
+        let matching = db
+            .table("DELIVERY")
+            .unwrap()
+            .rows()
+            .filter(|d| {
+                d.get("date") == Some(&Value::Date(940101))
+                    && d.get("supplier") == Some(&Value::Oid(Oid(1)))
+            })
+            .count();
+        assert_eq!(matching, 2); // d1 and d3 — Example Query 2's answer
+    }
+
+    #[test]
+    fn figure12_tables_match_the_paper() {
+        let db = figure12_db();
+        assert_eq!(db.table("X").unwrap().len(), 3);
+        assert_eq!(db.table("Y").unwrap().len(), 4);
+        // the critical tuple: ⟨a = 2, c = ∅⟩
+        let empty_c = db
+            .table("X")
+            .unwrap()
+            .rows()
+            .find(|r| r.get("a") == Some(&Value::Int(2)))
+            .unwrap();
+        assert_eq!(empty_c.get("c"), Some(&Value::empty_set()));
+    }
+
+    #[test]
+    fn figure3_tables_match_the_paper() {
+        let db = figure3_db();
+        assert_eq!(db.table("X").unwrap().len(), 3);
+        assert_eq!(db.table("Y").unwrap().len(), 3);
+        // x₃ = ⟨a = 3, b = 3⟩ has no partner with d = 3
+        let b_vals: Vec<&Value> =
+            db.table("Y").unwrap().rows().map(|r| r.get("d").unwrap()).collect();
+        assert!(!b_vals.contains(&&Value::Int(3)));
+    }
+}

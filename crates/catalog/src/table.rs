@@ -1,0 +1,231 @@
+//! Extents (base tables) with oid indexes.
+
+use crate::CatalogError;
+use oodb_value::fxhash::FxHashMap;
+use oodb_value::{Name, Oid, Set, Tuple, Value};
+
+/// A populated class extension: a table of complex objects.
+///
+/// Rows are stored in insertion order (scans are cheap and deterministic);
+/// the `oid → row` index makes object identifiers behave like *physical*
+/// pointers, which is the property pointer-based joins (assembly, §6.2)
+/// rely on. Set-valued attributes are stored inline with their tuple —
+/// the paper's "assuming set-valued attributes are stored clustered" (§3),
+/// which is why unnesting them is undesirable.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Identity attribute name within each row tuple.
+    identity: Name,
+    rows: Vec<Tuple>,
+    oid_index: FxHashMap<Oid, usize>,
+    /// Secondary hash indexes: attribute → (value → row positions). These
+    /// back the *index nested-loop join* the paper lists among the join
+    /// implementations unnesting makes available (§6).
+    secondary: FxHashMap<Name, FxHashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// An empty table whose rows carry their oid in attribute `identity`.
+    pub fn new(identity: Name) -> Self {
+        Table {
+            identity,
+            rows: Vec::new(),
+            oid_index: FxHashMap::default(),
+            secondary: FxHashMap::default(),
+        }
+    }
+
+    /// Builds (or rebuilds) a secondary hash index on `attr`. Rows lacking
+    /// the attribute are rejected.
+    pub fn create_index(&mut self, attr: &Name) -> Result<(), CatalogError> {
+        let mut idx: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+        for (i, row) in self.rows.iter().enumerate() {
+            let v = row.get(attr).ok_or_else(|| CatalogError::SchemaViolation {
+                extent: self.identity.clone(),
+                detail: format!("cannot index missing attribute `{attr}`"),
+            })?;
+            idx.entry(v.clone()).or_default().push(i);
+        }
+        self.secondary.insert(attr.clone(), idx);
+        Ok(())
+    }
+
+    /// True if a secondary index exists on `attr`.
+    pub fn has_index(&self, attr: &str) -> bool {
+        self.secondary.contains_key(attr)
+    }
+
+    /// Probes the secondary index on `attr` for `key`, yielding the
+    /// matching rows. `None` when no such index exists.
+    pub fn index_probe(&self, attr: &str, key: &Value) -> Option<Vec<&Tuple>> {
+        let idx = self.secondary.get(attr)?;
+        Some(
+            idx.get(key)
+                .map(|rows| rows.iter().map(|&i| &self.rows[i]).collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Name of the identity attribute.
+    pub fn identity(&self) -> &Name {
+        &self.identity
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts an object; maintains the oid index. The caller (the
+    /// [`crate::Database`]) has already schema-checked the tuple.
+    pub fn insert(&mut self, extent: &Name, row: Tuple) -> Result<(), CatalogError> {
+        let oid = row
+            .get(&self.identity)
+            .and_then(|v| v.as_oid().ok())
+            .ok_or_else(|| CatalogError::SchemaViolation {
+                extent: extent.clone(),
+                detail: format!("missing oid attribute `{}`", self.identity),
+            })?;
+        if self.oid_index.insert(oid, self.rows.len()).is_some() {
+            return Err(CatalogError::DuplicateOid { extent: extent.clone(), oid });
+        }
+        let pos = self.rows.len();
+        for (attr, idx) in self.secondary.iter_mut() {
+            let v = row.get(attr).ok_or_else(|| CatalogError::SchemaViolation {
+                extent: extent.clone(),
+                detail: format!("indexed attribute `{attr}` missing"),
+            })?;
+            idx.entry(v.clone()).or_default().push(pos);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Row lookup by oid — the pointer dereference behind the materialize
+    /// operator.
+    pub fn by_oid(&self, oid: Oid) -> Option<&Tuple> {
+        self.oid_index.get(&oid).map(|&i| &self.rows[i])
+    }
+
+    /// Scans rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Row access by position (used by generators).
+    pub fn row(&self, i: usize) -> Option<&Tuple> {
+        self.rows.get(i)
+    }
+
+    /// All oids in this extent, in insertion order.
+    pub fn oids(&self) -> impl Iterator<Item = Oid> + '_ {
+        let id = self.identity.clone();
+        self.rows.iter().filter_map(move |r| r.get(&id).and_then(|v| v.as_oid().ok()))
+    }
+
+    /// The extent as an ADL set value (what a `Table` leaf of an ADL
+    /// expression evaluates to).
+    pub fn as_set_value(&self) -> Value {
+        Value::Set(Set::from_values(
+            self.rows.iter().cloned().map(Value::Tuple).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_value::name;
+
+    fn row(oid: u64, pname: &str) -> Tuple {
+        Tuple::from_pairs([
+            ("pid", Value::Oid(Oid(oid))),
+            ("pname", Value::str(pname)),
+        ])
+    }
+
+    #[test]
+    fn insert_and_lookup_by_oid() {
+        let mut t = Table::new(name("pid"));
+        t.insert(&name("PART"), row(1, "bolt")).unwrap();
+        t.insert(&name("PART"), row(2, "nut")).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_oid(Oid(2)).unwrap().get("pname"), Some(&Value::str("nut")));
+        assert!(t.by_oid(Oid(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_oid_rejected() {
+        let mut t = Table::new(name("pid"));
+        t.insert(&name("PART"), row(1, "bolt")).unwrap();
+        let err = t.insert(&name("PART"), row(1, "nut")).unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateOid { .. }));
+    }
+
+    #[test]
+    fn missing_identity_rejected() {
+        let mut t = Table::new(name("pid"));
+        let bad = Tuple::from_pairs([("pname", Value::str("bolt"))]);
+        assert!(matches!(
+            t.insert(&name("PART"), bad),
+            Err(CatalogError::SchemaViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn as_set_value_is_a_set_of_tuples() {
+        let mut t = Table::new(name("pid"));
+        t.insert(&name("PART"), row(2, "nut")).unwrap();
+        t.insert(&name("PART"), row(1, "bolt")).unwrap();
+        let v = t.as_set_value();
+        let s = v.as_set().unwrap();
+        assert_eq!(s.len(), 2);
+        // oids enumerate in insertion order
+        let oids: Vec<Oid> = t.oids().collect();
+        assert_eq!(oids, vec![Oid(2), Oid(1)]);
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use oodb_value::name;
+
+    fn row(oid: u64, color: &str) -> Tuple {
+        Tuple::from_pairs([
+            ("pid", Value::Oid(Oid(oid))),
+            ("color", Value::str(color)),
+        ])
+    }
+
+    #[test]
+    fn create_and_probe_index() {
+        let mut t = Table::new(name("pid"));
+        t.insert(&name("PART"), row(1, "red")).unwrap();
+        t.insert(&name("PART"), row(2, "blue")).unwrap();
+        t.insert(&name("PART"), row(3, "red")).unwrap();
+        assert!(!t.has_index("color"));
+        t.create_index(&name("color")).unwrap();
+        assert!(t.has_index("color"));
+        let reds = t.index_probe("color", &Value::str("red")).unwrap();
+        assert_eq!(reds.len(), 2);
+        let none = t.index_probe("color", &Value::str("green")).unwrap();
+        assert!(none.is_empty());
+        assert!(t.index_probe("nope", &Value::str("red")).is_none());
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = Table::new(name("pid"));
+        t.create_index(&name("color")).unwrap();
+        t.insert(&name("PART"), row(1, "red")).unwrap();
+        t.insert(&name("PART"), row(2, "red")).unwrap();
+        let reds = t.index_probe("color", &Value::str("red")).unwrap();
+        assert_eq!(reds.len(), 2);
+    }
+}

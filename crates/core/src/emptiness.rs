@@ -1,0 +1,302 @@
+//! Static emptiness analysis — Table 3 of the paper.
+//!
+//! "The value of the expression `P(x, Y')`, with the empty set substituted
+//! for `Y'`, determines whether or not dangling tuples should be included
+//! into the result. Whenever `P(x, ∅)` can be statically reduced to
+//! true/false, all/none of the dangling tuples must be included; whenever
+//! this value is undetermined at compile time, it is run-time dependent.
+//! […] the unnesting technique is guaranteed to deliver correct results
+//! only if `P(x, ∅)` can be statically reduced to **false**." (§5.2.2)
+//!
+//! [`reduce_with_empty`] substitutes `∅` for the subquery occurrence and
+//! folds; the resulting [`Truth`] guards the \[GaWo87\] grouping rewrite.
+
+use crate::rules::replace_subexpr;
+use oodb_adl::expr::{AggOp, Expr, QuantKind};
+use oodb_value::{SetCmpOp, Value};
+
+/// Three-valued static truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Statically `true` — **all** dangling tuples belong in the result
+    /// (e.g. `x.c ⊇ ∅`).
+    True,
+    /// Statically `false` — dangling tuples never belong in the result
+    /// (e.g. `x.c ⊂ ∅`); the grouping transformation is **safe**.
+    False,
+    /// Run-time dependent (`?` in Table 3), e.g. `x.c ⊆ ∅` ≡ `x.c = ∅`.
+    Runtime,
+}
+
+impl Truth {
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Runtime => Truth::Runtime,
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Runtime,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Runtime,
+        }
+    }
+}
+
+/// Reduces `P(x, ∅)`: substitutes the empty set for every occurrence of
+/// `subquery` inside `pred`, then statically folds.
+pub fn reduce_with_empty(pred: &Expr, subquery: &Expr) -> Truth {
+    let substituted = replace_subexpr(pred, subquery, &Expr::empty_set());
+    truth_of(&substituted)
+}
+
+/// Is the (set-valued) expression statically known to be empty?
+fn is_statically_empty(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(Value::Set(s)) => s.is_empty(),
+        Expr::SetCons(es) => es.is_empty(),
+        // operators that preserve emptiness of their input
+        Expr::Select { input, .. }
+        | Expr::Map { input, .. }
+        | Expr::Project { input, .. }
+        | Expr::Rename { input, .. }
+        | Expr::Unnest { input, .. }
+        | Expr::Nest { input, .. } => is_statically_empty(input),
+        Expr::Flatten(inner) => is_statically_empty(inner),
+        Expr::SetOp(op, a, b) => match op {
+            oodb_adl::SetOp::Union => is_statically_empty(a) && is_statically_empty(b),
+            oodb_adl::SetOp::Intersect => {
+                is_statically_empty(a) || is_statically_empty(b)
+            }
+            oodb_adl::SetOp::Difference => is_statically_empty(a),
+        },
+        Expr::Product(a, b) => is_statically_empty(a) || is_statically_empty(b),
+        Expr::Join { left, right, kind, .. } => match kind {
+            oodb_adl::JoinKind::Inner => {
+                is_statically_empty(left) || is_statically_empty(right)
+            }
+            _ => is_statically_empty(left),
+        },
+        Expr::NestJoin { left, .. } => is_statically_empty(left),
+        _ => false,
+    }
+}
+
+/// Statically known scalar value, if any (enough for count comparisons).
+fn scalar_of(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Lit(v) => Some(v.clone()),
+        Expr::Agg(AggOp::Count, inner) if is_statically_empty(inner) => {
+            Some(Value::Int(0))
+        }
+        Expr::Agg(AggOp::Sum, inner) if is_statically_empty(inner) => {
+            Some(Value::Int(0))
+        }
+        _ => None,
+    }
+}
+
+/// Static truth of a boolean expression under the folding rules of
+/// Table 3 (this is deliberately conservative: anything not covered is
+/// [`Truth::Runtime`]).
+pub fn truth_of(e: &Expr) -> Truth {
+    match e {
+        Expr::Lit(Value::Bool(true)) => Truth::True,
+        Expr::Lit(Value::Bool(false)) => Truth::False,
+        Expr::Not(p) => truth_of(p).not(),
+        Expr::And(a, b) => truth_of(a).and(truth_of(b)),
+        Expr::Or(a, b) => truth_of(a).or(truth_of(b)),
+        Expr::Quant { q, range, pred, .. } => {
+            if is_statically_empty(range) {
+                // ∃ over ∅ is false; ∀ over ∅ is true (paper §4)
+                return match q {
+                    QuantKind::Exists => Truth::False,
+                    QuantKind::Forall => Truth::True,
+                };
+            }
+            // a non-empty (or unknown) range with a statically false
+            // predicate still decides ∃; a true predicate decides nothing
+            // (the range may be empty at run time).
+            match (q, truth_of(pred)) {
+                (QuantKind::Exists, Truth::False) => Truth::False,
+                (QuantKind::Forall, Truth::True) => Truth::True,
+                _ => Truth::Runtime,
+            }
+        }
+        Expr::SetCmp(op, a, b) => {
+            let (ae, be) = (is_statically_empty(a), is_statically_empty(b));
+            table3(*op, ae, be)
+        }
+        Expr::Cmp(op, a, b) => match (scalar_of(a), scalar_of(b)) {
+            (Some(va), Some(vb)) => match Value::compare(*op, &va, &vb) {
+                Ok(true) => Truth::True,
+                Ok(false) => Truth::False,
+                Err(_) => Truth::Runtime,
+            },
+            _ => Truth::Runtime,
+        },
+        _ => Truth::Runtime,
+    }
+}
+
+/// The Table 3 entries, generalized to either side being the known-empty
+/// one. `ae`/`be` flag static emptiness of the lhs/rhs.
+fn table3(op: SetCmpOp, ae: bool, be: bool) -> Truth {
+    use SetCmpOp::*;
+    match op {
+        // x ∈ ∅ — false
+        In if be => Truth::False,
+        NotIn if be => Truth::True,
+        // ∅ ⊂ s: runtime (s must be non-empty); s ⊂ ∅: false (Table 3)
+        Subset if be => Truth::False,
+        Subset if ae => Truth::Runtime,
+        // s ⊆ ∅ ≡ s = ∅: runtime (Table 3 "?"); ∅ ⊆ s: true
+        SubsetEq if ae => Truth::True,
+        SubsetEq if be => Truth::Runtime,
+        // s = ∅ / ∅ = s: runtime unless both
+        SetEq if ae && be => Truth::True,
+        SetEq if ae || be => Truth::Runtime,
+        SetNe if ae && be => Truth::False,
+        SetNe if ae || be => Truth::Runtime,
+        // s ⊇ ∅: true (Table 3); ∅ ⊇ s: runtime
+        SupersetEq if be => Truth::True,
+        SupersetEq if ae => Truth::Runtime,
+        // s ⊃ ∅: runtime (s non-empty?, Table 3 "?"); ∅ ⊃ s: false
+        Superset if ae => Truth::False,
+        Superset if be => Truth::Runtime,
+        // ∅ ∋ x: false; s ∋ ∅-as-element: runtime (Table 3 "?")
+        Contains if ae => Truth::False,
+        NotContains if ae => Truth::True,
+        Contains | NotContains => Truth::Runtime,
+        _ => Truth::Runtime,
+    }
+}
+
+/// Regenerates Table 3 as `(operator, P(x, ∅))` rows — used by the
+/// benchmark report and pinned by tests.
+pub fn table3_rows() -> Vec<(&'static str, Truth)> {
+    use oodb_adl::dsl::*;
+    let c = var("x").field("c");
+    let yprime = var("Y'");
+    [
+        (SetCmpOp::Subset, "x.c ⊂ Y'"),
+        (SetCmpOp::SubsetEq, "x.c ⊆ Y'"),
+        (SetCmpOp::SetEq, "x.c = Y'"),
+        (SetCmpOp::SupersetEq, "x.c ⊇ Y'"),
+        (SetCmpOp::Superset, "x.c ⊃ Y'"),
+        (SetCmpOp::Contains, "x.c ∋ Y'"),
+    ]
+    .into_iter()
+    .map(|(op, label)| {
+        let pred = set_cmp(op, c.clone(), yprime.clone());
+        (label, reduce_with_empty(&pred, &yprime))
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+
+    #[test]
+    fn table3_matches_the_paper() {
+        // Table 3: ⊂ → false, ⊆ → ?, = → ?, ⊇ → true, ⊃ → ?, ∋ → ?
+        let rows = table3_rows();
+        assert_eq!(
+            rows,
+            vec![
+                ("x.c ⊂ Y'", Truth::False),
+                ("x.c ⊆ Y'", Truth::Runtime),
+                ("x.c = Y'", Truth::Runtime),
+                ("x.c ⊇ Y'", Truth::True),
+                ("x.c ⊃ Y'", Truth::Runtime),
+                ("x.c ∋ Y'", Truth::Runtime),
+            ]
+        );
+    }
+
+    #[test]
+    fn membership_in_empty_subquery_is_false() {
+        // the COUNT-bug-free case: P(x, ∅) ≡ false makes grouping safe
+        let s = var("Y'");
+        let p = member(var("x").field("a"), s.clone());
+        assert_eq!(reduce_with_empty(&p, &s), Truth::False);
+        let np = not(member(var("x").field("a"), s.clone()));
+        assert_eq!(reduce_with_empty(&np, &s), Truth::True);
+    }
+
+    #[test]
+    fn count_comparisons_fold() {
+        let s = var("Y'");
+        // count(Y') = 0 under Y' = ∅ → true
+        let p = eq(count(s.clone()), int(0));
+        assert_eq!(reduce_with_empty(&p, &s), Truth::True);
+        let p2 = gt(count(s.clone()), int(0));
+        assert_eq!(reduce_with_empty(&p2, &s), Truth::False);
+        // comparison against a run-time value stays runtime
+        let p3 = eq(count(s.clone()), var("x").field("n"));
+        assert_eq!(reduce_with_empty(&p3, &s), Truth::Runtime);
+    }
+
+    #[test]
+    fn quantifiers_over_empty_ranges_fold() {
+        let s = var("Y'");
+        let ex = exists("y", s.clone(), Expr::true_());
+        assert_eq!(reduce_with_empty(&ex, &s), Truth::False);
+        let fa = forall("y", s.clone(), Expr::false_());
+        assert_eq!(reduce_with_empty(&fa, &s), Truth::True);
+    }
+
+    #[test]
+    fn emptiness_propagates_through_operators() {
+        let s = var("Y'");
+        // ∃y ∈ σ[u : q](α[w : w](Y')) • true — still empty underneath
+        let wrapped = exists(
+            "y",
+            select("u", var("q"), map("w", var("w"), s.clone())),
+            Expr::true_(),
+        );
+        assert_eq!(reduce_with_empty(&wrapped, &s), Truth::False);
+        // intersection with ∅ is ∅
+        let inter = exists(
+            "y",
+            set_op(oodb_adl::SetOp::Intersect, var("x").field("c"), s.clone()),
+            Expr::true_(),
+        );
+        assert_eq!(reduce_with_empty(&inter, &s), Truth::False);
+        // union is only empty if both are
+        let uni = exists(
+            "y",
+            set_op(oodb_adl::SetOp::Union, var("x").field("c"), s.clone()),
+            Expr::true_(),
+        );
+        assert_eq!(reduce_with_empty(&uni, &s), Truth::Runtime);
+    }
+
+    #[test]
+    fn connectives_use_three_valued_logic() {
+        let s = var("Y'");
+        let f = member(var("z"), s.clone()); // false under ∅
+        let r = eq(var("z"), int(1)); // runtime
+        assert_eq!(reduce_with_empty(&and(f.clone(), r.clone()), &s), Truth::False);
+        assert_eq!(reduce_with_empty(&or(f.clone(), r.clone()), &s), Truth::Runtime);
+        assert_eq!(
+            reduce_with_empty(&or(not(f.clone()), r.clone()), &s),
+            Truth::True
+        );
+    }
+
+    use oodb_adl::expr::Expr;
+}

@@ -1,0 +1,79 @@
+//! # oodb-core — from nested-loop to join queries
+//!
+//! The paper's contribution (Steenhagen, Apers, Blanken, de By, VLDB
+//! 1994): algebraic rewriting that transforms nested ADL expressions —
+//! correlated subqueries with base-table operands nested inside iterator
+//! parameters — into **join queries in which base tables occur only at
+//! top level**, moving from tuple-oriented to set-oriented query
+//! processing (§3).
+//!
+//! The rule catalogue (module [`rules`]):
+//!
+//! * Table 1 / Table 2 — set-comparison and predicate rewrites into
+//!   quantifier expressions ([`rules::setcmp`], [`rules::normalize`]);
+//! * range extraction and quantifier exchange ([`rules::range`],
+//!   Rewriting Examples 1–3);
+//! * **Rule 1** — `σ[x : ∃y ∈ Y • p](X) ≡ X ⋉ Y` and
+//!   `σ[x : ¬∃y ∈ Y • p](X) ≡ X ▷ Y` ([`rules::rule1`]);
+//! * **Rule 2** — nesting in the map operator:
+//!   `⋃(α[x : α[y : x∘y](σ[y : p](Y))](X)) ≡ X ⋈ Y` ([`rules::rule2`]);
+//! * option 1 — unnesting of set-valued attributes ([`rules::attr_unnest`]);
+//! * uncorrelated subquery hoisting — "uncorrelated subqueries simply are
+//!   constants" ([`rules::hoist`]);
+//! * the **nestjoin** rewrites for queries that cannot become flat
+//!   relational joins ([`rules::nestjoin`], §6.1);
+//! * the \[GaWo87\] grouping transformation with the **Complex Object bug**,
+//!   its static guard (Table 3, [`emptiness`]) and the outerjoin repair
+//!   ([`rules::grouping`], §5.2.2).
+//!
+//! [`strategy::Optimizer`] sequences them by the paper's §4 priorities:
+//! relational join operators first, then attribute unnesting, then new
+//! operators, else nested loops.
+
+pub mod emptiness;
+pub mod rules;
+pub mod strategy;
+pub mod trace;
+
+pub use emptiness::{reduce_with_empty, Truth};
+pub use strategy::{Optimized, Optimizer};
+pub use trace::{RewriteTrace, TraceStep};
+
+use oodb_adl::AdlTypeError;
+use std::fmt;
+
+/// Errors surfaced by the rewriter.
+///
+/// Rules that do not apply simply decline; errors indicate an internal
+/// inconsistency (e.g. a pass limit hit, or a type computation needed by a
+/// rule failing on an expression that already passed the type checker).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteError {
+    /// The fixpoint driver exceeded its pass budget.
+    PassLimit(usize),
+    /// Type inference failed mid-rewrite.
+    Type(AdlTypeError),
+    /// The rewritten expression changed type — a rule is unsound.
+    TypeChanged {
+        /// Type of the input expression.
+        before: String,
+        /// Type of the rewritten expression.
+        after: String,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::PassLimit(n) => {
+                write!(f, "rewriter did not reach a fixpoint within {n} passes")
+            }
+            RewriteError::Type(e) => write!(f, "type inference failed mid-rewrite: {e}"),
+            RewriteError::TypeChanged { before, after } => {
+                write!(f, "rewrite changed the query type: {before} → {after}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}

@@ -1,0 +1,356 @@
+//! Option 1 — unnesting of set-valued attributes (§4).
+//!
+//! "If nesting is caused by iteration over a set-valued attribute it is
+//! possible to unnest this attribute. […] we only use this option if the
+//! final nesting is not required, and empty set-valued attributes cause
+//! no problem."
+//!
+//! The rule matches `π_A(σ[x : ∃z ∈ x.c • φ](X))` with `c ∉ A`:
+//! existential quantification over the empty set delivers `false`, so the
+//! tuples `μ_c` drops were never results; and because the result does not
+//! need `c`, no re-nesting is required. After the rewrite the inner
+//! quantifier body `φ` sits directly in a selection over `μ_c(X)`, where
+//! Rule 1 can turn a base-table subquery inside it into a semijoin or —
+//! as in Example Query 4 — an antijoin.
+
+use super::{uses_whole_var, RewriteCtx, Rule};
+use oodb_adl::expr::{conjoin, conjuncts, Expr, QuantKind};
+use oodb_adl::vars::subst;
+
+/// The option-1 rewrite.
+///
+/// Matches both the paper's `π_A(σ[…](X))` form and the
+/// `α[x : F](σ[…](X))` form OOSQL projections translate to; in the map
+/// form, `F` plays the role of "the result": it must not reference the
+/// set attribute (and not use `x` as a whole tuple).
+pub struct AttrUnnest;
+
+impl Rule for AttrUnnest {
+    fn name(&self) -> &'static str {
+        "attr-unnest"
+    }
+
+    fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
+        match e {
+            Expr::Project { .. } => self.apply_project(e),
+            Expr::Map { .. } => self.apply_map(e, ctx),
+            _ => None,
+        }
+    }
+}
+
+impl AttrUnnest {
+    fn apply_project(&self, e: &Expr) -> Option<Expr> {
+        let Expr::Project { attrs, input } = e else { return None };
+        let Expr::Select { var: x, pred, input: base } = input.as_ref() else {
+            return None;
+        };
+        // find a conjunct ∃z ∈ x.c • φ with c not needed by the projection
+        let parts = conjuncts(pred);
+        let (idx, z, attr, phi) = parts.iter().enumerate().find_map(|(i, c)| {
+            let Expr::Quant { q: QuantKind::Exists, var: z, range, pred: phi } = c
+            else {
+                return None;
+            };
+            let Expr::Field(b, attr) = range.as_ref() else { return None };
+            if !matches!(b.as_ref(), Expr::Var(v) if v == x) {
+                return None;
+            }
+            if attrs.contains(attr) {
+                return None; // the projection needs the set attribute
+            }
+            Some((i, z.clone(), attr.clone(), (**phi).clone()))
+        })?;
+
+        // after μ, `x.c` denotes one element; all *other* references to
+        // x.c (as a set) in the predicate would change meaning — bail out
+        let other_conjuncts: Vec<Expr> = parts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, c)| (*c).clone())
+            .collect();
+        let references_attr = |expr: &Expr| {
+            let target = Expr::Field(Box::new(Expr::Var(x.clone())), attr.clone());
+            super::count_subexpr(expr, &target) > 0
+        };
+        if other_conjuncts.iter().any(references_attr) || references_attr(&phi) {
+            return None;
+        }
+        // whole-tuple uses of x would see the reshaped tuple — bail out
+        if other_conjuncts.iter().any(|c| uses_whole_var(c, x))
+            || uses_whole_var(&phi, x)
+        {
+            return None;
+        }
+
+        // φ[z → x.c] : the element is now carried by the flattened attr
+        let elem_ref = Expr::Field(Box::new(Expr::Var(x.clone())), attr.clone());
+        let phi2 = subst(&phi, &z, &elem_ref);
+        let new_pred = conjoin(
+            other_conjuncts
+                .into_iter()
+                .chain(std::iter::once(phi2))
+                .collect(),
+        );
+        Some(Expr::Project {
+            attrs: attrs.clone(),
+            input: Box::new(Expr::Select {
+                var: x.clone(),
+                pred: Box::new(new_pred),
+                input: Box::new(Expr::Unnest {
+                    attr,
+                    input: base.clone(),
+                }),
+            }),
+        })
+    }
+
+    /// The `α[x : F](σ[x : ∃z ∈ x.c • φ](X))` variant: same rewrite, with
+    /// "the projection does not need `c`" replaced by "`F` does not
+    /// reference `x.c` or whole-`x`".
+    fn apply_map(&self, e: &Expr, _ctx: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Map { var: mvar, body, input } = e else { return None };
+        let Expr::Select { var: x, pred, input: base } = input.as_ref() else {
+            return None;
+        };
+        if mvar != x {
+            // normalize is trivial but keep the rule conservative
+            return None;
+        }
+        let parts = conjuncts(pred);
+        let (idx, z, attr, phi) = parts.iter().enumerate().find_map(|(i, c)| {
+            let Expr::Quant { q: QuantKind::Exists, var: z, range, pred: phi } = c
+            else {
+                return None;
+            };
+            let Expr::Field(b, attr) = range.as_ref() else { return None };
+            if !matches!(b.as_ref(), Expr::Var(v) if v == x) {
+                return None;
+            }
+            Some((i, z.clone(), attr.clone(), (**phi).clone()))
+        })?;
+
+        let attr_target = Expr::Field(Box::new(Expr::Var(x.clone())), attr.clone());
+        let references_attr =
+            |expr: &Expr| super::count_subexpr(expr, &attr_target) > 0;
+        // F must not need the set attribute, nor the whole tuple
+        if references_attr(body) || uses_whole_var(body, x) {
+            return None;
+        }
+        let other_conjuncts: Vec<Expr> = parts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, c)| (*c).clone())
+            .collect();
+        if other_conjuncts.iter().any(|c| references_attr(c) || uses_whole_var(c, x))
+            || references_attr(&phi)
+            || uses_whole_var(&phi, x)
+        {
+            return None;
+        }
+        let elem_ref = Expr::Field(Box::new(Expr::Var(x.clone())), attr.clone());
+        let phi2 = subst(&phi, &z, &elem_ref);
+        let new_pred = conjoin(
+            other_conjuncts
+                .into_iter()
+                .chain(std::iter::once(phi2))
+                .collect(),
+        );
+        Some(Expr::Map {
+            var: x.clone(),
+            body: body.clone(),
+            input: Box::new(Expr::Select {
+                var: x.clone(),
+                pred: Box::new(new_pred),
+                input: Box::new(Expr::Unnest { attr, input: base.clone() }),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn apply(e: &Expr) -> Option<Expr> {
+        let cat = supplier_part_catalog();
+        AttrUnnest.apply(e, &RewriteCtx { catalog: &cat })
+    }
+
+    /// Example Query 4's nested form.
+    fn query4() -> Expr {
+        project(
+            &["eid"],
+            select(
+                "s",
+                exists(
+                    "z",
+                    var("s").field("parts"),
+                    not(exists(
+                        "p",
+                        table("PART"),
+                        eq(var("z"), var("p").field("pid")),
+                    )),
+                ),
+                table("SUPPLIER"),
+            ),
+        )
+    }
+
+    #[test]
+    fn query4_unnests_the_attribute() {
+        let out = apply(&query4()).unwrap();
+        // π_eid(σ[s : ¬∃p ∈ PART • s.parts = p.pid](μ_parts(SUPPLIER)))
+        let expected = project(
+            &["eid"],
+            select(
+                "s",
+                not(exists(
+                    "p",
+                    table("PART"),
+                    eq(var("s").field("parts"), var("p").field("pid")),
+                )),
+                unnest("parts", table("SUPPLIER")),
+            ),
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn needed_attribute_blocks_the_rewrite() {
+        // projecting on parts keeps the set: no unnest
+        let e = project(
+            &["eid", "parts"],
+            select(
+                "s",
+                exists("z", var("s").field("parts"), eq(var("z"), int(1))),
+                table("SUPPLIER"),
+            ),
+        );
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn other_set_references_block_the_rewrite() {
+        // the predicate also uses s.parts as a set elsewhere
+        let e = project(
+            &["eid"],
+            select(
+                "s",
+                and(
+                    exists("z", var("s").field("parts"), eq(var("z"), int(1))),
+                    gt(count(var("s").field("parts")), int(2)),
+                ),
+                table("SUPPLIER"),
+            ),
+        );
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn forall_not_eligible() {
+        // ∀ over the attribute: empty sets DO cause a problem — no rewrite
+        let e = project(
+            &["eid"],
+            select(
+                "s",
+                forall("z", var("s").field("parts"), eq(var("z"), int(1))),
+                table("SUPPLIER"),
+            ),
+        );
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn extra_conjuncts_are_preserved() {
+        let e = project(
+            &["eid"],
+            select(
+                "s",
+                and(
+                    eq(var("s").field("sname"), str_lit("s5")),
+                    exists("z", var("s").field("parts"), eq(var("z"), int(1))),
+                ),
+                table("SUPPLIER"),
+            ),
+        );
+        let out = apply(&e).unwrap();
+        let Expr::Project { input, .. } = &out else { panic!("{out}") };
+        let Expr::Select { pred, input: inner, .. } = input.as_ref() else {
+            panic!("{out}")
+        };
+        assert!(matches!(inner.as_ref(), Expr::Unnest { .. }));
+        let cs = conjuncts(pred);
+        assert_eq!(cs.len(), 2);
+    }
+
+    use oodb_adl::expr::Expr;
+}
+
+#[cfg(test)]
+mod map_variant_tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_adl::expr::Expr;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    #[test]
+    fn map_form_of_query4_unnests() {
+        // α[s : s.eid](σ[s : ∃z ∈ s.parts • ¬∃p ∈ PART • z = p.pid](SUPPLIER))
+        let cat = supplier_part_catalog();
+        let ctx = RewriteCtx { catalog: &cat };
+        let e = map(
+            "s",
+            var("s").field("eid"),
+            select(
+                "s",
+                exists(
+                    "z",
+                    var("s").field("parts"),
+                    not(exists("p", table("PART"), eq(var("z"), var("p").field("pid")))),
+                ),
+                table("SUPPLIER"),
+            ),
+        );
+        let out = AttrUnnest.apply(&e, &ctx).unwrap();
+        let Expr::Map { input, .. } = &out else { panic!("{out}") };
+        let Expr::Select { input: inner, .. } = input.as_ref() else { panic!("{out}") };
+        assert!(matches!(inner.as_ref(), Expr::Unnest { .. }));
+    }
+
+    #[test]
+    fn map_body_needing_the_attr_blocks() {
+        let cat = supplier_part_catalog();
+        let ctx = RewriteCtx { catalog: &cat };
+        let e = map(
+            "s",
+            count(var("s").field("parts")),
+            select(
+                "s",
+                exists("z", var("s").field("parts"), eq(var("z"), int(1))),
+                table("SUPPLIER"),
+            ),
+        );
+        assert!(AttrUnnest.apply(&e, &ctx).is_none());
+    }
+
+    #[test]
+    fn whole_tuple_body_blocks() {
+        let cat = supplier_part_catalog();
+        let ctx = RewriteCtx { catalog: &cat };
+        let e = map(
+            "s",
+            var("s"),
+            select(
+                "s",
+                exists("z", var("s").field("parts"), eq(var("z"), int(1))),
+                table("SUPPLIER"),
+            ),
+        );
+        assert!(AttrUnnest.apply(&e, &ctx).is_none());
+    }
+}

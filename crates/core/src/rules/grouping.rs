@@ -1,0 +1,313 @@
+//! Unnesting by grouping — §5.2.2 and the Complex Object bug.
+//!
+//! The relational technique of [Kim82, GaWo87] transforms
+//! `σ[x : P(x, Y')](X)`, `Y' = α[y:G](σ[y:Q(x,y)](Y))` into a flat join
+//! query: **(1)** a join to evaluate the inner predicate, **(2)** a nest
+//! for grouping, **(3)** a selection evaluating `P`, **(4)** a final
+//! projection.
+//!
+//! "However, in some cases the loss of dangling outer operand tuples in
+//! the join causes incorrect results" — the **Complex Object bug**
+//! (Figure 2). Three variants are provided:
+//!
+//! * [`Gawo87Unsafe`] — the transformation as-is: *deliberately buggy*,
+//!   used to reproduce Figure 2;
+//! * [`Gawo87Guarded`] — applies only when the Table 3 analysis reduces
+//!   `P(x, ∅)` statically to `false` (dangling tuples never qualify, so
+//!   losing them is harmless);
+//! * [`OuterjoinGroup`] — the \[GaWo87\] repair: a left outer join keeps
+//!   dangling tuples as `NULL`-padded rows, which the rewritten predicate
+//!   filters out of each group.
+
+use super::{replace_subexpr, split_subquery, uses_whole_var, RewriteCtx, Rule, Subquery};
+use crate::emptiness::{reduce_with_empty, Truth};
+use oodb_adl::expr::{Expr, JoinKind};
+use oodb_adl::infer_closed;
+use oodb_adl::vars::{free_vars, fresh_name};
+use oodb_value::fxhash::FxHashSet;
+use oodb_value::Name;
+
+/// Decomposition shared by the grouping variants.
+struct GroupingParts {
+    occurrence: Expr,
+    sq: Subquery,
+    x_sch: Vec<Name>,
+    y_sch: Vec<Name>,
+    ys: Name,
+    yvar: Name,
+}
+
+fn decompose(
+    x: &Name,
+    pred: &Expr,
+    input: &Expr,
+    ctx: &RewriteCtx<'_>,
+) -> Option<GroupingParts> {
+    // reuse the nestjoin rule's subquery finder logic (inlined here to
+    // keep the modules independent)
+    fn walk(e: &Expr, x: &str, out: &mut Option<(Expr, Subquery)>) {
+        if out.is_some() {
+            return;
+        }
+        if let Some(sq) = split_subquery(e) {
+            let fv = free_vars(e);
+            let correlated = fv.iter().any(|n| n.as_ref() == x);
+            let only_x = fv.iter().all(|n| n.as_ref() == x);
+            if correlated && only_x && super::is_base_table_expr(&sq.base) {
+                *out = Some((e.clone(), sq));
+                return;
+            }
+        }
+        e.for_each_child(&mut |c| walk(c, x, out));
+    }
+    let mut found = None;
+    walk(pred, x, &mut found);
+    let (occurrence, sq) = found?;
+
+    let x_ty = infer_closed(input, ctx.catalog).ok()?;
+    let x_sch = x_ty.sch()?;
+    let y_ty = infer_closed(&sq.base, ctx.catalog).ok()?;
+    let y_sch = y_ty.sch()?;
+    // the flat join requires disjoint schemas
+    if x_sch.iter().any(|a| y_sch.contains(a)) {
+        return None;
+    }
+    // whole-tuple uses of x or y complicate the pipeline — skip them here
+    // (the nestjoin rule handles them); G references only y
+    if uses_whole_var(pred, x) {
+        return None;
+    }
+    let mut avoid: FxHashSet<Name> = x_sch.iter().cloned().collect();
+    avoid.extend(y_sch.iter().cloned());
+    avoid.extend(free_vars(pred));
+    let ys = fresh_name("ys", &avoid);
+    let yvar = sq.var.clone();
+    Some(GroupingParts { occurrence, sq, x_sch, y_sch, ys, yvar })
+}
+
+/// Builds the join→nest→select→project pipeline. `outer` selects the
+/// (buggy) inner join or the (repaired) left outer join.
+fn build_pipeline(
+    x: &Name,
+    pred: &Expr,
+    input: &Expr,
+    parts: GroupingParts,
+    outer: bool,
+) -> Expr {
+    let GroupingParts { occurrence, sq, x_sch, y_sch, ys, yvar } = parts;
+    // (1) join evaluating Q
+    let join = Expr::Join {
+        kind: if outer { JoinKind::LeftOuter } else { JoinKind::Inner },
+        lvar: x.clone(),
+        rvar: yvar.clone(),
+        pred: Box::new(sq.pred.clone()),
+        left: Box::new(input.clone()),
+        right: Box::new(sq.base.clone()),
+    };
+    // (2) nest: group the Y attributes
+    let nested = Expr::Nest {
+        attrs: y_sch.clone(),
+        as_attr: ys.clone(),
+        input: Box::new(join),
+    };
+    // (3) selection evaluating P with Y' := α[y : G](…group…)
+    let group_ref = Expr::Field(Box::new(Expr::Var(x.clone())), ys.clone());
+    let group_source = if outer {
+        // filter the NULL-padded row out of each group
+        let probe = y_sch.first().expect("non-empty schema").clone();
+        Expr::Select {
+            var: yvar.clone(),
+            pred: Box::new(Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Field(
+                Box::new(Expr::Var(yvar.clone())),
+                probe,
+            )))))),
+            input: Box::new(group_ref),
+        }
+    } else {
+        group_ref
+    };
+    let subquery_value = match &sq.gfunc {
+        Some(g) => Expr::Map {
+            var: yvar.clone(),
+            body: Box::new(g.clone()),
+            input: Box::new(group_source),
+        },
+        None => group_source,
+    };
+    let new_pred = replace_subexpr(pred, &occurrence, &subquery_value);
+    let selected = Expr::Select {
+        var: x.clone(),
+        pred: Box::new(new_pred),
+        input: Box::new(nested),
+    };
+    // (4) final projection on X's attributes
+    Expr::Project { attrs: x_sch, input: Box::new(selected) }
+}
+
+/// The unguarded \[GaWo87\] transformation — **exhibits the Complex Object
+/// bug** on predicates where `P(x, ∅)` is not statically false. Exposed
+/// for the Figure 2 reproduction and the ablation benchmarks; not part of
+/// the default strategy.
+pub struct Gawo87Unsafe;
+
+impl Rule for Gawo87Unsafe {
+    fn name(&self) -> &'static str {
+        "gawo87-grouping-unsafe"
+    }
+
+    fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Select { var: x, pred, input } = e else { return None };
+        let parts = decompose(x, pred, input, ctx)?;
+        Some(build_pipeline(x, pred, input, parts, false))
+    }
+}
+
+/// The guarded transformation: fires only when losing dangling tuples is
+/// provably harmless (`P(x, ∅) ≡ false`, Table 3).
+pub struct Gawo87Guarded;
+
+impl Rule for Gawo87Guarded {
+    fn name(&self) -> &'static str {
+        "gawo87-grouping-guarded"
+    }
+
+    fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Select { var: x, pred, input } = e else { return None };
+        let parts = decompose(x, pred, input, ctx)?;
+        if reduce_with_empty(pred, &parts.occurrence) != Truth::False {
+            return None;
+        }
+        Some(build_pipeline(x, pred, input, parts, false))
+    }
+}
+
+/// The outerjoin repair of §5.2.2: dangling tuples survive as NULL-padded
+/// rows whose group contribution is filtered away.
+pub struct OuterjoinGroup;
+
+impl Rule for OuterjoinGroup {
+    fn name(&self) -> &'static str {
+        "outerjoin-group"
+    }
+
+    fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Select { var: x, pred, input } = e else { return None };
+        let parts = decompose(x, pred, input, ctx)?;
+        Some(build_pipeline(x, pred, input, parts, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::figure12_db;
+    use oodb_engine::Evaluator;
+    use oodb_value::{SetCmpOp, Value};
+
+    /// Figure 1/2's nested query over the fixture tables.
+    fn figure_query() -> Expr {
+        let sub = map(
+            "y",
+            var("y").field("e"),
+            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+        );
+        select(
+            "x",
+            set_cmp(SetCmpOp::SubsetEq, var("x").field("c"), sub),
+            table("X"),
+        )
+    }
+
+    fn project_ac(e: Expr) -> Expr {
+        project(&["a", "c"], e)
+    }
+
+    fn a_values(v: &Value) -> Vec<i64> {
+        v.as_set()
+            .unwrap()
+            .iter()
+            .map(|t| t.as_tuple().unwrap().get("a").unwrap().as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn figure2_bug_reproduced_by_unsafe_grouping() {
+        let db = figure12_db();
+        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ev = Evaluator::new(&db);
+
+        // ground truth: nested-loop evaluation includes ⟨a=2, c=∅⟩
+        let nested = ev.eval_closed(&project_ac(figure_query())).unwrap();
+        assert_eq!(a_values(&nested), vec![1, 2]);
+
+        // the GaWo87 pipeline loses it — the Complex Object bug
+        let buggy = Gawo87Unsafe.apply(&figure_query(), &ctx).unwrap();
+        let buggy_result = ev.eval_closed(&project_ac(buggy)).unwrap();
+        assert_eq!(a_values(&buggy_result), vec![1]);
+    }
+
+    #[test]
+    fn superset_variant_also_buggy() {
+        // σ[x : x.c ⊇ Y'](X): all x with empty subquery results are lost
+        let db = figure12_db();
+        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ev = Evaluator::new(&db);
+        let sub = map(
+            "y",
+            var("y").field("e"),
+            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+        );
+        let q = select(
+            "x",
+            set_cmp(SetCmpOp::SupersetEq, var("x").field("c"), sub),
+            table("X"),
+        );
+        let nested = ev.eval_closed(&project_ac(q.clone())).unwrap();
+        // x1: {1,2} ⊇ {1,2,3}? no; x2: ∅ ⊇ ∅ yes; x3: {2,3} ⊇ {3} yes
+        assert_eq!(a_values(&nested), vec![2, 3]);
+        let buggy = Gawo87Unsafe.apply(&q, &ctx).unwrap();
+        let buggy_result = ev.eval_closed(&project_ac(buggy)).unwrap();
+        assert_eq!(a_values(&buggy_result), vec![3]);
+    }
+
+    #[test]
+    fn outerjoin_repair_matches_nested_semantics() {
+        let db = figure12_db();
+        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ev = Evaluator::new(&db);
+        let repaired = OuterjoinGroup.apply(&figure_query(), &ctx).unwrap();
+        let fixed = ev.eval_closed(&project_ac(repaired)).unwrap();
+        assert_eq!(a_values(&fixed), vec![1, 2]);
+    }
+
+    #[test]
+    fn guard_rejects_runtime_dependent_predicates() {
+        let db = figure12_db();
+        let ctx = RewriteCtx { catalog: db.catalog() };
+        // ⊆ reduces to "?" under ∅ → the guarded rule refuses
+        assert!(Gawo87Guarded.apply(&figure_query(), &ctx).is_none());
+    }
+
+    #[test]
+    fn guard_accepts_membership_predicates() {
+        // P = x.b ∈ Y' reduces to false under Y' = ∅ — grouping is safe
+        let db = figure12_db();
+        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ev = Evaluator::new(&db);
+        let sub = map(
+            "y",
+            var("y").field("e"),
+            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+        );
+        let q = select("x", member(var("x").field("a"), sub), table("X"));
+        let safe = Gawo87Guarded.apply(&q, &ctx).unwrap();
+        let grouped = ev.eval_closed(&project_ac(safe)).unwrap();
+        let nested = ev.eval_closed(&project_ac(q)).unwrap();
+        assert_eq!(grouped, nested);
+        // x1: 1 ∈ {1,2,3} ✓; x2: subquery ∅ ✗; x3: 3 ∈ {3} ✓
+        assert_eq!(a_values(&nested), vec![1, 3]);
+    }
+
+    use oodb_adl::expr::Expr;
+}

@@ -1,0 +1,320 @@
+//! Uncorrelated subquery hoisting.
+//!
+//! "Of course the goal of unnesting applies to correlated subqueries only;
+//! uncorrelated subqueries simply are constants, and treated as such"
+//! (paper §3). A closed, base-table-reading subquery appearing as an
+//! operand of a comparison/aggregate/set operation inside an iterator
+//! parameter is pulled out into a `let` binding wrapping the iterator, so
+//! it is evaluated once instead of once per outer tuple.
+//!
+//! Quantifier **ranges** are deliberately not hoisted: those are exactly
+//! the shapes Rule 1 turns into semijoins/antijoins, which the planner
+//! implements with hash algorithms — better than a per-tuple membership
+//! scan against a hoisted constant.
+
+use super::{replace_subexpr, RewriteCtx, Rule};
+use oodb_adl::expr::Expr;
+use oodb_adl::vars::{free_vars, fresh_name};
+use oodb_value::fxhash::FxHashSet;
+use oodb_value::Name;
+
+/// Hoists closed base-table subqueries out of `σ`/`α` parameters.
+pub struct HoistUncorrelated;
+
+impl Rule for HoistUncorrelated {
+    fn name(&self) -> &'static str {
+        "hoist-uncorrelated"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let (param, rebuild): (&Expr, Box<dyn Fn(Expr) -> Expr>) = match e {
+            Expr::Select { var, pred, input } => {
+                let (var, input) = (var.clone(), input.clone());
+                (
+                    pred,
+                    Box::new(move |p| Expr::Select {
+                        var: var.clone(),
+                        pred: Box::new(p),
+                        input: input.clone(),
+                    }),
+                )
+            }
+            Expr::Map { var, body, input } => {
+                let (var, input) = (var.clone(), input.clone());
+                (
+                    body,
+                    Box::new(move |b| Expr::Map {
+                        var: var.clone(),
+                        body: Box::new(b),
+                        input: input.clone(),
+                    }),
+                )
+            }
+            _ => return None,
+        };
+        let target = find_hoistable(param)?;
+        let mut avoid: FxHashSet<Name> = free_vars(e);
+        avoid.extend(free_vars(param));
+        let v = fresh_name("sub", &avoid);
+        let new_param = replace_subexpr(param, &target, &Expr::Var(v.clone()));
+        Some(Expr::Let {
+            var: v,
+            value: Box::new(target),
+            body: Box::new(rebuild(new_param)),
+        })
+    }
+}
+
+/// Finds the first hoistable subquery in an *operand* position (operands
+/// of comparisons, set comparisons, set operations, arithmetic and
+/// aggregates — not quantifier ranges, not iterator inputs).
+fn find_hoistable(e: &Expr) -> Option<Expr> {
+    fn hoistable(e: &Expr) -> bool {
+        let shape = matches!(
+            e,
+            Expr::Select { .. }
+                | Expr::Map { .. }
+                | Expr::Flatten(_)
+                | Expr::Project { .. }
+                | Expr::Rename { .. }
+                | Expr::Unnest { .. }
+                | Expr::Nest { .. }
+                | Expr::Join { .. }
+                | Expr::NestJoin { .. }
+                | Expr::Product(..)
+                | Expr::Div(..)
+                | Expr::SetOp(..)
+                | Expr::Agg(..)
+        );
+        shape && e.mentions_table() && free_vars(e).is_empty()
+    }
+    fn walk(e: &Expr) -> Option<Expr> {
+        match e {
+            Expr::Cmp(_, a, b)
+            | Expr::SetCmp(_, a, b)
+            | Expr::SetOp(_, a, b)
+            | Expr::Arith(_, a, b) => {
+                for side in [a, b] {
+                    if hoistable(side) {
+                        return Some((**side).clone());
+                    }
+                }
+                walk(a).or_else(|| walk(b))
+            }
+            Expr::Agg(_, inner) => {
+                if hoistable(inner) {
+                    return Some((**inner).clone());
+                }
+                walk(inner)
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => walk(a).or_else(|| walk(b)),
+            Expr::Not(inner) => walk(inner),
+            // descend into quantifier predicates but not their ranges
+            Expr::Quant { pred, .. } => walk(pred),
+            _ => None,
+        }
+    }
+    walk(e)
+}
+
+/// Floats a `let` with a **closed** bound value out of an iterator
+/// parameter, so hoisted constants keep rising until they sit above every
+/// enclosing loop:
+///
+/// `α[x : let v = C in b](X) ⇒ let v = C in α[x : b](X)` (same for `σ`
+/// predicates and quantifier bodies), provided `C` is closed and `v` does
+/// not collide with the iterator's variable or operand.
+pub struct LetUp;
+
+impl Rule for LetUp {
+    fn name(&self) -> &'static str {
+        "let-up"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        // extract (iterator-var, let-node, rebuild-with-new-param)
+        let (ivar, param, rebuild): (&Name, &Expr, Box<dyn Fn(Expr) -> Expr>) = match e {
+            Expr::Select { var, pred, input } => {
+                let (v, i) = (var.clone(), input.clone());
+                (
+                    var,
+                    pred,
+                    Box::new(move |p| Expr::Select {
+                        var: v.clone(),
+                        pred: Box::new(p),
+                        input: i.clone(),
+                    }),
+                )
+            }
+            Expr::Map { var, body, input } => {
+                let (v, i) = (var.clone(), input.clone());
+                (
+                    var,
+                    body,
+                    Box::new(move |b| Expr::Map {
+                        var: v.clone(),
+                        body: Box::new(b),
+                        input: i.clone(),
+                    }),
+                )
+            }
+            Expr::Quant { q, var, range, pred } => {
+                let (qq, v, r) = (*q, var.clone(), range.clone());
+                (
+                    var,
+                    pred,
+                    Box::new(move |p| Expr::Quant {
+                        q: qq,
+                        var: v.clone(),
+                        range: r.clone(),
+                        pred: Box::new(p),
+                    }),
+                )
+            }
+            _ => return None,
+        };
+        let Expr::Let { var: lv, value, body } = param else { return None };
+        if !free_vars(value).is_empty() || lv == ivar {
+            return None;
+        }
+        Some(Expr::Let {
+            var: lv.clone(),
+            value: value.clone(),
+            body: Box::new(rebuild((**body).clone())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn apply(e: &Expr) -> Option<Expr> {
+        let cat = supplier_part_catalog();
+        HoistUncorrelated.apply(e, &RewriteCtx { catalog: &cat })
+    }
+
+    #[test]
+    fn hoists_uncorrelated_setcmp_operand() {
+        // Example Query 3.1 shape: the s1-parts subquery is closed
+        let sub = flatten(map(
+            "t",
+            var("t").field("parts"),
+            select("t", eq(var("t").field("sname"), str_lit("s1")), table("SUPPLIER")),
+        ));
+        let e = select(
+            "s",
+            set_cmp(oodb_value::SetCmpOp::SupersetEq, var("s").field("parts"), sub.clone()),
+            table("SUPPLIER"),
+        );
+        let out = apply(&e).unwrap();
+        let Expr::Let { var, value, body } = &out else { panic!("{out}") };
+        assert_eq!(var.as_ref(), "sub");
+        assert_eq!(**value, sub);
+        // the body's predicate now references the binding
+        let Expr::Select { pred, .. } = body.as_ref() else { panic!("{body}") };
+        assert!(!pred.mentions_table());
+        // firing again finds nothing
+        assert!(apply(body).is_none());
+    }
+
+    #[test]
+    fn correlated_subquery_not_hoisted() {
+        // Figure 1's subquery references x — not a constant
+        let sub = select("y", eq(var("x").field("a"), var("y").field("d")), table("Y"));
+        let e = select(
+            "x",
+            set_cmp(oodb_value::SetCmpOp::SubsetEq, var("x").field("c"), sub),
+            table("X"),
+        );
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn quantifier_ranges_left_for_rule1() {
+        let e = select(
+            "s",
+            exists(
+                "p",
+                select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+                member(var("p").field("pid"), var("s").field("parts")),
+            ),
+            table("SUPPLIER"),
+        );
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn hoists_aggregate_operand() {
+        let e = select(
+            "s",
+            gt(count(table("PART")), count(var("s").field("parts"))),
+            table("SUPPLIER"),
+        );
+        let out = apply(&e).unwrap();
+        let Expr::Let { value, .. } = &out else { panic!("{out}") };
+        assert_eq!(**value, count(table("PART")));
+    }
+
+    #[test]
+    fn hoists_from_map_bodies() {
+        let sub = map("p", var("p").field("pid"), table("PART"));
+        let e = map(
+            "s",
+            set_op(oodb_adl::SetOp::Intersect, var("s").field("parts"), sub.clone()),
+            table("SUPPLIER"),
+        );
+        let out = apply(&e).unwrap();
+        assert!(matches!(out, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn let_up_floats_closed_bindings() {
+        let cat = supplier_part_catalog();
+        let ctx = RewriteCtx { catalog: &cat };
+        // σ[s : let v = count(PART) in s.n > v](SUPPLIER)
+        let e = select(
+            "s",
+            let_("v", count(table("PART")), gt(var("s").field("eidn"), var("v"))),
+            table("SUPPLIER"),
+        );
+        let out = LetUp.apply(&e, &ctx).unwrap();
+        let Expr::Let { value, body, .. } = &out else { panic!("{out}") };
+        assert_eq!(**value, count(table("PART")));
+        assert!(matches!(body.as_ref(), Expr::Select { .. }));
+        // a correlated binding must not float
+        let e2 = select(
+            "s",
+            let_("v", count(var("s").field("parts")), gt(int(1), var("v"))),
+            table("SUPPLIER"),
+        );
+        assert!(LetUp.apply(&e2, &ctx).is_none());
+        // nested: hoist + let-up cooperate to reach the top
+        let inner_sub = map("p", var("p").field("pid"), table("PART"));
+        let nested = map(
+            "d",
+            select(
+                "s",
+                set_cmp(
+                    oodb_value::SetCmpOp::SubsetEq,
+                    var("s").field("parts"),
+                    inner_sub.clone(),
+                ),
+                table("SUPPLIER"),
+            ),
+            table("DELIVERY"),
+        );
+        let hoisted = {
+            // apply hoist inside the map body, then let-up on the map
+            let Expr::Map { var, body, input } = nested else { unreachable!() };
+            let new_body = HoistUncorrelated.apply(&body, &ctx).unwrap();
+            Expr::Map { var, body: Box::new(new_body), input }
+        };
+        let floated = LetUp.apply(&hoisted, &ctx).unwrap();
+        assert!(matches!(floated, Expr::Let { .. }));
+    }
+
+    use oodb_adl::expr::Expr;
+}

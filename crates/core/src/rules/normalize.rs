@@ -1,0 +1,428 @@
+//! Normalization rules: boolean simplification, negation pushing, and the
+//! `∀ → ¬∃¬` canonical form of §5.2.1.
+//!
+//! The relational rewrites (Rule 1, range extraction, quantifier
+//! exchange) are phrased over (negated) existential quantifiers; these
+//! rules bring arbitrary predicates into that shape. "The universal
+//! quantifier is transformed into a negated existential quantifier by
+//! pushing through negation to enable transformation into the antijoin
+//! operation" (Rewriting Example 2).
+
+use super::{nnf_negate, RewriteCtx, Rule};
+use oodb_adl::expr::{Expr, QuantKind};
+use oodb_value::Value;
+
+/// `∀x ∈ e • p  ⇒  ¬∃x ∈ e • ¬p` (with `¬p` negation-normalized).
+pub struct ForallToNotExists;
+
+impl Rule for ForallToNotExists {
+    fn name(&self) -> &'static str {
+        "forall-to-not-exists"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        match e {
+            Expr::Quant { q: QuantKind::Forall, var, range, pred } => {
+                Some(Expr::Not(Box::new(Expr::Quant {
+                    q: QuantKind::Exists,
+                    var: var.clone(),
+                    range: range.clone(),
+                    pred: Box::new(nnf_negate(pred)),
+                })))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Pushes negations inward **except** over `∃` (whose negated form is the
+/// antijoin shape): `¬¬p ⇒ p`, `¬(a ∧ b) ⇒ ¬a ∨ ¬b`, `¬(a ∨ b) ⇒ ¬a ∧ ¬b`,
+/// `¬(a = b) ⇒ a ≠ b`, `¬true ⇒ false`, negatable set comparisons.
+pub struct PushNegation;
+
+impl Rule for PushNegation {
+    fn name(&self) -> &'static str {
+        "push-negation"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Not(inner) = e else { return None };
+        match inner.as_ref() {
+            // keep ¬∃ — it is the Rule 1.2 / antijoin shape
+            Expr::Quant { q: QuantKind::Exists, .. } => None,
+            Expr::Not(_)
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Cmp(..)
+            | Expr::Lit(Value::Bool(_))
+            | Expr::Quant { q: QuantKind::Forall, .. } => Some(nnf_negate(inner)),
+            Expr::SetCmp(op, a, b) => op
+                .direct_negation()
+                .map(|neg| Expr::SetCmp(neg, a.clone(), b.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// Boolean constant folding: `p ∧ true ⇒ p`, `p ∧ false ⇒ false`,
+/// `p ∨ false ⇒ p`, `p ∨ true ⇒ true`, `σ[x : true](X) ⇒ X`.
+pub struct SimplifyBool;
+
+impl Rule for SimplifyBool {
+    fn name(&self) -> &'static str {
+        "simplify-bool"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        match e {
+            Expr::And(a, b) => {
+                if a.is_bool_lit(true) {
+                    Some((**b).clone())
+                } else if b.is_bool_lit(true) {
+                    Some((**a).clone())
+                } else if a.is_bool_lit(false) || b.is_bool_lit(false) {
+                    Some(Expr::false_())
+                } else {
+                    None
+                }
+            }
+            Expr::Or(a, b) => {
+                if a.is_bool_lit(false) {
+                    Some((**b).clone())
+                } else if b.is_bool_lit(false) {
+                    Some((**a).clone())
+                } else if a.is_bool_lit(true) || b.is_bool_lit(true) {
+                    Some(Expr::true_())
+                } else {
+                    None
+                }
+            }
+            Expr::Select { pred, input, .. } if pred.is_bool_lit(true) => {
+                Some((**input).clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Identity map elimination `α[x : x](e) ⇒ e` — produced by
+/// `select d from d in (…)` translations; removing it is half of the
+/// paper's "nesting in the from-clause is handled easily" (§2).
+pub struct IdentityMap;
+
+impl Rule for IdentityMap {
+    fn name(&self) -> &'static str {
+        "identity-map"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        match e {
+            Expr::Map { var, body, input }
+                if matches!(body.as_ref(), Expr::Var(v) if v == var) =>
+            {
+                Some((**input).clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Cascading selection merge `σ[x : P](σ[y : Q](e)) ⇒ σ[x : Q[x/y] ∧ P](e)`
+/// — the other half of from-clause unnesting (query composition collapses
+/// into one selection).
+pub struct MergeSelects;
+
+impl Rule for MergeSelects {
+    fn name(&self) -> &'static str {
+        "merge-selects"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Select { var: x, pred: p, input } = e else { return None };
+        let Expr::Select { var: y, pred: q, input: base } = input.as_ref() else {
+            return None;
+        };
+        let q_on_x = if y == x {
+            (**q).clone()
+        } else {
+            oodb_adl::subst(q, y, &Expr::Var(x.clone()))
+        };
+        Some(Expr::Select {
+            var: x.clone(),
+            pred: Box::new(Expr::And(Box::new(q_on_x), p.clone())),
+            input: base.clone(),
+        })
+    }
+}
+
+/// Table 2 row rewrites: emptiness predicates become (negated) existential
+/// quantification — "the form suitable for transformation in relational
+/// join expressions".
+///
+/// * `Y' = ∅  ⇒  ¬∃y ∈ Y' • true` (and `≠ ∅` ⇒ `∃`)
+/// * `count(Y') = 0  ⇒  ¬∃y ∈ Y' • true` (`> 0`, `≠ 0`, `≥ 1` ⇒ `∃`)
+/// * `x.c ∩ Y' = ∅  ⇒  ¬∃y ∈ Y' • y ∈ x.c` (quantifying over the side
+///   that mentions a base table)
+pub struct PredToQuant;
+
+impl Rule for PredToQuant {
+    fn name(&self) -> &'static str {
+        "pred-to-quant"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        use oodb_value::{CmpOp, SetCmpOp};
+        // match `S = ∅` / `S ≠ ∅` in either orientation
+        let emptiness = |op: SetCmpOp, a: &Expr, b: &Expr| -> Option<(bool, Expr)> {
+            let is_empty_lit =
+                |x: &Expr| matches!(x, Expr::Lit(Value::Set(s)) if s.is_empty());
+            let positive = match op {
+                SetCmpOp::SetEq => true,
+                SetCmpOp::SetNe => false,
+                _ => return None,
+            };
+            if is_empty_lit(b) {
+                Some((positive, a.clone()))
+            } else if is_empty_lit(a) {
+                Some((positive, b.clone()))
+            } else {
+                None
+            }
+        };
+
+        match e {
+            Expr::SetCmp(op, a, b) => {
+                let (is_eq_empty, set) = emptiness(*op, a, b)?;
+                // only worth rewriting when the set is a rewritable
+                // subquery; plain attributes are cheap to test directly
+                if !set.mentions_table() {
+                    return None;
+                }
+                // handle the intersection row specially: pick the
+                // table-mentioning side as the quantifier range
+                if let Expr::SetOp(oodb_adl::SetOp::Intersect, l, r) = &set {
+                    let (range, other) = if l.mentions_table() {
+                        (l.clone(), r.clone())
+                    } else {
+                        (r.clone(), l.clone())
+                    };
+                    let y = fresh_for(&[&range, &other]);
+                    let ex = Expr::Quant {
+                        q: QuantKind::Exists,
+                        var: y.clone(),
+                        range,
+                        pred: Box::new(super::member_expr(Expr::Var(y), *other)),
+                    };
+                    return Some(if is_eq_empty {
+                        Expr::Not(Box::new(ex))
+                    } else {
+                        ex
+                    });
+                }
+                let y = fresh_for(&[&set]);
+                let ex = Expr::Quant {
+                    q: QuantKind::Exists,
+                    var: y,
+                    range: Box::new(set),
+                    pred: Box::new(Expr::true_()),
+                };
+                Some(if is_eq_empty { Expr::Not(Box::new(ex)) } else { ex })
+            }
+            Expr::Cmp(cmp, a, b) => {
+                // count(S) compared against 0/1 literals
+                let (count_arg, lit, cmp) = match (a.as_ref(), b.as_ref()) {
+                    (Expr::Agg(oodb_adl::AggOp::Count, s), Expr::Lit(Value::Int(n))) => {
+                        (s, *n, *cmp)
+                    }
+                    (Expr::Lit(Value::Int(n)), Expr::Agg(oodb_adl::AggOp::Count, s)) => {
+                        (s, *n, cmp.flip())
+                    }
+                    _ => return None,
+                };
+                if !count_arg.mentions_table() {
+                    return None;
+                }
+                // count(S) = 0 ≡ ¬∃ ; count(S) > 0 / ≠ 0 / ≥ 1 ≡ ∃
+                let positive = match (cmp, lit) {
+                    (CmpOp::Eq, 0) | (CmpOp::Le, 0) | (CmpOp::Lt, 1) => false,
+                    (CmpOp::Gt, 0) | (CmpOp::Ne, 0) | (CmpOp::Ge, 1) => true,
+                    _ => return None,
+                };
+                let y = fresh_for(&[count_arg]);
+                let ex = Expr::Quant {
+                    q: QuantKind::Exists,
+                    var: y,
+                    range: Box::new((**count_arg).clone()),
+                    pred: Box::new(Expr::true_()),
+                };
+                Some(if positive { ex } else { Expr::Not(Box::new(ex)) })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A fresh quantifier variable avoiding everything free in `parts`.
+pub(crate) fn fresh_for(parts: &[&Expr]) -> oodb_value::Name {
+    let mut avoid = oodb_value::fxhash::FxHashSet::default();
+    for p in parts {
+        avoid.extend(oodb_adl::free_vars(p));
+    }
+    oodb_adl::fresh_name("y", &avoid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn ctx_apply(rule: &dyn Rule, e: &Expr) -> Option<Expr> {
+        let cat = supplier_part_catalog();
+        rule.apply(e, &RewriteCtx { catalog: &cat })
+    }
+
+    #[test]
+    fn forall_becomes_negated_exists() {
+        let e = forall("z", var("x").field("c"), member(var("z"), var("S")));
+        let out = ctx_apply(&ForallToNotExists, &e).unwrap();
+        assert_eq!(
+            out,
+            not(exists("z", var("x").field("c"), set_cmp(
+                oodb_value::SetCmpOp::NotIn,
+                var("z"),
+                var("S")
+            )))
+        );
+    }
+
+    #[test]
+    fn push_negation_keeps_not_exists() {
+        let e = not(exists("y", table("Y"), var("p")));
+        assert!(ctx_apply(&PushNegation, &e).is_none());
+        let e2 = not(not(var("p")));
+        assert_eq!(ctx_apply(&PushNegation, &e2).unwrap(), var("p"));
+        let e3 = not(and(var("p"), var("q")));
+        assert_eq!(
+            ctx_apply(&PushNegation, &e3).unwrap(),
+            or(not(var("p")), not(var("q")))
+        );
+        let e4 = not(eq(var("a"), var("b")));
+        assert_eq!(ctx_apply(&PushNegation, &e4).unwrap(), ne(var("a"), var("b")));
+    }
+
+    #[test]
+    fn simplify_bool_rules() {
+        assert_eq!(
+            ctx_apply(&SimplifyBool, &and(Expr::true_(), var("p"))).unwrap(),
+            var("p")
+        );
+        assert_eq!(
+            ctx_apply(&SimplifyBool, &or(var("p"), Expr::true_())).unwrap(),
+            Expr::true_()
+        );
+        assert_eq!(
+            ctx_apply(&SimplifyBool, &select("x", Expr::true_(), table("X"))).unwrap(),
+            table("X")
+        );
+        assert!(ctx_apply(&SimplifyBool, &and(var("p"), var("q"))).is_none());
+    }
+
+    #[test]
+    fn table2_empty_equality() {
+        // Y' = ∅ ⇒ ¬∃y ∈ Y' • true   (Y' must mention a base table)
+        let yprime = select("u", var("u").field("a"), table("Y"));
+        let e = set_cmp(oodb_value::SetCmpOp::SetEq, yprime.clone(), Expr::empty_set());
+        let out = ctx_apply(&PredToQuant, &e).unwrap();
+        assert_eq!(out, not(exists("y", yprime.clone(), Expr::true_())));
+        // ≠ ∅ is the positive form
+        let e2 = set_cmp(oodb_value::SetCmpOp::SetNe, yprime.clone(), Expr::empty_set());
+        assert_eq!(
+            ctx_apply(&PredToQuant, &e2).unwrap(),
+            exists("y", yprime, Expr::true_())
+        );
+        // attribute-only operand left alone
+        let cheap = set_cmp(
+            oodb_value::SetCmpOp::SetEq,
+            var("x").field("c"),
+            Expr::empty_set(),
+        );
+        assert!(ctx_apply(&PredToQuant, &cheap).is_none());
+    }
+
+    #[test]
+    fn table2_count_comparisons() {
+        let yprime = select("u", var("u").field("a"), table("Y"));
+        let e = eq(count(yprime.clone()), int(0));
+        let out = ctx_apply(&PredToQuant, &e).unwrap();
+        assert_eq!(out, not(exists("y", yprime.clone(), Expr::true_())));
+        // flipped orientation, strict positive
+        let e2 = lt(int(0), count(yprime.clone()));
+        assert_eq!(
+            ctx_apply(&PredToQuant, &e2).unwrap(),
+            exists("y", yprime.clone(), Expr::true_())
+        );
+        // count = 3 is not an emptiness test
+        assert!(ctx_apply(&PredToQuant, &eq(count(yprime), int(3))).is_none());
+    }
+
+    #[test]
+    fn table2_intersection_row() {
+        // x.c ∩ Y' = ∅ ⇒ ¬∃y ∈ Y' • y ∈ x.c
+        let yprime = select("u", eq(var("u").field("a"), var("x").field("a")), table("Y"));
+        let e = set_cmp(
+            oodb_value::SetCmpOp::SetEq,
+            set_op(oodb_adl::SetOp::Intersect, var("x").field("c"), yprime.clone()),
+            Expr::empty_set(),
+        );
+        let out = ctx_apply(&PredToQuant, &e).unwrap();
+        assert_eq!(
+            out,
+            not(exists("y", yprime, member(var("y"), var("x").field("c"))))
+        );
+    }
+
+    use oodb_adl::expr::Expr;
+}
+
+#[cfg(test)]
+mod fromclause_tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_adl::expr::Expr;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    #[test]
+    fn from_clause_nesting_collapses() {
+        // Example Query 2's translated shape:
+        // α[d : d](σ[d : date](α[e : e](σ[e : sname](DELIVERY))))
+        let cat = supplier_part_catalog();
+        let ctx = RewriteCtx { catalog: &cat };
+        let inner = map(
+            "e",
+            var("e"),
+            select("e", eq(var("e").field("date"), int(1)), table("DELIVERY")),
+        );
+        let outer = select("d", eq(var("d").field("x"), int(2)), inner);
+        // identity map collapses
+        let Expr::Select { input, .. } = &outer else { unreachable!() };
+        let collapsed = IdentityMap.apply(input, &ctx).unwrap();
+        assert!(matches!(collapsed, Expr::Select { .. }));
+        // then the two selections merge
+        let merged = MergeSelects
+            .apply(
+                &select("d", eq(var("d").field("x"), int(2)), collapsed),
+                &ctx,
+            )
+            .unwrap();
+        let Expr::Select { pred, input, .. } = &merged else { panic!("{merged}") };
+        assert!(matches!(input.as_ref(), Expr::Table(_)));
+        assert_eq!(
+            **pred,
+            and(
+                eq(var("d").field("date"), int(1)),
+                eq(var("d").field("x"), int(2))
+            )
+        );
+    }
+}

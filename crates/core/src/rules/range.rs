@@ -1,0 +1,371 @@
+//! Range extraction and quantifier exchange.
+//!
+//! "Next, the select operation is removed from the operand (the range
+//! expression) of the existential quantifier, providing the possibility to
+//! translate the existential subquery into a semijoin operation"
+//! (Rewriting Example 1). And the exchange heuristic of Rewriting
+//! Example 3: "to enable unnesting of (sub)expressions, the goal is to
+//! move quantification over base tables to the left of the quantifier
+//! expression".
+
+use super::{RewriteCtx, Rule};
+use oodb_adl::expr::{Expr, QuantKind};
+use oodb_adl::vars::{free_vars, fresh_name, is_free_in, subst};
+use oodb_value::fxhash::FxHashSet;
+
+/// `∃y ∈ σ[u : q](E) • p  ⇒  ∃y ∈ E • q[y/u] ∧ p`
+/// `∃y ∈ α[u : g](E) • p  ⇒  ∃u' ∈ E • p[g[u'/u] / y]`
+/// `∃y ∈ ⋃(M) • p        ⇒  ∃s ∈ M • ∃y ∈ s • p`
+///
+/// (Only for existential quantifiers — the ∀ forms are reached via the
+/// `¬∃` normal form.)
+pub struct RangeExtract;
+
+impl Rule for RangeExtract {
+    fn name(&self) -> &'static str {
+        "range-extract"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Quant { q: QuantKind::Exists, var: y, range, pred } = e else {
+            return None;
+        };
+        match range.as_ref() {
+            Expr::Select { var: u, pred: q, input } => {
+                let q_on_y = if u == y {
+                    (**q).clone()
+                } else {
+                    subst(q, u, &Expr::Var(y.clone()))
+                };
+                Some(Expr::Quant {
+                    q: QuantKind::Exists,
+                    var: y.clone(),
+                    range: input.clone(),
+                    pred: Box::new(Expr::And(Box::new(q_on_y), pred.clone())),
+                })
+            }
+            Expr::Map { var: u, body: g, input } => {
+                // pick a variable for iterating E that collides with
+                // nothing visible in the rewritten predicate (`u` itself is
+                // bound and may be reused)
+                let mut avoid: FxHashSet<_> = free_vars(e);
+                avoid.insert(y.clone());
+                let u2 = fresh_name(u, &avoid);
+                let g2 = subst(g, u, &Expr::Var(u2.clone()));
+                let new_pred = subst(pred, y, &g2);
+                Some(Expr::Quant {
+                    q: QuantKind::Exists,
+                    var: u2,
+                    range: input.clone(),
+                    pred: Box::new(new_pred),
+                })
+            }
+            Expr::Flatten(inner) => {
+                let mut avoid: FxHashSet<_> = free_vars(e);
+                avoid.insert(y.clone());
+                let s = fresh_name("s", &avoid);
+                Some(Expr::Quant {
+                    q: QuantKind::Exists,
+                    var: s.clone(),
+                    range: inner.clone(),
+                    pred: Box::new(Expr::Quant {
+                        q: QuantKind::Exists,
+                        var: y.clone(),
+                        range: Box::new(Expr::Var(s)),
+                        pred: pred.clone(),
+                    }),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Rewriting Example 3: exchanges adjacent same-polarity existential
+/// quantifiers to move quantification over base tables outward (leftward
+/// in the paper's prenex notation):
+///
+/// `∃a ∈ r₁ • ∃b ∈ r₂ • p  ⇒  ∃b ∈ r₂ • ∃a ∈ r₁ • p`
+///
+/// when `r₂` is a base table expression, `r₁` is not, and `r₂` does not
+/// depend on `a`.
+pub struct ExistsExchange;
+
+impl Rule for ExistsExchange {
+    fn name(&self) -> &'static str {
+        "exists-exchange"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Quant { q: QuantKind::Exists, var: a, range: r1, pred: outer_pred } = e
+        else {
+            return None;
+        };
+        let Expr::Quant { q: QuantKind::Exists, var: b, range: r2, pred: p } =
+            outer_pred.as_ref()
+        else {
+            return None;
+        };
+        let r1_is_base = super::is_base_table_expr(r1);
+        let r2_is_base = super::is_base_table_expr(r2);
+        if r1_is_base || !r2_is_base {
+            return None;
+        }
+        // r2 must not depend on the outer variable
+        if is_free_in(a, r2) {
+            return None;
+        }
+        // avoid a/b collision pathology and capture of an outer `b` that
+        // r1 might reference
+        if a == b || is_free_in(b, r1) {
+            return None;
+        }
+        Some(Expr::Quant {
+            q: QuantKind::Exists,
+            var: b.clone(),
+            range: r2.clone(),
+            pred: Box::new(Expr::Quant {
+                q: QuantKind::Exists,
+                var: a.clone(),
+                range: r1.clone(),
+                pred: p.clone(),
+            }),
+        })
+    }
+}
+
+/// Pulls conjuncts that do not mention the bound variable out of an
+/// existential quantifier:
+///
+/// `∃x ∈ r • (A ∧ B)  ⇒  (∃x ∈ r • A) ∧ B`  when `x ∉ free(B)`
+///
+/// (sound also for `r = ∅`: both sides are false). This exposes
+/// membership shapes like `p.pid ∈ s.parts` to the physical planner after
+/// Rule 1 has formed the join.
+pub struct QuantSplitIndependent;
+
+impl Rule for QuantSplitIndependent {
+    fn name(&self) -> &'static str {
+        "quant-split-independent"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        use oodb_adl::expr::{conjoin, conjuncts};
+        let Expr::Quant { q: QuantKind::Exists, var, range, pred } = e else {
+            return None;
+        };
+        let parts = conjuncts(pred);
+        if parts.len() < 2 {
+            return None;
+        }
+        let (dep, indep): (Vec<&Expr>, Vec<&Expr>) =
+            parts.into_iter().partition(|c| is_free_in(var, c));
+        if indep.is_empty() {
+            return None;
+        }
+        let quant = Expr::Quant {
+            q: QuantKind::Exists,
+            var: var.clone(),
+            range: range.clone(),
+            pred: Box::new(conjoin(dep.into_iter().cloned().collect())),
+        };
+        Some(Expr::And(
+            Box::new(quant),
+            Box::new(conjoin(indep.into_iter().cloned().collect())),
+        ))
+    }
+}
+
+/// `∃x ∈ S • x = k  ⇒  k ∈ S` when `x ∉ free(k)` and `S` mentions no base
+/// table — the inverse of the Table 1 membership expansion, applied to
+/// *set-valued-attribute* (or hoisted-constant) ranges where the explicit
+/// membership form is directly executable (and hash-joinable). The
+/// table-mentioning case is excluded to avoid ping-ponging with
+/// `setcmp-to-quant`.
+pub struct QuantToMember;
+
+impl Rule for QuantToMember {
+    fn name(&self) -> &'static str {
+        "quant-to-member"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Quant { q: QuantKind::Exists, var, range, pred } = e else {
+            return None;
+        };
+        if range.mentions_table() {
+            return None;
+        }
+        let Expr::Cmp(oodb_value::CmpOp::Eq, a, b) = pred.as_ref() else {
+            return None;
+        };
+        let key = match (a.as_ref(), b.as_ref()) {
+            (Expr::Var(v), other) if v == var && !is_free_in(var, other) => other,
+            (other, Expr::Var(v)) if v == var && !is_free_in(var, other) => other,
+            _ => return None,
+        };
+        Some(Expr::SetCmp(
+            oodb_value::SetCmpOp::In,
+            Box::new(key.clone()),
+            range.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn apply(rule: &dyn Rule, e: &Expr) -> Option<Expr> {
+        let cat = supplier_part_catalog();
+        rule.apply(e, &RewriteCtx { catalog: &cat })
+    }
+
+    #[test]
+    fn split_pulls_independent_conjuncts() {
+        // ∃x ∈ s.parts • (x = p.pid ∧ p.color = red)
+        let e = exists(
+            "x",
+            var("s").field("parts"),
+            and(
+                eq(var("x"), var("p").field("pid")),
+                eq(var("p").field("color"), str_lit("red")),
+            ),
+        );
+        let out = apply(&QuantSplitIndependent, &e).unwrap();
+        assert_eq!(
+            out,
+            and(
+                exists("x", var("s").field("parts"), eq(var("x"), var("p").field("pid"))),
+                eq(var("p").field("color"), str_lit("red"))
+            )
+        );
+        // all conjuncts dependent: no split
+        let dep = exists(
+            "x",
+            var("s").field("parts"),
+            and(eq(var("x"), int(1)), gt(var("x"), int(0))),
+        );
+        assert!(apply(&QuantSplitIndependent, &dep).is_none());
+    }
+
+    #[test]
+    fn quant_to_member_collapses() {
+        let e = exists("x", var("s").field("parts"), eq(var("x"), var("p").field("pid")));
+        let out = apply(&QuantToMember, &e).unwrap();
+        assert_eq!(out, member(var("p").field("pid"), var("s").field("parts")));
+        // flipped equality
+        let e2 = exists("x", var("s").field("parts"), eq(var("p").field("pid"), var("x")));
+        assert_eq!(apply(&QuantToMember, &e2).unwrap(), out);
+        // table ranges are left for Rule 1 (avoid ping-pong)
+        let e3 = exists("y", table("PART"), eq(var("y"), var("k")));
+        assert!(apply(&QuantToMember, &e3).is_none());
+        // key must not use the bound variable
+        let e4 = exists("x", var("s").field("parts"), eq(var("x"), var("x")));
+        assert!(apply(&QuantToMember, &e4).is_none());
+    }
+
+    #[test]
+    fn select_range_extraction() {
+        // ∃y ∈ σ[y:q](Y) • y = x.c  ⇒  ∃y ∈ Y • q ∧ y = x.c
+        let e = exists(
+            "y",
+            select("y", var("q"), table("Y")),
+            eq(var("y"), var("x").field("c")),
+        );
+        let out = apply(&RangeExtract, &e).unwrap();
+        assert_eq!(
+            out,
+            exists("y", table("Y"), and(var("q"), eq(var("y"), var("x").field("c"))))
+        );
+    }
+
+    #[test]
+    fn select_range_with_different_var_renames() {
+        let e = exists(
+            "y",
+            select("u", eq(var("u").field("a"), int(1)), table("Y")),
+            Expr::true_(),
+        );
+        let out = apply(&RangeExtract, &e).unwrap();
+        assert_eq!(
+            out,
+            exists(
+                "y",
+                table("Y"),
+                and(eq(var("y").field("a"), int(1)), Expr::true_())
+            )
+        );
+    }
+
+    #[test]
+    fn map_range_substitutes_body() {
+        // ∃y ∈ α[t : t.parts](S) • x ∈ y  ⇒  ∃t ∈ S • x ∈ t.parts
+        let e = exists(
+            "y",
+            map("t", var("t").field("parts"), table("SUPPLIER")),
+            member(var("x"), var("y")),
+        );
+        let out = apply(&RangeExtract, &e).unwrap();
+        assert_eq!(
+            out,
+            exists(
+                "t",
+                table("SUPPLIER"),
+                member(var("x"), var("t").field("parts"))
+            )
+        );
+    }
+
+    #[test]
+    fn flatten_range_splits_into_two_quantifiers() {
+        let e = exists("y", flatten(var("m")), eq(var("y"), int(1)));
+        let out = apply(&RangeExtract, &e).unwrap();
+        assert_eq!(
+            out,
+            exists("s", var("m"), exists("y", var("s"), eq(var("y"), int(1))))
+        );
+    }
+
+    #[test]
+    fn forall_ranges_not_touched() {
+        let e = forall("y", select("y", var("q"), table("Y")), var("p"));
+        assert!(apply(&RangeExtract, &e).is_none());
+    }
+
+    #[test]
+    fn exchange_moves_base_table_outward() {
+        // ∃z ∈ x.c • ∃p ∈ PART • φ  ⇒  ∃p ∈ PART • ∃z ∈ x.c • φ
+        let e = exists(
+            "z",
+            var("x").field("c"),
+            exists("p", table("PART"), eq(var("z"), var("p").field("pid"))),
+        );
+        let out = apply(&ExistsExchange, &e).unwrap();
+        assert_eq!(
+            out,
+            exists(
+                "p",
+                table("PART"),
+                exists("z", var("x").field("c"), eq(var("z"), var("p").field("pid")))
+            )
+        );
+        // and it does not fire again (outer is now the base table)
+        assert!(apply(&ExistsExchange, &out).is_none());
+    }
+
+    #[test]
+    fn exchange_requires_independence() {
+        // inner range depends on the outer variable: no exchange
+        let e = exists(
+            "z",
+            var("x").field("cs"),
+            exists("p", select("p", member(var("z"), var("p").field("parts")), table("SUPPLIER")), Expr::true_()),
+        );
+        assert!(apply(&ExistsExchange, &e).is_none());
+    }
+
+    use oodb_adl::expr::Expr;
+}

@@ -1,0 +1,201 @@
+//! Rule 1 — unnesting quantifier expressions (§5.2.1).
+//!
+//! > **Rule 1** Let X and Y be table expressions, and let x not be free
+//! > in Y, then:
+//! >
+//! > 1. `σ[x : ∃y ∈ Y • p](X) ≡ X ⋉_{x,y:p} Y`
+//! > 2. `σ[x : ¬∃y ∈ Y • p](X) ≡ X ▷_{x,y:p} Y`
+//!
+//! "A nested query with existential quantification is translated into a
+//! semijoin operation; negated existential (i.e. universal) quantification
+//! is dealt with by means of the antijoin operator."
+//!
+//! The rule also fires when the quantifier is one conjunct of a larger
+//! predicate: the remaining conjuncts stay in a selection around the join.
+
+use super::{RewriteCtx, Rule};
+use oodb_adl::expr::{conjoin, conjuncts, Expr, JoinKind, QuantKind};
+use oodb_adl::vars::is_free_in;
+
+/// Shared driver for both halves of Rule 1.
+fn unnest_select(e: &Expr, want_negated: bool) -> Option<Expr> {
+    let Expr::Select { var: x, pred, input } = e else { return None };
+    let parts = conjuncts(pred);
+    // find the first conjunct of the requested shape with a base-table range
+    let (idx, y, range, inner_pred) =
+        parts.iter().enumerate().find_map(|(i, c)| {
+            let (quant, negated) = match c {
+                Expr::Not(q) => (q.as_ref(), true),
+                q => (*q, false),
+            };
+            if negated != want_negated {
+                return None;
+            }
+            let Expr::Quant { q: QuantKind::Exists, var: y, range, pred: p } = quant
+            else {
+                return None;
+            };
+            if !super::is_base_table_expr(range) {
+                return None;
+            }
+            // "let x not be free in Y" — implied by closedness, but keep
+            // the check explicit for hand-built ranges
+            if is_free_in(x, range) {
+                return None;
+            }
+            Some((i, y.clone(), (**range).clone(), (**p).clone()))
+        })?;
+
+    // the bound variables must be distinct for a two-variable join lambda
+    if *x == y {
+        return None;
+    }
+
+    let rest: Vec<Expr> =
+        parts.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, c)| (*c).clone()).collect();
+    let join = Expr::Join {
+        kind: if want_negated { JoinKind::Anti } else { JoinKind::Semi },
+        lvar: x.clone(),
+        rvar: y,
+        pred: Box::new(inner_pred),
+        left: input.clone(),
+        right: Box::new(range),
+    };
+    if rest.is_empty() {
+        Some(join)
+    } else {
+        Some(Expr::Select {
+            var: x.clone(),
+            pred: Box::new(conjoin(rest)),
+            input: Box::new(join),
+        })
+    }
+}
+
+/// Rule 1.1: existential quantification over a base table → semijoin.
+pub struct UnnestExists;
+
+impl Rule for UnnestExists {
+    fn name(&self) -> &'static str {
+        "rule1-exists"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        unnest_select(e, false)
+    }
+}
+
+/// Rule 1.2: negated existential quantification → antijoin.
+pub struct UnnestNotExists;
+
+impl Rule for UnnestNotExists {
+    fn name(&self) -> &'static str {
+        "rule1-not-exists"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        unnest_select(e, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn apply(rule: &dyn Rule, e: &Expr) -> Option<Expr> {
+        let cat = supplier_part_catalog();
+        rule.apply(e, &RewriteCtx { catalog: &cat })
+    }
+
+    #[test]
+    fn exists_becomes_semijoin() {
+        // σ[x : ∃y ∈ Y • p](X) ⇒ X ⋉_{x,y:p} Y
+        let p = eq(var("y"), var("x").field("c"));
+        let e = select("x", exists("y", table("Y"), p.clone()), table("X"));
+        let out = apply(&UnnestExists, &e).unwrap();
+        assert_eq!(out, semijoin("x", "y", p, table("X"), table("Y")));
+    }
+
+    #[test]
+    fn not_exists_becomes_antijoin() {
+        let p = eq(var("y"), var("x").field("c"));
+        let e = select("x", not(exists("y", table("Y"), p.clone())), table("X"));
+        let out = apply(&UnnestNotExists, &e).unwrap();
+        assert_eq!(out, antijoin("x", "y", p, table("X"), table("Y")));
+        // the positive rule must not fire on the negated form
+        let e2 = select("x", not(exists("y", table("Y"), Expr::true_())), table("X"));
+        assert!(apply(&UnnestExists, &e2).is_none());
+    }
+
+    #[test]
+    fn extra_conjuncts_stay_in_selection() {
+        let quant = exists("y", table("Y"), eq(var("y"), var("x").field("c")));
+        let other = gt(var("x").field("n"), int(3));
+        let e = select("x", and(other.clone(), quant), table("X"));
+        let out = apply(&UnnestExists, &e).unwrap();
+        let expected = select(
+            "x",
+            other,
+            semijoin("x", "y", eq(var("y"), var("x").field("c")), table("X"), table("Y")),
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn set_attribute_range_is_left_nested() {
+        // σ[x : ∃z ∈ x.c • p](X) stays — iteration over a clustered
+        // set-valued attribute must not be unnested (paper §3)
+        let e = select(
+            "x",
+            exists("z", var("x").field("c"), eq(var("z"), int(1))),
+            table("X"),
+        );
+        assert!(apply(&UnnestExists, &e).is_none());
+    }
+
+    #[test]
+    fn correlated_range_not_unnested() {
+        // range σ[y : y.a = x.a](Y) references x — Rule 1 does not apply
+        let e = select(
+            "x",
+            exists(
+                "y",
+                select("y", eq(var("y").field("a"), var("x").field("a")), table("Y")),
+                Expr::true_(),
+            ),
+            table("X"),
+        );
+        assert!(apply(&UnnestExists, &e).is_none());
+    }
+
+    #[test]
+    fn selected_base_table_range_is_fine() {
+        // range σ[y : y.color = red](PART) is a closed table expression
+        let range = select("y", eq(var("y").field("color"), str_lit("red")), table("PART"));
+        let e = select(
+            "x",
+            exists("y", range.clone(), member(var("y").field("pid"), var("x").field("parts"))),
+            table("SUPPLIER"),
+        );
+        let out = apply(&UnnestExists, &e).unwrap();
+        assert!(matches!(out, Expr::Join { kind: JoinKind::Semi, .. }));
+    }
+
+    #[test]
+    fn chained_quantifiers_unnest_one_at_a_time() {
+        let q1 = exists("y", table("Y"), eq(var("y"), var("x").field("a")));
+        let q2 = exists("w", table("PART"), eq(var("w").field("pid"), var("x").field("b")));
+        let e = select("x", and(q1, q2.clone()), table("X"));
+        let once = apply(&UnnestExists, &e).unwrap();
+        // first quantifier became a semijoin, second still pending
+        let Expr::Select { pred, input, .. } = &once else { panic!("{once}") };
+        assert_eq!(**pred, q2);
+        assert!(matches!(input.as_ref(), Expr::Join { kind: JoinKind::Semi, .. }));
+        let twice = apply(&UnnestExists, &once).unwrap();
+        assert!(matches!(twice, Expr::Join { kind: JoinKind::Semi, .. }));
+    }
+
+    use oodb_adl::expr::Expr;
+}

@@ -1,0 +1,133 @@
+//! Rule 2 — nesting in the map operator (§5.3).
+//!
+//! > **Rule 2** `⋃(α[x : α[y : x ∘ y](σ[y : p])(Y)](X)) ≡ X ⋈_{x,y:p} Y`
+//!
+//! "The nested map operation on the left hand side creates a set of sets
+//! that is flattened immediately afterwards; the same result is achieved
+//! by the right hand join expression."
+
+use super::{RewriteCtx, Rule};
+use oodb_adl::expr::{Expr, JoinKind};
+use oodb_adl::vars::is_free_in;
+
+/// The Rule 2 rewrite.
+pub struct MapJoin;
+
+impl Rule for MapJoin {
+    fn name(&self) -> &'static str {
+        "rule2-map-join"
+    }
+
+    fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
+        let Expr::Flatten(inner) = e else { return None };
+        let Expr::Map { var: x, body, input: left } = inner.as_ref() else {
+            return None;
+        };
+        let Expr::Map { var: y, body: concat, input: right } = body.as_ref() else {
+            return None;
+        };
+        // the inner body must be exactly x ∘ y (in either order — tuple
+        // concatenation is commutative in our canonical representation)
+        let Expr::Concat(a, b) = concat.as_ref() else { return None };
+        let is_xy = matches!(
+            (a.as_ref(), b.as_ref()),
+            (Expr::Var(va), Expr::Var(vb)) if (va == x && vb == y) || (va == y && vb == x)
+        );
+        if !is_xy || x == y {
+            return None;
+        }
+        // split an optional selection off the right operand
+        let (pred, base) = match right.as_ref() {
+            Expr::Select { var: sv, pred, input: base } => {
+                let p = if sv == y {
+                    (**pred).clone()
+                } else {
+                    oodb_adl::subst(pred, sv, &Expr::Var(y.clone()))
+                };
+                (p, (**base).clone())
+            }
+            other => (Expr::true_(), other.clone()),
+        };
+        // the right operand must not depend on x (x not free in Y)
+        if is_free_in(x, &base) {
+            return None;
+        }
+        Some(Expr::Join {
+            kind: JoinKind::Inner,
+            lvar: x.clone(),
+            rvar: y.clone(),
+            pred: Box::new(pred),
+            left: left.clone(),
+            right: Box::new(base),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn apply(e: &Expr) -> Option<Expr> {
+        let cat = supplier_part_catalog();
+        MapJoin.apply(e, &RewriteCtx { catalog: &cat })
+    }
+
+    #[test]
+    fn rule2_matches_the_paper() {
+        // ⋃(α[x : α[y : x∘y](σ[y : p](Y))](X)) ⇒ X ⋈_{x,y:p} Y
+        let p = eq(var("x").field("a"), var("y").field("d"));
+        let e = flatten(map(
+            "x",
+            map("y", concat(var("x"), var("y")), select("y", p.clone(), table("Y"))),
+            table("X"),
+        ));
+        let out = apply(&e).unwrap();
+        assert_eq!(out, join("x", "y", p, table("X"), table("Y")));
+    }
+
+    #[test]
+    fn without_selection_pred_is_true() {
+        let e = flatten(map(
+            "x",
+            map("y", concat(var("x"), var("y")), table("Y")),
+            table("X"),
+        ));
+        let out = apply(&e).unwrap();
+        assert_eq!(out, join("x", "y", Expr::true_(), table("X"), table("Y")));
+    }
+
+    #[test]
+    fn flipped_concat_accepted() {
+        let e = flatten(map(
+            "x",
+            map("y", concat(var("y"), var("x")), table("Y")),
+            table("X"),
+        ));
+        assert!(apply(&e).is_some());
+    }
+
+    #[test]
+    fn correlated_right_operand_rejected() {
+        // Y depends on x (a set-valued attribute): must stay nested
+        let e = flatten(map(
+            "x",
+            map("y", concat(var("x"), var("y")), var("x").field("cs")),
+            table("X"),
+        ));
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn other_bodies_rejected() {
+        let e = flatten(map(
+            "x",
+            map("y", var("y"), table("Y")),
+            table("X"),
+        ));
+        assert!(apply(&e).is_none());
+    }
+
+    use oodb_adl::expr::Expr;
+}

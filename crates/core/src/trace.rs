@@ -1,0 +1,101 @@
+//! Rewrite traces.
+//!
+//! Every rule firing is recorded with the local expression before and
+//! after, so a trace reads like the step-by-step derivations of §5
+//! (Rewriting Examples 1–3). Tests assert on traces to pin *which* plan
+//! shape a query reached, not merely that results match.
+
+use std::fmt;
+
+/// One rule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Rule identifier (e.g. `"rule1-exists"`).
+    pub rule: &'static str,
+    /// The subexpression the rule matched (paper notation).
+    pub before: String,
+    /// What it was rewritten to.
+    pub after: String,
+}
+
+/// An ordered list of rule applications.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl RewriteTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        RewriteTrace::default()
+    }
+
+    /// Records a step.
+    pub fn record(
+        &mut self,
+        rule: &'static str,
+        before: &impl fmt::Display,
+        after: &impl fmt::Display,
+    ) {
+        self.steps.push(TraceStep {
+            rule,
+            before: before.to_string(),
+            after: after.to_string(),
+        });
+    }
+
+    /// All steps, in application order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of rule firings.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no rule fired.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Did a rule with this name fire?
+    pub fn fired(&self, rule: &str) -> bool {
+        self.steps.iter().any(|s| s.rule == rule)
+    }
+
+    /// The names of all fired rules, in order (with repeats).
+    pub fn rule_sequence(&self) -> Vec<&'static str> {
+        self.steps.iter().map(|s| s.rule).collect()
+    }
+}
+
+impl fmt::Display for RewriteTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>3}. [{}]", i + 1, s.rule)?;
+            writeln!(f, "       {}", s.before)?;
+            writeln!(f, "     ≡ {}", s.after)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries_steps() {
+        let mut t = RewriteTrace::new();
+        assert!(t.is_empty());
+        t.record("rule1-exists", &"σ[x : ∃y ∈ Y • p](X)", &"(X ⋉ Y)");
+        assert_eq!(t.len(), 1);
+        assert!(t.fired("rule1-exists"));
+        assert!(!t.fired("rule2"));
+        assert_eq!(t.rule_sequence(), vec!["rule1-exists"]);
+        let text = t.to_string();
+        assert!(text.contains("rule1-exists"));
+        assert!(text.contains("⋉"));
+    }
+}

@@ -1,0 +1,260 @@
+//! # Synthetic supplier–part–delivery databases
+//!
+//! Deterministic, parameterized instance generation for benchmarks and
+//! property tests. The generator scales the paper's §2 schema: suppliers
+//! with clustered set-valued `parts` attributes, a flat `PART` extension,
+//! and deliveries with nested `supply` sets — plus controlled anomaly
+//! injection (empty part sets, dangling references) to exercise the
+//! dangling-tuple cases of §5.2.2 and Example Query 4.
+
+use oodb_catalog::fixtures::supplier_part_catalog;
+use oodb_catalog::Database;
+use oodb_value::{Oid, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of deliveries.
+    pub deliveries: usize,
+    /// Mean number of parts per supplier (uniform in `1..=2·mean`).
+    pub parts_per_supplier: usize,
+    /// Fraction of suppliers with an **empty** `parts` set (the dangling
+    /// grouping tuples of Figure 2).
+    pub empty_supplier_fraction: f64,
+    /// Fraction of suppliers carrying one **dangling** part pointer
+    /// (Example Query 4's referential integrity violators).
+    pub dangling_fraction: f64,
+    /// Fraction of parts that are red (Example Query 5's selectivity).
+    pub red_fraction: f64,
+    /// Mean supply lines per delivery.
+    pub supply_per_delivery: usize,
+    /// RNG seed — same seed, same database.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            parts: 1_000,
+            suppliers: 500,
+            deliveries: 500,
+            parts_per_supplier: 8,
+            empty_supplier_fraction: 0.05,
+            dangling_fraction: 0.02,
+            red_fraction: 0.2,
+            supply_per_delivery: 4,
+            seed: 0xD0DB,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A configuration scaled to roughly `n` objects total, keeping the
+    /// default ratios (used by benchmark sweeps).
+    pub fn scaled(n: usize) -> GenConfig {
+        let parts = (n / 2).max(4);
+        GenConfig {
+            parts,
+            suppliers: (n / 4).max(2),
+            deliveries: (n / 4).max(2),
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// Part oid base (suppliers start at `SUPPLIER_BASE`, parts at `PART_BASE`, …).
+pub const PART_BASE: u64 = 1_000_000;
+/// Supplier oid base.
+pub const SUPPLIER_BASE: u64 = 2_000_000;
+/// Delivery oid base.
+pub const DELIVERY_BASE: u64 = 3_000_000;
+/// Oid used for injected dangling part pointers (never allocated).
+pub const DANGLING_OID: u64 = 9_999_999;
+
+const COLORS: [&str; 5] = ["red", "blue", "green", "black", "white"];
+
+/// Generates a database according to `config`.
+pub fn generate(config: &GenConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new(supplier_part_catalog()).expect("catalog is closed");
+
+    // Parts: the flat "build" table.
+    for i in 0..config.parts {
+        let color = if rng.gen_bool(config.red_fraction.clamp(0.0, 1.0)) {
+            "red"
+        } else {
+            COLORS[1 + rng.gen_range(0..COLORS.len() - 1)]
+        };
+        db.insert(
+            "PART",
+            Tuple::from_pairs([
+                ("pid", Value::Oid(Oid(PART_BASE + i as u64))),
+                ("pname", Value::str(&format!("part-{i}"))),
+                ("price", Value::Int(rng.gen_range(1..=1_000))),
+                ("color", Value::str(color)),
+            ]),
+        )
+        .expect("generated part conforms");
+    }
+
+    // Suppliers with clustered set-valued `parts`.
+    for i in 0..config.suppliers {
+        let empty = rng.gen_bool(config.empty_supplier_fraction.clamp(0.0, 1.0));
+        let mut part_refs: Vec<Value> = Vec::new();
+        if !empty && config.parts > 0 {
+            let k = rng.gen_range(1..=config.parts_per_supplier.max(1) * 2);
+            for _ in 0..k {
+                let p = rng.gen_range(0..config.parts) as u64;
+                part_refs.push(Value::Oid(Oid(PART_BASE + p)));
+            }
+            if rng.gen_bool(config.dangling_fraction.clamp(0.0, 1.0)) {
+                part_refs.push(Value::Oid(Oid(DANGLING_OID)));
+            }
+        }
+        db.insert(
+            "SUPPLIER",
+            Tuple::from_pairs([
+                ("eid", Value::Oid(Oid(SUPPLIER_BASE + i as u64))),
+                ("sname", Value::str(&format!("supplier-{i}"))),
+                ("parts", Value::set(part_refs)),
+            ]),
+        )
+        .expect("generated supplier conforms");
+    }
+
+    // Deliveries with nested supply sets.
+    for i in 0..config.deliveries {
+        let supplier = rng.gen_range(0..config.suppliers.max(1)) as u64;
+        let k = rng.gen_range(1..=config.supply_per_delivery.max(1) * 2);
+        let mut supply = Vec::with_capacity(k);
+        for _ in 0..k {
+            let p = rng.gen_range(0..config.parts.max(1)) as u64;
+            supply.push(Value::tuple([
+                ("part", Value::Oid(Oid(PART_BASE + p))),
+                ("quantity", Value::Int(rng.gen_range(1..=500))),
+            ]));
+        }
+        let date = 940100 + rng.gen_range(1..=28);
+        db.insert(
+            "DELIVERY",
+            Tuple::from_pairs([
+                ("did", Value::Oid(Oid(DELIVERY_BASE + i as u64))),
+                ("supplier", Value::Oid(Oid(SUPPLIER_BASE + supplier))),
+                ("supply", Value::set(supply)),
+                ("date", Value::Date(date)),
+            ]),
+        )
+        .expect("generated delivery conforms");
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GenConfig { parts: 50, suppliers: 20, deliveries: 10, ..Default::default() };
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.object_count(), b.object_count());
+        let sa = a.table("SUPPLIER").unwrap();
+        let sb = b.table("SUPPLIER").unwrap();
+        for (ra, rb) in sa.rows().zip(sb.rows()) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c1 = GenConfig { parts: 50, suppliers: 20, deliveries: 10, seed: 1, ..Default::default() };
+        let c2 = GenConfig { seed: 2, ..c1.clone() };
+        let a = generate(&c1);
+        let b = generate(&c2);
+        let differs = a
+            .table("SUPPLIER")
+            .unwrap()
+            .rows()
+            .zip(b.table("SUPPLIER").unwrap().rows())
+            .any(|(x, y)| x != y);
+        assert!(differs);
+    }
+
+    #[test]
+    fn cardinalities_match_config() {
+        let c = GenConfig { parts: 123, suppliers: 45, deliveries: 6, ..Default::default() };
+        let db = generate(&c);
+        assert_eq!(db.table("PART").unwrap().len(), 123);
+        assert_eq!(db.table("SUPPLIER").unwrap().len(), 45);
+        assert_eq!(db.table("DELIVERY").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn anomalies_injected_when_requested() {
+        let c = GenConfig {
+            parts: 100,
+            suppliers: 200,
+            deliveries: 0,
+            empty_supplier_fraction: 0.5,
+            dangling_fraction: 0.5,
+            ..Default::default()
+        };
+        let db = generate(&c);
+        let empties = db
+            .table("SUPPLIER")
+            .unwrap()
+            .rows()
+            .filter(|r| r.get("parts").unwrap().as_set().unwrap().is_empty())
+            .count();
+        assert!(empties > 30, "expected many empty suppliers, got {empties}");
+        let dangling = db
+            .table("SUPPLIER")
+            .unwrap()
+            .rows()
+            .filter(|r| {
+                r.get("parts")
+                    .unwrap()
+                    .as_set()
+                    .unwrap()
+                    .contains(&Value::Oid(Oid(DANGLING_OID)))
+            })
+            .count();
+        assert!(dangling > 20, "expected dangling refs, got {dangling}");
+        assert!(db.deref("Part", Oid(DANGLING_OID)).is_none());
+    }
+
+    #[test]
+    fn no_anomalies_when_disabled() {
+        let c = GenConfig {
+            parts: 50,
+            suppliers: 50,
+            deliveries: 10,
+            empty_supplier_fraction: 0.0,
+            dangling_fraction: 0.0,
+            ..Default::default()
+        };
+        let db = generate(&c);
+        for r in db.table("SUPPLIER").unwrap().rows() {
+            let parts = r.get("parts").unwrap().as_set().unwrap();
+            assert!(!parts.is_empty());
+            assert!(!parts.contains(&Value::Oid(Oid(DANGLING_OID))));
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_ratios() {
+        let c = GenConfig::scaled(1000);
+        assert_eq!(c.parts, 500);
+        assert_eq!(c.suppliers, 250);
+        let db = generate(&GenConfig { deliveries: 5, ..GenConfig::scaled(40) });
+        assert_eq!(db.table("PART").unwrap().len(), 20);
+    }
+}

@@ -1,0 +1,27 @@
+//! # Execution engine: tuple-oriented baseline + set-oriented operators
+//!
+//! Two execution paths for ADL expressions (the comparison at the heart of
+//! *From Nested-Loop to Join Queries in OODB*):
+//!
+//! * [`eval::Evaluator`] — the **reference nested-loop interpreter**:
+//!   every operator executed from its §3 definition, iterators re-running
+//!   their parameter expressions per element. This is the tuple-oriented
+//!   baseline the paper argues against.
+//! * [`plan::Planner`] + [`physical::PhysPlan`] — **set-oriented
+//!   execution**: hash / sort-merge / membership-hash joins, semijoins,
+//!   antijoins, the nestjoin `⊣` (§6.1), PNHL (§6.2, \[DeLa92\]) and
+//!   pointer-based assembly (§6.2, \[BlMG93\]), with statistics that expose
+//!   the work profile ([`stats::Stats`]).
+//!
+//! Physical operators are property-tested to agree with the reference
+//! evaluator on arbitrary inputs — same answers, different asymptotics.
+
+pub mod eval;
+pub mod physical;
+pub mod plan;
+pub mod stats;
+
+pub use eval::{Env, EvalError, Evaluator};
+pub use physical::PhysPlan;
+pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};
+pub use stats::Stats;

@@ -1,0 +1,136 @@
+//! The materialize / assembly operator (\[BlMG93\], paper §6.2).
+//!
+//! "Object identifiers can be implemented either as physical or as
+//! logical pointers. Implementing object identifiers as physical pointers
+//! opens the way to new join implementation methods (pointer-based
+//! joins). […] path expressions are represented by the operator
+//! materialize […] implemented by an access algorithm called assembly, a
+//! generalization of the concept of a pointer-based join."
+//!
+//! Our oids are physical in the relevant sense: every extent keeps an
+//! oid → row index, so materializing a reference costs one hash lookup
+//! instead of a join against the whole extent.
+
+use crate::eval::EvalError;
+use crate::stats::Stats;
+use oodb_catalog::Database;
+use oodb_value::{Name, Set, Value};
+
+/// Replaces the oid-carrying attribute `attr` of every tuple in `s` with
+/// the referenced object(s) of `class`.
+///
+/// * `set_valued = false`: `attr` holds one oid → it is replaced by the
+///   referenced tuple. Dangling pointers raise
+///   [`EvalError::DanglingPointer`].
+/// * `set_valued = true`: `attr` holds a set of oids → it is replaced by
+///   the set of referenced tuples; dangling pointers are silently dropped
+///   (matching the semijoin semantics of element materialization, and the
+///   behaviour of PNHL on the same input).
+pub fn assemble(
+    s: &Set,
+    attr: &Name,
+    class: &Name,
+    set_valued: bool,
+    db: &Database,
+    stats: &mut Stats,
+) -> Result<Value, EvalError> {
+    db.catalog()
+        .class(class)
+        .ok_or_else(|| EvalError::UnknownClass(class.clone()))?;
+    let mut out = Vec::with_capacity(s.len());
+    for x in s.iter() {
+        let t = x.as_tuple()?;
+        let v = t.field(attr)?;
+        let new_val = if set_valued {
+            let oids = v.as_set()?;
+            let mut objs = Vec::with_capacity(oids.len());
+            for o in oids.iter() {
+                let oid = o.as_oid()?;
+                stats.oid_lookups += 1;
+                if let Some(obj) = db.deref(class, oid) {
+                    objs.push(Value::Tuple(obj.clone()));
+                }
+            }
+            Value::Set(Set::from_values(objs))
+        } else {
+            let oid = v.as_oid()?;
+            stats.oid_lookups += 1;
+            match db.deref(class, oid) {
+                Some(obj) => Value::Tuple(obj.clone()),
+                None => {
+                    return Err(EvalError::DanglingPointer {
+                        class: class.clone(),
+                        oid,
+                    })
+                }
+            }
+        };
+        out.push(Value::Tuple(
+            t.except(&[(attr.clone(), new_val)]).map_err(EvalError::Value)?,
+        ));
+    }
+    Ok(Value::Set(Set::from_values(out)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_catalog::fixtures::supplier_part_db;
+
+    #[test]
+    fn assembles_single_references() {
+        let db = supplier_part_db();
+        let deliveries = db.table("DELIVERY").unwrap().as_set_value().into_set().unwrap();
+        let mut stats = Stats::new();
+        let v = assemble(&deliveries, &"supplier".into(), &"Supplier".into(), false, &db, &mut stats)
+            .unwrap();
+        for row in v.as_set().unwrap().iter() {
+            let sup = row.as_tuple().unwrap().get("supplier").unwrap();
+            assert!(sup.as_tuple().unwrap().get("sname").is_some());
+        }
+        assert_eq!(stats.oid_lookups, 3);
+    }
+
+    #[test]
+    fn assembles_set_references_dropping_dangling() {
+        let db = supplier_part_db();
+        let suppliers = db.table("SUPPLIER").unwrap().as_set_value().into_set().unwrap();
+        let mut stats = Stats::new();
+        let v = assemble(&suppliers, &"parts".into(), &"Part".into(), true, &db, &mut stats)
+            .unwrap();
+        let s5 = v
+            .as_set()
+            .unwrap()
+            .iter()
+            .find(|r| r.as_tuple().unwrap().get("sname") == Some(&Value::str("s5")))
+            .unwrap();
+        // s5 referenced {@17, @999}: the dangling @999 is dropped
+        let parts = s5.as_tuple().unwrap().get("parts").unwrap().as_set().unwrap();
+        assert_eq!(parts.len(), 1);
+        // 2+2+4+0+2 pointers +? s1{3} s2{2} s3{4} s4{0} s5{2} = 11
+        assert_eq!(stats.oid_lookups, 11);
+    }
+
+    #[test]
+    fn dangling_single_reference_errors() {
+        let db = supplier_part_db();
+        let fake = Set::from_values(vec![Value::tuple([
+            ("supplier", Value::Oid(oodb_value::Oid(4040))),
+            ("k", Value::Int(1)),
+        ])]);
+        let mut stats = Stats::new();
+        let err =
+            assemble(&fake, &"supplier".into(), &"Supplier".into(), false, &db, &mut stats)
+                .unwrap_err();
+        assert!(matches!(err, EvalError::DanglingPointer { .. }));
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let db = supplier_part_db();
+        let mut stats = Stats::new();
+        let err = assemble(&Set::empty(), &"x".into(), &"Nope".into(), false, &db, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownClass(_)));
+    }
+}

@@ -1,0 +1,917 @@
+//! Physical planning: lowering ADL expressions to operator trees.
+//!
+//! The point of the paper's rewrites is that once a query *is* a join
+//! query, "the optimizer may choose from a number of different join
+//! processing strategies" (§5.1). This planner is that chooser:
+//!
+//! * join predicates are split into **equi-key conjuncts**, **membership
+//!   conjuncts** (`p.pid ∈ s.parts`) and a residual; hash, sort-merge or
+//!   membership-hash implementations are picked accordingly, falling back
+//!   to nested loops for arbitrary predicates;
+//! * the materialization patterns of §6.2 are recognized:
+//!   `α[x : x except (a = σ[y : key(y) ∈ x.a](T))](X)` runs as **PNHL**
+//!   (or as pointer-based **assembly** when the key is the class identity),
+//!   and `α[x : x except (a = deref(x.a)))](X)` runs as single-reference
+//!   assembly;
+//! * iterator parameter bodies that remain nested (set-valued attribute
+//!   iteration the paper deliberately leaves in place) are evaluated by
+//!   the reference evaluator inside the enclosing operator.
+
+use crate::physical::hashjoin::MemberShape;
+use crate::physical::{MatchKeys, PhysPlan};
+use crate::stats::Stats;
+use oodb_adl::expr::{conjuncts, Expr, JoinKind};
+use oodb_adl::vars::free_vars;
+use oodb_adl::AdlTypeError;
+use oodb_catalog::Database;
+use oodb_value::{CmpOp, Name, SetCmpOp, Value};
+use std::fmt;
+
+/// Which join implementation the planner prefers when keys allow it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Hash join (default).
+    Hash,
+    /// Sort-merge join (regular joins only; others fall back to hash).
+    SortMerge,
+    /// Force nested loops everywhere — the paper's baseline, useful for
+    /// benchmarking the benefit of set-oriented execution.
+    NestedLoop,
+}
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Preferred join algorithm.
+    pub join_algo: JoinAlgo,
+    /// PNHL memory budget (build rows per segment).
+    pub pnhl_budget: usize,
+    /// Recognize the §6.2 materialization patterns (PNHL / assembly).
+    pub detect_materialize: bool,
+    /// Prefer pointer-based assembly over PNHL when the materialization
+    /// key is the class identity.
+    pub prefer_assembly: bool,
+    /// Use secondary indexes (index nested-loop join) when the right
+    /// operand is an indexed extent.
+    pub use_indexes: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            join_algo: JoinAlgo::Hash,
+            pnhl_budget: 1 << 14,
+            detect_materialize: true,
+            prefer_assembly: true,
+            use_indexes: true,
+        }
+    }
+}
+
+/// Planning errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Type inference failed while computing an outer-join padding schema.
+    Type(AdlTypeError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Type(e) => write!(f, "planning type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// An executable plan bound to its database.
+pub struct Plan<'a> {
+    /// The operator tree.
+    pub phys: PhysPlan,
+    db: &'a Database,
+}
+
+impl Plan<'_> {
+    /// Runs the plan.
+    pub fn execute(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
+        self.phys.execute_on(self.db, stats)
+    }
+
+    /// EXPLAIN-style rendering.
+    pub fn explain(&self) -> String {
+        self.phys.explain()
+    }
+}
+
+/// The physical planner.
+pub struct Planner<'a> {
+    db: &'a Database,
+    config: PlannerConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner with default configuration.
+    pub fn new(db: &'a Database) -> Self {
+        Planner { db, config: PlannerConfig::default() }
+    }
+
+    /// A planner with explicit configuration.
+    pub fn with_config(db: &'a Database, config: PlannerConfig) -> Self {
+        Planner { db, config }
+    }
+
+    /// Lowers a closed ADL expression into an executable [`Plan`].
+    pub fn plan(&self, e: &Expr) -> Result<Plan<'a>, PlanError> {
+        Ok(Plan { phys: self.lower(e)?, db: self.db })
+    }
+
+    fn lower(&self, e: &Expr) -> Result<PhysPlan, PlanError> {
+        Ok(match e {
+            Expr::Table(n) => PhysPlan::Scan(n.clone()),
+            Expr::Lit(v) => PhysPlan::Literal(v.clone()),
+            Expr::Select { var, pred, input } => PhysPlan::Filter {
+                var: var.clone(),
+                pred: (**pred).clone(),
+                input: Box::new(self.lower(input)?),
+            },
+            Expr::Map { var, body, input } => {
+                if self.config.detect_materialize {
+                    if let Some(plan) = self.detect_materialize(var, body, input)? {
+                        return Ok(plan);
+                    }
+                }
+                PhysPlan::MapOp {
+                    var: var.clone(),
+                    body: (**body).clone(),
+                    input: Box::new(self.lower(input)?),
+                }
+            }
+            Expr::Project { attrs, input } => PhysPlan::ProjectOp {
+                attrs: attrs.clone(),
+                input: Box::new(self.lower(input)?),
+            },
+            Expr::Rename { pairs, input } => PhysPlan::RenameOp {
+                pairs: pairs.clone(),
+                input: Box::new(self.lower(input)?),
+            },
+            Expr::Unnest { attr, input } => PhysPlan::UnnestOp {
+                attr: attr.clone(),
+                input: Box::new(self.lower(input)?),
+            },
+            Expr::Nest { attrs, as_attr, input } => PhysPlan::NestOp {
+                attrs: attrs.clone(),
+                as_attr: as_attr.clone(),
+                input: Box::new(self.lower(input)?),
+            },
+            Expr::Flatten(input) => {
+                PhysPlan::FlattenOp { input: Box::new(self.lower(input)?) }
+            }
+            Expr::SetOp(op, l, r) => PhysPlan::SetOpNode {
+                op: *op,
+                left: Box::new(self.lower(l)?),
+                right: Box::new(self.lower(r)?),
+            },
+            Expr::Agg(op, input) => {
+                PhysPlan::AggNode { op: *op, input: Box::new(self.lower(input)?) }
+            }
+            Expr::Let { var, value, body } => PhysPlan::LetOp {
+                var: var.clone(),
+                value: Box::new(self.lower(value)?),
+                body: Box::new(self.lower(body)?),
+            },
+            Expr::Product(l, r) => PhysPlan::ProductOp {
+                left: Box::new(self.lower(l)?),
+                right: Box::new(self.lower(r)?),
+            },
+            Expr::Join { kind, lvar, rvar, pred, left, right } => {
+                self.plan_join(*kind, lvar, rvar, pred, left, right)?
+            }
+            Expr::NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => self
+                .plan_nestjoin(
+                    lvar,
+                    rvar,
+                    pred,
+                    rfunc.as_deref(),
+                    as_attr,
+                    left,
+                    right,
+                )?,
+            // Scalar or irreducible expressions: reference evaluator.
+            other => PhysPlan::Eval(other.clone()),
+        })
+    }
+
+    /// The padding schema for a left outer join.
+    fn right_attrs(&self, right: &Expr) -> Result<Vec<Name>, PlanError> {
+        let t = oodb_adl::infer_closed(right, self.db.catalog())
+            .map_err(PlanError::Type)?;
+        t.sch().ok_or_else(|| {
+            PlanError::Type(AdlTypeError::Shape {
+                op: "outer join",
+                found: t.to_string(),
+            })
+        })
+    }
+
+    fn plan_join(
+        &self,
+        kind: JoinKind,
+        lvar: &Name,
+        rvar: &Name,
+        pred: &Expr,
+        left: &Expr,
+        right: &Expr,
+    ) -> Result<PhysPlan, PlanError> {
+        let l = Box::new(self.lower(left)?);
+        let r = Box::new(self.lower(right)?);
+        let right_attrs = if kind == JoinKind::LeftOuter {
+            self.right_attrs(right)?
+        } else {
+            Vec::new()
+        };
+        if self.config.join_algo == JoinAlgo::NestedLoop {
+            return Ok(PhysPlan::NLJoin {
+                kind,
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                pred: pred.clone(),
+                right_attrs,
+                left: l,
+                right: r,
+            });
+        }
+        let split = split_pred(pred, lvar, rvar);
+        // Index nested-loop join: right side is an indexed extent and one
+        // equi-key is a plain attribute of it.
+        if self.config.use_indexes && !split.equi.is_empty() {
+            if let Expr::Table(extent) = right {
+                if let Some(t) = self.db.table(extent) {
+                    let indexed = split.equi.iter().position(|(_, rk)| {
+                        matches!(
+                            rk,
+                            Expr::Field(b, a)
+                                if matches!(b.as_ref(), Expr::Var(v) if v == rvar)
+                                    && t.has_index(a)
+                        )
+                    });
+                    if let Some(i) = indexed {
+                        let mut equi = split.equi.clone();
+                        let (lkey, rkey) = equi.remove(i);
+                        let attr = match rkey {
+                            Expr::Field(_, a) => a,
+                            _ => unreachable!("shape checked above"),
+                        };
+                        let mut residual_parts = split.residual.clone();
+                        for (lk, rk) in equi {
+                            residual_parts.push(Expr::Cmp(
+                                CmpOp::Eq,
+                                Box::new(lk),
+                                Box::new(rk),
+                            ));
+                        }
+                        return Ok(PhysPlan::IndexNLJoin {
+                            kind,
+                            lvar: lvar.clone(),
+                            rvar: rvar.clone(),
+                            lkey,
+                            attr,
+                            extent: extent.clone(),
+                            residual: build_residual(residual_parts),
+                            right_attrs,
+                            left: l,
+                        });
+                    }
+                }
+            }
+        }
+        if !split.equi.is_empty() {
+            let (lkeys, rkeys): (Vec<Expr>, Vec<Expr>) = split.equi.into_iter().unzip();
+            let residual = build_residual(split.residual);
+            if self.config.join_algo == JoinAlgo::SortMerge && kind == JoinKind::Inner {
+                return Ok(PhysPlan::SortMergeJoin {
+                    lvar: lvar.clone(),
+                    rvar: rvar.clone(),
+                    lkeys,
+                    rkeys,
+                    residual,
+                    left: l,
+                    right: r,
+                });
+            }
+            return Ok(PhysPlan::HashJoin {
+                kind,
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys,
+                rkeys,
+                residual,
+                right_attrs,
+                left: l,
+                right: r,
+            });
+        }
+        if let Some(shape) = split.member {
+            return Ok(PhysPlan::HashMemberJoin {
+                kind,
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                shape,
+                residual: build_residual(split.residual),
+                right_attrs,
+                left: l,
+                right: r,
+            });
+        }
+        Ok(PhysPlan::NLJoin {
+            kind,
+            lvar: lvar.clone(),
+            rvar: rvar.clone(),
+            pred: pred.clone(),
+            right_attrs,
+            left: l,
+            right: r,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn plan_nestjoin(
+        &self,
+        lvar: &Name,
+        rvar: &Name,
+        pred: &Expr,
+        rfunc: Option<&Expr>,
+        as_attr: &Name,
+        left: &Expr,
+        right: &Expr,
+    ) -> Result<PhysPlan, PlanError> {
+        let l = Box::new(self.lower(left)?);
+        let r = Box::new(self.lower(right)?);
+        if self.config.join_algo == JoinAlgo::NestedLoop {
+            return Ok(PhysPlan::NLNestJoin {
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                pred: pred.clone(),
+                rfunc: rfunc.cloned(),
+                as_attr: as_attr.clone(),
+                left: l,
+                right: r,
+            });
+        }
+        let split = split_pred(pred, lvar, rvar);
+        if !split.equi.is_empty() {
+            let (lkeys, rkeys): (Vec<Expr>, Vec<Expr>) = split.equi.into_iter().unzip();
+            return Ok(PhysPlan::HashNestJoin {
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys,
+                rkeys,
+                residual: build_residual(split.residual),
+                rfunc: rfunc.cloned(),
+                as_attr: as_attr.clone(),
+                left: l,
+                right: r,
+            });
+        }
+        if let Some(shape) = split.member {
+            return Ok(PhysPlan::MemberNestJoin {
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                shape,
+                residual: build_residual(split.residual),
+                rfunc: rfunc.cloned(),
+                as_attr: as_attr.clone(),
+                left: l,
+                right: r,
+            });
+        }
+        Ok(PhysPlan::NLNestJoin {
+            lvar: lvar.clone(),
+            rvar: rvar.clone(),
+            pred: pred.clone(),
+            rfunc: rfunc.cloned(),
+            as_attr: as_attr.clone(),
+            left: l,
+            right: r,
+        })
+    }
+
+    /// Recognizes the §6.2 materialization patterns (see module docs).
+    fn detect_materialize(
+        &self,
+        var: &Name,
+        body: &Expr,
+        input: &Expr,
+    ) -> Result<Option<PhysPlan>, PlanError> {
+        let Expr::Except(base, updates) = body else { return Ok(None) };
+        if !matches!(base.as_ref(), Expr::Var(v) if v == var) || updates.len() != 1 {
+            return Ok(None);
+        }
+        let (attr, update) = &updates[0];
+
+        // Pattern B: single-reference assembly
+        // α[x : x except (a = deref⟨C⟩(x.a))](X)
+        if let Expr::Deref(oid_expr, class) = update {
+            if matches!(
+                oid_expr.as_ref(),
+                Expr::Field(b, a) if a == attr && matches!(b.as_ref(), Expr::Var(v) if v == var)
+            ) {
+                return Ok(Some(PhysPlan::Assemble {
+                    input: Box::new(self.lower(input)?),
+                    attr: attr.clone(),
+                    class: class.clone(),
+                    set_valued: false,
+                }));
+            }
+        }
+
+        // Pattern A: set materialization
+        // α[x : x except (a = σ[y : key(y) ∈ x.a](T))](X)
+        let Expr::Select { var: y, pred, input: sel_input } = update else {
+            return Ok(None);
+        };
+        let Expr::Table(extent) = sel_input.as_ref() else { return Ok(None) };
+        let Expr::SetCmp(SetCmpOp::In, key_y, set_expr) = pred.as_ref() else {
+            return Ok(None);
+        };
+        // set side must be exactly x.attr
+        let set_matches = matches!(
+            set_expr.as_ref(),
+            Expr::Field(b, a) if a == attr && matches!(b.as_ref(), Expr::Var(v) if v == var)
+        );
+        if !set_matches {
+            return Ok(None);
+        }
+        // key side must be over y only, with no table references
+        let kf = free_vars(key_y);
+        if kf.iter().any(|n| n != y) || key_y.mentions_table() {
+            return Ok(None);
+        }
+
+        // If the key is the class identity, a pointer-based assembly is
+        // the better implementation.
+        if self.config.prefer_assembly {
+            if let Some(class) = self.db.catalog().class_by_extent(extent) {
+                let is_identity_key = matches!(
+                    key_y.as_ref(),
+                    Expr::Field(b, a) if *a == class.identity
+                        && matches!(b.as_ref(), Expr::Var(v) if v == y)
+                );
+                if is_identity_key {
+                    return Ok(Some(PhysPlan::Assemble {
+                        input: Box::new(self.lower(input)?),
+                        attr: attr.clone(),
+                        class: class.name.clone(),
+                        set_valued: true,
+                    }));
+                }
+            }
+        }
+
+        Ok(Some(PhysPlan::Pnhl {
+            outer: Box::new(self.lower(input)?),
+            set_attr: attr.clone(),
+            inner: Box::new(PhysPlan::Scan(extent.clone())),
+            keys: MatchKeys {
+                elem_var: Name::from("__elem"),
+                elem_key: Expr::Var(Name::from("__elem")),
+                inner_var: y.clone(),
+                inner_key: (**key_y).clone(),
+            },
+            budget: self.config.pnhl_budget,
+        }))
+    }
+}
+
+struct SplitPred {
+    equi: Vec<(Expr, Expr)>,
+    member: Option<MemberShape>,
+    residual: Vec<Expr>,
+}
+
+/// Splits a join predicate into equi-key pairs, at most one membership
+/// shape, and residual conjuncts.
+fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
+    let mut equi = Vec::new();
+    let mut member: Option<MemberShape> = None;
+    let mut residual = Vec::new();
+
+    let only_over = |e: &Expr, v: &Name| -> bool {
+        !e.mentions_table() && free_vars(e).iter().all(|n| n == v)
+    };
+
+    for c in conjuncts(pred) {
+        match c {
+            Expr::Cmp(CmpOp::Eq, a, b) => {
+                // Both sides must actually reference their variable — a
+                // one-sided constant comparison is a filter, not a key.
+                let (af, bf) = (free_vars(a), free_vars(b));
+                if !af.is_empty()
+                    && !bf.is_empty()
+                    && only_over(a, lvar)
+                    && only_over(b, rvar)
+                {
+                    equi.push(((**a).clone(), (**b).clone()));
+                    continue;
+                }
+                if !af.is_empty()
+                    && !bf.is_empty()
+                    && only_over(a, rvar)
+                    && only_over(b, lvar)
+                {
+                    equi.push(((**b).clone(), (**a).clone()));
+                    continue;
+                }
+                residual.push(c.clone());
+            }
+            Expr::SetCmp(SetCmpOp::In, k, s) if member.is_none() => {
+                if only_over(k, rvar) && only_over(s, lvar) && !free_vars(s).is_empty() {
+                    member = Some(MemberShape::RightInLeftSet {
+                        lset: (**s).clone(),
+                        rkey: (**k).clone(),
+                    });
+                } else if only_over(k, lvar)
+                    && only_over(s, rvar)
+                    && !free_vars(s).is_empty()
+                {
+                    member = Some(MemberShape::LeftInRightSet {
+                        lkey: (**k).clone(),
+                        rset: (**s).clone(),
+                    });
+                } else {
+                    residual.push(c.clone());
+                }
+            }
+            other => residual.push(other.clone()),
+        }
+    }
+    SplitPred { equi, member, residual }
+}
+
+fn build_residual(parts: Vec<Expr>) -> Option<Expr> {
+    if parts.is_empty() {
+        None
+    } else {
+        Some(oodb_adl::expr::conjoin(parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::{figure3_db, supplier_part_db};
+
+    fn plan_and_run(db: &Database, e: &Expr) -> (PhysPlan, Value, Stats) {
+        let planner = Planner::new(db);
+        let plan = planner.plan(e).unwrap();
+        let mut stats = Stats::new();
+        let v = plan.execute(&mut stats).unwrap();
+        (plan.phys, v, stats)
+    }
+
+    #[test]
+    fn equi_join_goes_to_hash() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let (phys, v, stats) = plan_and_run(&db, &e);
+        assert!(matches!(phys, PhysPlan::HashJoin { .. }), "{}", phys.explain());
+        assert_eq!(v.as_set().unwrap().len(), 4);
+        assert_eq!(stats.loop_iterations, 0);
+        // agrees with the reference evaluator
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+    }
+
+    #[test]
+    fn member_pred_goes_to_member_join() {
+        let db = supplier_part_db();
+        let e = semijoin(
+            "s",
+            "p",
+            and(
+                member(var("p").field("pid"), var("s").field("parts")),
+                eq(var("p").field("color"), str_lit("red")),
+            ),
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        let (phys, v, _) = plan_and_run(&db, &e);
+        assert!(
+            matches!(phys, PhysPlan::HashMemberJoin { residual: Some(_), .. }),
+            "{}",
+            phys.explain()
+        );
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+        assert_eq!(v.as_set().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn non_equi_falls_back_to_nested_loop() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            lt(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let (phys, v, stats) = plan_and_run(&db, &e);
+        assert!(matches!(phys, PhysPlan::NLJoin { .. }));
+        assert!(stats.loop_iterations > 0);
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+    }
+
+    #[test]
+    fn nested_loop_config_forces_nl() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let planner = Planner::with_config(
+            &db,
+            PlannerConfig { join_algo: JoinAlgo::NestedLoop, ..Default::default() },
+        );
+        let plan = planner.plan(&e).unwrap();
+        assert!(matches!(plan.phys, PhysPlan::NLJoin { .. }));
+    }
+
+    #[test]
+    fn sort_merge_config_used_for_inner() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let planner = Planner::with_config(
+            &db,
+            PlannerConfig { join_algo: JoinAlgo::SortMerge, ..Default::default() },
+        );
+        let plan = planner.plan(&e).unwrap();
+        assert!(matches!(plan.phys, PhysPlan::SortMergeJoin { .. }));
+        let mut stats = Stats::new();
+        let v = plan.execute(&mut stats).unwrap();
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+        // semijoin keeps hash under sort-merge preference
+        let sj = semijoin(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        assert!(matches!(planner.plan(&sj).unwrap().phys, PhysPlan::HashJoin { .. }));
+    }
+
+    #[test]
+    fn nestjoin_plans_member_variant() {
+        let db = supplier_part_db();
+        let e = nestjoin_with(
+            "s",
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            var("p").field("pname"),
+            "pnames",
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        let (phys, v, _) = plan_and_run(&db, &e);
+        assert!(matches!(phys, PhysPlan::MemberNestJoin { .. }));
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+    }
+
+    #[test]
+    fn detects_identity_materialization_as_assembly() {
+        let db = supplier_part_db();
+        // α[s : s except (parts = σ[p : p.pid ∈ s.parts](PART))](SUPPLIER)
+        let e = map(
+            "s",
+            except(
+                var("s"),
+                vec![(
+                    "parts",
+                    select(
+                        "p",
+                        member(var("p").field("pid"), var("s").field("parts")),
+                        table("PART"),
+                    ),
+                )],
+            ),
+            table("SUPPLIER"),
+        );
+        let (phys, v, stats) = plan_and_run(&db, &e);
+        assert!(matches!(phys, PhysPlan::Assemble { set_valued: true, .. }));
+        assert!(stats.oid_lookups > 0);
+        // identical to the naive evaluation
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+    }
+
+    #[test]
+    fn non_identity_key_materialization_uses_pnhl() {
+        let db = supplier_part_db();
+        // same shape, but keyed on pname (not the identity)
+        let e = map(
+            "s",
+            except(
+                var("s"),
+                vec![(
+                    "parts",
+                    select(
+                        "p",
+                        member(var("p").field("pname"), var("s").field("parts")),
+                        table("PART"),
+                    ),
+                )],
+            ),
+            table("SUPPLIER"),
+        );
+        let planner = Planner::new(&db);
+        let plan = planner.plan(&e).unwrap();
+        assert!(matches!(plan.phys, PhysPlan::Pnhl { .. }), "{}", plan.explain());
+    }
+
+    #[test]
+    fn single_deref_detected_as_assembly() {
+        let db = supplier_part_db();
+        let e = map(
+            "d",
+            except(
+                var("d"),
+                vec![("supplier", deref(var("d").field("supplier"), "Supplier"))],
+            ),
+            table("DELIVERY"),
+        );
+        let (phys, v, _) = plan_and_run(&db, &e);
+        assert!(matches!(phys, PhysPlan::Assemble { set_valued: false, .. }));
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+    }
+
+    #[test]
+    fn outer_join_padding_schema_computed() {
+        let db = figure3_db();
+        let e = outerjoin(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let (phys, v, _) = plan_and_run(&db, &e);
+        match &phys {
+            PhysPlan::HashJoin { right_attrs, .. } => {
+                assert_eq!(right_attrs.len(), 3); // c, d, yid
+            }
+            other => panic!("expected hash join, got {}", other.explain()),
+        }
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+    }
+
+    #[test]
+    fn let_runs_value_once() {
+        let db = supplier_part_db();
+        // let reds = σ[p: color=red](PART) in SUPPLIER ⋉_{s,p2: p2 ∈ reds…}
+        let e = let_(
+            "reds",
+            map(
+                "p",
+                var("p").field("pid"),
+                select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+            ),
+            select(
+                "s",
+                exists("x", var("s").field("parts"), member(var("x"), var("reds"))),
+                table("SUPPLIER"),
+            ),
+        );
+        let (phys, v, _) = plan_and_run(&db, &e);
+        assert!(matches!(phys, PhysPlan::LetOp { .. }));
+        assert_eq!(v.as_set().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let text = Planner::new(&db).plan(&e).unwrap().explain();
+        assert!(text.contains("HashJoin"));
+        assert!(text.contains("Scan X"));
+        assert!(text.contains("Scan Y"));
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_db;
+
+    #[test]
+    fn indexed_extent_uses_index_nl_join() {
+        let mut db = supplier_part_db();
+        db.create_index("PART", "color").unwrap();
+        // PART-color equi-join against a color list
+        let colors = map(
+            "c",
+            tuple(vec![("col", var("c"))]),
+            Expr::Lit(oodb_value::Value::set([
+                oodb_value::Value::str("red"),
+                oodb_value::Value::str("green"),
+            ])),
+        );
+        let e = join(
+            "c",
+            "p",
+            eq(var("c").field("col"), var("p").field("color")),
+            colors,
+            table("PART"),
+        );
+        let planner = Planner::new(&db);
+        let plan = planner.plan(&e).unwrap();
+        assert!(
+            matches!(plan.phys, PhysPlan::IndexNLJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+        let mut stats = Stats::new();
+        let v = plan.execute(&mut stats).unwrap();
+        assert!(stats.index_probes > 0);
+        // agrees with the reference evaluator: 3 red + 1 green part
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+        assert_eq!(v.as_set().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn no_index_no_index_join() {
+        let db = supplier_part_db(); // no secondary indexes
+        let e = join(
+            "s",
+            "d",
+            eq(var("s").field("eid"), var("d").field("supplier")),
+            project(&["eid", "sname"], table("SUPPLIER")),
+            table("DELIVERY"),
+        );
+        let planner = Planner::new(&db);
+        assert!(matches!(planner.plan(&e).unwrap().phys, PhysPlan::HashJoin { .. }));
+        // disabled by config even when present
+        let mut db2 = supplier_part_db();
+        db2.create_index("DELIVERY", "supplier").unwrap();
+        let planner2 = Planner::with_config(
+            &db2,
+            PlannerConfig { use_indexes: false, ..Default::default() },
+        );
+        assert!(matches!(planner2.plan(&e).unwrap().phys, PhysPlan::HashJoin { .. }));
+        let planner3 = Planner::new(&db2);
+        assert!(matches!(planner3.plan(&e).unwrap().phys, PhysPlan::IndexNLJoin { .. }));
+    }
+
+    #[test]
+    fn index_join_kinds_agree_with_reference() {
+        let mut db = supplier_part_db();
+        db.create_index("DELIVERY", "supplier").unwrap();
+        let ev = Evaluator::new(&db);
+        for kind in [JoinKind::Semi, JoinKind::Anti] {
+            let e = Expr::Join {
+                kind,
+                lvar: "s".into(),
+                rvar: "d".into(),
+                pred: Box::new(eq(var("s").field("eid"), var("d").field("supplier"))),
+                left: Box::new(table("SUPPLIER")),
+                right: Box::new(table("DELIVERY")),
+            };
+            let planner = Planner::new(&db);
+            let plan = planner.plan(&e).unwrap();
+            assert!(matches!(plan.phys, PhysPlan::IndexNLJoin { .. }));
+            let mut stats = Stats::new();
+            assert_eq!(plan.execute(&mut stats).unwrap(), ev.eval_closed(&e).unwrap());
+        }
+    }
+}

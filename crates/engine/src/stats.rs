@@ -1,0 +1,109 @@
+//! Operator statistics.
+//!
+//! Wall-clock alone does not show *why* a plan wins; these counters expose
+//! the work profile the paper reasons about — nested-loop iterations
+//! versus hash build/probe work, partitioning passes of the PNHL
+//! algorithm, and pointer dereferences of the assembly operator.
+
+use std::fmt;
+
+/// Work counters accumulated during evaluation/execution.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Tuples produced by scans of base tables.
+    pub rows_scanned: u64,
+    /// Inner iterations of nested-loop style operators (the quadratic
+    /// term the paper's rewrites eliminate).
+    pub loop_iterations: u64,
+    /// Predicate / lambda-body evaluations.
+    pub predicate_evals: u64,
+    /// Tuples inserted into hash tables (build side).
+    pub hash_build_rows: u64,
+    /// Hash table probes.
+    pub hash_probes: u64,
+    /// Partitions/segments created (PNHL memory-budget passes).
+    pub partitions: u64,
+    /// Pointer dereferences through an oid index (materialize/assembly).
+    pub oid_lookups: u64,
+    /// Secondary-index probes (index nested-loop join).
+    pub index_probes: u64,
+    /// Tuples in the final result (top-level set cardinality).
+    pub output_rows: u64,
+}
+
+impl Stats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `other` into `self` (merging parallel branches).
+    pub fn merge(&mut self, other: &Stats) {
+        self.rows_scanned += other.rows_scanned;
+        self.loop_iterations += other.loop_iterations;
+        self.predicate_evals += other.predicate_evals;
+        self.hash_build_rows += other.hash_build_rows;
+        self.hash_probes += other.hash_probes;
+        self.partitions += other.partitions;
+        self.oid_lookups += other.oid_lookups;
+        self.index_probes += other.index_probes;
+        self.output_rows += other.output_rows;
+    }
+
+    /// Total "work units": a crude, hardware-independent cost proxy used
+    /// by the benchmark report next to wall-clock times.
+    pub fn work(&self) -> u64 {
+        self.rows_scanned
+            + self.loop_iterations
+            + self.predicate_evals
+            + self.hash_build_rows
+            + self.hash_probes
+            + self.oid_lookups
+            + self.index_probes
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scan={} loop={} pred={} build={} probe={} parts={} deref={} idx={} out={}",
+            self.rows_scanned,
+            self.loop_iterations,
+            self.predicate_evals,
+            self.hash_build_rows,
+            self.hash_probes,
+            self.partitions,
+            self.oid_lookups,
+            self.index_probes,
+            self.output_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = Stats { rows_scanned: 1, hash_probes: 2, ..Stats::default() };
+        let b = Stats { rows_scanned: 10, loop_iterations: 5, ..Stats::default() };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 11);
+        assert_eq!(a.loop_iterations, 5);
+        assert_eq!(a.hash_probes, 2);
+    }
+
+    #[test]
+    fn work_excludes_output() {
+        let s = Stats { output_rows: 100, rows_scanned: 3, ..Stats::default() };
+        assert_eq!(s.work(), 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Stats::default();
+        assert!(s.to_string().starts_with("scan=0"));
+    }
+}

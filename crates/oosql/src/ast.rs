@@ -1,0 +1,278 @@
+//! The OOSQL abstract syntax tree.
+//!
+//! OOSQL is an **orthogonal** language (paper §2): "the expressions in the
+//! from- and select-clause of OOSQL may be arbitrary, also containing
+//! other select-from-where (sfw) expressions (subqueries), provided they
+//! are correctly typed. Predicates may also be built up from arbitrary
+//! expressions including quantifiers forall and exists and set comparison
+//! operators." The AST reflects that: [`OExpr::Sfw`] is just another
+//! expression.
+
+use oodb_value::{ArithOp, CmpOp, Name, SetCmpOp, Value};
+use std::fmt;
+
+/// A `from`-clause binding `var in expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// The iteration variable.
+    pub var: Name,
+    /// The operand — a base table *or* any set-valued expression
+    /// (set-valued attributes included).
+    pub range: OExpr,
+}
+
+/// An OOSQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OExpr {
+    /// Literal constant.
+    Lit(Value),
+    /// Identifier: a bound variable or a base table name — resolved during
+    /// type checking.
+    Ident(Name),
+    /// Path step `e.attr`; traverses tuple attributes and (implicitly)
+    /// object references.
+    Path(Box<OExpr>, Name),
+    /// Tuple construction `(a := e₁, b := e₂)`.
+    Tuple(Vec<(Name, OExpr)>),
+    /// Set literal `{e₁, …}`.
+    SetLit(Vec<OExpr>),
+    /// Scalar comparison; `=`/`!=` double as set equality when the
+    /// operands are sets (disambiguated by the type checker).
+    Cmp(CmpOp, Box<OExpr>, Box<OExpr>),
+    /// Set comparison with explicit keyword (`in`, `subset`, `subseteq`,
+    /// `supset`, `supseteq`, `contains`, and their negations).
+    SetCmp(SetCmpOp, Box<OExpr>, Box<OExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<OExpr>, Box<OExpr>),
+    /// Unary minus.
+    Neg(Box<OExpr>),
+    /// `e₁ and e₂`
+    And(Box<OExpr>, Box<OExpr>),
+    /// `e₁ or e₂`
+    Or(Box<OExpr>, Box<OExpr>),
+    /// `not e`
+    Not(Box<OExpr>),
+    /// `union` / `intersect` / `minus`.
+    SetBin(SetBinOp, Box<OExpr>, Box<OExpr>),
+    /// Quantifier `exists x in e : p` / `forall x in e : p`.
+    Quant {
+        /// True for `exists`, false for `forall`.
+        exists: bool,
+        /// Bound variable.
+        var: Name,
+        /// Range (set-valued expression).
+        range: Box<OExpr>,
+        /// Quantified predicate.
+        pred: Box<OExpr>,
+    },
+    /// Aggregate `count(e)`, `sum(e)`, ….
+    Agg(AggKind, Box<OExpr>),
+    /// `flatten(e)` — multiple union.
+    Flatten(Box<OExpr>),
+    /// `date(yyyymmdd)` literal constructor.
+    DateLit(Box<OExpr>),
+    /// A select-from-where block.
+    Sfw {
+        /// The select-clause expression (arbitrary, may contain subqueries
+        /// — nesting in the select-clause, Example Query 1).
+        select: Box<OExpr>,
+        /// The from-clause bindings (multiple bindings denote nested
+        /// iteration, left to right).
+        bindings: Vec<Binding>,
+        /// The optional where-clause predicate (nesting in the
+        /// where-clause, Example Query 3).
+        where_: Option<Box<OExpr>>,
+    },
+    /// `with v as (e₁) e₂` — the paper's `with` construct "enabling local
+    /// definitions, used for reasons of convenience" (§5.1).
+    With {
+        /// Bound name.
+        var: Name,
+        /// Definition.
+        value: Box<OExpr>,
+        /// Body in which `var` is visible.
+        body: Box<OExpr>,
+    },
+}
+
+/// Binary set operators in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetBinOp {
+    /// `union`
+    Union,
+    /// `intersect`
+    Intersect,
+    /// `minus`
+    Minus,
+}
+
+/// Aggregate kinds in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `count`
+    Count,
+    /// `sum`
+    Sum,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `avg`
+    Avg,
+}
+
+impl AggKind {
+    /// Source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::Avg => "avg",
+        }
+    }
+}
+
+impl fmt::Display for OExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OExpr::Lit(v) => {
+                // parenthesize negative numerics: `-1.s` would re-parse as
+                // `-(1.s)`, and `1 - -2` needs the space-free form kept sane
+                let negative = matches!(v, Value::Int(i) if *i < 0)
+                    || matches!(v, Value::Float(x) if x.get() < 0.0);
+                if negative {
+                    write!(f, "({v})")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            OExpr::Ident(n) => write!(f, "{n}"),
+            OExpr::Path(e, a) => write!(f, "{e}.{a}"),
+            OExpr::Tuple(fields) => {
+                write!(f, "(")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} := {e}")?;
+                }
+                write!(f, ")")
+            }
+            OExpr::SetLit(es) => {
+                write!(f, "{{")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            OExpr::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            OExpr::SetCmp(op, a, b) => {
+                let kw = match op {
+                    SetCmpOp::In => "in",
+                    SetCmpOp::NotIn => "not in",
+                    SetCmpOp::Subset => "subset",
+                    SetCmpOp::SubsetEq => "subseteq",
+                    SetCmpOp::SetEq => "=",
+                    SetCmpOp::SetNe => "!=",
+                    SetCmpOp::SupersetEq => "supseteq",
+                    SetCmpOp::Superset => "supset",
+                    SetCmpOp::Contains => "contains",
+                    SetCmpOp::NotContains => "not contains",
+                };
+                write!(f, "({a} {kw} {b})")
+            }
+            OExpr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            OExpr::Neg(e) => write!(f, "-{e}"),
+            OExpr::And(a, b) => write!(f, "({a} and {b})"),
+            OExpr::Or(a, b) => write!(f, "({a} or {b})"),
+            OExpr::Not(e) => write!(f, "(not {e})"),
+            OExpr::SetBin(op, a, b) => {
+                let kw = match op {
+                    SetBinOp::Union => "union",
+                    SetBinOp::Intersect => "intersect",
+                    SetBinOp::Minus => "minus",
+                };
+                write!(f, "({a} {kw} {b})")
+            }
+            OExpr::Quant { exists, var, range, pred } => {
+                // self-parenthesized: the predicate extends maximally to
+                // the right when parsing, so an unparenthesized quantifier
+                // inside a larger expression would swallow its context
+                let kw = if *exists { "exists" } else { "forall" };
+                write!(f, "({kw} {var} in {range} : {pred})")
+            }
+            OExpr::Agg(k, e) => write!(f, "{}({e})", k.name()),
+            OExpr::Flatten(e) => write!(f, "flatten({e})"),
+            OExpr::DateLit(e) => write!(f, "date({e})"),
+            OExpr::Sfw { select, bindings, where_ } => {
+                // self-parenthesized for the same reason as quantifiers
+                write!(f, "(select {select} from ")?;
+                for (i, b) in bindings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} in {}", b.var, b.range)?;
+                }
+                if let Some(w) = where_ {
+                    write!(f, " where {w}")?;
+                }
+                write!(f, ")")
+            }
+            OExpr::With { var, value, body } => {
+                write!(f, "(with {var} as ({value}) {body})")
+            }
+        }
+    }
+}
+
+impl OExpr {
+    /// Identifier helper.
+    pub fn ident(s: &str) -> OExpr {
+        OExpr::Ident(Name::from(s))
+    }
+
+    /// Path helper.
+    pub fn path(self, attr: &str) -> OExpr {
+        OExpr::Path(Box::new(self), Name::from(attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let q = OExpr::Sfw {
+            select: Box::new(OExpr::ident("s").path("sname")),
+            bindings: vec![Binding {
+                var: Name::from("s"),
+                range: OExpr::ident("SUPPLIER"),
+            }],
+            where_: Some(Box::new(OExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(OExpr::ident("s").path("sname")),
+                Box::new(OExpr::Lit(Value::str("s1"))),
+            ))),
+        };
+        assert_eq!(
+            q.to_string(),
+            "(select s.sname from s in SUPPLIER where (s.sname = \"s1\"))"
+        );
+    }
+}

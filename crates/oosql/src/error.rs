@@ -1,0 +1,61 @@
+//! OOSQL front-end errors.
+
+use std::fmt;
+
+/// A lexing or parsing error, with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Builds an error at `offset`.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A type-checking error over the OOSQL AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description, referencing the offending expression.
+    pub message: String,
+}
+
+impl TypeError {
+    /// Builds a type error.
+    pub fn new(message: impl Into<String>) -> Self {
+        TypeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(17, "expected `from`");
+        assert_eq!(e.to_string(), "at byte 17: expected `from`");
+        assert_eq!(TypeError::new("boom").to_string(), "boom");
+    }
+}

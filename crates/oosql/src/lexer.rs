@@ -1,0 +1,243 @@
+//! Hand-rolled OOSQL lexer.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenizes OOSQL source text.
+///
+/// Comments run from `--` to end of line. Whitespace is insignificant.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push(&mut tokens, TokenKind::LParen, &mut i),
+            ')' => push(&mut tokens, TokenKind::RParen, &mut i),
+            '{' => push(&mut tokens, TokenKind::LBrace, &mut i),
+            '}' => push(&mut tokens, TokenKind::RBrace, &mut i),
+            '[' => push(&mut tokens, TokenKind::LBracket, &mut i),
+            ']' => push(&mut tokens, TokenKind::RBracket, &mut i),
+            ',' => push(&mut tokens, TokenKind::Comma, &mut i),
+            '.' => push(&mut tokens, TokenKind::Dot, &mut i),
+            '+' => push(&mut tokens, TokenKind::Plus, &mut i),
+            '-' => push(&mut tokens, TokenKind::Minus, &mut i),
+            '*' => push(&mut tokens, TokenKind::Star, &mut i),
+            '/' => push(&mut tokens, TokenKind::Slash, &mut i),
+            '%' => push(&mut tokens, TokenKind::Percent, &mut i),
+            '=' => push(&mut tokens, TokenKind::Eq, &mut i),
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Assign, offset: i });
+                    i += 2;
+                } else {
+                    push(&mut tokens, TokenKind::Colon, &mut i);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "unexpected character `!`"));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    i += 2;
+                }
+                _ => push(&mut tokens, TokenKind::Lt, &mut i),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    push(&mut tokens, TokenKind::Gt, &mut i)
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new(start, "unterminated string"))
+                        }
+                        Some(&b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            // simple escapes: \" \\ \n \t
+                            match bytes.get(i + 1) {
+                                Some(&b'"') => s.push('"'),
+                                Some(&b'\\') => s.push('\\'),
+                                Some(&b'n') => s.push('\n'),
+                                Some(&b't') => s.push('\t'),
+                                other => {
+                                    return Err(ParseError::new(
+                                        i,
+                                        format!("bad escape sequence {other:?}"),
+                                    ))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes[i + 1].is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v = text.parse::<f64>().map_err(|_| {
+                        ParseError::new(start, format!("bad float literal `{text}`"))
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Float(v), offset: start });
+                } else {
+                    let text = &src[start..i];
+                    let v = text.parse::<i64>().map_err(|_| {
+                        ParseError::new(start, format!("integer literal out of range `{text}`"))
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(v), offset: start });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match Keyword::lookup(word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character `{other}`")))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_simple_query() {
+        let ks = kinds("select s from s in SUPPLIER");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("s".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("s".into()),
+                TokenKind::Keyword(Keyword::In),
+                TokenKind::Ident("SUPPLIER".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        let ks = kinds(r#"x.a <= 2 and y != "red" or z >= 1.5"#);
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(ks.contains(&TokenKind::Ne));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Str("red".into())));
+        assert!(ks.contains(&TokenKind::Float(1.5)));
+    }
+
+    #[test]
+    fn lexes_assign_vs_colon() {
+        assert_eq!(
+            kinds("a := 1 : 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Colon,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("1 -- this is a comment\n2");
+        assert_eq!(ks, vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![TokenKind::Int(1), TokenKind::Minus, TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b""#), vec![TokenKind::Str("a\"b".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.offset, 4);
+        let err = lex(r#""unterminated"#).unwrap_err();
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn angle_bracket_ne() {
+        assert_eq!(kinds("a <> b")[1], TokenKind::Ne);
+    }
+}

@@ -1,0 +1,43 @@
+//! # OOSQL — an orthogonal SQL-like query language for OODB
+//!
+//! The source language of *From Nested-Loop to Join Queries in OODB*
+//! (Steenhagen et al., VLDB 1994). OOSQL allows nesting in **all** clauses
+//! of the select statement (§2):
+//!
+//! * **select-clause** nesting produces set-valued attributes in complex
+//!   objects (Example Query 1);
+//! * **from-clause** nesting denotes query composition (Example Query 2) —
+//!   operands may be base tables *or set-valued attributes*;
+//! * **where-clause** nesting expresses restrictions, with quantifiers
+//!   (`exists`/`forall`) and set comparison operators (`in`, `subset`,
+//!   `subseteq`, `supset`, `supseteq`, `contains`, `=`) between query
+//!   blocks (Example Query 3).
+//!
+//! This crate provides the lexer, parser ([`parse`]), AST ([`ast::OExpr`])
+//! and type checker ([`typecheck()`]); translation into the ADL algebra
+//! lives in `oodb-translate`.
+//!
+//! ```
+//! use oodb_oosql::{parse, typecheck};
+//! use oodb_catalog::fixtures::supplier_part_catalog;
+//!
+//! let q = parse(
+//!     "select s.sname from s in SUPPLIER \
+//!      where exists p in PART : p.pid in s.parts and p.color = \"red\"",
+//! )
+//! .unwrap();
+//! let ty = typecheck(&q, &supplier_part_catalog()).unwrap();
+//! assert_eq!(ty.to_string(), "{string}");
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod typecheck;
+
+pub use ast::{AggKind, Binding, OExpr, SetBinOp};
+pub use error::{ParseError, TypeError};
+pub use parser::parse;
+pub use typecheck::{deref_step, infer as infer_type, typecheck, OEnv};

@@ -1,0 +1,601 @@
+//! Recursive-descent parser for OOSQL.
+//!
+//! Operator precedence, loosest first: `with` bodies, `or`, `and`, `not`,
+//! comparisons (scalar and set, non-associative), additive (`+ - union
+//! minus`), multiplicative (`* / % intersect`), unary minus, path
+//! postfix (`.attr`), primaries. `select … from … where …` and quantifier
+//! expressions begin with keywords, so the orthogonal nesting of OOSQL
+//! parses without ambiguity.
+
+use crate::ast::{AggKind, Binding, OExpr, SetBinOp};
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Token, TokenKind};
+use oodb_value::{ArithOp, CmpOp, Name, SetCmpOp, Value};
+
+/// Parses one OOSQL expression (usually a query) from source text.
+pub fn parse(src: &str) -> Result<OExpr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if *self.peek() == TokenKind::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_offset(),
+                format!("expected `{}`, found {}", kw.as_str(), self.peek()),
+            ))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_offset(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_offset(),
+                format!("unexpected trailing {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Name, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(Name::from(s.as_str()))
+            }
+            other => Err(ParseError::new(
+                self.peek_offset(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<OExpr, ParseError> {
+        if self.eat_kw(Keyword::With) {
+            let var = self.ident()?;
+            self.expect_kw(Keyword::As)?;
+            self.expect(TokenKind::LParen)?;
+            let value = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let body = self.expr()?;
+            return Ok(OExpr::With {
+                var,
+                value: Box::new(value),
+                body: Box::new(body),
+            });
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<OExpr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.and_expr()?;
+            lhs = OExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<OExpr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = OExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<OExpr, ParseError> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            return Ok(OExpr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<OExpr, ParseError> {
+        let lhs = self.add_expr()?;
+        // scalar comparison operators
+        let cmp = match self.peek() {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Ne => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(OExpr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        // set comparison keywords, including `not in` / `not contains`
+        let set = match self.peek() {
+            TokenKind::Keyword(Keyword::In) => Some(SetCmpOp::In),
+            TokenKind::Keyword(Keyword::Subset) => Some(SetCmpOp::Subset),
+            TokenKind::Keyword(Keyword::Subseteq) => Some(SetCmpOp::SubsetEq),
+            TokenKind::Keyword(Keyword::Supset) => Some(SetCmpOp::Superset),
+            TokenKind::Keyword(Keyword::Supseteq) => Some(SetCmpOp::SupersetEq),
+            TokenKind::Keyword(Keyword::Contains) => Some(SetCmpOp::Contains),
+            TokenKind::Keyword(Keyword::Not) => {
+                match self.tokens.get(self.pos + 1).map(|t| &t.kind) {
+                    Some(TokenKind::Keyword(Keyword::In)) => {
+                        self.bump();
+                        Some(SetCmpOp::NotIn)
+                    }
+                    Some(TokenKind::Keyword(Keyword::Contains)) => {
+                        self.bump();
+                        Some(SetCmpOp::NotContains)
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(op) = set {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(OExpr::SetCmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<OExpr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let node = match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    OExpr::Arith(ArithOp::Add, Box::new(lhs), Box::new(rhs))
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    OExpr::Arith(ArithOp::Sub, Box::new(lhs), Box::new(rhs))
+                }
+                TokenKind::Keyword(Keyword::Union) => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    OExpr::SetBin(SetBinOp::Union, Box::new(lhs), Box::new(rhs))
+                }
+                TokenKind::Keyword(Keyword::Minus) => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    OExpr::SetBin(SetBinOp::Minus, Box::new(lhs), Box::new(rhs))
+                }
+                _ => break,
+            };
+            lhs = node;
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<OExpr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let node = match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    let rhs = self.unary_expr()?;
+                    OExpr::Arith(ArithOp::Mul, Box::new(lhs), Box::new(rhs))
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    let rhs = self.unary_expr()?;
+                    OExpr::Arith(ArithOp::Div, Box::new(lhs), Box::new(rhs))
+                }
+                TokenKind::Percent => {
+                    self.bump();
+                    let rhs = self.unary_expr()?;
+                    OExpr::Arith(ArithOp::Mod, Box::new(lhs), Box::new(rhs))
+                }
+                TokenKind::Keyword(Keyword::Intersect) => {
+                    self.bump();
+                    let rhs = self.unary_expr()?;
+                    OExpr::SetBin(SetBinOp::Intersect, Box::new(lhs), Box::new(rhs))
+                }
+                _ => break,
+            };
+            lhs = node;
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<OExpr, ParseError> {
+        if *self.peek() == TokenKind::Minus {
+            self.bump();
+            let inner = self.unary_expr()?;
+            // fold negative numeric literals so `-1` IS the literal -1
+            return Ok(match inner {
+                OExpr::Lit(Value::Int(i)) => OExpr::Lit(Value::Int(-i)),
+                OExpr::Lit(Value::Float(x)) => OExpr::Lit(Value::float(-x.get())),
+                other => OExpr::Neg(Box::new(other)),
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<OExpr, ParseError> {
+        let mut e = self.primary()?;
+        while *self.peek() == TokenKind::Dot {
+            self.bump();
+            let attr = self.attr_name()?;
+            e = OExpr::Path(Box::new(e), attr);
+        }
+        Ok(e)
+    }
+
+    /// Attribute names may coincide with keywords (`d.date`, `x.count`):
+    /// after a `.` any keyword reads as a plain name.
+    fn attr_name(&mut self) -> Result<Name, ParseError> {
+        if let TokenKind::Keyword(kw) = self.peek() {
+            let n = Name::from(kw.as_str());
+            self.bump();
+            return Ok(n);
+        }
+        self.ident()
+    }
+
+    fn primary(&mut self) -> Result<OExpr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(OExpr::Lit(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(OExpr::Lit(Value::float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(OExpr::Lit(Value::str(&s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(OExpr::Lit(Value::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(OExpr::Lit(Value::Bool(false)))
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(OExpr::Ident(Name::from(s.as_str())))
+            }
+            TokenKind::Keyword(Keyword::Select) => self.sfw(),
+            TokenKind::Keyword(Keyword::Exists) => self.quant(true),
+            TokenKind::Keyword(Keyword::Forall) => self.quant(false),
+            TokenKind::Keyword(kw @ (Keyword::Count
+            | Keyword::Sum
+            | Keyword::Min
+            | Keyword::Max
+            | Keyword::Avg)) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let kind = match kw {
+                    Keyword::Count => AggKind::Count,
+                    Keyword::Sum => AggKind::Sum,
+                    Keyword::Min => AggKind::Min,
+                    Keyword::Max => AggKind::Max,
+                    _ => AggKind::Avg,
+                };
+                Ok(OExpr::Agg(kind, Box::new(inner)))
+            }
+            TokenKind::Keyword(Keyword::Flatten) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(OExpr::Flatten(Box::new(inner)))
+            }
+            TokenKind::Keyword(Keyword::Date) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(OExpr::DateLit(Box::new(inner)))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut elems = Vec::new();
+                if *self.peek() != TokenKind::RBrace {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat_comma() {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(OExpr::SetLit(elems))
+            }
+            TokenKind::LParen => {
+                // Tuple literal `(a := e, …)` vs parenthesized expression.
+                let is_tuple = matches!(
+                    (
+                        self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        self.tokens.get(self.pos + 2).map(|t| &t.kind)
+                    ),
+                    (Some(TokenKind::Ident(_)), Some(TokenKind::Assign))
+                );
+                self.bump();
+                if is_tuple {
+                    let mut fields = Vec::new();
+                    loop {
+                        let n = self.ident()?;
+                        self.expect(TokenKind::Assign)?;
+                        let e = self.expr()?;
+                        fields.push((n, e));
+                        if !self.eat_comma() {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(OExpr::Tuple(fields))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            other => Err(ParseError::new(
+                self.peek_offset(),
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+
+    fn eat_comma(&mut self) -> bool {
+        if *self.peek() == TokenKind::Comma {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn sfw(&mut self) -> Result<OExpr, ParseError> {
+        self.expect_kw(Keyword::Select)?;
+        let select = self.expr()?;
+        self.expect_kw(Keyword::From)?;
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.ident()?;
+            self.expect_kw(Keyword::In)?;
+            let range = self.expr()?;
+            bindings.push(Binding { var, range });
+            if !self.eat_comma() {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw(Keyword::Where) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        Ok(OExpr::Sfw { select: Box::new(select), bindings, where_ })
+    }
+
+    fn quant(&mut self, exists: bool) -> Result<OExpr, ParseError> {
+        self.bump(); // exists / forall
+        let var = self.ident()?;
+        self.expect_kw(Keyword::In)?;
+        let range = self.expr()?;
+        self.expect(TokenKind::Colon)?;
+        let pred = self.expr()?;
+        Ok(OExpr::Quant {
+            exists,
+            var,
+            range: Box::new(range),
+            pred: Box::new(pred),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_query_1() {
+        // Nesting in the select-clause (paper Example Query 1).
+        let q = parse(
+            "select (sname := s.sname, \
+                     pnames := select p.pname from p in PART \
+                               where p.pid in s.parts and p.color = \"red\") \
+             from s in SUPPLIER",
+        )
+        .unwrap();
+        match q {
+            OExpr::Sfw { select, bindings, where_ } => {
+                assert!(matches!(*select, OExpr::Tuple(_)));
+                assert_eq!(bindings.len(), 1);
+                assert!(where_.is_none());
+            }
+            other => panic!("expected sfw, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_example_query_2_from_nesting() {
+        let q = parse(
+            "select d from d in (select e from e in DELIVERY \
+              where e.supplier.sname = \"s1\") where d.date = date(940101)",
+        )
+        .unwrap();
+        match q {
+            OExpr::Sfw { bindings, where_, .. } => {
+                assert!(matches!(bindings[0].range, OExpr::Sfw { .. }));
+                assert!(where_.is_some());
+            }
+            other => panic!("expected sfw, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifier_query() {
+        // Example Query 3.2: exists over a set-valued attribute.
+        let q = parse(
+            "select d from d in DELIVERY \
+             where exists s in d.supply : s.part.color = \"red\"",
+        )
+        .unwrap();
+        match q {
+            OExpr::Sfw { where_: Some(w), .. } => {
+                assert!(matches!(*w, OExpr::Quant { exists: true, .. }));
+            }
+            other => panic!("expected sfw with where, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_comparisons() {
+        let q = parse("s.parts supseteq t.parts").unwrap();
+        assert!(matches!(q, OExpr::SetCmp(SetCmpOp::SupersetEq, _, _)));
+        let q = parse("x not in s.parts").unwrap();
+        assert!(matches!(q, OExpr::SetCmp(SetCmpOp::NotIn, _, _)));
+        let q = parse("s.parts not contains x").unwrap();
+        assert!(matches!(q, OExpr::SetCmp(SetCmpOp::NotContains, _, _)));
+        // plain `not` still parses as negation
+        let q = parse("not x = 1").unwrap();
+        assert!(matches!(q, OExpr::Not(_)));
+    }
+
+    #[test]
+    fn precedence_and_or_cmp() {
+        let q = parse("a = 1 and b = 2 or c = 3").unwrap();
+        // ((a=1 and b=2) or c=3)
+        assert!(matches!(q, OExpr::Or(_, _)));
+        let q = parse("1 + 2 * 3 = 7").unwrap();
+        match q {
+            OExpr::Cmp(CmpOp::Eq, lhs, _) => {
+                assert!(matches!(*lhs, OExpr::Arith(ArithOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_binding_from() {
+        let q = parse("select (a := x.a, b := y.b) from x in X, y in Y where x.a = y.b")
+            .unwrap();
+        match q {
+            OExpr::Sfw { bindings, .. } => assert_eq!(bindings.len(), 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_with_construct() {
+        let q = parse(
+            "with ys as (select t.parts from t in SUPPLIER) \
+             select s from s in SUPPLIER where s.parts in ys",
+        )
+        .unwrap();
+        assert!(matches!(q, OExpr::With { .. }));
+    }
+
+    #[test]
+    fn parses_aggregates_and_flatten() {
+        assert!(matches!(parse("count(s.parts)").unwrap(), OExpr::Agg(AggKind::Count, _)));
+        assert!(matches!(parse("flatten(x)").unwrap(), OExpr::Flatten(_)));
+        assert!(matches!(
+            parse("{1, 2, 3}").unwrap(),
+            OExpr::SetLit(v) if v.len() == 3
+        ));
+        assert!(matches!(parse("{}").unwrap(), OExpr::SetLit(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn set_binops_parse() {
+        assert!(matches!(
+            parse("a union b minus c").unwrap(),
+            OExpr::SetBin(SetBinOp::Minus, _, _)
+        ));
+        assert!(matches!(
+            parse("a intersect b").unwrap(),
+            OExpr::SetBin(SetBinOp::Intersect, _, _)
+        ));
+    }
+
+    #[test]
+    fn error_reporting_positions() {
+        let err = parse("select s from").unwrap_err();
+        assert!(err.message.contains("identifier"));
+        let err = parse("select s from s SUPPLIER").unwrap_err();
+        assert!(err.message.contains("`in`"));
+        let err = parse("1 +").unwrap_err();
+        assert!(err.message.contains("expression"));
+        let err = parse("x = 1 extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn parenthesized_vs_tuple() {
+        assert!(matches!(parse("(1 + 2)").unwrap(), OExpr::Arith(..)));
+        assert!(matches!(parse("(a := 1)").unwrap(), OExpr::Tuple(_)));
+        assert!(matches!(parse("(a := 1, b := 2)").unwrap(), OExpr::Tuple(f) if f.len() == 2));
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert!(matches!(parse("-x.a").unwrap(), OExpr::Neg(_)));
+        // numeric literals fold
+        assert_eq!(parse("-7").unwrap(), OExpr::Lit(Value::Int(-7)));
+        assert_eq!(parse("-1.5").unwrap(), OExpr::Lit(Value::float(-1.5)));
+    }
+}

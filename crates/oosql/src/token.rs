@@ -1,0 +1,229 @@
+//! OOSQL tokens.
+
+use std::fmt;
+
+/// A lexical token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source.
+    pub offset: usize,
+}
+
+/// Token kinds of the OOSQL surface syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (variable, attribute, table or class name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (double quoted).
+    Str(String),
+    /// Keyword (reserved identifier).
+    Keyword(Keyword),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words. Keywords are lower-case; identifiers that match one
+/// case-sensitively become keywords (so `SUPPLIER` stays an identifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    In,
+    Exists,
+    Forall,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Union,
+    Intersect,
+    Minus,
+    Subset,
+    Subseteq,
+    Supset,
+    Supseteq,
+    Contains,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    Flatten,
+    Date,
+    With,
+    As,
+}
+
+impl Keyword {
+    /// Keyword lookup for an identifier.
+    pub fn lookup(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "select" => Keyword::Select,
+            "from" => Keyword::From,
+            "where" => Keyword::Where,
+            "in" => Keyword::In,
+            "exists" => Keyword::Exists,
+            "forall" => Keyword::Forall,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "union" => Keyword::Union,
+            "intersect" => Keyword::Intersect,
+            "minus" => Keyword::Minus,
+            "subset" => Keyword::Subset,
+            "subseteq" => Keyword::Subseteq,
+            "supset" => Keyword::Supset,
+            "supseteq" => Keyword::Supseteq,
+            "contains" => Keyword::Contains,
+            "count" => Keyword::Count,
+            "sum" => Keyword::Sum,
+            "min" => Keyword::Min,
+            "max" => Keyword::Max,
+            "avg" => Keyword::Avg,
+            "flatten" => Keyword::Flatten,
+            "date" => Keyword::Date,
+            "with" => Keyword::With,
+            "as" => Keyword::As,
+            _ => return None,
+        })
+    }
+
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "select",
+            Keyword::From => "from",
+            Keyword::Where => "where",
+            Keyword::In => "in",
+            Keyword::Exists => "exists",
+            Keyword::Forall => "forall",
+            Keyword::And => "and",
+            Keyword::Or => "or",
+            Keyword::Not => "not",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Union => "union",
+            Keyword::Intersect => "intersect",
+            Keyword::Minus => "minus",
+            Keyword::Subset => "subset",
+            Keyword::Subseteq => "subseteq",
+            Keyword::Supset => "supset",
+            Keyword::Supseteq => "supseteq",
+            Keyword::Contains => "contains",
+            Keyword::Count => "count",
+            Keyword::Sum => "sum",
+            Keyword::Min => "min",
+            Keyword::Max => "max",
+            Keyword::Avg => "avg",
+            Keyword::Flatten => "flatten",
+            Keyword::Date => "date",
+            Keyword::With => "with",
+            Keyword::As => "as",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_sensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SELECT"), None);
+        assert_eq!(Keyword::lookup("SUPPLIER"), None);
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [Keyword::Select, Keyword::Subseteq, Keyword::Flatten, Keyword::With] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Type checking of OOSQL against a class catalog.
+//!
+//! Beyond validation, the checker defines two pieces of language
+//! semantics that the translator depends on:
+//!
+//! * **identifier resolution** — a name is a bound variable if one is in
+//!   scope, otherwise a base table (class extension);
+//! * **implicit dereferencing** — a path step through an attribute of type
+//!   `oid⟨C⟩` implicitly materializes the referenced `C` object (OOSQL's
+//!   path expressions; the translator makes this explicit with ADL's
+//!   `deref`, the materialize operator of §6.2).
+
+use crate::ast::{AggKind, OExpr};
+use crate::error::TypeError;
+use oodb_catalog::Catalog;
+use oodb_value::fxhash::FxHashMap;
+use oodb_value::{CmpOp, Name, TupleType, Type};
+
+/// Variable scope for OOSQL type checking.
+#[derive(Clone, Debug, Default)]
+pub struct OEnv {
+    vars: FxHashMap<Name, Type>,
+}
+
+impl OEnv {
+    /// Empty scope.
+    pub fn new() -> Self {
+        OEnv::default()
+    }
+
+    /// Extends the scope with `var : ty`.
+    pub fn bind(&self, var: &Name, ty: Type) -> OEnv {
+        let mut vars = self.vars.clone();
+        vars.insert(var.clone(), ty);
+        OEnv { vars }
+    }
+
+    /// Is `var` a bound variable here?
+    pub fn get(&self, var: &str) -> Option<&Type> {
+        self.vars.get(var)
+    }
+}
+
+/// Type checks a closed OOSQL query.
+pub fn typecheck(e: &OExpr, catalog: &Catalog) -> Result<Type, TypeError> {
+    infer(e, &OEnv::new(), catalog)
+}
+
+/// Resolves one implicit-deref path step: given the type of `e` in `e.a`,
+/// returns the tuple type `a` is looked up in, plus the class whose
+/// extent must be consulted (if a dereference happens).
+pub fn deref_step(
+    t: &Type,
+    catalog: &Catalog,
+) -> Result<(TupleType, Option<Name>), TypeError> {
+    match t {
+        Type::Tuple(tt) => Ok((tt.clone(), None)),
+        Type::Oid(Some(class)) => {
+            let c = catalog.class(class).ok_or_else(|| {
+                TypeError::new(format!("unknown class `{class}` in path"))
+            })?;
+            Ok((c.attrs.clone(), Some(c.name.clone())))
+        }
+        Type::Oid(None) => Err(TypeError::new(
+            "cannot traverse an untagged oid in a path expression".to_string(),
+        )),
+        other => Err(TypeError::new(format!(
+            "path step applied to non-object type {other}"
+        ))),
+    }
+}
+
+/// Infers the type of an OOSQL expression.
+pub fn infer(e: &OExpr, env: &OEnv, catalog: &Catalog) -> Result<Type, TypeError> {
+    match e {
+        OExpr::Lit(v) => Ok(v.type_of()),
+        OExpr::Ident(n) => {
+            if let Some(t) = env.get(n) {
+                Ok(t.clone())
+            } else if let Some(t) = catalog.extent_type(n) {
+                Ok(t)
+            } else {
+                Err(TypeError::new(format!(
+                    "`{n}` is neither a variable in scope nor a base table"
+                )))
+            }
+        }
+        OExpr::Path(inner, attr) => {
+            let t = infer(inner, env, catalog)?;
+            let (tt, _) = deref_step(&t, catalog)?;
+            tt.field(attr).cloned().ok_or_else(|| {
+                TypeError::new(format!("no attribute `{attr}` in {tt} (in `{e}`)"))
+            })
+        }
+        OExpr::Tuple(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (n, fe) in fields {
+                out.push((n.clone(), infer(fe, env, catalog)?));
+            }
+            TupleType::new(out).map(Type::Tuple).map_err(|err| {
+                TypeError::new(format!("bad tuple construction: {err}"))
+            })
+        }
+        OExpr::SetLit(es) => {
+            let mut elem = Type::Unknown;
+            for se in es {
+                let t = infer(se, env, catalog)?;
+                elem = elem.unify(&t).ok_or_else(|| {
+                    TypeError::new(format!(
+                        "set literal elements have incompatible types in `{e}`"
+                    ))
+                })?;
+            }
+            Ok(Type::set(elem))
+        }
+        OExpr::Cmp(op, a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let numeric_mix = matches!(
+                (&ta, &tb),
+                (Type::Int, Type::Float) | (Type::Float, Type::Int)
+            );
+            if ta.unify(&tb).is_none() && !numeric_mix {
+                return Err(TypeError::new(format!(
+                    "cannot compare {ta} with {tb} in `{e}`"
+                )));
+            }
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) && !ta.is_ordered() && !numeric_mix
+            {
+                return Err(TypeError::new(format!(
+                    "ordering comparison on non-ordered type {ta} in `{e}`"
+                )));
+            }
+            Ok(Type::Bool)
+        }
+        OExpr::SetCmp(op, a, b) => {
+            use oodb_value::SetCmpOp::*;
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            let ok = match op {
+                In | NotIn => match &tb {
+                    Type::Set(elem) => ta.unify(elem).is_some(),
+                    _ => false,
+                },
+                Contains | NotContains => match &ta {
+                    Type::Set(elem) => elem.unify(&tb).is_some(),
+                    _ => false,
+                },
+                _ => ta.is_set() && tb.is_set() && ta.unify(&tb).is_some(),
+            };
+            if ok {
+                Ok(Type::Bool)
+            } else {
+                Err(TypeError::new(format!(
+                    "set comparison `{}` not defined on {ta} and {tb} in `{e}`",
+                    op.symbol()
+                )))
+            }
+        }
+        OExpr::Arith(op, a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            match (&ta, &tb) {
+                (Type::Int, Type::Int) => Ok(Type::Int),
+                (Type::Float, Type::Float)
+                | (Type::Int, Type::Float)
+                | (Type::Float, Type::Int) => Ok(Type::Float),
+                _ => Err(TypeError::new(format!(
+                    "arithmetic `{}` on {ta} and {tb} in `{e}`",
+                    op.symbol()
+                ))),
+            }
+        }
+        OExpr::Neg(inner) => {
+            let t = infer(inner, env, catalog)?;
+            match t {
+                Type::Int | Type::Float => Ok(t),
+                other => Err(TypeError::new(format!("unary minus on {other}"))),
+            }
+        }
+        OExpr::And(a, b) | OExpr::Or(a, b) => {
+            expect_bool(infer(a, env, catalog)?, a)?;
+            expect_bool(infer(b, env, catalog)?, b)?;
+            Ok(Type::Bool)
+        }
+        OExpr::Not(inner) => {
+            expect_bool(infer(inner, env, catalog)?, inner)?;
+            Ok(Type::Bool)
+        }
+        OExpr::SetBin(op, a, b) => {
+            let ta = infer(a, env, catalog)?;
+            let tb = infer(b, env, catalog)?;
+            if !ta.is_set() {
+                return Err(TypeError::new(format!(
+                    "set operation on non-set {ta} in `{e}`"
+                )));
+            }
+            ta.unify(&tb).ok_or_else(|| {
+                TypeError::new(format!(
+                    "operands of `{op:?}` have incompatible types {ta} / {tb}"
+                ))
+            })
+        }
+        OExpr::Quant { var, range, pred, .. } => {
+            let tr = infer(range, env, catalog)?;
+            let elem = match tr {
+                Type::Set(e) => *e,
+                other => {
+                    return Err(TypeError::new(format!(
+                        "quantifier range must be a set, found {other} in `{e}`"
+                    )))
+                }
+            };
+            let inner = env.bind(var, elem);
+            expect_bool(infer(pred, &inner, catalog)?, pred)?;
+            Ok(Type::Bool)
+        }
+        OExpr::Agg(kind, inner) => {
+            let t = infer(inner, env, catalog)?;
+            let elem = match &t {
+                Type::Set(e) => e.as_ref().clone(),
+                other => {
+                    return Err(TypeError::new(format!(
+                        "aggregate `{}` applied to non-set {other}",
+                        kind.name()
+                    )))
+                }
+            };
+            match kind {
+                AggKind::Count => Ok(Type::Int),
+                AggKind::Sum => match elem {
+                    Type::Int | Type::Unknown => Ok(Type::Int),
+                    Type::Float => Ok(Type::Float),
+                    other => Err(TypeError::new(format!("sum over {{{other}}}"))),
+                },
+                AggKind::Min | AggKind::Max => {
+                    if elem.is_ordered() {
+                        Ok(elem)
+                    } else {
+                        Err(TypeError::new(format!(
+                            "{} over non-ordered {{{elem}}}",
+                            kind.name()
+                        )))
+                    }
+                }
+                AggKind::Avg => match elem {
+                    Type::Int | Type::Float | Type::Unknown => Ok(Type::Float),
+                    other => Err(TypeError::new(format!("avg over {{{other}}}"))),
+                },
+            }
+        }
+        OExpr::Flatten(inner) => {
+            let t = infer(inner, env, catalog)?;
+            match t {
+                Type::Set(e) => match *e {
+                    Type::Set(_) => Ok(*e),
+                    Type::Unknown => Ok(Type::set(Type::Unknown)),
+                    other => Err(TypeError::new(format!(
+                        "flatten needs a set of sets, found {{{other}}}"
+                    ))),
+                },
+                other => Err(TypeError::new(format!(
+                    "flatten needs a set of sets, found {other}"
+                ))),
+            }
+        }
+        OExpr::DateLit(inner) => {
+            let t = infer(inner, env, catalog)?;
+            if t == Type::Int {
+                Ok(Type::Date)
+            } else {
+                Err(TypeError::new(format!("date(...) needs an int, found {t}")))
+            }
+        }
+        OExpr::Sfw { select, bindings, where_ } => {
+            let mut scope = env.clone();
+            for b in bindings {
+                let tr = infer(&b.range, &scope, catalog)?;
+                let elem = match tr {
+                    Type::Set(e) => *e,
+                    other => {
+                        return Err(TypeError::new(format!(
+                            "from-clause operand `{}` is not a set (found {other})",
+                            b.range
+                        )))
+                    }
+                };
+                scope = scope.bind(&b.var, elem);
+            }
+            if let Some(w) = where_ {
+                expect_bool(infer(w, &scope, catalog)?, w)?;
+            }
+            let ts = infer(select, &scope, catalog)?;
+            Ok(Type::set(ts))
+        }
+        OExpr::With { var, value, body } => {
+            let tv = infer(value, env, catalog)?;
+            infer(body, &env.bind(var, tv), catalog)
+        }
+    }
+}
+
+fn expect_bool(t: Type, at: &OExpr) -> Result<(), TypeError> {
+    match t {
+        Type::Bool | Type::Unknown => Ok(()),
+        other => Err(TypeError::new(format!(
+            "expected a boolean, found {other} in `{at}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn check(src: &str) -> Result<Type, TypeError> {
+        typecheck(&parse(src).unwrap(), &supplier_part_catalog())
+    }
+
+    #[test]
+    fn simple_select_types() {
+        let t = check("select s.sname from s in SUPPLIER").unwrap();
+        assert_eq!(t, Type::set(Type::Str));
+    }
+
+    #[test]
+    fn variable_shadows_table_resolution() {
+        // `s` resolves to the binding, not to any table
+        let t = check("select s from s in SUPPLIER").unwrap();
+        assert!(t.sch().is_some());
+    }
+
+    #[test]
+    fn unknown_name_reported() {
+        let err = check("select s.sname from s in NOPE").unwrap_err();
+        assert!(err.message.contains("NOPE"));
+    }
+
+    #[test]
+    fn implicit_deref_through_reference() {
+        // Example Query 2 path: e.supplier.sname traverses an oid⟨Supplier⟩
+        let t = check("select e.supplier.sname from e in DELIVERY").unwrap();
+        assert_eq!(t, Type::set(Type::Str));
+    }
+
+    #[test]
+    fn implicit_deref_inside_quantifier() {
+        // Example Query 3.2: s.part.color traverses oid⟨Part⟩
+        let t = check(
+            "select d from d in DELIVERY \
+             where exists s in d.supply : s.part.color = \"red\"",
+        )
+        .unwrap();
+        assert!(t.is_set());
+    }
+
+    #[test]
+    fn set_comparison_between_blocks() {
+        // Example Query 3.1 (with the flatten the orthogonal typing needs)
+        let t = check(
+            "select s.sname from s in SUPPLIER \
+             where s.parts supseteq \
+               flatten(select t.parts from t in SUPPLIER where t.sname = \"s1\")",
+        )
+        .unwrap();
+        assert_eq!(t, Type::set(Type::Str));
+    }
+
+    #[test]
+    fn badly_typed_comparison_rejected() {
+        assert!(check("select s from s in SUPPLIER where s.sname = 1").is_err());
+        assert!(check("select s from s in SUPPLIER where s.parts subset s.sname")
+            .is_err());
+        assert!(check("select s from s in SUPPLIER where s.sname < s.parts").is_err());
+    }
+
+    #[test]
+    fn quantifier_over_non_set_rejected() {
+        let err = check("select s from s in SUPPLIER where exists x in s.sname : true")
+            .unwrap_err();
+        assert!(err.message.contains("set"));
+    }
+
+    #[test]
+    fn aggregates_type_correctly() {
+        assert_eq!(check("count(SUPPLIER)").unwrap(), Type::Int);
+        assert_eq!(
+            check("sum(select p.price from p in PART)").unwrap(),
+            Type::Int
+        );
+        assert_eq!(
+            check("avg(select p.price from p in PART)").unwrap(),
+            Type::Float
+        );
+        assert!(check("sum(SUPPLIER)").is_err());
+    }
+
+    #[test]
+    fn from_clause_over_scalar_rejected() {
+        let err = check("select x from x in 1").unwrap_err();
+        assert!(err.message.contains("not a set"));
+    }
+
+    #[test]
+    fn multi_binding_scopes_left_to_right() {
+        let t = check(
+            "select (d := d.did, q := s.quantity) from d in DELIVERY, s in d.supply",
+        )
+        .unwrap();
+        let tt = t.elem().unwrap().as_tuple().unwrap();
+        assert!(tt.has_field("q"));
+    }
+
+    #[test]
+    fn with_construct_types() {
+        let t = check(
+            "with red as (select p.pid from p in PART where p.color = \"red\") \
+             select s.sname from s in SUPPLIER \
+             where exists x in s.parts : x in red",
+        )
+        .unwrap();
+        assert_eq!(t, Type::set(Type::Str));
+    }
+
+    #[test]
+    fn date_literal_types() {
+        let t = check(
+            "select d from d in DELIVERY where d.date = date(940101)",
+        )
+        .unwrap();
+        assert!(t.is_set());
+        assert!(check("date(\"x\")").is_err());
+    }
+
+    #[test]
+    fn set_literals_and_ops() {
+        assert_eq!(check("{1, 2} union {3}").unwrap(), Type::set(Type::Int));
+        assert!(check("{1} union {\"a\"}").is_err());
+        assert!(check("1 union 2").is_err());
+        assert_eq!(check("{}").unwrap(), Type::set(Type::Unknown));
+    }
+}

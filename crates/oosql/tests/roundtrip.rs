@@ -1,0 +1,147 @@
+//! Parser ↔ printer roundtrip: `parse(print(ast)) == ast` for randomly
+//! generated OOSQL expressions, plus grammar edge cases.
+
+use oodb_oosql::ast::{Binding, OExpr, SetBinOp};
+use oodb_oosql::parse;
+use oodb_value::{CmpOp, Name, SetCmpOp, Value};
+use proptest::prelude::*;
+
+/// Random identifiers that are not keywords.
+fn ident() -> impl Strategy<Value = Name> {
+    proptest::sample::select(vec!["s", "p", "d", "x9", "Foo", "SUPPLIER", "a_b"])
+        .prop_map(Name::from)
+}
+
+fn leaf() -> impl Strategy<Value = OExpr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(|i| OExpr::Lit(Value::Int(i))),
+        ident().prop_map(OExpr::Ident),
+        proptest::sample::select(vec!["red", "blue", "it's \"quoted\""])
+            .prop_map(|s| OExpr::Lit(Value::str(s))),
+        Just(OExpr::Lit(Value::Bool(true))),
+        Just(OExpr::Lit(Value::Bool(false))),
+    ]
+}
+
+/// Random OOSQL ASTs, depth-bounded.
+fn oexpr() -> impl Strategy<Value = OExpr> {
+    leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // path
+            (inner.clone(), ident())
+                .prop_map(|(e, a)| OExpr::Path(Box::new(e), a)),
+            // comparisons
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge
+            ]))
+                .prop_map(|(a, b, op)| OExpr::Cmp(op, Box::new(a), Box::new(b))),
+            // set comparisons
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                SetCmpOp::In, SetCmpOp::Subset, SetCmpOp::SubsetEq,
+                SetCmpOp::Superset, SetCmpOp::SupersetEq, SetCmpOp::Contains,
+            ]))
+                .prop_map(|(a, b, op)| OExpr::SetCmp(op, Box::new(a), Box::new(b))),
+            // boolean connectives
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| OExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| OExpr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| OExpr::Not(Box::new(e))),
+            // set operations
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                SetBinOp::Union, SetBinOp::Intersect, SetBinOp::Minus
+            ]))
+                .prop_map(|(a, b, op)| OExpr::SetBin(op, Box::new(a), Box::new(b))),
+            // quantifier
+            (ident(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(v, r, p, exists)| OExpr::Quant {
+                    exists,
+                    var: v,
+                    range: Box::new(r),
+                    pred: Box::new(p),
+                }
+            ),
+            // sfw block
+            (inner.clone(), ident(), inner.clone(), proptest::option::of(inner.clone()))
+                .prop_map(|(sel, v, range, w)| OExpr::Sfw {
+                    select: Box::new(sel),
+                    bindings: vec![Binding { var: v, range }],
+                    where_: w.map(Box::new),
+                }),
+            // set literal
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(OExpr::SetLit),
+            // flatten / count
+            inner.clone().prop_map(|e| OExpr::Flatten(Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| OExpr::Agg(oodb_oosql::AggKind::Count, Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Printing any AST and re-parsing yields the same AST. (The printer
+    /// parenthesizes everything, so precedence cannot corrupt shape.)
+    #[test]
+    fn print_parse_roundtrip(ast in oexpr()) {
+        let text = ast.to_string();
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("printed `{text}` failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, ast);
+    }
+}
+
+#[test]
+fn quantifier_body_extends_right() {
+    // `exists x in S : p and q` — the predicate is the whole conjunction
+    let q = parse("exists x in S : a = 1 and b = 2").unwrap();
+    match q {
+        OExpr::Quant { pred, .. } => assert!(matches!(*pred, OExpr::And(..))),
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn sfw_where_binds_tighter_than_outer_and() {
+    // (select … where p) and q — needs parens to apply `and` outside;
+    // without them the whole conjunction is the where-clause
+    let q = parse("(select x from x in S where a = 1) contains 3").unwrap();
+    assert!(matches!(q, OExpr::SetCmp(SetCmpOp::Contains, ..)));
+}
+
+#[test]
+fn deep_nesting_parses() {
+    // five levels of sfw nesting — the orthogonality the paper stresses
+    let mut src = String::from("S");
+    for i in 0..5 {
+        src = format!("select x{i} from x{i} in ({src})");
+    }
+    let q = parse(&src).unwrap();
+    let mut depth = 0;
+    let mut cur = &q;
+    while let OExpr::Sfw { bindings, .. } = cur {
+        depth += 1;
+        cur = &bindings[0].range;
+    }
+    assert_eq!(depth, 5);
+}
+
+#[test]
+fn keyword_attribute_names_parse() {
+    for src in ["d.date", "x.count", "y.min.max", "s.in"] {
+        parse(src).unwrap_or_else(|e| panic!("`{src}`: {e}"));
+    }
+}
+
+#[test]
+fn errors_do_not_panic_on_garbage() {
+    for src in [
+        "", "select", "exists in :", "{{{", "a . . b", "select x from",
+        "with as () x", "1 = = 2", "not", "(a := )",
+    ] {
+        let _ = parse(src); // must return Err, not panic
+        assert!(parse(src).is_err(), "`{src}` unexpectedly parsed");
+    }
+}

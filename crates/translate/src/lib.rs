@@ -1,0 +1,469 @@
+//! # OOSQL → ADL translation
+//!
+//! "Translation of OOSQL queries into the algebra is done in a simple,
+//! almost one-to-one way. […] In the translation phase, nested OOSQL
+//! queries are translated into nested algebraic expressions" (paper §3).
+//!
+//! The central equivalence:
+//!
+//! ```text
+//! select e₁ from x in e₂ where e₃   ≡   α[x : e₁](σ[x : e₃](e₂))
+//! ```
+//!
+//! — a selection `σ` computes the where-clause restriction, then a map `α`
+//! computes the "projection" (arbitrary select-clause expression). Nested
+//! blocks translate recursively, producing nested (tuple-oriented)
+//! algebra; **no optimization happens here** — unnesting is the job of
+//! `oodb-core`.
+//!
+//! Additional translation duties:
+//! * multi-binding from-clauses become `⋃(α[x₁ : … ](e₁))` chains;
+//! * OOSQL's implicit path dereferencing becomes the explicit ADL
+//!   `deref` (the materialize operator of §6.2);
+//! * `=`/`!=` on set-typed operands become set equality;
+//! * the `with` construct becomes `let`.
+
+use oodb_adl::expr::Expr;
+use oodb_catalog::Catalog;
+use oodb_oosql::ast::{AggKind, OExpr, SetBinOp};
+use oodb_oosql::typecheck::{deref_step, infer, OEnv};
+use oodb_oosql::TypeError;
+use oodb_value::{Name, SetCmpOp, Type, Value};
+use std::fmt;
+
+/// Errors raised during translation.
+///
+/// A query that passed the type checker only fails here for constructs the
+/// algebra cannot express (currently: non-literal `date(…)` arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslateError {
+    /// The OOSQL type checker rejected a subexpression (translation
+    /// re-infers types to drive dereferencing, so errors can surface here
+    /// when translating an unchecked AST).
+    Type(TypeError),
+    /// `date(e)` with a non-literal `e`.
+    NonLiteralDate(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Type(e) => write!(f, "{e}"),
+            TranslateError::NonLiteralDate(e) => {
+                write!(f, "date(…) requires an integer literal, found `{e}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<TypeError> for TranslateError {
+    fn from(e: TypeError) -> Self {
+        TranslateError::Type(e)
+    }
+}
+
+/// Translates a (type-correct) OOSQL query into a nested ADL expression.
+pub fn translate(q: &OExpr, catalog: &Catalog) -> Result<Expr, TranslateError> {
+    let t = Translator { catalog };
+    t.tr(q, &OEnv::new())
+}
+
+struct Translator<'a> {
+    catalog: &'a Catalog,
+}
+
+impl Translator<'_> {
+    fn tr(&self, e: &OExpr, env: &OEnv) -> Result<Expr, TranslateError> {
+        Ok(match e {
+            OExpr::Lit(v) => Expr::Lit(v.clone()),
+            OExpr::Ident(n) => {
+                if env.get(n).is_some() {
+                    Expr::Var(n.clone())
+                } else if self.catalog.is_extent(n) {
+                    Expr::Table(n.clone())
+                } else {
+                    return Err(TypeError::new(format!(
+                        "`{n}` is neither a variable in scope nor a base table"
+                    ))
+                    .into());
+                }
+            }
+            OExpr::Path(inner, attr) => {
+                let t = infer(inner, env, self.catalog)?;
+                let base = self.tr(inner, env)?;
+                let (_, class) = deref_step(&t, self.catalog)?;
+                let obj = match class {
+                    Some(c) => Expr::Deref(Box::new(base), c),
+                    None => base,
+                };
+                Expr::Field(Box::new(obj), attr.clone())
+            }
+            OExpr::Tuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, fe) in fields {
+                    out.push((n.clone(), self.tr(fe, env)?));
+                }
+                Expr::TupleCons(out)
+            }
+            OExpr::SetLit(es) => {
+                let mut out = Vec::with_capacity(es.len());
+                for se in es {
+                    out.push(self.tr(se, env)?);
+                }
+                Expr::SetCons(out)
+            }
+            OExpr::Cmp(op, a, b) => {
+                // `=`/`≠` on sets is set equality (Table 1's `=` row)
+                let ta = infer(a, env, self.catalog)?;
+                let (la, lb) = (self.tr(a, env)?, self.tr(b, env)?);
+                if ta.is_set() {
+                    let sop = match op {
+                        oodb_value::CmpOp::Eq => SetCmpOp::SetEq,
+                        oodb_value::CmpOp::Ne => SetCmpOp::SetNe,
+                        other => {
+                            return Err(TypeError::new(format!(
+                                "ordering comparison `{}` on sets",
+                                other.symbol()
+                            ))
+                            .into())
+                        }
+                    };
+                    Expr::SetCmp(sop, Box::new(la), Box::new(lb))
+                } else {
+                    Expr::Cmp(*op, Box::new(la), Box::new(lb))
+                }
+            }
+            OExpr::SetCmp(op, a, b) => Expr::SetCmp(
+                *op,
+                Box::new(self.tr(a, env)?),
+                Box::new(self.tr(b, env)?),
+            ),
+            OExpr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(self.tr(a, env)?),
+                Box::new(self.tr(b, env)?),
+            ),
+            OExpr::Neg(inner) => {
+                let t = infer(inner, env, self.catalog)?;
+                let zero = match t {
+                    Type::Float => Expr::Lit(Value::float(0.0)),
+                    _ => Expr::int(0),
+                };
+                Expr::Arith(
+                    oodb_value::ArithOp::Sub,
+                    Box::new(zero),
+                    Box::new(self.tr(inner, env)?),
+                )
+            }
+            OExpr::And(a, b) => {
+                Expr::And(Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
+            }
+            OExpr::Or(a, b) => {
+                Expr::Or(Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
+            }
+            OExpr::Not(inner) => Expr::Not(Box::new(self.tr(inner, env)?)),
+            OExpr::SetBin(op, a, b) => {
+                let sop = match op {
+                    SetBinOp::Union => oodb_adl::SetOp::Union,
+                    SetBinOp::Intersect => oodb_adl::SetOp::Intersect,
+                    SetBinOp::Minus => oodb_adl::SetOp::Difference,
+                };
+                Expr::SetOp(sop, Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
+            }
+            OExpr::Quant { exists, var, range, pred } => {
+                let tr_range = self.tr(range, env)?;
+                let elem = match infer(range, env, self.catalog)? {
+                    Type::Set(e) => *e,
+                    other => {
+                        return Err(TypeError::new(format!(
+                            "quantifier range must be a set, found {other}"
+                        ))
+                        .into())
+                    }
+                };
+                let inner_env = env.bind(var, elem);
+                let tr_pred = self.tr(pred, &inner_env)?;
+                Expr::Quant {
+                    q: if *exists {
+                        oodb_adl::QuantKind::Exists
+                    } else {
+                        oodb_adl::QuantKind::Forall
+                    },
+                    var: var.clone(),
+                    range: Box::new(tr_range),
+                    pred: Box::new(tr_pred),
+                }
+            }
+            OExpr::Agg(kind, inner) => {
+                let op = match kind {
+                    AggKind::Count => oodb_adl::AggOp::Count,
+                    AggKind::Sum => oodb_adl::AggOp::Sum,
+                    AggKind::Min => oodb_adl::AggOp::Min,
+                    AggKind::Max => oodb_adl::AggOp::Max,
+                    AggKind::Avg => oodb_adl::AggOp::Avg,
+                };
+                Expr::Agg(op, Box::new(self.tr(inner, env)?))
+            }
+            OExpr::Flatten(inner) => Expr::Flatten(Box::new(self.tr(inner, env)?)),
+            OExpr::DateLit(inner) => match inner.as_ref() {
+                OExpr::Lit(Value::Int(d)) => Expr::Lit(Value::Date(*d)),
+                other => {
+                    return Err(TranslateError::NonLiteralDate(other.to_string()))
+                }
+            },
+            OExpr::Sfw { select, bindings, where_ } => {
+                self.tr_sfw(select, bindings, where_.as_deref(), env)?
+            }
+            OExpr::With { var, value, body } => {
+                let v = self.tr(value, env)?;
+                let tv = infer(value, env, self.catalog)?;
+                let b = self.tr(body, &env.bind(var, tv))?;
+                Expr::Let { var: var.clone(), value: Box::new(v), body: Box::new(b) }
+            }
+        })
+    }
+
+    /// `select F from x₁ in e₁, …, xₙ in eₙ where P` ⇒
+    /// `⋃(α[x₁ : … α[xₙ : F](σ[xₙ : P](eₙ)) …](e₁))`
+    ///
+    /// With a single binding this is exactly the paper's
+    /// `α[x : e₁](σ[x : e₃](e₂))`; the σ is omitted when there is no
+    /// where-clause.
+    fn tr_sfw(
+        &self,
+        select: &OExpr,
+        bindings: &[oodb_oosql::Binding],
+        where_: Option<&OExpr>,
+        env: &OEnv,
+    ) -> Result<Expr, TranslateError> {
+        let b = &bindings[0];
+        let range = self.tr(&b.range, env)?;
+        let elem = match infer(&b.range, env, self.catalog)? {
+            Type::Set(e) => *e,
+            other => {
+                return Err(TypeError::new(format!(
+                    "from-clause operand `{}` is not a set (found {other})",
+                    b.range
+                ))
+                .into())
+            }
+        };
+        let inner_env = env.bind(&b.var, elem);
+
+        if bindings.len() == 1 {
+            let body = self.tr(select, &inner_env)?;
+            let input = match where_ {
+                Some(w) => {
+                    let pred = self.tr(w, &inner_env)?;
+                    Expr::Select {
+                        var: b.var.clone(),
+                        pred: Box::new(pred),
+                        input: Box::new(range),
+                    }
+                }
+                None => range,
+            };
+            Ok(Expr::Map {
+                var: b.var.clone(),
+                body: Box::new(body),
+                input: Box::new(input),
+            })
+        } else {
+            let inner = self.tr_sfw(select, &bindings[1..], where_, &inner_env)?;
+            Ok(Expr::Flatten(Box::new(Expr::Map {
+                var: b.var.clone(),
+                body: Box::new(inner),
+                input: Box::new(range),
+            })))
+        }
+    }
+}
+
+/// Convenience: parse, type check and translate in one call.
+pub fn compile(src: &str, catalog: &Catalog) -> Result<Expr, String> {
+    let q = oodb_oosql::parse(src).map_err(|e| e.to_string())?;
+    oodb_oosql::typecheck(&q, catalog).map_err(|e| e.to_string())?;
+    translate(&q, catalog).map_err(|e| e.to_string())
+}
+
+// `Name` is referenced by doc examples and kept for API parity.
+#[allow(unused_imports)]
+use Name as _Name;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl;
+    use oodb_catalog::fixtures::supplier_part_catalog;
+
+    fn tr(src: &str) -> Expr {
+        compile(src, &supplier_part_catalog()).unwrap()
+    }
+
+    #[test]
+    fn sfw_becomes_map_of_select() {
+        // paper §3: select e1 from x in e2 where e3 ≡ α[x:e1](σ[x:e3](e2))
+        let got = tr("select s.sname from s in SUPPLIER where s.sname = \"s1\"");
+        let expected = dsl::map(
+            "s",
+            dsl::var("s").field("sname"),
+            dsl::select(
+                "s",
+                dsl::eq(dsl::var("s").field("sname"), dsl::str_lit("s1")),
+                dsl::table("SUPPLIER"),
+            ),
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn missing_where_omits_selection() {
+        let got = tr("select s from s in SUPPLIER");
+        let expected = dsl::map("s", dsl::var("s"), dsl::table("SUPPLIER"));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn nested_block_stays_nested() {
+        // Example Query 5-shaped query: the translator must NOT unnest.
+        let got = tr(
+            "select s from s in SUPPLIER \
+             where exists x in s.parts : \
+                   exists p in PART : x = p.pid and p.color = \"red\"",
+        );
+        // outer σ contains a quantifier whose range is a base table
+        match &got {
+            Expr::Map { input, .. } => match input.as_ref() {
+                Expr::Select { pred, .. } => {
+                    assert!(pred.mentions_table(), "subquery must stay nested");
+                }
+                other => panic!("expected select, got {other}"),
+            },
+            other => panic!("expected map, got {other}"),
+        }
+    }
+
+    #[test]
+    fn paths_through_references_deref() {
+        // Example Query 2's e.supplier.sname
+        let got = tr("select e.supplier.sname from e in DELIVERY");
+        let expected = dsl::map(
+            "e",
+            dsl::deref(dsl::var("e").field("supplier"), "Supplier").field("sname"),
+            dsl::table("DELIVERY"),
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tuple_valued_select_clause() {
+        // Example Query 1 shape
+        let got = tr(
+            "select (sname := s.sname, \
+                     pnames := select p.pname from p in PART \
+                               where p.pid in s.parts) \
+             from s in SUPPLIER",
+        );
+        match got {
+            Expr::Map { body, .. } => assert!(matches!(*body, Expr::TupleCons(_))),
+            other => panic!("expected map, got {other}"),
+        }
+    }
+
+    #[test]
+    fn multi_binding_flattens() {
+        let got = tr(
+            "select (d := x.did, q := y.quantity) \
+             from x in DELIVERY, y in x.supply \
+             where y.quantity > 10",
+        );
+        assert!(matches!(got, Expr::Flatten(_)));
+    }
+
+    #[test]
+    fn set_equality_disambiguated() {
+        let got = tr(
+            "select s from s in SUPPLIER, t in SUPPLIER where s.parts = t.parts",
+        );
+        let mut found = false;
+        fn walk(e: &Expr, found: &mut bool) {
+            if matches!(e, Expr::SetCmp(SetCmpOp::SetEq, _, _)) {
+                *found = true;
+            }
+            e.for_each_child(&mut |c| walk(c, found));
+        }
+        walk(&got, &mut found);
+        assert!(found, "s.parts = t.parts must become set equality");
+    }
+
+    #[test]
+    fn with_becomes_let() {
+        let got = tr(
+            "with red as (select p.pid from p in PART where p.color = \"red\") \
+             select s.sname from s in SUPPLIER \
+             where exists x in s.parts : x in red",
+        );
+        assert!(matches!(got, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn date_literals_fold() {
+        let got = tr("select d from d in DELIVERY where d.date = date(940101)");
+        let mut found = false;
+        fn walk(e: &Expr, found: &mut bool) {
+            if matches!(e, Expr::Lit(Value::Date(940101))) {
+                *found = true;
+            }
+            e.for_each_child(&mut |c| walk(c, found));
+        }
+        walk(&got, &mut found);
+        assert!(found);
+    }
+
+    #[test]
+    fn non_literal_date_rejected() {
+        let q = oodb_oosql::parse("select d from d in DELIVERY where d.date = date(1+1)")
+            .unwrap();
+        let err = translate(&q, &supplier_part_catalog()).unwrap_err();
+        assert!(matches!(err, TranslateError::NonLiteralDate(_)));
+    }
+
+    #[test]
+    fn translated_queries_typecheck_in_adl() {
+        // End-to-end sanity: every paper query translation is well-typed ADL.
+        let cat = supplier_part_catalog();
+        for src in [
+            "select (sname := s.sname, pnames := select p.pname from p in PART \
+              where p.pid in s.parts and p.color = \"red\") from s in SUPPLIER",
+            "select d from d in (select e from e in DELIVERY \
+              where e.supplier.sname = \"s1\") where d.date = date(940101)",
+            "select s.sname from s in SUPPLIER where s.parts supseteq \
+              flatten(select t.parts from t in SUPPLIER where t.sname = \"s1\")",
+            "select d from d in DELIVERY \
+              where exists x in d.supply : x.part.color = \"red\"",
+            "select s.eid from s in SUPPLIER where exists x in s.parts : \
+              not (exists p in PART : x = p.pid)",
+            "select s from s in SUPPLIER where exists x in s.parts : \
+              exists p in PART : x = p.pid and p.color = \"red\"",
+        ] {
+            let e = compile(src, &cat).unwrap_or_else(|err| panic!("{src}: {err}"));
+            oodb_adl::infer_closed(&e, &cat)
+                .unwrap_or_else(|err| panic!("{src}: ADL type error {err}"));
+        }
+    }
+
+    #[test]
+    fn negation_translates_to_subtraction() {
+        let got = tr("select 0 - p.price from p in PART where -p.price < 0");
+        assert!(matches!(got, Expr::Map { .. }));
+        // negative numeric literals fold in the parser; negation of
+        // non-literals becomes subtraction from the typed zero
+        assert_eq!(tr("-1.5"), Expr::Lit(Value::float(-1.5)));
+        let q = oodb_oosql::parse("select -p.price from p in PART").unwrap();
+        let e = translate(&q, &supplier_part_catalog()).unwrap();
+        let Expr::Map { body, .. } = &e else { panic!("{e}") };
+        assert!(matches!(body.as_ref(), Expr::Arith(oodb_value::ArithOp::Sub, ..)));
+    }
+}

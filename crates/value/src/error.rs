@@ -1,0 +1,73 @@
+//! Errors raised by value-level operations.
+
+use crate::Name;
+use std::fmt;
+
+/// Errors produced by operations on [`crate::Value`]s.
+///
+/// These correspond to dynamic type errors of the ADL operators: the static
+/// type checker prevents them on well-typed plans, but the evaluator is
+/// defensive so that hand-built plans fail loudly instead of silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// A tuple operation was applied to a non-tuple value.
+    NotATuple(String),
+    /// A set operation was applied to a non-set value.
+    NotASet(String),
+    /// Tuple field lookup failed.
+    NoSuchField { field: Name, tuple: String },
+    /// Tuple concatenation `x ∘ y` found the same attribute on both sides.
+    ///
+    /// The paper assumes "no attribute naming conflicts occur" (§3); we
+    /// check instead of assuming.
+    DuplicateField(Name),
+    /// An arithmetic or comparison operator was applied to incompatible
+    /// operand values.
+    TypeMismatch { op: &'static str, lhs: String, rhs: String },
+    /// Aggregate applied to an empty set where undefined (min/max/avg).
+    EmptyAggregate(&'static str),
+    /// Division by zero in an arithmetic expression.
+    DivisionByZero,
+    /// Integer overflow in an arithmetic expression.
+    Overflow(&'static str),
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::NotATuple(v) => write!(f, "value is not a tuple: {v}"),
+            ValueError::NotASet(v) => write!(f, "value is not a set: {v}"),
+            ValueError::NoSuchField { field, tuple } => {
+                write!(f, "no field `{field}` in tuple {tuple}")
+            }
+            ValueError::DuplicateField(n) => {
+                write!(f, "duplicate attribute `{n}` in tuple concatenation")
+            }
+            ValueError::TypeMismatch { op, lhs, rhs } => {
+                write!(f, "type mismatch for `{op}`: {lhs} vs {rhs}")
+            }
+            ValueError::EmptyAggregate(a) => {
+                write!(f, "aggregate `{a}` applied to an empty set")
+            }
+            ValueError::DivisionByZero => write!(f, "division by zero"),
+            ValueError::Overflow(op) => write!(f, "integer overflow in `{op}`"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ValueError::NoSuchField { field: name("sname"), tuple: "⟨a = 1⟩".into() };
+        assert!(e.to_string().contains("sname"));
+        let e = ValueError::TypeMismatch { op: "+", lhs: "1".into(), rhs: "\"x\"".into() };
+        assert!(e.to_string().contains('+'));
+        assert!(ValueError::DivisionByZero.to_string().contains("zero"));
+    }
+}

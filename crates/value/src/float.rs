@@ -1,0 +1,119 @@
+//! A totally ordered, hashable `f64` wrapper.
+//!
+//! ADL sets are order-canonical, so every value — including floats — must be
+//! `Ord + Hash`. [`F64`] uses IEEE-754 `total_cmp` for ordering and the raw
+//! bit pattern (with `-0.0` normalised to `+0.0` and all NaNs collapsed to a
+//! single canonical NaN) for equality and hashing, so `Eq`/`Hash`/`Ord` are
+//! mutually consistent.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` with total order and structural hashing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a float, canonicalising `-0.0` to `0.0` and any NaN to the
+    /// positive canonical NaN so that equal keys hash equally.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            F64(f64::NAN)
+        } else if v == 0.0 {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// The underlying float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // `new` canonicalised -0.0 and NaN, so bit patterns of equal values
+        // are identical.
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.is_finite() && self.0.abs() < 1e15 {
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: F64) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero() {
+        assert_eq!(F64::new(-0.0), F64::new(0.0));
+        assert_eq!(hash_of(F64::new(-0.0)), hash_of(F64::new(0.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_canonical() {
+        let a = F64::new(f64::NAN);
+        let b = F64::new(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(a), hash_of(b));
+    }
+
+    #[test]
+    fn total_order_places_nan_last() {
+        let mut v = [F64::new(f64::NAN), F64::new(1.0), F64::new(-1.0), F64::new(0.0)];
+        v.sort();
+        assert_eq!(v[0], F64::new(-1.0));
+        assert_eq!(v[1], F64::new(0.0));
+        assert_eq!(v[2], F64::new(1.0));
+        assert!(v[3].get().is_nan());
+    }
+
+    #[test]
+    fn display_keeps_integral_floats_distinct_from_ints() {
+        assert_eq!(F64::new(2.0).to_string(), "2.0");
+        assert_eq!(F64::new(2.5).to_string(), "2.5");
+    }
+}

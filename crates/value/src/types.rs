@@ -1,0 +1,352 @@
+//! The ADL type language and the schema function `SCH`.
+//!
+//! ADL is a *typed* algebra (paper §3). Types are built from atomic types,
+//! `oid` (optionally tagged with the class it references), and the tuple
+//! and set constructors. The schema function `SCH`, when applied to a table
+//! expression, delivers the top-level attribute names.
+
+use crate::{Name, ValueError};
+use std::fmt;
+
+/// An ADL type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// Placeholder that unifies with anything; the element type of the
+    /// empty set, and the type of `NULL` padding.
+    Unknown,
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// Float.
+    Float,
+    /// String.
+    Str,
+    /// Date.
+    Date,
+    /// Object identifier; `Some(class)` when the referenced class is known
+    /// (class references are implemented by pointers, also of type oid —
+    /// paper §3).
+    Oid(Option<Name>),
+    /// Tuple type `⟨a₁ : T₁, …⟩`.
+    Tuple(TupleType),
+    /// Set type `{T}`.
+    Set(Box<Type>),
+}
+
+impl Type {
+    /// Set-of-`elem` constructor.
+    pub fn set(elem: Type) -> Type {
+        Type::Set(Box::new(elem))
+    }
+
+    /// Tuple constructor from `(&str, Type)` pairs (panics on duplicates —
+    /// fixture convenience).
+    pub fn tuple<'a, I: IntoIterator<Item = (&'a str, Type)>>(pairs: I) -> Type {
+        Type::Tuple(TupleType::from_pairs(pairs))
+    }
+
+    /// A table type: set of tuples.
+    pub fn table<'a, I: IntoIterator<Item = (&'a str, Type)>>(pairs: I) -> Type {
+        Type::set(Type::tuple(pairs))
+    }
+
+    /// True for `{…}` types.
+    pub fn is_set(&self) -> bool {
+        matches!(self, Type::Set(_))
+    }
+
+    /// True for atomic (non-tuple, non-set) types.
+    pub fn is_atomic(&self) -> bool {
+        !matches!(self, Type::Tuple(_) | Type::Set(_))
+    }
+
+    /// The element type of a set type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The tuple type underneath, if this is a tuple.
+    pub fn as_tuple(&self) -> Option<&TupleType> {
+        match self {
+            Type::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Schema function `SCH` (paper §3): applied to a **table expression
+    /// type** (`{⟨…⟩}`), delivers the top-level attribute names.
+    pub fn sch(&self) -> Option<Vec<Name>> {
+        match self {
+            Type::Set(elem) => match elem.as_ref() {
+                Type::Tuple(t) => Some(t.names()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Structural compatibility with unknown-type holes: returns the more
+    /// specific of the two types, or `None` if they conflict.
+    pub fn unify(&self, other: &Type) -> Option<Type> {
+        match (self, other) {
+            (Type::Unknown, t) | (t, Type::Unknown) => Some(t.clone()),
+            (Type::Oid(a), Type::Oid(b)) => match (a, b) {
+                (Some(x), Some(y)) if x == y => Some(Type::Oid(Some(x.clone()))),
+                (Some(x), None) | (None, Some(x)) => Some(Type::Oid(Some(x.clone()))),
+                (None, None) => Some(Type::Oid(None)),
+                _ => None,
+            },
+            (Type::Set(a), Type::Set(b)) => Some(Type::set(a.unify(b)?)),
+            (Type::Tuple(a), Type::Tuple(b)) => {
+                if a.fields.len() != b.fields.len() {
+                    return None;
+                }
+                let mut fields = Vec::with_capacity(a.fields.len());
+                for ((na, ta), (nb, tb)) in a.fields.iter().zip(&b.fields) {
+                    if na != nb {
+                        return None;
+                    }
+                    fields.push((na.clone(), ta.unify(tb)?));
+                }
+                Some(Type::Tuple(TupleType::new_unchecked(fields)))
+            }
+            (a, b) if a == b => Some(a.clone()),
+            // int and float are NOT unified: arithmetic promotes explicitly
+            _ => None,
+        }
+    }
+
+    /// True when values of this type can be compared with `< ≤ > ≥`.
+    pub fn is_ordered(&self) -> bool {
+        matches!(
+            self,
+            Type::Int | Type::Float | Type::Str | Type::Date | Type::Bool | Type::Unknown
+        )
+    }
+}
+
+/// A tuple type: attribute name → type, canonically ordered by name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TupleType {
+    fields: Vec<(Name, Type)>,
+}
+
+impl TupleType {
+    /// Builds a tuple type, checking for duplicate attribute names.
+    pub fn new(mut fields: Vec<(Name, Type)>) -> Result<Self, ValueError> {
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        for w in fields.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(ValueError::DuplicateField(w[0].0.clone()));
+            }
+        }
+        Ok(TupleType { fields })
+    }
+
+    /// Builds a tuple type assuming fields are unique (sorts them).
+    pub fn new_unchecked(mut fields: Vec<(Name, Type)>) -> Self {
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        TupleType { fields }
+    }
+
+    /// From `(&str, Type)` pairs; panics on duplicates.
+    pub fn from_pairs<'a, I: IntoIterator<Item = (&'a str, Type)>>(pairs: I) -> Self {
+        TupleType::new(pairs.into_iter().map(|(n, t)| (Name::from(n), t)).collect())
+            .expect("duplicate field in TupleType::from_pairs")
+    }
+
+    /// Attribute names in canonical order — the tuple-level `SCH`.
+    pub fn names(&self) -> Vec<Name> {
+        self.fields.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Looks up an attribute's type.
+    pub fn field(&self, name: &str) -> Option<&Type> {
+        self.fields
+            .binary_search_by(|(n, _)| n.as_ref().cmp(name))
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// True if the attribute exists.
+    pub fn has_field(&self, name: &str) -> bool {
+        self.field(name).is_some()
+    }
+
+    /// Iterates `(name, type)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Type)> {
+        self.fields.iter().map(|(n, t)| (n, t))
+    }
+
+    /// The sub-tuple-type with exactly the named attributes (projection).
+    pub fn subscript(&self, names: &[Name]) -> Result<TupleType, ValueError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let t = self.field(n).ok_or_else(|| ValueError::NoSuchField {
+                field: n.clone(),
+                tuple: self.to_string(),
+            })?;
+            fields.push((n.clone(), t.clone()));
+        }
+        TupleType::new(fields)
+    }
+
+    /// The tuple type without the named attribute.
+    pub fn without(&self, name: &str) -> TupleType {
+        TupleType {
+            fields: self
+                .fields
+                .iter()
+                .filter(|(n, _)| n.as_ref() != name)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Concatenation of two tuple types (for joins/products); errors on
+    /// attribute conflicts.
+    pub fn concat(&self, other: &TupleType) -> Result<TupleType, ValueError> {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        TupleType::new(fields)
+    }
+
+    /// Adds or replaces a field (used by `except` typing and nest/nestjoin).
+    pub fn with_field(&self, name: Name, ty: Type) -> TupleType {
+        let mut fields: Vec<(Name, Type)> =
+            self.fields.iter().filter(|(n, _)| *n != name).cloned().collect();
+        fields.push((name, ty));
+        TupleType::new_unchecked(fields)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Unknown => write!(f, "⊥"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Str => write!(f, "string"),
+            Type::Date => write!(f, "date"),
+            Type::Oid(None) => write!(f, "oid"),
+            Type::Oid(Some(c)) => write!(f, "oid⟨{c}⟩"),
+            Type::Tuple(t) => write!(f, "{t}"),
+            Type::Set(e) => write!(f, "{{{e}}}"),
+        }
+    }
+}
+
+impl fmt::Display for TupleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (n, t)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n} : {t}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name;
+
+    #[test]
+    fn sch_of_table_type() {
+        let supplier = Type::table([
+            ("eid", Type::Oid(Some(name("Supplier")))),
+            ("sname", Type::Str),
+            ("parts", Type::set(Type::Oid(Some(name("Part"))))),
+        ]);
+        let sch = supplier.sch().unwrap();
+        let names: Vec<&str> = sch.iter().map(|n| n.as_ref()).collect();
+        assert_eq!(names, vec!["eid", "parts", "sname"]); // canonical order
+        assert_eq!(Type::Int.sch(), None);
+        assert_eq!(Type::set(Type::Int).sch(), None);
+    }
+
+    #[test]
+    fn unify_resolves_unknown() {
+        let a = Type::set(Type::Unknown);
+        let b = Type::set(Type::Int);
+        assert_eq!(a.unify(&b), Some(Type::set(Type::Int)));
+        assert_eq!(Type::Int.unify(&Type::Str), None);
+        assert_eq!(Type::Int.unify(&Type::Float), None);
+    }
+
+    #[test]
+    fn unify_oid_classes() {
+        let p = Type::Oid(Some(name("Part")));
+        let s = Type::Oid(Some(name("Supplier")));
+        let any = Type::Oid(None);
+        assert_eq!(p.unify(&p), Some(p.clone()));
+        assert_eq!(p.unify(&any), Some(p.clone()));
+        assert_eq!(p.unify(&s), None);
+    }
+
+    #[test]
+    fn unify_tuples_fieldwise() {
+        let a = Type::tuple([("a", Type::Int), ("b", Type::set(Type::Unknown))]);
+        let b = Type::tuple([("a", Type::Int), ("b", Type::set(Type::Str))]);
+        assert_eq!(
+            a.unify(&b),
+            Some(Type::tuple([("a", Type::Int), ("b", Type::set(Type::Str))]))
+        );
+        let c = Type::tuple([("a", Type::Int)]);
+        assert_eq!(a.unify(&c), None);
+    }
+
+    #[test]
+    fn tuple_type_operations() {
+        let t = TupleType::from_pairs([("a", Type::Int), ("b", Type::Str)]);
+        assert!(t.has_field("a"));
+        assert_eq!(t.field("b"), Some(&Type::Str));
+        assert_eq!(t.without("a").names(), vec![name("b")]);
+        let s = t.subscript(&[name("b")]).unwrap();
+        assert_eq!(s.names(), vec![name("b")]);
+        assert!(t.subscript(&[name("zz")]).is_err());
+        let u = t.concat(&TupleType::from_pairs([("c", Type::Bool)])).unwrap();
+        assert_eq!(u.arity(), 3);
+        assert!(t.concat(&t).is_err());
+    }
+
+    #[test]
+    fn with_field_replaces() {
+        let t = TupleType::from_pairs([("a", Type::Int)]);
+        let u = t.with_field(name("a"), Type::Str);
+        assert_eq!(u.field("a"), Some(&Type::Str));
+        let v = t.with_field(name("b"), Type::Bool);
+        assert_eq!(v.arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        assert!(TupleType::new(vec![
+            (name("a"), Type::Int),
+            (name("a"), Type::Str)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::set(Type::Int).to_string(), "{int}");
+        assert_eq!(
+            Type::tuple([("pid", Type::Oid(Some(name("Part"))))]).to_string(),
+            "⟨pid : oid⟨Part⟩⟩"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based laws of the canonical set and tuple representation.
+//!
+//! The rewrite rules assume ordinary set algebra (e.g. Table 1's
+//! expansions lean on `⊆` antisymmetry and `∪/∩` lattice laws); these
+//! properties pin the [`oodb_value::Set`] implementation to that algebra,
+//! and check the `Eq`/`Ord`/`Hash` consistency the hash operators need.
+
+use oodb_value::{Set, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn int_set() -> impl Strategy<Value = Set> {
+    proptest::collection::vec(-20i64..20, 0..12)
+        .prop_map(|v| Set::from_values(v.into_iter().map(Value::Int).collect()))
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn union_laws(a in int_set(), b in int_set(), c in int_set()) {
+        // commutativity, associativity, idempotence, identity
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.union(&Set::empty()), a.clone());
+    }
+
+    #[test]
+    fn intersection_laws(a in int_set(), b in int_set(), c in int_set()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(
+            a.intersect(&b).intersect(&c),
+            a.intersect(&b.intersect(&c))
+        );
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        prop_assert!(a.intersect(&Set::empty()).is_empty());
+        // absorption
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+    }
+
+    #[test]
+    fn difference_laws(a in int_set(), b in int_set()) {
+        let d = a.difference(&b);
+        prop_assert!(d.subset_eq(&a));
+        prop_assert!(d.intersect(&b).is_empty());
+        prop_assert_eq!(d.union(&a.intersect(&b)), a.clone());
+    }
+
+    #[test]
+    fn subset_partial_order(a in int_set(), b in int_set(), c in int_set()) {
+        prop_assert!(a.subset_eq(&a));
+        if a.subset_eq(&b) && b.subset_eq(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        if a.subset_eq(&b) && b.subset_eq(&c) {
+            prop_assert!(a.subset_eq(&c));
+        }
+        // ⊂ is ⊆ ∧ ≠
+        prop_assert_eq!(a.subset(&b), a.subset_eq(&b) && a != b);
+        prop_assert_eq!(a.superset_eq(&b), b.subset_eq(&a));
+    }
+
+    #[test]
+    fn membership_consistent_with_iteration(a in int_set(), x in -25i64..25) {
+        let v = Value::Int(x);
+        prop_assert_eq!(a.contains(&v), a.iter().any(|e| e == &v));
+    }
+
+    #[test]
+    fn construction_order_insensitive(mut v in proptest::collection::vec(-20i64..20, 0..12)) {
+        let s1 = Set::from_values(v.iter().map(|i| Value::Int(*i)).collect());
+        v.reverse();
+        let s2 = Set::from_values(v.iter().map(|i| Value::Int(*i)).collect());
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_eq!(hash_of(&s1), hash_of(&s2));
+        prop_assert_eq!(s1.cmp(&s2), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn flatten_distributes_over_union(a in int_set(), b in int_set()) {
+        let nested = Set::from_values(vec![
+            Value::Set(a.clone()),
+            Value::Set(b.clone()),
+        ]);
+        prop_assert_eq!(nested.flatten().unwrap(), a.union(&b));
+    }
+
+    #[test]
+    fn tuple_concat_commutes_on_disjoint_names(x in -50i64..50, y in -50i64..50) {
+        let a = Tuple::from_pairs([("left", Value::Int(x))]);
+        let b = Tuple::from_pairs([("right", Value::Int(y))]);
+        prop_assert_eq!(a.concat(&b).unwrap(), b.concat(&a).unwrap());
+    }
+
+    #[test]
+    fn tuple_except_is_idempotent(x in -50i64..50, y in -50i64..50) {
+        let t = Tuple::from_pairs([("a", Value::Int(x))]);
+        let once = t.except(&[("b".into(), Value::Int(y))]).unwrap();
+        let twice = once.except(&[("b".into(), Value::Int(y))]).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn eq_implies_same_hash(a in int_set(), b in int_set()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+        // and Ord agrees with Eq
+        prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,128 @@
+//! # oodb — From Nested-Loop to Join Queries in OODB
+//!
+//! A full reproduction of Steenhagen, Apers, Blanken & de By,
+//! *From Nested-Loop to Join Queries in OODB*, VLDB 1994 (pp. 618–629):
+//! the OOSQL query language, the ADL complex object algebra, the
+//! unnesting/rewrite strategy that turns nested (tuple-oriented) queries
+//! into join (set-oriented) queries, and an execution engine with the
+//! physical operators the paper discusses (hash join, semijoin, antijoin,
+//! nestjoin, PNHL, pointer-based assembly).
+//!
+//! This facade crate re-exports the member crates and offers [`Pipeline`],
+//! a one-call parse → typecheck → translate → optimize → execute API.
+//!
+//! ```
+//! use oodb::Pipeline;
+//!
+//! let db = oodb::catalog::fixtures::supplier_part_db();
+//! let pipeline = Pipeline::new(&db);
+//! let out = pipeline
+//!     .run("select s.sname from s in SUPPLIER where exists p in PART : \
+//!           p.pid in s.parts and p.color = \"red\"")
+//!     .unwrap();
+//! assert!(!out.rewrite.trace.is_empty()); // the semijoin rewrite fired
+//! ```
+
+pub use oodb_adl as adl;
+pub use oodb_catalog as catalog;
+pub use oodb_core as core;
+pub use oodb_datagen as datagen;
+pub use oodb_engine as engine;
+pub use oodb_oosql as oosql;
+pub use oodb_translate as translate;
+pub use oodb_value as value;
+
+use oodb_adl::expr::Expr;
+use oodb_catalog::Database;
+use oodb_core::strategy::{Optimized, Optimizer};
+use oodb_engine::eval::Evaluator;
+use oodb_engine::plan::Planner;
+use oodb_engine::stats::Stats;
+use oodb_value::Value;
+
+/// Everything the pipeline produced for one query, from source text to
+/// result set.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The nested ADL expression the translator produced (§3: an sfw block
+    /// maps to `α[x : e₁](σ[x : e₃](e₂))`).
+    pub nested: Expr,
+    /// The optimizer result: rewritten expression plus rule trace.
+    pub rewrite: Optimized,
+    /// The query result (always a set value).
+    pub result: Value,
+    /// Operator statistics from executing the **optimized** plan.
+    pub stats: Stats,
+}
+
+/// One-call façade over the full query processing pipeline.
+pub struct Pipeline<'db> {
+    db: &'db Database,
+}
+
+impl<'db> Pipeline<'db> {
+    /// A pipeline bound to a database (schema + extents).
+    pub fn new(db: &'db Database) -> Self {
+        Pipeline { db }
+    }
+
+    /// Parses, type checks, translates, optimizes and executes an OOSQL
+    /// query, returning every intermediate artifact.
+    pub fn run(&self, oosql_text: &str) -> Result<PipelineOutput, PipelineError> {
+        let query = oodb_oosql::parse(oosql_text).map_err(PipelineError::Parse)?;
+        oodb_oosql::typecheck(&query, self.db.catalog()).map_err(PipelineError::Type)?;
+        let nested = oodb_translate::translate(&query, self.db.catalog())
+            .map_err(PipelineError::Translate)?;
+        let rewrite = Optimizer::default()
+            .optimize(&nested, self.db.catalog())
+            .map_err(PipelineError::Rewrite)?;
+        let planner = Planner::new(self.db);
+        let plan = planner.plan(&rewrite.expr).map_err(PipelineError::Plan)?;
+        let mut stats = Stats::default();
+        let result = plan.execute(&mut stats).map_err(PipelineError::Exec)?;
+        Ok(PipelineOutput { nested, rewrite, result, stats })
+    }
+
+    /// Executes the *unoptimized* nested translation with the reference
+    /// nested-loop evaluator — the baseline the paper argues against.
+    pub fn run_naive(&self, oosql_text: &str) -> Result<Value, PipelineError> {
+        let query = oodb_oosql::parse(oosql_text).map_err(PipelineError::Parse)?;
+        oodb_oosql::typecheck(&query, self.db.catalog()).map_err(PipelineError::Type)?;
+        let nested = oodb_translate::translate(&query, self.db.catalog())
+            .map_err(PipelineError::Translate)?;
+        let ev = Evaluator::new(self.db);
+        ev.eval_closed(&nested).map_err(PipelineError::Exec)
+    }
+}
+
+/// Union of the per-phase error types.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Lexing/parsing failed.
+    Parse(oodb_oosql::ParseError),
+    /// The query does not type check against the catalog.
+    Type(oodb_oosql::TypeError),
+    /// Translation to ADL failed.
+    Translate(oodb_translate::TranslateError),
+    /// A rewrite rule misfired (internal invariant violation).
+    Rewrite(oodb_core::RewriteError),
+    /// Physical planning failed.
+    Plan(oodb_engine::plan::PlanError),
+    /// Execution failed.
+    Exec(oodb_engine::eval::EvalError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Type(e) => write!(f, "type error: {e}"),
+            PipelineError::Translate(e) => write!(f, "translation error: {e}"),
+            PipelineError::Rewrite(e) => write!(f, "rewrite error: {e}"),
+            PipelineError::Plan(e) => write!(f, "planning error: {e}"),
+            PipelineError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}

@@ -1,0 +1,348 @@
+//! Property-based equivalence testing.
+//!
+//! The load-bearing invariant of the whole system: **every rewrite and
+//! every physical operator preserves the reference nested-loop
+//! semantics** — on arbitrary databases, not just the paper's fixtures.
+
+use oodb::adl::dsl::*;
+use oodb::adl::expr::Expr;
+use oodb::core::Optimizer;
+use oodb::datagen::{generate, GenConfig};
+use oodb::engine::{Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
+use oodb::value::{SetCmpOp, Value};
+use proptest::prelude::*;
+
+/// Small random database configurations.
+fn db_config() -> impl Strategy<Value = GenConfig> {
+    (
+        2usize..25,  // parts
+        2usize..15,  // suppliers
+        0usize..10,  // deliveries
+        1usize..5,   // parts per supplier
+        0.0f64..0.5, // empty fraction
+        0.0f64..0.4, // dangling fraction
+        0.0f64..1.0, // red fraction
+        any::<u64>(),
+    )
+        .prop_map(
+            |(parts, suppliers, deliveries, pps, empty, dangling, red, seed)| GenConfig {
+                parts,
+                suppliers,
+                deliveries,
+                parts_per_supplier: pps,
+                empty_supplier_fraction: empty,
+                dangling_fraction: dangling,
+                red_fraction: red,
+                supply_per_delivery: 2,
+                seed,
+            },
+        )
+}
+
+/// The nested query corpus the optimizer is exercised on.
+fn query_corpus() -> Vec<Expr> {
+    vec![
+        // Query 5 shape (∃∃ exchange + semijoin)
+        select(
+            "s",
+            exists(
+                "x",
+                var("s").field("parts"),
+                exists(
+                    "p",
+                    table("PART"),
+                    and(
+                        eq(var("x"), var("p").field("pid")),
+                        eq(var("p").field("color"), str_lit("red")),
+                    ),
+                ),
+            ),
+            table("SUPPLIER"),
+        ),
+        // Query 4 shape (attr unnest + antijoin)
+        project(
+            &["eid"],
+            select(
+                "s",
+                exists(
+                    "z",
+                    var("s").field("parts"),
+                    not(exists("p", table("PART"), eq(var("z"), var("p").field("pid")))),
+                ),
+                table("SUPPLIER"),
+            ),
+        ),
+        // ∀ over a selected base table (antijoin)
+        select(
+            "s",
+            forall(
+                "p",
+                select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+                member(var("p").field("pid"), var("s").field("parts")),
+            ),
+            table("SUPPLIER"),
+        ),
+        // correlated ⊆ between blocks (nestjoin)
+        select(
+            "s",
+            set_cmp(
+                SetCmpOp::SubsetEq,
+                var("s").field("parts"),
+                map(
+                    "p",
+                    var("p").field("pid"),
+                    select("p", gt(var("p").field("price"), int(500)), table("PART")),
+                ),
+            ),
+            table("SUPPLIER"),
+        ),
+        // nesting in the select-clause (nestjoin-map)
+        map(
+            "s",
+            tuple(vec![
+                ("sname", var("s").field("sname")),
+                (
+                    "cheap",
+                    map(
+                        "p",
+                        var("p").field("pname"),
+                        select(
+                            "p",
+                            and(
+                                member(var("p").field("pid"), var("s").field("parts")),
+                                lt(var("p").field("price"), int(300)),
+                            ),
+                            table("PART"),
+                        ),
+                    ),
+                ),
+            ]),
+            table("SUPPLIER"),
+        ),
+        // uncorrelated subquery (hoist)
+        select(
+            "s",
+            set_cmp(
+                SetCmpOp::SupersetEq,
+                var("s").field("parts"),
+                map(
+                    "p",
+                    var("p").field("pid"),
+                    select("p", lt(var("p").field("price"), int(50)), table("PART")),
+                ),
+            ),
+            table("SUPPLIER"),
+        ),
+        // count-emptiness predicate (Table 2)
+        select(
+            "s",
+            eq(
+                count(select(
+                    "p",
+                    member(var("p").field("pid"), var("s").field("parts")),
+                    table("PART"),
+                )),
+                int(0),
+            ),
+            table("SUPPLIER"),
+        ),
+        // Rule 2: flatten of a map-of-concat
+        flatten(map(
+            "s",
+            map(
+                "d",
+                concat(var("s"), var("d")),
+                select(
+                    "d",
+                    eq(var("d").field("supplier"), var("s").field("eid")),
+                    rename(&[("did", "d_id"), ("date", "d_date")], table("DELIVERY")),
+                ),
+            ),
+            project(&["eid", "sname"], table("SUPPLIER")),
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Optimized plans agree with the nested-loop reference on random
+    /// databases, and executing them via the physical planner agrees too.
+    #[test]
+    fn optimizer_preserves_semantics(config in db_config()) {
+        let db = generate(&config);
+        let ev = Evaluator::new(&db);
+        let opt = Optimizer::default();
+        for q in query_corpus() {
+            let naive = ev.eval_closed(&q).expect("naive evaluation succeeds");
+            let rewritten = opt.optimize(&q, db.catalog()).expect("optimize succeeds");
+            let via_eval = ev.eval_closed(&rewritten.expr).expect("rewritten evaluates");
+            prop_assert_eq!(&via_eval, &naive, "rewrite changed semantics: {}", rewritten.trace);
+            let planner = Planner::new(&db);
+            let plan = planner.plan(&rewritten.expr).expect("plan succeeds");
+            let mut stats = Stats::new();
+            let via_plan = plan.execute(&mut stats).expect("plan executes");
+            prop_assert_eq!(&via_plan, &naive, "physical plan changed semantics");
+        }
+    }
+
+    /// Every join algorithm produces identical results for equi- and
+    /// membership joins.
+    #[test]
+    fn join_algorithms_agree(config in db_config()) {
+        let db = generate(&config);
+        let ev = Evaluator::new(&db);
+        let joins = vec![
+            join(
+                "s", "d",
+                eq(var("s").field("eid"), var("d").field("supplier")),
+                project(&["eid", "sname"], table("SUPPLIER")),
+                project(&["did", "supplier"], table("DELIVERY")),
+            ),
+            semijoin(
+                "s", "p",
+                member(var("p").field("pid"), var("s").field("parts")),
+                table("SUPPLIER"),
+                table("PART"),
+            ),
+            antijoin(
+                "s", "p",
+                member(var("p").field("pid"), var("s").field("parts")),
+                table("SUPPLIER"),
+                table("PART"),
+            ),
+            nestjoin(
+                "s", "d",
+                eq(var("s").field("eid"), var("d").field("supplier")),
+                "ds",
+                table("SUPPLIER"),
+                table("DELIVERY"),
+            ),
+        ];
+        for q in joins {
+            let reference = ev.eval_closed(&q).expect("reference");
+            for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
+                let planner = Planner::with_config(
+                    &db,
+                    PlannerConfig { join_algo: algo, ..Default::default() },
+                );
+                let mut stats = Stats::new();
+                let got = planner
+                    .plan(&q)
+                    .expect("plan")
+                    .execute(&mut stats)
+                    .expect("execute");
+                prop_assert_eq!(&got, &reference, "algo {:?} diverged", algo);
+            }
+        }
+    }
+
+    /// PNHL answers are invariant under the memory budget, and agree with
+    /// both assembly and the naive evaluation of the materialize pattern.
+    #[test]
+    fn pnhl_budget_invariance(config in db_config(), budget in 1usize..64) {
+        let db = generate(&config);
+        let ev = Evaluator::new(&db);
+        // α[s : s except (parts = σ[p : p.pid ∈ s.parts](PART))](SUPPLIER)
+        let q = map(
+            "s",
+            except(
+                var("s"),
+                vec![(
+                    "parts",
+                    select(
+                        "p",
+                        member(var("p").field("pid"), var("s").field("parts")),
+                        table("PART"),
+                    ),
+                )],
+            ),
+            table("SUPPLIER"),
+        );
+        let reference = ev.eval_closed(&q).expect("reference");
+        // PNHL under the random budget
+        let pnhl_planner = Planner::with_config(
+            &db,
+            PlannerConfig {
+                pnhl_budget: budget,
+                prefer_assembly: false,
+                ..Default::default()
+            },
+        );
+        let mut s1 = Stats::new();
+        let via_pnhl =
+            pnhl_planner.plan(&q).expect("plan").execute(&mut s1).expect("pnhl");
+        prop_assert_eq!(&via_pnhl, &reference);
+        // pointer-based assembly
+        let asm_planner = Planner::new(&db);
+        let mut s2 = Stats::new();
+        let via_asm =
+            asm_planner.plan(&q).expect("plan").execute(&mut s2).expect("assembly");
+        prop_assert_eq!(&via_asm, &reference);
+        // assembly dereferences exactly one pointer per stored part ref
+        let total_refs: u64 = db
+            .table("SUPPLIER")
+            .unwrap()
+            .rows()
+            .map(|r| r.get("parts").unwrap().as_set().unwrap().len() as u64)
+            .sum();
+        prop_assert_eq!(s2.oid_lookups, total_refs);
+    }
+
+    /// §4 option 1's caveat: `ν ∘ μ` is the identity exactly when no
+    /// empty set-valued attributes exist; tuples with empty sets vanish.
+    #[test]
+    fn nest_unnest_roundtrip(config in db_config()) {
+        let db = generate(&config);
+        let ev = Evaluator::new(&db);
+        // μ then ν on DELIVERY.supply (supply is never empty by generation)
+        let round = nest(
+            &["part", "quantity"],
+            "supply",
+            unnest("supply", table("DELIVERY")),
+        );
+        let direct = ev.eval_closed(&table("DELIVERY")).expect("scan");
+        let rt = ev.eval_closed(&round).expect("roundtrip");
+        prop_assert_eq!(&rt, &direct, "supply sets are non-empty ⇒ identity");
+        // SUPPLIER.parts may be empty: the roundtrip loses exactly those
+        let round_s = nest(&["parts"], "parts_set", unnest("parts", table("SUPPLIER")));
+        let rt_s = ev.eval_closed(&round_s).expect("roundtrip");
+        let kept = rt_s.as_set().unwrap().len();
+        let non_empty = db
+            .table("SUPPLIER")
+            .unwrap()
+            .rows()
+            .filter(|r| !r.get("parts").unwrap().as_set().unwrap().is_empty())
+            .count();
+        prop_assert_eq!(kept, non_empty);
+    }
+
+    /// Random-set Table 1 equivalence (bigger sets than the grid test).
+    #[test]
+    fn table1_random_sets(
+        a in proptest::collection::btree_set(0i64..12, 0..8),
+        b in proptest::collection::btree_set(0i64..12, 0..8),
+    ) {
+        use oodb::core::rules::setcmp::table1_expansion;
+        let db = generate(&GenConfig::scaled(8));
+        let ev = Evaluator::new(&db);
+        let va = Value::set(a.into_iter().map(Value::Int));
+        let vb = Value::set(b.into_iter().map(Value::Int));
+        for op in [
+            SetCmpOp::Subset,
+            SetCmpOp::SubsetEq,
+            SetCmpOp::SetEq,
+            SetCmpOp::SetNe,
+            SetCmpOp::SupersetEq,
+            SetCmpOp::Superset,
+        ] {
+            let direct = set_cmp(op, lit(va.clone()), lit(vb.clone()));
+            let expanded = table1_expansion(op, &lit(va.clone()), &lit(vb.clone()));
+            prop_assert_eq!(
+                ev.eval_closed(&direct).unwrap(),
+                ev.eval_closed(&expanded).unwrap(),
+                "{:?} on {} vs {}", op, va, vb
+            );
+        }
+    }
+}
