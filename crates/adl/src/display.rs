@@ -95,13 +95,24 @@ fn write_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "({input})")
         }
         Unnest { attr, input } => write!(f, "μ_{attr}({input})"),
-        Nest { attrs, as_attr, input } => {
+        Nest {
+            attrs,
+            as_attr,
+            input,
+        } => {
             write!(f, "ν_")?;
             write_names(f, attrs)?;
             write!(f, "→{as_attr}({input})")
         }
         Product(a, b) => write!(f, "({a} × {b})"),
-        Join { kind, lvar, rvar, pred, left, right } => {
+        Join {
+            kind,
+            lvar,
+            rvar,
+            pred,
+            left,
+            right,
+        } => {
             let sym = match kind {
                 JoinKind::Inner => "⋈",
                 JoinKind::Semi => "⋉",
@@ -110,14 +121,27 @@ fn write_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             };
             write!(f, "({left} {sym}_{{{lvar},{rvar} : {pred}}} {right})")
         }
-        NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+        NestJoin {
+            lvar,
+            rvar,
+            pred,
+            rfunc,
+            as_attr,
+            left,
+            right,
+        } => {
             write!(f, "({left} ⊣_{{{lvar},{rvar} : {pred}")?;
             if let Some(g) = rfunc {
                 write!(f, "; {rvar} : {g}")?;
             }
             write!(f, "; {as_attr}}} {right})")
         }
-        Quant { q, var, range, pred } => {
+        Quant {
+            q,
+            var,
+            range,
+            pred,
+        } => {
             let sym = match q {
                 QuantKind::Exists => "∃",
                 QuantKind::Forall => "∀",
@@ -175,11 +199,11 @@ mod tests {
 
     #[test]
     fn restructuring_operators_print() {
-        assert_eq!(unnest("parts", table("SUPPLIER")).to_string(), "μ_parts(SUPPLIER)");
         assert_eq!(
-            nest(&["e"], "ys", table("Z")).to_string(),
-            "ν_e→ys(Z)"
+            unnest("parts", table("SUPPLIER")).to_string(),
+            "μ_parts(SUPPLIER)"
         );
+        assert_eq!(nest(&["e"], "ys", table("Z")).to_string(), "ν_e→ys(Z)");
         assert_eq!(project(&["a", "c"], table("X")).to_string(), "π_a,c(X)");
         assert_eq!(flatten(table("X")).to_string(), "⋃(X)");
     }

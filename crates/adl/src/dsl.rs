@@ -135,12 +135,20 @@ pub fn agg(op: AggOp, e: Expr) -> Expr {
 
 /// `α[var : body](input)`
 pub fn map(v: &str, body: Expr, input: Expr) -> Expr {
-    Expr::Map { var: Name::from(v), body: Box::new(body), input: Box::new(input) }
+    Expr::Map {
+        var: Name::from(v),
+        body: Box::new(body),
+        input: Box::new(input),
+    }
 }
 
 /// `σ[var : pred](input)`
 pub fn select(v: &str, pred: Expr, input: Expr) -> Expr {
-    Expr::Select { var: Name::from(v), pred: Box::new(pred), input: Box::new(input) }
+    Expr::Select {
+        var: Name::from(v),
+        pred: Box::new(pred),
+        input: Box::new(input),
+    }
 }
 
 /// `π_{attrs}(input)`
@@ -154,14 +162,20 @@ pub fn project(attrs: &[&str], input: Expr) -> Expr {
 /// `ρ_{old→new}(input)`
 pub fn rename(pairs: &[(&str, &str)], input: Expr) -> Expr {
     Expr::Rename {
-        pairs: pairs.iter().map(|(o, n)| (Name::from(*o), Name::from(*n))).collect(),
+        pairs: pairs
+            .iter()
+            .map(|(o, n)| (Name::from(*o), Name::from(*n)))
+            .collect(),
         input: Box::new(input),
     }
 }
 
 /// `μ_attr(input)`
 pub fn unnest(attr: &str, input: Expr) -> Expr {
-    Expr::Unnest { attr: Name::from(attr), input: Box::new(input) }
+    Expr::Unnest {
+        attr: Name::from(attr),
+        input: Box::new(input),
+    }
 }
 
 /// `ν_{attrs→as_attr}(input)`
@@ -282,7 +296,12 @@ pub fn forall(v: &str, range: Expr, pred: Expr) -> Expr {
 
 /// Tuple construction `⟨n₁ = e₁, …⟩`.
 pub fn tuple(fields: Vec<(&str, Expr)>) -> Expr {
-    Expr::TupleCons(fields.into_iter().map(|(n, e)| (Name::from(n), e)).collect())
+    Expr::TupleCons(
+        fields
+            .into_iter()
+            .map(|(n, e)| (Name::from(n), e))
+            .collect(),
+    )
 }
 
 /// Tuple concatenation `a ∘ b`.
@@ -299,7 +318,10 @@ pub fn tuple_project(e: Expr, attrs: &[&str]) -> Expr {
 pub fn except(e: Expr, updates: Vec<(&str, Expr)>) -> Expr {
     Expr::Except(
         Box::new(e),
-        updates.into_iter().map(|(n, u)| (Name::from(n), u)).collect(),
+        updates
+            .into_iter()
+            .map(|(n, u)| (Name::from(n), u))
+            .collect(),
     )
 }
 
@@ -310,7 +332,11 @@ pub fn deref(e: Expr, class: &str) -> Expr {
 
 /// `let v = value in body`
 pub fn let_(v: &str, value: Expr, body: Expr) -> Expr {
-    Expr::Let { var: Name::from(v), value: Box::new(value), body: Box::new(body) }
+    Expr::Let {
+        var: Name::from(v),
+        value: Box::new(value),
+        body: Box::new(body),
+    }
 }
 
 /// Relational division `a ÷ b`.
@@ -325,16 +351,25 @@ mod tests {
     #[test]
     fn dsl_builds_expected_nodes() {
         assert!(matches!(var("x"), Expr::Var(_)));
-        assert!(matches!(select("x", Expr::true_(), table("X")), Expr::Select { .. }));
+        assert!(matches!(
+            select("x", Expr::true_(), table("X")),
+            Expr::Select { .. }
+        ));
         assert!(matches!(
             semijoin("a", "b", Expr::true_(), table("X"), table("Y")),
-            Expr::Join { kind: JoinKind::Semi, .. }
+            Expr::Join {
+                kind: JoinKind::Semi,
+                ..
+            }
         ));
         assert!(matches!(
             nestjoin("a", "b", Expr::true_(), "ys", table("X"), table("Y")),
             Expr::NestJoin { rfunc: None, .. }
         ));
         assert!(matches!(count(table("X")), Expr::Agg(AggOp::Count, _)));
-        assert!(matches!(set_op(SetOp::Union, var("a"), var("b")), Expr::SetOp(..)));
+        assert!(matches!(
+            set_op(SetOp::Union, var("a"), var("b")),
+            Expr::SetOp(..)
+        ));
     }
 }

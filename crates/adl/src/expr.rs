@@ -333,8 +333,13 @@ impl Expr {
         match self {
             Lit(_) | Var(_) | Table(_) => {}
             TupleCons(fields) => fields.iter().for_each(|(_, e)| f(e)),
-            Field(e, _) | TupleProject(e, _) | Deref(e, _) | Not(e) | IsNull(e)
-            | Flatten(e) | Agg(_, e) => f(e),
+            Field(e, _)
+            | TupleProject(e, _)
+            | Deref(e, _)
+            | Not(e)
+            | IsNull(e)
+            | Flatten(e)
+            | Agg(_, e) => f(e),
             Except(e, updates) => {
                 f(e);
                 updates.iter().for_each(|(_, u)| f(u));
@@ -360,14 +365,24 @@ impl Expr {
                 f(pred);
                 f(input);
             }
-            Project { input, .. } | Rename { input, .. } | Unnest { input, .. }
+            Project { input, .. }
+            | Rename { input, .. }
+            | Unnest { input, .. }
             | Nest { input, .. } => f(input),
-            Join { pred, left, right, .. } => {
+            Join {
+                pred, left, right, ..
+            } => {
                 f(pred);
                 f(left);
                 f(right);
             }
-            NestJoin { pred, rfunc, left, right, .. } => {
+            NestJoin {
+                pred,
+                rfunc,
+                left,
+                right,
+                ..
+            } => {
                 f(pred);
                 if let Some(g) = rfunc {
                     f(g);
@@ -393,9 +408,7 @@ impl Expr {
         let fb = |e: Box<Expr>, f: &mut dyn FnMut(Expr) -> Expr| Box::new(f(*e));
         match self {
             e @ (Lit(_) | Var(_) | Table(_)) => e,
-            TupleCons(fields) => {
-                TupleCons(fields.into_iter().map(|(n, e)| (n, f(e))).collect())
-            }
+            TupleCons(fields) => TupleCons(fields.into_iter().map(|(n, e)| (n, f(e))).collect()),
             Field(e, n) => Field(fb(e, f), n),
             TupleProject(e, ns) => TupleProject(fb(e, f), ns),
             Except(e, updates) => {
@@ -438,36 +451,99 @@ impl Expr {
             Agg(op, e) => Agg(op, fb(e, f)),
             Map { var, body, input } => {
                 let body = fb(body, f);
-                Map { var, body, input: fb(input, f) }
+                Map {
+                    var,
+                    body,
+                    input: fb(input, f),
+                }
             }
             Select { var, pred, input } => {
                 let pred = fb(pred, f);
-                Select { var, pred, input: fb(input, f) }
+                Select {
+                    var,
+                    pred,
+                    input: fb(input, f),
+                }
             }
-            Project { attrs, input } => Project { attrs, input: fb(input, f) },
-            Rename { pairs, input } => Rename { pairs, input: fb(input, f) },
-            Unnest { attr, input } => Unnest { attr, input: fb(input, f) },
-            Nest { attrs, as_attr, input } => {
-                Nest { attrs, as_attr, input: fb(input, f) }
-            }
+            Project { attrs, input } => Project {
+                attrs,
+                input: fb(input, f),
+            },
+            Rename { pairs, input } => Rename {
+                pairs,
+                input: fb(input, f),
+            },
+            Unnest { attr, input } => Unnest {
+                attr,
+                input: fb(input, f),
+            },
+            Nest {
+                attrs,
+                as_attr,
+                input,
+            } => Nest {
+                attrs,
+                as_attr,
+                input: fb(input, f),
+            },
             Product(a, b) => {
                 let a = fb(a, f);
                 Product(a, fb(b, f))
             }
-            Join { kind, lvar, rvar, pred, left, right } => {
+            Join {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                left,
+                right,
+            } => {
                 let pred = fb(pred, f);
                 let left = fb(left, f);
-                Join { kind, lvar, rvar, pred, left, right: fb(right, f) }
+                Join {
+                    kind,
+                    lvar,
+                    rvar,
+                    pred,
+                    left,
+                    right: fb(right, f),
+                }
             }
-            NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+            NestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => {
                 let pred = fb(pred, f);
                 let rfunc = rfunc.map(|g| fb(g, f));
                 let left = fb(left, f);
-                NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right: fb(right, f) }
+                NestJoin {
+                    lvar,
+                    rvar,
+                    pred,
+                    rfunc,
+                    as_attr,
+                    left,
+                    right: fb(right, f),
+                }
             }
-            Quant { q, var, range, pred } => {
+            Quant {
+                q,
+                var,
+                range,
+                pred,
+            } => {
                 let range = fb(range, f);
-                Quant { q, var, range, pred: fb(pred, f) }
+                Quant {
+                    q,
+                    var,
+                    range,
+                    pred: fb(pred, f),
+                }
             }
             Div(a, b) => {
                 let a = fb(a, f);
@@ -475,7 +551,11 @@ impl Expr {
             }
             Let { var, value, body } => {
                 let value = fb(value, f);
-                Let { var, value, body: fb(body, f) }
+                Let {
+                    var,
+                    value,
+                    body: fb(body, f),
+                }
             }
         }
     }
@@ -548,8 +628,7 @@ mod tests {
             }
         }
         let out = bump(e);
-        let expected =
-            select("x", eq(var("x").field("a"), Expr::int(2)), Expr::table("X"));
+        let expected = select("x", eq(var("x").field("a"), Expr::int(2)), Expr::table("X"));
         assert_eq!(out, expected);
     }
 

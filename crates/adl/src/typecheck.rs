@@ -27,7 +27,11 @@ pub enum AdlTypeError {
     /// Operator applied to an operand of the wrong shape.
     Shape { op: &'static str, found: String },
     /// Two operand types failed to unify.
-    Mismatch { op: &'static str, lhs: String, rhs: String },
+    Mismatch {
+        op: &'static str,
+        lhs: String,
+        rhs: String,
+    },
     /// Attribute conflicts in concatenation/product/join.
     Conflict { op: &'static str, attr: Name },
     /// Nestjoin group attribute already present in the left schema
@@ -129,16 +133,16 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
         TupleProject(inner, attrs) => {
             let t = infer(inner, env, catalog)?;
             let tt = tuple_of(&t, "tuple subscription")?;
-            tt.subscript(attrs).map(Type::Tuple).map_err(|_| {
-                AdlTypeError::NoSuchAttr {
+            tt.subscript(attrs)
+                .map(Type::Tuple)
+                .map_err(|_| AdlTypeError::NoSuchAttr {
                     attr: attrs
                         .iter()
                         .find(|a| !tt.has_field(a))
                         .cloned()
                         .unwrap_or_else(|| Name::from("?")),
                     ty: t.to_string(),
-                }
-            })
+                })
         }
         Except(inner, updates) => {
             let t = infer(inner, env, catalog)?;
@@ -157,7 +161,10 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
                 oodb_value::ValueError::DuplicateField(a) => {
                     AdlTypeError::Conflict { op: "∘", attr: a }
                 }
-                _ => AdlTypeError::Shape { op: "∘", found: ta.to_string() },
+                _ => AdlTypeError::Shape {
+                    op: "∘",
+                    found: ta.to_string(),
+                },
             })
         }
         Deref(inner, class) => {
@@ -191,7 +198,10 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
             }
             use oodb_value::CmpOp;
             if !matches!(op, CmpOp::Eq | CmpOp::Ne) && !ta.is_ordered() && !numeric_mix {
-                return Err(AdlTypeError::Shape { op: op.symbol(), found: ta.to_string() });
+                return Err(AdlTypeError::Shape {
+                    op: op.symbol(),
+                    found: ta.to_string(),
+                });
             }
             Ok(Type::Bool)
         }
@@ -282,9 +292,10 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
             match elem {
                 Type::Set(_) => Ok(elem.clone()),
                 Type::Unknown => Ok(Type::set(Type::Unknown)),
-                other => {
-                    Err(AdlTypeError::Shape { op: "⋃", found: format!("{{{other}}}") })
-                }
+                other => Err(AdlTypeError::Shape {
+                    op: "⋃",
+                    found: format!("{{{other}}}"),
+                }),
             }
         }
         Agg(op, inner) => {
@@ -335,16 +346,16 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
         Project { attrs, input } => {
             let ti = infer(input, env, catalog)?;
             let tt = table_of(&ti, "π")?;
-            tt.subscript(attrs).map(|t| Type::set(Type::Tuple(t))).map_err(|_| {
-                AdlTypeError::NoSuchAttr {
+            tt.subscript(attrs)
+                .map(|t| Type::set(Type::Tuple(t)))
+                .map_err(|_| AdlTypeError::NoSuchAttr {
                     attr: attrs
                         .iter()
                         .find(|a| !tt.has_field(a))
                         .cloned()
                         .unwrap_or_else(|| Name::from("?")),
                     ty: ti.to_string(),
-                }
-            })
+                })
         }
         Rename { pairs, input } => {
             let ti = infer(input, env, catalog)?;
@@ -405,10 +416,17 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
                     oodb_value::ValueError::DuplicateField(a) => {
                         AdlTypeError::Conflict { op: "μ", attr: a }
                     }
-                    _ => AdlTypeError::Shape { op: "μ", found: ti.to_string() },
+                    _ => AdlTypeError::Shape {
+                        op: "μ",
+                        found: ti.to_string(),
+                    },
                 })
         }
-        Nest { attrs, as_attr, input } => {
+        Nest {
+            attrs,
+            as_attr,
+            input,
+        } => {
             let ti = infer(input, env, catalog)?;
             let tt = table_of(&ti, "ν")?;
             let grouped = tt.subscript(attrs).map_err(|_| AdlTypeError::NoSuchAttr {
@@ -426,8 +444,7 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
             if rest.has_field(as_attr) {
                 return Err(AdlTypeError::GroupAttrTaken(as_attr.clone()));
             }
-            let out = rest
-                .with_field(as_attr.clone(), Type::set(Type::Tuple(grouped)));
+            let out = rest.with_field(as_attr.clone(), Type::set(Type::Tuple(grouped)));
             Ok(Type::set(Type::Tuple(out)))
         }
         Product(a, b) => {
@@ -440,14 +457,23 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
                     oodb_value::ValueError::DuplicateField(attr) => {
                         AdlTypeError::Conflict { op: "×", attr }
                     }
-                    _ => AdlTypeError::Shape { op: "×", found: ta.to_string() },
+                    _ => AdlTypeError::Shape {
+                        op: "×",
+                        found: ta.to_string(),
+                    },
                 })
         }
-        Join { kind, lvar, rvar, pred, left, right } => {
+        Join {
+            kind,
+            lvar,
+            rvar,
+            pred,
+            left,
+            right,
+        } => {
             let tl = infer(left, env, catalog)?;
             let tr = infer(right, env, catalog)?;
-            let (lelem, relem) =
-                (set_of(&tl, "join")?.clone(), set_of(&tr, "join")?.clone());
+            let (lelem, relem) = (set_of(&tl, "join")?.clone(), set_of(&tr, "join")?.clone());
             let penv = env.bind(lvar, lelem.clone()).bind(rvar, relem.clone());
             expect_bool(infer(pred, &penv, catalog)?, "join predicate")?;
             match kind {
@@ -461,12 +487,23 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
                             oodb_value::ValueError::DuplicateField(attr) => {
                                 AdlTypeError::Conflict { op: "⋈", attr }
                             }
-                            _ => AdlTypeError::Shape { op: "⋈", found: tl.to_string() },
+                            _ => AdlTypeError::Shape {
+                                op: "⋈",
+                                found: tl.to_string(),
+                            },
                         })
                 }
             }
         }
-        NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+        NestJoin {
+            lvar,
+            rvar,
+            pred,
+            rfunc,
+            as_attr,
+            left,
+            right,
+        } => {
             let tl = infer(left, env, catalog)?;
             let tr = infer(right, env, catalog)?;
             let lelem = set_of(&tl, "⊣")?.clone();
@@ -484,7 +521,12 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
             let out = lt.with_field(as_attr.clone(), Type::set(collected));
             Ok(Type::set(Type::Tuple(out)))
         }
-        Quant { q: _, var, range, pred } => {
+        Quant {
+            q: _,
+            var,
+            range,
+            pred,
+        } => {
             let tr = infer(range, env, catalog)?;
             let elem = set_of(&tr, "quantifier range")?.clone();
             expect_bool(
@@ -527,10 +569,17 @@ pub fn infer(e: &Expr, env: &TypeEnv, catalog: &Catalog) -> Result<Type, AdlType
 
 fn field_type(t: &Type, attr: &Name) -> Result<Type, AdlTypeError> {
     match t {
-        Type::Tuple(tt) => tt.field(attr).cloned().ok_or_else(|| {
-            AdlTypeError::NoSuchAttr { attr: attr.clone(), ty: t.to_string() }
+        Type::Tuple(tt) => tt
+            .field(attr)
+            .cloned()
+            .ok_or_else(|| AdlTypeError::NoSuchAttr {
+                attr: attr.clone(),
+                ty: t.to_string(),
+            }),
+        other => Err(AdlTypeError::Shape {
+            op: "field access",
+            found: other.to_string(),
         }),
-        other => Err(AdlTypeError::Shape { op: "field access", found: other.to_string() }),
     }
 }
 
@@ -548,21 +597,30 @@ fn dup_name(fields: &[(Name, Expr)]) -> Name {
 fn expect_bool(t: Type, op: &'static str) -> Result<(), AdlTypeError> {
     match t {
         Type::Bool | Type::Unknown => Ok(()),
-        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+        other => Err(AdlTypeError::Shape {
+            op,
+            found: other.to_string(),
+        }),
     }
 }
 
 fn set_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a Type, AdlTypeError> {
     match t {
         Type::Set(e) => Ok(e),
-        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+        other => Err(AdlTypeError::Shape {
+            op,
+            found: other.to_string(),
+        }),
     }
 }
 
 fn tuple_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a TupleType, AdlTypeError> {
     match t {
         Type::Tuple(tt) => Ok(tt),
-        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+        other => Err(AdlTypeError::Shape {
+            op,
+            found: other.to_string(),
+        }),
     }
 }
 
@@ -570,7 +628,10 @@ fn tuple_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a TupleType, AdlTypeE
 fn table_of<'a>(t: &'a Type, op: &'static str) -> Result<&'a TupleType, AdlTypeError> {
     match t {
         Type::Set(e) => tuple_of(e, op),
-        other => Err(AdlTypeError::Shape { op, found: other.to_string() }),
+        other => Err(AdlTypeError::Shape {
+            op,
+            found: other.to_string(),
+        }),
     }
 }
 
@@ -608,7 +669,10 @@ mod tests {
             infer_sp(&table("NOPE")),
             Err(AdlTypeError::UnknownTable(_))
         ));
-        assert!(matches!(infer_sp(&var("x")), Err(AdlTypeError::UnboundVar(_))));
+        assert!(matches!(
+            infer_sp(&var("x")),
+            Err(AdlTypeError::UnboundVar(_))
+        ));
     }
 
     #[test]
@@ -619,7 +683,11 @@ mod tests {
 
     #[test]
     fn field_on_non_tuple_fails() {
-        let q = map("s", var("s").field("sname").field("oops"), table("SUPPLIER"));
+        let q = map(
+            "s",
+            var("s").field("sname").field("oops"),
+            table("SUPPLIER"),
+        );
         assert!(matches!(infer_sp(&q), Err(AdlTypeError::Shape { .. })));
     }
 
@@ -648,7 +716,13 @@ mod tests {
         assert!(sch.iter().any(|n| n.as_ref() == "sname"));
         assert!(sch.iter().any(|n| n.as_ref() == "color"));
         // …but SUPPLIER ⋈ SUPPLIER conflicts.
-        let q2 = join("a", "b", Expr::true_(), table("SUPPLIER"), table("SUPPLIER"));
+        let q2 = join(
+            "a",
+            "b",
+            Expr::true_(),
+            table("SUPPLIER"),
+            table("SUPPLIER"),
+        );
         assert!(matches!(infer_sp(&q2), Err(AdlTypeError::Conflict { .. })));
     }
 
@@ -680,8 +754,18 @@ mod tests {
         assert!(tt.has_field("parts_suppl"));
         assert!(tt.field("parts_suppl").unwrap().is_set());
         // group attr collision detected
-        let bad = nestjoin("s", "p", Expr::true_(), "sname", table("SUPPLIER"), table("PART"));
-        assert!(matches!(infer_sp(&bad), Err(AdlTypeError::GroupAttrTaken(_))));
+        let bad = nestjoin(
+            "s",
+            "p",
+            Expr::true_(),
+            "sname",
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        assert!(matches!(
+            infer_sp(&bad),
+            Err(AdlTypeError::GroupAttrTaken(_))
+        ));
     }
 
     #[test]
@@ -726,14 +810,19 @@ mod tests {
         let q = unnest("parts", table("SUPPLIER"));
         let t = infer_sp(&q).unwrap();
         let tt = t.elem().unwrap().as_tuple().unwrap();
-        assert_eq!(tt.field("parts"), Some(&Type::Oid(Some(oodb_value::name("Part")))));
+        assert_eq!(
+            tt.field("parts"),
+            Some(&Type::Oid(Some(oodb_value::name("Part"))))
+        );
         assert!(tt.has_field("sname"));
         // a set of sets still cannot be μ-flattened into a tuple schema
-        let q2 = unnest("c", Expr::Lit(oodb_value::Value::set([
-            oodb_value::Value::tuple([
-                ("c", oodb_value::Value::set([oodb_value::Value::set([])])),
-            ]),
-        ])));
+        let q2 = unnest(
+            "c",
+            Expr::Lit(oodb_value::Value::set([oodb_value::Value::tuple([(
+                "c",
+                oodb_value::Value::set([oodb_value::Value::set([])]),
+            )])])),
+        );
         let _ = q2; // typing a literal needs no catalog lookups
     }
 
@@ -741,8 +830,14 @@ mod tests {
     fn aggregates_type() {
         assert_eq!(infer_sp(&count(table("PART"))).unwrap(), Type::Int);
         let prices = map("p", var("p").field("price"), table("PART"));
-        assert_eq!(infer_sp(&agg(AggOp::Sum, prices.clone())).unwrap(), Type::Int);
-        assert_eq!(infer_sp(&agg(AggOp::Avg, prices.clone())).unwrap(), Type::Float);
+        assert_eq!(
+            infer_sp(&agg(AggOp::Sum, prices.clone())).unwrap(),
+            Type::Int
+        );
+        assert_eq!(
+            infer_sp(&agg(AggOp::Avg, prices.clone())).unwrap(),
+            Type::Float
+        );
         assert_eq!(infer_sp(&agg(AggOp::Min, prices)).unwrap(), Type::Int);
         assert!(infer_sp(&agg(AggOp::Sum, table("PART"))).is_err());
     }
@@ -757,7 +852,11 @@ mod tests {
         );
         assert_eq!(infer_closed(&q, &cat).unwrap(), Type::set(Type::Str));
         // wrong class tag rejected
-        let bad = map("d", deref(var("d").field("supplier"), "Part"), table("DELIVERY"));
+        let bad = map(
+            "d",
+            deref(var("d").field("supplier"), "Part"),
+            table("DELIVERY"),
+        );
         assert!(infer_closed(&bad, &cat).is_err());
     }
 
@@ -765,10 +864,7 @@ mod tests {
     fn division_schema_condition() {
         let cat = supplier_part_catalog();
         // π_{did,part}(μ_supply(DELIVERY)) ÷ π_{part}(…) is well-formed
-        let all = project(
-            &["did", "part"],
-            unnest("supply", table("DELIVERY")),
-        );
+        let all = project(&["did", "part"], unnest("supply", table("DELIVERY")));
         let divisor = project(&["part"], unnest("supply", table("DELIVERY")));
         let q = div(all.clone(), divisor);
         let t = infer_closed(&q, &cat).unwrap();

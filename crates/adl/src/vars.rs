@@ -42,7 +42,14 @@ fn collect_free(e: &Expr, bound: &mut Vec<Name>, out: &mut FxHashSet<Name>) {
             collect_free(pred, bound, out);
             bound.pop();
         }
-        Expr::Join { lvar, rvar, pred, left, right, .. } => {
+        Expr::Join {
+            lvar,
+            rvar,
+            pred,
+            left,
+            right,
+            ..
+        } => {
             collect_free(left, bound, out);
             collect_free(right, bound, out);
             bound.push(lvar.clone());
@@ -51,7 +58,15 @@ fn collect_free(e: &Expr, bound: &mut Vec<Name>, out: &mut FxHashSet<Name>) {
             bound.pop();
             bound.pop();
         }
-        Expr::NestJoin { lvar, rvar, pred, rfunc, left, right, .. } => {
+        Expr::NestJoin {
+            lvar,
+            rvar,
+            pred,
+            rfunc,
+            left,
+            right,
+            ..
+        } => {
             collect_free(left, bound, out);
             collect_free(right, bound, out);
             bound.push(lvar.clone());
@@ -65,7 +80,9 @@ fn collect_free(e: &Expr, bound: &mut Vec<Name>, out: &mut FxHashSet<Name>) {
                 bound.pop();
             }
         }
-        Expr::Quant { var, range, pred, .. } => {
+        Expr::Quant {
+            var, range, pred, ..
+        } => {
             collect_free(range, bound, out);
             bound.push(var.clone());
             collect_free(pred, bound, out);
@@ -109,12 +126,7 @@ pub fn subst(e: &Expr, var: &str, replacement: &Expr) -> Expr {
     subst_inner(e, var, replacement, &fv)
 }
 
-fn subst_inner(
-    e: &Expr,
-    var: &str,
-    replacement: &Expr,
-    repl_fv: &FxHashSet<Name>,
-) -> Expr {
+fn subst_inner(e: &Expr, var: &str, replacement: &Expr, repl_fv: &FxHashSet<Name>) -> Expr {
     // Rename binder `b` of `scopes` (sub-expressions in the binder's scope)
     // when it would capture; returns the possibly renamed binder + scopes.
     fn guard_binder(
@@ -123,9 +135,9 @@ fn subst_inner(
         var: &str,
         repl_fv: &FxHashSet<Name>,
     ) -> (Name, Vec<Expr>) {
-        let needs_rename =
-            b.as_ref() != var && repl_fv.iter().any(|n| n == b)
-                && scopes.iter().any(|s| is_free_in(var, s));
+        let needs_rename = b.as_ref() != var
+            && repl_fv.iter().any(|n| n == b)
+            && scopes.iter().any(|s| is_free_in(var, s));
         if needs_rename {
             let mut avoid = repl_fv.clone();
             for s in &scopes {
@@ -146,7 +158,11 @@ fn subst_inner(
     match e {
         Expr::Var(n) if n.as_ref() == var => replacement.clone(),
         Expr::Var(_) | Expr::Lit(_) | Expr::Table(_) => e.clone(),
-        Expr::Map { var: b, body, input } => {
+        Expr::Map {
+            var: b,
+            body,
+            input,
+        } => {
             let input = subst_inner(input, var, replacement, repl_fv);
             if b.as_ref() == var {
                 return Expr::Map {
@@ -157,9 +173,17 @@ fn subst_inner(
             }
             let (b, mut scopes) = guard_binder(b, vec![body], var, repl_fv);
             let body = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
-            Expr::Map { var: b, body: Box::new(body), input: Box::new(input) }
+            Expr::Map {
+                var: b,
+                body: Box::new(body),
+                input: Box::new(input),
+            }
         }
-        Expr::Select { var: b, pred, input } => {
+        Expr::Select {
+            var: b,
+            pred,
+            input,
+        } => {
             let input = subst_inner(input, var, replacement, repl_fv);
             if b.as_ref() == var {
                 return Expr::Select {
@@ -170,9 +194,18 @@ fn subst_inner(
             }
             let (b, mut scopes) = guard_binder(b, vec![pred], var, repl_fv);
             let pred = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
-            Expr::Select { var: b, pred: Box::new(pred), input: Box::new(input) }
+            Expr::Select {
+                var: b,
+                pred: Box::new(pred),
+                input: Box::new(input),
+            }
         }
-        Expr::Quant { q, var: b, range, pred } => {
+        Expr::Quant {
+            q,
+            var: b,
+            range,
+            pred,
+        } => {
             let range = subst_inner(range, var, replacement, repl_fv);
             if b.as_ref() == var {
                 return Expr::Quant {
@@ -184,9 +217,18 @@ fn subst_inner(
             }
             let (b, mut scopes) = guard_binder(b, vec![pred], var, repl_fv);
             let pred = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
-            Expr::Quant { q: *q, var: b, range: Box::new(range), pred: Box::new(pred) }
+            Expr::Quant {
+                q: *q,
+                var: b,
+                range: Box::new(range),
+                pred: Box::new(pred),
+            }
         }
-        Expr::Let { var: b, value, body } => {
+        Expr::Let {
+            var: b,
+            value,
+            body,
+        } => {
             let value = subst_inner(value, var, replacement, repl_fv);
             if b.as_ref() == var {
                 return Expr::Let {
@@ -197,9 +239,20 @@ fn subst_inner(
             }
             let (b, mut scopes) = guard_binder(b, vec![body], var, repl_fv);
             let body = subst_inner(&scopes.remove(0), var, replacement, repl_fv);
-            Expr::Let { var: b, value: Box::new(value), body: Box::new(body) }
+            Expr::Let {
+                var: b,
+                value: Box::new(value),
+                body: Box::new(body),
+            }
         }
-        Expr::Join { kind, lvar, rvar, pred, left, right } => {
+        Expr::Join {
+            kind,
+            lvar,
+            rvar,
+            pred,
+            left,
+            right,
+        } => {
             let left = subst_inner(left, var, replacement, repl_fv);
             let right = subst_inner(right, var, replacement, repl_fv);
             if lvar.as_ref() == var || rvar.as_ref() == var {
@@ -227,7 +280,15 @@ fn subst_inner(
                 right: Box::new(right),
             }
         }
-        Expr::NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+        Expr::NestJoin {
+            lvar,
+            rvar,
+            pred,
+            rfunc,
+            as_attr,
+            left,
+            right,
+        } => {
             let left = subst_inner(left, var, replacement, repl_fv);
             let right = subst_inner(right, var, replacement, repl_fv);
             if lvar.as_ref() == var || rvar.as_ref() == var {
@@ -251,10 +312,13 @@ fn subst_inner(
             }
             let (rvar2, mut scopes) = guard_binder(rvar, scope_vec, var, repl_fv);
             let pred2 = scopes.remove(0);
-            let rfunc2 = if rfunc.is_some() { Some(scopes.remove(0)) } else { None };
+            let rfunc2 = if rfunc.is_some() {
+                Some(scopes.remove(0))
+            } else {
+                None
+            };
             let pred = subst_inner(&pred2, var, replacement, repl_fv);
-            let rfunc = rfunc2
-                .map(|g| Box::new(subst_inner(&g, var, replacement, repl_fv)));
+            let rfunc = rfunc2.map(|g| Box::new(subst_inner(&g, var, replacement, repl_fv)));
             Expr::NestJoin {
                 lvar: lvar2,
                 rvar: rvar2,
@@ -299,35 +363,86 @@ fn alpha_eq_inner(a: &Expr, b: &Expr, pairs: &mut PairStack) -> bool {
         }
         (Lit(x), Lit(y)) => x == y,
         (Table(x), Table(y)) => x == y,
-        (Map { var: va, body: ba, input: ia }, Map { var: vb, body: bb, input: ib }) => {
+        (
+            Map {
+                var: va,
+                body: ba,
+                input: ia,
+            },
+            Map {
+                var: vb,
+                body: bb,
+                input: ib,
+            },
+        ) => {
             alpha_eq_inner(ia, ib, pairs)
                 && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(ba, bb, p))
         }
         (
-            Select { var: va, pred: pa, input: ia },
-            Select { var: vb, pred: pb, input: ib },
+            Select {
+                var: va,
+                pred: pa,
+                input: ia,
+            },
+            Select {
+                var: vb,
+                pred: pb,
+                input: ib,
+            },
         ) => {
             alpha_eq_inner(ia, ib, pairs)
                 && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(pa, pb, p))
         }
         (
-            Quant { q: qa, var: va, range: ra, pred: pa },
-            Quant { q: qb, var: vb, range: rb, pred: pb },
+            Quant {
+                q: qa,
+                var: va,
+                range: ra,
+                pred: pa,
+            },
+            Quant {
+                q: qb,
+                var: vb,
+                range: rb,
+                pred: pb,
+            },
         ) => {
             qa == qb
                 && alpha_eq_inner(ra, rb, pairs)
                 && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(pa, pb, p))
         }
         (
-            Let { var: va, value: la, body: ba },
-            Let { var: vb, value: lb, body: bb },
+            Let {
+                var: va,
+                value: la,
+                body: ba,
+            },
+            Let {
+                var: vb,
+                value: lb,
+                body: bb,
+            },
         ) => {
             alpha_eq_inner(la, lb, pairs)
                 && with_pair(pairs, va, vb, &mut |p| alpha_eq_inner(ba, bb, p))
         }
         (
-            Join { kind: ka, lvar: la, rvar: ra, pred: pa, left: lla, right: rra },
-            Join { kind: kb, lvar: lb, rvar: rb, pred: pb, left: llb, right: rrb },
+            Join {
+                kind: ka,
+                lvar: la,
+                rvar: ra,
+                pred: pa,
+                left: lla,
+                right: rra,
+            },
+            Join {
+                kind: kb,
+                lvar: lb,
+                rvar: rb,
+                pred: pb,
+                left: llb,
+                right: rrb,
+            },
         ) => {
             ka == kb
                 && alpha_eq_inner(lla, llb, pairs)
@@ -382,11 +497,7 @@ fn alpha_eq_inner(a: &Expr, b: &Expr, pairs: &mut PairStack) -> bool {
             let (mut ca, mut cb) = (Vec::new(), Vec::new());
             a.for_each_child(&mut |c| ca.push(c));
             b.for_each_child(&mut |c| cb.push(c));
-            ca.len() == cb.len()
-                && ca
-                    .iter()
-                    .zip(&cb)
-                    .all(|(x, y)| alpha_eq_inner(x, y, pairs))
+            ca.len() == cb.len() && ca.iter().zip(&cb).all(|(x, y)| alpha_eq_inner(x, y, pairs))
         }
     }
 }
@@ -396,14 +507,12 @@ fn same_shape(a: &Expr, b: &Expr) -> bool {
     use Expr::*;
     match (a, b) {
         (TupleCons(fa), TupleCons(fbb)) => {
-            fa.len() == fbb.len()
-                && fa.iter().zip(fbb).all(|((na, _), (nb, _))| na == nb)
+            fa.len() == fbb.len() && fa.iter().zip(fbb).all(|((na, _), (nb, _))| na == nb)
         }
         (Field(_, na), Field(_, nb)) => na == nb,
         (TupleProject(_, na), TupleProject(_, nb)) => na == nb,
         (Except(_, ua), Except(_, ub)) => {
-            ua.len() == ub.len()
-                && ua.iter().zip(ub).all(|((na, _), (nb, _))| na == nb)
+            ua.len() == ub.len() && ua.iter().zip(ub).all(|((na, _), (nb, _))| na == nb)
         }
         (Deref(_, ca), Deref(_, cb)) => ca == cb,
         (Cmp(oa, ..), Cmp(ob, ..)) => oa == ob,
@@ -415,8 +524,16 @@ fn same_shape(a: &Expr, b: &Expr) -> bool {
         (Rename { pairs: pa, .. }, Rename { pairs: pb, .. }) => pa == pb,
         (Unnest { attr: aa, .. }, Unnest { attr: ab, .. }) => aa == ab,
         (
-            Nest { attrs: aa, as_attr: na, .. },
-            Nest { attrs: ab, as_attr: nb, .. },
+            Nest {
+                attrs: aa,
+                as_attr: na,
+                ..
+            },
+            Nest {
+                attrs: ab,
+                as_attr: nb,
+                ..
+            },
         ) => aa == ab && na == nb,
         _ => true,
     }
@@ -431,7 +548,12 @@ pub fn negate(e: &Expr) -> Expr {
         Expr::Lit(Value::Bool(b)) => Expr::Lit(Value::Bool(!b)),
         Expr::And(a, b) => Expr::Or(Box::new(negate(a)), Box::new(negate(b))),
         Expr::Or(a, b) => Expr::And(Box::new(negate(a)), Box::new(negate(b))),
-        Expr::Quant { q, var, range, pred } => Expr::Quant {
+        Expr::Quant {
+            q,
+            var,
+            range,
+            pred,
+        } => Expr::Quant {
             q: q.dual(),
             var: var.clone(),
             range: range.clone(),
@@ -452,7 +574,11 @@ mod tests {
     #[test]
     fn free_vars_respects_binders() {
         // σ[x : x.a = y.b](X) — x bound, y free
-        let e = select("x", eq(var("x").field("a"), var("y").field("b")), table("X"));
+        let e = select(
+            "x",
+            eq(var("x").field("a"), var("y").field("b")),
+            table("X"),
+        );
         let fv = free_vars(&e);
         assert!(fv.iter().any(|n| n.as_ref() == "y"));
         assert!(!fv.iter().any(|n| n.as_ref() == "x"));
@@ -463,7 +589,11 @@ mod tests {
     #[test]
     fn free_vars_in_quantifier_range_but_not_pred() {
         // ∃x ∈ x.c • x.a = 1 : the *range* x is free, the pred x is bound
-        let e = exists("x", var("x").field("c"), eq(var("x").field("a"), Expr::int(1)));
+        let e = exists(
+            "x",
+            var("x").field("c"),
+            eq(var("x").field("a"), Expr::int(1)),
+        );
         assert!(is_free_in("x", &e));
     }
 
@@ -496,10 +626,21 @@ mod tests {
 
     #[test]
     fn subst_into_join_predicate() {
-        let e = semijoin("a", "b", eq(var("a").field("k"), var("z")), table("X"), table("Y"));
+        let e = semijoin(
+            "a",
+            "b",
+            eq(var("a").field("k"), var("z")),
+            table("X"),
+            table("Y"),
+        );
         let out = subst(&e, "z", &Expr::int(5));
-        let expected =
-            semijoin("a", "b", eq(var("a").field("k"), Expr::int(5)), table("X"), table("Y"));
+        let expected = semijoin(
+            "a",
+            "b",
+            eq(var("a").field("k"), Expr::int(5)),
+            table("X"),
+            table("Y"),
+        );
         assert_eq!(out, expected);
     }
 
@@ -544,6 +685,9 @@ mod tests {
     fn negate_demorgan() {
         let e = and(var("p"), var("q"));
         let n = negate(&e);
-        assert_eq!(n, or(Expr::Not(Box::new(var("p"))), Expr::Not(Box::new(var("q")))));
+        assert_eq!(
+            n,
+            or(Expr::Not(Box::new(var("p"))), Expr::Not(Box::new(var("q"))))
+        );
     }
 }

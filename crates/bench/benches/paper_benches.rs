@@ -12,7 +12,7 @@ use oodb_bench::*;
 use oodb_core::rules::grouping::{Gawo87Unsafe, OuterjoinGroup};
 use oodb_core::rules::nestjoin::NestJoinSelect;
 use oodb_core::rules::setcmp::table1_expansion;
-use oodb_core::rules::{Rule, RewriteCtx};
+use oodb_core::rules::{RewriteCtx, Rule};
 use oodb_datagen::{generate, GenConfig};
 use oodb_engine::{Evaluator, JoinAlgo, PlannerConfig};
 use oodb_value::{SetCmpOp, Value};
@@ -34,9 +34,11 @@ fn bench_table1(c: &mut Criterion) {
     for op in [SetCmpOp::SubsetEq, SetCmpOp::SupersetEq, SetCmpOp::SetEq] {
         let direct = set_cmp(op, lit(a.clone()), lit(b.clone()));
         let expanded = table1_expansion(op, &lit(a.clone()), &lit(b.clone()));
-        g.bench_with_input(BenchmarkId::new("direct", op.symbol()), &direct, |bch, q| {
-            bch.iter(|| ev.eval_closed(q).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("direct", op.symbol()),
+            &direct,
+            |bch, q| bch.iter(|| ev.eval_closed(q).unwrap()),
+        );
         g.bench_with_input(
             BenchmarkId::new("expanded", op.symbol()),
             &expanded,
@@ -74,7 +76,10 @@ fn bench_query4(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_secs(1));
     for scale in [100usize, 400] {
-        let db = generate(&GenConfig { dangling_fraction: 0.05, ..GenConfig::scaled(scale) });
+        let db = generate(&GenConfig {
+            dangling_fraction: 0.05,
+            ..GenConfig::scaled(scale)
+        });
         let q = query4_nested();
         g.bench_with_input(BenchmarkId::new("nested_loop", scale), &db, |bch, db| {
             bch.iter(|| run_naive(db, &q).0)
@@ -105,7 +110,10 @@ fn bench_query6_nestjoin(c: &mut Criterion) {
             run_planned(
                 &db,
                 &optimized.expr,
-                PlannerConfig { join_algo: JoinAlgo::NestedLoop, ..Default::default() },
+                PlannerConfig {
+                    join_algo: JoinAlgo::NestedLoop,
+                    ..Default::default()
+                },
             )
             .0
         })
@@ -121,7 +129,9 @@ fn bench_fig2_grouping(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_secs(1));
     let db = figure_db(300, 600, 30, 4);
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let q = figure_query();
     g.bench_function("nested_loop", |bch| bch.iter(|| run_naive(&db, &q).0));
     let buggy = Gawo87Unsafe.apply(&q, &ctx).unwrap();
@@ -195,8 +205,13 @@ fn bench_join_algos(c: &mut Criterion) {
         ("sort_merge", JoinAlgo::SortMerge),
         ("hash", JoinAlgo::Hash),
     ] {
-        let cfg = PlannerConfig { join_algo: algo, ..Default::default() };
-        g.bench_function(label, |bch| bch.iter(|| run_planned(&db, &q, cfg.clone()).0));
+        let cfg = PlannerConfig {
+            join_algo: algo,
+            ..Default::default()
+        };
+        g.bench_function(label, |bch| {
+            bch.iter(|| run_planned(&db, &q, cfg.clone()).0)
+        });
     }
     g.finish();
 }
@@ -221,7 +236,11 @@ fn bench_rewriter(c: &mut Criterion) {
         } else {
             generate(&GenConfig::scaled(8))
         };
-        let catalog = if label == "figure1" { cat.catalog() } else { db.catalog() };
+        let catalog = if label == "figure1" {
+            cat.catalog()
+        } else {
+            db.catalog()
+        };
         g.bench_function(label, |bch| {
             bch.iter(|| opt.optimize(&q, catalog).unwrap().expr)
         });
@@ -252,7 +271,11 @@ fn bench_forall_ablation(c: &mut Criterion) {
         "s",
         forall(
             "p",
-            select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+            select(
+                "p",
+                eq(var("p").field("color"), str_lit("red")),
+                table("PART"),
+            ),
             member(var("p").field("pid"), var("s").field("parts")),
         ),
         table("SUPPLIER"),
@@ -262,7 +285,9 @@ fn bench_forall_ablation(c: &mut Criterion) {
     g.bench_function("antijoin", |bch| {
         bch.iter(|| run_planned(&db, &optimized.expr, PlannerConfig::default()).0)
     });
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let division = ForallToDivision.apply(&q, &ctx).expect("fires");
     // correctness (divisor non-empty): all three agree
     assert_eq!(
@@ -303,12 +328,49 @@ fn bench_index_join(c: &mut Criterion) {
             run_planned(
                 &db,
                 &q,
-                PlannerConfig { use_indexes: false, ..Default::default() },
+                PlannerConfig {
+                    use_indexes: false,
+                    ..Default::default()
+                },
             )
             .0
         })
     });
     g.finish();
+}
+
+/// Streaming pipeline vs whole-set materialization on the §7 workloads,
+/// also emitting `BENCH_streaming.json` at the workspace root.
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_vs_materialized");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    let db = generate(&GenConfig::scaled(400));
+    for (label, q) in [
+        ("query5", query5_nested()),
+        ("query6", query6_nested()),
+        ("materialize", materialize_query()),
+    ] {
+        let (_, _, optimized) = run_optimized(&db, &q);
+        g.bench_with_input(
+            BenchmarkId::new("materialized", label),
+            &optimized.expr,
+            |bch, e| bch.iter(|| run_planned(&db, e, PlannerConfig::default()).0),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("streaming", label),
+            &optimized.expr,
+            |bch, e| bch.iter(|| run_planned_streaming(&db, e, PlannerConfig::default()).0),
+        );
+    }
+    g.finish();
+    let rows =
+        oodb_bench::streaming_report::write_bench_json(400).expect("write BENCH_streaming.json");
+    println!(
+        "wrote BENCH_streaming.json ({} workloads, nested-loop vs materialized vs streaming)",
+        rows.len()
+    );
 }
 
 criterion_group!(
@@ -322,6 +384,7 @@ criterion_group!(
     bench_join_algos,
     bench_rewriter,
     bench_forall_ablation,
-    bench_index_join
+    bench_index_join,
+    bench_streaming
 );
 criterion_main!(benches);

@@ -14,7 +14,7 @@ use oodb_core::emptiness::table3_rows;
 use oodb_core::rules::grouping::{Gawo87Unsafe, OuterjoinGroup};
 use oodb_core::rules::nestjoin::NestJoinSelect;
 use oodb_core::rules::setcmp::table1_rows;
-use oodb_core::rules::{Rule, RewriteCtx};
+use oodb_core::rules::{RewriteCtx, Rule};
 use oodb_datagen::{generate, GenConfig};
 use oodb_engine::{Evaluator, JoinAlgo, PlannerConfig};
 use std::time::{Duration, Instant};
@@ -53,6 +53,33 @@ fn main() {
     perf_grouping();
     perf_pnhl();
     perf_join_algorithms();
+    perf_streaming();
+}
+
+/// Experiment E — the streaming operator pipeline vs whole-set
+/// materialization vs nested loops, emitting `BENCH_streaming.json`.
+fn perf_streaming() {
+    headline("Experiment E — Streaming pipeline vs materialized vs nested loops");
+    let scale = 1_600;
+    let rows =
+        oodb_bench::streaming_report::write_bench_json(scale).expect("write BENCH_streaming.json");
+    println!(
+        "  {:<26} {:>7} {:>12} {:>13} {:>11} {:>9} {:>8}",
+        "workload", "rows", "nested-loop", "materialized", "streaming", "ops", "batches"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>7} {:>10.2}ms {:>11.2}ms {:>9.2}ms {:>9} {:>8}",
+            r.workload,
+            r.result_rows,
+            r.nested_loop_ms,
+            r.materialized_ms,
+            r.streaming_ms,
+            r.streaming_operators,
+            r.streaming_batches
+        );
+    }
+    println!("  (written to BENCH_streaming.json at the workspace root)");
 }
 
 /// Table 1 — rewriting set comparison operations.
@@ -98,10 +125,14 @@ fn table3() {
 fn figure1_figure2() {
     headline("Figures 1 & 2 — Nesting With a Set-Valued Attribute / the Complex Object bug");
     let db = figure12_db();
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let ev = Evaluator::new(&db);
     let show = |label: &str, e: &Expr| {
-        let v = ev.eval_closed(&project(&["a", "c"], e.clone())).expect("evaluates");
+        let v = ev
+            .eval_closed(&project(&["a", "c"], e.clone()))
+            .expect("evaluates");
         println!("  {label:<26} {v}");
     };
     println!("  X = {}", db.table("X").unwrap().as_set_value());
@@ -110,9 +141,13 @@ fn figure1_figure2() {
     show("nested-loop (ground truth)", &figure_query());
     let buggy = Gawo87Unsafe.apply(&figure_query(), &ctx).expect("applies");
     show("GaWo87 grouping (BUGGY)", &buggy);
-    let outer = OuterjoinGroup.apply(&figure_query(), &ctx).expect("applies");
+    let outer = OuterjoinGroup
+        .apply(&figure_query(), &ctx)
+        .expect("applies");
     show("outerjoin repair", &outer);
-    let nest = NestJoinSelect.apply(&figure_query(), &ctx).expect("applies");
+    let nest = NestJoinSelect
+        .apply(&figure_query(), &ctx)
+        .expect("applies");
     show("nestjoin (paper's fix)", &nest);
 }
 
@@ -145,7 +180,13 @@ fn figure3() {
         ),
     );
     println!("  X ⊣_{{x,y : x.b = y.d; ys}} Y =");
-    for row in ev.eval_closed(&e).expect("evaluates").as_set().unwrap().iter() {
+    for row in ev
+        .eval_closed(&e)
+        .expect("evaluates")
+        .as_set()
+        .unwrap()
+        .iter()
+    {
         println!("    {row}");
     }
 }
@@ -179,7 +220,11 @@ fn bench_query(db: &Database, label: &str, q: &Expr) -> Row {
     let ((nv, ns), nt) = time_it(|| run_naive(db, q));
     let ((ov, os, _), ot) = time_it(|| run_optimized(db, q));
     assert_eq!(nv, ov, "{label}: optimized diverged");
-    Row { label: label.to_string(), naive: (nt, ns.work()), opt: (ot, os.work()) }
+    Row {
+        label: label.to_string(),
+        naive: (nt, ns.work()),
+        opt: (ot, os.work()),
+    }
 }
 
 /// The example-query experiments: nested-loop vs optimized at two scales.
@@ -201,33 +246,39 @@ fn perf_queries() {
             bench_query(&db, "Q5 red-part suppliers", &query5_nested()),
             bench_query(&db, "Q4 referential integrity", &query4_nested()),
             bench_query(&db, "Q6 portfolios (nestjoin)", &query6_nested()),
-            bench_query(&db, "Q3.1 superset-of-anchor", &query31_nested("supplier-0")),
+            bench_query(
+                &db,
+                "Q3.1 superset-of-anchor",
+                &query31_nested("supplier-0"),
+            ),
         ];
         print_rows(&rows);
     }
     // also the fixture sanity line
     let db = supplier_part_db();
     let (v, _, opt) = run_optimized(&db, &query5_nested());
-    println!("\n  fixture check: Q5 = {v}  via {} rule firings", opt.trace.len());
+    println!(
+        "\n  fixture check: Q5 = {v}  via {} rule firings",
+        opt.trace.len()
+    );
 }
 
 /// Figure 2 at scale: grouping variants.
 fn perf_grouping() {
     headline("Experiment B — Unnesting by grouping (Figure 2 at scale)");
     let db = figure_db(2_000, 4_000, 50, 4);
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let q = figure_query();
 
     let ((naive_v, naive_s), naive_t) = time_it(|| run_naive(&db, &q));
     let buggy = Gawo87Unsafe.apply(&q, &ctx).expect("applies");
-    let ((buggy_v, _), buggy_t) =
-        time_it(|| run_planned(&db, &buggy, PlannerConfig::default()));
+    let ((buggy_v, _), buggy_t) = time_it(|| run_planned(&db, &buggy, PlannerConfig::default()));
     let outer = OuterjoinGroup.apply(&q, &ctx).expect("applies");
-    let ((outer_v, _), outer_t) =
-        time_it(|| run_planned(&db, &outer, PlannerConfig::default()));
+    let ((outer_v, _), outer_t) = time_it(|| run_planned(&db, &outer, PlannerConfig::default()));
     let nestj = NestJoinSelect.apply(&q, &ctx).expect("applies");
-    let ((nest_v, nest_s), nest_t) =
-        time_it(|| run_planned(&db, &nestj, PlannerConfig::default()));
+    let ((nest_v, nest_s), nest_t) = time_it(|| run_planned(&db, &nestj, PlannerConfig::default()));
 
     let nres = naive_v.as_set().unwrap().len();
     println!("  |X| = 2000, |Y| = 4000, 50 join groups");
@@ -324,7 +375,11 @@ fn perf_join_algorithms() {
         ("sort-merge", JoinAlgo::SortMerge),
         ("hash join", JoinAlgo::Hash),
     ] {
-        let cfg = PlannerConfig { join_algo: algo, use_indexes: false, ..Default::default() };
+        let cfg = PlannerConfig {
+            join_algo: algo,
+            use_indexes: false,
+            ..Default::default()
+        };
         let ((v, s), t) = time_it(|| run_planned(&db, &q, cfg));
         if let Some(r) = &reference {
             assert_eq!(&v, r);
@@ -338,5 +393,10 @@ fn perf_join_algorithms() {
     db2.create_index("DELIVERY", "supplier").expect("indexable");
     let ((v, s), t) = time_it(|| run_planned(&db2, &q, PlannerConfig::default()));
     assert_eq!(Some(v), reference);
-    println!("    {:<12}: {:>10}  (work {})", "index NL", fmt_dur(t), s.work());
+    println!(
+        "    {:<12}: {:>10}  (work {})",
+        "index NL",
+        fmt_dur(t),
+        s.work()
+    );
 }

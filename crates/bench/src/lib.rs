@@ -15,7 +15,9 @@ use oodb_value::{name, Oid, SetCmpOp, Tuple, TupleType, Type, Value};
 pub fn run_naive(db: &Database, e: &Expr) -> (Value, Stats) {
     let ev = Evaluator::new(db);
     let mut stats = Stats::new();
-    let v = ev.eval_closed_with(e, &mut stats).expect("naive evaluation");
+    let v = ev
+        .eval_closed_with(e, &mut stats)
+        .expect("naive evaluation");
     (v, stats)
 }
 
@@ -31,7 +33,9 @@ pub fn run_optimized_with(
     e: &Expr,
     config: PlannerConfig,
 ) -> (Value, Stats, Optimized) {
-    let optimized = Optimizer::default().optimize(e, db.catalog()).expect("optimize");
+    let optimized = Optimizer::default()
+        .optimize(e, db.catalog())
+        .expect("optimize");
     let planner = Planner::with_config(db, config);
     let plan = planner.plan(&optimized.expr).expect("plan");
     let mut stats = Stats::new();
@@ -46,6 +50,27 @@ pub fn run_planned(db: &Database, e: &Expr, config: PlannerConfig) -> (Value, St
     let mut stats = Stats::new();
     let v = plan.execute(&mut stats).expect("execute");
     (v, stats)
+}
+
+/// Like [`run_planned`], but through the streaming operator pipeline.
+pub fn run_planned_streaming(db: &Database, e: &Expr, config: PlannerConfig) -> (Value, Stats) {
+    let planner = Planner::with_config(db, config);
+    let plan = planner.plan(e).expect("plan");
+    let mut stats = Stats::new();
+    let v = plan
+        .execute_streaming(&mut stats)
+        .expect("execute streaming");
+    (v, stats)
+}
+
+/// Optimizes with the §4 strategy, then executes through the streaming
+/// operator pipeline.
+pub fn run_optimized_streaming(db: &Database, e: &Expr) -> (Value, Stats, Optimized) {
+    let optimized = Optimizer::default()
+        .optimize(e, db.catalog())
+        .expect("optimize");
+    let (v, stats) = run_planned_streaming(db, &optimized.expr, PlannerConfig::default());
+    (v, stats, optimized)
 }
 
 /// Example Query 5's nested translation (suppliers supplying red parts).
@@ -82,7 +107,11 @@ pub fn query4_nested() -> Expr {
             exists(
                 "z",
                 var("s").field("parts"),
-                not(exists("p", table("PART"), eq(var("z"), var("p").field("pid")))),
+                not(exists(
+                    "p",
+                    table("PART"),
+                    eq(var("z"), var("p").field("pid")),
+                )),
             ),
             table("SUPPLIER"),
         ),
@@ -144,7 +173,11 @@ pub fn figure_query() -> Expr {
             map(
                 "y",
                 var("y").field("e"),
-                select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+                select(
+                    "y",
+                    eq(var("x").field("a"), var("y").field("d")),
+                    table("Y"),
+                ),
             ),
         ),
         table("X"),
@@ -223,8 +256,14 @@ pub fn figure_db(nx: usize, ny: usize, groups: i64, fanout: usize) -> Database {
         } else {
             next().rem_euclid(groups)
         };
-        let csize = if i % 7 == 0 { 0 } else { 1 + (next() as usize % fanout.max(1)) };
-        let c: Vec<Value> = (0..csize).map(|_| Value::Int(next().rem_euclid(8))).collect();
+        let csize = if i % 7 == 0 {
+            0
+        } else {
+            1 + (next() as usize % fanout.max(1))
+        };
+        let c: Vec<Value> = (0..csize)
+            .map(|_| Value::Int(next().rem_euclid(8)))
+            .collect();
         db.insert(
             "X",
             Tuple::from_pairs([
@@ -247,6 +286,126 @@ pub fn figure_db(nx: usize, ny: usize, groups: i64, fanout: usize) -> Database {
         .expect("y row");
     }
     db
+}
+
+/// The §7-style three-way comparison — nested loops vs the optimized
+/// plan under whole-set materialization vs the same plan streamed — and
+/// its `BENCH_streaming.json` serialization. Shared by `cargo bench -p
+/// oodb-bench` and the `report` binary.
+pub mod streaming_report {
+    use super::*;
+    use oodb_datagen::generate;
+    use std::time::Instant;
+
+    /// One workload's three-way measurement.
+    #[derive(Debug, Clone)]
+    pub struct CompRow {
+        /// Workload label.
+        pub workload: String,
+        /// Result cardinality (identical across the three paths).
+        pub result_rows: usize,
+        /// Naive nested-loop wall-clock (milliseconds) and work units.
+        pub nested_loop_ms: f64,
+        /// Work units of the nested-loop run.
+        pub nested_loop_work: u64,
+        /// Optimized plan, whole-set materialization.
+        pub materialized_ms: f64,
+        /// Work units of the materialized run.
+        pub materialized_work: u64,
+        /// Optimized plan, streaming pipeline.
+        pub streaming_ms: f64,
+        /// Work units of the streaming run.
+        pub streaming_work: u64,
+        /// Operators in the streaming plan.
+        pub streaming_operators: usize,
+        /// Total batches the streaming operators emitted.
+        pub streaming_batches: u64,
+    }
+
+    fn ms(f: impl FnOnce() -> (Value, Stats)) -> (Value, Stats, f64) {
+        let t0 = Instant::now();
+        let (v, s) = f();
+        (v, s, t0.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Runs the three-way comparison on the §7 workloads at `scale`
+    /// generated objects, asserting all paths agree.
+    pub fn compare(scale: usize) -> Vec<CompRow> {
+        let db = generate(&oodb_datagen::GenConfig::scaled(scale));
+        let workloads: Vec<(&str, Expr)> = vec![
+            ("q5_red_part_suppliers", query5_nested()),
+            ("q4_referential_integrity", query4_nested()),
+            ("q6_portfolios_nestjoin", query6_nested()),
+            ("q31_superset_of_anchor", query31_nested("supplier-0")),
+            ("materialize_section_6_2", materialize_query()),
+        ];
+        let mut rows = Vec::with_capacity(workloads.len());
+        for (label, q) in workloads {
+            let (nv, ns, nt) = ms(|| run_naive(&db, &q));
+            let optimized = Optimizer::default()
+                .optimize(&q, db.catalog())
+                .expect("optimize");
+            let (mv, m_stats, mt) =
+                ms(|| run_planned(&db, &optimized.expr, PlannerConfig::default()));
+            let (sv, s_stats, st) =
+                ms(|| run_planned_streaming(&db, &optimized.expr, PlannerConfig::default()));
+            assert_eq!(nv, mv, "{label}: materialized diverged");
+            assert_eq!(nv, sv, "{label}: streaming diverged");
+            rows.push(CompRow {
+                workload: label.to_string(),
+                result_rows: nv.as_set().map(|s| s.len()).unwrap_or(1),
+                nested_loop_ms: nt,
+                nested_loop_work: ns.work(),
+                materialized_ms: mt,
+                materialized_work: m_stats.work(),
+                streaming_ms: st,
+                streaming_work: s_stats.work(),
+                streaming_operators: s_stats.operators.len(),
+                streaming_batches: s_stats.total_batches(),
+            });
+        }
+        rows
+    }
+
+    /// Serializes rows as a JSON document (hand-rolled — the workspace
+    /// builds offline, without serde).
+    pub fn to_json(scale: usize, rows: &[CompRow]) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {scale},\n"));
+        out.push_str("  \"unit\": \"milliseconds\",\n");
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"result_rows\": {}, \
+                 \"nested_loop_ms\": {:.3}, \"nested_loop_work\": {}, \
+                 \"materialized_ms\": {:.3}, \"materialized_work\": {}, \
+                 \"streaming_ms\": {:.3}, \"streaming_work\": {}, \
+                 \"streaming_operators\": {}, \"streaming_batches\": {}}}{}\n",
+                r.workload,
+                r.result_rows,
+                r.nested_loop_ms,
+                r.nested_loop_work,
+                r.materialized_ms,
+                r.materialized_work,
+                r.streaming_ms,
+                r.streaming_work,
+                r.streaming_operators,
+                r.streaming_batches,
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Runs [`compare`] and writes `BENCH_streaming.json` at the
+    /// workspace root, returning the rows for further printing.
+    pub fn write_bench_json(scale: usize) -> std::io::Result<Vec<CompRow>> {
+        let rows = compare(scale);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+        std::fs::write(path, to_json(scale, &rows))?;
+        Ok(rows)
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,12 @@ impl ClassDef {
                 })
             }
         }
-        Ok(ClassDef { name, extent, identity, attrs })
+        Ok(ClassDef {
+            name,
+            extent,
+            identity,
+            attrs,
+        })
     }
 
     /// The type of one object of this class: a tuple of `attrs`.

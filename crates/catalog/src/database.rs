@@ -102,7 +102,8 @@ impl Database {
 
     /// The extent called `name`, or an error.
     pub fn table_required(&self, name: &str) -> Result<&Table, CatalogError> {
-        self.table(name).ok_or_else(|| CatalogError::UnknownExtent(Name::from(name)))
+        self.table(name)
+            .ok_or_else(|| CatalogError::UnknownExtent(Name::from(name)))
     }
 
     /// Inserts an object into an extent, checking it against the class's
@@ -249,7 +250,10 @@ mod tests {
     #[test]
     fn duplicate_class_and_extent_rejected() {
         let mut c = catalog();
-        assert!(matches!(c.add_class(part_class()), Err(CatalogError::DuplicateClass(_))));
+        assert!(matches!(
+            c.add_class(part_class()),
+            Err(CatalogError::DuplicateClass(_))
+        ));
         let other = ClassDef::new(
             name("Part2"),
             name("PART"),
@@ -257,7 +261,10 @@ mod tests {
             TupleType::from_pairs([("pid", Type::Oid(Some(name("Part2"))))]),
         )
         .unwrap();
-        assert!(matches!(c.add_class(other), Err(CatalogError::DuplicateExtent(_))));
+        assert!(matches!(
+            c.add_class(other),
+            Err(CatalogError::DuplicateExtent(_))
+        ));
     }
 
     #[test]
@@ -276,7 +283,10 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        assert!(matches!(Database::new(c), Err(CatalogError::UnknownClass(_))));
+        assert!(matches!(
+            Database::new(c),
+            Err(CatalogError::UnknownClass(_))
+        ));
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl fmt::Display for CatalogError {
             CatalogError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
             CatalogError::UnknownExtent(n) => write!(f, "unknown extent `{n}`"),
             CatalogError::BadIdentityField { class, field } => {
-                write!(f, "class `{class}` identity field `{field}` missing or not an oid")
+                write!(
+                    f,
+                    "class `{class}` identity field `{field}` missing or not an oid"
+                )
             }
             CatalogError::SchemaViolation { extent, detail } => {
                 write!(f, "schema violation inserting into `{extent}`: {detail}")
@@ -52,8 +55,13 @@ mod tests {
 
     #[test]
     fn display_mentions_offender() {
-        assert!(CatalogError::UnknownExtent(name("NOPE")).to_string().contains("NOPE"));
-        let e = CatalogError::DuplicateOid { extent: name("PART"), oid: Oid(3) };
+        assert!(CatalogError::UnknownExtent(name("NOPE"))
+            .to_string()
+            .contains("NOPE"));
+        let e = CatalogError::DuplicateOid {
+            extent: name("PART"),
+            oid: Oid(3),
+        };
         assert!(e.to_string().contains("@3"));
     }
 }

@@ -139,7 +139,10 @@ pub fn supplier_part_db() -> Database {
             Tuple::from_pairs([
                 ("eid", Value::Oid(Oid(eid))),
                 ("sname", Value::str(sname)),
-                ("parts", Value::set(part_oids.iter().map(|&p| Value::Oid(Oid(p))))),
+                (
+                    "parts",
+                    Value::set(part_oids.iter().map(|&p| Value::Oid(Oid(p)))),
+                ),
             ]),
         )
         .expect("supplier row conforms");
@@ -160,10 +163,7 @@ pub fn supplier_part_db() -> Database {
                 (
                     "supply",
                     Value::set(supply.iter().map(|&(p, q)| {
-                        Value::tuple([
-                            ("part", Value::Oid(Oid(p))),
-                            ("quantity", Value::Int(q)),
-                        ])
+                        Value::tuple([("part", Value::Oid(Oid(p))), ("quantity", Value::Int(q))])
                     })),
                 ),
                 ("date", Value::Date(date)),
@@ -383,8 +383,12 @@ mod tests {
         assert_eq!(db.table("X").unwrap().len(), 3);
         assert_eq!(db.table("Y").unwrap().len(), 3);
         // x₃ = ⟨a = 3, b = 3⟩ has no partner with d = 3
-        let b_vals: Vec<&Value> =
-            db.table("Y").unwrap().rows().map(|r| r.get("d").unwrap()).collect();
+        let b_vals: Vec<&Value> = db
+            .table("Y")
+            .unwrap()
+            .rows()
+            .map(|r| r.get("d").unwrap())
+            .collect();
         assert!(!b_vals.contains(&&Value::Int(3)));
     }
 }

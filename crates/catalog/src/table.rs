@@ -92,7 +92,10 @@ impl Table {
                 detail: format!("missing oid attribute `{}`", self.identity),
             })?;
         if self.oid_index.insert(oid, self.rows.len()).is_some() {
-            return Err(CatalogError::DuplicateOid { extent: extent.clone(), oid });
+            return Err(CatalogError::DuplicateOid {
+                extent: extent.clone(),
+                oid,
+            });
         }
         let pos = self.rows.len();
         for (attr, idx) in self.secondary.iter_mut() {
@@ -125,7 +128,9 @@ impl Table {
     /// All oids in this extent, in insertion order.
     pub fn oids(&self) -> impl Iterator<Item = Oid> + '_ {
         let id = self.identity.clone();
-        self.rows.iter().filter_map(move |r| r.get(&id).and_then(|v| v.as_oid().ok()))
+        self.rows
+            .iter()
+            .filter_map(move |r| r.get(&id).and_then(|v| v.as_oid().ok()))
     }
 
     /// The extent as an ADL set value (what a `Table` leaf of an ADL
@@ -143,10 +148,7 @@ mod tests {
     use oodb_value::name;
 
     fn row(oid: u64, pname: &str) -> Tuple {
-        Tuple::from_pairs([
-            ("pid", Value::Oid(Oid(oid))),
-            ("pname", Value::str(pname)),
-        ])
+        Tuple::from_pairs([("pid", Value::Oid(Oid(oid))), ("pname", Value::str(pname))])
     }
 
     #[test]
@@ -155,7 +157,10 @@ mod tests {
         t.insert(&name("PART"), row(1, "bolt")).unwrap();
         t.insert(&name("PART"), row(2, "nut")).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.by_oid(Oid(2)).unwrap().get("pname"), Some(&Value::str("nut")));
+        assert_eq!(
+            t.by_oid(Oid(2)).unwrap().get("pname"),
+            Some(&Value::str("nut"))
+        );
         assert!(t.by_oid(Oid(9)).is_none());
     }
 
@@ -197,10 +202,7 @@ mod index_tests {
     use oodb_value::name;
 
     fn row(oid: u64, color: &str) -> Tuple {
-        Tuple::from_pairs([
-            ("pid", Value::Oid(Oid(oid))),
-            ("color", Value::str(color)),
-        ])
+        Tuple::from_pairs([("pid", Value::Oid(Oid(oid))), ("color", Value::str(color))])
     }
 
     #[test]

@@ -76,16 +76,14 @@ fn is_statically_empty(e: &Expr) -> bool {
         Expr::Flatten(inner) => is_statically_empty(inner),
         Expr::SetOp(op, a, b) => match op {
             oodb_adl::SetOp::Union => is_statically_empty(a) && is_statically_empty(b),
-            oodb_adl::SetOp::Intersect => {
-                is_statically_empty(a) || is_statically_empty(b)
-            }
+            oodb_adl::SetOp::Intersect => is_statically_empty(a) || is_statically_empty(b),
             oodb_adl::SetOp::Difference => is_statically_empty(a),
         },
         Expr::Product(a, b) => is_statically_empty(a) || is_statically_empty(b),
-        Expr::Join { left, right, kind, .. } => match kind {
-            oodb_adl::JoinKind::Inner => {
-                is_statically_empty(left) || is_statically_empty(right)
-            }
+        Expr::Join {
+            left, right, kind, ..
+        } => match kind {
+            oodb_adl::JoinKind::Inner => is_statically_empty(left) || is_statically_empty(right),
             _ => is_statically_empty(left),
         },
         Expr::NestJoin { left, .. } => is_statically_empty(left),
@@ -97,12 +95,8 @@ fn is_statically_empty(e: &Expr) -> bool {
 fn scalar_of(e: &Expr) -> Option<Value> {
     match e {
         Expr::Lit(v) => Some(v.clone()),
-        Expr::Agg(AggOp::Count, inner) if is_statically_empty(inner) => {
-            Some(Value::Int(0))
-        }
-        Expr::Agg(AggOp::Sum, inner) if is_statically_empty(inner) => {
-            Some(Value::Int(0))
-        }
+        Expr::Agg(AggOp::Count, inner) if is_statically_empty(inner) => Some(Value::Int(0)),
+        Expr::Agg(AggOp::Sum, inner) if is_statically_empty(inner) => Some(Value::Int(0)),
         _ => None,
     }
 }
@@ -290,8 +284,14 @@ mod tests {
         let s = var("Y'");
         let f = member(var("z"), s.clone()); // false under ∅
         let r = eq(var("z"), int(1)); // runtime
-        assert_eq!(reduce_with_empty(&and(f.clone(), r.clone()), &s), Truth::False);
-        assert_eq!(reduce_with_empty(&or(f.clone(), r.clone()), &s), Truth::Runtime);
+        assert_eq!(
+            reduce_with_empty(&and(f.clone(), r.clone()), &s),
+            Truth::False
+        );
+        assert_eq!(
+            reduce_with_empty(&or(f.clone(), r.clone()), &s),
+            Truth::Runtime
+        );
         assert_eq!(
             reduce_with_empty(&or(not(f.clone()), r.clone()), &s),
             Truth::True

@@ -41,18 +41,32 @@ impl Rule for AttrUnnest {
 
 impl AttrUnnest {
     fn apply_project(&self, e: &Expr) -> Option<Expr> {
-        let Expr::Project { attrs, input } = e else { return None };
-        let Expr::Select { var: x, pred, input: base } = input.as_ref() else {
+        let Expr::Project { attrs, input } = e else {
+            return None;
+        };
+        let Expr::Select {
+            var: x,
+            pred,
+            input: base,
+        } = input.as_ref()
+        else {
             return None;
         };
         // find a conjunct ∃z ∈ x.c • φ with c not needed by the projection
         let parts = conjuncts(pred);
         let (idx, z, attr, phi) = parts.iter().enumerate().find_map(|(i, c)| {
-            let Expr::Quant { q: QuantKind::Exists, var: z, range, pred: phi } = c
+            let Expr::Quant {
+                q: QuantKind::Exists,
+                var: z,
+                range,
+                pred: phi,
+            } = c
             else {
                 return None;
             };
-            let Expr::Field(b, attr) = range.as_ref() else { return None };
+            let Expr::Field(b, attr) = range.as_ref() else {
+                return None;
+            };
             if !matches!(b.as_ref(), Expr::Var(v) if v == x) {
                 return None;
             }
@@ -78,9 +92,7 @@ impl AttrUnnest {
             return None;
         }
         // whole-tuple uses of x would see the reshaped tuple — bail out
-        if other_conjuncts.iter().any(|c| uses_whole_var(c, x))
-            || uses_whole_var(&phi, x)
-        {
+        if other_conjuncts.iter().any(|c| uses_whole_var(c, x)) || uses_whole_var(&phi, x) {
             return None;
         }
 
@@ -110,8 +122,20 @@ impl AttrUnnest {
     /// "the projection does not need `c`" replaced by "`F` does not
     /// reference `x.c` or whole-`x`".
     fn apply_map(&self, e: &Expr, _ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Map { var: mvar, body, input } = e else { return None };
-        let Expr::Select { var: x, pred, input: base } = input.as_ref() else {
+        let Expr::Map {
+            var: mvar,
+            body,
+            input,
+        } = e
+        else {
+            return None;
+        };
+        let Expr::Select {
+            var: x,
+            pred,
+            input: base,
+        } = input.as_ref()
+        else {
             return None;
         };
         if mvar != x {
@@ -120,11 +144,18 @@ impl AttrUnnest {
         }
         let parts = conjuncts(pred);
         let (idx, z, attr, phi) = parts.iter().enumerate().find_map(|(i, c)| {
-            let Expr::Quant { q: QuantKind::Exists, var: z, range, pred: phi } = c
+            let Expr::Quant {
+                q: QuantKind::Exists,
+                var: z,
+                range,
+                pred: phi,
+            } = c
             else {
                 return None;
             };
-            let Expr::Field(b, attr) = range.as_ref() else { return None };
+            let Expr::Field(b, attr) = range.as_ref() else {
+                return None;
+            };
             if !matches!(b.as_ref(), Expr::Var(v) if v == x) {
                 return None;
             }
@@ -132,8 +163,7 @@ impl AttrUnnest {
         })?;
 
         let attr_target = Expr::Field(Box::new(Expr::Var(x.clone())), attr.clone());
-        let references_attr =
-            |expr: &Expr| super::count_subexpr(expr, &attr_target) > 0;
+        let references_attr = |expr: &Expr| super::count_subexpr(expr, &attr_target) > 0;
         // F must not need the set attribute, nor the whole tuple
         if references_attr(body) || uses_whole_var(body, x) {
             return None;
@@ -144,7 +174,9 @@ impl AttrUnnest {
             .filter(|(i, _)| *i != idx)
             .map(|(_, c)| (*c).clone())
             .collect();
-        if other_conjuncts.iter().any(|c| references_attr(c) || uses_whole_var(c, x))
+        if other_conjuncts
+            .iter()
+            .any(|c| references_attr(c) || uses_whole_var(c, x))
             || references_attr(&phi)
             || uses_whole_var(&phi, x)
         {
@@ -164,7 +196,10 @@ impl AttrUnnest {
             input: Box::new(Expr::Select {
                 var: x.clone(),
                 pred: Box::new(new_pred),
-                input: Box::new(Expr::Unnest { attr, input: base.clone() }),
+                input: Box::new(Expr::Unnest {
+                    attr,
+                    input: base.clone(),
+                }),
             }),
         })
     }
@@ -279,8 +314,13 @@ mod tests {
             ),
         );
         let out = apply(&e).unwrap();
-        let Expr::Project { input, .. } = &out else { panic!("{out}") };
-        let Expr::Select { pred, input: inner, .. } = input.as_ref() else {
+        let Expr::Project { input, .. } = &out else {
+            panic!("{out}")
+        };
+        let Expr::Select {
+            pred, input: inner, ..
+        } = input.as_ref()
+        else {
             panic!("{out}")
         };
         assert!(matches!(inner.as_ref(), Expr::Unnest { .. }));
@@ -311,14 +351,22 @@ mod map_variant_tests {
                 exists(
                     "z",
                     var("s").field("parts"),
-                    not(exists("p", table("PART"), eq(var("z"), var("p").field("pid")))),
+                    not(exists(
+                        "p",
+                        table("PART"),
+                        eq(var("z"), var("p").field("pid")),
+                    )),
                 ),
                 table("SUPPLIER"),
             ),
         );
         let out = AttrUnnest.apply(&e, &ctx).unwrap();
-        let Expr::Map { input, .. } = &out else { panic!("{out}") };
-        let Expr::Select { input: inner, .. } = input.as_ref() else { panic!("{out}") };
+        let Expr::Map { input, .. } = &out else {
+            panic!("{out}")
+        };
+        let Expr::Select { input: inner, .. } = input.as_ref() else {
+            panic!("{out}")
+        };
         assert!(matches!(inner.as_ref(), Expr::Unnest { .. }));
     }
 

@@ -37,15 +37,28 @@ impl Rule for ForallToDivision {
     }
 
     fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Select { var: x, pred, input } = e else { return None };
+        let Expr::Select {
+            var: x,
+            pred,
+            input,
+        } = e
+        else {
+            return None;
+        };
         // input must be a plain class extension so we have an identity key
-        let Expr::Table(extent) = input.as_ref() else { return None };
+        let Expr::Table(extent) = input.as_ref() else {
+            return None;
+        };
         let class = ctx.catalog.class_by_extent(extent)?;
         let id = class.identity.clone();
 
         // pred: ∀y ∈ Y • key(y) ∈ x.c  with Y a base table expression
-        let Expr::Quant { q: QuantKind::Forall, var: y, range, pred: inner } =
-            pred.as_ref()
+        let Expr::Quant {
+            q: QuantKind::Forall,
+            var: y,
+            range,
+            pred: inner,
+        } = pred.as_ref()
         else {
             return None;
         };
@@ -56,7 +69,9 @@ impl Rule for ForallToDivision {
             return None;
         };
         // the membership set must be x.c for a set-valued attribute c
-        let Expr::Field(base, attr) = set.as_ref() else { return None };
+        let Expr::Field(base, attr) = set.as_ref() else {
+            return None;
+        };
         if !matches!(base.as_ref(), Expr::Var(v) if v == x) {
             return None;
         }
@@ -115,7 +130,11 @@ mod tests {
             "s",
             forall(
                 "p",
-                select("p", eq(var("p").field("color"), str_lit(color)), table("PART")),
+                select(
+                    "p",
+                    eq(var("p").field("color"), str_lit(color)),
+                    table("PART"),
+                ),
                 member(var("p").field("pid"), var("s").field("parts")),
             ),
             table("SUPPLIER"),
@@ -129,7 +148,13 @@ mod tests {
         // "green" parts: just the washer (pid 14) — s3 supplies it
         let q = forall_query("green");
         let rewritten = ForallToDivision.apply(&q, &ctx).expect("fires");
-        assert!(matches!(rewritten, Expr::Join { kind: JoinKind::Semi, .. }));
+        assert!(matches!(
+            rewritten,
+            Expr::Join {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
         let direct = ev.eval_closed(&q).unwrap();
@@ -159,9 +184,11 @@ mod tests {
             4,
             "division loses the empty-parts supplier"
         );
-        let lost_s4 = !via_div.as_set().unwrap().iter().any(|r| {
-            r.as_tuple().unwrap().get("sname") == Some(&oodb_value::Value::str("s4"))
-        });
+        let lost_s4 = !via_div
+            .as_set()
+            .unwrap()
+            .iter()
+            .any(|r| r.as_tuple().unwrap().get("sname") == Some(&oodb_value::Value::str("s4")));
         assert!(lost_s4);
         // the default strategy's antijoin is correct on the same query
         let opt = crate::Optimizer::default().optimize(&q, &cat).unwrap();
@@ -176,28 +203,44 @@ mod tests {
         // existential quantifier: no
         let q1 = select(
             "s",
-            exists("p", table("PART"), member(var("p").field("pid"), var("s").field("parts"))),
+            exists(
+                "p",
+                table("PART"),
+                member(var("p").field("pid"), var("s").field("parts")),
+            ),
             table("SUPPLIER"),
         );
         assert!(ForallToDivision.apply(&q1, &ctx).is_none());
         // set-valued range: no
         let q2 = select(
             "s",
-            forall("z", var("s").field("parts"), member(var("z"), var("s").field("parts"))),
+            forall(
+                "z",
+                var("s").field("parts"),
+                member(var("z"), var("s").field("parts")),
+            ),
             table("SUPPLIER"),
         );
         assert!(ForallToDivision.apply(&q2, &ctx).is_none());
         // membership into something that is not x.c: no
         let q3 = select(
             "s",
-            forall("p", table("PART"), member(var("p").field("pid"), var("other"))),
+            forall(
+                "p",
+                table("PART"),
+                member(var("p").field("pid"), var("other")),
+            ),
             table("SUPPLIER"),
         );
         assert!(ForallToDivision.apply(&q3, &ctx).is_none());
         // non-extension input: no
         let q4 = select(
             "s",
-            forall("p", table("PART"), member(var("p").field("pid"), var("s").field("parts"))),
+            forall(
+                "p",
+                table("PART"),
+                member(var("p").field("pid"), var("s").field("parts")),
+            ),
             project(&["eid", "parts"], table("SUPPLIER")),
         );
         assert!(ForallToDivision.apply(&q4, &ctx).is_none());

@@ -37,12 +37,7 @@ struct GroupingParts {
     yvar: Name,
 }
 
-fn decompose(
-    x: &Name,
-    pred: &Expr,
-    input: &Expr,
-    ctx: &RewriteCtx<'_>,
-) -> Option<GroupingParts> {
+fn decompose(x: &Name, pred: &Expr, input: &Expr, ctx: &RewriteCtx<'_>) -> Option<GroupingParts> {
     // reuse the nestjoin rule's subquery finder logic (inlined here to
     // keep the modules independent)
     fn walk(e: &Expr, x: &str, out: &mut Option<(Expr, Subquery)>) {
@@ -82,22 +77,34 @@ fn decompose(
     avoid.extend(free_vars(pred));
     let ys = fresh_name("ys", &avoid);
     let yvar = sq.var.clone();
-    Some(GroupingParts { occurrence, sq, x_sch, y_sch, ys, yvar })
+    Some(GroupingParts {
+        occurrence,
+        sq,
+        x_sch,
+        y_sch,
+        ys,
+        yvar,
+    })
 }
 
 /// Builds the join→nest→select→project pipeline. `outer` selects the
 /// (buggy) inner join or the (repaired) left outer join.
-fn build_pipeline(
-    x: &Name,
-    pred: &Expr,
-    input: &Expr,
-    parts: GroupingParts,
-    outer: bool,
-) -> Expr {
-    let GroupingParts { occurrence, sq, x_sch, y_sch, ys, yvar } = parts;
+fn build_pipeline(x: &Name, pred: &Expr, input: &Expr, parts: GroupingParts, outer: bool) -> Expr {
+    let GroupingParts {
+        occurrence,
+        sq,
+        x_sch,
+        y_sch,
+        ys,
+        yvar,
+    } = parts;
     // (1) join evaluating Q
     let join = Expr::Join {
-        kind: if outer { JoinKind::LeftOuter } else { JoinKind::Inner },
+        kind: if outer {
+            JoinKind::LeftOuter
+        } else {
+            JoinKind::Inner
+        },
         lvar: x.clone(),
         rvar: yvar.clone(),
         pred: Box::new(sq.pred.clone()),
@@ -141,7 +148,10 @@ fn build_pipeline(
         input: Box::new(nested),
     };
     // (4) final projection on X's attributes
-    Expr::Project { attrs: x_sch, input: Box::new(selected) }
+    Expr::Project {
+        attrs: x_sch,
+        input: Box::new(selected),
+    }
 }
 
 /// The unguarded \[GaWo87\] transformation — **exhibits the Complex Object
@@ -156,7 +166,14 @@ impl Rule for Gawo87Unsafe {
     }
 
     fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Select { var: x, pred, input } = e else { return None };
+        let Expr::Select {
+            var: x,
+            pred,
+            input,
+        } = e
+        else {
+            return None;
+        };
         let parts = decompose(x, pred, input, ctx)?;
         Some(build_pipeline(x, pred, input, parts, false))
     }
@@ -172,7 +189,14 @@ impl Rule for Gawo87Guarded {
     }
 
     fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Select { var: x, pred, input } = e else { return None };
+        let Expr::Select {
+            var: x,
+            pred,
+            input,
+        } = e
+        else {
+            return None;
+        };
         let parts = decompose(x, pred, input, ctx)?;
         if reduce_with_empty(pred, &parts.occurrence) != Truth::False {
             return None;
@@ -191,7 +215,14 @@ impl Rule for OuterjoinGroup {
     }
 
     fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Select { var: x, pred, input } = e else { return None };
+        let Expr::Select {
+            var: x,
+            pred,
+            input,
+        } = e
+        else {
+            return None;
+        };
         let parts = decompose(x, pred, input, ctx)?;
         Some(build_pipeline(x, pred, input, parts, true))
     }
@@ -210,7 +241,11 @@ mod tests {
         let sub = map(
             "y",
             var("y").field("e"),
-            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+            select(
+                "y",
+                eq(var("x").field("a"), var("y").field("d")),
+                table("Y"),
+            ),
         );
         select(
             "x",
@@ -234,7 +269,9 @@ mod tests {
     #[test]
     fn figure2_bug_reproduced_by_unsafe_grouping() {
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
         let ev = Evaluator::new(&db);
 
         // ground truth: nested-loop evaluation includes ⟨a=2, c=∅⟩
@@ -251,12 +288,18 @@ mod tests {
     fn superset_variant_also_buggy() {
         // σ[x : x.c ⊇ Y'](X): all x with empty subquery results are lost
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
         let ev = Evaluator::new(&db);
         let sub = map(
             "y",
             var("y").field("e"),
-            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+            select(
+                "y",
+                eq(var("x").field("a"), var("y").field("d")),
+                table("Y"),
+            ),
         );
         let q = select(
             "x",
@@ -274,7 +317,9 @@ mod tests {
     #[test]
     fn outerjoin_repair_matches_nested_semantics() {
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
         let ev = Evaluator::new(&db);
         let repaired = OuterjoinGroup.apply(&figure_query(), &ctx).unwrap();
         let fixed = ev.eval_closed(&project_ac(repaired)).unwrap();
@@ -284,7 +329,9 @@ mod tests {
     #[test]
     fn guard_rejects_runtime_dependent_predicates() {
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
         // ⊆ reduces to "?" under ∅ → the guarded rule refuses
         assert!(Gawo87Guarded.apply(&figure_query(), &ctx).is_none());
     }
@@ -293,12 +340,18 @@ mod tests {
     fn guard_accepts_membership_predicates() {
         // P = x.b ∈ Y' reduces to false under Y' = ∅ — grouping is safe
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
         let ev = Evaluator::new(&db);
         let sub = map(
             "y",
             var("y").field("e"),
-            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+            select(
+                "y",
+                eq(var("x").field("a"), var("y").field("d")),
+                table("Y"),
+            ),
         );
         let q = select("x", member(var("x").field("a"), sub), table("X"));
         let safe = Gawo87Guarded.apply(&q, &ctx).unwrap();

@@ -158,7 +158,12 @@ impl Rule for LetUp {
                     }),
                 )
             }
-            Expr::Quant { q, var, range, pred } => {
+            Expr::Quant {
+                q,
+                var,
+                range,
+                pred,
+            } => {
                 let (qq, v, r) = (*q, var.clone(), range.clone());
                 (
                     var,
@@ -173,7 +178,14 @@ impl Rule for LetUp {
             }
             _ => return None,
         };
-        let Expr::Let { var: lv, value, body } = param else { return None };
+        let Expr::Let {
+            var: lv,
+            value,
+            body,
+        } = param
+        else {
+            return None;
+        };
         if !free_vars(value).is_empty() || lv == ivar {
             return None;
         }
@@ -202,19 +214,31 @@ mod tests {
         let sub = flatten(map(
             "t",
             var("t").field("parts"),
-            select("t", eq(var("t").field("sname"), str_lit("s1")), table("SUPPLIER")),
+            select(
+                "t",
+                eq(var("t").field("sname"), str_lit("s1")),
+                table("SUPPLIER"),
+            ),
         ));
         let e = select(
             "s",
-            set_cmp(oodb_value::SetCmpOp::SupersetEq, var("s").field("parts"), sub.clone()),
+            set_cmp(
+                oodb_value::SetCmpOp::SupersetEq,
+                var("s").field("parts"),
+                sub.clone(),
+            ),
             table("SUPPLIER"),
         );
         let out = apply(&e).unwrap();
-        let Expr::Let { var, value, body } = &out else { panic!("{out}") };
+        let Expr::Let { var, value, body } = &out else {
+            panic!("{out}")
+        };
         assert_eq!(var.as_ref(), "sub");
         assert_eq!(**value, sub);
         // the body's predicate now references the binding
-        let Expr::Select { pred, .. } = body.as_ref() else { panic!("{body}") };
+        let Expr::Select { pred, .. } = body.as_ref() else {
+            panic!("{body}")
+        };
         assert!(!pred.mentions_table());
         // firing again finds nothing
         assert!(apply(body).is_none());
@@ -223,7 +247,11 @@ mod tests {
     #[test]
     fn correlated_subquery_not_hoisted() {
         // Figure 1's subquery references x — not a constant
-        let sub = select("y", eq(var("x").field("a"), var("y").field("d")), table("Y"));
+        let sub = select(
+            "y",
+            eq(var("x").field("a"), var("y").field("d")),
+            table("Y"),
+        );
         let e = select(
             "x",
             set_cmp(oodb_value::SetCmpOp::SubsetEq, var("x").field("c"), sub),
@@ -238,7 +266,11 @@ mod tests {
             "s",
             exists(
                 "p",
-                select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+                select(
+                    "p",
+                    eq(var("p").field("color"), str_lit("red")),
+                    table("PART"),
+                ),
                 member(var("p").field("pid"), var("s").field("parts")),
             ),
             table("SUPPLIER"),
@@ -254,7 +286,9 @@ mod tests {
             table("SUPPLIER"),
         );
         let out = apply(&e).unwrap();
-        let Expr::Let { value, .. } = &out else { panic!("{out}") };
+        let Expr::Let { value, .. } = &out else {
+            panic!("{out}")
+        };
         assert_eq!(**value, count(table("PART")));
     }
 
@@ -263,7 +297,11 @@ mod tests {
         let sub = map("p", var("p").field("pid"), table("PART"));
         let e = map(
             "s",
-            set_op(oodb_adl::SetOp::Intersect, var("s").field("parts"), sub.clone()),
+            set_op(
+                oodb_adl::SetOp::Intersect,
+                var("s").field("parts"),
+                sub.clone(),
+            ),
             table("SUPPLIER"),
         );
         let out = apply(&e).unwrap();
@@ -277,11 +315,17 @@ mod tests {
         // σ[s : let v = count(PART) in s.n > v](SUPPLIER)
         let e = select(
             "s",
-            let_("v", count(table("PART")), gt(var("s").field("eidn"), var("v"))),
+            let_(
+                "v",
+                count(table("PART")),
+                gt(var("s").field("eidn"), var("v")),
+            ),
             table("SUPPLIER"),
         );
         let out = LetUp.apply(&e, &ctx).unwrap();
-        let Expr::Let { value, body, .. } = &out else { panic!("{out}") };
+        let Expr::Let { value, body, .. } = &out else {
+            panic!("{out}")
+        };
         assert_eq!(**value, count(table("PART")));
         assert!(matches!(body.as_ref(), Expr::Select { .. }));
         // a correlated binding must not float
@@ -308,9 +352,15 @@ mod tests {
         );
         let hoisted = {
             // apply hoist inside the map body, then let-up on the map
-            let Expr::Map { var, body, input } = nested else { unreachable!() };
+            let Expr::Map { var, body, input } = nested else {
+                unreachable!()
+            };
             let new_body = HoistUncorrelated.apply(&body, &ctx).unwrap();
-            Expr::Map { var, body: Box::new(new_body), input }
+            Expr::Map {
+                var,
+                body: Box::new(new_body),
+                input,
+            }
         };
         let floated = LetUp.apply(&hoisted, &ctx).unwrap();
         assert!(matches!(floated, Expr::Let { .. }));

@@ -114,7 +114,12 @@ pub fn nnf_negate(e: &Expr) -> Expr {
         Expr::And(a, b) => Expr::Or(Box::new(nnf_negate(a)), Box::new(nnf_negate(b))),
         Expr::Or(a, b) => Expr::And(Box::new(nnf_negate(a)), Box::new(nnf_negate(b))),
         Expr::Cmp(op, a, b) => Expr::Cmp(op.negate(), a.clone(), b.clone()),
-        Expr::Quant { q: QuantKind::Forall, var, range, pred } => Expr::Quant {
+        Expr::Quant {
+            q: QuantKind::Forall,
+            var,
+            range,
+            pred,
+        } => Expr::Quant {
             q: QuantKind::Exists,
             var: var.clone(),
             range: range.clone(),
@@ -147,7 +152,11 @@ pub struct Subquery {
 pub fn split_subquery(e: &Expr) -> Option<Subquery> {
     match e {
         Expr::Map { var, body, input } => match input.as_ref() {
-            Expr::Select { var: svar, pred, input: base } => {
+            Expr::Select {
+                var: svar,
+                pred,
+                input: base,
+            } => {
                 // normalize the σ variable to the α variable
                 let pred = if svar == var {
                     (**pred).clone()
@@ -197,21 +206,39 @@ pub fn uses_whole_var(e: &Expr, v: &str) -> bool {
             }
         }
         // shadowing binders stop the search
-        Expr::Map { var, body, input } | Expr::Select { var, pred: body, input } => {
-            uses_whole_var(input, v) || (var.as_ref() != v && uses_whole_var(body, v))
-        }
-        Expr::Quant { var, range, pred, .. } => {
-            uses_whole_var(range, v) || (var.as_ref() != v && uses_whole_var(pred, v))
-        }
+        Expr::Map { var, body, input }
+        | Expr::Select {
+            var,
+            pred: body,
+            input,
+        } => uses_whole_var(input, v) || (var.as_ref() != v && uses_whole_var(body, v)),
+        Expr::Quant {
+            var, range, pred, ..
+        } => uses_whole_var(range, v) || (var.as_ref() != v && uses_whole_var(pred, v)),
         Expr::Let { var, value, body } => {
             uses_whole_var(value, v) || (var.as_ref() != v && uses_whole_var(body, v))
         }
-        Expr::Join { lvar, rvar, pred, left, right, .. } => {
+        Expr::Join {
+            lvar,
+            rvar,
+            pred,
+            left,
+            right,
+            ..
+        } => {
             uses_whole_var(left, v)
                 || uses_whole_var(right, v)
                 || (lvar.as_ref() != v && rvar.as_ref() != v && uses_whole_var(pred, v))
         }
-        Expr::NestJoin { lvar, rvar, pred, rfunc, left, right, .. } => {
+        Expr::NestJoin {
+            lvar,
+            rvar,
+            pred,
+            rfunc,
+            left,
+            right,
+            ..
+        } => {
             uses_whole_var(left, v)
                 || uses_whole_var(right, v)
                 || (lvar.as_ref() != v
@@ -252,10 +279,7 @@ mod tests {
     #[test]
     fn replace_subexpr_hits_all_occurrences() {
         let s = select("y", var("q"), table("Y"));
-        let p = and(
-            member(var("a"), s.clone()),
-            eq(count(s.clone()), int(0)),
-        );
+        let p = and(member(var("a"), s.clone()), eq(count(s.clone()), int(0)));
         let replaced = replace_subexpr(&p, &s, &var("Y1"));
         assert_eq!(count_subexpr(&replaced, &s), 0);
         assert_eq!(count_subexpr(&replaced, &var("Y1")), 2);
@@ -306,7 +330,11 @@ mod tests {
     #[test]
     fn base_table_expr_requires_closed_and_table() {
         assert!(is_base_table_expr(&table("Y")));
-        assert!(is_base_table_expr(&select("y", var("y").field("a"), table("Y"))));
+        assert!(is_base_table_expr(&select(
+            "y",
+            var("y").field("a"),
+            table("Y")
+        )));
         // correlated: x free
         assert!(!is_base_table_expr(&select(
             "y",

@@ -15,12 +15,10 @@
 //! of matching right operand tuples" — dangling left tuples keep `∅`, so
 //! no Complex Object bug arises.
 
-use super::{
-    replace_subexpr, split_subquery, uses_whole_var, RewriteCtx, Rule, Subquery,
-};
+use super::{replace_subexpr, split_subquery, uses_whole_var, RewriteCtx, Rule, Subquery};
 use oodb_adl::expr::Expr;
-use oodb_adl::vars::{free_vars, fresh_name, is_free_in};
 use oodb_adl::infer_closed;
+use oodb_adl::vars::{free_vars, fresh_name, is_free_in};
 use oodb_value::fxhash::FxHashSet;
 use oodb_value::Name;
 
@@ -81,8 +79,9 @@ fn build(
         (sq.pred, sq.gfunc)
     } else {
         let renamed_pred = oodb_adl::subst(&sq.pred, &sq.var, &Expr::Var(y.clone()));
-        let renamed_g =
-            sq.gfunc.map(|g| oodb_adl::subst(&g, &sq.var, &Expr::Var(y.clone())));
+        let renamed_g = sq
+            .gfunc
+            .map(|g| oodb_adl::subst(&g, &sq.var, &Expr::Var(y.clone())));
         (renamed_pred, renamed_g)
     };
     // Q must not smuggle the group attribute in some other way: it may
@@ -110,10 +109,7 @@ fn build(
 /// untouched.
 fn subst_whole_var(e: &Expr, v: &str, attrs: &[Name]) -> Expr {
     match e {
-        Expr::Var(n) if n.as_ref() == v => Expr::TupleProject(
-            Box::new(e.clone()),
-            attrs.to_vec(),
-        ),
+        Expr::Var(n) if n.as_ref() == v => Expr::TupleProject(Box::new(e.clone()), attrs.to_vec()),
         Expr::Field(base, a) => {
             if matches!(base.as_ref(), Expr::Var(n) if n.as_ref() == v) {
                 e.clone()
@@ -150,7 +146,12 @@ fn subst_whole_var(e: &Expr, v: &str, attrs: &[Name]) -> Expr {
                     pred: pred.clone(),
                     input: Box::new(subst_whole_var(input, v, attrs)),
                 },
-                Expr::Quant { q, var, range, pred } => Expr::Quant {
+                Expr::Quant {
+                    q,
+                    var,
+                    range,
+                    pred,
+                } => Expr::Quant {
                     q: *q,
                     var: var.clone(),
                     range: Box::new(subst_whole_var(range, v, attrs)),
@@ -179,7 +180,14 @@ impl Rule for NestJoinSelect {
     }
 
     fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Select { var: x, pred, input } = e else { return None };
+        let Expr::Select {
+            var: x,
+            pred,
+            input,
+        } = e
+        else {
+            return None;
+        };
         let (occurrence, sq) = find_subquery(pred, x)?;
         let (nj, new_pred, sch) = build(x, pred, &occurrence, sq, input, ctx)?;
         Some(Expr::Project {
@@ -203,7 +211,14 @@ impl Rule for NestJoinMap {
     }
 
     fn apply(&self, e: &Expr, ctx: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Map { var: x, body, input } = e else { return None };
+        let Expr::Map {
+            var: x,
+            body,
+            input,
+        } = e
+        else {
+            return None;
+        };
         // don't touch maps whose input still carries an unnested selection
         // with base-table subqueries: the select-side rules go first
         if let Expr::Select { pred, .. } = input.as_ref() {
@@ -238,11 +253,17 @@ mod tests {
     fn figure1_query_rewrites_to_nestjoin() {
         // σ[x : x.c ⊆ α[y : y.e](σ[y : x.a = y.d](Y))](X)
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
         let sub = map(
             "y",
             var("y").field("e"),
-            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+            select(
+                "y",
+                eq(var("x").field("a"), var("y").field("d")),
+                table("Y"),
+            ),
         );
         let e = select(
             "x",
@@ -251,16 +272,31 @@ mod tests {
         );
         let out = NestJoinSelect.apply(&e, &ctx).unwrap();
         // π_{a,c,xid}(σ[x : x.c ⊆ x.ys](X ⊣_{x,y : x.a = y.d; y.e; ys} Y))
-        let Expr::Project { attrs, input } = &out else { panic!("{out}") };
+        let Expr::Project { attrs, input } = &out else {
+            panic!("{out}")
+        };
         assert!(attrs.iter().any(|a| a.as_ref() == "c"));
-        let Expr::Select { pred, input: nj, .. } = input.as_ref() else {
+        let Expr::Select {
+            pred, input: nj, ..
+        } = input.as_ref()
+        else {
             panic!("{out}")
         };
         assert_eq!(
             **pred,
-            set_cmp(SetCmpOp::SubsetEq, var("x").field("c"), var("x").field("ys"))
+            set_cmp(
+                SetCmpOp::SubsetEq,
+                var("x").field("c"),
+                var("x").field("ys")
+            )
         );
-        let Expr::NestJoin { pred: q, rfunc, as_attr, .. } = nj.as_ref() else {
+        let Expr::NestJoin {
+            pred: q,
+            rfunc,
+            as_attr,
+            ..
+        } = nj.as_ref()
+        else {
             panic!("{out}")
         };
         assert_eq!(**q, eq(var("x").field("a"), var("y").field("d")));
@@ -273,7 +309,11 @@ mod tests {
         // α[s : ⟨sname = s.sname, partssuppl = σ[p : p.pid ∈ s.parts](PART)⟩](SUPPLIER)
         let cat = ctx_catalog();
         let ctx = RewriteCtx { catalog: &cat };
-        let sub = select("p", member(var("p").field("pid"), var("s").field("parts")), table("PART"));
+        let sub = select(
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            table("PART"),
+        );
         let e = map(
             "s",
             tuple(vec![
@@ -283,7 +323,9 @@ mod tests {
             table("SUPPLIER"),
         );
         let out = NestJoinMap.apply(&e, &ctx).unwrap();
-        let Expr::Map { body, input, .. } = &out else { panic!("{out}") };
+        let Expr::Map { body, input, .. } = &out else {
+            panic!("{out}")
+        };
         assert!(matches!(input.as_ref(), Expr::NestJoin { .. }));
         assert_eq!(
             **body,
@@ -298,7 +340,11 @@ mod tests {
     fn uncorrelated_subquery_is_not_a_nestjoin_case() {
         let cat = ctx_catalog();
         let ctx = RewriteCtx { catalog: &cat };
-        let sub = select("p", eq(var("p").field("color"), str_lit("red")), table("PART"));
+        let sub = select(
+            "p",
+            eq(var("p").field("color"), str_lit("red")),
+            table("PART"),
+        );
         let e = select(
             "s",
             set_cmp(SetCmpOp::SubsetEq, var("s").field("parts"), sub),
@@ -325,16 +371,22 @@ mod tests {
     fn whole_tuple_use_gets_subscripted() {
         // P compares x itself: P' must reference x[SCH(X)]
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
-        let sub = select("y", eq(var("x").field("a"), var("y").field("d")), table("Y"));
-        let e = select(
-            "x",
-            member(var("x"), sub),
-            table("X"),
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
+        let sub = select(
+            "y",
+            eq(var("x").field("a"), var("y").field("d")),
+            table("Y"),
         );
+        let e = select("x", member(var("x"), sub), table("X"));
         let out = NestJoinSelect.apply(&e, &ctx).unwrap();
-        let Expr::Project { input, .. } = &out else { panic!("{out}") };
-        let Expr::Select { pred, .. } = input.as_ref() else { panic!("{out}") };
+        let Expr::Project { input, .. } = &out else {
+            panic!("{out}")
+        };
+        let Expr::Select { pred, .. } = input.as_ref() else {
+            panic!("{out}")
+        };
         let Expr::SetCmp(SetCmpOp::In, lhs, _) = pred.as_ref() else {
             panic!("{out}")
         };
@@ -346,8 +398,14 @@ mod tests {
         // X already has an attribute named ys? — here: use variables named
         // ys in the predicate to force ys_1
         let db = figure12_db();
-        let ctx = RewriteCtx { catalog: db.catalog() };
-        let sub = select("y", eq(var("x").field("a"), var("y").field("d")), table("Y"));
+        let ctx = RewriteCtx {
+            catalog: db.catalog(),
+        };
+        let sub = select(
+            "y",
+            eq(var("x").field("a"), var("y").field("d")),
+            table("Y"),
+        );
         let e = select(
             "x",
             and(
@@ -357,9 +415,15 @@ mod tests {
             table("X"),
         );
         let out = NestJoinSelect.apply(&e, &ctx).unwrap();
-        let Expr::Project { input, .. } = &out else { panic!("{out}") };
-        let Expr::Select { input: nj, .. } = input.as_ref() else { panic!("{out}") };
-        let Expr::NestJoin { as_attr, .. } = nj.as_ref() else { panic!("{out}") };
+        let Expr::Project { input, .. } = &out else {
+            panic!("{out}")
+        };
+        let Expr::Select { input: nj, .. } = input.as_ref() else {
+            panic!("{out}")
+        };
+        let Expr::NestJoin { as_attr, .. } = nj.as_ref() else {
+            panic!("{out}")
+        };
         assert_eq!(as_attr.as_ref(), "ys_1");
     }
 

@@ -22,14 +22,17 @@ impl Rule for ForallToNotExists {
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
         match e {
-            Expr::Quant { q: QuantKind::Forall, var, range, pred } => {
-                Some(Expr::Not(Box::new(Expr::Quant {
-                    q: QuantKind::Exists,
-                    var: var.clone(),
-                    range: range.clone(),
-                    pred: Box::new(nnf_negate(pred)),
-                })))
-            }
+            Expr::Quant {
+                q: QuantKind::Forall,
+                var,
+                range,
+                pred,
+            } => Some(Expr::Not(Box::new(Expr::Quant {
+                q: QuantKind::Exists,
+                var: var.clone(),
+                range: range.clone(),
+                pred: Box::new(nnf_negate(pred)),
+            }))),
             _ => None,
         }
     }
@@ -49,13 +52,19 @@ impl Rule for PushNegation {
         let Expr::Not(inner) = e else { return None };
         match inner.as_ref() {
             // keep ¬∃ — it is the Rule 1.2 / antijoin shape
-            Expr::Quant { q: QuantKind::Exists, .. } => None,
+            Expr::Quant {
+                q: QuantKind::Exists,
+                ..
+            } => None,
             Expr::Not(_)
             | Expr::And(..)
             | Expr::Or(..)
             | Expr::Cmp(..)
             | Expr::Lit(Value::Bool(_))
-            | Expr::Quant { q: QuantKind::Forall, .. } => Some(nnf_negate(inner)),
+            | Expr::Quant {
+                q: QuantKind::Forall,
+                ..
+            } => Some(nnf_negate(inner)),
             Expr::SetCmp(op, a, b) => op
                 .direct_negation()
                 .map(|neg| Expr::SetCmp(neg, a.clone(), b.clone())),
@@ -97,9 +106,7 @@ impl Rule for SimplifyBool {
                     None
                 }
             }
-            Expr::Select { pred, input, .. } if pred.is_bool_lit(true) => {
-                Some((**input).clone())
-            }
+            Expr::Select { pred, input, .. } if pred.is_bool_lit(true) => Some((**input).clone()),
             _ => None,
         }
     }
@@ -117,9 +124,7 @@ impl Rule for IdentityMap {
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
         match e {
-            Expr::Map { var, body, input }
-                if matches!(body.as_ref(), Expr::Var(v) if v == var) =>
-            {
+            Expr::Map { var, body, input } if matches!(body.as_ref(), Expr::Var(v) if v == var) => {
                 Some((**input).clone())
             }
             _ => None,
@@ -138,8 +143,20 @@ impl Rule for MergeSelects {
     }
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Select { var: x, pred: p, input } = e else { return None };
-        let Expr::Select { var: y, pred: q, input: base } = input.as_ref() else {
+        let Expr::Select {
+            var: x,
+            pred: p,
+            input,
+        } = e
+        else {
+            return None;
+        };
+        let Expr::Select {
+            var: y,
+            pred: q,
+            input: base,
+        } = input.as_ref()
+        else {
             return None;
         };
         let q_on_x = if y == x {
@@ -174,8 +191,7 @@ impl Rule for PredToQuant {
         use oodb_value::{CmpOp, SetCmpOp};
         // match `S = ∅` / `S ≠ ∅` in either orientation
         let emptiness = |op: SetCmpOp, a: &Expr, b: &Expr| -> Option<(bool, Expr)> {
-            let is_empty_lit =
-                |x: &Expr| matches!(x, Expr::Lit(Value::Set(s)) if s.is_empty());
+            let is_empty_lit = |x: &Expr| matches!(x, Expr::Lit(Value::Set(s)) if s.is_empty());
             let positive = match op {
                 SetCmpOp::SetEq => true,
                 SetCmpOp::SetNe => false,
@@ -226,7 +242,11 @@ impl Rule for PredToQuant {
                     range: Box::new(set),
                     pred: Box::new(Expr::true_()),
                 };
-                Some(if is_eq_empty { Expr::Not(Box::new(ex)) } else { ex })
+                Some(if is_eq_empty {
+                    Expr::Not(Box::new(ex))
+                } else {
+                    ex
+                })
             }
             Expr::Cmp(cmp, a, b) => {
                 // count(S) compared against 0/1 literals
@@ -255,7 +275,11 @@ impl Rule for PredToQuant {
                     range: Box::new((**count_arg).clone()),
                     pred: Box::new(Expr::true_()),
                 };
-                Some(if positive { ex } else { Expr::Not(Box::new(ex)) })
+                Some(if positive {
+                    ex
+                } else {
+                    Expr::Not(Box::new(ex))
+                })
             }
             _ => None,
         }
@@ -288,11 +312,11 @@ mod tests {
         let out = ctx_apply(&ForallToNotExists, &e).unwrap();
         assert_eq!(
             out,
-            not(exists("z", var("x").field("c"), set_cmp(
-                oodb_value::SetCmpOp::NotIn,
-                var("z"),
-                var("S")
-            )))
+            not(exists(
+                "z",
+                var("x").field("c"),
+                set_cmp(oodb_value::SetCmpOp::NotIn, var("z"), var("S"))
+            ))
         );
     }
 
@@ -308,7 +332,10 @@ mod tests {
             or(not(var("p")), not(var("q")))
         );
         let e4 = not(eq(var("a"), var("b")));
-        assert_eq!(ctx_apply(&PushNegation, &e4).unwrap(), ne(var("a"), var("b")));
+        assert_eq!(
+            ctx_apply(&PushNegation, &e4).unwrap(),
+            ne(var("a"), var("b"))
+        );
     }
 
     #[test]
@@ -332,11 +359,19 @@ mod tests {
     fn table2_empty_equality() {
         // Y' = ∅ ⇒ ¬∃y ∈ Y' • true   (Y' must mention a base table)
         let yprime = select("u", var("u").field("a"), table("Y"));
-        let e = set_cmp(oodb_value::SetCmpOp::SetEq, yprime.clone(), Expr::empty_set());
+        let e = set_cmp(
+            oodb_value::SetCmpOp::SetEq,
+            yprime.clone(),
+            Expr::empty_set(),
+        );
         let out = ctx_apply(&PredToQuant, &e).unwrap();
         assert_eq!(out, not(exists("y", yprime.clone(), Expr::true_())));
         // ≠ ∅ is the positive form
-        let e2 = set_cmp(oodb_value::SetCmpOp::SetNe, yprime.clone(), Expr::empty_set());
+        let e2 = set_cmp(
+            oodb_value::SetCmpOp::SetNe,
+            yprime.clone(),
+            Expr::empty_set(),
+        );
         assert_eq!(
             ctx_apply(&PredToQuant, &e2).unwrap(),
             exists("y", yprime, Expr::true_())
@@ -369,10 +404,18 @@ mod tests {
     #[test]
     fn table2_intersection_row() {
         // x.c ∩ Y' = ∅ ⇒ ¬∃y ∈ Y' • y ∈ x.c
-        let yprime = select("u", eq(var("u").field("a"), var("x").field("a")), table("Y"));
+        let yprime = select(
+            "u",
+            eq(var("u").field("a"), var("x").field("a")),
+            table("Y"),
+        );
         let e = set_cmp(
             oodb_value::SetCmpOp::SetEq,
-            set_op(oodb_adl::SetOp::Intersect, var("x").field("c"), yprime.clone()),
+            set_op(
+                oodb_adl::SetOp::Intersect,
+                var("x").field("c"),
+                yprime.clone(),
+            ),
             Expr::empty_set(),
         );
         let out = ctx_apply(&PredToQuant, &e).unwrap();
@@ -405,7 +448,9 @@ mod fromclause_tests {
         );
         let outer = select("d", eq(var("d").field("x"), int(2)), inner);
         // identity map collapses
-        let Expr::Select { input, .. } = &outer else { unreachable!() };
+        let Expr::Select { input, .. } = &outer else {
+            unreachable!()
+        };
         let collapsed = IdentityMap.apply(input, &ctx).unwrap();
         assert!(matches!(collapsed, Expr::Select { .. }));
         // then the two selections merge
@@ -415,7 +460,9 @@ mod fromclause_tests {
                 &ctx,
             )
             .unwrap();
-        let Expr::Select { pred, input, .. } = &merged else { panic!("{merged}") };
+        let Expr::Select { pred, input, .. } = &merged else {
+            panic!("{merged}")
+        };
         assert!(matches!(input.as_ref(), Expr::Table(_)));
         assert_eq!(
             **pred,

@@ -27,11 +27,21 @@ impl Rule for RangeExtract {
     }
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Quant { q: QuantKind::Exists, var: y, range, pred } = e else {
+        let Expr::Quant {
+            q: QuantKind::Exists,
+            var: y,
+            range,
+            pred,
+        } = e
+        else {
             return None;
         };
         match range.as_ref() {
-            Expr::Select { var: u, pred: q, input } => {
+            Expr::Select {
+                var: u,
+                pred: q,
+                input,
+            } => {
                 let q_on_y = if u == y {
                     (**q).clone()
                 } else {
@@ -44,7 +54,11 @@ impl Rule for RangeExtract {
                     pred: Box::new(Expr::And(Box::new(q_on_y), pred.clone())),
                 })
             }
-            Expr::Map { var: u, body: g, input } => {
+            Expr::Map {
+                var: u,
+                body: g,
+                input,
+            } => {
                 // pick a variable for iterating E that collides with
                 // nothing visible in the rewritten predicate (`u` itself is
                 // bound and may be reused)
@@ -97,12 +111,21 @@ impl Rule for ExistsExchange {
     }
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Quant { q: QuantKind::Exists, var: a, range: r1, pred: outer_pred } = e
+        let Expr::Quant {
+            q: QuantKind::Exists,
+            var: a,
+            range: r1,
+            pred: outer_pred,
+        } = e
         else {
             return None;
         };
-        let Expr::Quant { q: QuantKind::Exists, var: b, range: r2, pred: p } =
-            outer_pred.as_ref()
+        let Expr::Quant {
+            q: QuantKind::Exists,
+            var: b,
+            range: r2,
+            pred: p,
+        } = outer_pred.as_ref()
         else {
             return None;
         };
@@ -151,7 +174,13 @@ impl Rule for QuantSplitIndependent {
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
         use oodb_adl::expr::{conjoin, conjuncts};
-        let Expr::Quant { q: QuantKind::Exists, var, range, pred } = e else {
+        let Expr::Quant {
+            q: QuantKind::Exists,
+            var,
+            range,
+            pred,
+        } = e
+        else {
             return None;
         };
         let parts = conjuncts(pred);
@@ -190,7 +219,13 @@ impl Rule for QuantToMember {
     }
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
-        let Expr::Quant { q: QuantKind::Exists, var, range, pred } = e else {
+        let Expr::Quant {
+            q: QuantKind::Exists,
+            var,
+            range,
+            pred,
+        } = e
+        else {
             return None;
         };
         if range.mentions_table() {
@@ -238,7 +273,11 @@ mod tests {
         assert_eq!(
             out,
             and(
-                exists("x", var("s").field("parts"), eq(var("x"), var("p").field("pid"))),
+                exists(
+                    "x",
+                    var("s").field("parts"),
+                    eq(var("x"), var("p").field("pid"))
+                ),
                 eq(var("p").field("color"), str_lit("red"))
             )
         );
@@ -253,11 +292,19 @@ mod tests {
 
     #[test]
     fn quant_to_member_collapses() {
-        let e = exists("x", var("s").field("parts"), eq(var("x"), var("p").field("pid")));
+        let e = exists(
+            "x",
+            var("s").field("parts"),
+            eq(var("x"), var("p").field("pid")),
+        );
         let out = apply(&QuantToMember, &e).unwrap();
         assert_eq!(out, member(var("p").field("pid"), var("s").field("parts")));
         // flipped equality
-        let e2 = exists("x", var("s").field("parts"), eq(var("p").field("pid"), var("x")));
+        let e2 = exists(
+            "x",
+            var("s").field("parts"),
+            eq(var("p").field("pid"), var("x")),
+        );
         assert_eq!(apply(&QuantToMember, &e2).unwrap(), out);
         // table ranges are left for Rule 1 (avoid ping-pong)
         let e3 = exists("y", table("PART"), eq(var("y"), var("k")));
@@ -278,7 +325,11 @@ mod tests {
         let out = apply(&RangeExtract, &e).unwrap();
         assert_eq!(
             out,
-            exists("y", table("Y"), and(var("q"), eq(var("y"), var("x").field("c"))))
+            exists(
+                "y",
+                table("Y"),
+                and(var("q"), eq(var("y"), var("x").field("c")))
+            )
         );
     }
 
@@ -349,7 +400,11 @@ mod tests {
             exists(
                 "p",
                 table("PART"),
-                exists("z", var("x").field("c"), eq(var("z"), var("p").field("pid")))
+                exists(
+                    "z",
+                    var("x").field("c"),
+                    eq(var("z"), var("p").field("pid"))
+                )
             )
         );
         // and it does not fire again (outer is now the base table)
@@ -362,7 +417,15 @@ mod tests {
         let e = exists(
             "z",
             var("x").field("cs"),
-            exists("p", select("p", member(var("z"), var("p").field("parts")), table("SUPPLIER")), Expr::true_()),
+            exists(
+                "p",
+                select(
+                    "p",
+                    member(var("z"), var("p").field("parts")),
+                    table("SUPPLIER"),
+                ),
+                Expr::true_(),
+            ),
         );
         assert!(apply(&ExistsExchange, &e).is_none());
     }

@@ -19,42 +19,61 @@ use oodb_adl::vars::is_free_in;
 
 /// Shared driver for both halves of Rule 1.
 fn unnest_select(e: &Expr, want_negated: bool) -> Option<Expr> {
-    let Expr::Select { var: x, pred, input } = e else { return None };
+    let Expr::Select {
+        var: x,
+        pred,
+        input,
+    } = e
+    else {
+        return None;
+    };
     let parts = conjuncts(pred);
     // find the first conjunct of the requested shape with a base-table range
-    let (idx, y, range, inner_pred) =
-        parts.iter().enumerate().find_map(|(i, c)| {
-            let (quant, negated) = match c {
-                Expr::Not(q) => (q.as_ref(), true),
-                q => (*q, false),
-            };
-            if negated != want_negated {
-                return None;
-            }
-            let Expr::Quant { q: QuantKind::Exists, var: y, range, pred: p } = quant
-            else {
-                return None;
-            };
-            if !super::is_base_table_expr(range) {
-                return None;
-            }
-            // "let x not be free in Y" — implied by closedness, but keep
-            // the check explicit for hand-built ranges
-            if is_free_in(x, range) {
-                return None;
-            }
-            Some((i, y.clone(), (**range).clone(), (**p).clone()))
-        })?;
+    let (idx, y, range, inner_pred) = parts.iter().enumerate().find_map(|(i, c)| {
+        let (quant, negated) = match c {
+            Expr::Not(q) => (q.as_ref(), true),
+            q => (*q, false),
+        };
+        if negated != want_negated {
+            return None;
+        }
+        let Expr::Quant {
+            q: QuantKind::Exists,
+            var: y,
+            range,
+            pred: p,
+        } = quant
+        else {
+            return None;
+        };
+        if !super::is_base_table_expr(range) {
+            return None;
+        }
+        // "let x not be free in Y" — implied by closedness, but keep
+        // the check explicit for hand-built ranges
+        if is_free_in(x, range) {
+            return None;
+        }
+        Some((i, y.clone(), (**range).clone(), (**p).clone()))
+    })?;
 
     // the bound variables must be distinct for a two-variable join lambda
     if *x == y {
         return None;
     }
 
-    let rest: Vec<Expr> =
-        parts.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, c)| (*c).clone()).collect();
+    let rest: Vec<Expr> = parts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != idx)
+        .map(|(_, c)| (*c).clone())
+        .collect();
     let join = Expr::Join {
-        kind: if want_negated { JoinKind::Anti } else { JoinKind::Semi },
+        kind: if want_negated {
+            JoinKind::Anti
+        } else {
+            JoinKind::Semi
+        },
         lvar: x.clone(),
         rvar: y,
         pred: Box::new(inner_pred),
@@ -138,7 +157,13 @@ mod tests {
         let expected = select(
             "x",
             other,
-            semijoin("x", "y", eq(var("y"), var("x").field("c")), table("X"), table("Y")),
+            semijoin(
+                "x",
+                "y",
+                eq(var("y"), var("x").field("c")),
+                table("X"),
+                table("Y"),
+            ),
         );
         assert_eq!(out, expected);
     }
@@ -162,7 +187,11 @@ mod tests {
             "x",
             exists(
                 "y",
-                select("y", eq(var("y").field("a"), var("x").field("a")), table("Y")),
+                select(
+                    "y",
+                    eq(var("y").field("a"), var("x").field("a")),
+                    table("Y"),
+                ),
                 Expr::true_(),
             ),
             table("X"),
@@ -173,28 +202,60 @@ mod tests {
     #[test]
     fn selected_base_table_range_is_fine() {
         // range σ[y : y.color = red](PART) is a closed table expression
-        let range = select("y", eq(var("y").field("color"), str_lit("red")), table("PART"));
+        let range = select(
+            "y",
+            eq(var("y").field("color"), str_lit("red")),
+            table("PART"),
+        );
         let e = select(
             "x",
-            exists("y", range.clone(), member(var("y").field("pid"), var("x").field("parts"))),
+            exists(
+                "y",
+                range.clone(),
+                member(var("y").field("pid"), var("x").field("parts")),
+            ),
             table("SUPPLIER"),
         );
         let out = apply(&UnnestExists, &e).unwrap();
-        assert!(matches!(out, Expr::Join { kind: JoinKind::Semi, .. }));
+        assert!(matches!(
+            out,
+            Expr::Join {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn chained_quantifiers_unnest_one_at_a_time() {
         let q1 = exists("y", table("Y"), eq(var("y"), var("x").field("a")));
-        let q2 = exists("w", table("PART"), eq(var("w").field("pid"), var("x").field("b")));
+        let q2 = exists(
+            "w",
+            table("PART"),
+            eq(var("w").field("pid"), var("x").field("b")),
+        );
         let e = select("x", and(q1, q2.clone()), table("X"));
         let once = apply(&UnnestExists, &e).unwrap();
         // first quantifier became a semijoin, second still pending
-        let Expr::Select { pred, input, .. } = &once else { panic!("{once}") };
+        let Expr::Select { pred, input, .. } = &once else {
+            panic!("{once}")
+        };
         assert_eq!(**pred, q2);
-        assert!(matches!(input.as_ref(), Expr::Join { kind: JoinKind::Semi, .. }));
+        assert!(matches!(
+            input.as_ref(),
+            Expr::Join {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
         let twice = apply(&UnnestExists, &once).unwrap();
-        assert!(matches!(twice, Expr::Join { kind: JoinKind::Semi, .. }));
+        assert!(matches!(
+            twice,
+            Expr::Join {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
     }
 
     use oodb_adl::expr::Expr;

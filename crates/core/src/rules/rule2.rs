@@ -20,15 +20,27 @@ impl Rule for MapJoin {
 
     fn apply(&self, e: &Expr, _: &RewriteCtx<'_>) -> Option<Expr> {
         let Expr::Flatten(inner) = e else { return None };
-        let Expr::Map { var: x, body, input: left } = inner.as_ref() else {
+        let Expr::Map {
+            var: x,
+            body,
+            input: left,
+        } = inner.as_ref()
+        else {
             return None;
         };
-        let Expr::Map { var: y, body: concat, input: right } = body.as_ref() else {
+        let Expr::Map {
+            var: y,
+            body: concat,
+            input: right,
+        } = body.as_ref()
+        else {
             return None;
         };
         // the inner body must be exactly x ∘ y (in either order — tuple
         // concatenation is commutative in our canonical representation)
-        let Expr::Concat(a, b) = concat.as_ref() else { return None };
+        let Expr::Concat(a, b) = concat.as_ref() else {
+            return None;
+        };
         let is_xy = matches!(
             (a.as_ref(), b.as_ref()),
             (Expr::Var(va), Expr::Var(vb)) if (va == x && vb == y) || (va == y && vb == x)
@@ -38,7 +50,11 @@ impl Rule for MapJoin {
         }
         // split an optional selection off the right operand
         let (pred, base) = match right.as_ref() {
-            Expr::Select { var: sv, pred, input: base } => {
+            Expr::Select {
+                var: sv,
+                pred,
+                input: base,
+            } => {
                 let p = if sv == y {
                     (**pred).clone()
                 } else {
@@ -80,7 +96,11 @@ mod tests {
         let p = eq(var("x").field("a"), var("y").field("d"));
         let e = flatten(map(
             "x",
-            map("y", concat(var("x"), var("y")), select("y", p.clone(), table("Y"))),
+            map(
+                "y",
+                concat(var("x"), var("y")),
+                select("y", p.clone(), table("Y")),
+            ),
             table("X"),
         ));
         let out = apply(&e).unwrap();
@@ -121,11 +141,7 @@ mod tests {
 
     #[test]
     fn other_bodies_rejected() {
-        let e = flatten(map(
-            "x",
-            map("y", var("y"), table("Y")),
-            table("X"),
-        ));
+        let e = flatten(map("x", map("y", var("y"), table("Y")), table("X")));
         assert!(apply(&e).is_none());
     }
 

@@ -14,20 +14,20 @@
 //! > 4. If none of the above works, leave the query as it is, which means
 //! >    that it is executed by means of nested loops."
 
+use crate::rules::setcmp::SetCmpToQuant;
 use crate::rules::{
     attr_unnest::AttrUnnest,
     hoist::{HoistUncorrelated, LetUp},
     nestjoin::{NestJoinMap, NestJoinSelect},
     normalize::{
-        ForallToNotExists, IdentityMap, MergeSelects, PredToQuant, PushNegation,
-        SimplifyBool,
+        ForallToNotExists, IdentityMap, MergeSelects, PredToQuant, PushNegation, SimplifyBool,
     },
     range::{ExistsExchange, QuantSplitIndependent, QuantToMember, RangeExtract},
+    rewrite_fixpoint,
     rule1::{UnnestExists, UnnestNotExists},
     rule2::MapJoin,
-    rewrite_fixpoint, RewriteCtx, Rule,
+    RewriteCtx, Rule,
 };
-use crate::rules::setcmp::SetCmpToQuant;
 use crate::trace::RewriteTrace;
 use crate::RewriteError;
 use oodb_adl::expr::Expr;
@@ -76,10 +76,7 @@ impl Optimizer {
         let ctx = RewriteCtx { catalog };
         let mut trace = RewriteTrace::new();
         let original_ty = if self.verify_types {
-            Some(
-                oodb_adl::infer_closed(e, catalog)
-                    .map_err(RewriteError::Type)?,
-            )
+            Some(oodb_adl::infer_closed(e, catalog).map_err(RewriteError::Type)?)
         } else {
             None
         };
@@ -189,11 +186,19 @@ pub fn nested_table_score(e: &Expr) -> usize {
                 score += walk(pred, true) + walk(input, in_param);
                 return score;
             }
-            Expr::Join { pred, left, right, .. } => {
+            Expr::Join {
+                pred, left, right, ..
+            } => {
                 score += walk(pred, true) + walk(left, in_param) + walk(right, in_param);
                 return score;
             }
-            Expr::NestJoin { pred, rfunc, left, right, .. } => {
+            Expr::NestJoin {
+                pred,
+                rfunc,
+                left,
+                right,
+                ..
+            } => {
                 score += walk(pred, true)
                     + rfunc.as_ref().map_or(0, |g| walk(g, true))
                     + walk(left, in_param)
@@ -228,7 +233,9 @@ mod tests {
     use oodb_value::SetCmpOp;
 
     fn optimize(e: &Expr) -> Optimized {
-        Optimizer::default().optimize(e, &supplier_part_catalog()).unwrap()
+        Optimizer::default()
+            .optimize(e, &supplier_part_catalog())
+            .unwrap()
     }
 
     /// Example Query 5's nested translation.
@@ -258,7 +265,10 @@ mod tests {
         assert!(out.trace.fired("rule1-exists"));
         assert!(matches!(
             out.expr,
-            Expr::Join { kind: oodb_adl::JoinKind::Semi, .. }
+            Expr::Join {
+                kind: oodb_adl::JoinKind::Semi,
+                ..
+            }
         ));
         assert_eq!(nested_table_score(&out.expr), 0);
         // semantics preserved
@@ -288,9 +298,18 @@ mod tests {
         assert!(out.trace.fired("setcmp-to-quant"));
         assert!(out.trace.fired("range-extract"));
         assert!(out.trace.fired("rule1-exists"));
-        assert!(matches!(out.expr, Expr::Join { kind: oodb_adl::JoinKind::Semi, .. }));
+        assert!(matches!(
+            out.expr,
+            Expr::Join {
+                kind: oodb_adl::JoinKind::Semi,
+                ..
+            }
+        ));
         let ev = Evaluator::new(&db);
-        assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+        assert_eq!(
+            ev.eval_closed(&out.expr).unwrap(),
+            ev.eval_closed(&e).unwrap()
+        );
     }
 
     #[test]
@@ -309,9 +328,18 @@ mod tests {
         let db = figure12_db();
         let out = Optimizer::default().optimize(&e, db.catalog()).unwrap();
         assert!(out.trace.fired("rule1-not-exists"));
-        assert!(matches!(out.expr, Expr::Join { kind: oodb_adl::JoinKind::Anti, .. }));
+        assert!(matches!(
+            out.expr,
+            Expr::Join {
+                kind: oodb_adl::JoinKind::Anti,
+                ..
+            }
+        ));
         let ev = Evaluator::new(&db);
-        assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+        assert_eq!(
+            ev.eval_closed(&out.expr).unwrap(),
+            ev.eval_closed(&e).unwrap()
+        );
     }
 
     #[test]
@@ -323,7 +351,11 @@ mod tests {
                 exists(
                     "z",
                     var("s").field("parts"),
-                    not(exists("p", table("PART"), eq(var("z"), var("p").field("pid")))),
+                    not(exists(
+                        "p",
+                        table("PART"),
+                        eq(var("z"), var("p").field("pid")),
+                    )),
                 ),
                 table("SUPPLIER"),
             ),
@@ -332,14 +364,22 @@ mod tests {
         assert!(out.trace.fired("attr-unnest"));
         assert!(out.trace.fired("rule1-not-exists"));
         // π_eid(μ_parts(SUPPLIER) ▷ PART)
-        let Expr::Project { input, .. } = &out.expr else { panic!("{}", out.expr) };
+        let Expr::Project { input, .. } = &out.expr else {
+            panic!("{}", out.expr)
+        };
         assert!(matches!(
             input.as_ref(),
-            Expr::Join { kind: oodb_adl::JoinKind::Anti, .. }
+            Expr::Join {
+                kind: oodb_adl::JoinKind::Anti,
+                ..
+            }
         ));
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+        assert_eq!(
+            ev.eval_closed(&out.expr).unwrap(),
+            ev.eval_closed(&e).unwrap()
+        );
         assert_eq!(nested_table_score(&out.expr), 0);
     }
 
@@ -348,7 +388,11 @@ mod tests {
         let sub = map(
             "y",
             var("y").field("e"),
-            select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+            select(
+                "y",
+                eq(var("x").field("a"), var("y").field("d")),
+                table("Y"),
+            ),
         );
         let e = select(
             "x",
@@ -360,7 +404,10 @@ mod tests {
         assert!(out.trace.fired("nestjoin-select"));
         assert_eq!(nested_table_score(&out.expr), 0);
         let ev = Evaluator::new(&db);
-        assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+        assert_eq!(
+            ev.eval_closed(&out.expr).unwrap(),
+            ev.eval_closed(&e).unwrap()
+        );
     }
 
     #[test]
@@ -369,7 +416,11 @@ mod tests {
         let sub = flatten(map(
             "t",
             var("t").field("parts"),
-            select("t", eq(var("t").field("sname"), str_lit("s1")), table("SUPPLIER")),
+            select(
+                "t",
+                eq(var("t").field("sname"), str_lit("s1")),
+                table("SUPPLIER"),
+            ),
         ));
         let e = select(
             "s",
@@ -395,7 +446,11 @@ mod tests {
             "s",
             forall(
                 "p",
-                select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+                select(
+                    "p",
+                    eq(var("p").field("color"), str_lit("red")),
+                    table("PART"),
+                ),
                 member(var("p").field("pid"), var("s").field("parts")),
             ),
             table("SUPPLIER"),
@@ -403,7 +458,13 @@ mod tests {
         let out = optimize(&e);
         assert!(out.trace.fired("forall-to-not-exists"));
         assert!(out.trace.fired("rule1-not-exists"));
-        assert!(matches!(out.expr, Expr::Join { kind: oodb_adl::JoinKind::Anti, .. }));
+        assert!(matches!(
+            out.expr,
+            Expr::Join {
+                kind: oodb_adl::JoinKind::Anti,
+                ..
+            }
+        ));
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
         let v = ev.eval_closed(&out.expr).unwrap();
@@ -423,7 +484,10 @@ mod tests {
         );
         let e = map(
             "s",
-            tuple(vec![("sname", var("s").field("sname")), ("partssuppl", sub)]),
+            tuple(vec![
+                ("sname", var("s").field("sname")),
+                ("partssuppl", sub),
+            ]),
             table("SUPPLIER"),
         );
         let out = optimize(&e);
@@ -431,7 +495,10 @@ mod tests {
         assert_eq!(nested_table_score(&out.expr), 0);
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+        assert_eq!(
+            ev.eval_closed(&out.expr).unwrap(),
+            ev.eval_closed(&e).unwrap()
+        );
     }
 
     #[test]
@@ -461,11 +528,7 @@ mod tests {
         assert_eq!(nested_table_score(&table("PART")), 0);
         let flat = semijoin("a", "b", Expr::true_(), table("X"), table("Y"));
         assert_eq!(nested_table_score(&flat), 0);
-        let in_pred = select(
-            "x",
-            exists("y", table("Y"), Expr::true_()),
-            table("X"),
-        );
+        let in_pred = select("x", exists("y", table("Y"), Expr::true_()), table("X"));
         assert_eq!(nested_table_score(&in_pred), 1);
     }
 

@@ -140,7 +140,7 @@ pub fn generate(config: &GenConfig) -> Database {
                 ("quantity", Value::Int(rng.gen_range(1..=500))),
             ]));
         }
-        let date = 940100 + rng.gen_range(1..=28);
+        let date = 940100 + rng.gen_range(1i64..=28);
         db.insert(
             "DELIVERY",
             Tuple::from_pairs([
@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let c = GenConfig { parts: 50, suppliers: 20, deliveries: 10, ..Default::default() };
+        let c = GenConfig {
+            parts: 50,
+            suppliers: 20,
+            deliveries: 10,
+            ..Default::default()
+        };
         let a = generate(&c);
         let b = generate(&c);
         assert_eq!(a.object_count(), b.object_count());
@@ -175,8 +180,17 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let c1 = GenConfig { parts: 50, suppliers: 20, deliveries: 10, seed: 1, ..Default::default() };
-        let c2 = GenConfig { seed: 2, ..c1.clone() };
+        let c1 = GenConfig {
+            parts: 50,
+            suppliers: 20,
+            deliveries: 10,
+            seed: 1,
+            ..Default::default()
+        };
+        let c2 = GenConfig {
+            seed: 2,
+            ..c1.clone()
+        };
         let a = generate(&c1);
         let b = generate(&c2);
         let differs = a
@@ -190,7 +204,12 @@ mod tests {
 
     #[test]
     fn cardinalities_match_config() {
-        let c = GenConfig { parts: 123, suppliers: 45, deliveries: 6, ..Default::default() };
+        let c = GenConfig {
+            parts: 123,
+            suppliers: 45,
+            deliveries: 6,
+            ..Default::default()
+        };
         let db = generate(&c);
         assert_eq!(db.table("PART").unwrap().len(), 123);
         assert_eq!(db.table("SUPPLIER").unwrap().len(), 45);
@@ -254,7 +273,10 @@ mod tests {
         let c = GenConfig::scaled(1000);
         assert_eq!(c.parts, 500);
         assert_eq!(c.suppliers, 250);
-        let db = generate(&GenConfig { deliveries: 5, ..GenConfig::scaled(40) });
+        let db = generate(&GenConfig {
+            deliveries: 5,
+            ..GenConfig::scaled(40)
+        });
         assert_eq!(db.table("PART").unwrap().len(), 20);
     }
 }

@@ -90,9 +90,19 @@ impl Env {
         self.stack.pop();
     }
 
+    /// Pops and returns the innermost binding (lets the streaming `let`
+    /// operator move its bound value back out instead of cloning it).
+    pub fn pop_binding(&mut self) -> Option<(Name, Value)> {
+        self.stack.pop()
+    }
+
     /// Innermost binding for `var`.
     pub fn get(&self, var: &str) -> Option<&Value> {
-        self.stack.iter().rev().find(|(n, _)| n.as_ref() == var).map(|(_, v)| v)
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n.as_ref() == var)
+            .map(|(_, v)| v)
     }
 
     /// Iterates visible bindings, innermost last.
@@ -134,12 +144,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates `e` under `env`.
-    pub fn eval(
-        &self,
-        e: &Expr,
-        env: &mut Env,
-        stats: &mut Stats,
-    ) -> Result<Value, EvalError> {
+    pub fn eval(&self, e: &Expr, env: &mut Env, stats: &mut Stats) -> Result<Value, EvalError> {
         use Expr::*;
         match e {
             Lit(v) => Ok(v.clone()),
@@ -317,7 +322,11 @@ impl<'a> Evaluator<'a> {
                 let v = self.eval(input, env, stats)?;
                 unnest_set(v.as_set()?, attr)
             }
-            Nest { attrs, as_attr, input } => {
+            Nest {
+                attrs,
+                as_attr,
+                input,
+            } => {
                 let v = self.eval(input, env, stats)?;
                 nest_set(v.as_set()?, attrs, as_attr)
             }
@@ -334,12 +343,37 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(Value::Set(Set::from_values(out)))
             }
-            Join { kind, lvar, rvar, pred, left, right } => {
+            Join {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                left,
+                right,
+            } => {
                 let vl = self.eval(left, env, stats)?;
                 let vr = self.eval(right, env, stats)?;
-                self.nl_join(*kind, lvar, rvar, pred, vl.as_set()?, vr.as_set()?, e, env, stats)
+                self.nl_join(
+                    *kind,
+                    lvar,
+                    rvar,
+                    pred,
+                    vl.as_set()?,
+                    vr.as_set()?,
+                    e,
+                    env,
+                    stats,
+                )
             }
-            NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+            NestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => {
                 let vl = self.eval(left, env, stats)?;
                 let vr = self.eval(right, env, stats)?;
                 let (sl, sr) = (vl.as_set()?, vr.as_set()?);
@@ -374,7 +408,12 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(Value::Set(Set::from_values(out)))
             }
-            Quant { q, var, range, pred } => {
+            Quant {
+                q,
+                var,
+                range,
+                pred,
+            } => {
                 let v = self.eval(range, env, stats)?;
                 let s = v.into_set()?;
                 for elem in s {
@@ -435,9 +474,7 @@ impl<'a> Evaluator<'a> {
                     matched = true;
                     match kind {
                         JoinKind::Inner | JoinKind::LeftOuter => {
-                            out.push(Value::Tuple(
-                                x.as_tuple()?.concat(y.as_tuple()?)?,
-                            ));
+                            out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?));
                         }
                         JoinKind::Semi => break,
                         JoinKind::Anti => break,
@@ -487,9 +524,8 @@ impl<'a> Evaluator<'a> {
                 rhs: e.to_string(),
             })
         })?;
-        t.sch().ok_or_else(|| {
-            EvalError::Value(ValueError::NotASet(right.to_string()))
-        })
+        t.sch()
+            .ok_or_else(|| EvalError::Value(ValueError::NotASet(right.to_string())))
     }
 }
 
@@ -500,23 +536,29 @@ impl<'a> Evaluator<'a> {
 pub fn unnest_set(s: &Set, attr: &Name) -> Result<Value, EvalError> {
     let mut out = Vec::new();
     for x in s.iter() {
-        let t = x.as_tuple()?;
-        let inner = t.field(attr)?.as_set()?.clone();
-        let rest = t.without(attr);
-        for x_prime in inner.iter() {
-            match x_prime {
-                // paper def. 7: tuple elements are concatenated with the rest
-                Value::Tuple(tp) => out.push(Value::Tuple(tp.concat(&rest)?)),
-                // generalized μ: an atomic element replaces the attribute
-                atom => {
-                    let wrapped =
-                        Tuple::from_pairs([(attr.as_ref(), atom.clone())]);
-                    out.push(Value::Tuple(wrapped.concat(&rest)?));
-                }
+        unnest_value(x, attr, &mut out)?;
+    }
+    Ok(Value::Set(Set::from_values(out)))
+}
+
+/// `μ_a` of a single tuple, appending the flattened records to `out`
+/// (the per-row step the streaming pipeline maps over batches).
+pub fn unnest_value(x: &Value, attr: &Name, out: &mut Vec<Value>) -> Result<(), EvalError> {
+    let t = x.as_tuple()?;
+    let inner = t.field(attr)?.as_set()?.clone();
+    let rest = t.without(attr);
+    for x_prime in inner.iter() {
+        match x_prime {
+            // paper def. 7: tuple elements are concatenated with the rest
+            Value::Tuple(tp) => out.push(Value::Tuple(tp.concat(&rest)?)),
+            // generalized μ: an atomic element replaces the attribute
+            atom => {
+                let wrapped = Tuple::from_pairs([(attr.as_ref(), atom.clone())]);
+                out.push(Value::Tuple(wrapped.concat(&rest)?));
             }
         }
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(())
 }
 
 /// `ν_{A→a}` on a concrete set (paper def. 8): group on `B = SCH ∖ A`,
@@ -696,7 +738,11 @@ mod tests {
         let q = map(
             "p",
             var("p").field("pname"),
-            select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+            select(
+                "p",
+                eq(var("p").field("color"), str_lit("red")),
+                table("PART"),
+            ),
         );
         let v = ev.eval_closed(&q).unwrap();
         assert_eq!(names_of(&v), vec!["bolt", "gear", "screw"]);
@@ -769,7 +815,11 @@ mod tests {
                 exists(
                     "x",
                     var("s").field("parts"),
-                    not(exists("p", table("PART"), eq(var("x"), var("p").field("pid")))),
+                    not(exists(
+                        "p",
+                        table("PART"),
+                        eq(var("x"), var("p").field("pid")),
+                    )),
                 ),
                 table("SUPPLIER"),
             ),
@@ -786,12 +836,20 @@ mod tests {
         let q = map(
             "s",
             var("s").field("sname"),
-            select("s", forall("x", var("s").field("parts"), Expr::false_()), table("SUPPLIER")),
+            select(
+                "s",
+                forall("x", var("s").field("parts"), Expr::false_()),
+                table("SUPPLIER"),
+            ),
         );
         let v = ev.eval_closed(&q).unwrap();
         assert_eq!(names_of(&v), vec!["s4"]);
         // ∃ over empty delivers false (paper §4)
-        let q2 = select("s", exists("x", var("s").field("parts"), Expr::true_()), table("SUPPLIER"));
+        let q2 = select(
+            "s",
+            exists("x", var("s").field("parts"), Expr::true_()),
+            table("SUPPLIER"),
+        );
         let v2 = ev.eval_closed(&q2).unwrap();
         assert_eq!(v2.as_set().unwrap().len(), 4);
     }
@@ -819,16 +877,22 @@ mod tests {
             .iter()
             .find(|r| r.as_tuple().unwrap().get("a") == Some(&Value::Int(3)))
             .unwrap();
-        assert_eq!(
-            x3.as_tuple().unwrap().get("ys"),
-            Some(&Value::empty_set())
-        );
+        assert_eq!(x3.as_tuple().unwrap().get("ys"), Some(&Value::empty_set()));
         // x₁ and x₂ (b = 1) each collect both y-tuples with d = 1
         let x1 = rows
             .iter()
             .find(|r| r.as_tuple().unwrap().get("a") == Some(&Value::Int(1)))
             .unwrap();
-        assert_eq!(x1.as_tuple().unwrap().get("ys").unwrap().as_set().unwrap().len(), 2);
+        assert_eq!(
+            x1.as_tuple()
+                .unwrap()
+                .get("ys")
+                .unwrap()
+                .as_set()
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]
@@ -837,7 +901,10 @@ mod tests {
         let db = figure3_db(); // reuse any db; operate on literals
         let ev = Evaluator::new(&db);
         let x = Expr::Lit(Value::set([
-            Value::tuple([("a", Value::Int(1)), ("c", Value::set([Value::tuple([("e", Value::Int(7))])]))]),
+            Value::tuple([
+                ("a", Value::Int(1)),
+                ("c", Value::set([Value::tuple([("e", Value::Int(7))])])),
+            ]),
             Value::tuple([("a", Value::Int(2)), ("c", Value::empty_set())]),
         ]));
         let roundtrip = nest(&["e"], "c", unnest("c", x.clone()));
@@ -885,8 +952,16 @@ mod tests {
         // dereferencing s5's dangling part pointer fails loudly
         let bad = map(
             "s",
-            map("x", deref(var("x"), "Part").field("pname"), var("s").field("parts")),
-            select("s", eq(var("s").field("sname"), str_lit("s5")), table("SUPPLIER")),
+            map(
+                "x",
+                deref(var("x"), "Part").field("pname"),
+                var("s").field("parts"),
+            ),
+            select(
+                "s",
+                eq(var("s").field("sname"), str_lit("s5")),
+                table("SUPPLIER"),
+            ),
         );
         assert!(matches!(
             ev.eval_closed(&bad),
@@ -895,7 +970,7 @@ mod tests {
     }
 
     #[test]
-    fn division_computes_universal(){
+    fn division_computes_universal() {
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
         // deliveries-by-part ÷ parts-delivered-by-d1 : which deliveries
@@ -905,7 +980,14 @@ mod tests {
             &["part"],
             unnest(
                 "supply",
-                select("d", eq(var("d").field("did"), Expr::Lit(Value::Oid(oodb_value::Oid(21)))), table("DELIVERY")),
+                select(
+                    "d",
+                    eq(
+                        var("d").field("did"),
+                        Expr::Lit(Value::Oid(oodb_value::Oid(21))),
+                    ),
+                    table("DELIVERY"),
+                ),
             ),
         );
         let q = div(pairs, d1_parts);
@@ -918,14 +1000,19 @@ mod tests {
     fn aggregates_work() {
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        assert_eq!(ev.eval_closed(&count(table("PART"))).unwrap(), Value::Int(7));
+        assert_eq!(
+            ev.eval_closed(&count(table("PART"))).unwrap(),
+            Value::Int(7)
+        );
         let prices = map("p", var("p").field("price"), table("PART"));
         assert_eq!(
-            ev.eval_closed(&agg(oodb_adl::AggOp::Min, prices.clone())).unwrap(),
+            ev.eval_closed(&agg(oodb_adl::AggOp::Min, prices.clone()))
+                .unwrap(),
             Value::Int(1)
         );
         assert_eq!(
-            ev.eval_closed(&agg(oodb_adl::AggOp::Max, prices.clone())).unwrap(),
+            ev.eval_closed(&agg(oodb_adl::AggOp::Max, prices.clone()))
+                .unwrap(),
             Value::Int(50)
         );
         // sum over distinct prices (sets dedupe!)
@@ -946,7 +1033,11 @@ mod tests {
         let mut stats = Stats::new();
         let q = select(
             "s",
-            exists("p", table("PART"), eq(var("p").field("pid"), var("s").field("eid"))),
+            exists(
+                "p",
+                table("PART"),
+                eq(var("p").field("pid"), var("s").field("eid")),
+            ),
             table("SUPPLIER"),
         );
         ev.eval_closed_with(&q, &mut stats).unwrap();

@@ -37,8 +37,30 @@ pub fn assemble(
     db.catalog()
         .class(class)
         .ok_or_else(|| EvalError::UnknownClass(class.clone()))?;
-    let mut out = Vec::with_capacity(s.len());
-    for x in s.iter() {
+    Ok(Value::Set(Set::from_values(assemble_batch(
+        s.as_slice(),
+        attr,
+        class,
+        set_valued,
+        db,
+        stats,
+    )?)))
+}
+
+/// [`assemble`] over one batch of rows: pointer dereferencing is
+/// per-tuple work, so the streaming pipeline maps batches through this
+/// without materializing its input. The caller is responsible for
+/// checking that `class` exists.
+pub fn assemble_batch(
+    batch: &[Value],
+    attr: &Name,
+    class: &Name,
+    set_valued: bool,
+    db: &Database,
+    stats: &mut Stats,
+) -> Result<Vec<Value>, EvalError> {
+    let mut out = Vec::with_capacity(batch.len());
+    for x in batch {
         let t = x.as_tuple()?;
         let v = t.field(attr)?;
         let new_val = if set_valued {
@@ -66,10 +88,11 @@ pub fn assemble(
             }
         };
         out.push(Value::Tuple(
-            t.except(&[(attr.clone(), new_val)]).map_err(EvalError::Value)?,
+            t.except(&[(attr.clone(), new_val)])
+                .map_err(EvalError::Value)?,
         ));
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -80,10 +103,22 @@ mod tests {
     #[test]
     fn assembles_single_references() {
         let db = supplier_part_db();
-        let deliveries = db.table("DELIVERY").unwrap().as_set_value().into_set().unwrap();
-        let mut stats = Stats::new();
-        let v = assemble(&deliveries, &"supplier".into(), &"Supplier".into(), false, &db, &mut stats)
+        let deliveries = db
+            .table("DELIVERY")
+            .unwrap()
+            .as_set_value()
+            .into_set()
             .unwrap();
+        let mut stats = Stats::new();
+        let v = assemble(
+            &deliveries,
+            &"supplier".into(),
+            &"Supplier".into(),
+            false,
+            &db,
+            &mut stats,
+        )
+        .unwrap();
         for row in v.as_set().unwrap().iter() {
             let sup = row.as_tuple().unwrap().get("supplier").unwrap();
             assert!(sup.as_tuple().unwrap().get("sname").is_some());
@@ -94,10 +129,22 @@ mod tests {
     #[test]
     fn assembles_set_references_dropping_dangling() {
         let db = supplier_part_db();
-        let suppliers = db.table("SUPPLIER").unwrap().as_set_value().into_set().unwrap();
-        let mut stats = Stats::new();
-        let v = assemble(&suppliers, &"parts".into(), &"Part".into(), true, &db, &mut stats)
+        let suppliers = db
+            .table("SUPPLIER")
+            .unwrap()
+            .as_set_value()
+            .into_set()
             .unwrap();
+        let mut stats = Stats::new();
+        let v = assemble(
+            &suppliers,
+            &"parts".into(),
+            &"Part".into(),
+            true,
+            &db,
+            &mut stats,
+        )
+        .unwrap();
         let s5 = v
             .as_set()
             .unwrap()
@@ -105,7 +152,13 @@ mod tests {
             .find(|r| r.as_tuple().unwrap().get("sname") == Some(&Value::str("s5")))
             .unwrap();
         // s5 referenced {@17, @999}: the dangling @999 is dropped
-        let parts = s5.as_tuple().unwrap().get("parts").unwrap().as_set().unwrap();
+        let parts = s5
+            .as_tuple()
+            .unwrap()
+            .get("parts")
+            .unwrap()
+            .as_set()
+            .unwrap();
         assert_eq!(parts.len(), 1);
         // 2+2+4+0+2 pointers +? s1{3} s2{2} s3{4} s4{0} s5{2} = 11
         assert_eq!(stats.oid_lookups, 11);
@@ -119,9 +172,15 @@ mod tests {
             ("k", Value::Int(1)),
         ])]);
         let mut stats = Stats::new();
-        let err =
-            assemble(&fake, &"supplier".into(), &"Supplier".into(), false, &db, &mut stats)
-                .unwrap_err();
+        let err = assemble(
+            &fake,
+            &"supplier".into(),
+            &"Supplier".into(),
+            false,
+            &db,
+            &mut stats,
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::DanglingPointer { .. }));
     }
 
@@ -129,8 +188,15 @@ mod tests {
     fn unknown_class_errors() {
         let db = supplier_part_db();
         let mut stats = Stats::new();
-        let err = assemble(&Set::empty(), &"x".into(), &"Nope".into(), false, &db, &mut stats)
-            .unwrap_err();
+        let err = assemble(
+            &Set::empty(),
+            &"x".into(),
+            &"Nope".into(),
+            false,
+            &db,
+            &mut stats,
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::UnknownClass(_)));
     }
 }

@@ -81,7 +81,9 @@ fn residual_holds(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<bool, EvalError> {
-    let Some(pred) = residual else { return Ok(true) };
+    let Some(pred) = residual else {
+        return Ok(true);
+    };
     stats.predicate_evals += 1;
     env.push(lvar, x.clone());
     env.push(rvar, y.clone());
@@ -93,10 +95,119 @@ fn residual_holds(
 
 fn null_pad(x: &Value, right_attrs: &[Name]) -> Result<Value, EvalError> {
     let mut padded = x.as_tuple()?.clone();
-    let updates: Vec<(Name, Value)> =
-        right_attrs.iter().map(|a| (a.clone(), Value::Null)).collect();
+    let updates: Vec<(Name, Value)> = right_attrs
+        .iter()
+        .map(|a| (a.clone(), Value::Null))
+        .collect();
     padded = padded.except(&updates).map_err(EvalError::Value)?;
     Ok(Value::Tuple(padded))
+}
+
+/// A built hash table over the right (build) side of an equi-join,
+/// keyed by the evaluated key vector. Generic over row ownership: the
+/// streaming pipeline moves owned rows in (`V = Value`, so the table
+/// outlives any one probe batch), while the materialized entry points
+/// borrow their input set (`V = &Value`, zero copies).
+pub struct JoinHashTable<V = Value> {
+    map: FxHashMap<Vec<Value>, Vec<V>>,
+}
+
+impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
+    /// Build phase: hashes every build row under its key vector.
+    pub fn build(
+        rkeys: &[Expr],
+        rvar: &Name,
+        rows: impl IntoIterator<Item = V>,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Self, EvalError> {
+        let mut map: FxHashMap<Vec<Value>, Vec<V>> = FxHashMap::default();
+        for y in rows {
+            let key = eval_keys(rkeys, rvar, y.borrow(), ev, env, stats)?;
+            stats.hash_build_rows += 1;
+            map.entry(key).or_default().push(y);
+        }
+        Ok(JoinHashTable { map })
+    }
+
+    /// Probe phase over one batch of left rows, producing output rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_batch(
+        &self,
+        kind: JoinKind,
+        lvar: &Name,
+        rvar: &Name,
+        lkeys: &[Expr],
+        residual: Option<&Expr>,
+        right_attrs: &[Name],
+        batch: &[Value],
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        let mut out = Vec::new();
+        for x in batch {
+            let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
+            stats.hash_probes += 1;
+            let mut matched = false;
+            if let Some(candidates) = self.map.get(&key) {
+                for y in candidates {
+                    let y = y.borrow();
+                    if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                        matched = true;
+                        match kind {
+                            JoinKind::Inner | JoinKind::LeftOuter => {
+                                out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?))
+                            }
+                            JoinKind::Semi | JoinKind::Anti => break,
+                        }
+                    }
+                }
+            }
+            match kind {
+                JoinKind::Semi if matched => out.push(x.clone()),
+                JoinKind::Anti if !matched => out.push(x.clone()),
+                JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Nestjoin probe over one batch: every left row yields exactly one
+    /// output row carrying its (possibly empty) group.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_nest_batch(
+        &self,
+        lvar: &Name,
+        rvar: &Name,
+        lkeys: &[Expr],
+        residual: Option<&Expr>,
+        rfunc: Option<&Expr>,
+        as_attr: &Name,
+        batch: &[Value],
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        let mut out = Vec::with_capacity(batch.len());
+        for x in batch {
+            let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
+            stats.hash_probes += 1;
+            let mut group = Vec::new();
+            if let Some(candidates) = self.map.get(&key) {
+                for y in candidates {
+                    let y = y.borrow();
+                    if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                        group.push(collect_right(rfunc, rvar, y, ev, env, stats)?);
+                    }
+                }
+            }
+            out.push(with_group(x, as_attr, group)?);
+        }
+        Ok(out)
+    }
 }
 
 /// Classic hash join: build on the right, probe with the left.
@@ -115,40 +226,179 @@ pub fn hash_join(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
-    // Build phase.
-    let mut table: FxHashMap<Vec<Value>, Vec<&Value>> = FxHashMap::default();
-    for y in right.iter() {
-        let key = eval_keys(rkeys, rvar, y, ev, env, stats)?;
-        stats.hash_build_rows += 1;
-        table.entry(key).or_default().push(y);
-    }
-    // Probe phase.
-    let mut out = Vec::new();
-    for x in left.iter() {
-        let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
-        stats.hash_probes += 1;
-        let mut matched = false;
-        if let Some(candidates) = table.get(&key) {
-            for y in candidates {
-                if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
-                    matched = true;
-                    match kind {
-                        JoinKind::Inner | JoinKind::LeftOuter => out.push(
-                            Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?),
-                        ),
-                        JoinKind::Semi | JoinKind::Anti => break,
+    let table = JoinHashTable::build(rkeys, rvar, right.iter(), ev, env, stats)?;
+    let out = table.probe_batch(
+        kind,
+        lvar,
+        rvar,
+        lkeys,
+        residual,
+        right_attrs,
+        left.as_slice(),
+        ev,
+        env,
+        stats,
+    )?;
+    Ok(Value::Set(Set::from_values(out)))
+}
+
+/// A built hash table for membership joins: right rows are stored once
+/// and indexed by key (for `RightInLeftSet`, `rkey(y)`; for
+/// `LeftInRightSet`, every element of `rset(y)`). Row *indices* in the
+/// multimap make the per-left-tuple dedupe exact even though the rows
+/// are owned.
+pub struct MemberHashTable<V = Value> {
+    rows: Vec<V>,
+    index: FxHashMap<Value, Vec<usize>>,
+}
+
+impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
+    /// Build phase over the right rows (generic over row ownership,
+    /// like [`JoinHashTable::build`]).
+    pub fn build(
+        shape: &MemberShape,
+        rvar: &Name,
+        right_rows: impl IntoIterator<Item = V>,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Self, EvalError> {
+        let mut rows = Vec::new();
+        let mut index: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+        for y in right_rows {
+            let yi = rows.len();
+            match shape {
+                MemberShape::RightInLeftSet { rkey, .. } => {
+                    let k = eval_under(rkey, rvar, y.borrow(), ev, env, stats)?;
+                    stats.hash_build_rows += 1;
+                    index.entry(k).or_default().push(yi);
+                }
+                MemberShape::LeftInRightSet { rset, .. } => {
+                    let s = eval_under(rset, rvar, y.borrow(), ev, env, stats)?;
+                    for elem in s.as_set()?.iter() {
+                        stats.hash_build_rows += 1;
+                        index.entry(elem.clone()).or_default().push(yi);
                     }
                 }
             }
+            rows.push(y);
         }
-        match kind {
-            JoinKind::Semi if matched => out.push(x.clone()),
-            JoinKind::Anti if !matched => out.push(x.clone()),
-            JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
-            _ => {}
-        }
+        Ok(MemberHashTable { rows, index })
     }
-    Ok(Value::Set(Set::from_values(out)))
+
+    /// The probe keys one left tuple contributes.
+    fn probe_keys(
+        &self,
+        shape: &MemberShape,
+        lvar: &Name,
+        x: &Value,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        Ok(match shape {
+            MemberShape::RightInLeftSet { lset, .. } => {
+                let s = eval_under(lset, lvar, x, ev, env, stats)?;
+                s.as_set()?.iter().cloned().collect()
+            }
+            MemberShape::LeftInRightSet { lkey, .. } => {
+                vec![eval_under(lkey, lvar, x, ev, env, stats)?]
+            }
+        })
+    }
+
+    /// Probe phase over one batch of left rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_batch(
+        &self,
+        kind: JoinKind,
+        lvar: &Name,
+        rvar: &Name,
+        shape: &MemberShape,
+        residual: Option<&Expr>,
+        right_attrs: &[Name],
+        batch: &[Value],
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        let mut out = Vec::new();
+        for x in batch {
+            let probes = self.probe_keys(shape, lvar, x, ev, env, stats)?;
+            let mut matched = false;
+            let mut seen: Vec<usize> = Vec::new();
+            'probe: for p in &probes {
+                stats.hash_probes += 1;
+                if let Some(candidates) = self.index.get(p) {
+                    for &yi in candidates {
+                        // A right tuple may match through several
+                        // elements — dedupe per left tuple.
+                        if seen.contains(&yi) {
+                            continue;
+                        }
+                        let y = self.rows[yi].borrow();
+                        if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                            matched = true;
+                            seen.push(yi);
+                            match kind {
+                                JoinKind::Inner | JoinKind::LeftOuter => {
+                                    out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?))
+                                }
+                                JoinKind::Semi | JoinKind::Anti => break 'probe,
+                            }
+                        }
+                    }
+                }
+            }
+            match kind {
+                JoinKind::Semi if matched => out.push(x.clone()),
+                JoinKind::Anti if !matched => out.push(x.clone()),
+                JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Membership nestjoin probe over one batch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_nest_batch(
+        &self,
+        lvar: &Name,
+        rvar: &Name,
+        shape: &MemberShape,
+        residual: Option<&Expr>,
+        rfunc: Option<&Expr>,
+        as_attr: &Name,
+        batch: &[Value],
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        let mut out = Vec::with_capacity(batch.len());
+        for x in batch {
+            let probes = self.probe_keys(shape, lvar, x, ev, env, stats)?;
+            let mut group = Vec::new();
+            let mut seen: Vec<usize> = Vec::new();
+            for p in &probes {
+                stats.hash_probes += 1;
+                if let Some(candidates) = self.index.get(p) {
+                    for &yi in candidates {
+                        if seen.contains(&yi) {
+                            continue;
+                        }
+                        let y = self.rows[yi].borrow();
+                        if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                            seen.push(yi);
+                            group.push(collect_right(rfunc, rvar, y, ev, env, stats)?);
+                        }
+                    }
+                }
+            }
+            out.push(with_group(x, as_attr, group)?);
+        }
+        Ok(out)
+    }
 }
 
 /// Membership hash join for `MemberShape` predicates.
@@ -166,68 +416,19 @@ pub fn member_join(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
-    // Build a multimap key → right tuples. For RightInLeftSet the key is
-    // rkey(y); for LeftInRightSet every element of rset(y) maps to y.
-    let mut table: FxHashMap<Value, Vec<&Value>> = FxHashMap::default();
-    for y in right.iter() {
-        match shape {
-            MemberShape::RightInLeftSet { rkey, .. } => {
-                let k = eval_under(rkey, rvar, y, ev, env, stats)?;
-                stats.hash_build_rows += 1;
-                table.entry(k).or_default().push(y);
-            }
-            MemberShape::LeftInRightSet { rset, .. } => {
-                let s = eval_under(rset, rvar, y, ev, env, stats)?;
-                for elem in s.as_set()?.iter() {
-                    stats.hash_build_rows += 1;
-                    table.entry(elem.clone()).or_default().push(y);
-                }
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for x in left.iter() {
-        // Probe keys for this left tuple.
-        let probes: Vec<Value> = match shape {
-            MemberShape::RightInLeftSet { lset, .. } => {
-                let s = eval_under(lset, lvar, x, ev, env, stats)?;
-                s.as_set()?.iter().cloned().collect()
-            }
-            MemberShape::LeftInRightSet { lkey, .. } => {
-                vec![eval_under(lkey, lvar, x, ev, env, stats)?]
-            }
-        };
-        let mut matched = false;
-        let mut seen: Vec<&Value> = Vec::new();
-        'probe: for p in &probes {
-            stats.hash_probes += 1;
-            if let Some(candidates) = table.get(p) {
-                for y in candidates {
-                    // A right tuple may match through several elements —
-                    // dedupe per left tuple.
-                    if seen.iter().any(|s| std::ptr::eq(*s, *y)) {
-                        continue;
-                    }
-                    if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
-                        matched = true;
-                        seen.push(y);
-                        match kind {
-                            JoinKind::Inner | JoinKind::LeftOuter => out.push(
-                                Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?),
-                            ),
-                            JoinKind::Semi | JoinKind::Anti => break 'probe,
-                        }
-                    }
-                }
-            }
-        }
-        match kind {
-            JoinKind::Semi if matched => out.push(x.clone()),
-            JoinKind::Anti if !matched => out.push(x.clone()),
-            JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
-            _ => {}
-        }
-    }
+    let table = MemberHashTable::build(shape, rvar, right.iter(), ev, env, stats)?;
+    let out = table.probe_batch(
+        kind,
+        lvar,
+        rvar,
+        shape,
+        residual,
+        right_attrs,
+        left.as_slice(),
+        ev,
+        env,
+        stats,
+    )?;
     Ok(Value::Set(Set::from_values(out)))
 }
 
@@ -249,13 +450,46 @@ pub fn index_nl_join(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
+    let out = index_nl_join_batch(
+        kind,
+        lvar,
+        rvar,
+        lkey,
+        attr,
+        extent,
+        residual,
+        right_attrs,
+        left.as_slice(),
+        ev,
+        env,
+        stats,
+    )?;
+    Ok(Value::Set(Set::from_values(out)))
+}
+
+/// [`index_nl_join`] over one batch of left rows, producing output rows.
+#[allow(clippy::too_many_arguments)]
+pub fn index_nl_join_batch(
+    kind: JoinKind,
+    lvar: &Name,
+    rvar: &Name,
+    lkey: &Expr,
+    attr: &Name,
+    extent: &Name,
+    residual: Option<&Expr>,
+    right_attrs: &[Name],
+    batch: &[Value],
+    ev: &Evaluator<'_>,
+    env: &mut Env,
+    stats: &mut Stats,
+) -> Result<Vec<Value>, EvalError> {
     let table = ev
         .db()
         .table(extent)
         .ok_or_else(|| EvalError::UnknownTable(extent.clone()))?;
     debug_assert!(table.has_index(attr), "planner only picks indexed attrs");
     let mut out = Vec::new();
-    for x in left.iter() {
+    for x in batch {
         let key = eval_under(lkey, lvar, x, ev, env, stats)?;
         stats.index_probes += 1;
         let candidates = table.index_probe(attr, &key).unwrap_or_default();
@@ -279,7 +513,7 @@ pub fn index_nl_join(
             _ => {}
         }
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(out)
 }
 
 /// Nested-loop join — the fallback for arbitrary predicates, and the
@@ -297,8 +531,37 @@ pub fn nl_join(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
+    let out = nl_join_batch(
+        kind,
+        lvar,
+        rvar,
+        pred,
+        right_attrs,
+        left.as_slice(),
+        right,
+        ev,
+        env,
+        stats,
+    )?;
+    Ok(Value::Set(Set::from_values(out)))
+}
+
+/// [`nl_join`] over one batch of left rows, producing output rows.
+#[allow(clippy::too_many_arguments)]
+pub fn nl_join_batch(
+    kind: JoinKind,
+    lvar: &Name,
+    rvar: &Name,
+    pred: &Expr,
+    right_attrs: &[Name],
+    batch: &[Value],
+    right: &Set,
+    ev: &Evaluator<'_>,
+    env: &mut Env,
+    stats: &mut Stats,
+) -> Result<Vec<Value>, EvalError> {
     let mut out = Vec::new();
-    for x in left.iter() {
+    for x in batch {
         let mut matched = false;
         for y in right.iter() {
             stats.loop_iterations += 1;
@@ -319,7 +582,7 @@ pub fn nl_join(
             _ => {}
         }
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(out)
 }
 
 /// Appends the collected group to a left tuple.
@@ -365,26 +628,19 @@ pub fn hash_nestjoin(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
-    let mut table: FxHashMap<Vec<Value>, Vec<&Value>> = FxHashMap::default();
-    for y in right.iter() {
-        let key = eval_keys(rkeys, rvar, y, ev, env, stats)?;
-        stats.hash_build_rows += 1;
-        table.entry(key).or_default().push(y);
-    }
-    let mut out = Vec::with_capacity(left.len());
-    for x in left.iter() {
-        let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
-        stats.hash_probes += 1;
-        let mut group = Vec::new();
-        if let Some(candidates) = table.get(&key) {
-            for y in candidates {
-                if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
-                    group.push(collect_right(rfunc, rvar, y, ev, env, stats)?);
-                }
-            }
-        }
-        out.push(with_group(x, as_attr, group)?);
-    }
+    let table = JoinHashTable::build(rkeys, rvar, right.iter(), ev, env, stats)?;
+    let out = table.probe_nest_batch(
+        lvar,
+        rvar,
+        lkeys,
+        residual,
+        rfunc,
+        as_attr,
+        left.as_slice(),
+        ev,
+        env,
+        stats,
+    )?;
     Ok(Value::Set(Set::from_values(out)))
 }
 
@@ -403,52 +659,19 @@ pub fn member_nestjoin(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
-    let mut table: FxHashMap<Value, Vec<&Value>> = FxHashMap::default();
-    for y in right.iter() {
-        match shape {
-            MemberShape::RightInLeftSet { rkey, .. } => {
-                let k = eval_under(rkey, rvar, y, ev, env, stats)?;
-                stats.hash_build_rows += 1;
-                table.entry(k).or_default().push(y);
-            }
-            MemberShape::LeftInRightSet { rset, .. } => {
-                let s = eval_under(rset, rvar, y, ev, env, stats)?;
-                for elem in s.as_set()?.iter() {
-                    stats.hash_build_rows += 1;
-                    table.entry(elem.clone()).or_default().push(y);
-                }
-            }
-        }
-    }
-    let mut out = Vec::with_capacity(left.len());
-    for x in left.iter() {
-        let probes: Vec<Value> = match shape {
-            MemberShape::RightInLeftSet { lset, .. } => {
-                let s = eval_under(lset, lvar, x, ev, env, stats)?;
-                s.as_set()?.iter().cloned().collect()
-            }
-            MemberShape::LeftInRightSet { lkey, .. } => {
-                vec![eval_under(lkey, lvar, x, ev, env, stats)?]
-            }
-        };
-        let mut group = Vec::new();
-        let mut seen: Vec<&Value> = Vec::new();
-        for p in &probes {
-            stats.hash_probes += 1;
-            if let Some(candidates) = table.get(p) {
-                for y in candidates {
-                    if seen.iter().any(|s| std::ptr::eq(*s, *y)) {
-                        continue;
-                    }
-                    if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
-                        seen.push(y);
-                        group.push(collect_right(rfunc, rvar, y, ev, env, stats)?);
-                    }
-                }
-            }
-        }
-        out.push(with_group(x, as_attr, group)?);
-    }
+    let table = MemberHashTable::build(shape, rvar, right.iter(), ev, env, stats)?;
+    let out = table.probe_nest_batch(
+        lvar,
+        rvar,
+        shape,
+        residual,
+        rfunc,
+        as_attr,
+        left.as_slice(),
+        ev,
+        env,
+        stats,
+    )?;
     Ok(Value::Set(Set::from_values(out)))
 }
 
@@ -466,8 +689,37 @@ pub fn nl_nestjoin(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
-    let mut out = Vec::with_capacity(left.len());
-    for x in left.iter() {
+    let out = nl_nestjoin_batch(
+        lvar,
+        rvar,
+        pred,
+        rfunc,
+        as_attr,
+        left.as_slice(),
+        right,
+        ev,
+        env,
+        stats,
+    )?;
+    Ok(Value::Set(Set::from_values(out)))
+}
+
+/// [`nl_nestjoin`] over one batch of left rows, producing output rows.
+#[allow(clippy::too_many_arguments)]
+pub fn nl_nestjoin_batch(
+    lvar: &Name,
+    rvar: &Name,
+    pred: &Expr,
+    rfunc: Option<&Expr>,
+    as_attr: &Name,
+    batch: &[Value],
+    right: &Set,
+    ev: &Evaluator<'_>,
+    env: &mut Env,
+    stats: &mut Stats,
+) -> Result<Vec<Value>, EvalError> {
+    let mut out = Vec::with_capacity(batch.len());
+    for x in batch {
         let mut group = Vec::new();
         for y in right.iter() {
             stats.loop_iterations += 1;
@@ -477,7 +729,7 @@ pub fn nl_nestjoin(
         }
         out.push(with_group(x, as_attr, group)?);
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -487,7 +739,10 @@ mod tests {
     use oodb_adl::dsl::*;
     use oodb_catalog::fixtures::{figure3_db, supplier_part_db};
 
-    fn run(db: &oodb_catalog::Database, f: impl FnOnce(&Evaluator, &mut Env, &mut Stats) -> Result<Value, EvalError>) -> (Value, Stats) {
+    fn run(
+        db: &oodb_catalog::Database,
+        f: impl FnOnce(&Evaluator, &mut Env, &mut Stats) -> Result<Value, EvalError>,
+    ) -> (Value, Stats) {
         let ev = Evaluator::new(db);
         let mut env = Env::new();
         let mut stats = Stats::new();
@@ -496,7 +751,11 @@ mod tests {
     }
 
     fn set_of(db: &oodb_catalog::Database, table_name: &str) -> Set {
-        db.table(table_name).unwrap().as_set_value().into_set().unwrap()
+        db.table(table_name)
+            .unwrap()
+            .as_set_value()
+            .into_set()
+            .unwrap()
     }
 
     #[test]
@@ -509,10 +768,34 @@ mod tests {
         let pred = eq(var("x").field("b"), var("y").field("d"));
         for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti] {
             let (h, hs) = run(&db, |ev, env, st| {
-                hash_join(kind, &"x".into(), &"y".into(), &lk, &rk, None, &[], &x, &y, ev, env, st)
+                hash_join(
+                    kind,
+                    &"x".into(),
+                    &"y".into(),
+                    &lk,
+                    &rk,
+                    None,
+                    &[],
+                    &x,
+                    &y,
+                    ev,
+                    env,
+                    st,
+                )
             });
             let (n, ns) = run(&db, |ev, env, st| {
-                nl_join(kind, &"x".into(), &"y".into(), &pred, &[], &x, &y, ev, env, st)
+                nl_join(
+                    kind,
+                    &"x".into(),
+                    &"y".into(),
+                    &pred,
+                    &[],
+                    &x,
+                    &y,
+                    ev,
+                    env,
+                    st,
+                )
             });
             assert_eq!(h, n, "kind {kind:?}");
             // the hash join must do fewer pairwise iterations
@@ -577,7 +860,10 @@ mod tests {
             .iter()
             .map(|t| t.as_tuple().unwrap().get("sname").unwrap())
             .collect();
-        assert_eq!(names, vec![&Value::str("s1"), &Value::str("s2"), &Value::str("s3")]);
+        assert_eq!(
+            names,
+            vec![&Value::str("s1"), &Value::str("s2"), &Value::str("s3")]
+        );
         assert!(stats.hash_build_rows == 7);
         assert_eq!(stats.loop_iterations, 0);
     }
@@ -633,7 +919,19 @@ mod tests {
         };
         // x.k = 1 not in {10, 20}: no match
         let (v, _) = run(&db, |ev, env, st| {
-            member_join(JoinKind::Inner, &"x".into(), &"y".into(), &shape, None, &[], &left, &right, ev, env, st)
+            member_join(
+                JoinKind::Inner,
+                &"x".into(),
+                &"y".into(),
+                &shape,
+                None,
+                &[],
+                &left,
+                &right,
+                ev,
+                env,
+                st,
+            )
         });
         assert_eq!(v.as_set().unwrap().len(), 0);
         // Now RightInLeftSet: y probes via tag-key? Instead check dedupe
@@ -643,7 +941,19 @@ mod tests {
             rkey: Expr::int(10),
         };
         let (v2, _) = run(&db, |ev, env, st| {
-            member_join(JoinKind::Inner, &"x".into(), &"y".into(), &shape2, None, &[], &left, &right, ev, env, st)
+            member_join(
+                JoinKind::Inner,
+                &"x".into(),
+                &"y".into(),
+                &shape2,
+                None,
+                &[],
+                &left,
+                &right,
+                ev,
+                env,
+                st,
+            )
         });
         // only the elem 10 probe hits; elem 20 misses; and the single
         // (x,y) pair appears exactly once
@@ -673,7 +983,18 @@ mod tests {
         });
         let pred = eq(var("x").field("b"), var("y").field("d"));
         let (n, _) = run(&db, |ev, env, st| {
-            nl_nestjoin(&"x".into(), &"y".into(), &pred, None, &"ys".into(), &x, &y, ev, env, st)
+            nl_nestjoin(
+                &"x".into(),
+                &"y".into(),
+                &pred,
+                None,
+                &"ys".into(),
+                &x,
+                &y,
+                ev,
+                env,
+                st,
+            )
         });
         assert_eq!(h, n);
         assert_eq!(hs.loop_iterations, 0);
@@ -712,13 +1033,22 @@ mod tests {
             .iter()
             .find(|r| r.as_tuple().unwrap().get("sname") == Some(&Value::str("s4")))
             .unwrap();
-        assert_eq!(s4.as_tuple().unwrap().get("pnames"), Some(&Value::empty_set()));
+        assert_eq!(
+            s4.as_tuple().unwrap().get("pnames"),
+            Some(&Value::empty_set())
+        );
         let s1 = rows
             .iter()
             .find(|r| r.as_tuple().unwrap().get("sname") == Some(&Value::str("s1")))
             .unwrap();
         assert_eq!(
-            s1.as_tuple().unwrap().get("pnames").unwrap().as_set().unwrap().len(),
+            s1.as_tuple()
+                .unwrap()
+                .get("pnames")
+                .unwrap()
+                .as_set()
+                .unwrap()
+                .len(),
             3
         );
         // s5 has one real part (pin) and one dangling pointer: group = {pin}
@@ -755,7 +1085,9 @@ mod tests {
         });
         let rows = v.as_set().unwrap();
         assert_eq!(rows.len(), 5);
-        assert!(rows.iter().any(|r| r.as_tuple().unwrap().get("c") == Some(&Value::Null)));
+        assert!(rows
+            .iter()
+            .any(|r| r.as_tuple().unwrap().get("c") == Some(&Value::Null)));
     }
 
     use oodb_adl::expr::Expr;

@@ -18,6 +18,7 @@
 
 pub mod assembly;
 pub mod hashjoin;
+pub mod operator;
 pub mod pnhl;
 pub mod sortmerge;
 
@@ -326,7 +327,21 @@ pub enum PhysPlan {
 }
 
 impl PhysPlan {
-    /// Executes the plan against `db`, accumulating statistics.
+    /// Executes the plan against `db` through the streaming
+    /// [`operator`] pipeline (the default execution path): rows flow in
+    /// batches, only pipeline breakers materialize, and
+    /// [`Stats::operators`] records per-operator rows/batches.
+    pub fn execute_streaming_on(
+        &self,
+        db: &Database,
+        stats: &mut Stats,
+    ) -> Result<Value, EvalError> {
+        operator::run(self, db, stats)
+    }
+
+    /// Executes the plan against `db` with whole-set materialization at
+    /// every operator boundary (the reference set-at-a-time semantics
+    /// the streaming pipeline is checked against).
     pub fn execute_on(&self, db: &Database, stats: &mut Stats) -> Result<Value, EvalError> {
         let ev = Evaluator::new(db);
         let mut env = Env::new();
@@ -405,7 +420,11 @@ impl PhysPlan {
                 let s = input.exec(ev, env, stats)?.into_set()?;
                 unnest_set(&s, attr)
             }
-            PhysPlan::NestOp { attrs, as_attr, input } => {
+            PhysPlan::NestOp {
+                attrs,
+                as_attr,
+                input,
+            } => {
                 let s = input.exec(ev, env, stats)?.into_set()?;
                 nest_set(&s, attrs, as_attr)
             }
@@ -526,23 +545,28 @@ impl PhysPlan {
                     stats,
                 )
             }
-            PhysPlan::NLJoin { kind, lvar, rvar, pred, right_attrs, left, right } => {
+            PhysPlan::NLJoin {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                right_attrs,
+                left,
+                right,
+            } => {
                 let l = left.exec(ev, env, stats)?.into_set()?;
                 let r = right.exec(ev, env, stats)?.into_set()?;
-                hashjoin::nl_join(
-                    *kind,
-                    lvar,
-                    rvar,
-                    pred,
-                    right_attrs,
-                    &l,
-                    &r,
-                    ev,
-                    env,
-                    stats,
-                )
+                hashjoin::nl_join(*kind, lvar, rvar, pred, right_attrs, &l, &r, ev, env, stats)
             }
-            PhysPlan::SortMergeJoin { lvar, rvar, lkeys, rkeys, residual, left, right } => {
+            PhysPlan::SortMergeJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                left,
+                right,
+            } => {
                 let l = left.exec(ev, env, stats)?.into_set()?;
                 let r = right.exec(ev, env, stats)?.into_set()?;
                 sortmerge::sort_merge_join(
@@ -612,7 +636,15 @@ impl PhysPlan {
                     stats,
                 )
             }
-            PhysPlan::NLNestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => {
+            PhysPlan::NLNestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => {
                 let l = left.exec(ev, env, stats)?.into_set()?;
                 let r = right.exec(ev, env, stats)?.into_set()?;
                 hashjoin::nl_nestjoin(
@@ -628,12 +660,23 @@ impl PhysPlan {
                     stats,
                 )
             }
-            PhysPlan::Pnhl { outer, set_attr, inner, keys, budget } => {
+            PhysPlan::Pnhl {
+                outer,
+                set_attr,
+                inner,
+                keys,
+                budget,
+            } => {
                 let o = outer.exec(ev, env, stats)?.into_set()?;
                 let i = inner.exec(ev, env, stats)?.into_set()?;
                 pnhl::pnhl_materialize(&o, set_attr, &i, keys, *budget, ev, env, stats)
             }
-            PhysPlan::Assemble { input, attr, class, set_valued } => {
+            PhysPlan::Assemble {
+                input,
+                attr,
+                class,
+                set_valued,
+            } => {
                 let s = input.exec(ev, env, stats)?.into_set()?;
                 assembly::assemble(&s, attr, class, *set_valued, ev.db(), stats)
             }
@@ -658,7 +701,11 @@ impl PhysPlan {
             PhysPlan::MapOp { body, .. } => format!("Map [{body}]"),
             PhysPlan::ProjectOp { attrs, .. } => format!(
                 "Project [{}]",
-                attrs.iter().map(|a| a.as_ref()).collect::<Vec<_>>().join(",")
+                attrs
+                    .iter()
+                    .map(|a| a.as_ref())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             PhysPlan::RenameOp { .. } => "Rename".into(),
             PhysPlan::UnnestOp { attr, .. } => format!("Unnest μ_{attr}"),
@@ -672,7 +719,9 @@ impl PhysPlan {
             PhysPlan::HashMemberJoin { kind, .. } => {
                 format!("HashMemberJoin {kind:?}")
             }
-            PhysPlan::IndexNLJoin { kind, extent, attr, .. } => {
+            PhysPlan::IndexNLJoin {
+                kind, extent, attr, ..
+            } => {
                 format!("IndexNLJoin {kind:?} on {extent}.{attr}")
             }
             PhysPlan::NLJoin { kind, .. } => format!("NLJoin {kind:?}"),
@@ -684,11 +733,21 @@ impl PhysPlan {
                 format!("MemberNestJoin ⊣→{as_attr}")
             }
             PhysPlan::NLNestJoin { as_attr, .. } => format!("NLNestJoin ⊣→{as_attr}"),
-            PhysPlan::Pnhl { set_attr, budget, .. } => {
+            PhysPlan::Pnhl {
+                set_attr, budget, ..
+            } => {
                 format!("PNHL μ⋈ {set_attr} (budget {budget})")
             }
-            PhysPlan::Assemble { attr, class, set_valued, .. } => {
-                format!("Assemble {attr}→{class}{}", if *set_valued { " (set)" } else { "" })
+            PhysPlan::Assemble {
+                attr,
+                class,
+                set_valued,
+                ..
+            } => {
+                format!(
+                    "Assemble {attr}→{class}{}",
+                    if *set_valued { " (set)" } else { "" }
+                )
             }
         };
         let _ = writeln!(out, "{pad}{line}");
@@ -780,7 +839,10 @@ mod plan_node_tests {
 
     #[test]
     fn unnest_nest_flatten_nodes() {
-        let unnested = PhysPlan::UnnestOp { attr: "supply".into(), input: scan("DELIVERY") };
+        let unnested = PhysPlan::UnnestOp {
+            attr: "supply".into(),
+            input: scan("DELIVERY"),
+        };
         let (v, _) = run(&unnested);
         assert_eq!(v.as_set().unwrap().len(), 5); // 2 + 1 + 2 supply lines
         let renested = PhysPlan::NestOp {
@@ -821,7 +883,10 @@ mod plan_node_tests {
         };
         let (v, _) = run(&inter);
         assert_eq!(v.as_set().unwrap().len(), 1); // screw (red, 7)
-        let count_node = PhysPlan::AggNode { op: AggOp::Count, input: scan("PART") };
+        let count_node = PhysPlan::AggNode {
+            op: AggOp::Count,
+            input: scan("PART"),
+        };
         assert_eq!(run(&count_node).0, Value::Int(7));
         let let_node = PhysPlan::LetOp {
             var: "n".into(),
@@ -857,14 +922,20 @@ mod plan_node_tests {
         let v = plan.exec(&ev, &mut env, &mut stats).unwrap();
         assert_eq!(v, Value::Int(42));
         let lit = PhysPlan::Literal(Value::str("hello"));
-        assert_eq!(lit.exec(&ev, &mut env, &mut stats).unwrap(), Value::str("hello"));
+        assert_eq!(
+            lit.exec(&ev, &mut env, &mut stats).unwrap(),
+            Value::str("hello")
+        );
     }
 
     #[test]
     fn explain_covers_every_simple_node() {
         let plan = PhysPlan::LetOp {
             var: "v".into(),
-            value: Box::new(PhysPlan::AggNode { op: AggOp::Count, input: scan("PART") }),
+            value: Box::new(PhysPlan::AggNode {
+                op: AggOp::Count,
+                input: scan("PART"),
+            }),
             body: Box::new(PhysPlan::FlattenOp {
                 input: Box::new(PhysPlan::MapOp {
                     var: "s".into(),
@@ -881,7 +952,15 @@ mod plan_node_tests {
             }),
         };
         let text = plan.explain();
-        for needle in ["Let v", "Agg count", "Flatten", "Map", "Nest ν→g", "Unnest μ_supply", "Scan DELIVERY"] {
+        for needle in [
+            "Let v",
+            "Agg count",
+            "Flatten",
+            "Map",
+            "Nest ν→g",
+            "Unnest μ_supply",
+            "Scan DELIVERY",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

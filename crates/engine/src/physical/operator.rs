@@ -1,0 +1,1713 @@
+//! The streaming operator pipeline: `open` / `next_batch` / `close`.
+//!
+//! The materialized executor ([`PhysPlan::exec`]) builds a full
+//! [`Value::Set`] at every operator boundary — faithful to the algebra,
+//! but every selection, map and probe side pays an extra clone of its
+//! whole input. This module is the set-oriented engine the paper argues
+//! *for*, restructured as a pull-based (Volcano-with-batches) pipeline in
+//! the style of risinglight's executor layer:
+//!
+//! * every physical operator implements [`Operator`] — `open` prepares
+//!   children, `next_batch` yields up to [`BATCH_SIZE`] rows, `close`
+//!   flushes per-operator statistics;
+//! * **pipeline breakers are explicit**: hash-join build sides, sort
+//!   runs, `ν`/aggregate/set-operation inputs and PNHL operands are
+//!   drained into canonical [`Set`]s (preserving the algebra's
+//!   deduplicating semantics), while selections, maps, projections,
+//!   unnests, assembly and every join **probe side stream** batch by
+//!   batch;
+//! * each operator is wrapped in an [`Instrument`] shim recording
+//!   rows/batches emitted into [`Stats::operators`].
+//!
+//! Entry point: [`PhysPlan::execute_streaming_on`] (in
+//! [`crate::physical`]), or [`crate::plan::Plan::execute_streaming`].
+
+use super::hashjoin::{self, JoinHashTable, MemberHashTable, MemberShape};
+use super::sortmerge::SortMergeState;
+use super::{pnhl, MatchKeys, PhysPlan};
+use crate::eval::{aggregate, nest_set, unnest_value, Env, EvalError, Evaluator};
+use crate::stats::{OpStats, Stats};
+use oodb_adl::expr::{AggOp, Expr, JoinKind, SetOp};
+use oodb_catalog::Database;
+use oodb_value::{Name, Set, Value};
+
+/// Rows per batch. Batches are soft-bounded: operators that expand rows
+/// (unnest, inner joins) may exceed it rather than split mid-tuple-group.
+pub const BATCH_SIZE: usize = 1024;
+
+/// One batch of rows flowing between operators.
+pub type Batch = Vec<Value>;
+
+/// A boxed operator node.
+pub type BoxOp = Box<dyn Operator>;
+
+/// Everything an operator needs at runtime: the expression interpreter
+/// (for predicates, keys and map bodies), the variable environment, and
+/// the shared statistics sink.
+pub struct ExecCtx<'db, 's> {
+    /// Interpreter over the bound database.
+    pub ev: Evaluator<'db>,
+    /// Lexically scoped variable bindings.
+    pub env: Env,
+    /// Work counters shared by the whole pipeline.
+    pub stats: &'s mut Stats,
+}
+
+/// A pull-based physical operator.
+pub trait Operator {
+    /// Prepares this operator and (recursively) its children. Blocking
+    /// work (hash build, sorting) is deferred to the first
+    /// [`Operator::next_batch`] so `open` stays cheap.
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError>;
+
+    /// The next batch of rows; `None` once exhausted.
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError>;
+
+    /// Releases state and flushes instrumentation (idempotent).
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>);
+
+    /// True when this operator produces exactly one (possibly non-set)
+    /// value instead of a stream of set elements.
+    fn scalar(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Draining helpers (the explicit pipeline breakers).
+
+fn drain_rows(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, EvalError> {
+    let mut rows = Vec::new();
+    while let Some(b) = op.next_batch(ctx)? {
+        rows.extend(b);
+    }
+    Ok(rows)
+}
+
+fn drain_scalar(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Value, EvalError> {
+    debug_assert!(op.scalar());
+    let rows = drain_rows(op, ctx)?;
+    debug_assert_eq!(rows.len(), 1, "scalar operators emit exactly one value");
+    Ok(rows
+        .into_iter()
+        .next()
+        .expect("scalar operator emitted a value"))
+}
+
+/// Materializes a child as a canonical set — the deduplicating boundary
+/// every blocking input goes through, mirroring `into_set()` on the
+/// materialized path (including its error on non-set scalars).
+fn drain_to_set(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Set, EvalError> {
+    if op.scalar() {
+        let v = drain_scalar(op, ctx)?;
+        Ok(v.into_set()?)
+    } else {
+        Ok(Set::from_values(drain_rows(op, ctx)?))
+    }
+}
+
+/// Materializes a child as a single value (sets stay sets).
+fn drain_value(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Value, EvalError> {
+    if op.scalar() {
+        drain_scalar(op, ctx)
+    } else {
+        Ok(Value::Set(Set::from_values(drain_rows(op, ctx)?)))
+    }
+}
+
+/// Buffered rows emitted in [`BATCH_SIZE`] chunks (blocking operators'
+/// output side).
+#[derive(Debug, Default)]
+struct Buffered {
+    rows: Vec<Value>,
+    pos: usize,
+}
+
+impl Buffered {
+    fn new(rows: Vec<Value>) -> Self {
+        Buffered { rows, pos: 0 }
+    }
+
+    fn next_chunk(&mut self) -> Option<Batch> {
+        if self.pos >= self.rows.len() {
+            return None;
+        }
+        let end = (self.pos + BATCH_SIZE).min(self.rows.len());
+        // Move rows out (leaving cheap `Null`s) — each buffered row is
+        // emitted exactly once, so no deep clone is needed.
+        let chunk = self.rows[self.pos..end]
+            .iter_mut()
+            .map(|v| std::mem::replace(v, Value::Null))
+            .collect();
+        self.pos = end;
+        Some(chunk)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instrumentation.
+
+/// Wraps every compiled operator, counting rows/batches emitted and
+/// reporting them into [`Stats::operators`] when the stream ends.
+struct Instrument {
+    label: String,
+    inner: BoxOp,
+    rows_out: u64,
+    batches: u64,
+    reported: bool,
+}
+
+impl Instrument {
+    fn report(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        if !self.reported {
+            self.reported = true;
+            ctx.stats.operators.push(OpStats {
+                op: self.label.clone(),
+                rows_out: self.rows_out,
+                batches: self.batches,
+            });
+        }
+    }
+}
+
+impl Operator for Instrument {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.rows_out = 0;
+        self.batches = 0;
+        self.reported = false;
+        self.inner.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        match self.inner.next_batch(ctx)? {
+            Some(b) => {
+                self.rows_out += b.len() as u64;
+                self.batches += 1;
+                Ok(Some(b))
+            }
+            None => {
+                self.report(ctx);
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.report(ctx);
+        self.inner.close(ctx);
+    }
+
+    fn scalar(&self) -> bool {
+        self.inner.scalar()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf operators.
+
+/// Base-table scan, emitted in batches.
+struct ScanOp {
+    table: Name,
+    buf: Option<Buffered>,
+}
+
+impl Operator for ScanOp {
+    fn open(&mut self, _ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.buf = None;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.buf.is_none() {
+            let t = ctx
+                .ev
+                .db()
+                .table(&self.table)
+                .ok_or_else(|| EvalError::UnknownTable(self.table.clone()))?;
+            ctx.stats.rows_scanned += t.len() as u64;
+            self.buf = Some(Buffered::new(t.as_set_value().into_set()?.into_values()));
+        }
+        Ok(self.buf.as_mut().expect("buffered above").next_chunk())
+    }
+
+    fn close(&mut self, _ctx: &mut ExecCtx<'_, '_>) {
+        self.buf = None;
+    }
+}
+
+/// What a scalar leaf computes.
+enum ScalarKind {
+    /// A constant.
+    Literal(Value),
+    /// An arbitrary expression handed to the reference evaluator.
+    Eval(Expr),
+    /// An aggregate over a drained child.
+    Agg { op: AggOp, child: BoxOp },
+}
+
+/// Single-value producer (`Literal`, `Eval`, aggregates).
+struct ScalarOp {
+    kind: ScalarKind,
+    done: bool,
+}
+
+impl Operator for ScalarOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.done = false;
+        if let ScalarKind::Agg { child, .. } = &mut self.kind {
+            child.open(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let v = match &mut self.kind {
+            ScalarKind::Literal(v) => v.clone(),
+            ScalarKind::Eval(e) => ctx.ev.eval(e, &mut ctx.env, ctx.stats)?,
+            ScalarKind::Agg { op, child } => {
+                let s = drain_to_set(child, ctx)?;
+                aggregate(*op, &s)?
+            }
+        };
+        Ok(Some(vec![v]))
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        if let ScalarKind::Agg { child, .. } = &mut self.kind {
+            child.close(ctx);
+        }
+    }
+
+    fn scalar(&self) -> bool {
+        true
+    }
+}
+
+/// Adapts a scalar child for a row-consuming parent: the single value
+/// must be a set, whose elements become the stream.
+struct ScalarRows {
+    child: BoxOp,
+    buf: Option<Buffered>,
+}
+
+impl Operator for ScalarRows {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.buf = None;
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.buf.is_none() {
+            let v = drain_scalar(&mut self.child, ctx)?;
+            self.buf = Some(Buffered::new(v.into_set()?.into_values()));
+        }
+        Ok(self.buf.as_mut().expect("buffered above").next_chunk())
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.buf = None;
+        self.child.close(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming one-child transforms.
+
+/// The per-row transforms that never block the pipeline.
+enum RowTransform {
+    /// `σ` — predicate filter.
+    Filter { var: Name, pred: Expr },
+    /// `α` — function application.
+    Map { var: Name, body: Expr },
+    /// `π`.
+    Project { attrs: Vec<Name> },
+    /// `ρ`.
+    Rename { pairs: Vec<(Name, Name)> },
+    /// `μ`.
+    Unnest { attr: Name },
+    /// `⋃` — every input row must itself be a set.
+    Flatten,
+}
+
+/// Applies a [`RowTransform`] to each input batch as it streams past.
+struct TransformOp {
+    t: RowTransform,
+    child: BoxOp,
+}
+
+impl TransformOp {
+    fn apply(&self, batch: Batch, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, EvalError> {
+        let mut out = Vec::with_capacity(batch.len());
+        match &self.t {
+            RowTransform::Filter { var, pred } => {
+                for elem in batch {
+                    ctx.stats.predicate_evals += 1;
+                    ctx.env.push(var, elem.clone());
+                    let keep = ctx.ev.eval(pred, &mut ctx.env, ctx.stats);
+                    ctx.env.pop();
+                    if keep?.as_bool()? {
+                        out.push(elem);
+                    }
+                }
+            }
+            RowTransform::Map { var, body } => {
+                for elem in batch {
+                    ctx.stats.predicate_evals += 1;
+                    ctx.env.push(var, elem);
+                    let r = ctx.ev.eval(body, &mut ctx.env, ctx.stats);
+                    ctx.env.pop();
+                    out.push(r?);
+                }
+            }
+            RowTransform::Project { attrs } => {
+                for elem in &batch {
+                    out.push(Value::Tuple(elem.as_tuple()?.subscript(attrs)?));
+                }
+            }
+            RowTransform::Rename { pairs } => {
+                for elem in &batch {
+                    let mut t = elem.as_tuple()?.clone();
+                    for (old, new) in pairs {
+                        t = t.rename(old, new)?;
+                    }
+                    out.push(Value::Tuple(t));
+                }
+            }
+            RowTransform::Unnest { attr } => {
+                for elem in &batch {
+                    unnest_value(elem, attr, &mut out)?;
+                }
+            }
+            RowTransform::Flatten => {
+                for elem in batch {
+                    match elem {
+                        Value::Set(s) => out.extend(s.into_values()),
+                        other => {
+                            return Err(EvalError::Value(oodb_value::ValueError::NotASet(
+                                other.to_string(),
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for TransformOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        loop {
+            let Some(batch) = self.child.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let out = self.apply(batch, ctx)?;
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.child.close(ctx);
+    }
+}
+
+/// Assembly (\[BlMG93\]): pointer dereferencing is per-tuple work, so the
+/// operator streams its input through [`hashjoin`]-independent
+/// [`super::assembly::assemble_batch`] calls.
+struct AssembleOp {
+    attr: Name,
+    class: Name,
+    set_valued: bool,
+    checked: bool,
+    child: BoxOp,
+}
+
+impl Operator for AssembleOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.checked = false;
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if !self.checked {
+            ctx.ev
+                .db()
+                .catalog()
+                .class(&self.class)
+                .ok_or_else(|| EvalError::UnknownClass(self.class.clone()))?;
+            self.checked = true;
+        }
+        loop {
+            let Some(batch) = self.child.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let out = super::assembly::assemble_batch(
+                &batch,
+                &self.attr,
+                &self.class,
+                self.set_valued,
+                ctx.ev.db(),
+                ctx.stats,
+            )?;
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.child.close(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocking one/two-child operators.
+
+/// What a blocking (fully materializing) operator computes.
+enum BlockingKind {
+    /// `ν` — grouping needs the whole input.
+    Nest {
+        attrs: Vec<Name>,
+        as_attr: Name,
+        child: BoxOp,
+    },
+    /// `∪ ∩ −` over two drained sets.
+    SetOp {
+        op: SetOp,
+        left: BoxOp,
+        right: BoxOp,
+    },
+    /// PNHL — both operands drained, output emitted in batches.
+    Pnhl {
+        outer: BoxOp,
+        set_attr: Name,
+        inner: BoxOp,
+        keys: Box<MatchKeys>,
+        budget: usize,
+    },
+}
+
+/// Drains its input(s), computes, then emits the result in batches.
+struct BlockingOp {
+    kind: BlockingKind,
+    buf: Option<Buffered>,
+}
+
+impl Operator for BlockingOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.buf = None;
+        match &mut self.kind {
+            BlockingKind::Nest { child, .. } => child.open(ctx),
+            BlockingKind::SetOp { left, right, .. } => {
+                left.open(ctx)?;
+                right.open(ctx)
+            }
+            BlockingKind::Pnhl { outer, inner, .. } => {
+                outer.open(ctx)?;
+                inner.open(ctx)
+            }
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.buf.is_none() {
+            let rows = match &mut self.kind {
+                BlockingKind::Nest {
+                    attrs,
+                    as_attr,
+                    child,
+                } => {
+                    let s = drain_to_set(child, ctx)?;
+                    nest_set(&s, attrs, as_attr)?.into_set()?.into_values()
+                }
+                BlockingKind::SetOp { op, left, right } => {
+                    let l = drain_to_set(left, ctx)?;
+                    let r = drain_to_set(right, ctx)?;
+                    let out = match op {
+                        SetOp::Union => l.union(&r),
+                        SetOp::Intersect => l.intersect(&r),
+                        SetOp::Difference => l.difference(&r),
+                    };
+                    out.into_values()
+                }
+                BlockingKind::Pnhl {
+                    outer,
+                    set_attr,
+                    inner,
+                    keys,
+                    budget,
+                } => {
+                    let o = drain_to_set(outer, ctx)?;
+                    let i = drain_to_set(inner, ctx)?;
+                    pnhl::pnhl_rows(
+                        &o,
+                        set_attr,
+                        &i,
+                        keys,
+                        *budget,
+                        &ctx.ev,
+                        &mut ctx.env,
+                        ctx.stats,
+                    )?
+                }
+            };
+            self.buf = Some(Buffered::new(rows));
+        }
+        Ok(self.buf.as_mut().expect("buffered above").next_chunk())
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.buf = None;
+        match &mut self.kind {
+            BlockingKind::Nest { child, .. } => child.close(ctx),
+            BlockingKind::SetOp { left, right, .. } => {
+                left.close(ctx);
+                right.close(ctx);
+            }
+            BlockingKind::Pnhl { outer, inner, .. } => {
+                outer.close(ctx);
+                inner.close(ctx);
+            }
+        }
+    }
+}
+
+/// `let` — runs the value subplan once, then streams the body with the
+/// binding pushed around each pull (strict scoping: the binding never
+/// leaks into sibling subtrees between pulls).
+struct LetOp {
+    var: Name,
+    value: BoxOp,
+    body: BoxOp,
+    bound: Option<Value>,
+}
+
+impl Operator for LetOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.bound = None;
+        self.value.open(ctx)?;
+        self.body.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.bound.is_none() {
+            self.bound = Some(drain_value(&mut self.value, ctx)?);
+        }
+        // Move the binding in for the pull and take it back afterwards
+        // (body pulls leave the env stack balanced), so the body streams
+        // with no buffering and no per-pull deep clone.
+        let v = self.bound.take().expect("bound above");
+        ctx.env.push(&self.var, v);
+        let r = self.body.next_batch(ctx);
+        let (name, v) = ctx.env.pop_binding().expect("balanced env stack");
+        debug_assert_eq!(
+            name.as_ref(),
+            self.var.as_ref(),
+            "body left the env unbalanced"
+        );
+        self.bound = Some(v);
+        r
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.bound = None;
+        self.value.close(ctx);
+        self.body.close(ctx);
+    }
+
+    fn scalar(&self) -> bool {
+        self.body.scalar()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Joins: build once, stream the probe side.
+
+/// Extended Cartesian product: right side drained, left side streamed.
+struct ProductOp {
+    left: BoxOp,
+    right: BoxOp,
+    right_set: Option<Set>,
+}
+
+impl Operator for ProductOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.right_set = None;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.right_set.is_none() {
+            self.right_set = Some(drain_to_set(&mut self.right, ctx)?);
+        }
+        let r = self.right_set.as_ref().expect("drained above");
+        loop {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let mut out = Vec::with_capacity(batch.len() * r.len());
+            for x in &batch {
+                for y in r.iter() {
+                    ctx.stats.loop_iterations += 1;
+                    out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?));
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.right_set = None;
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+}
+
+/// Whether a hash-family operator produces join rows or nestjoin groups.
+enum HashMode {
+    /// `⋈ ⋉ ▷ ⟕` on equi-keys.
+    Join {
+        kind: JoinKind,
+        right_attrs: Vec<Name>,
+    },
+    /// `⊣` — one output row per probe row, carrying its group.
+    Nest { rfunc: Option<Expr>, as_attr: Name },
+}
+
+/// Hash join family on extracted equi-keys: build on the right (a
+/// pipeline breaker), then probe batches as the left side streams.
+struct HashJoinOp {
+    mode: HashMode,
+    lvar: Name,
+    rvar: Name,
+    lkeys: Vec<Expr>,
+    rkeys: Vec<Expr>,
+    residual: Option<Expr>,
+    left: BoxOp,
+    right: BoxOp,
+    table: Option<JoinHashTable>,
+}
+
+impl Operator for HashJoinOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.table = None;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.table.is_none() {
+            let build = drain_to_set(&mut self.right, ctx)?;
+            self.table = Some(JoinHashTable::build(
+                &self.rkeys,
+                &self.rvar,
+                build.into_values(),
+                &ctx.ev,
+                &mut ctx.env,
+                ctx.stats,
+            )?);
+        }
+        let table = self.table.as_ref().expect("built above");
+        loop {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let out = match &self.mode {
+                HashMode::Join { kind, right_attrs } => table.probe_batch(
+                    *kind,
+                    &self.lvar,
+                    &self.rvar,
+                    &self.lkeys,
+                    self.residual.as_ref(),
+                    right_attrs,
+                    &batch,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?,
+                HashMode::Nest { rfunc, as_attr } => table.probe_nest_batch(
+                    &self.lvar,
+                    &self.rvar,
+                    &self.lkeys,
+                    self.residual.as_ref(),
+                    rfunc.as_ref(),
+                    as_attr,
+                    &batch,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?,
+            };
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.table = None;
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+}
+
+/// Membership-keyed hash join family (`p.pid ∈ s.parts` shapes).
+struct MemberJoinOp {
+    mode: HashMode,
+    lvar: Name,
+    rvar: Name,
+    shape: MemberShape,
+    residual: Option<Expr>,
+    left: BoxOp,
+    right: BoxOp,
+    table: Option<MemberHashTable>,
+}
+
+impl Operator for MemberJoinOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.table = None;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.table.is_none() {
+            let build = drain_to_set(&mut self.right, ctx)?;
+            self.table = Some(MemberHashTable::build(
+                &self.shape,
+                &self.rvar,
+                build.into_values(),
+                &ctx.ev,
+                &mut ctx.env,
+                ctx.stats,
+            )?);
+        }
+        let table = self.table.as_ref().expect("built above");
+        loop {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let out = match &self.mode {
+                HashMode::Join { kind, right_attrs } => table.probe_batch(
+                    *kind,
+                    &self.lvar,
+                    &self.rvar,
+                    &self.shape,
+                    self.residual.as_ref(),
+                    right_attrs,
+                    &batch,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?,
+                HashMode::Nest { rfunc, as_attr } => table.probe_nest_batch(
+                    &self.lvar,
+                    &self.rvar,
+                    &self.shape,
+                    self.residual.as_ref(),
+                    rfunc.as_ref(),
+                    as_attr,
+                    &batch,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?,
+            };
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.table = None;
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+}
+
+/// Index nested-loop join: the left side streams, each row probing the
+/// right extent's secondary hash index.
+struct IndexNLJoinOp {
+    kind: JoinKind,
+    lvar: Name,
+    rvar: Name,
+    lkey: Expr,
+    attr: Name,
+    extent: Name,
+    residual: Option<Expr>,
+    right_attrs: Vec<Name>,
+    checked: bool,
+    left: BoxOp,
+}
+
+impl Operator for IndexNLJoinOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.checked = false;
+        self.left.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if !self.checked {
+            // Resolve the extent before the first pull so an unknown
+            // table errors even when the probe side is empty, exactly
+            // like the materialized path.
+            ctx.ev
+                .db()
+                .table(&self.extent)
+                .ok_or_else(|| EvalError::UnknownTable(self.extent.clone()))?;
+            self.checked = true;
+        }
+        loop {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let out = hashjoin::index_nl_join_batch(
+                self.kind,
+                &self.lvar,
+                &self.rvar,
+                &self.lkey,
+                &self.attr,
+                &self.extent,
+                self.residual.as_ref(),
+                &self.right_attrs,
+                &batch,
+                &ctx.ev,
+                &mut ctx.env,
+                ctx.stats,
+            )?;
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.left.close(ctx);
+    }
+}
+
+/// Nested-loop fallback (join and nestjoin): the right side is drained
+/// once, the left side streams against it.
+struct NLJoinOp {
+    mode: HashMode,
+    lvar: Name,
+    rvar: Name,
+    pred: Expr,
+    left: BoxOp,
+    right: BoxOp,
+    right_set: Option<Set>,
+}
+
+impl Operator for NLJoinOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.right_set = None;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.right_set.is_none() {
+            self.right_set = Some(drain_to_set(&mut self.right, ctx)?);
+        }
+        loop {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let r = self.right_set.as_ref().expect("drained above");
+            let out = match &self.mode {
+                HashMode::Join { kind, right_attrs } => hashjoin::nl_join_batch(
+                    *kind,
+                    &self.lvar,
+                    &self.rvar,
+                    &self.pred,
+                    right_attrs,
+                    &batch,
+                    r,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?,
+                HashMode::Nest { rfunc, as_attr } => hashjoin::nl_nestjoin_batch(
+                    &self.lvar,
+                    &self.rvar,
+                    &self.pred,
+                    rfunc.as_ref(),
+                    as_attr,
+                    &batch,
+                    r,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?,
+            };
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.right_set = None;
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+}
+
+/// Sort-merge join: both runs sorted up front (the blocking phase), then
+/// match groups are emitted chunk by chunk from the merge cursor.
+struct SortMergeJoinOp {
+    lvar: Name,
+    rvar: Name,
+    lkeys: Vec<Expr>,
+    rkeys: Vec<Expr>,
+    residual: Option<Expr>,
+    left: BoxOp,
+    right: BoxOp,
+    state: Option<SortMergeState>,
+}
+
+impl Operator for SortMergeJoinOp {
+    fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
+        self.state = None;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        if self.state.is_none() {
+            let l = drain_to_set(&mut self.left, ctx)?;
+            let r = drain_to_set(&mut self.right, ctx)?;
+            self.state = Some(SortMergeState::build(
+                &self.lvar,
+                &self.rvar,
+                &self.lkeys,
+                &self.rkeys,
+                l.into_values(),
+                r.into_values(),
+                &ctx.ev,
+                &mut ctx.env,
+                ctx.stats,
+            )?);
+        }
+        self.state.as_mut().expect("built above").next_chunk(
+            &self.lvar,
+            &self.rvar,
+            self.residual.as_ref(),
+            BATCH_SIZE,
+            &ctx.ev,
+            &mut ctx.env,
+            ctx.stats,
+        )
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.state = None;
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compilation.
+
+impl PhysPlan {
+    /// Compiles this plan into a streaming operator tree. Every node is
+    /// wrapped in an instrumentation shim that records rows/batches
+    /// emitted into [`Stats::operators`].
+    pub fn compile(&self) -> BoxOp {
+        let label = self.op_label();
+        let inner = self.compile_node();
+        Box::new(Instrument {
+            label,
+            inner,
+            rows_out: 0,
+            batches: 0,
+            reported: false,
+        })
+    }
+
+    /// Compiles a child whose parent consumes rows: scalar-shaped nodes
+    /// are adapted so their single set value streams as elements.
+    fn compile_rows(&self) -> BoxOp {
+        let op = self.compile();
+        if op.scalar() {
+            Box::new(ScalarRows {
+                child: op,
+                buf: None,
+            })
+        } else {
+            op
+        }
+    }
+
+    fn compile_node(&self) -> BoxOp {
+        match self {
+            PhysPlan::Scan(name) => Box::new(ScanOp {
+                table: name.clone(),
+                buf: None,
+            }),
+            PhysPlan::Literal(v) => Box::new(ScalarOp {
+                kind: ScalarKind::Literal(v.clone()),
+                done: false,
+            }),
+            PhysPlan::Eval(e) => Box::new(ScalarOp {
+                kind: ScalarKind::Eval(e.clone()),
+                done: false,
+            }),
+            PhysPlan::AggNode { op, input } => Box::new(ScalarOp {
+                kind: ScalarKind::Agg {
+                    op: *op,
+                    child: input.compile_rows(),
+                },
+                done: false,
+            }),
+            PhysPlan::Filter { var, pred, input } => Box::new(TransformOp {
+                t: RowTransform::Filter {
+                    var: var.clone(),
+                    pred: pred.clone(),
+                },
+                child: input.compile_rows(),
+            }),
+            PhysPlan::MapOp { var, body, input } => Box::new(TransformOp {
+                t: RowTransform::Map {
+                    var: var.clone(),
+                    body: body.clone(),
+                },
+                child: input.compile_rows(),
+            }),
+            PhysPlan::ProjectOp { attrs, input } => Box::new(TransformOp {
+                t: RowTransform::Project {
+                    attrs: attrs.clone(),
+                },
+                child: input.compile_rows(),
+            }),
+            PhysPlan::RenameOp { pairs, input } => Box::new(TransformOp {
+                t: RowTransform::Rename {
+                    pairs: pairs.clone(),
+                },
+                child: input.compile_rows(),
+            }),
+            PhysPlan::UnnestOp { attr, input } => Box::new(TransformOp {
+                t: RowTransform::Unnest { attr: attr.clone() },
+                child: input.compile_rows(),
+            }),
+            PhysPlan::FlattenOp { input } => Box::new(TransformOp {
+                t: RowTransform::Flatten,
+                child: input.compile_rows(),
+            }),
+            PhysPlan::NestOp {
+                attrs,
+                as_attr,
+                input,
+            } => Box::new(BlockingOp {
+                kind: BlockingKind::Nest {
+                    attrs: attrs.clone(),
+                    as_attr: as_attr.clone(),
+                    child: input.compile_rows(),
+                },
+                buf: None,
+            }),
+            PhysPlan::SetOpNode { op, left, right } => Box::new(BlockingOp {
+                kind: BlockingKind::SetOp {
+                    op: *op,
+                    left: left.compile_rows(),
+                    right: right.compile_rows(),
+                },
+                buf: None,
+            }),
+            PhysPlan::Pnhl {
+                outer,
+                set_attr,
+                inner,
+                keys,
+                budget,
+            } => Box::new(BlockingOp {
+                kind: BlockingKind::Pnhl {
+                    outer: outer.compile_rows(),
+                    set_attr: set_attr.clone(),
+                    inner: inner.compile_rows(),
+                    keys: Box::new(keys.clone()),
+                    budget: *budget,
+                },
+                buf: None,
+            }),
+            PhysPlan::LetOp { var, value, body } => Box::new(LetOp {
+                var: var.clone(),
+                value: value.compile(),
+                body: body.compile(),
+                bound: None,
+            }),
+            PhysPlan::ProductOp { left, right } => Box::new(ProductOp {
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                right_set: None,
+            }),
+            PhysPlan::HashJoin {
+                kind,
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                right_attrs,
+                left,
+                right,
+            } => Box::new(HashJoinOp {
+                mode: HashMode::Join {
+                    kind: *kind,
+                    right_attrs: right_attrs.clone(),
+                },
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys: lkeys.clone(),
+                rkeys: rkeys.clone(),
+                residual: residual.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                table: None,
+            }),
+            PhysPlan::HashNestJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => Box::new(HashJoinOp {
+                mode: HashMode::Nest {
+                    rfunc: rfunc.clone(),
+                    as_attr: as_attr.clone(),
+                },
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys: lkeys.clone(),
+                rkeys: rkeys.clone(),
+                residual: residual.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                table: None,
+            }),
+            PhysPlan::HashMemberJoin {
+                kind,
+                lvar,
+                rvar,
+                shape,
+                residual,
+                right_attrs,
+                left,
+                right,
+            } => Box::new(MemberJoinOp {
+                mode: HashMode::Join {
+                    kind: *kind,
+                    right_attrs: right_attrs.clone(),
+                },
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                shape: shape.clone(),
+                residual: residual.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                table: None,
+            }),
+            PhysPlan::MemberNestJoin {
+                lvar,
+                rvar,
+                shape,
+                residual,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => Box::new(MemberJoinOp {
+                mode: HashMode::Nest {
+                    rfunc: rfunc.clone(),
+                    as_attr: as_attr.clone(),
+                },
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                shape: shape.clone(),
+                residual: residual.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                table: None,
+            }),
+            PhysPlan::IndexNLJoin {
+                kind,
+                lvar,
+                rvar,
+                lkey,
+                attr,
+                extent,
+                residual,
+                right_attrs,
+                left,
+            } => Box::new(IndexNLJoinOp {
+                kind: *kind,
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkey: lkey.clone(),
+                attr: attr.clone(),
+                extent: extent.clone(),
+                residual: residual.clone(),
+                right_attrs: right_attrs.clone(),
+                checked: false,
+                left: left.compile_rows(),
+            }),
+            PhysPlan::NLJoin {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                right_attrs,
+                left,
+                right,
+            } => Box::new(NLJoinOp {
+                mode: HashMode::Join {
+                    kind: *kind,
+                    right_attrs: right_attrs.clone(),
+                },
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                pred: pred.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                right_set: None,
+            }),
+            PhysPlan::NLNestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => Box::new(NLJoinOp {
+                mode: HashMode::Nest {
+                    rfunc: rfunc.clone(),
+                    as_attr: as_attr.clone(),
+                },
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                pred: pred.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                right_set: None,
+            }),
+            PhysPlan::SortMergeJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                left,
+                right,
+            } => Box::new(SortMergeJoinOp {
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys: lkeys.clone(),
+                rkeys: rkeys.clone(),
+                residual: residual.clone(),
+                left: left.compile_rows(),
+                right: right.compile_rows(),
+                state: None,
+            }),
+            PhysPlan::Assemble {
+                input,
+                attr,
+                class,
+                set_valued,
+            } => Box::new(AssembleOp {
+                attr: attr.clone(),
+                class: class.clone(),
+                set_valued: *set_valued,
+                checked: false,
+                child: input.compile_rows(),
+            }),
+        }
+    }
+
+    /// Short operator label used by the per-operator statistics.
+    pub fn op_label(&self) -> String {
+        match self {
+            PhysPlan::Scan(n) => format!("Scan({n})"),
+            PhysPlan::Literal(_) => "Literal".into(),
+            PhysPlan::Eval(_) => "Eval".into(),
+            PhysPlan::Filter { .. } => "Filter".into(),
+            PhysPlan::MapOp { .. } => "Map".into(),
+            PhysPlan::ProjectOp { .. } => "Project".into(),
+            PhysPlan::RenameOp { .. } => "Rename".into(),
+            PhysPlan::UnnestOp { attr, .. } => format!("Unnest({attr})"),
+            PhysPlan::NestOp { as_attr, .. } => format!("Nest({as_attr})"),
+            PhysPlan::FlattenOp { .. } => "Flatten".into(),
+            PhysPlan::SetOpNode { op, .. } => format!("SetOp({})", op.symbol()),
+            PhysPlan::AggNode { op, .. } => format!("Agg({})", op.name()),
+            PhysPlan::LetOp { var, .. } => format!("Let({var})"),
+            PhysPlan::ProductOp { .. } => "Product".into(),
+            PhysPlan::HashJoin { kind, .. } => format!("HashJoin({kind:?})"),
+            PhysPlan::HashMemberJoin { kind, .. } => format!("HashMemberJoin({kind:?})"),
+            PhysPlan::IndexNLJoin { kind, .. } => format!("IndexNLJoin({kind:?})"),
+            PhysPlan::NLJoin { kind, .. } => format!("NLJoin({kind:?})"),
+            PhysPlan::SortMergeJoin { .. } => "SortMergeJoin".into(),
+            PhysPlan::HashNestJoin { as_attr, .. } => format!("HashNestJoin({as_attr})"),
+            PhysPlan::MemberNestJoin { as_attr, .. } => format!("MemberNestJoin({as_attr})"),
+            PhysPlan::NLNestJoin { as_attr, .. } => format!("NLNestJoin({as_attr})"),
+            PhysPlan::Pnhl { set_attr, .. } => format!("PNHL({set_attr})"),
+            PhysPlan::Assemble { attr, class, .. } => format!("Assemble({attr}->{class})"),
+        }
+    }
+}
+
+/// Drives a compiled plan to completion against `db`, mirroring the
+/// result contract of the materialized executor: row-producing roots
+/// collect into a canonical set, scalar roots return their single value.
+pub fn run(plan: &PhysPlan, db: &Database, stats: &mut Stats) -> Result<Value, EvalError> {
+    let mut ctx = ExecCtx {
+        ev: Evaluator::new(db),
+        env: Env::new(),
+        stats,
+    };
+    let mut root = plan.compile();
+    root.open(&mut ctx)?;
+    let result = if root.scalar() {
+        drain_scalar(&mut root, &mut ctx)
+    } else {
+        drain_rows(&mut root, &mut ctx).map(|rows| Value::Set(Set::from_values(rows)))
+    };
+    root.close(&mut ctx);
+    let v = result?;
+    if let Value::Set(s) = &v {
+        ctx.stats.output_rows += s.len() as u64;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{JoinAlgo, Planner, PlannerConfig};
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::{figure3_db, supplier_part_db};
+
+    fn both_paths(db: &Database, e: &Expr) -> (Value, Stats, Value, Stats) {
+        let plan = Planner::new(db).plan(e).unwrap();
+        let mut ms = Stats::new();
+        let materialized = plan.execute(&mut ms).unwrap();
+        let mut ss = Stats::new();
+        let streamed = plan.execute_streaming(&mut ss).unwrap();
+        (materialized, ms, streamed, ss)
+    }
+
+    #[test]
+    fn streaming_agrees_on_scan_filter_map() {
+        let db = supplier_part_db();
+        let e = map(
+            "p",
+            var("p").field("pname"),
+            select(
+                "p",
+                eq(var("p").field("color"), str_lit("red")),
+                table("PART"),
+            ),
+        );
+        let (m, ms, s, ss) = both_paths(&db, &e);
+        assert_eq!(m, s);
+        // identical classic work profile…
+        assert_eq!(ms.rows_scanned, ss.rows_scanned);
+        assert_eq!(ms.predicate_evals, ss.predicate_evals);
+        // …plus the per-operator profile only streaming records
+        assert!(ms.operators.is_empty());
+        assert_eq!(
+            ss.operators.len(),
+            3,
+            "scan, filter, map: {:?}",
+            ss.operators
+        );
+        let scan = ss.operator("Scan(PART)").unwrap();
+        assert_eq!(scan.rows_out, 7);
+        assert_eq!(scan.batches, 1);
+        let filter = ss.operator("Filter").unwrap();
+        assert_eq!(filter.rows_out, 3);
+    }
+
+    #[test]
+    fn streaming_agrees_on_every_join_algorithm() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
+            let planner = Planner::with_config(
+                &db,
+                PlannerConfig {
+                    join_algo: algo,
+                    ..Default::default()
+                },
+            );
+            let plan = planner.plan(&e).unwrap();
+            let mut ms = Stats::new();
+            let m = plan.execute(&mut ms).unwrap();
+            let mut ss = Stats::new();
+            let s = plan.execute_streaming(&mut ss).unwrap();
+            assert_eq!(m, s, "algo {algo:?}");
+            assert!(!ss.operators.is_empty(), "algo {algo:?} not instrumented");
+        }
+    }
+
+    #[test]
+    fn streaming_agrees_on_member_semijoin_with_probe_stats() {
+        let db = supplier_part_db();
+        let e = semijoin(
+            "s",
+            "p",
+            and(
+                member(var("p").field("pid"), var("s").field("parts")),
+                eq(var("p").field("color"), str_lit("red")),
+            ),
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        let (m, ms, s, ss) = both_paths(&db, &e);
+        assert_eq!(m, s);
+        assert_eq!(ms.hash_build_rows, ss.hash_build_rows);
+        assert_eq!(ms.hash_probes, ss.hash_probes);
+        assert_eq!(ss.loop_iterations, 0);
+        let join_op = ss.operator("HashMemberJoin").unwrap();
+        assert_eq!(join_op.rows_out, 3); // s1, s2, s3
+    }
+
+    #[test]
+    fn streaming_agrees_on_nestjoin_pnhl_and_assembly() {
+        let db = supplier_part_db();
+        // membership nestjoin (Example Query 6 shape)
+        let nj = nestjoin_with(
+            "s",
+            "p",
+            member(var("p").field("pid"), var("s").field("parts")),
+            var("p").field("pname"),
+            "pnames",
+            table("SUPPLIER"),
+            table("PART"),
+        );
+        let (m, _, s, ss) = both_paths(&db, &nj);
+        assert_eq!(m, s);
+        assert_eq!(ss.operator("MemberNestJoin").unwrap().rows_out, 5);
+
+        // §6.2 materialization: assembly (identity key) and PNHL
+        let mat = map(
+            "s",
+            except(
+                var("s"),
+                vec![(
+                    "parts",
+                    select(
+                        "p",
+                        member(var("p").field("pid"), var("s").field("parts")),
+                        table("PART"),
+                    ),
+                )],
+            ),
+            table("SUPPLIER"),
+        );
+        let (m2, _, s2, ss2) = both_paths(&db, &mat);
+        assert_eq!(m2, s2);
+        assert!(ss2.operator("Assemble").is_some(), "{:?}", ss2.operators);
+
+        let pnhl_planner = Planner::with_config(
+            &db,
+            PlannerConfig {
+                prefer_assembly: false,
+                pnhl_budget: 2,
+                ..Default::default()
+            },
+        );
+        let plan = pnhl_planner.plan(&mat).unwrap();
+        let mut ss3 = Stats::new();
+        let s3 = plan.execute_streaming(&mut ss3).unwrap();
+        assert_eq!(m2, s3);
+        assert!(ss3.operator("PNHL").is_some(), "{:?}", ss3.operators);
+        assert_eq!(ss3.partitions, 4); // ⌈7 / 2⌉ segments
+    }
+
+    #[test]
+    fn scalar_roots_return_plain_values() {
+        let db = supplier_part_db();
+        let count_plan = PhysPlan::AggNode {
+            op: oodb_adl::AggOp::Count,
+            input: Box::new(PhysPlan::Scan("PART".into())),
+        };
+        let mut stats = Stats::new();
+        let v = count_plan.execute_streaming_on(&db, &mut stats).unwrap();
+        assert_eq!(v, Value::Int(7));
+        // aggregates drain their input through the instrumented pipeline
+        assert!(stats.operator("Scan(PART)").is_some());
+
+        let lit = PhysPlan::Literal(Value::str("hello"));
+        let mut s2 = Stats::new();
+        assert_eq!(
+            lit.execute_streaming_on(&db, &mut s2).unwrap(),
+            Value::str("hello")
+        );
+    }
+
+    #[test]
+    fn let_bindings_stay_scoped_to_the_body() {
+        let db = supplier_part_db();
+        let e = let_(
+            "reds",
+            map(
+                "p",
+                var("p").field("pid"),
+                select(
+                    "p",
+                    eq(var("p").field("color"), str_lit("red")),
+                    table("PART"),
+                ),
+            ),
+            select(
+                "s",
+                exists("x", var("s").field("parts"), member(var("x"), var("reds"))),
+                table("SUPPLIER"),
+            ),
+        );
+        let (m, _, s, ss) = both_paths(&db, &e);
+        assert_eq!(m, s);
+        assert_eq!(s.as_set().unwrap().len(), 3);
+        assert!(ss.operator("Let(reds)").is_some(), "{:?}", ss.operators);
+    }
+
+    #[test]
+    fn large_scans_stream_in_multiple_batches() {
+        use oodb_catalog::fixtures::supplier_part_catalog;
+        use oodb_value::{Oid, Tuple};
+        let mut db = Database::new(supplier_part_catalog()).unwrap();
+        let n = 3 * BATCH_SIZE + 17;
+        for i in 0..n {
+            db.insert(
+                "PART",
+                Tuple::from_pairs([
+                    ("pid", Value::Oid(Oid(1_000_000 + i as u64))),
+                    ("pname", Value::str(&format!("part-{i}"))),
+                    ("price", Value::Int((i % 97) as i64)),
+                    ("color", Value::str(if i % 3 == 0 { "red" } else { "blue" })),
+                ]),
+            )
+            .unwrap();
+        }
+        let e = select("p", lt(var("p").field("price"), int(50)), table("PART"));
+        let plan = Planner::new(&db).plan(&e).unwrap();
+        let mut ss = Stats::new();
+        let got = plan.execute_streaming(&mut ss).unwrap();
+        let scan = ss.operator("Scan(PART)").unwrap();
+        assert_eq!(scan.rows_out, n as u64);
+        assert_eq!(scan.batches, 4, "expected ⌈{n}/{BATCH_SIZE}⌉ batches");
+        let filter = ss.operator("Filter").unwrap();
+        assert!(filter.batches >= 2);
+        assert_eq!(got.as_set().unwrap().len(), filter.rows_out as usize);
+        // agrees with the materialized path
+        let mut ms = Stats::new();
+        assert_eq!(plan.execute(&mut ms).unwrap(), got);
+    }
+
+    #[test]
+    fn product_and_setop_stream_correctly() {
+        let db = supplier_part_db();
+        let prod = PhysPlan::ProductOp {
+            left: Box::new(PhysPlan::ProjectOp {
+                attrs: vec!["eid".into()],
+                input: Box::new(PhysPlan::Scan("SUPPLIER".into())),
+            }),
+            right: Box::new(PhysPlan::ProjectOp {
+                attrs: vec!["pid".into()],
+                input: Box::new(PhysPlan::Scan("PART".into())),
+            }),
+        };
+        let mut ss = Stats::new();
+        let v = prod.execute_streaming_on(&db, &mut ss).unwrap();
+        assert_eq!(v.as_set().unwrap().len(), 35);
+        assert_eq!(ss.loop_iterations, 35);
+
+        let inter = PhysPlan::SetOpNode {
+            op: SetOp::Intersect,
+            left: Box::new(PhysPlan::Filter {
+                var: "p".into(),
+                pred: eq(var("p").field("color"), str_lit("red")),
+                input: Box::new(PhysPlan::Scan("PART".into())),
+            }),
+            right: Box::new(PhysPlan::Filter {
+                var: "p".into(),
+                pred: lt(var("p").field("price"), int(8)),
+                input: Box::new(PhysPlan::Scan("PART".into())),
+            }),
+        };
+        let mut s2 = Stats::new();
+        let v2 = inter.execute_streaming_on(&db, &mut s2).unwrap();
+        assert_eq!(v2.as_set().unwrap().len(), 1); // screw (red, 7)
+    }
+
+    #[test]
+    fn index_nl_join_streams_with_index_probes() {
+        let mut db = supplier_part_db();
+        db.create_index("DELIVERY", "supplier").unwrap();
+        let e = join(
+            "s",
+            "d",
+            eq(var("s").field("eid"), var("d").field("supplier")),
+            project(&["eid", "sname"], table("SUPPLIER")),
+            table("DELIVERY"),
+        );
+        let plan = Planner::new(&db).plan(&e).unwrap();
+        assert!(matches!(plan.phys, PhysPlan::IndexNLJoin { .. }));
+        let mut ss = Stats::new();
+        let s = plan.execute_streaming(&mut ss).unwrap();
+        assert!(ss.index_probes > 0);
+        assert!(ss.operator("IndexNLJoin").is_some());
+        let mut ms = Stats::new();
+        assert_eq!(plan.execute(&mut ms).unwrap(), s);
+    }
+
+    #[test]
+    fn errors_propagate_through_the_pipeline() {
+        let db = supplier_part_db();
+        let bad = PhysPlan::Scan("NO_SUCH".into());
+        let mut stats = Stats::new();
+        assert!(matches!(
+            bad.execute_streaming_on(&db, &mut stats),
+            Err(EvalError::UnknownTable(_))
+        ));
+        // flatten of non-set rows errors exactly like the materialized path
+        let flat = PhysPlan::FlattenOp {
+            input: Box::new(PhysPlan::MapOp {
+                var: "p".into(),
+                body: var("p").field("pname"),
+                input: Box::new(PhysPlan::Scan("PART".into())),
+            }),
+        };
+        let mut s2 = Stats::new();
+        let streaming_err = flat.execute_streaming_on(&db, &mut s2);
+        let mut s3 = Stats::new();
+        let materialized_err = flat.execute_on(&db, &mut s3);
+        assert!(streaming_err.is_err());
+        assert!(materialized_err.is_err());
+    }
+}

@@ -35,6 +35,25 @@ pub fn pnhl_materialize(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
+    Ok(Value::Set(Set::from_values(pnhl_rows(
+        outer, set_attr, inner, keys, budget, ev, env, stats,
+    )?)))
+}
+
+/// [`pnhl_materialize`] returning the output rows unwrapped, so the
+/// streaming pipeline can emit them in batches after the (inherently
+/// blocking) partitioned probe phases.
+#[allow(clippy::too_many_arguments)]
+pub fn pnhl_rows(
+    outer: &Set,
+    set_attr: &Name,
+    inner: &Set,
+    keys: &MatchKeys,
+    budget: usize,
+    ev: &Evaluator<'_>,
+    env: &mut Env,
+    stats: &mut Stats,
+) -> Result<Vec<Value>, EvalError> {
     assert!(budget > 0, "PNHL budget must be positive");
     let inner_rows: Vec<&Value> = inner.iter().collect();
 
@@ -75,7 +94,7 @@ pub fn pnhl_materialize(
             .map_err(EvalError::Value)?;
         out.push(Value::Tuple(t));
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(out)
 }
 
 /// The unnest–join–nest alternative PNHL is measured against (§6.2):
@@ -165,7 +184,12 @@ mod tests {
     fn pnhl_materializes_part_tuples() {
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        let outer = db.table("SUPPLIER").unwrap().as_set_value().into_set().unwrap();
+        let outer = db
+            .table("SUPPLIER")
+            .unwrap()
+            .as_set_value()
+            .into_set()
+            .unwrap();
         let inner = db.table("PART").unwrap().as_set_value().into_set().unwrap();
         let mut env = Env::new();
         let mut stats = Stats::new();
@@ -196,18 +220,37 @@ mod tests {
     fn smaller_budget_means_more_segments_same_answer() {
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        let outer = db.table("SUPPLIER").unwrap().as_set_value().into_set().unwrap();
+        let outer = db
+            .table("SUPPLIER")
+            .unwrap()
+            .as_set_value()
+            .into_set()
+            .unwrap();
         let inner = db.table("PART").unwrap().as_set_value().into_set().unwrap();
         let mut env = Env::new();
 
         let mut wide = Stats::new();
         let v_wide = pnhl_materialize(
-            &outer, &"parts".into(), &inner, &keys(), 100, &ev, &mut env, &mut wide,
+            &outer,
+            &"parts".into(),
+            &inner,
+            &keys(),
+            100,
+            &ev,
+            &mut env,
+            &mut wide,
         )
         .unwrap();
         let mut tight = Stats::new();
         let v_tight = pnhl_materialize(
-            &outer, &"parts".into(), &inner, &keys(), 2, &ev, &mut env, &mut tight,
+            &outer,
+            &"parts".into(),
+            &inner,
+            &keys(),
+            2,
+            &ev,
+            &mut env,
+            &mut tight,
         )
         .unwrap();
         assert_eq!(v_wide, v_tight);
@@ -220,17 +263,35 @@ mod tests {
     fn unnest_join_nest_agrees_with_pnhl() {
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        let outer = db.table("SUPPLIER").unwrap().as_set_value().into_set().unwrap();
+        let outer = db
+            .table("SUPPLIER")
+            .unwrap()
+            .as_set_value()
+            .into_set()
+            .unwrap();
         let inner = db.table("PART").unwrap().as_set_value().into_set().unwrap();
         let mut env = Env::new();
         let mut s1 = Stats::new();
         let a = pnhl_materialize(
-            &outer, &"parts".into(), &inner, &keys(), 64, &ev, &mut env, &mut s1,
+            &outer,
+            &"parts".into(),
+            &inner,
+            &keys(),
+            64,
+            &ev,
+            &mut env,
+            &mut s1,
         )
         .unwrap();
         let mut s2 = Stats::new();
         let b = unnest_join_nest(
-            &outer, &"parts".into(), &inner, &keys(), &ev, &mut env, &mut s2,
+            &outer,
+            &"parts".into(),
+            &inner,
+            &keys(),
+            &ev,
+            &mut env,
+            &mut s2,
         )
         .unwrap();
         assert_eq!(a, b);
@@ -241,12 +302,24 @@ mod tests {
     fn zero_budget_rejected() {
         let db = supplier_part_db();
         let ev = Evaluator::new(&db);
-        let outer = db.table("SUPPLIER").unwrap().as_set_value().into_set().unwrap();
+        let outer = db
+            .table("SUPPLIER")
+            .unwrap()
+            .as_set_value()
+            .into_set()
+            .unwrap();
         let inner = db.table("PART").unwrap().as_set_value().into_set().unwrap();
         let mut env = Env::new();
         let mut stats = Stats::new();
         let _ = pnhl_materialize(
-            &outer, &"parts".into(), &inner, &keys(), 0, &ev, &mut env, &mut stats,
+            &outer,
+            &"parts".into(),
+            &inner,
+            &keys(),
+            0,
+            &ev,
+            &mut env,
+            &mut stats,
         );
     }
 }

@@ -10,6 +10,114 @@ use crate::stats::Stats;
 use oodb_adl::expr::Expr;
 use oodb_value::{Name, Set, Value};
 
+/// The sort phase of the sort-merge join, holding both sorted runs and
+/// the merge cursor. [`SortMergeState::next_chunk`] then emits matches
+/// incrementally — the streaming `Operator` pipeline pulls one chunk
+/// per batch instead of materializing the whole join result.
+pub struct SortMergeState<V = Value> {
+    ls: Vec<(Vec<Value>, V)>,
+    rs: Vec<(Vec<Value>, V)>,
+    i: usize,
+    j: usize,
+}
+
+impl<V: std::borrow::Borrow<Value>> SortMergeState<V> {
+    /// Evaluates and sorts both key runs (the blocking phase). Generic
+    /// over row ownership: the streaming pipeline moves owned rows in
+    /// (`V = Value`), the materialized entry point borrows its sets
+    /// (`V = &Value`, zero copies).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        lvar: &Name,
+        rvar: &Name,
+        lkeys: &[Expr],
+        rkeys: &[Expr],
+        left: impl IntoIterator<Item = V>,
+        right: impl IntoIterator<Item = V>,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Self, EvalError> {
+        let mut ls = keyed(left, lkeys, lvar, ev, env, stats)?;
+        let mut rs = keyed(right, rkeys, rvar, ev, env, stats)?;
+        ls.sort_by(|a, b| a.0.cmp(&b.0));
+        rs.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(SortMergeState { ls, rs, i: 0, j: 0 })
+    }
+
+    /// Advances the merge until at least `min_rows` output rows exist (or
+    /// input is exhausted); `None` once fully drained. Equal-key groups
+    /// are emitted whole, so a chunk can exceed `min_rows`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn next_chunk(
+        &mut self,
+        lvar: &Name,
+        rvar: &Name,
+        residual: Option<&Expr>,
+        min_rows: usize,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Option<Vec<Value>>, EvalError> {
+        if self.i >= self.ls.len() || self.j >= self.rs.len() {
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        while self.i < self.ls.len() && self.j < self.rs.len() {
+            match self.ls[self.i].0.cmp(&self.rs[self.j].0) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    // find the extent of the equal-key group on each side
+                    let key = &self.ls[self.i].0;
+                    let i_end = self.ls[self.i..]
+                        .iter()
+                        .take_while(|(k, _)| k == key)
+                        .count()
+                        + self.i;
+                    let j_end = self.rs[self.j..]
+                        .iter()
+                        .take_while(|(k, _)| k == key)
+                        .count()
+                        + self.j;
+                    for li in self.i..i_end {
+                        for rj in self.j..j_end {
+                            stats.loop_iterations += 1;
+                            let x = self.ls[li].1.borrow();
+                            let y = self.rs[rj].1.borrow();
+                            let keep = match residual {
+                                None => true,
+                                Some(pred) => {
+                                    stats.predicate_evals += 1;
+                                    env.push(lvar, x.clone());
+                                    env.push(rvar, y.clone());
+                                    let r = ev.eval(pred, env, stats);
+                                    env.pop();
+                                    env.pop();
+                                    r?.as_bool()?
+                                }
+                            };
+                            if keep {
+                                out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?));
+                            }
+                        }
+                    }
+                    self.i = i_end;
+                    self.j = j_end;
+                    if out.len() >= min_rows {
+                        return Ok(Some(out));
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+}
+
 /// Sort-merge inner join.
 #[allow(clippy::too_many_arguments)]
 pub fn sort_merge_join(
@@ -24,64 +132,36 @@ pub fn sort_merge_join(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
-    let mut ls = keyed(left, lkeys, lvar, ev, env, stats)?;
-    let mut rs = keyed(right, rkeys, rvar, ev, env, stats)?;
-    ls.sort_by(|a, b| a.0.cmp(&b.0));
-    rs.sort_by(|a, b| a.0.cmp(&b.0));
-
+    let mut state = SortMergeState::build(
+        lvar,
+        rvar,
+        lkeys,
+        rkeys,
+        left.iter(),
+        right.iter(),
+        ev,
+        env,
+        stats,
+    )?;
     let mut out = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ls.len() && j < rs.len() {
-        match ls[i].0.cmp(&rs[j].0) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // find the extent of the equal-key group on each side
-                let key = &ls[i].0;
-                let i_end = ls[i..].iter().take_while(|(k, _)| k == key).count() + i;
-                let j_end = rs[j..].iter().take_while(|(k, _)| k == key).count() + j;
-                for (_, x) in &ls[i..i_end] {
-                    for (_, y) in &rs[j..j_end] {
-                        stats.loop_iterations += 1;
-                        let keep = match residual {
-                            None => true,
-                            Some(pred) => {
-                                stats.predicate_evals += 1;
-                                env.push(lvar, (*x).clone());
-                                env.push(rvar, (*y).clone());
-                                let r = ev.eval(pred, env, stats);
-                                env.pop();
-                                env.pop();
-                                r?.as_bool()?
-                            }
-                        };
-                        if keep {
-                            out.push(Value::Tuple(
-                                x.as_tuple()?.concat(y.as_tuple()?)?,
-                            ));
-                        }
-                    }
-                }
-                i = i_end;
-                j = j_end;
-            }
-        }
+    while let Some(chunk) = state.next_chunk(lvar, rvar, residual, usize::MAX, ev, env, stats)? {
+        out.extend(chunk);
     }
     Ok(Value::Set(Set::from_values(out)))
 }
 
 /// Pairs every tuple with its evaluated key vector.
-fn keyed<'s>(
-    s: &'s Set,
+fn keyed<V: std::borrow::Borrow<Value>>(
+    s: impl IntoIterator<Item = V>,
     keys: &[Expr],
     var: &Name,
     ev: &Evaluator<'_>,
     env: &mut Env,
     stats: &mut Stats,
-) -> Result<Vec<(Vec<Value>, &'s Value)>, EvalError> {
-    let mut out = Vec::with_capacity(s.len());
-    for v in s.iter() {
-        env.push(var, v.clone());
+) -> Result<Vec<(Vec<Value>, V)>, EvalError> {
+    let mut out = Vec::new();
+    for v in s {
+        env.push(var, v.borrow().clone());
         let mut key = Vec::with_capacity(keys.len());
         for k in keys {
             match ev.eval(k, env, stats) {

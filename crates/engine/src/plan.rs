@@ -93,7 +93,14 @@ pub struct Plan<'a> {
 }
 
 impl Plan<'_> {
-    /// Runs the plan.
+    /// Runs the plan through the streaming operator pipeline (the
+    /// default execution path — see [`crate::physical::operator`]).
+    pub fn execute_streaming(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
+        self.phys.execute_streaming_on(self.db, stats)
+    }
+
+    /// Runs the plan with whole-set materialization at every operator
+    /// boundary (the reference set-at-a-time path).
     pub fn execute(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
         self.phys.execute_on(self.db, stats)
     }
@@ -113,7 +120,10 @@ pub struct Planner<'a> {
 impl<'a> Planner<'a> {
     /// A planner with default configuration.
     pub fn new(db: &'a Database) -> Self {
-        Planner { db, config: PlannerConfig::default() }
+        Planner {
+            db,
+            config: PlannerConfig::default(),
+        }
     }
 
     /// A planner with explicit configuration.
@@ -123,7 +133,10 @@ impl<'a> Planner<'a> {
 
     /// Lowers a closed ADL expression into an executable [`Plan`].
     pub fn plan(&self, e: &Expr) -> Result<Plan<'a>, PlanError> {
-        Ok(Plan { phys: self.lower(e)?, db: self.db })
+        Ok(Plan {
+            phys: self.lower(e)?,
+            db: self.db,
+        })
     }
 
     fn lower(&self, e: &Expr) -> Result<PhysPlan, PlanError> {
@@ -159,22 +172,27 @@ impl<'a> Planner<'a> {
                 attr: attr.clone(),
                 input: Box::new(self.lower(input)?),
             },
-            Expr::Nest { attrs, as_attr, input } => PhysPlan::NestOp {
+            Expr::Nest {
+                attrs,
+                as_attr,
+                input,
+            } => PhysPlan::NestOp {
                 attrs: attrs.clone(),
                 as_attr: as_attr.clone(),
                 input: Box::new(self.lower(input)?),
             },
-            Expr::Flatten(input) => {
-                PhysPlan::FlattenOp { input: Box::new(self.lower(input)?) }
-            }
+            Expr::Flatten(input) => PhysPlan::FlattenOp {
+                input: Box::new(self.lower(input)?),
+            },
             Expr::SetOp(op, l, r) => PhysPlan::SetOpNode {
                 op: *op,
                 left: Box::new(self.lower(l)?),
                 right: Box::new(self.lower(r)?),
             },
-            Expr::Agg(op, input) => {
-                PhysPlan::AggNode { op: *op, input: Box::new(self.lower(input)?) }
-            }
+            Expr::Agg(op, input) => PhysPlan::AggNode {
+                op: *op,
+                input: Box::new(self.lower(input)?),
+            },
             Expr::Let { var, value, body } => PhysPlan::LetOp {
                 var: var.clone(),
                 value: Box::new(self.lower(value)?),
@@ -184,19 +202,23 @@ impl<'a> Planner<'a> {
                 left: Box::new(self.lower(l)?),
                 right: Box::new(self.lower(r)?),
             },
-            Expr::Join { kind, lvar, rvar, pred, left, right } => {
-                self.plan_join(*kind, lvar, rvar, pred, left, right)?
-            }
-            Expr::NestJoin { lvar, rvar, pred, rfunc, as_attr, left, right } => self
-                .plan_nestjoin(
-                    lvar,
-                    rvar,
-                    pred,
-                    rfunc.as_deref(),
-                    as_attr,
-                    left,
-                    right,
-                )?,
+            Expr::Join {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                left,
+                right,
+            } => self.plan_join(*kind, lvar, rvar, pred, left, right)?,
+            Expr::NestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => self.plan_nestjoin(lvar, rvar, pred, rfunc.as_deref(), as_attr, left, right)?,
             // Scalar or irreducible expressions: reference evaluator.
             other => PhysPlan::Eval(other.clone()),
         })
@@ -204,8 +226,7 @@ impl<'a> Planner<'a> {
 
     /// The padding schema for a left outer join.
     fn right_attrs(&self, right: &Expr) -> Result<Vec<Name>, PlanError> {
-        let t = oodb_adl::infer_closed(right, self.db.catalog())
-            .map_err(PlanError::Type)?;
+        let t = oodb_adl::infer_closed(right, self.db.catalog()).map_err(PlanError::Type)?;
         t.sch().ok_or_else(|| {
             PlanError::Type(AdlTypeError::Shape {
                 op: "outer join",
@@ -264,11 +285,7 @@ impl<'a> Planner<'a> {
                         };
                         let mut residual_parts = split.residual.clone();
                         for (lk, rk) in equi {
-                            residual_parts.push(Expr::Cmp(
-                                CmpOp::Eq,
-                                Box::new(lk),
-                                Box::new(rk),
-                            ));
+                            residual_parts.push(Expr::Cmp(CmpOp::Eq, Box::new(lk), Box::new(rk)));
                         }
                         return Ok(PhysPlan::IndexNLJoin {
                             kind,
@@ -403,7 +420,9 @@ impl<'a> Planner<'a> {
         body: &Expr,
         input: &Expr,
     ) -> Result<Option<PhysPlan>, PlanError> {
-        let Expr::Except(base, updates) = body else { return Ok(None) };
+        let Expr::Except(base, updates) = body else {
+            return Ok(None);
+        };
         if !matches!(base.as_ref(), Expr::Var(v) if v == var) || updates.len() != 1 {
             return Ok(None);
         }
@@ -427,10 +446,17 @@ impl<'a> Planner<'a> {
 
         // Pattern A: set materialization
         // α[x : x except (a = σ[y : key(y) ∈ x.a](T))](X)
-        let Expr::Select { var: y, pred, input: sel_input } = update else {
+        let Expr::Select {
+            var: y,
+            pred,
+            input: sel_input,
+        } = update
+        else {
             return Ok(None);
         };
-        let Expr::Table(extent) = sel_input.as_ref() else { return Ok(None) };
+        let Expr::Table(extent) = sel_input.as_ref() else {
+            return Ok(None);
+        };
         let Expr::SetCmp(SetCmpOp::In, key_y, set_expr) = pred.as_ref() else {
             return Ok(None);
         };
@@ -496,9 +522,8 @@ fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
     let mut member: Option<MemberShape> = None;
     let mut residual = Vec::new();
 
-    let only_over = |e: &Expr, v: &Name| -> bool {
-        !e.mentions_table() && free_vars(e).iter().all(|n| n == v)
-    };
+    let only_over =
+        |e: &Expr, v: &Name| -> bool { !e.mentions_table() && free_vars(e).iter().all(|n| n == v) };
 
     for c in conjuncts(pred) {
         match c {
@@ -506,19 +531,11 @@ fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
                 // Both sides must actually reference their variable — a
                 // one-sided constant comparison is a filter, not a key.
                 let (af, bf) = (free_vars(a), free_vars(b));
-                if !af.is_empty()
-                    && !bf.is_empty()
-                    && only_over(a, lvar)
-                    && only_over(b, rvar)
-                {
+                if !af.is_empty() && !bf.is_empty() && only_over(a, lvar) && only_over(b, rvar) {
                     equi.push(((**a).clone(), (**b).clone()));
                     continue;
                 }
-                if !af.is_empty()
-                    && !bf.is_empty()
-                    && only_over(a, rvar)
-                    && only_over(b, lvar)
-                {
+                if !af.is_empty() && !bf.is_empty() && only_over(a, rvar) && only_over(b, lvar) {
                     equi.push(((**b).clone(), (**a).clone()));
                     continue;
                 }
@@ -530,10 +547,7 @@ fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
                         lset: (**s).clone(),
                         rkey: (**k).clone(),
                     });
-                } else if only_over(k, lvar)
-                    && only_over(s, rvar)
-                    && !free_vars(s).is_empty()
-                {
+                } else if only_over(k, lvar) && only_over(s, rvar) && !free_vars(s).is_empty() {
                     member = Some(MemberShape::LeftInRightSet {
                         lkey: (**k).clone(),
                         rset: (**s).clone(),
@@ -545,7 +559,11 @@ fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
             other => residual.push(other.clone()),
         }
     }
-    SplitPred { equi, member, residual }
+    SplitPred {
+        equi,
+        member,
+        residual,
+    }
 }
 
 fn build_residual(parts: Vec<Expr>) -> Option<Expr> {
@@ -582,7 +600,11 @@ mod tests {
             table("Y"),
         );
         let (phys, v, stats) = plan_and_run(&db, &e);
-        assert!(matches!(phys, PhysPlan::HashJoin { .. }), "{}", phys.explain());
+        assert!(
+            matches!(phys, PhysPlan::HashJoin { .. }),
+            "{}",
+            phys.explain()
+        );
         assert_eq!(v.as_set().unwrap().len(), 4);
         assert_eq!(stats.loop_iterations, 0);
         // agrees with the reference evaluator
@@ -605,7 +627,13 @@ mod tests {
         );
         let (phys, v, _) = plan_and_run(&db, &e);
         assert!(
-            matches!(phys, PhysPlan::HashMemberJoin { residual: Some(_), .. }),
+            matches!(
+                phys,
+                PhysPlan::HashMemberJoin {
+                    residual: Some(_),
+                    ..
+                }
+            ),
             "{}",
             phys.explain()
         );
@@ -643,7 +671,10 @@ mod tests {
         );
         let planner = Planner::with_config(
             &db,
-            PlannerConfig { join_algo: JoinAlgo::NestedLoop, ..Default::default() },
+            PlannerConfig {
+                join_algo: JoinAlgo::NestedLoop,
+                ..Default::default()
+            },
         );
         let plan = planner.plan(&e).unwrap();
         assert!(matches!(plan.phys, PhysPlan::NLJoin { .. }));
@@ -661,7 +692,10 @@ mod tests {
         );
         let planner = Planner::with_config(
             &db,
-            PlannerConfig { join_algo: JoinAlgo::SortMerge, ..Default::default() },
+            PlannerConfig {
+                join_algo: JoinAlgo::SortMerge,
+                ..Default::default()
+            },
         );
         let plan = planner.plan(&e).unwrap();
         assert!(matches!(plan.phys, PhysPlan::SortMergeJoin { .. }));
@@ -677,7 +711,10 @@ mod tests {
             table("X"),
             table("Y"),
         );
-        assert!(matches!(planner.plan(&sj).unwrap().phys, PhysPlan::HashJoin { .. }));
+        assert!(matches!(
+            planner.plan(&sj).unwrap().phys,
+            PhysPlan::HashJoin { .. }
+        ));
     }
 
     #[test]
@@ -718,7 +755,13 @@ mod tests {
             table("SUPPLIER"),
         );
         let (phys, v, stats) = plan_and_run(&db, &e);
-        assert!(matches!(phys, PhysPlan::Assemble { set_valued: true, .. }));
+        assert!(matches!(
+            phys,
+            PhysPlan::Assemble {
+                set_valued: true,
+                ..
+            }
+        ));
         assert!(stats.oid_lookups > 0);
         // identical to the naive evaluation
         let ev = Evaluator::new(&db);
@@ -746,7 +789,11 @@ mod tests {
         );
         let planner = Planner::new(&db);
         let plan = planner.plan(&e).unwrap();
-        assert!(matches!(plan.phys, PhysPlan::Pnhl { .. }), "{}", plan.explain());
+        assert!(
+            matches!(plan.phys, PhysPlan::Pnhl { .. }),
+            "{}",
+            plan.explain()
+        );
     }
 
     #[test]
@@ -761,7 +808,13 @@ mod tests {
             table("DELIVERY"),
         );
         let (phys, v, _) = plan_and_run(&db, &e);
-        assert!(matches!(phys, PhysPlan::Assemble { set_valued: false, .. }));
+        assert!(matches!(
+            phys,
+            PhysPlan::Assemble {
+                set_valued: false,
+                ..
+            }
+        ));
         let ev = Evaluator::new(&db);
         assert_eq!(v, ev.eval_closed(&e).unwrap());
     }
@@ -796,7 +849,11 @@ mod tests {
             map(
                 "p",
                 var("p").field("pid"),
-                select("p", eq(var("p").field("color"), str_lit("red")), table("PART")),
+                select(
+                    "p",
+                    eq(var("p").field("color"), str_lit("red")),
+                    table("PART"),
+                ),
             ),
             select(
                 "s",
@@ -880,17 +937,29 @@ mod index_tests {
             table("DELIVERY"),
         );
         let planner = Planner::new(&db);
-        assert!(matches!(planner.plan(&e).unwrap().phys, PhysPlan::HashJoin { .. }));
+        assert!(matches!(
+            planner.plan(&e).unwrap().phys,
+            PhysPlan::HashJoin { .. }
+        ));
         // disabled by config even when present
         let mut db2 = supplier_part_db();
         db2.create_index("DELIVERY", "supplier").unwrap();
         let planner2 = Planner::with_config(
             &db2,
-            PlannerConfig { use_indexes: false, ..Default::default() },
+            PlannerConfig {
+                use_indexes: false,
+                ..Default::default()
+            },
         );
-        assert!(matches!(planner2.plan(&e).unwrap().phys, PhysPlan::HashJoin { .. }));
+        assert!(matches!(
+            planner2.plan(&e).unwrap().phys,
+            PhysPlan::HashJoin { .. }
+        ));
         let planner3 = Planner::new(&db2);
-        assert!(matches!(planner3.plan(&e).unwrap().phys, PhysPlan::IndexNLJoin { .. }));
+        assert!(matches!(
+            planner3.plan(&e).unwrap().phys,
+            PhysPlan::IndexNLJoin { .. }
+        ));
     }
 
     #[test]
@@ -911,7 +980,10 @@ mod index_tests {
             let plan = planner.plan(&e).unwrap();
             assert!(matches!(plan.phys, PhysPlan::IndexNLJoin { .. }));
             let mut stats = Stats::new();
-            assert_eq!(plan.execute(&mut stats).unwrap(), ev.eval_closed(&e).unwrap());
+            assert_eq!(
+                plan.execute(&mut stats).unwrap(),
+                ev.eval_closed(&e).unwrap()
+            );
         }
     }
 }

@@ -29,6 +29,21 @@ pub struct Stats {
     pub index_probes: u64,
     /// Tuples in the final result (top-level set cardinality).
     pub output_rows: u64,
+    /// Per-operator emission profile of the streaming pipeline (one entry
+    /// per physical operator, in close order; empty under the
+    /// materialized executor).
+    pub operators: Vec<OpStats>,
+}
+
+/// Rows and batches one streaming operator emitted.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operator label, e.g. `HashJoin(Semi)` or `Scan(SUPPLIER)`.
+    pub op: String,
+    /// Rows the operator emitted downstream.
+    pub rows_out: u64,
+    /// Batches the operator emitted downstream.
+    pub batches: u64,
 }
 
 impl Stats {
@@ -48,6 +63,18 @@ impl Stats {
         self.oid_lookups += other.oid_lookups;
         self.index_probes += other.index_probes;
         self.output_rows += other.output_rows;
+        self.operators.extend(other.operators.iter().cloned());
+    }
+
+    /// The first per-operator entry whose label starts with `prefix`
+    /// (convenience for tests and reports).
+    pub fn operator(&self, prefix: &str) -> Option<&OpStats> {
+        self.operators.iter().find(|o| o.op.starts_with(prefix))
+    }
+
+    /// Total batches emitted across all streaming operators.
+    pub fn total_batches(&self) -> u64 {
+        self.operators.iter().map(|o| o.batches).sum()
     }
 
     /// Total "work units": a crude, hardware-independent cost proxy used
@@ -77,7 +104,16 @@ impl fmt::Display for Stats {
             self.oid_lookups,
             self.index_probes,
             self.output_rows
-        )
+        )?;
+        if !self.operators.is_empty() {
+            write!(
+                f,
+                " ops={} batches={}",
+                self.operators.len(),
+                self.total_batches()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -87,8 +123,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = Stats { rows_scanned: 1, hash_probes: 2, ..Stats::default() };
-        let b = Stats { rows_scanned: 10, loop_iterations: 5, ..Stats::default() };
+        let mut a = Stats {
+            rows_scanned: 1,
+            hash_probes: 2,
+            ..Stats::default()
+        };
+        let b = Stats {
+            rows_scanned: 10,
+            loop_iterations: 5,
+            ..Stats::default()
+        };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 11);
         assert_eq!(a.loop_iterations, 5);
@@ -97,7 +141,11 @@ mod tests {
 
     #[test]
     fn work_excludes_output() {
-        let s = Stats { output_rows: 100, rows_scanned: 3, ..Stats::default() };
+        let s = Stats {
+            output_rows: 100,
+            rows_scanned: 3,
+            ..Stats::default()
+        };
         assert_eq!(s.work(), 3);
     }
 

@@ -209,7 +209,12 @@ impl fmt::Display for OExpr {
                 };
                 write!(f, "({a} {kw} {b})")
             }
-            OExpr::Quant { exists, var, range, pred } => {
+            OExpr::Quant {
+                exists,
+                var,
+                range,
+                pred,
+            } => {
                 // self-parenthesized: the predicate extends maximally to
                 // the right when parsing, so an unparenthesized quantifier
                 // inside a larger expression would swallow its context
@@ -219,7 +224,11 @@ impl fmt::Display for OExpr {
             OExpr::Agg(k, e) => write!(f, "{}({e})", k.name()),
             OExpr::Flatten(e) => write!(f, "flatten({e})"),
             OExpr::DateLit(e) => write!(f, "date({e})"),
-            OExpr::Sfw { select, bindings, where_ } => {
+            OExpr::Sfw {
+                select,
+                bindings,
+                where_,
+            } => {
                 // self-parenthesized for the same reason as quantifiers
                 write!(f, "(select {select} from ")?;
                 for (i, b) in bindings.iter().enumerate() {

@@ -14,7 +14,10 @@ pub struct ParseError {
 impl ParseError {
     /// Builds an error at `offset`.
     pub fn new(offset: usize, message: impl Into<String>) -> Self {
-        ParseError { offset, message: message.into() }
+        ParseError {
+            offset,
+            message: message.into(),
+        }
     }
 }
 
@@ -36,7 +39,9 @@ pub struct TypeError {
 impl TypeError {
     /// Builds a type error.
     pub fn new(message: impl Into<String>) -> Self {
-        TypeError { message: message.into() }
+        TypeError {
+            message: message.into(),
+        }
     }
 }
 

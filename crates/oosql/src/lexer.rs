@@ -35,7 +35,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             '=' => push(&mut tokens, TokenKind::Eq, &mut i),
             ':' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Assign, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     push(&mut tokens, TokenKind::Colon, &mut i);
@@ -43,7 +46,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "unexpected character `!`"));
@@ -51,18 +57,27 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 _ => push(&mut tokens, TokenKind::Lt, &mut i),
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     push(&mut tokens, TokenKind::Gt, &mut i)
@@ -74,9 +89,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 let mut s = String::new();
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(ParseError::new(start, "unterminated string"))
-                        }
+                        None => return Err(ParseError::new(start, "unterminated string")),
                         Some(&b'"') => {
                             i += 1;
                             break;
@@ -103,16 +116,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let is_float = i + 1 < bytes.len()
-                    && bytes[i] == b'.'
-                    && bytes[i + 1].is_ascii_digit();
+                let is_float =
+                    i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit();
                 if is_float {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -122,13 +137,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     let v = text.parse::<f64>().map_err(|_| {
                         ParseError::new(start, format!("bad float literal `{text}`"))
                     })?;
-                    tokens.push(Token { kind: TokenKind::Float(v), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Float(v),
+                        offset: start,
+                    });
                 } else {
                     let text = &src[start..i];
                     let v = text.parse::<i64>().map_err(|_| {
                         ParseError::new(start, format!("integer literal out of range `{text}`"))
                     })?;
-                    tokens.push(Token { kind: TokenKind::Int(v), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(v),
+                        offset: start,
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -143,14 +164,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     Some(kw) => TokenKind::Keyword(kw),
                     None => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             other => {
-                return Err(ParseError::new(i, format!("unexpected character `{other}`")))
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{other}`"),
+                ))
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 
@@ -212,20 +242,31 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let ks = kinds("1 -- this is a comment\n2");
-        assert_eq!(ks, vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
     }
 
     #[test]
     fn minus_vs_comment() {
         assert_eq!(
             kinds("1 - 2"),
-            vec![TokenKind::Int(1), TokenKind::Minus, TokenKind::Int(2), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Minus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
         );
     }
 
     #[test]
     fn string_escapes() {
-        assert_eq!(kinds(r#""a\"b""#), vec![TokenKind::Str("a\"b".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds(r#""a\"b""#),
+            vec![TokenKind::Str("a\"b".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

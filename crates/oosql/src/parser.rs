@@ -317,11 +317,9 @@ impl Parser {
             TokenKind::Keyword(Keyword::Select) => self.sfw(),
             TokenKind::Keyword(Keyword::Exists) => self.quant(true),
             TokenKind::Keyword(Keyword::Forall) => self.quant(false),
-            TokenKind::Keyword(kw @ (Keyword::Count
-            | Keyword::Sum
-            | Keyword::Min
-            | Keyword::Max
-            | Keyword::Avg)) => {
+            TokenKind::Keyword(
+                kw @ (Keyword::Count | Keyword::Sum | Keyword::Min | Keyword::Max | Keyword::Avg),
+            ) => {
                 self.bump();
                 self.expect(TokenKind::LParen)?;
                 let inner = self.expr()?;
@@ -427,7 +425,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(OExpr::Sfw { select: Box::new(select), bindings, where_ })
+        Ok(OExpr::Sfw {
+            select: Box::new(select),
+            bindings,
+            where_,
+        })
     }
 
     fn quant(&mut self, exists: bool) -> Result<OExpr, ParseError> {
@@ -461,7 +463,11 @@ mod tests {
         )
         .unwrap();
         match q {
-            OExpr::Sfw { select, bindings, where_ } => {
+            OExpr::Sfw {
+                select,
+                bindings,
+                where_,
+            } => {
                 assert!(matches!(*select, OExpr::Tuple(_)));
                 assert_eq!(bindings.len(), 1);
                 assert!(where_.is_none());
@@ -478,7 +484,9 @@ mod tests {
         )
         .unwrap();
         match q {
-            OExpr::Sfw { bindings, where_, .. } => {
+            OExpr::Sfw {
+                bindings, where_, ..
+            } => {
                 assert!(matches!(bindings[0].range, OExpr::Sfw { .. }));
                 assert!(where_.is_some());
             }
@@ -495,7 +503,9 @@ mod tests {
         )
         .unwrap();
         match q {
-            OExpr::Sfw { where_: Some(w), .. } => {
+            OExpr::Sfw {
+                where_: Some(w), ..
+            } => {
                 assert!(matches!(*w, OExpr::Quant { exists: true, .. }));
             }
             other => panic!("expected sfw with where, got {other}"),
@@ -531,8 +541,7 @@ mod tests {
 
     #[test]
     fn parses_multi_binding_from() {
-        let q = parse("select (a := x.a, b := y.b) from x in X, y in Y where x.a = y.b")
-            .unwrap();
+        let q = parse("select (a := x.a, b := y.b) from x in X, y in Y where x.a = y.b").unwrap();
         match q {
             OExpr::Sfw { bindings, .. } => assert_eq!(bindings.len(), 2),
             other => panic!("unexpected {other}"),
@@ -551,7 +560,10 @@ mod tests {
 
     #[test]
     fn parses_aggregates_and_flatten() {
-        assert!(matches!(parse("count(s.parts)").unwrap(), OExpr::Agg(AggKind::Count, _)));
+        assert!(matches!(
+            parse("count(s.parts)").unwrap(),
+            OExpr::Agg(AggKind::Count, _)
+        ));
         assert!(matches!(parse("flatten(x)").unwrap(), OExpr::Flatten(_)));
         assert!(matches!(
             parse("{1, 2, 3}").unwrap(),

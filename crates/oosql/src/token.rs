@@ -222,7 +222,12 @@ mod tests {
 
     #[test]
     fn keyword_roundtrip() {
-        for kw in [Keyword::Select, Keyword::Subseteq, Keyword::Flatten, Keyword::With] {
+        for kw in [
+            Keyword::Select,
+            Keyword::Subseteq,
+            Keyword::Flatten,
+            Keyword::With,
+        ] {
             assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
         }
     }

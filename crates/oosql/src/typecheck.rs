@@ -49,16 +49,13 @@ pub fn typecheck(e: &OExpr, catalog: &Catalog) -> Result<Type, TypeError> {
 /// Resolves one implicit-deref path step: given the type of `e` in `e.a`,
 /// returns the tuple type `a` is looked up in, plus the class whose
 /// extent must be consulted (if a dereference happens).
-pub fn deref_step(
-    t: &Type,
-    catalog: &Catalog,
-) -> Result<(TupleType, Option<Name>), TypeError> {
+pub fn deref_step(t: &Type, catalog: &Catalog) -> Result<(TupleType, Option<Name>), TypeError> {
     match t {
         Type::Tuple(tt) => Ok((tt.clone(), None)),
         Type::Oid(Some(class)) => {
-            let c = catalog.class(class).ok_or_else(|| {
-                TypeError::new(format!("unknown class `{class}` in path"))
-            })?;
+            let c = catalog
+                .class(class)
+                .ok_or_else(|| TypeError::new(format!("unknown class `{class}` in path")))?;
             Ok((c.attrs.clone(), Some(c.name.clone())))
         }
         Type::Oid(None) => Err(TypeError::new(
@@ -88,18 +85,18 @@ pub fn infer(e: &OExpr, env: &OEnv, catalog: &Catalog) -> Result<Type, TypeError
         OExpr::Path(inner, attr) => {
             let t = infer(inner, env, catalog)?;
             let (tt, _) = deref_step(&t, catalog)?;
-            tt.field(attr).cloned().ok_or_else(|| {
-                TypeError::new(format!("no attribute `{attr}` in {tt} (in `{e}`)"))
-            })
+            tt.field(attr)
+                .cloned()
+                .ok_or_else(|| TypeError::new(format!("no attribute `{attr}` in {tt} (in `{e}`)")))
         }
         OExpr::Tuple(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (n, fe) in fields {
                 out.push((n.clone(), infer(fe, env, catalog)?));
             }
-            TupleType::new(out).map(Type::Tuple).map_err(|err| {
-                TypeError::new(format!("bad tuple construction: {err}"))
-            })
+            TupleType::new(out)
+                .map(Type::Tuple)
+                .map_err(|err| TypeError::new(format!("bad tuple construction: {err}")))
         }
         OExpr::SetLit(es) => {
             let mut elem = Type::Unknown;
@@ -125,8 +122,7 @@ pub fn infer(e: &OExpr, env: &OEnv, catalog: &Catalog) -> Result<Type, TypeError
                     "cannot compare {ta} with {tb} in `{e}`"
                 )));
             }
-            if !matches!(op, CmpOp::Eq | CmpOp::Ne) && !ta.is_ordered() && !numeric_mix
-            {
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) && !ta.is_ordered() && !numeric_mix {
                 return Err(TypeError::new(format!(
                     "ordering comparison on non-ordered type {ta} in `{e}`"
                 )));
@@ -201,7 +197,9 @@ pub fn infer(e: &OExpr, env: &OEnv, catalog: &Catalog) -> Result<Type, TypeError
                 ))
             })
         }
-        OExpr::Quant { var, range, pred, .. } => {
+        OExpr::Quant {
+            var, range, pred, ..
+        } => {
             let tr = infer(range, env, catalog)?;
             let elem = match tr {
                 Type::Set(e) => *e,
@@ -272,7 +270,11 @@ pub fn infer(e: &OExpr, env: &OEnv, catalog: &Catalog) -> Result<Type, TypeError
                 Err(TypeError::new(format!("date(...) needs an int, found {t}")))
             }
         }
-        OExpr::Sfw { select, bindings, where_ } => {
+        OExpr::Sfw {
+            select,
+            bindings,
+            where_,
+        } => {
             let mut scope = env.clone();
             for b in bindings {
                 let tr = infer(&b.range, &scope, catalog)?;
@@ -371,15 +373,14 @@ mod tests {
     #[test]
     fn badly_typed_comparison_rejected() {
         assert!(check("select s from s in SUPPLIER where s.sname = 1").is_err());
-        assert!(check("select s from s in SUPPLIER where s.parts subset s.sname")
-            .is_err());
+        assert!(check("select s from s in SUPPLIER where s.parts subset s.sname").is_err());
         assert!(check("select s from s in SUPPLIER where s.sname < s.parts").is_err());
     }
 
     #[test]
     fn quantifier_over_non_set_rejected() {
-        let err = check("select s from s in SUPPLIER where exists x in s.sname : true")
-            .unwrap_err();
+        let err =
+            check("select s from s in SUPPLIER where exists x in s.sname : true").unwrap_err();
         assert!(err.message.contains("set"));
     }
 
@@ -405,10 +406,8 @@ mod tests {
 
     #[test]
     fn multi_binding_scopes_left_to_right() {
-        let t = check(
-            "select (d := d.did, q := s.quantity) from d in DELIVERY, s in d.supply",
-        )
-        .unwrap();
+        let t = check("select (d := d.did, q := s.quantity) from d in DELIVERY, s in d.supply")
+            .unwrap();
         let tt = t.elem().unwrap().as_tuple().unwrap();
         assert!(tt.has_field("q"));
     }
@@ -426,10 +425,7 @@ mod tests {
 
     #[test]
     fn date_literal_types() {
-        let t = check(
-            "select d from d in DELIVERY where d.date = date(940101)",
-        )
-        .unwrap();
+        let t = check("select d from d in DELIVERY where d.date = date(940101)").unwrap();
         assert!(t.is_set());
         assert!(check("date(\"x\")").is_err());
     }

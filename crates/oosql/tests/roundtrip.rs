@@ -28,41 +28,66 @@ fn oexpr() -> impl Strategy<Value = OExpr> {
     leaf().prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             // path
-            (inner.clone(), ident())
-                .prop_map(|(e, a)| OExpr::Path(Box::new(e), a)),
+            (inner.clone(), ident()).prop_map(|(e, a)| OExpr::Path(Box::new(e), a)),
             // comparisons
-            (inner.clone(), inner.clone(), proptest::sample::select(vec![
-                CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge
-            ]))
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::sample::select(vec![
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge
+                ])
+            )
                 .prop_map(|(a, b, op)| OExpr::Cmp(op, Box::new(a), Box::new(b))),
             // set comparisons
-            (inner.clone(), inner.clone(), proptest::sample::select(vec![
-                SetCmpOp::In, SetCmpOp::Subset, SetCmpOp::SubsetEq,
-                SetCmpOp::Superset, SetCmpOp::SupersetEq, SetCmpOp::Contains,
-            ]))
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::sample::select(vec![
+                    SetCmpOp::In,
+                    SetCmpOp::Subset,
+                    SetCmpOp::SubsetEq,
+                    SetCmpOp::Superset,
+                    SetCmpOp::SupersetEq,
+                    SetCmpOp::Contains,
+                ])
+            )
                 .prop_map(|(a, b, op)| OExpr::SetCmp(op, Box::new(a), Box::new(b))),
             // boolean connectives
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| OExpr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| OExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| OExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| OExpr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| OExpr::Not(Box::new(e))),
             // set operations
-            (inner.clone(), inner.clone(), proptest::sample::select(vec![
-                SetBinOp::Union, SetBinOp::Intersect, SetBinOp::Minus
-            ]))
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::sample::select(vec![
+                    SetBinOp::Union,
+                    SetBinOp::Intersect,
+                    SetBinOp::Minus
+                ])
+            )
                 .prop_map(|(a, b, op)| OExpr::SetBin(op, Box::new(a), Box::new(b))),
             // quantifier
-            (ident(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
-                |(v, r, p, exists)| OExpr::Quant {
+            (ident(), inner.clone(), inner.clone(), any::<bool>()).prop_map(|(v, r, p, exists)| {
+                OExpr::Quant {
                     exists,
                     var: v,
                     range: Box::new(r),
                     pred: Box::new(p),
                 }
-            ),
+            }),
             // sfw block
-            (inner.clone(), ident(), inner.clone(), proptest::option::of(inner.clone()))
+            (
+                inner.clone(),
+                ident(),
+                inner.clone(),
+                proptest::option::of(inner.clone())
+            )
                 .prop_map(|(sel, v, range, w)| OExpr::Sfw {
                     select: Box::new(sel),
                     bindings: vec![Binding { var: v, range }],
@@ -138,8 +163,16 @@ fn keyword_attribute_names_parse() {
 #[test]
 fn errors_do_not_panic_on_garbage() {
     for src in [
-        "", "select", "exists in :", "{{{", "a . . b", "select x from",
-        "with as () x", "1 = = 2", "not", "(a := )",
+        "",
+        "select",
+        "exists in :",
+        "{{{",
+        "a . . b",
+        "select x from",
+        "with as () x",
+        "1 = = 2",
+        "not",
+        "(a := )",
     ] {
         let _ = parse(src); // must return Err, not panic
         assert!(parse(src).is_err(), "`{src}` unexpectedly parsed");

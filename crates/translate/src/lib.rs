@@ -135,16 +135,12 @@ impl Translator<'_> {
                     Expr::Cmp(*op, Box::new(la), Box::new(lb))
                 }
             }
-            OExpr::SetCmp(op, a, b) => Expr::SetCmp(
-                *op,
-                Box::new(self.tr(a, env)?),
-                Box::new(self.tr(b, env)?),
-            ),
-            OExpr::Arith(op, a, b) => Expr::Arith(
-                *op,
-                Box::new(self.tr(a, env)?),
-                Box::new(self.tr(b, env)?),
-            ),
+            OExpr::SetCmp(op, a, b) => {
+                Expr::SetCmp(*op, Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
+            }
+            OExpr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
+            }
             OExpr::Neg(inner) => {
                 let t = infer(inner, env, self.catalog)?;
                 let zero = match t {
@@ -157,12 +153,8 @@ impl Translator<'_> {
                     Box::new(self.tr(inner, env)?),
                 )
             }
-            OExpr::And(a, b) => {
-                Expr::And(Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
-            }
-            OExpr::Or(a, b) => {
-                Expr::Or(Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
-            }
+            OExpr::And(a, b) => Expr::And(Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?)),
+            OExpr::Or(a, b) => Expr::Or(Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?)),
             OExpr::Not(inner) => Expr::Not(Box::new(self.tr(inner, env)?)),
             OExpr::SetBin(op, a, b) => {
                 let sop = match op {
@@ -172,7 +164,12 @@ impl Translator<'_> {
                 };
                 Expr::SetOp(sop, Box::new(self.tr(a, env)?), Box::new(self.tr(b, env)?))
             }
-            OExpr::Quant { exists, var, range, pred } => {
+            OExpr::Quant {
+                exists,
+                var,
+                range,
+                pred,
+            } => {
                 let tr_range = self.tr(range, env)?;
                 let elem = match infer(range, env, self.catalog)? {
                     Type::Set(e) => *e,
@@ -209,18 +206,22 @@ impl Translator<'_> {
             OExpr::Flatten(inner) => Expr::Flatten(Box::new(self.tr(inner, env)?)),
             OExpr::DateLit(inner) => match inner.as_ref() {
                 OExpr::Lit(Value::Int(d)) => Expr::Lit(Value::Date(*d)),
-                other => {
-                    return Err(TranslateError::NonLiteralDate(other.to_string()))
-                }
+                other => return Err(TranslateError::NonLiteralDate(other.to_string())),
             },
-            OExpr::Sfw { select, bindings, where_ } => {
-                self.tr_sfw(select, bindings, where_.as_deref(), env)?
-            }
+            OExpr::Sfw {
+                select,
+                bindings,
+                where_,
+            } => self.tr_sfw(select, bindings, where_.as_deref(), env)?,
             OExpr::With { var, value, body } => {
                 let v = self.tr(value, env)?;
                 let tv = infer(value, env, self.catalog)?;
                 let b = self.tr(body, &env.bind(var, tv))?;
-                Expr::Let { var: var.clone(), value: Box::new(v), body: Box::new(b) }
+                Expr::Let {
+                    var: var.clone(),
+                    value: Box::new(v),
+                    body: Box::new(b),
+                }
             }
         })
     }
@@ -328,11 +329,9 @@ mod tests {
     #[test]
     fn nested_block_stays_nested() {
         // Example Query 5-shaped query: the translator must NOT unnest.
-        let got = tr(
-            "select s from s in SUPPLIER \
+        let got = tr("select s from s in SUPPLIER \
              where exists x in s.parts : \
-                   exists p in PART : x = p.pid and p.color = \"red\"",
-        );
+                   exists p in PART : x = p.pid and p.color = \"red\"");
         // outer σ contains a quantifier whose range is a base table
         match &got {
             Expr::Map { input, .. } => match input.as_ref() {
@@ -360,12 +359,10 @@ mod tests {
     #[test]
     fn tuple_valued_select_clause() {
         // Example Query 1 shape
-        let got = tr(
-            "select (sname := s.sname, \
+        let got = tr("select (sname := s.sname, \
                      pnames := select p.pname from p in PART \
                                where p.pid in s.parts) \
-             from s in SUPPLIER",
-        );
+             from s in SUPPLIER");
         match got {
             Expr::Map { body, .. } => assert!(matches!(*body, Expr::TupleCons(_))),
             other => panic!("expected map, got {other}"),
@@ -374,19 +371,15 @@ mod tests {
 
     #[test]
     fn multi_binding_flattens() {
-        let got = tr(
-            "select (d := x.did, q := y.quantity) \
+        let got = tr("select (d := x.did, q := y.quantity) \
              from x in DELIVERY, y in x.supply \
-             where y.quantity > 10",
-        );
+             where y.quantity > 10");
         assert!(matches!(got, Expr::Flatten(_)));
     }
 
     #[test]
     fn set_equality_disambiguated() {
-        let got = tr(
-            "select s from s in SUPPLIER, t in SUPPLIER where s.parts = t.parts",
-        );
+        let got = tr("select s from s in SUPPLIER, t in SUPPLIER where s.parts = t.parts");
         let mut found = false;
         fn walk(e: &Expr, found: &mut bool) {
             if matches!(e, Expr::SetCmp(SetCmpOp::SetEq, _, _)) {
@@ -424,8 +417,7 @@ mod tests {
 
     #[test]
     fn non_literal_date_rejected() {
-        let q = oodb_oosql::parse("select d from d in DELIVERY where d.date = date(1+1)")
-            .unwrap();
+        let q = oodb_oosql::parse("select d from d in DELIVERY where d.date = date(1+1)").unwrap();
         let err = translate(&q, &supplier_part_catalog()).unwrap_err();
         assert!(matches!(err, TranslateError::NonLiteralDate(_)));
     }
@@ -463,7 +455,12 @@ mod tests {
         assert_eq!(tr("-1.5"), Expr::Lit(Value::float(-1.5)));
         let q = oodb_oosql::parse("select -p.price from p in PART").unwrap();
         let e = translate(&q, &supplier_part_catalog()).unwrap();
-        let Expr::Map { body, .. } = &e else { panic!("{e}") };
-        assert!(matches!(body.as_ref(), Expr::Arith(oodb_value::ArithOp::Sub, ..)));
+        let Expr::Map { body, .. } = &e else {
+            panic!("{e}")
+        };
+        assert!(matches!(
+            body.as_ref(),
+            Expr::Arith(oodb_value::ArithOp::Sub, ..)
+        ));
     }
 }

@@ -23,7 +23,11 @@ pub enum ValueError {
     DuplicateField(Name),
     /// An arithmetic or comparison operator was applied to incompatible
     /// operand values.
-    TypeMismatch { op: &'static str, lhs: String, rhs: String },
+    TypeMismatch {
+        op: &'static str,
+        lhs: String,
+        rhs: String,
+    },
     /// Aggregate applied to an empty set where undefined (min/max/avg).
     EmptyAggregate(&'static str),
     /// Division by zero in an arithmetic expression.
@@ -64,9 +68,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ValueError::NoSuchField { field: name("sname"), tuple: "⟨a = 1⟩".into() };
+        let e = ValueError::NoSuchField {
+            field: name("sname"),
+            tuple: "⟨a = 1⟩".into(),
+        };
         assert!(e.to_string().contains("sname"));
-        let e = ValueError::TypeMismatch { op: "+", lhs: "1".into(), rhs: "\"x\"".into() };
+        let e = ValueError::TypeMismatch {
+            op: "+",
+            lhs: "1".into(),
+            rhs: "\"x\"".into(),
+        };
         assert!(e.to_string().contains('+'));
         assert!(ValueError::DivisionByZero.to_string().contains("zero"));
     }

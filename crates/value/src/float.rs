@@ -103,7 +103,12 @@ mod tests {
 
     #[test]
     fn total_order_places_nan_last() {
-        let mut v = [F64::new(f64::NAN), F64::new(1.0), F64::new(-1.0), F64::new(0.0)];
+        let mut v = [
+            F64::new(f64::NAN),
+            F64::new(1.0),
+            F64::new(-1.0),
+            F64::new(0.0),
+        ];
         v.sort();
         assert_eq!(v[0], F64::new(-1.0));
         assert_eq!(v[1], F64::new(0.0));

@@ -45,12 +45,16 @@ impl OidGenerator {
     /// A generator starting at oid `@1` (`@0` is reserved as a null-ish
     /// sentinel that never names an object).
     pub fn new() -> Self {
-        OidGenerator { next: AtomicU64::new(1) }
+        OidGenerator {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// A generator whose first handed-out oid is `start`.
     pub fn starting_at(start: u64) -> Self {
-        OidGenerator { next: AtomicU64::new(start) }
+        OidGenerator {
+            next: AtomicU64::new(start),
+        }
     }
 
     /// Allocates a fresh oid.

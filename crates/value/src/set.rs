@@ -106,8 +106,11 @@ impl Set {
 
     /// Set intersection `self ∩ other`.
     pub fn intersect(&self, other: &Set) -> Set {
-        let (small, large) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Set {
             elems: small
                 .elems

@@ -44,7 +44,10 @@ impl Tuple {
         S: AsRef<str>,
     {
         Tuple::new(
-            pairs.into_iter().map(|(n, v)| (Name::from(n.as_ref()), v)).collect(),
+            pairs
+                .into_iter()
+                .map(|(n, v)| (Name::from(n.as_ref()), v))
+                .collect(),
         )
         .expect("duplicate field in Tuple::from_pairs")
     }
@@ -205,11 +208,8 @@ mod tests {
 
     #[test]
     fn duplicate_fields_rejected() {
-        let err = Tuple::new(vec![
-            (name("a"), Value::Int(1)),
-            (name("a"), Value::Int(2)),
-        ])
-        .unwrap_err();
+        let err =
+            Tuple::new(vec![(name("a"), Value::Int(1)), (name("a"), Value::Int(2))]).unwrap_err();
         assert_eq!(err, ValueError::DuplicateField(name("a")));
     }
 
@@ -251,7 +251,10 @@ mod tests {
     fn concat_conflict_is_an_error() {
         let x = t(&[("a", 1)]);
         let y = t(&[("a", 2)]);
-        assert_eq!(x.concat(&y).unwrap_err(), ValueError::DuplicateField(name("a")));
+        assert_eq!(
+            x.concat(&y).unwrap_err(),
+            ValueError::DuplicateField(name("a"))
+        );
     }
 
     #[test]

@@ -222,8 +222,12 @@ impl TupleType {
 
     /// Adds or replaces a field (used by `except` typing and nest/nestjoin).
     pub fn with_field(&self, name: Name, ty: Type) -> TupleType {
-        let mut fields: Vec<(Name, Type)> =
-            self.fields.iter().filter(|(n, _)| *n != name).cloned().collect();
+        let mut fields: Vec<(Name, Type)> = self
+            .fields
+            .iter()
+            .filter(|(n, _)| *n != name)
+            .cloned()
+            .collect();
         fields.push((name, ty));
         TupleType::new_unchecked(fields)
     }
@@ -318,7 +322,9 @@ mod tests {
         let s = t.subscript(&[name("b")]).unwrap();
         assert_eq!(s.names(), vec![name("b")]);
         assert!(t.subscript(&[name("zz")]).is_err());
-        let u = t.concat(&TupleType::from_pairs([("c", Type::Bool)])).unwrap();
+        let u = t
+            .concat(&TupleType::from_pairs([("c", Type::Bool)]))
+            .unwrap();
         assert_eq!(u.arity(), 3);
         assert!(t.concat(&t).is_err());
     }
@@ -334,11 +340,7 @@ mod tests {
 
     #[test]
     fn duplicate_detection() {
-        assert!(TupleType::new(vec![
-            (name("a"), Type::Int),
-            (name("a"), Type::Str)
-        ])
-        .is_err());
+        assert!(TupleType::new(vec![(name("a"), Type::Int), (name("a"), Type::Str)]).is_err());
     }
 
     #[test]

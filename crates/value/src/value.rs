@@ -1,6 +1,6 @@
 //! The runtime value universe of ADL.
 
-use crate::{F64, Name, Oid, Set, Tuple, Type, ValueError};
+use crate::{Name, Oid, Set, Tuple, Type, ValueError, F64};
 use std::fmt;
 
 /// A complex object value.
@@ -149,8 +149,10 @@ impl Value {
             Value::Date(_) => Type::Date,
             Value::Oid(_) => Type::Oid(None),
             Value::Tuple(t) => {
-                let fields =
-                    t.iter().map(|(n, v)| (n.clone(), v.type_of())).collect::<Vec<_>>();
+                let fields = t
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.type_of()))
+                    .collect::<Vec<_>>();
                 Type::Tuple(crate::TupleType::new_unchecked(fields))
             }
             Value::Set(s) => {
@@ -178,9 +180,18 @@ impl Value {
         use ArithOp::*;
         match (lhs, rhs) {
             (Value::Int(a), Value::Int(b)) => match op {
-                Add => a.checked_add(*b).map(Value::Int).ok_or(ValueError::Overflow("+")),
-                Sub => a.checked_sub(*b).map(Value::Int).ok_or(ValueError::Overflow("-")),
-                Mul => a.checked_mul(*b).map(Value::Int).ok_or(ValueError::Overflow("*")),
+                Add => a
+                    .checked_add(*b)
+                    .map(Value::Int)
+                    .ok_or(ValueError::Overflow("+")),
+                Sub => a
+                    .checked_sub(*b)
+                    .map(Value::Int)
+                    .ok_or(ValueError::Overflow("-")),
+                Mul => a
+                    .checked_mul(*b)
+                    .map(Value::Int)
+                    .ok_or(ValueError::Overflow("*")),
                 Div => {
                     if *b == 0 {
                         Err(ValueError::DivisionByZero)
@@ -208,12 +219,8 @@ impl Value {
                 Ok(Value::float(r))
             }
             // int/float mixing promotes to float, as OOSQL's checker allows
-            (Value::Int(a), Value::Float(_)) => {
-                Value::arith(op, &Value::float(*a as f64), rhs)
-            }
-            (Value::Float(_), Value::Int(b)) => {
-                Value::arith(op, lhs, &Value::float(*b as f64))
-            }
+            (Value::Int(a), Value::Float(_)) => Value::arith(op, &Value::float(*a as f64), rhs),
+            (Value::Float(_), Value::Int(b)) => Value::arith(op, lhs, &Value::float(*b as f64)),
             _ => Err(ValueError::TypeMismatch {
                 op: op.symbol(),
                 lhs: lhs.to_string(),
@@ -492,7 +499,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
         assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.flip().flip(), op);
         }

@@ -15,7 +15,7 @@ use oodb::catalog::fixtures::figure12_db;
 use oodb::core::emptiness::{reduce_with_empty, table3_rows};
 use oodb::core::rules::grouping::{Gawo87Unsafe, OuterjoinGroup};
 use oodb::core::rules::nestjoin::NestJoinSelect;
-use oodb::core::rules::{Rule, RewriteCtx};
+use oodb::core::rules::{RewriteCtx, Rule};
 use oodb::engine::Evaluator;
 use oodb::value::SetCmpOp;
 
@@ -28,7 +28,11 @@ fn figure_query() -> Expr {
             map(
                 "y",
                 var("y").field("e"),
-                select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+                select(
+                    "y",
+                    eq(var("x").field("a"), var("y").field("d")),
+                    table("Y"),
+                ),
             ),
         ),
         table("X"),
@@ -37,10 +41,14 @@ fn figure_query() -> Expr {
 
 fn main() {
     let db = figure12_db();
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let ev = Evaluator::new(&db);
     let show = |label: &str, e: &Expr| {
-        let v = ev.eval_closed(&project(&["a", "c"], e.clone())).expect("evaluates");
+        let v = ev
+            .eval_closed(&project(&["a", "c"], e.clone()))
+            .expect("evaluates");
         println!("{label:<28} {v}");
     };
 
@@ -52,7 +60,9 @@ fn main() {
     show("\nground truth (nested-loop):", &figure_query());
     println!("  → ⟨a = 2, c = ∅⟩ is included: ∅ ⊆ ∅ holds.");
 
-    let buggy = Gawo87Unsafe.apply(&figure_query(), &ctx).expect("pipeline applies");
+    let buggy = Gawo87Unsafe
+        .apply(&figure_query(), &ctx)
+        .expect("pipeline applies");
     println!("\n[GaWo87] grouping pipeline:\n  {buggy}");
     show("join-based (BUGGY):", &buggy);
     println!("  → the dangling tuple is LOST in the join — the Complex Object bug.");
@@ -64,7 +74,11 @@ fn main() {
     let sub = map(
         "y",
         var("y").field("e"),
-        select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+        select(
+            "y",
+            eq(var("x").field("a"), var("y").field("d")),
+            table("Y"),
+        ),
     );
     let p = set_cmp(SetCmpOp::SubsetEq, var("x").field("c"), sub.clone());
     println!(
@@ -72,10 +86,14 @@ fn main() {
         reduce_with_empty(&p, &sub)
     );
 
-    let outer = OuterjoinGroup.apply(&figure_query(), &ctx).expect("repair applies");
+    let outer = OuterjoinGroup
+        .apply(&figure_query(), &ctx)
+        .expect("repair applies");
     show("\nouterjoin repair:", &outer);
 
-    let nest = NestJoinSelect.apply(&figure_query(), &ctx).expect("nestjoin applies");
+    let nest = NestJoinSelect
+        .apply(&figure_query(), &ctx)
+        .expect("nestjoin applies");
     println!("\nnestjoin rewrite (§6.1):\n  {nest}");
     show("nestjoin (paper's fix):", &nest);
     println!("\nBoth repairs agree with the ground truth ✓");

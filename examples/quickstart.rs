@@ -23,7 +23,10 @@ fn main() {
 
     let out = pipeline.run(src).expect("pipeline runs");
 
-    println!("Nested ADL translation (tuple-oriented, §3):\n  {}\n", out.nested);
+    println!(
+        "Nested ADL translation (tuple-oriented, §3):\n  {}\n",
+        out.nested
+    );
     println!("Rewrite trace (§5):\n{}", out.rewrite.trace);
     println!("Optimized ADL (set-oriented):\n  {}\n", out.rewrite.expr);
 

@@ -41,7 +41,9 @@ fn main() {
     let ev = Evaluator::new(&db);
     let mut naive_stats = Stats::new();
     let t0 = Instant::now();
-    let naive = ev.eval_closed_with(&nested, &mut naive_stats).expect("evaluates");
+    let naive = ev
+        .eval_closed_with(&nested, &mut naive_stats)
+        .expect("evaluates");
     let naive_time = t0.elapsed();
 
     let pipeline = Pipeline::new(&db);

@@ -51,7 +51,9 @@ pub struct PipelineOutput {
     pub rewrite: Optimized,
     /// The query result (always a set value).
     pub result: Value,
-    /// Operator statistics from executing the **optimized** plan.
+    /// Operator statistics from executing the **optimized** plan —
+    /// including per-operator rows/batches from the streaming pipeline
+    /// (see [`oodb_engine::stats::OpStats`]).
     pub stats: Stats,
 }
 
@@ -67,8 +69,20 @@ impl<'db> Pipeline<'db> {
     }
 
     /// Parses, type checks, translates, optimizes and executes an OOSQL
-    /// query, returning every intermediate artifact.
+    /// query through the **streaming operator pipeline**, returning
+    /// every intermediate artifact.
     pub fn run(&self, oosql_text: &str) -> Result<PipelineOutput, PipelineError> {
+        self.run_with(oosql_text, ExecMode::Streaming)
+    }
+
+    /// Like [`Pipeline::run`], but materializing a full set at every
+    /// operator boundary — the pre-streaming execution path, kept for
+    /// equivalence testing and benchmarking.
+    pub fn run_materialized(&self, oosql_text: &str) -> Result<PipelineOutput, PipelineError> {
+        self.run_with(oosql_text, ExecMode::Materialized)
+    }
+
+    fn run_with(&self, oosql_text: &str, mode: ExecMode) -> Result<PipelineOutput, PipelineError> {
         let query = oodb_oosql::parse(oosql_text).map_err(PipelineError::Parse)?;
         oodb_oosql::typecheck(&query, self.db.catalog()).map_err(PipelineError::Type)?;
         let nested = oodb_translate::translate(&query, self.db.catalog())
@@ -79,8 +93,17 @@ impl<'db> Pipeline<'db> {
         let planner = Planner::new(self.db);
         let plan = planner.plan(&rewrite.expr).map_err(PipelineError::Plan)?;
         let mut stats = Stats::default();
-        let result = plan.execute(&mut stats).map_err(PipelineError::Exec)?;
-        Ok(PipelineOutput { nested, rewrite, result, stats })
+        let result = match mode {
+            ExecMode::Streaming => plan.execute_streaming(&mut stats),
+            ExecMode::Materialized => plan.execute(&mut stats),
+        }
+        .map_err(PipelineError::Exec)?;
+        Ok(PipelineOutput {
+            nested,
+            rewrite,
+            result,
+            stats,
+        })
     }
 
     /// Executes the *unoptimized* nested translation with the reference
@@ -93,6 +116,15 @@ impl<'db> Pipeline<'db> {
         let ev = Evaluator::new(self.db);
         ev.eval_closed(&nested).map_err(PipelineError::Exec)
     }
+}
+
+/// Which physical execution path [`Pipeline`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Batched operator pipeline (default).
+    Streaming,
+    /// Whole-set materialization at every operator boundary.
+    Materialized,
 }
 
 /// Union of the per-phase error types.

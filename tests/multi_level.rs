@@ -31,7 +31,11 @@ fn check_equiv(e: &Expr) -> oodb::core::Optimized {
     let out2 = Optimizer::default().optimize(e, big.catalog()).unwrap();
     let planner = Planner::new(&big);
     let mut stats = Stats::new();
-    let planned = planner.plan(&out2.expr).unwrap().execute(&mut stats).unwrap();
+    let planned = planner
+        .plan(&out2.expr)
+        .unwrap()
+        .execute(&mut stats)
+        .unwrap();
     assert_eq!(planned, ev2.eval_closed(e).unwrap());
     out
 }
@@ -75,10 +79,21 @@ fn two_subqueries_chain_joins() {
         .count();
     assert_eq!(rule1_count, 2, "{}", out.trace);
     // shape: (SUPPLIER ⋉ …) ⋉ …
-    let Expr::Join { kind: JoinKind::Semi, left, .. } = &out.expr else {
+    let Expr::Join {
+        kind: JoinKind::Semi,
+        left,
+        ..
+    } = &out.expr
+    else {
         panic!("{}", out.expr)
     };
-    assert!(matches!(left.as_ref(), Expr::Join { kind: JoinKind::Semi, .. }));
+    assert!(matches!(
+        left.as_ref(),
+        Expr::Join {
+            kind: JoinKind::Semi,
+            ..
+        }
+    ));
 }
 
 /// Positive and negative subqueries mix: semijoin + antijoin chain.
@@ -169,7 +184,10 @@ fn three_level_nesting() {
     // s5 supplies pin(17) + dangling: no. s4: none. So s1,s2,s3.
     let db = supplier_part_db();
     let ev = Evaluator::new(&db);
-    assert_eq!(ev.eval_closed(&out.expr).unwrap().as_set().unwrap().len(), 3);
+    assert_eq!(
+        ev.eval_closed(&out.expr).unwrap().as_set().unwrap().len(),
+        3
+    );
 }
 
 /// Nesting in both clauses at once: a nestjoin result whose selection also
@@ -225,7 +243,11 @@ fn empty_database_edge_cases() {
     let queries: Vec<Expr> = vec![
         select(
             "s",
-            exists("p", table("PART"), member(var("p").field("pid"), var("s").field("parts"))),
+            exists(
+                "p",
+                table("PART"),
+                member(var("p").field("pid"), var("s").field("parts")),
+            ),
             table("SUPPLIER"),
         ),
         semijoin(
@@ -235,10 +257,21 @@ fn empty_database_edge_cases() {
             table("SUPPLIER"),
             table("PART"),
         ),
-        nestjoin("s", "p", Expr::true_(), "g", table("SUPPLIER"), table("PART")),
+        nestjoin(
+            "s",
+            "p",
+            Expr::true_(),
+            "g",
+            table("SUPPLIER"),
+            table("PART"),
+        ),
         count(table("PART")),
         unnest("supply", table("DELIVERY")),
-        nest(&["part", "quantity"], "supply", unnest("supply", table("DELIVERY"))),
+        nest(
+            &["part", "quantity"],
+            "supply",
+            unnest("supply", table("DELIVERY")),
+        ),
     ];
     for q in queries {
         let direct = ev.eval_closed(&q).unwrap();
@@ -246,7 +279,14 @@ fn empty_database_edge_cases() {
         assert_eq!(ev.eval_closed(&out.expr).unwrap(), direct);
         let planner = Planner::new(&db);
         let mut stats = Stats::new();
-        assert_eq!(planner.plan(&out.expr).unwrap().execute(&mut stats).unwrap(), direct);
+        assert_eq!(
+            planner
+                .plan(&out.expr)
+                .unwrap()
+                .execute(&mut stats)
+                .unwrap(),
+            direct
+        );
         match direct {
             Value::Set(s) => assert!(s.is_empty()),
             Value::Int(n) => assert_eq!(n, 0),

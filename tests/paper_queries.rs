@@ -33,13 +33,15 @@ fn snames(v: &Value) -> Vec<String> {
 /// the names of the red parts supplied.
 #[test]
 fn example_query_1_select_clause_nesting() {
-    let out = run(
-        "select (sname := s.sname, \
+    let out = run("select (sname := s.sname, \
                  pnames := select p.pname from p in PART \
                            where p.pid in s.parts and p.color = \"red\") \
-         from s in SUPPLIER",
+         from s in SUPPLIER");
+    assert!(
+        out.rewrite.trace.fired("nestjoin-map"),
+        "trace:\n{}",
+        out.rewrite.trace
     );
-    assert!(out.rewrite.trace.fired("nestjoin-map"), "trace:\n{}", out.rewrite.trace);
     let rows = out.result.as_set().unwrap();
     assert_eq!(rows.len(), 5);
     let by_name = |n: &str| {
@@ -52,9 +54,15 @@ fn example_query_1_select_clause_nesting() {
             .unwrap()
             .clone()
     };
-    assert_eq!(by_name("s1"), Value::set([Value::str("bolt"), Value::str("screw")]));
+    assert_eq!(
+        by_name("s1"),
+        Value::set([Value::str("bolt"), Value::str("screw")])
+    );
     assert_eq!(by_name("s2"), Value::set([Value::str("screw")]));
-    assert_eq!(by_name("s3"), Value::set([Value::str("bolt"), Value::str("screw")]));
+    assert_eq!(
+        by_name("s3"),
+        Value::set([Value::str("bolt"), Value::str("screw")])
+    );
     // the suppliers with no red parts keep EMPTY sets — no dangling loss
     assert_eq!(by_name("s4"), Value::empty_set());
     assert_eq!(by_name("s5"), Value::empty_set());
@@ -65,18 +73,22 @@ fn example_query_1_select_clause_nesting() {
 /// easily."
 #[test]
 fn example_query_2_from_clause_nesting() {
-    let out = run(
-        "select d from d in (select e from e in DELIVERY \
+    let out = run("select d from d in (select e from e in DELIVERY \
           where e.supplier.sname = \"s1\") \
-         where d.date = date(940101)",
-    );
+         where d.date = date(940101)");
     assert!(out.rewrite.trace.fired("identity-map"));
     assert!(out.rewrite.trace.fired("merge-selects"));
     let rows = out.result.as_set().unwrap();
     assert_eq!(rows.len(), 2); // d21 and d23
     for r in rows.iter() {
-        assert_eq!(r.as_tuple().unwrap().get("date"), Some(&Value::Date(940101)));
-        assert_eq!(r.as_tuple().unwrap().get("supplier"), Some(&Value::Oid(Oid(1))));
+        assert_eq!(
+            r.as_tuple().unwrap().get("date"),
+            Some(&Value::Date(940101))
+        );
+        assert_eq!(
+            r.as_tuple().unwrap().get("supplier"),
+            Some(&Value::Oid(Oid(1)))
+        );
     }
 }
 
@@ -85,12 +97,14 @@ fn example_query_2_from_clause_nesting() {
 /// as a constant, per §3.)
 #[test]
 fn example_query_3_1_superset_between_blocks() {
-    let out = run(
-        "select s.sname from s in SUPPLIER \
+    let out = run("select s.sname from s in SUPPLIER \
          where s.parts supseteq \
-           flatten(select t.parts from t in SUPPLIER where t.sname = \"s1\")",
+           flatten(select t.parts from t in SUPPLIER where t.sname = \"s1\")");
+    assert!(
+        out.rewrite.trace.fired("hoist-uncorrelated"),
+        "{}",
+        out.rewrite.trace
     );
-    assert!(out.rewrite.trace.fired("hoist-uncorrelated"), "{}", out.rewrite.trace);
     assert_eq!(snames(&out.result), vec!["s1", "s3"]);
 }
 
@@ -99,10 +113,8 @@ fn example_query_3_1_superset_between_blocks() {
 /// is deliberately left nested (§3).
 #[test]
 fn example_query_3_2_exists_over_set_attribute() {
-    let out = run(
-        "select d from d in DELIVERY \
-         where exists x in d.supply : x.part.color = \"red\"",
-    );
+    let out = run("select d from d in DELIVERY \
+         where exists x in d.supply : x.part.color = \"red\"");
     let rows = out.result.as_set().unwrap();
     assert_eq!(rows.len(), 2); // d21 (bolt) and d23 (screw, gear)
     let dids: Vec<Oid> = rows
@@ -117,11 +129,13 @@ fn example_query_3_2_exists_over_set_attribute() {
 /// paper's derivation `π(μ_parts(SUPPLIER) ▷ PART)`.
 #[test]
 fn example_query_4_referential_integrity() {
-    let out = run(
-        "select s.eid from s in SUPPLIER \
-         where exists x in s.parts : not (exists p in PART : x = p.pid)",
+    let out = run("select s.eid from s in SUPPLIER \
+         where exists x in s.parts : not (exists p in PART : x = p.pid)");
+    assert!(
+        out.rewrite.trace.fired("attr-unnest"),
+        "{}",
+        out.rewrite.trace
     );
-    assert!(out.rewrite.trace.fired("attr-unnest"), "{}", out.rewrite.trace);
     assert!(out.rewrite.trace.fired("rule1-not-exists"));
     assert_eq!(out.result, Value::set([Value::Oid(Oid(5))])); // s5
 }
@@ -131,12 +145,14 @@ fn example_query_4_referential_integrity() {
 /// `SUPPLIER ⋉ σ[p : p.color = "red"](PART)`.
 #[test]
 fn example_query_5_semijoin() {
-    let out = run(
-        "select s.sname from s in SUPPLIER \
+    let out = run("select s.sname from s in SUPPLIER \
          where exists x in s.parts : \
-               exists p in PART : x = p.pid and p.color = \"red\"",
+               exists p in PART : x = p.pid and p.color = \"red\"");
+    assert!(
+        out.rewrite.trace.fired("exists-exchange"),
+        "{}",
+        out.rewrite.trace
     );
-    assert!(out.rewrite.trace.fired("exists-exchange"), "{}", out.rewrite.trace);
     assert!(out.rewrite.trace.fired("rule1-exists"));
     assert_eq!(snames(&out.result), vec!["s1", "s2", "s3"]);
     // the optimized plan does hash work, not nested-loop work
@@ -149,28 +165,41 @@ fn example_query_5_semijoin() {
 /// relational join query").
 #[test]
 fn example_query_6_nestjoin() {
-    let out = run(
-        "select (sname := s.sname, \
+    let out = run("select (sname := s.sname, \
                  partssuppl := select p from p in PART where p.pid in s.parts) \
-         from s in SUPPLIER",
+         from s in SUPPLIER");
+    assert!(
+        out.rewrite.trace.fired("nestjoin-map"),
+        "{}",
+        out.rewrite.trace
     );
-    assert!(out.rewrite.trace.fired("nestjoin-map"), "{}", out.rewrite.trace);
     let rows = out.result.as_set().unwrap();
     assert_eq!(rows.len(), 5);
     let s1 = rows
         .iter()
         .find(|r| r.as_tuple().unwrap().get("sname") == Some(&Value::str("s1")))
         .unwrap();
-    let parts = s1.as_tuple().unwrap().get("partssuppl").unwrap().as_set().unwrap();
+    let parts = s1
+        .as_tuple()
+        .unwrap()
+        .get("partssuppl")
+        .unwrap()
+        .as_set()
+        .unwrap();
     assert_eq!(parts.len(), 3);
     // full part OBJECTS, not just pointers
-    assert!(parts.iter().all(|p| p.as_tuple().unwrap().get("price").is_some()));
+    assert!(parts
+        .iter()
+        .all(|p| p.as_tuple().unwrap().get("price").is_some()));
     // s4 keeps its empty set — the nestjoin preserves dangling tuples
     let s4 = rows
         .iter()
         .find(|r| r.as_tuple().unwrap().get("sname") == Some(&Value::str("s4")))
         .unwrap();
-    assert_eq!(s4.as_tuple().unwrap().get("partssuppl"), Some(&Value::empty_set()));
+    assert_eq!(
+        s4.as_tuple().unwrap().get("partssuppl"),
+        Some(&Value::empty_set())
+    );
 }
 
 /// All six queries leave zero base tables nested inside iterator

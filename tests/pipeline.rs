@@ -28,14 +28,18 @@ fn type_errors_surface_with_context() {
         }
         other => panic!("expected type error, got {other}"),
     }
-    let err = Pipeline::new(&db).run("select x.nope from x in PART").unwrap_err();
+    let err = Pipeline::new(&db)
+        .run("select x.nope from x in PART")
+        .unwrap_err();
     assert!(matches!(err, PipelineError::Type(_)));
 }
 
 #[test]
 fn unknown_table_is_a_type_error() {
     let db = oodb::catalog::fixtures::supplier_part_db();
-    let err = Pipeline::new(&db).run("select x from x in NO_SUCH").unwrap_err();
+    let err = Pipeline::new(&db)
+        .run("select x from x in NO_SUCH")
+        .unwrap_err();
     match err {
         PipelineError::Type(e) => assert!(e.to_string().contains("NO_SUCH")),
         other => panic!("unexpected {other}"),

@@ -35,11 +35,20 @@ fn rewriting_example_1_set_membership() {
     assert!(pos("range-extract") < pos("rule1-exists"), "{:?}", rules);
 
     // final form: a semijoin with no nested base tables
-    assert!(matches!(out.expr, Expr::Join { kind: JoinKind::Semi, .. }));
+    assert!(matches!(
+        out.expr,
+        Expr::Join {
+            kind: JoinKind::Semi,
+            ..
+        }
+    ));
     assert_eq!(nested_table_score(&out.expr), 0);
 
     let ev = Evaluator::new(&db);
-    assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+    assert_eq!(
+        ev.eval_closed(&out.expr).unwrap(),
+        ev.eval_closed(&e).unwrap()
+    );
 }
 
 /// Rewriting Example 2 — SET INCLUSION:
@@ -64,14 +73,31 @@ fn rewriting_example_2_set_inclusion() {
 
     let rules = out.trace.rule_sequence();
     let pos = |name: &str| rules.iter().position(|r| *r == name).unwrap_or(usize::MAX);
-    assert!(pos("setcmp-to-quant") < pos("forall-to-not-exists"), "{:?}", rules);
-    assert!(pos("forall-to-not-exists") < pos("rule1-not-exists"), "{:?}", rules);
+    assert!(
+        pos("setcmp-to-quant") < pos("forall-to-not-exists"),
+        "{:?}",
+        rules
+    );
+    assert!(
+        pos("forall-to-not-exists") < pos("rule1-not-exists"),
+        "{:?}",
+        rules
+    );
 
-    assert!(matches!(out.expr, Expr::Join { kind: JoinKind::Anti, .. }));
+    assert!(matches!(
+        out.expr,
+        Expr::Join {
+            kind: JoinKind::Anti,
+            ..
+        }
+    ));
     assert_eq!(nested_table_score(&out.expr), 0);
 
     let ev = Evaluator::new(&db);
-    assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+    assert_eq!(
+        ev.eval_closed(&out.expr).unwrap(),
+        ev.eval_closed(&e).unwrap()
+    );
 }
 
 /// Rewriting Example 3 — EXCHANGING QUANTIFIERS:
@@ -82,7 +108,11 @@ fn rewriting_example_2_set_inclusion() {
 fn rewriting_example_3_exchanging_quantifiers() {
     // X rows carry c : {{int}} (set of sets) for this one; build the
     // predicate over a free variable x and optimize a σ around it.
-    let yprime = select("y", eq(var("y").field("d"), var("x").field("a")), table("Y"));
+    let yprime = select(
+        "y",
+        eq(var("y").field("d"), var("x").field("a")),
+        table("Y"),
+    );
     let yprime_vals = map("y", var("y").field("e"), yprime);
     let pred = forall(
         "z",
@@ -99,9 +129,7 @@ fn rewriting_example_3_exchanging_quantifiers() {
             ("a", oodb::value::Value::Int(1)),
             (
                 "cs",
-                oodb::value::Value::set([oodb::value::Value::set([
-                    oodb::value::Value::Int(1),
-                ])]),
+                oodb::value::Value::set([oodb::value::Value::set([oodb::value::Value::Int(1)])]),
             ),
         ])])),
     );
@@ -114,7 +142,10 @@ fn rewriting_example_3_exchanging_quantifiers() {
     assert!(rules.contains(&"exists-exchange"), "{rules:?}");
     // semantics preserved
     let ev = Evaluator::new(&db);
-    assert_eq!(ev.eval_closed(&out.expr).unwrap(), ev.eval_closed(&e).unwrap());
+    assert_eq!(
+        ev.eval_closed(&out.expr).unwrap(),
+        ev.eval_closed(&e).unwrap()
+    );
 }
 
 /// The same derivation pinned at the formula level: expanding `z ⊇ Y'`
@@ -129,7 +160,9 @@ fn table2_row4_via_general_machinery() {
     use oodb::core::RewriteTrace;
 
     let db = figure12_db();
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let mut trace = RewriteTrace::new();
     // ∀z ∈ x.c • z ⊇ Y'   with Y' a base table expression
     let e = forall(
@@ -143,8 +176,7 @@ fn table2_row4_via_general_machinery() {
     // also need ¬¬-elimination for the final shape
     use oodb::core::rules::normalize::PushNegation;
     let mut trace2 = RewriteTrace::new();
-    let rules2: Vec<&dyn oodb::core::rules::Rule> =
-        vec![&PushNegation, &ExistsExchange];
+    let rules2: Vec<&dyn oodb::core::rules::Rule> = vec![&PushNegation, &ExistsExchange];
     let final_form = rewrite_fixpoint(normalized, &rules2, &ctx, &mut trace2, 16).unwrap();
 
     // ¬∃y ∈ Y • ∃z ∈ x.c • y ∉ z

@@ -17,7 +17,7 @@ use oodb::core::emptiness::{table3_rows, Truth};
 use oodb::core::rules::grouping::{Gawo87Unsafe, OuterjoinGroup};
 use oodb::core::rules::nestjoin::NestJoinSelect;
 use oodb::core::rules::setcmp::table1_expansion;
-use oodb::core::rules::{Rule, RewriteCtx};
+use oodb::core::rules::{RewriteCtx, Rule};
 use oodb::engine::Evaluator;
 use oodb::value::{SetCmpOp, Value};
 
@@ -99,8 +99,7 @@ fn table2_predicates_are_semantically_equivalent() {
     let db = figure3_db();
     let ev = Evaluator::new(&db);
     for yp in small_sets() {
-        let emptiness =
-            set_cmp(SetCmpOp::SetEq, lit(yp.clone()), Expr::empty_set());
+        let emptiness = set_cmp(SetCmpOp::SetEq, lit(yp.clone()), Expr::empty_set());
         let quant = not(exists("y", lit(yp.clone()), Expr::true_()));
         assert_eq!(
             ev.eval_closed(&emptiness).unwrap(),
@@ -117,8 +116,11 @@ fn table2_predicates_are_semantically_equivalent() {
                 set_op(oodb::adl::SetOp::Intersect, lit(c.clone()), lit(yp.clone())),
                 Expr::empty_set(),
             );
-            let inter_quant =
-                not(exists("y", lit(yp.clone()), member(var("y"), lit(c.clone()))));
+            let inter_quant = not(exists(
+                "y",
+                lit(yp.clone()),
+                member(var("y"), lit(c.clone())),
+            ));
             assert_eq!(
                 ev.eval_closed(&inter).unwrap(),
                 ev.eval_closed(&inter_quant).unwrap(),
@@ -153,7 +155,11 @@ fn figure_query() -> Expr {
             map(
                 "y",
                 var("y").field("e"),
-                select("y", eq(var("x").field("a"), var("y").field("d")), table("Y")),
+                select(
+                    "y",
+                    eq(var("x").field("a"), var("y").field("d")),
+                    table("Y"),
+                ),
             ),
         ),
         table("X"),
@@ -171,7 +177,9 @@ fn a_column(v: &Value) -> Vec<i64> {
 #[test]
 fn figure2_complex_object_bug_full_story() {
     let db = figure12_db();
-    let ctx = RewriteCtx { catalog: db.catalog() };
+    let ctx = RewriteCtx {
+        catalog: db.catalog(),
+    };
     let ev = Evaluator::new(&db);
     let wrap = |e: Expr| project(&["a", "c"], e);
 
@@ -256,7 +264,9 @@ fn figure3_nestjoin_pinned_tuple_for_tuple() {
 fn strategy_routes_figure_query_to_nestjoin() {
     use oodb::core::Optimizer;
     let db = figure12_db();
-    let out = Optimizer::default().optimize(&figure_query(), db.catalog()).unwrap();
+    let out = Optimizer::default()
+        .optimize(&figure_query(), db.catalog())
+        .unwrap();
     assert!(out.trace.fired("nestjoin-select"), "{}", out.trace);
     assert!(!out.trace.fired("gawo87-grouping-unsafe"));
     let ev = Evaluator::new(&db);
