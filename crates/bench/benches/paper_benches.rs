@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oodb_adl::dsl::*;
 use oodb_bench::*;
+use oodb_catalog::CatalogStats;
 use oodb_core::rules::grouping::{Gawo87Unsafe, OuterjoinGroup};
 use oodb_core::rules::nestjoin::NestJoinSelect;
 use oodb_core::rules::setcmp::table1_expansion;
@@ -62,8 +63,9 @@ fn bench_query5(c: &mut Criterion) {
             bch.iter(|| run_naive(db, &q).0)
         });
         let (_, _, optimized) = run_optimized(&db, &q);
+        let cat_stats = CatalogStats::from_database(&db);
         g.bench_with_input(BenchmarkId::new("semijoin", scale), &db, |bch, db| {
-            bch.iter(|| run_planned(db, &optimized.expr, PlannerConfig::default()).0)
+            bch.iter(|| run_planned_stats(db, &cat_stats, &optimized.expr, Default::default()).0)
         });
     }
     g.finish();
@@ -85,8 +87,9 @@ fn bench_query4(c: &mut Criterion) {
             bch.iter(|| run_naive(db, &q).0)
         });
         let (_, _, optimized) = run_optimized(&db, &q);
+        let cat_stats = CatalogStats::from_database(&db);
         g.bench_with_input(BenchmarkId::new("antijoin", scale), &db, |bch, db| {
-            bch.iter(|| run_planned(db, &optimized.expr, PlannerConfig::default()).0)
+            bch.iter(|| run_planned_stats(db, &cat_stats, &optimized.expr, Default::default()).0)
         });
     }
     g.finish();
@@ -102,8 +105,9 @@ fn bench_query6_nestjoin(c: &mut Criterion) {
     let q = query6_nested();
     g.bench_function("nested_loop", |bch| bch.iter(|| run_naive(&db, &q).0));
     let (_, _, optimized) = run_optimized(&db, &q);
+    let cat_stats = CatalogStats::from_database(&db);
     g.bench_function("member_nestjoin", |bch| {
-        bch.iter(|| run_planned(&db, &optimized.expr, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &optimized.expr, Default::default()).0)
     });
     g.bench_function("nl_nestjoin", |bch| {
         bch.iter(|| {
@@ -111,6 +115,7 @@ fn bench_query6_nestjoin(c: &mut Criterion) {
                 &db,
                 &optimized.expr,
                 PlannerConfig {
+                    cost_based: false,
                     join_algo: JoinAlgo::NestedLoop,
                     ..Default::default()
                 },
@@ -134,17 +139,18 @@ fn bench_fig2_grouping(c: &mut Criterion) {
     };
     let q = figure_query();
     g.bench_function("nested_loop", |bch| bch.iter(|| run_naive(&db, &q).0));
+    let cat_stats = CatalogStats::from_database(&db);
     let buggy = Gawo87Unsafe.apply(&q, &ctx).unwrap();
     g.bench_function("gawo87_buggy", |bch| {
-        bch.iter(|| run_planned(&db, &buggy, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &buggy, Default::default()).0)
     });
     let outer = OuterjoinGroup.apply(&q, &ctx).unwrap();
     g.bench_function("outerjoin_fix", |bch| {
-        bch.iter(|| run_planned(&db, &outer, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &outer, Default::default()).0)
     });
     let nestj = NestJoinSelect.apply(&q, &ctx).unwrap();
     g.bench_function("nestjoin_fix", |bch| {
-        bch.iter(|| run_planned(&db, &nestj, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &nestj, Default::default()).0)
     });
     g.finish();
 }
@@ -167,6 +173,7 @@ fn bench_pnhl(c: &mut Criterion) {
     g.bench_function("naive_nested_loop", |bch| bch.iter(|| run_naive(&db, &q).0));
     for budget in [2_000usize, 250, 50] {
         let cfg = PlannerConfig {
+            cost_based: false,
             pnhl_budget: budget,
             prefer_assembly: false,
             ..Default::default()
@@ -175,8 +182,9 @@ fn bench_pnhl(c: &mut Criterion) {
             bch.iter(|| run_planned(&db, &q, cfg.clone()).0)
         });
     }
+    let cat_stats = CatalogStats::from_database(&db);
     g.bench_function("assembly_pointer_join", |bch| {
-        bch.iter(|| run_planned(&db, &q, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &q, Default::default()).0)
     });
     g.finish();
 }
@@ -206,6 +214,7 @@ fn bench_join_algos(c: &mut Criterion) {
         ("hash", JoinAlgo::Hash),
     ] {
         let cfg = PlannerConfig {
+            cost_based: false,
             join_algo: algo,
             ..Default::default()
         };
@@ -282,8 +291,9 @@ fn bench_forall_ablation(c: &mut Criterion) {
     );
     g.bench_function("nested_loop", |bch| bch.iter(|| run_naive(&db, &q).0));
     let (_, _, optimized) = run_optimized(&db, &q); // antijoin plan
+    let cat_stats = CatalogStats::from_database(&db);
     g.bench_function("antijoin", |bch| {
-        bch.iter(|| run_planned(&db, &optimized.expr, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &optimized.expr, Default::default()).0)
     });
     let ctx = RewriteCtx {
         catalog: db.catalog(),
@@ -295,7 +305,7 @@ fn bench_forall_ablation(c: &mut Criterion) {
         run_naive(&db, &q).0
     );
     g.bench_function("division", |bch| {
-        bch.iter(|| run_planned(&db, &division, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &division, Default::default()).0)
     });
     g.finish();
 }
@@ -320,13 +330,15 @@ fn bench_index_join(c: &mut Criterion) {
         project(&["eid", "sname"], table("SUPPLIER")),
         table("DELIVERY"),
     );
+    let cat_stats = CatalogStats::from_database(&db);
     g.bench_function("index_nl", |bch| {
-        bch.iter(|| run_planned(&db, &q, PlannerConfig::default()).0)
+        bch.iter(|| run_planned_stats(&db, &cat_stats, &q, Default::default()).0)
     });
     g.bench_function("hash", |bch| {
         bch.iter(|| {
-            run_planned(
+            run_planned_stats(
                 &db,
+                &cat_stats,
                 &q,
                 PlannerConfig {
                     use_indexes: false,
@@ -353,15 +365,18 @@ fn bench_streaming(c: &mut Criterion) {
         ("materialize", materialize_query()),
     ] {
         let (_, _, optimized) = run_optimized(&db, &q);
+        let cat_stats = CatalogStats::from_database(&db);
         g.bench_with_input(
             BenchmarkId::new("materialized", label),
             &optimized.expr,
-            |bch, e| bch.iter(|| run_planned(&db, e, PlannerConfig::default()).0),
+            |bch, e| bch.iter(|| run_planned_stats(&db, &cat_stats, e, Default::default()).0),
         );
         g.bench_with_input(
             BenchmarkId::new("streaming", label),
             &optimized.expr,
-            |bch, e| bch.iter(|| run_planned_streaming(&db, e, PlannerConfig::default()).0),
+            |bch, e| {
+                bch.iter(|| run_planned_streaming_stats(&db, &cat_stats, e, Default::default()).0)
+            },
         );
     }
     g.finish();

@@ -64,19 +64,34 @@ fn perf_streaming() {
     let rows =
         oodb_bench::streaming_report::write_bench_json(scale).expect("write BENCH_streaming.json");
     println!(
-        "  {:<26} {:>7} {:>12} {:>13} {:>11} {:>9} {:>8}",
-        "workload", "rows", "nested-loop", "materialized", "streaming", "ops", "batches"
+        "  {:<26} {:>7} {:>12} {:>13} {:>11} {:>9} {:>8} {:>11} {:>11}",
+        "workload",
+        "rows",
+        "nested-loop",
+        "materialized",
+        "streaming",
+        "ops",
+        "batches",
+        "cost-based",
+        "best-forced"
     );
     for r in &rows {
         println!(
-            "  {:<26} {:>7} {:>10.2}ms {:>11.2}ms {:>9.2}ms {:>9} {:>8}",
+            "  {:<26} {:>7} {:>10.2}ms {:>11.2}ms {:>9.2}ms {:>9} {:>8} {:>11} {:>11}",
             r.workload,
             r.result_rows,
             r.nested_loop_ms,
             r.materialized_ms,
             r.streaming_ms,
             r.streaming_operators,
-            r.streaming_batches
+            r.streaming_batches,
+            r.cost_based_work,
+            r.best_forced_work()
+        );
+        assert!(
+            r.cost_based_work <= r.best_forced_work(),
+            "{}: cost-based planning lost to a forced algorithm",
+            r.workload
         );
     }
     println!("  (written to BENCH_streaming.json at the workspace root)");
@@ -329,6 +344,7 @@ fn perf_pnhl() {
     );
     for budget in [8_000usize, 2_000, 500, 125] {
         let cfg = PlannerConfig {
+            cost_based: false,
             pnhl_budget: budget,
             prefer_assembly: false,
             ..Default::default()
@@ -342,7 +358,8 @@ fn perf_pnhl() {
             s.hash_probes
         );
     }
-    let ((v, s), t) = time_it(|| run_planned(&db, &q, PlannerConfig::default()));
+    let cat_stats = oodb_catalog::CatalogStats::from_database(&db);
+    let ((v, s), t) = time_it(|| run_planned_stats(&db, &cat_stats, &q, Default::default()));
     assert_eq!(v, naive_v);
     println!(
         "  assembly (ptr) : {:>10}  ({} oid-index lookups)",
@@ -376,6 +393,7 @@ fn perf_join_algorithms() {
         ("hash join", JoinAlgo::Hash),
     ] {
         let cfg = PlannerConfig {
+            cost_based: false,
             join_algo: algo,
             use_indexes: false,
             ..Default::default()
@@ -391,7 +409,8 @@ fn perf_join_algorithms() {
     // index nested-loop join (secondary index on DELIVERY.supplier)
     let mut db2 = db.clone();
     db2.create_index("DELIVERY", "supplier").expect("indexable");
-    let ((v, s), t) = time_it(|| run_planned(&db2, &q, PlannerConfig::default()));
+    let cat_stats = oodb_catalog::CatalogStats::from_database(&db2);
+    let ((v, s), t) = time_it(|| run_planned_stats(&db2, &cat_stats, &q, Default::default()));
     assert_eq!(Some(v), reference);
     println!(
         "    {:<12}: {:>10}  (work {})",

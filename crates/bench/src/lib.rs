@@ -6,9 +6,9 @@
 
 use oodb_adl::dsl::*;
 use oodb_adl::expr::Expr;
-use oodb_catalog::{Catalog, ClassDef, Database};
+use oodb_catalog::{Catalog, CatalogStats, ClassDef, Database};
 use oodb_core::strategy::{Optimized, Optimizer};
-use oodb_engine::{Evaluator, Planner, PlannerConfig, Stats};
+use oodb_engine::{Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
 use oodb_value::{name, Oid, SetCmpOp, Tuple, TupleType, Type, Value};
 
 /// Runs the naive nested-loop evaluation.
@@ -52,6 +52,23 @@ pub fn run_planned(db: &Database, e: &Expr, config: PlannerConfig) -> (Value, St
     (v, stats)
 }
 
+/// Like [`run_planned`], but reusing pre-collected catalog statistics —
+/// timed loops must not re-scan the database once per plan (the naive
+/// baseline pays no such scan, so re-collecting would skew every
+/// comparison against it).
+pub fn run_planned_stats(
+    db: &Database,
+    stats: &CatalogStats,
+    e: &Expr,
+    config: PlannerConfig,
+) -> (Value, Stats) {
+    let planner = Planner::with_stats(db, config, stats.clone());
+    let plan = planner.plan(e).expect("plan");
+    let mut s = Stats::new();
+    let v = plan.execute(&mut s).expect("execute");
+    (v, s)
+}
+
 /// Like [`run_planned`], but through the streaming operator pipeline.
 pub fn run_planned_streaming(db: &Database, e: &Expr, config: PlannerConfig) -> (Value, Stats) {
     let planner = Planner::with_config(db, config);
@@ -61,6 +78,21 @@ pub fn run_planned_streaming(db: &Database, e: &Expr, config: PlannerConfig) -> 
         .execute_streaming(&mut stats)
         .expect("execute streaming");
     (v, stats)
+}
+
+/// Like [`run_planned_streaming`], with pre-collected statistics (see
+/// [`run_planned_stats`]).
+pub fn run_planned_streaming_stats(
+    db: &Database,
+    stats: &CatalogStats,
+    e: &Expr,
+    config: PlannerConfig,
+) -> (Value, Stats) {
+    let planner = Planner::with_stats(db, config, stats.clone());
+    let plan = planner.plan(e).expect("plan");
+    let mut s = Stats::new();
+    let v = plan.execute_streaming(&mut s).expect("execute streaming");
+    (v, s)
 }
 
 /// Optimizes with the §4 strategy, then executes through the streaming
@@ -297,12 +329,14 @@ pub mod streaming_report {
     use oodb_datagen::generate;
     use std::time::Instant;
 
-    /// One workload's three-way measurement.
+    /// One workload's measurements: naive nested loops, the default
+    /// (cost-based) plan under materialized and streaming execution, and
+    /// the streaming plan under each forced join algorithm.
     #[derive(Debug, Clone)]
     pub struct CompRow {
         /// Workload label.
         pub workload: String,
-        /// Result cardinality (identical across the three paths).
+        /// Result cardinality (identical across all paths).
         pub result_rows: usize,
         /// Naive nested-loop wall-clock (milliseconds) and work units.
         pub nested_loop_ms: f64,
@@ -320,6 +354,26 @@ pub mod streaming_report {
         pub streaming_operators: usize,
         /// Total batches the streaming operators emitted.
         pub streaming_batches: u64,
+        /// Work units of the cost-based plan (streaming; the default
+        /// configuration — equals `streaming_work` by construction, kept
+        /// as its own column so regressions against the forced
+        /// algorithms below stay visible).
+        pub cost_based_work: u64,
+        /// Streaming work with `join_algo` forced to hash (rule-based).
+        pub forced_hash_work: u64,
+        /// Streaming work with `join_algo` forced to sort-merge.
+        pub forced_sort_merge_work: u64,
+        /// Streaming work with `join_algo` forced to nested loops.
+        pub forced_nested_loop_work: u64,
+    }
+
+    impl CompRow {
+        /// The best (lowest) work among the forced-algorithm runs.
+        pub fn best_forced_work(&self) -> u64 {
+            self.forced_hash_work
+                .min(self.forced_sort_merge_work)
+                .min(self.forced_nested_loop_work)
+        }
     }
 
     fn ms(f: impl FnOnce() -> (Value, Stats)) -> (Value, Stats, f64) {
@@ -332,6 +386,9 @@ pub mod streaming_report {
     /// generated objects, asserting all paths agree.
     pub fn compare(scale: usize) -> Vec<CompRow> {
         let db = generate(&oodb_datagen::GenConfig::scaled(scale));
+        // collected once, outside every timed closure — the naive
+        // baseline pays no statistics scan, so neither may the planner
+        let cat_stats = CatalogStats::from_database(&db);
         let workloads: Vec<(&str, Expr)> = vec![
             ("q5_red_part_suppliers", query5_nested()),
             ("q4_referential_integrity", query4_nested()),
@@ -346,11 +403,24 @@ pub mod streaming_report {
                 .optimize(&q, db.catalog())
                 .expect("optimize");
             let (mv, m_stats, mt) =
-                ms(|| run_planned(&db, &optimized.expr, PlannerConfig::default()));
-            let (sv, s_stats, st) =
-                ms(|| run_planned_streaming(&db, &optimized.expr, PlannerConfig::default()));
+                ms(|| run_planned_stats(&db, &cat_stats, &optimized.expr, Default::default()));
+            let (sv, s_stats, st) = ms(|| {
+                run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, Default::default())
+            });
             assert_eq!(nv, mv, "{label}: materialized diverged");
             assert_eq!(nv, sv, "{label}: streaming diverged");
+            // every rule-based forced algorithm, for the cost-based row
+            // to be measured against
+            let forced = |algo: JoinAlgo| {
+                let cfg = PlannerConfig {
+                    cost_based: false,
+                    join_algo: algo,
+                    ..Default::default()
+                };
+                let (fv, f_stats) = run_planned_streaming(&db, &optimized.expr, cfg);
+                assert_eq!(nv, fv, "{label}: forced {algo:?} diverged");
+                f_stats.work()
+            };
             rows.push(CompRow {
                 workload: label.to_string(),
                 result_rows: nv.as_set().map(|s| s.len()).unwrap_or(1),
@@ -362,6 +432,10 @@ pub mod streaming_report {
                 streaming_work: s_stats.work(),
                 streaming_operators: s_stats.operators.len(),
                 streaming_batches: s_stats.total_batches(),
+                cost_based_work: s_stats.work(),
+                forced_hash_work: forced(JoinAlgo::Hash),
+                forced_sort_merge_work: forced(JoinAlgo::SortMerge),
+                forced_nested_loop_work: forced(JoinAlgo::NestedLoop),
             });
         }
         rows
@@ -380,7 +454,9 @@ pub mod streaming_report {
                  \"nested_loop_ms\": {:.3}, \"nested_loop_work\": {}, \
                  \"materialized_ms\": {:.3}, \"materialized_work\": {}, \
                  \"streaming_ms\": {:.3}, \"streaming_work\": {}, \
-                 \"streaming_operators\": {}, \"streaming_batches\": {}}}{}\n",
+                 \"streaming_operators\": {}, \"streaming_batches\": {}, \
+                 \"cost_based_work\": {}, \"forced_hash_work\": {}, \
+                 \"forced_sort_merge_work\": {}, \"forced_nested_loop_work\": {}}}{}\n",
                 r.workload,
                 r.result_rows,
                 r.nested_loop_ms,
@@ -391,6 +467,10 @@ pub mod streaming_report {
                 r.streaming_work,
                 r.streaming_operators,
                 r.streaming_batches,
+                r.cost_based_work,
+                r.forced_hash_work,
+                r.forced_sort_merge_work,
+                r.forced_nested_loop_work,
                 if i + 1 == rows.len() { "" } else { "," },
             ));
         }
@@ -426,6 +506,25 @@ mod tests {
             let (naive, _) = run_naive(&db, &q);
             let (opt, _, rewritten) = run_optimized(&db, &q);
             assert_eq!(naive, opt, "diverged: {}", rewritten.trace);
+        }
+    }
+
+    #[test]
+    fn cost_based_never_loses_to_the_best_forced_algorithm() {
+        // the §7 argument in one assertion: letting the optimizer choose
+        // per operator is at least as good as the best global rule
+        let rows = streaming_report::compare(300);
+        for r in &rows {
+            assert!(
+                r.cost_based_work <= r.best_forced_work(),
+                "{}: cost-based {} > best forced {} (hash {}, sort-merge {}, nl {})",
+                r.workload,
+                r.cost_based_work,
+                r.best_forced_work(),
+                r.forced_hash_work,
+                r.forced_sort_merge_work,
+                r.forced_nested_loop_work,
+            );
         }
     }
 

@@ -21,9 +21,11 @@ pub mod class;
 pub mod database;
 pub mod error;
 pub mod fixtures;
+pub mod stats;
 pub mod table;
 
 pub use class::ClassDef;
 pub use database::{Catalog, Database};
 pub use error::CatalogError;
+pub use stats::{AttrStats, CatalogStats, TableStats};
 pub use table::Table;

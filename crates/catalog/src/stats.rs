@@ -1,0 +1,180 @@
+//! Catalog statistics for cost-based planning.
+//!
+//! The paper's closing argument (§7) is that join queries beat nested
+//! loops *because* the optimizer can choose among many set-oriented
+//! implementations. Choosing needs numbers: per-extent cardinalities,
+//! per-attribute distinct counts, and — specific to complex objects —
+//! the average size of set-valued attributes (the fan-out of the §6.2
+//! materialization patterns). [`CatalogStats`] carries those numbers,
+//! either collected from a populated [`Database`] or synthesized from
+//! generator parameters (see `oodb_datagen`).
+
+use crate::Database;
+use oodb_value::fxhash::{FxHashMap, FxHashSet};
+use oodb_value::{Name, Value};
+
+/// Statistics for one attribute of one extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrStats {
+    /// Number of distinct values. For set-valued attributes this counts
+    /// distinct *elements* across all sets (the domain the elements key
+    /// into), not distinct sets.
+    pub distinct: u64,
+    /// Mean cardinality of the attribute when it is set-valued
+    /// (`None` for scalar attributes).
+    pub avg_set_len: Option<f64>,
+}
+
+/// Statistics for one extent (base table).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Number of stored objects.
+    pub rows: u64,
+    /// Per-attribute statistics.
+    pub attrs: FxHashMap<Name, AttrStats>,
+}
+
+/// Per-extent statistics over a whole object base.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogStats {
+    tables: FxHashMap<Name, TableStats>,
+}
+
+impl CatalogStats {
+    /// An empty statistics set (every lookup answers `None`).
+    pub fn new() -> Self {
+        CatalogStats::default()
+    }
+
+    /// Collects exact statistics by scanning every extent of `db`.
+    pub fn from_database(db: &Database) -> Self {
+        let mut stats = CatalogStats::new();
+        for class in db.catalog().classes() {
+            let Some(table) = db.table(&class.extent) else {
+                continue;
+            };
+            let mut ts = TableStats {
+                rows: table.len() as u64,
+                attrs: FxHashMap::default(),
+            };
+            for (attr, _) in class.attrs.iter() {
+                let mut distinct: FxHashSet<&Value> = FxHashSet::default();
+                let mut set_lens: Option<(u64, u64)> = None; // (sets, total elems)
+                for row in table.rows() {
+                    match row.get(attr) {
+                        Some(Value::Set(s)) => {
+                            let (n, total) = set_lens.unwrap_or((0, 0));
+                            set_lens = Some((n + 1, total + s.len() as u64));
+                            for elem in s.iter() {
+                                distinct.insert(elem);
+                            }
+                        }
+                        Some(v) => {
+                            distinct.insert(v);
+                        }
+                        None => {}
+                    }
+                }
+                ts.attrs.insert(
+                    attr.clone(),
+                    AttrStats {
+                        distinct: distinct.len() as u64,
+                        avg_set_len: set_lens.map(|(n, total)| total as f64 / (n as f64).max(1.0)),
+                    },
+                );
+            }
+            stats.tables.insert(class.extent.clone(), ts);
+        }
+        stats
+    }
+
+    /// Registers (or replaces) statistics for an extent — used by
+    /// synthesized statistics providers.
+    pub fn set_table(&mut self, extent: Name, stats: TableStats) {
+        self.tables.insert(extent, stats);
+    }
+
+    /// Statistics for an extent.
+    pub fn table(&self, extent: &str) -> Option<&TableStats> {
+        self.tables.get(extent)
+    }
+
+    /// Cardinality of an extent.
+    pub fn cardinality(&self, extent: &str) -> Option<u64> {
+        self.table(extent).map(|t| t.rows)
+    }
+
+    /// Distinct-value count of `extent.attr`.
+    pub fn distinct(&self, extent: &str, attr: &str) -> Option<u64> {
+        self.table(extent)
+            .and_then(|t| t.attrs.get(attr))
+            .map(|a| a.distinct)
+    }
+
+    /// Average set size of a set-valued `extent.attr` (`None` when the
+    /// attribute is scalar or unknown).
+    pub fn avg_set_len(&self, extent: &str, attr: &str) -> Option<f64> {
+        self.table(extent)
+            .and_then(|t| t.attrs.get(attr))
+            .and_then(|a| a.avg_set_len)
+    }
+
+    /// True when no statistics are present at all.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::supplier_part_db;
+
+    #[test]
+    fn collects_cardinalities_and_distincts() {
+        let db = supplier_part_db();
+        let s = CatalogStats::from_database(&db);
+        assert_eq!(s.cardinality("PART"), Some(7));
+        assert_eq!(s.cardinality("SUPPLIER"), Some(5));
+        assert_eq!(s.cardinality("DELIVERY"), Some(3));
+        // 7 distinct pids, 4 distinct colors in the fixture
+        assert_eq!(s.distinct("PART", "pid"), Some(7));
+        assert_eq!(s.distinct("PART", "color"), Some(4));
+        assert_eq!(s.cardinality("NOPE"), None);
+        assert_eq!(s.distinct("PART", "nope"), None);
+    }
+
+    #[test]
+    fn set_valued_attrs_get_avg_len_and_element_domain() {
+        let db = supplier_part_db();
+        let s = CatalogStats::from_database(&db);
+        // s1..s5 supply 3+2+4+0+2 = 11 part refs over 5 suppliers
+        let avg = s.avg_set_len("SUPPLIER", "parts").unwrap();
+        assert!((avg - 11.0 / 5.0).abs() < 1e-9, "avg {avg}");
+        // element domain: distinct referenced oids (11..14, 17, 999) = 6
+        assert_eq!(s.distinct("SUPPLIER", "parts"), Some(6));
+        // scalar attr has no set length
+        assert_eq!(s.avg_set_len("PART", "color"), None);
+    }
+
+    #[test]
+    fn empty_and_synthetic_tables() {
+        let mut s = CatalogStats::new();
+        assert!(s.is_empty());
+        let mut ts = TableStats {
+            rows: 1000,
+            attrs: FxHashMap::default(),
+        };
+        ts.attrs.insert(
+            Name::from("k"),
+            AttrStats {
+                distinct: 1000,
+                avg_set_len: None,
+            },
+        );
+        s.set_table(Name::from("T"), ts);
+        assert_eq!(s.cardinality("T"), Some(1000));
+        assert_eq!(s.distinct("T", "k"), Some(1000));
+        assert!(!s.is_empty());
+    }
+}

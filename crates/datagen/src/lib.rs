@@ -8,8 +8,9 @@
 //! dangling-tuple cases of §5.2.2 and Example Query 4.
 
 use oodb_catalog::fixtures::supplier_part_catalog;
+use oodb_catalog::stats::{AttrStats, CatalogStats, TableStats};
 use oodb_catalog::Database;
-use oodb_value::{Oid, Tuple, Value};
+use oodb_value::{Name, Oid, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +66,75 @@ impl GenConfig {
             deliveries: (n / 4).max(2),
             ..GenConfig::default()
         }
+    }
+
+    /// Statistics [`generate`] would produce, synthesized from the
+    /// configuration alone — no database needs to exist. Lets a planner
+    /// cost plans for a database that is *about* to be generated (or is
+    /// too large to scan); values are expectations, not exact counts.
+    pub fn synthesized_stats(&self) -> CatalogStats {
+        let mut stats = CatalogStats::new();
+        let scalar = |d: u64| AttrStats {
+            distinct: d.max(1),
+            avg_set_len: None,
+        };
+        let set = |d: u64, avg: f64| AttrStats {
+            distinct: d.max(1),
+            avg_set_len: Some(avg.max(0.0)),
+        };
+        let parts = self.parts as u64;
+        let suppliers = self.suppliers as u64;
+        let deliveries = self.deliveries as u64;
+
+        let mut part = TableStats {
+            rows: parts,
+            attrs: Default::default(),
+        };
+        part.attrs.insert(Name::from("pid"), scalar(parts));
+        part.attrs.insert(Name::from("pname"), scalar(parts));
+        part.attrs
+            .insert(Name::from("price"), scalar(parts.min(1_000)));
+        part.attrs
+            .insert(Name::from("color"), scalar(COLORS.len() as u64));
+        stats.set_table(Name::from("PART"), part);
+
+        // parts-per-supplier is uniform in 1..=2·mean, so its expectation
+        // is (1 + 2·mean)/2, discounted by the empty-set fraction.
+        let pps = (1.0 + 2.0 * self.parts_per_supplier.max(1) as f64) / 2.0;
+        let avg_parts = pps * (1.0 - self.empty_supplier_fraction.clamp(0.0, 1.0))
+            + self.dangling_fraction.clamp(0.0, 1.0);
+        let referenced = (suppliers as f64 * avg_parts).min(parts as f64) as u64;
+        let mut supplier = TableStats {
+            rows: suppliers,
+            attrs: Default::default(),
+        };
+        supplier.attrs.insert(Name::from("eid"), scalar(suppliers));
+        supplier
+            .attrs
+            .insert(Name::from("sname"), scalar(suppliers));
+        supplier
+            .attrs
+            .insert(Name::from("parts"), set(referenced, avg_parts));
+        stats.set_table(Name::from("SUPPLIER"), supplier);
+
+        let spd = (1.0 + 2.0 * self.supply_per_delivery.max(1) as f64) / 2.0;
+        let mut delivery = TableStats {
+            rows: deliveries,
+            attrs: Default::default(),
+        };
+        delivery.attrs.insert(Name::from("did"), scalar(deliveries));
+        delivery
+            .attrs
+            .insert(Name::from("supplier"), scalar(deliveries.min(suppliers)));
+        delivery.attrs.insert(
+            Name::from("supply"),
+            // supply elements are (part, quantity) tuples — nearly all
+            // distinct, so the element domain tracks the total count
+            set((deliveries as f64 * spd) as u64, spd),
+        );
+        delivery.attrs.insert(Name::from("date"), scalar(28));
+        stats.set_table(Name::from("DELIVERY"), delivery);
+        stats
     }
 }
 
@@ -266,6 +336,35 @@ mod tests {
             assert!(!parts.is_empty());
             assert!(!parts.contains(&Value::Oid(Oid(DANGLING_OID))));
         }
+    }
+
+    #[test]
+    fn synthesized_stats_track_collected_stats() {
+        let c = GenConfig::scaled(400);
+        let synthesized = c.synthesized_stats();
+        let collected = CatalogStats::from_database(&generate(&c));
+        // cardinalities are exact
+        for t in ["PART", "SUPPLIER", "DELIVERY"] {
+            assert_eq!(synthesized.cardinality(t), collected.cardinality(t), "{t}");
+        }
+        // distinct counts and set sizes are expectations — within 2×
+        let close = |a: f64, b: f64| a <= 2.0 * b && b <= 2.0 * a;
+        assert!(close(
+            synthesized.distinct("PART", "color").unwrap() as f64,
+            collected.distinct("PART", "color").unwrap() as f64
+        ));
+        assert!(close(
+            synthesized.avg_set_len("SUPPLIER", "parts").unwrap(),
+            collected.avg_set_len("SUPPLIER", "parts").unwrap()
+        ));
+        assert!(close(
+            synthesized.distinct("SUPPLIER", "parts").unwrap() as f64,
+            collected.distinct("SUPPLIER", "parts").unwrap() as f64
+        ));
+        assert!(close(
+            synthesized.avg_set_len("DELIVERY", "supply").unwrap(),
+            collected.avg_set_len("DELIVERY", "supply").unwrap()
+        ));
     }
 
     #[test]

@@ -1,0 +1,719 @@
+//! Cardinality and cost estimation for physical plans.
+//!
+//! "The optimizer may choose from a number of different join processing
+//! strategies" (§5.1) — this module supplies the numbers the chooser
+//! needs. Costs are denominated in the same **work units** as
+//! [`Stats::work`](crate::stats::Stats::work): scanned rows, loop
+//! iterations, predicate evaluations, hash build rows, hash probes,
+//! pointer dereferences and index probes, so estimated costs are directly
+//! comparable to measured work. (Sort-merge additionally charges its
+//! comparison count, which the runtime counters do not track — without
+//! that term a sort would look free.)
+//!
+//! Cardinalities come from [`CatalogStats`]: extent sizes, per-attribute
+//! distinct counts, and the mean size of set-valued attributes (the
+//! fan-out of the §6.2 materialization patterns). Arbitrary ADL key
+//! expressions fall back to textbook default selectivities.
+
+use crate::physical::hashjoin::MemberShape;
+use crate::physical::PhysPlan;
+use oodb_adl::expr::{conjuncts, Expr, JoinKind, SetOp};
+use oodb_adl::vars::free_vars;
+use oodb_catalog::{CatalogStats, Database};
+use oodb_value::{CmpOp, Name, SetCmpOp};
+
+/// Estimated output cardinality and cumulative cost of a plan node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated rows the operator emits.
+    pub rows: f64,
+    /// Estimated cumulative work units (node + its inputs).
+    pub cost: f64,
+}
+
+/// Internal estimate carrying the provenance of the node's tuples — the
+/// extent attribute statistics still apply to, if any.
+#[derive(Debug, Clone)]
+struct NodeEst {
+    rows: f64,
+    cost: f64,
+    /// The extent this node's tuples structurally come from (scans,
+    /// filters and projections preserve it; joins and maps do not).
+    source: Option<Name>,
+}
+
+impl NodeEst {
+    fn public(&self) -> Estimate {
+        Estimate {
+            rows: self.rows,
+            cost: self.cost,
+        }
+    }
+}
+
+/// Cardinality assumed for nodes nothing is known about.
+const DEFAULT_ROWS: f64 = 16.0;
+/// Selectivity of a non-equality comparison.
+const CMP_SEL: f64 = 1.0 / 3.0;
+/// Selectivity of a whole-set comparison (⊆, ⊇, set equality): every
+/// element of one side must appear in the other, which compounds like a
+/// conjunction of equalities.
+const SETCMP_SEL: f64 = 0.05;
+/// Selectivity of an equality whose distinct count is unknown.
+const EQ_SEL: f64 = 0.1;
+/// Mean set-valued-attribute size assumed when statistics are silent.
+const DEFAULT_SET_LEN: f64 = 4.0;
+/// Output selectivity of a generic (non-equi) join predicate.
+const NL_JOIN_SEL: f64 = 0.1;
+/// Relative cost of inserting one row into a hash table versus probing
+/// it once. Building also bounds memory, so the model charges build rows
+/// double — this is what makes the build side of a commutative join a
+/// real choice (build on the smaller input).
+const BUILD_WEIGHT: f64 = 2.0;
+/// Floor match probability: even "every key matches" containment
+/// estimates leave this fraction unmatched (the paper's Example Query 4
+/// exists *because* referential integrity can be violated).
+const MISMATCH_FLOOR: f64 = 0.002;
+
+/// Estimates cardinalities and work-unit costs for [`PhysPlan`] trees
+/// against one database's [`CatalogStats`].
+pub struct CostModel<'a> {
+    db: &'a Database,
+    stats: CatalogStats,
+}
+
+impl<'a> CostModel<'a> {
+    /// A model with exact statistics collected by scanning `db`.
+    pub fn new(db: &'a Database) -> Self {
+        CostModel {
+            stats: CatalogStats::from_database(db),
+            db,
+        }
+    }
+
+    /// A model with externally supplied statistics (e.g. synthesized
+    /// from generator parameters).
+    pub fn with_stats(db: &'a Database, stats: CatalogStats) -> Self {
+        CostModel { db, stats }
+    }
+
+    /// The statistics backing this model.
+    pub fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    /// Estimated output rows and cumulative cost of `plan`.
+    pub fn estimate(&self, plan: &PhysPlan) -> Estimate {
+        self.est(plan).public()
+    }
+
+    /// EXPLAIN rendering with per-operator `est_rows`/`est_cost`.
+    pub fn explain(&self, plan: &PhysPlan) -> String {
+        let mut out = String::new();
+        self.explain_into(plan, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, plan: &PhysPlan, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let e = self.est(plan);
+        let _ = writeln!(
+            out,
+            "{}{} (est_rows={}, est_cost={})",
+            "  ".repeat(depth),
+            plan.node_line(),
+            e.rows.round() as u64,
+            e.cost.round() as u64,
+        );
+        for child in plan.children() {
+            self.explain_into(child, depth + 1, out);
+        }
+    }
+
+    /// Cardinality of an extent, preferring statistics over the live
+    /// table (synthesized statistics may describe a larger instance).
+    fn extent_rows(&self, extent: &Name) -> f64 {
+        self.stats
+            .cardinality(extent)
+            .map(|r| r as f64)
+            .or_else(|| self.db.table(extent).map(|t| t.len() as f64))
+            .unwrap_or(DEFAULT_ROWS)
+    }
+
+    /// Distinct count of a key expression over `var`, when it is a plain
+    /// attribute of a node whose source extent is known.
+    fn key_ndv(&self, key: &Expr, var: &Name, input: &NodeEst) -> Option<f64> {
+        let attr = plain_attr(key, var)?;
+        let source = input.source.as_ref()?;
+        self.stats.distinct(source, attr).map(|d| d as f64)
+    }
+
+    /// Mean set size of a set-valued expression over `var`.
+    fn set_len(&self, set: &Expr, var: &Name, input: &NodeEst) -> f64 {
+        plain_attr(set, var)
+            .and_then(|attr| {
+                let source = input.source.as_ref()?;
+                self.stats.avg_set_len(source, attr)
+            })
+            .unwrap_or(DEFAULT_SET_LEN)
+    }
+
+    /// Selectivity of one predicate conjunct over tuples of `input`.
+    fn conjunct_selectivity(&self, c: &Expr, var: &Name, input: &NodeEst) -> f64 {
+        match c {
+            Expr::Cmp(CmpOp::Eq, a, b) => {
+                // an equality against a value free of `var` keys on the
+                // var side's distinct count
+                for (side, other) in [(a, b), (b, a)] {
+                    if free_vars(other).iter().all(|n| n != var) {
+                        if let Some(ndv) = self.key_ndv(side, var, input) {
+                            return 1.0 / ndv.max(1.0);
+                        }
+                    }
+                }
+                EQ_SEL
+            }
+            Expr::Cmp(_, _, _) => CMP_SEL,
+            // single-element membership is an equality against any of
+            // the set's elements; whole-set comparisons compound
+            Expr::SetCmp(SetCmpOp::In | SetCmpOp::NotIn, _, _) => CMP_SEL,
+            Expr::SetCmp(_, _, _) => SETCMP_SEL,
+            Expr::Not(inner) => 1.0 - self.conjunct_selectivity(inner, var, input),
+            _ => CMP_SEL,
+        }
+    }
+
+    fn pred_selectivity(&self, pred: &Expr, var: &Name, input: &NodeEst) -> f64 {
+        conjuncts(pred)
+            .iter()
+            .map(|c| self.conjunct_selectivity(c, var, input))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Probability that one left key finds a match among the right keys
+    /// (containment assumption with a referential-integrity floor).
+    fn containment(&self, ndv_l: Option<f64>, ndv_r: Option<f64>, r_rows: f64) -> f64 {
+        let ndv_l = ndv_l.unwrap_or(f64::MAX);
+        let ndv_r = ndv_r.unwrap_or(r_rows).max(1.0);
+        (ndv_r.min(r_rows) / ndv_l.max(1.0)).clamp(0.0, 1.0 - MISMATCH_FLOOR)
+    }
+
+    /// Join-kind specific output cardinality given the per-left-tuple
+    /// match probability `p_match` and the expected matched pair count.
+    fn join_rows(kind: JoinKind, l_rows: f64, pairs: f64, p_match: f64) -> f64 {
+        match kind {
+            JoinKind::Inner => pairs,
+            JoinKind::Semi => l_rows * p_match,
+            JoinKind::Anti => l_rows * (1.0 - p_match),
+            JoinKind::LeftOuter => pairs.max(l_rows),
+        }
+    }
+
+    fn est(&self, plan: &PhysPlan) -> NodeEst {
+        match plan {
+            PhysPlan::Scan(n) => {
+                let rows = self.extent_rows(n);
+                NodeEst {
+                    rows,
+                    cost: rows,
+                    source: Some(n.clone()),
+                }
+            }
+            PhysPlan::Literal(v) => NodeEst {
+                rows: v.as_set().map(|s| s.len() as f64).unwrap_or(1.0),
+                cost: 0.0,
+                source: None,
+            },
+            PhysPlan::Eval(_) => NodeEst {
+                rows: 1.0,
+                cost: 1.0,
+                source: None,
+            },
+            PhysPlan::Filter { var, pred, input } => {
+                let i = self.est(input);
+                let sel = self.pred_selectivity(pred, var, &i);
+                NodeEst {
+                    rows: (i.rows * sel).max(i.rows.min(1.0)),
+                    cost: i.cost + i.rows,
+                    source: i.source,
+                }
+            }
+            PhysPlan::MapOp { input, .. } => {
+                let i = self.est(input);
+                NodeEst {
+                    rows: i.rows,
+                    cost: i.cost + i.rows,
+                    source: None,
+                }
+            }
+            PhysPlan::ProjectOp { input, .. } => {
+                let i = self.est(input);
+                NodeEst { ..i }
+            }
+            PhysPlan::RenameOp { input, .. } => {
+                let i = self.est(input);
+                NodeEst {
+                    rows: i.rows,
+                    cost: i.cost,
+                    source: None,
+                }
+            }
+            PhysPlan::UnnestOp { attr, input } => {
+                let i = self.est(input);
+                let fanout = i
+                    .source
+                    .as_ref()
+                    .and_then(|s| self.stats.avg_set_len(s, attr))
+                    .unwrap_or(DEFAULT_SET_LEN);
+                NodeEst {
+                    rows: i.rows * fanout,
+                    cost: i.cost,
+                    // unnesting keeps the other attributes and replaces
+                    // `attr` by one element — the element-domain distinct
+                    // count recorded for `attr` still applies
+                    source: i.source,
+                }
+            }
+            PhysPlan::NestOp { input, .. } => {
+                let i = self.est(input);
+                NodeEst {
+                    rows: (i.rows / 2.0).max(i.rows.min(1.0)),
+                    cost: i.cost,
+                    source: None,
+                }
+            }
+            PhysPlan::FlattenOp { input } => {
+                let i = self.est(input);
+                NodeEst {
+                    rows: i.rows * DEFAULT_SET_LEN,
+                    cost: i.cost,
+                    source: None,
+                }
+            }
+            PhysPlan::SetOpNode { op, left, right } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                NodeEst {
+                    rows: match op {
+                        SetOp::Union => l.rows + r.rows,
+                        SetOp::Intersect => l.rows.min(r.rows),
+                        SetOp::Difference => l.rows,
+                    },
+                    cost: l.cost + r.cost,
+                    source: None,
+                }
+            }
+            PhysPlan::AggNode { input, .. } => {
+                let i = self.est(input);
+                NodeEst {
+                    rows: 1.0,
+                    cost: i.cost,
+                    source: None,
+                }
+            }
+            PhysPlan::LetOp { value, body, .. } => {
+                let v = self.est(value);
+                let b = self.est(body);
+                NodeEst {
+                    rows: b.rows,
+                    cost: v.cost + b.cost,
+                    source: b.source,
+                }
+            }
+            PhysPlan::ProductOp { left, right } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                NodeEst {
+                    rows: l.rows * r.rows,
+                    cost: l.cost + r.cost + l.rows * r.rows,
+                    source: None,
+                }
+            }
+            PhysPlan::HashJoin {
+                kind,
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let ndv_l = composite_ndv(lkeys.iter().map(|k| self.key_ndv(k, lvar, &l)));
+                let ndv_r = composite_ndv(rkeys.iter().map(|k| self.key_ndv(k, rvar, &r)));
+                let pairs = l.rows * r.rows
+                    / ndv_l
+                        .unwrap_or(l.rows)
+                        .max(ndv_r.unwrap_or(r.rows))
+                        .max(1.0);
+                let p_match = self.containment(ndv_l, ndv_r, r.rows);
+                let matches = pairs.max(0.0);
+                let residual_evals = if residual.is_some() { matches } else { 0.0 };
+                NodeEst {
+                    rows: Self::join_rows(*kind, l.rows, pairs, p_match).max(0.0),
+                    // build the right side, probe with the left
+                    cost: l.cost + r.cost + BUILD_WEIGHT * r.rows + l.rows + residual_evals,
+                    source: None,
+                }
+            }
+            PhysPlan::HashMemberJoin {
+                kind,
+                lvar,
+                rvar,
+                shape,
+                residual,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let (build, probes, pairs, p_match) =
+                    self.member_shape_est(shape, lvar, rvar, &l, &r);
+                let residual_evals = if residual.is_some() { pairs } else { 0.0 };
+                NodeEst {
+                    rows: Self::join_rows(*kind, l.rows, pairs, p_match).max(0.0),
+                    cost: l.cost + r.cost + BUILD_WEIGHT * build + probes + residual_evals,
+                    source: None,
+                }
+            }
+            PhysPlan::IndexNLJoin {
+                kind,
+                lvar,
+                lkey,
+                attr,
+                extent,
+                residual,
+                left,
+                ..
+            } => {
+                let l = self.est(left);
+                let r_rows = self.extent_rows(extent);
+                let ndv_r = self
+                    .stats
+                    .distinct(extent, attr)
+                    .map(|d| d as f64)
+                    .unwrap_or(r_rows);
+                let ndv_l = self.key_ndv(lkey, lvar, &l);
+                let pairs = l.rows * r_rows / ndv_l.unwrap_or(l.rows).max(ndv_r).max(1.0);
+                let p_match = self.containment(ndv_l, Some(ndv_r), r_rows);
+                let residual_evals = if residual.is_some() { pairs } else { 0.0 };
+                NodeEst {
+                    rows: Self::join_rows(*kind, l.rows, pairs, p_match).max(0.0),
+                    // no scan and no build of the right side: one index
+                    // probe per left row plus candidate inspection
+                    cost: l.cost + l.rows + pairs + residual_evals,
+                    source: None,
+                }
+            }
+            PhysPlan::NLJoin {
+                kind, left, right, ..
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let pairs = l.rows * r.rows * NL_JOIN_SEL;
+                NodeEst {
+                    rows: Self::join_rows(*kind, l.rows, pairs, 0.5).max(0.0),
+                    // every pair is iterated and the predicate evaluated
+                    cost: l.cost + r.cost + 2.0 * l.rows * r.rows,
+                    source: None,
+                }
+            }
+            PhysPlan::SortMergeJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                left,
+                right,
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let ndv_l = composite_ndv(lkeys.iter().map(|k| self.key_ndv(k, lvar, &l)));
+                let ndv_r = composite_ndv(rkeys.iter().map(|k| self.key_ndv(k, rvar, &r)));
+                let pairs = l.rows * r.rows
+                    / ndv_l
+                        .unwrap_or(l.rows)
+                        .max(ndv_r.unwrap_or(r.rows))
+                        .max(1.0);
+                let sort = l.rows * l.rows.max(2.0).log2() + r.rows * r.rows.max(2.0).log2();
+                let residual_evals = if residual.is_some() { pairs } else { 0.0 };
+                NodeEst {
+                    rows: pairs.max(0.0),
+                    cost: l.cost + r.cost + sort + pairs + residual_evals,
+                    source: None,
+                }
+            }
+            PhysPlan::HashNestJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let ndv_l = composite_ndv(lkeys.iter().map(|k| self.key_ndv(k, lvar, &l)));
+                let ndv_r = composite_ndv(rkeys.iter().map(|k| self.key_ndv(k, rvar, &r)));
+                let pairs = l.rows * r.rows
+                    / ndv_l
+                        .unwrap_or(l.rows)
+                        .max(ndv_r.unwrap_or(r.rows))
+                        .max(1.0);
+                NodeEst {
+                    // the nestjoin emits exactly one row per left tuple
+                    rows: l.rows,
+                    cost: l.cost + r.cost + BUILD_WEIGHT * r.rows + l.rows + pairs,
+                    source: None,
+                }
+            }
+            PhysPlan::MemberNestJoin {
+                lvar,
+                rvar,
+                shape,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let (build, probes, pairs, _) = self.member_shape_est(shape, lvar, rvar, &l, &r);
+                NodeEst {
+                    rows: l.rows,
+                    cost: l.cost + r.cost + BUILD_WEIGHT * build + probes + pairs,
+                    source: None,
+                }
+            }
+            PhysPlan::NLNestJoin { left, right, .. } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                NodeEst {
+                    rows: l.rows,
+                    cost: l.cost + r.cost + 2.0 * l.rows * r.rows,
+                    source: None,
+                }
+            }
+            PhysPlan::Pnhl {
+                outer,
+                set_attr,
+                inner,
+                budget,
+                ..
+            } => {
+                let o = self.est(outer);
+                let i = self.est(inner);
+                let elems = o.rows * self.attr_set_len(&o, set_attr);
+                let segments = (i.rows / (*budget).max(1) as f64).ceil().max(1.0);
+                NodeEst {
+                    rows: o.rows,
+                    // the flat table is built once; every segment incurs
+                    // a full probe pass over the outer elements
+                    cost: o.cost + i.cost + BUILD_WEIGHT * i.rows + segments * elems,
+                    source: o.source,
+                }
+            }
+            PhysPlan::UnnestJoin {
+                outer,
+                set_attr,
+                inner,
+                ..
+            } => {
+                let o = self.est(outer);
+                let i = self.est(inner);
+                let elems = o.rows * self.attr_set_len(&o, set_attr);
+                NodeEst {
+                    rows: o.rows,
+                    // one build, one probe pass — but the unnest
+                    // duplicates the outer tuple per element
+                    cost: o.cost + i.cost + BUILD_WEIGHT * i.rows + 2.0 * elems,
+                    source: o.source,
+                }
+            }
+            PhysPlan::Assemble {
+                input,
+                attr,
+                set_valued,
+                ..
+            } => {
+                let i = self.est(input);
+                let lookups = if *set_valued {
+                    i.rows * self.attr_set_len(&i, attr)
+                } else {
+                    i.rows
+                };
+                NodeEst {
+                    rows: i.rows,
+                    cost: i.cost + lookups,
+                    source: i.source,
+                }
+            }
+        }
+    }
+
+    /// Mean set size of `node.attr`, with the default fallback.
+    fn attr_set_len(&self, node: &NodeEst, attr: &Name) -> f64 {
+        node.source
+            .as_ref()
+            .and_then(|s| self.stats.avg_set_len(s, attr))
+            .unwrap_or(DEFAULT_SET_LEN)
+    }
+
+    /// Build cost, probe cost, matched pair count and per-left-tuple
+    /// match probability of a membership join.
+    fn member_shape_est(
+        &self,
+        shape: &MemberShape,
+        lvar: &Name,
+        rvar: &Name,
+        l: &NodeEst,
+        r: &NodeEst,
+    ) -> (f64, f64, f64, f64) {
+        match shape {
+            MemberShape::RightInLeftSet { lset, rkey } => {
+                let avg = self.set_len(lset, lvar, l);
+                let ndv_elems = plain_attr(lset, lvar)
+                    .zip(l.source.as_ref())
+                    .and_then(|(a, s)| self.stats.distinct(s, a))
+                    .map(|d| d as f64);
+                let ndv_r = self.key_ndv(rkey, rvar, r);
+                // probability one set element finds a right match
+                let p_elem = self.containment(ndv_elems, ndv_r, r.rows);
+                let pairs = l.rows * avg * p_elem;
+                let p_match = 1.0 - (1.0 - p_elem).powf(avg.max(0.0));
+                (r.rows, l.rows * avg, pairs, p_match)
+            }
+            MemberShape::LeftInRightSet { lkey, rset } => {
+                let avg = self.set_len(rset, rvar, r);
+                let ndv_elems = plain_attr(rset, rvar)
+                    .zip(r.source.as_ref())
+                    .and_then(|(a, s)| self.stats.distinct(s, a))
+                    .map(|d| d as f64);
+                let ndv_l = self.key_ndv(lkey, lvar, l);
+                let p_match = self.containment(ndv_l, ndv_elems, r.rows * avg);
+                let pairs = l.rows * p_match * (r.rows * avg / r.rows.max(1.0)).max(1.0);
+                (r.rows * avg, l.rows, pairs, p_match)
+            }
+        }
+    }
+}
+
+/// `e` as a plain attribute access `var.attr`, if it is one.
+fn plain_attr<'e>(e: &'e Expr, var: &Name) -> Option<&'e Name> {
+    match e {
+        Expr::Field(base, attr) if matches!(base.as_ref(), Expr::Var(v) if v == var) => Some(attr),
+        _ => None,
+    }
+}
+
+/// Distinct count of a composite key: the max of its parts (attribute
+/// independence would multiply, but the max is the safer bound for the
+/// join denominators used here). `None` when no part is resolvable.
+fn composite_ndv(parts: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    parts.flatten().fold(None, |acc, d| {
+        Some(match acc {
+            None => d,
+            Some(a) => a.max(d),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_catalog::fixtures::supplier_part_db;
+
+    fn scan(t: &str) -> Box<PhysPlan> {
+        Box::new(PhysPlan::Scan(t.into()))
+    }
+
+    #[test]
+    fn scan_estimates_are_exact() {
+        let db = supplier_part_db();
+        let m = CostModel::new(&db);
+        let e = m.estimate(&PhysPlan::Scan("PART".into()));
+        assert_eq!(e.rows, 7.0);
+        assert_eq!(e.cost, 7.0);
+    }
+
+    #[test]
+    fn equality_filter_uses_distinct_counts() {
+        let db = supplier_part_db();
+        let m = CostModel::new(&db);
+        let plan = PhysPlan::Filter {
+            var: "p".into(),
+            pred: eq(var("p").field("color"), str_lit("red")),
+            input: scan("PART"),
+        };
+        let e = m.estimate(&plan);
+        // 7 parts / 4 distinct colors
+        assert!((e.rows - 7.0 / 4.0).abs() < 1e-9, "rows {}", e.rows);
+        assert_eq!(e.cost, 14.0); // scan 7 + 7 predicate evaluations
+    }
+
+    #[test]
+    fn hash_join_cheaper_than_nl_join() {
+        let db = supplier_part_db();
+        let m = CostModel::new(&db);
+        let hash = PhysPlan::HashJoin {
+            kind: JoinKind::Inner,
+            lvar: "s".into(),
+            rvar: "d".into(),
+            lkeys: vec![var("s").field("eid")],
+            rkeys: vec![var("d").field("supplier")],
+            residual: None,
+            right_attrs: vec![],
+            left: scan("SUPPLIER"),
+            right: scan("DELIVERY"),
+        };
+        let nl = PhysPlan::NLJoin {
+            kind: JoinKind::Inner,
+            lvar: "s".into(),
+            rvar: "d".into(),
+            pred: eq(var("s").field("eid"), var("d").field("supplier")),
+            right_attrs: vec![],
+            left: scan("SUPPLIER"),
+            right: scan("DELIVERY"),
+        };
+        assert!(m.estimate(&hash).cost < m.estimate(&nl).cost);
+    }
+
+    #[test]
+    fn explain_is_annotated() {
+        let db = supplier_part_db();
+        let m = CostModel::new(&db);
+        let text = m.explain(&PhysPlan::Scan("PART".into()));
+        assert!(
+            text.contains("Scan PART (est_rows=7, est_cost=7)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn tight_budget_inflates_pnhl_cost() {
+        let db = supplier_part_db();
+        let m = CostModel::new(&db);
+        let mk = |budget: usize| PhysPlan::Pnhl {
+            outer: scan("SUPPLIER"),
+            set_attr: "parts".into(),
+            inner: scan("PART"),
+            keys: crate::physical::MatchKeys {
+                elem_var: "e".into(),
+                elem_key: var("e"),
+                inner_var: "p".into(),
+                inner_key: var("p").field("pid"),
+            },
+            budget,
+        };
+        let wide = m.estimate(&mk(1 << 14)).cost;
+        let tight = m.estimate(&mk(2)).cost;
+        assert!(tight > wide, "tight {tight} wide {wide}");
+    }
+}

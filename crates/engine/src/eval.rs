@@ -40,6 +40,14 @@ pub enum EvalError {
     /// `NULL` reached an operator that is not null-aware (outerjoin
     /// padding escaping its intended scope).
     NullNotAllowed(&'static str),
+    /// An index nested-loop join reached an extent attribute that has no
+    /// secondary index — the planner must never emit such a plan.
+    MissingIndex {
+        /// The extent that was probed.
+        extent: Name,
+        /// The unindexed attribute.
+        attr: Name,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -55,6 +63,12 @@ impl fmt::Display for EvalError {
             EvalError::BadDivision(s) => write!(f, "bad division: {s}"),
             EvalError::NullNotAllowed(op) => {
                 write!(f, "NULL reached non-null-aware operator `{op}`")
+            }
+            EvalError::MissingIndex { extent, attr } => {
+                write!(
+                    f,
+                    "index nested-loop join over unindexed attribute `{extent}.{attr}`"
+                )
             }
         }
     }

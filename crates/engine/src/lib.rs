@@ -16,11 +16,13 @@
 //! Physical operators are property-tested to agree with the reference
 //! evaluator on arbitrary inputs — same answers, different asymptotics.
 
+pub mod cost;
 pub mod eval;
 pub mod physical;
 pub mod plan;
 pub mod stats;
 
+pub use cost::{CostModel, Estimate};
 pub use eval::{Env, EvalError, Evaluator};
 pub use physical::PhysPlan;
 pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};

@@ -487,7 +487,15 @@ pub fn index_nl_join_batch(
         .db()
         .table(extent)
         .ok_or_else(|| EvalError::UnknownTable(extent.clone()))?;
-    debug_assert!(table.has_index(attr), "planner only picks indexed attrs");
+    if !table.has_index(attr) {
+        // the planner guards this (see `Planner::indexed_equi_key`), so
+        // reaching it means a hand-built or stale plan — fail loudly
+        // instead of probing a missing index
+        return Err(EvalError::MissingIndex {
+            extent: extent.clone(),
+            attr: attr.clone(),
+        });
+    }
     let mut out = Vec::new();
     for x in batch {
         let key = eval_under(lkey, lvar, x, ev, env, stats)?;

@@ -312,6 +312,21 @@ pub enum PhysPlan {
         /// that fit into main memory".
         budget: usize,
     },
+    /// Unnest–join–nest materialization (§6.2's third strategy): builds
+    /// the whole flat table once and probes every set element against it,
+    /// paying tuple duplication instead of PNHL's per-segment passes.
+    /// The cost-based planner picks it when the memory budget would force
+    /// PNHL through many probe passes.
+    UnnestJoin {
+        /// Outer plan (complex tuples with the set-valued attribute).
+        outer: Box<PhysPlan>,
+        /// The set-valued attribute being materialized.
+        set_attr: Name,
+        /// Inner (flat, build-side) plan.
+        inner: Box<PhysPlan>,
+        /// Element/inner key pair.
+        keys: MatchKeys,
+    },
     /// Assembly (\[BlMG93\]): pointer-based materialization of oid-valued
     /// (or set-of-oid-valued) attributes through the extent's oid index.
     Assemble {
@@ -671,6 +686,16 @@ impl PhysPlan {
                 let i = inner.exec(ev, env, stats)?.into_set()?;
                 pnhl::pnhl_materialize(&o, set_attr, &i, keys, *budget, ev, env, stats)
             }
+            PhysPlan::UnnestJoin {
+                outer,
+                set_attr,
+                inner,
+                keys,
+            } => {
+                let o = outer.exec(ev, env, stats)?.into_set()?;
+                let i = inner.exec(ev, env, stats)?.into_set()?;
+                pnhl::unnest_join_nest(&o, set_attr, &i, keys, ev, env, stats)
+            }
             PhysPlan::Assemble {
                 input,
                 attr,
@@ -693,7 +718,16 @@ impl PhysPlan {
     fn explain_into(&self, depth: usize, out: &mut String) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
-        let line: String = match self {
+        let line = self.node_line();
+        let _ = writeln!(out, "{pad}{line}");
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
+        }
+    }
+
+    /// The one-line EXPLAIN rendering of this operator (no children).
+    pub fn node_line(&self) -> String {
+        match self {
             PhysPlan::Scan(n) => format!("Scan {n}"),
             PhysPlan::Literal(_) => "Literal".into(),
             PhysPlan::Eval(e) => format!("Eval {e}"),
@@ -738,6 +772,9 @@ impl PhysPlan {
             } => {
                 format!("PNHL μ⋈ {set_attr} (budget {budget})")
             }
+            PhysPlan::UnnestJoin { set_attr, .. } => {
+                format!("UnnestJoin μ⋈ν {set_attr}")
+            }
             PhysPlan::Assemble {
                 attr,
                 class,
@@ -749,14 +786,11 @@ impl PhysPlan {
                     if *set_valued { " (set)" } else { "" }
                 )
             }
-        };
-        let _ = writeln!(out, "{pad}{line}");
-        for child in self.children() {
-            child.explain_into(depth + 1, out);
         }
     }
 
-    fn children(&self) -> Vec<&PhysPlan> {
+    /// The operator's direct children, in explain order.
+    pub fn children(&self) -> Vec<&PhysPlan> {
         match self {
             PhysPlan::Scan(_) | PhysPlan::Literal(_) | PhysPlan::Eval(_) => vec![],
             PhysPlan::Filter { input, .. }
@@ -779,7 +813,9 @@ impl PhysPlan {
             | PhysPlan::MemberNestJoin { left, right, .. }
             | PhysPlan::NLNestJoin { left, right, .. } => vec![left, right],
             PhysPlan::LetOp { value, body, .. } => vec![value, body],
-            PhysPlan::Pnhl { outer, inner, .. } => vec![outer, inner],
+            PhysPlan::Pnhl { outer, inner, .. } | PhysPlan::UnnestJoin { outer, inner, .. } => {
+                vec![outer, inner]
+            }
         }
     }
 }

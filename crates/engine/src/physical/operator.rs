@@ -495,6 +495,14 @@ enum BlockingKind {
         keys: Box<MatchKeys>,
         budget: usize,
     },
+    /// Unnest–join–nest materialization — both operands drained, output
+    /// emitted in batches.
+    UnnestJoin {
+        outer: BoxOp,
+        set_attr: Name,
+        inner: BoxOp,
+        keys: Box<MatchKeys>,
+    },
 }
 
 /// Drains its input(s), computes, then emits the result in batches.
@@ -512,7 +520,8 @@ impl Operator for BlockingOp {
                 left.open(ctx)?;
                 right.open(ctx)
             }
-            BlockingKind::Pnhl { outer, inner, .. } => {
+            BlockingKind::Pnhl { outer, inner, .. }
+            | BlockingKind::UnnestJoin { outer, inner, .. } => {
                 outer.open(ctx)?;
                 inner.open(ctx)
             }
@@ -560,6 +569,24 @@ impl Operator for BlockingOp {
                         ctx.stats,
                     )?
                 }
+                BlockingKind::UnnestJoin {
+                    outer,
+                    set_attr,
+                    inner,
+                    keys,
+                } => {
+                    let o = drain_to_set(outer, ctx)?;
+                    let i = drain_to_set(inner, ctx)?;
+                    pnhl::unnest_join_rows(
+                        &o,
+                        set_attr,
+                        &i,
+                        keys,
+                        &ctx.ev,
+                        &mut ctx.env,
+                        ctx.stats,
+                    )?
+                }
             };
             self.buf = Some(Buffered::new(rows));
         }
@@ -574,7 +601,8 @@ impl Operator for BlockingOp {
                 left.close(ctx);
                 right.close(ctx);
             }
-            BlockingKind::Pnhl { outer, inner, .. } => {
+            BlockingKind::Pnhl { outer, inner, .. }
+            | BlockingKind::UnnestJoin { outer, inner, .. } => {
                 outer.close(ctx);
                 inner.close(ctx);
             }
@@ -1145,6 +1173,20 @@ impl PhysPlan {
                 },
                 buf: None,
             }),
+            PhysPlan::UnnestJoin {
+                outer,
+                set_attr,
+                inner,
+                keys,
+            } => Box::new(BlockingOp {
+                kind: BlockingKind::UnnestJoin {
+                    outer: outer.compile_rows(),
+                    set_attr: set_attr.clone(),
+                    inner: inner.compile_rows(),
+                    keys: Box::new(keys.clone()),
+                },
+                buf: None,
+            }),
             PhysPlan::LetOp { var, value, body } => Box::new(LetOp {
                 var: var.clone(),
                 value: value.compile(),
@@ -1369,6 +1411,7 @@ impl PhysPlan {
             PhysPlan::MemberNestJoin { as_attr, .. } => format!("MemberNestJoin({as_attr})"),
             PhysPlan::NLNestJoin { as_attr, .. } => format!("NLNestJoin({as_attr})"),
             PhysPlan::Pnhl { set_attr, .. } => format!("PNHL({set_attr})"),
+            PhysPlan::UnnestJoin { set_attr, .. } => format!("UnnestJoin({set_attr})"),
             PhysPlan::Assemble { attr, class, .. } => format!("Assemble({attr}->{class})"),
         }
     }
@@ -1536,6 +1579,8 @@ mod tests {
         let pnhl_planner = Planner::with_config(
             &db,
             PlannerConfig {
+                // rule-based so `prefer_assembly: false` really forces PNHL
+                cost_based: false,
                 prefer_assembly: false,
                 pnhl_budget: 2,
                 ..Default::default()

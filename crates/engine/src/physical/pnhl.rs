@@ -103,6 +103,12 @@ pub fn pnhl_rows(
 /// set is empty are *lost* by the unnest (and a nest cannot restore them),
 /// so this helper additionally re-attaches them — the bookkeeping PNHL
 /// never needs.
+///
+/// Unlike PNHL it ignores the memory budget: the whole flat table is
+/// built at once, every outer element probes exactly one table, and the
+/// unnest duplicates the outer tuple per element (the `loop_iterations`
+/// it pays that PNHL does not). The cost-based planner picks it when a
+/// tight budget would force PNHL through 3+ probe passes.
 #[allow(clippy::too_many_arguments)]
 pub fn unnest_join_nest(
     outer: &Set,
@@ -113,6 +119,23 @@ pub fn unnest_join_nest(
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
+    Ok(Value::Set(Set::from_values(unnest_join_rows(
+        outer, set_attr, inner, keys, ev, env, stats,
+    )?)))
+}
+
+/// [`unnest_join_nest`] returning the output rows unwrapped (streaming
+/// pipeline entry point, mirroring [`pnhl_rows`]).
+#[allow(clippy::too_many_arguments)]
+pub fn unnest_join_rows(
+    outer: &Set,
+    set_attr: &Name,
+    inner: &Set,
+    keys: &MatchKeys,
+    ev: &Evaluator<'_>,
+    env: &mut Env,
+    stats: &mut Stats,
+) -> Result<Vec<Value>, EvalError> {
     // Build once (no memory budget — the comparison point).
     let mut table: FxHashMap<Value, Vec<&Value>> = FxHashMap::default();
     for y in inner.iter() {
@@ -147,7 +170,7 @@ pub fn unnest_join_nest(
             .map_err(EvalError::Value)?;
         out.push(Value::Tuple(t));
     }
-    Ok(Value::Set(Set::from_values(out)))
+    Ok(out)
 }
 
 #[cfg(test)]

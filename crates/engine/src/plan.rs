@@ -17,17 +17,19 @@
 //!   iteration the paper deliberately leaves in place) are evaluated by
 //!   the reference evaluator inside the enclosing operator.
 
+use crate::cost::{CostModel, Estimate};
 use crate::physical::hashjoin::MemberShape;
 use crate::physical::{MatchKeys, PhysPlan};
 use crate::stats::Stats;
 use oodb_adl::expr::{conjuncts, Expr, JoinKind};
 use oodb_adl::vars::free_vars;
 use oodb_adl::AdlTypeError;
-use oodb_catalog::Database;
+use oodb_catalog::{CatalogStats, Database};
 use oodb_value::{CmpOp, Name, SetCmpOp, Value};
 use std::fmt;
 
-/// Which join implementation the planner prefers when keys allow it.
+/// Which join implementation the rule-based planner prefers when keys
+/// allow it (ignored when [`PlannerConfig::cost_based`] is on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinAlgo {
     /// Hash join (default).
@@ -42,14 +44,23 @@ pub enum JoinAlgo {
 /// Planner tuning knobs.
 #[derive(Debug, Clone)]
 pub struct PlannerConfig {
-    /// Preferred join algorithm.
+    /// Pick join implementations and §6.2 materialization strategies per
+    /// operator by estimated cost (see [`CostModel`]) instead of by the
+    /// global `join_algo` rule. On by default — this is the §7 argument:
+    /// join queries win *because* the optimizer can choose.
+    pub cost_based: bool,
+    /// Preferred join algorithm of the rule-based planner; ignored when
+    /// `cost_based` is on.
     pub join_algo: JoinAlgo,
     /// PNHL memory budget (build rows per segment).
     pub pnhl_budget: usize,
-    /// Recognize the §6.2 materialization patterns (PNHL / assembly).
+    /// Recognize the §6.2 materialization patterns (PNHL / assembly /
+    /// unnest-join).
     pub detect_materialize: bool,
-    /// Prefer pointer-based assembly over PNHL when the materialization
-    /// key is the class identity.
+    /// Rule-based mode: prefer pointer-based assembly over PNHL when the
+    /// materialization key is the class identity. (Cost-based mode
+    /// always *considers* assembly for identity keys and lets the cost
+    /// decide.)
     pub prefer_assembly: bool,
     /// Use secondary indexes (index nested-loop join) when the right
     /// operand is an indexed extent.
@@ -59,6 +70,7 @@ pub struct PlannerConfig {
 impl Default for PlannerConfig {
     fn default() -> Self {
         PlannerConfig {
+            cost_based: true,
             join_algo: JoinAlgo::Hash,
             pnhl_budget: 1 << 14,
             detect_materialize: true,
@@ -90,6 +102,8 @@ pub struct Plan<'a> {
     /// The operator tree.
     pub phys: PhysPlan,
     db: &'a Database,
+    /// Cost model the plan was built with (cost-based planning only).
+    cost: Option<CostModel<'a>>,
 }
 
 impl Plan<'_> {
@@ -105,9 +119,19 @@ impl Plan<'_> {
         self.phys.execute_on(self.db, stats)
     }
 
-    /// EXPLAIN-style rendering.
+    /// EXPLAIN-style rendering. Under cost-based planning every operator
+    /// line is annotated with `est_rows`/`est_cost`.
     pub fn explain(&self) -> String {
-        self.phys.explain()
+        match &self.cost {
+            Some(m) => m.explain(&self.phys),
+            None => self.phys.explain(),
+        }
+    }
+
+    /// Estimated output rows and total cost of the whole plan (`None`
+    /// when the plan was built without statistics).
+    pub fn estimate(&self) -> Option<Estimate> {
+        self.cost.as_ref().map(|m| m.estimate(&self.phys))
     }
 }
 
@@ -115,20 +139,30 @@ impl Plan<'_> {
 pub struct Planner<'a> {
     db: &'a Database,
     config: PlannerConfig,
+    /// Cost model backing the cost-based decisions (present exactly when
+    /// `config.cost_based`).
+    cost: Option<CostModel<'a>>,
 }
 
 impl<'a> Planner<'a> {
-    /// A planner with default configuration.
+    /// A planner with default configuration (cost-based, statistics
+    /// collected by scanning `db`).
     pub fn new(db: &'a Database) -> Self {
-        Planner {
-            db,
-            config: PlannerConfig::default(),
-        }
+        Planner::with_config(db, PlannerConfig::default())
     }
 
-    /// A planner with explicit configuration.
+    /// A planner with explicit configuration. When `config.cost_based`
+    /// is set, statistics are collected by scanning `db`.
     pub fn with_config(db: &'a Database, config: PlannerConfig) -> Self {
-        Planner { db, config }
+        let cost = config.cost_based.then(|| CostModel::new(db));
+        Planner { db, config, cost }
+    }
+
+    /// A cost-based planner with externally supplied statistics (e.g.
+    /// synthesized from `oodb_datagen::GenConfig` without scanning).
+    pub fn with_stats(db: &'a Database, config: PlannerConfig, stats: CatalogStats) -> Self {
+        let cost = config.cost_based.then(|| CostModel::with_stats(db, stats));
+        Planner { db, config, cost }
     }
 
     /// Lowers a closed ADL expression into an executable [`Plan`].
@@ -136,6 +170,10 @@ impl<'a> Planner<'a> {
         Ok(Plan {
             phys: self.lower(e)?,
             db: self.db,
+            cost: self
+                .cost
+                .as_ref()
+                .map(|m| CostModel::with_stats(self.db, m.stats().clone())),
         })
     }
 
@@ -251,6 +289,20 @@ impl<'a> Planner<'a> {
         } else {
             Vec::new()
         };
+        if let Some(model) = &self.cost {
+            return Ok(self.plan_join_cost_based(
+                model,
+                kind,
+                lvar,
+                rvar,
+                pred,
+                left,
+                right,
+                *l,
+                *r,
+                right_attrs,
+            ));
+        }
         if self.config.join_algo == JoinAlgo::NestedLoop {
             return Ok(PhysPlan::NLJoin {
                 kind,
@@ -266,40 +318,17 @@ impl<'a> Planner<'a> {
         // Index nested-loop join: right side is an indexed extent and one
         // equi-key is a plain attribute of it.
         if self.config.use_indexes && !split.equi.is_empty() {
-            if let Expr::Table(extent) = right {
-                if let Some(t) = self.db.table(extent) {
-                    let indexed = split.equi.iter().position(|(_, rk)| {
-                        matches!(
-                            rk,
-                            Expr::Field(b, a)
-                                if matches!(b.as_ref(), Expr::Var(v) if v == rvar)
-                                    && t.has_index(a)
-                        )
-                    });
-                    if let Some(i) = indexed {
-                        let mut equi = split.equi.clone();
-                        let (lkey, rkey) = equi.remove(i);
-                        let attr = match rkey {
-                            Expr::Field(_, a) => a,
-                            _ => unreachable!("shape checked above"),
-                        };
-                        let mut residual_parts = split.residual.clone();
-                        for (lk, rk) in equi {
-                            residual_parts.push(Expr::Cmp(CmpOp::Eq, Box::new(lk), Box::new(rk)));
-                        }
-                        return Ok(PhysPlan::IndexNLJoin {
-                            kind,
-                            lvar: lvar.clone(),
-                            rvar: rvar.clone(),
-                            lkey,
-                            attr,
-                            extent: extent.clone(),
-                            residual: build_residual(residual_parts),
-                            right_attrs,
-                            left: l,
-                        });
-                    }
-                }
+            if let Some(plan) = self.index_nl_candidate(
+                kind,
+                lvar,
+                rvar,
+                &split.equi,
+                &split.residual,
+                right,
+                (*l).clone(),
+                right_attrs.clone(),
+            ) {
+                return Ok(plan);
             }
         }
         if !split.equi.is_empty() {
@@ -351,6 +380,177 @@ impl<'a> Planner<'a> {
         })
     }
 
+    /// Builds an index nested-loop join if `right` is an extent with a
+    /// secondary index on one of the equi-key attributes. The `has_index`
+    /// check *is* the planner-level guard: execution refuses to probe a
+    /// missing index (`EvalError::MissingIndex`), so no path may
+    /// construct an [`PhysPlan::IndexNLJoin`] without it.
+    #[allow(clippy::too_many_arguments)]
+    fn index_nl_candidate(
+        &self,
+        kind: JoinKind,
+        lvar: &Name,
+        rvar: &Name,
+        equi: &[(Expr, Expr)],
+        residual: &[Expr],
+        right: &Expr,
+        left_plan: PhysPlan,
+        right_attrs: Vec<Name>,
+    ) -> Option<PhysPlan> {
+        let Expr::Table(extent) = right else {
+            return None;
+        };
+        let t = self.db.table(extent)?;
+        let indexed = equi.iter().position(|(_, rk)| {
+            matches!(
+                rk,
+                Expr::Field(b, a)
+                    if matches!(b.as_ref(), Expr::Var(v) if v == rvar)
+                        && t.has_index(a)
+            )
+        })?;
+        let mut equi = equi.to_vec();
+        let (lkey, rkey) = equi.remove(indexed);
+        let attr = match rkey {
+            Expr::Field(_, a) => a,
+            _ => unreachable!("shape checked above"),
+        };
+        let mut residual_parts = residual.to_vec();
+        for (lk, rk) in equi {
+            residual_parts.push(Expr::Cmp(CmpOp::Eq, Box::new(lk), Box::new(rk)));
+        }
+        Some(PhysPlan::IndexNLJoin {
+            kind,
+            lvar: lvar.clone(),
+            rvar: rvar.clone(),
+            lkey,
+            attr,
+            extent: extent.clone(),
+            residual: build_residual(residual_parts),
+            right_attrs,
+            left: Box::new(left_plan),
+        })
+    }
+
+    /// Cost-based join planning: enumerate every applicable physical
+    /// implementation — hash (both build sides for commutative inner
+    /// joins), sort-merge, index nested-loop (right or, for inner joins,
+    /// swapped), membership hash, plain nested loops — and keep the one
+    /// with the lowest estimated cost.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_join_cost_based(
+        &self,
+        model: &CostModel<'_>,
+        kind: JoinKind,
+        lvar: &Name,
+        rvar: &Name,
+        pred: &Expr,
+        left: &Expr,
+        right: &Expr,
+        l: PhysPlan,
+        r: PhysPlan,
+        right_attrs: Vec<Name>,
+    ) -> PhysPlan {
+        let split = split_pred(pred, lvar, rvar);
+        let mut candidates: Vec<PhysPlan> = Vec::new();
+        if !split.equi.is_empty() {
+            let (lkeys, rkeys): (Vec<Expr>, Vec<Expr>) = split.equi.iter().cloned().unzip();
+            let residual = build_residual(split.residual.clone());
+            candidates.push(PhysPlan::HashJoin {
+                kind,
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys: lkeys.clone(),
+                rkeys: rkeys.clone(),
+                residual: residual.clone(),
+                right_attrs: right_attrs.clone(),
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            });
+            if kind == JoinKind::Inner {
+                // The inner join is commutative (tuples are canonically
+                // attribute-ordered), so the build side is a choice:
+                // swapping the operands builds the hash table on the
+                // original left.
+                candidates.push(PhysPlan::HashJoin {
+                    kind,
+                    lvar: rvar.clone(),
+                    rvar: lvar.clone(),
+                    lkeys: rkeys.clone(),
+                    rkeys: lkeys.clone(),
+                    residual: residual.clone(),
+                    right_attrs: Vec::new(),
+                    left: Box::new(r.clone()),
+                    right: Box::new(l.clone()),
+                });
+                candidates.push(PhysPlan::SortMergeJoin {
+                    lvar: lvar.clone(),
+                    rvar: rvar.clone(),
+                    lkeys,
+                    rkeys,
+                    residual,
+                    left: Box::new(l.clone()),
+                    right: Box::new(r.clone()),
+                });
+            }
+            if self.config.use_indexes {
+                if let Some(plan) = self.index_nl_candidate(
+                    kind,
+                    lvar,
+                    rvar,
+                    &split.equi,
+                    &split.residual,
+                    right,
+                    l.clone(),
+                    right_attrs.clone(),
+                ) {
+                    candidates.push(plan);
+                }
+                if kind == JoinKind::Inner {
+                    let swapped: Vec<(Expr, Expr)> = split
+                        .equi
+                        .iter()
+                        .map(|(lk, rk)| (rk.clone(), lk.clone()))
+                        .collect();
+                    if let Some(plan) = self.index_nl_candidate(
+                        kind,
+                        rvar,
+                        lvar,
+                        &swapped,
+                        &split.residual,
+                        left,
+                        r.clone(),
+                        Vec::new(),
+                    ) {
+                        candidates.push(plan);
+                    }
+                }
+            }
+        }
+        if let Some(shape) = split.member {
+            candidates.push(PhysPlan::HashMemberJoin {
+                kind,
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                shape,
+                residual: build_residual(split.residual.clone()),
+                right_attrs: right_attrs.clone(),
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            });
+        }
+        candidates.push(PhysPlan::NLJoin {
+            kind,
+            lvar: lvar.clone(),
+            rvar: rvar.clone(),
+            pred: pred.clone(),
+            right_attrs,
+            left: Box::new(l),
+            right: Box::new(r),
+        });
+        pick_cheapest(model, candidates)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn plan_nestjoin(
         &self,
@@ -364,6 +564,11 @@ impl<'a> Planner<'a> {
     ) -> Result<PhysPlan, PlanError> {
         let l = Box::new(self.lower(left)?);
         let r = Box::new(self.lower(right)?);
+        if let Some(model) = &self.cost {
+            return Ok(
+                self.plan_nestjoin_cost_based(model, lvar, rvar, pred, rfunc, as_attr, *l, *r)
+            );
+        }
         if self.config.join_algo == JoinAlgo::NestedLoop {
             return Ok(PhysPlan::NLNestJoin {
                 lvar: lvar.clone(),
@@ -411,6 +616,62 @@ impl<'a> Planner<'a> {
             left: l,
             right: r,
         })
+    }
+
+    /// Cost-based nestjoin planning. The nestjoin is not commutative
+    /// (the left side keeps its dangling tuples with empty groups), so
+    /// only the implementation — hash, membership hash or nested loops —
+    /// is a choice, not the build side.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_nestjoin_cost_based(
+        &self,
+        model: &CostModel<'_>,
+        lvar: &Name,
+        rvar: &Name,
+        pred: &Expr,
+        rfunc: Option<&Expr>,
+        as_attr: &Name,
+        l: PhysPlan,
+        r: PhysPlan,
+    ) -> PhysPlan {
+        let split = split_pred(pred, lvar, rvar);
+        let mut candidates: Vec<PhysPlan> = Vec::new();
+        if !split.equi.is_empty() {
+            let (lkeys, rkeys): (Vec<Expr>, Vec<Expr>) = split.equi.iter().cloned().unzip();
+            candidates.push(PhysPlan::HashNestJoin {
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                lkeys,
+                rkeys,
+                residual: build_residual(split.residual.clone()),
+                rfunc: rfunc.cloned(),
+                as_attr: as_attr.clone(),
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            });
+        }
+        if let Some(shape) = split.member {
+            candidates.push(PhysPlan::MemberNestJoin {
+                lvar: lvar.clone(),
+                rvar: rvar.clone(),
+                shape,
+                residual: build_residual(split.residual.clone()),
+                rfunc: rfunc.cloned(),
+                as_attr: as_attr.clone(),
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            });
+        }
+        candidates.push(PhysPlan::NLNestJoin {
+            lvar: lvar.clone(),
+            rvar: rvar.clone(),
+            pred: pred.clone(),
+            rfunc: rfunc.cloned(),
+            as_attr: as_attr.clone(),
+            left: Box::new(l),
+            right: Box::new(r),
+        });
+        pick_cheapest(model, candidates)
     }
 
     /// Recognizes the §6.2 materialization patterns (see module docs).
@@ -474,39 +735,82 @@ impl<'a> Planner<'a> {
             return Ok(None);
         }
 
-        // If the key is the class identity, a pointer-based assembly is
-        // the better implementation.
-        if self.config.prefer_assembly {
-            if let Some(class) = self.db.catalog().class_by_extent(extent) {
-                let is_identity_key = matches!(
-                    key_y.as_ref(),
-                    Expr::Field(b, a) if *a == class.identity
-                        && matches!(b.as_ref(), Expr::Var(v) if v == y)
-                );
-                if is_identity_key {
-                    return Ok(Some(PhysPlan::Assemble {
-                        input: Box::new(self.lower(input)?),
-                        attr: attr.clone(),
-                        class: class.name.clone(),
-                        set_valued: true,
-                    }));
-                }
-            }
-        }
+        // A pointer-based assembly applies exactly when the key is the
+        // class identity (oids behave as physical pointers).
+        let identity_class = self.db.catalog().class_by_extent(extent).and_then(|class| {
+            let is_identity_key = matches!(
+                key_y.as_ref(),
+                Expr::Field(b, a) if *a == class.identity
+                    && matches!(b.as_ref(), Expr::Var(v) if v == y)
+            );
+            is_identity_key.then(|| class.name.clone())
+        });
 
-        Ok(Some(PhysPlan::Pnhl {
-            outer: Box::new(self.lower(input)?),
+        let outer = self.lower(input)?;
+        let keys = MatchKeys {
+            elem_var: Name::from("__elem"),
+            elem_key: Expr::Var(Name::from("__elem")),
+            inner_var: y.clone(),
+            inner_key: (**key_y).clone(),
+        };
+        let pnhl = PhysPlan::Pnhl {
+            outer: Box::new(outer.clone()),
             set_attr: attr.clone(),
             inner: Box::new(PhysPlan::Scan(extent.clone())),
-            keys: MatchKeys {
-                elem_var: Name::from("__elem"),
-                elem_key: Expr::Var(Name::from("__elem")),
-                inner_var: y.clone(),
-                inner_key: (**key_y).clone(),
-            },
+            keys: keys.clone(),
             budget: self.config.pnhl_budget,
-        }))
+        };
+
+        // Cost-based: weigh assembly (when applicable) against PNHL under
+        // the memory budget and against the budget-free unnest–join —
+        // a tight budget forces PNHL through many probe passes, which is
+        // exactly when the unnest–join wins despite duplicating tuples.
+        if let Some(model) = &self.cost {
+            let mut candidates = Vec::new();
+            if let Some(class) = identity_class {
+                candidates.push(PhysPlan::Assemble {
+                    input: Box::new(outer.clone()),
+                    attr: attr.clone(),
+                    class,
+                    set_valued: true,
+                });
+            }
+            candidates.push(pnhl);
+            candidates.push(PhysPlan::UnnestJoin {
+                outer: Box::new(outer),
+                set_attr: attr.clone(),
+                inner: Box::new(PhysPlan::Scan(extent.clone())),
+                keys,
+            });
+            return Ok(Some(pick_cheapest(model, candidates)));
+        }
+
+        // Rule-based: assembly for identity keys (when preferred), PNHL
+        // otherwise.
+        if self.config.prefer_assembly {
+            if let Some(class) = identity_class {
+                return Ok(Some(PhysPlan::Assemble {
+                    input: Box::new(outer),
+                    attr: attr.clone(),
+                    class,
+                    set_valued: true,
+                }));
+            }
+        }
+        Ok(Some(pnhl))
     }
+}
+
+/// The candidate with the lowest estimated cost; earlier candidates win
+/// ties, so callers list their preferred implementation first.
+fn pick_cheapest(model: &CostModel<'_>, candidates: Vec<PhysPlan>) -> PhysPlan {
+    debug_assert!(!candidates.is_empty(), "at least one candidate");
+    candidates
+        .into_iter()
+        .map(|c| (model.estimate(&c).cost, c))
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(_, c)| c)
+        .expect("non-empty candidate list")
 }
 
 struct SplitPred {
@@ -672,6 +976,7 @@ mod tests {
         let planner = Planner::with_config(
             &db,
             PlannerConfig {
+                cost_based: false,
                 join_algo: JoinAlgo::NestedLoop,
                 ..Default::default()
             },
@@ -693,6 +998,7 @@ mod tests {
         let planner = Planner::with_config(
             &db,
             PlannerConfig {
+                cost_based: false,
                 join_algo: JoinAlgo::SortMerge,
                 ..Default::default()
             },
@@ -867,6 +1173,127 @@ mod tests {
     }
 
     #[test]
+    fn cost_based_builds_on_the_smaller_side() {
+        let db = supplier_part_db();
+        // DELIVERY (3 rows) ⋈ SUPPLIER (5 rows): building the hash table
+        // on the 5-row side is wasteful, so the cost-based planner swaps
+        // the commutative inner join and builds on DELIVERY.
+        let e = join(
+            "d",
+            "s",
+            eq(var("d").field("supplier"), var("s").field("eid")),
+            table("DELIVERY"),
+            table("SUPPLIER"),
+        );
+        let (phys, v, _) = plan_and_run(&db, &e);
+        match &phys {
+            PhysPlan::HashJoin { left, right, .. } => {
+                assert!(
+                    matches!(left.as_ref(), PhysPlan::Scan(n) if n.as_ref() == "SUPPLIER"),
+                    "expected probe side SUPPLIER:\n{}",
+                    phys.explain()
+                );
+                assert!(matches!(right.as_ref(), PhysPlan::Scan(n) if n.as_ref() == "DELIVERY"));
+            }
+            other => panic!("expected hash join, got {}", other.explain()),
+        }
+        // the swap is semantics-preserving
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+        // the reverse orientation already builds on the small side — no swap
+        let e2 = join(
+            "s",
+            "d",
+            eq(var("s").field("eid"), var("d").field("supplier")),
+            table("SUPPLIER"),
+            table("DELIVERY"),
+        );
+        let planner = Planner::new(&db);
+        match planner.plan(&e2).unwrap().phys {
+            PhysPlan::HashJoin { right, .. } => {
+                assert!(matches!(right.as_ref(), PhysPlan::Scan(n) if n.as_ref() == "DELIVERY"));
+            }
+            other => panic!("expected hash join, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn tight_budget_switches_pnhl_to_unnest_join() {
+        let db = supplier_part_db();
+        // non-identity key → assembly is out; a budget forcing ⌈7/2⌉ = 4
+        // probe passes makes the single-pass unnest–join cheaper
+        let e = map(
+            "s",
+            except(
+                var("s"),
+                vec![(
+                    "parts",
+                    select(
+                        "p",
+                        member(var("p").field("pname"), var("s").field("parts")),
+                        table("PART"),
+                    ),
+                )],
+            ),
+            table("SUPPLIER"),
+        );
+        let planner = Planner::with_config(
+            &db,
+            PlannerConfig {
+                pnhl_budget: 2,
+                ..Default::default()
+            },
+        );
+        let plan = planner.plan(&e).unwrap();
+        assert!(
+            matches!(plan.phys, PhysPlan::UnnestJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+        let mut stats = Stats::new();
+        let v = plan.execute(&mut stats).unwrap();
+        let ev = Evaluator::new(&db);
+        assert_eq!(v, ev.eval_closed(&e).unwrap());
+        // a comfortable budget keeps PNHL
+        let wide = Planner::new(&db).plan(&e).unwrap();
+        assert!(
+            matches!(wide.phys, PhysPlan::Pnhl { .. }),
+            "{}",
+            wide.explain()
+        );
+    }
+
+    #[test]
+    fn plan_estimate_and_annotated_explain() {
+        let db = figure3_db();
+        let e = join(
+            "x",
+            "y",
+            eq(var("x").field("b"), var("y").field("d")),
+            table("X"),
+            table("Y"),
+        );
+        let plan = Planner::new(&db).plan(&e).unwrap();
+        let est = plan.estimate().expect("cost-based plans carry estimates");
+        assert!(est.rows > 0.0 && est.cost > 0.0);
+        let text = plan.explain();
+        assert!(text.contains("est_rows="), "{text}");
+        assert!(text.contains("est_cost="), "{text}");
+        // rule-based plans have no estimates and a bare explain
+        let bare = Planner::with_config(
+            &db,
+            PlannerConfig {
+                cost_based: false,
+                ..Default::default()
+            },
+        )
+        .plan(&e)
+        .unwrap();
+        assert!(bare.estimate().is_none());
+        assert!(!bare.explain().contains("est_rows="));
+    }
+
+    #[test]
     fn explain_renders_tree() {
         let db = figure3_db();
         let e = join(
@@ -959,6 +1386,66 @@ mod index_tests {
         assert!(matches!(
             planner3.plan(&e).unwrap().phys,
             PhysPlan::IndexNLJoin { .. }
+        ));
+    }
+
+    #[test]
+    fn cost_based_never_emits_index_nl_without_an_index() {
+        // the cost-based path must respect the same planner-level guard
+        // as the rule-based one: no index, no index nested-loop join
+        let db = supplier_part_db();
+        let e = join(
+            "s",
+            "d",
+            eq(var("s").field("eid"), var("d").field("supplier")),
+            table("SUPPLIER"),
+            table("DELIVERY"),
+        );
+        let plan = Planner::new(&db).plan(&e).unwrap();
+        fn no_index_nl(p: &PhysPlan) {
+            assert!(
+                !matches!(p, PhysPlan::IndexNLJoin { .. }),
+                "{}",
+                p.explain()
+            );
+            for c in p.children() {
+                no_index_nl(c);
+            }
+        }
+        no_index_nl(&plan.phys);
+    }
+
+    #[test]
+    fn executing_index_nl_on_unindexed_attr_is_a_real_error() {
+        // hand-built plan that violates the planner guard: execution must
+        // fail loudly (this used to be a debug_assert!)
+        let db = supplier_part_db();
+        let bad = PhysPlan::IndexNLJoin {
+            kind: JoinKind::Inner,
+            lvar: "s".into(),
+            rvar: "d".into(),
+            lkey: var("s").field("eid"),
+            attr: "supplier".into(),
+            extent: "DELIVERY".into(),
+            residual: None,
+            right_attrs: vec![],
+            left: Box::new(PhysPlan::Scan("SUPPLIER".into())),
+        };
+        let mut stats = Stats::new();
+        let err = bad.execute_on(&db, &mut stats).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                crate::eval::EvalError::MissingIndex { extent, attr }
+                    if extent.as_ref() == "DELIVERY" && attr.as_ref() == "supplier"
+            ),
+            "{err}"
+        );
+        // the streaming pipeline refuses identically
+        let mut s2 = Stats::new();
+        assert!(matches!(
+            bad.execute_streaming_on(&db, &mut s2).unwrap_err(),
+            crate::eval::EvalError::MissingIndex { .. }
         ));
     }
 

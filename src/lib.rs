@@ -33,10 +33,10 @@ pub use oodb_translate as translate;
 pub use oodb_value as value;
 
 use oodb_adl::expr::Expr;
-use oodb_catalog::Database;
+use oodb_catalog::{CatalogStats, Database};
 use oodb_core::strategy::{Optimized, Optimizer};
 use oodb_engine::eval::Evaluator;
-use oodb_engine::plan::Planner;
+use oodb_engine::plan::{Planner, PlannerConfig};
 use oodb_engine::stats::Stats;
 use oodb_value::Value;
 
@@ -51,6 +51,10 @@ pub struct PipelineOutput {
     pub rewrite: Optimized,
     /// The query result (always a set value).
     pub result: Value,
+    /// EXPLAIN rendering of the executed physical plan; under cost-based
+    /// planning (the default) each operator line carries
+    /// `est_rows`/`est_cost` annotations.
+    pub explain: String,
     /// Operator statistics from executing the **optimized** plan —
     /// including per-operator rows/batches from the streaming pipeline
     /// (see [`oodb_engine::stats::OpStats`]).
@@ -60,12 +64,26 @@ pub struct PipelineOutput {
 /// One-call façade over the full query processing pipeline.
 pub struct Pipeline<'db> {
     db: &'db Database,
+    config: PlannerConfig,
+    /// Catalog statistics, collected once at construction (cost-based
+    /// configurations only) and reused by every query this pipeline
+    /// plans — `run` in a loop must not re-scan the database per query.
+    stats: Option<CatalogStats>,
 }
 
 impl<'db> Pipeline<'db> {
-    /// A pipeline bound to a database (schema + extents).
+    /// A pipeline bound to a database (schema + extents), planning with
+    /// the default configuration (cost-based).
     pub fn new(db: &'db Database) -> Self {
-        Pipeline { db }
+        Pipeline::with_config(db, PlannerConfig::default())
+    }
+
+    /// A pipeline with an explicit planner configuration — how the
+    /// differential planner-grid suite forces every physical strategy
+    /// through the same front end.
+    pub fn with_config(db: &'db Database, config: PlannerConfig) -> Self {
+        let stats = config.cost_based.then(|| CatalogStats::from_database(db));
+        Pipeline { db, config, stats }
     }
 
     /// Parses, type checks, translates, optimizes and executes an OOSQL
@@ -90,7 +108,10 @@ impl<'db> Pipeline<'db> {
         let rewrite = Optimizer::default()
             .optimize(&nested, self.db.catalog())
             .map_err(PipelineError::Rewrite)?;
-        let planner = Planner::new(self.db);
+        let planner = match &self.stats {
+            Some(s) => Planner::with_stats(self.db, self.config.clone(), s.clone()),
+            None => Planner::with_config(self.db, self.config.clone()),
+        };
         let plan = planner.plan(&rewrite.expr).map_err(PipelineError::Plan)?;
         let mut stats = Stats::default();
         let result = match mode {
@@ -102,6 +123,7 @@ impl<'db> Pipeline<'db> {
             nested,
             rewrite,
             result,
+            explain: plan.explain(),
             stats,
         })
     }

@@ -1,0 +1,166 @@
+//! Differential plan-equivalence harness.
+//!
+//! Every paper query (the OOSQL texts of `tests/paper_queries.rs`,
+//! re-anchored to a `GenConfig::scaled` database, plus the §7 ADL
+//! workloads shared with the benchmarks) runs under the **full**
+//! [`PlannerConfig`] grid — every `JoinAlgo` × indexes on/off ×
+//! materialize detection on/off × cost-based on/off × tight and roomy
+//! PNHL budgets — and every configuration must produce exactly the
+//! canonical result of the naive nested-loop evaluator. A plan picked by
+//! cost is allowed to be *faster*; it is never allowed to be *different*.
+
+use oodb::catalog::Database;
+use oodb::core::strategy::Optimizer;
+use oodb::datagen::{generate, GenConfig};
+use oodb::engine::{JoinAlgo, PlannerConfig};
+use oodb::Pipeline;
+use oodb_bench::{
+    materialize_query, query31_nested, query4_nested, query5_nested, query6_nested, run_naive,
+    run_optimized_with, run_planned_streaming,
+};
+
+/// The full configuration grid: 3 × 2 × 2 × 2 × 2 = 48 configurations.
+fn full_grid() -> Vec<PlannerConfig> {
+    let mut grid = Vec::new();
+    for join_algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
+        for use_indexes in [true, false] {
+            for detect_materialize in [true, false] {
+                for cost_based in [true, false] {
+                    for pnhl_budget in [4usize, 1 << 14] {
+                        grid.push(PlannerConfig {
+                            cost_based,
+                            join_algo,
+                            pnhl_budget,
+                            detect_materialize,
+                            prefer_assembly: true,
+                            use_indexes,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// A scaled database with secondary indexes, so index nested-loop plans
+/// are live grid points rather than dead configuration.
+fn grid_db(scale: usize) -> Database {
+    let mut db = generate(&GenConfig::scaled(scale));
+    db.create_index("PART", "pid").expect("indexable");
+    db.create_index("PART", "color").expect("indexable");
+    db.create_index("DELIVERY", "supplier").expect("indexable");
+    db
+}
+
+/// The six paper queries, re-anchored to names/dates the generator
+/// produces (`supplier-0`, dates in January 1994).
+const OOSQL_QUERIES: [&str; 6] = [
+    // Example Query 1 — nesting in the select-clause
+    "select (sname := s.sname, \
+             pnames := select p.pname from p in PART \
+                       where p.pid in s.parts and p.color = \"red\") \
+     from s in SUPPLIER",
+    // Example Query 2 — nesting in the from-clause
+    "select d from d in (select e from e in DELIVERY \
+      where e.supplier.sname = \"supplier-0\") \
+     where d.date = date(940105)",
+    // Example Query 3.1 — set comparison between blocks
+    "select s.sname from s in SUPPLIER \
+     where s.parts supseteq \
+       flatten(select t.parts from t in SUPPLIER where t.sname = \"supplier-0\")",
+    // Example Query 3.2 — quantifier over a set-valued attribute
+    "select d from d in DELIVERY \
+     where exists x in d.supply : x.part.color = \"red\"",
+    // Example Query 4 — referential integrity violators
+    "select s.eid from s in SUPPLIER \
+     where exists x in s.parts : not (exists p in PART : x = p.pid)",
+    // Example Query 5 — suppliers supplying red parts
+    "select s.sname from s in SUPPLIER \
+     where exists x in s.parts : \
+           exists p in PART : x = p.pid and p.color = \"red\"",
+];
+
+#[test]
+fn oosql_paper_queries_agree_across_the_full_grid() {
+    let db = grid_db(120);
+    for q in OOSQL_QUERIES {
+        let reference = Pipeline::new(&db)
+            .run_naive(q)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        for cfg in full_grid() {
+            let pipeline = Pipeline::with_config(&db, cfg.clone());
+            let streamed = pipeline.run(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert_eq!(
+                streamed.result, reference,
+                "streaming diverged\nquery: {q}\nconfig: {cfg:?}\nplan:\n{}",
+                streamed.explain
+            );
+            let materialized = pipeline
+                .run_materialized(q)
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert_eq!(
+                materialized.result, reference,
+                "materialized diverged\nquery: {q}\nconfig: {cfg:?}\nplan:\n{}",
+                materialized.explain
+            );
+        }
+    }
+}
+
+/// Example Query 6 is grid-tested through its ADL translation below;
+/// here the §7 ADL workloads (including the §6.2 materialization map,
+/// which OOSQL cannot express directly) cover the PNHL / assembly /
+/// unnest-join arm of the grid.
+#[test]
+fn adl_section7_workloads_agree_across_the_full_grid() {
+    let db = grid_db(100);
+    let workloads = [
+        ("q5", query5_nested()),
+        ("q4", query4_nested()),
+        ("q6", query6_nested()),
+        ("q31", query31_nested("supplier-0")),
+        ("materialize", materialize_query()),
+    ];
+    for (label, q) in workloads {
+        let (reference, _) = run_naive(&db, &q);
+        let optimized = Optimizer::default()
+            .optimize(&q, db.catalog())
+            .expect("optimize");
+        for cfg in full_grid() {
+            let (materialized, _, _) = run_optimized_with(&db, &q, cfg.clone());
+            assert_eq!(
+                materialized, reference,
+                "{label}: materialized diverged under {cfg:?}"
+            );
+            let (streamed, _) = run_planned_streaming(&db, &optimized.expr, cfg.clone());
+            assert_eq!(
+                streamed, reference,
+                "{label}: streaming diverged under {cfg:?}"
+            );
+        }
+    }
+}
+
+/// Tight budgets force the cost-based planner through all three §6.2
+/// materialization strategies on the same query — each must agree.
+#[test]
+fn materialization_strategies_agree_under_any_budget() {
+    let db = grid_db(80);
+    let q = materialize_query();
+    let (reference, _) = run_naive(&db, &q);
+    for budget in [1usize, 2, 7, 64, 1 << 14] {
+        for cost_based in [true, false] {
+            for prefer_assembly in [true, false] {
+                let cfg = PlannerConfig {
+                    cost_based,
+                    pnhl_budget: budget,
+                    prefer_assembly,
+                    ..Default::default()
+                };
+                let (v, _, _) = run_optimized_with(&db, &q, cfg.clone());
+                assert_eq!(v, reference, "budget {budget}, config {cfg:?}");
+            }
+        }
+    }
+}
