@@ -94,6 +94,21 @@ fn perf_streaming() {
             r.workload
         );
     }
+    println!("\n  Exchange parallelism (same plan, dop 1 / 2 / 4, best of 3):");
+    println!(
+        "  {:<26} {:>9} {:>9} {:>9} {:>10}",
+        "workload", "dop=1", "dop=2", "dop=4", "speedup x4"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9.2}x",
+            r.workload,
+            r.streaming_p1_ms,
+            r.streaming_p2_ms,
+            r.streaming_p4_ms,
+            r.streaming_p1_ms / r.streaming_p4_ms.max(1e-9),
+        );
+    }
     println!("  (written to BENCH_streaming.json at the workspace root)");
 }
 

@@ -365,7 +365,19 @@ pub mod streaming_report {
         pub forced_sort_merge_work: u64,
         /// Streaming work with `join_algo` forced to nested loops.
         pub forced_nested_loop_work: u64,
+        /// Streaming wall-clock at `parallelism = 1` (exchanges off) —
+        /// best of [`PARALLEL_RUNS`] runs, like the other per-dop
+        /// columns, so the speedup trajectory is comparable.
+        pub streaming_p1_ms: f64,
+        /// Streaming wall-clock at `parallelism = 2`.
+        pub streaming_p2_ms: f64,
+        /// Streaming wall-clock at `parallelism = 4`.
+        pub streaming_p4_ms: f64,
     }
+
+    /// Timed runs per degree of parallelism; the best (minimum) is
+    /// recorded, damping scheduler noise.
+    pub const PARALLEL_RUNS: usize = 3;
 
     impl CompRow {
         /// The best (lowest) work among the forced-algorithm runs.
@@ -421,6 +433,25 @@ pub mod streaming_report {
                 assert_eq!(nv, fv, "{label}: forced {algo:?} diverged");
                 f_stats.work()
             };
+            // per-dop wall clock: the same streaming plan under exchange
+            // parallelism 1 / 2 / 4, best of PARALLEL_RUNS timed runs; a
+            // low threshold keeps the exchanges live at this scale
+            let per_dop = |dop: usize| {
+                let cfg = PlannerConfig {
+                    parallelism: dop,
+                    parallel_threshold: 256,
+                    ..Default::default()
+                };
+                let mut best = f64::INFINITY;
+                for _ in 0..PARALLEL_RUNS {
+                    let (pv, _, pt) = ms(|| {
+                        run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, cfg.clone())
+                    });
+                    assert_eq!(nv, pv, "{label}: parallelism {dop} diverged");
+                    best = best.min(pt);
+                }
+                best
+            };
             rows.push(CompRow {
                 workload: label.to_string(),
                 result_rows: nv.as_set().map(|s| s.len()).unwrap_or(1),
@@ -436,6 +467,9 @@ pub mod streaming_report {
                 forced_hash_work: forced(JoinAlgo::Hash),
                 forced_sort_merge_work: forced(JoinAlgo::SortMerge),
                 forced_nested_loop_work: forced(JoinAlgo::NestedLoop),
+                streaming_p1_ms: per_dop(1),
+                streaming_p2_ms: per_dop(2),
+                streaming_p4_ms: per_dop(4),
             });
         }
         rows
@@ -456,7 +490,9 @@ pub mod streaming_report {
                  \"streaming_ms\": {:.3}, \"streaming_work\": {}, \
                  \"streaming_operators\": {}, \"streaming_batches\": {}, \
                  \"cost_based_work\": {}, \"forced_hash_work\": {}, \
-                 \"forced_sort_merge_work\": {}, \"forced_nested_loop_work\": {}}}{}\n",
+                 \"forced_sort_merge_work\": {}, \"forced_nested_loop_work\": {}, \
+                 \"streaming_p1_ms\": {:.3}, \"streaming_p2_ms\": {:.3}, \
+                 \"streaming_p4_ms\": {:.3}}}{}\n",
                 r.workload,
                 r.result_rows,
                 r.nested_loop_ms,
@@ -471,6 +507,9 @@ pub mod streaming_report {
                 r.forced_hash_work,
                 r.forced_sort_merge_work,
                 r.forced_nested_loop_work,
+                r.streaming_p1_ms,
+                r.streaming_p2_ms,
+                r.streaming_p4_ms,
                 if i + 1 == rows.len() { "" } else { "," },
             ));
         }

@@ -74,6 +74,10 @@ const BUILD_WEIGHT: f64 = 2.0;
 /// estimates leave this fraction unmatched (the paper's Example Query 4
 /// exists *because* referential integrity can be violated).
 const MISMATCH_FLOOR: f64 = 0.002;
+/// Per-worker startup charge of an exchange (thread spawn + context
+/// clone), in work units. Together with the planner's
+/// `parallel_threshold` gate this is why tiny inputs stay serial.
+const EXCHANGE_STARTUP: f64 = 64.0;
 
 /// Estimates cardinalities and work-unit costs for [`PhysPlan`] trees
 /// against one database's [`CatalogStats`].
@@ -551,6 +555,19 @@ impl<'a> CostModel<'a> {
                 NodeEst {
                     rows: i.rows,
                     cost: i.cost + lookups,
+                    source: i.source,
+                }
+            }
+            PhysPlan::Exchange { dop, input, .. } => {
+                let i = self.est(input);
+                let dop = (*dop).max(1) as f64;
+                NodeEst {
+                    rows: i.rows,
+                    // the input's work divides across the workers
+                    // (latency, not total work — this estimate is what
+                    // EXPLAIN shows for dop>1 variants), plus startup
+                    // per worker and the gather pass over the output
+                    cost: i.cost / dop + EXCHANGE_STARTUP * dop + i.rows,
                     source: i.source,
                 }
             }

@@ -48,6 +48,12 @@ pub enum EvalError {
         /// The unindexed attribute.
         attr: Name,
     },
+    /// A streaming operator was driven through an illegal state
+    /// transition — `next_batch` before `open` or after `close`, a
+    /// scalar child that emitted no value, or a subtree that left the
+    /// environment stack unbalanced. Returned instead of panicking so a
+    /// failing pipeline can still be closed and reported cleanly.
+    OperatorProtocol(&'static str),
 }
 
 impl fmt::Display for EvalError {
@@ -69,6 +75,9 @@ impl fmt::Display for EvalError {
                     f,
                     "index nested-loop join over unindexed attribute `{extent}.{attr}`"
                 )
+            }
+            EvalError::OperatorProtocol(what) => {
+                write!(f, "streaming operator protocol violation: {what}")
             }
         }
     }
@@ -108,6 +117,14 @@ impl Env {
     /// operator move its bound value back out instead of cloning it).
     pub fn pop_binding(&mut self) -> Option<(Name, Value)> {
         self.stack.pop()
+    }
+
+    /// Current stack depth. Operators that push bindings around child
+    /// pulls record the depth first, so an error path that left the
+    /// stack unbalanced can be unwound back to a known frame instead of
+    /// trusting `pop` counts.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
     }
 
     /// Innermost binding for `var`.

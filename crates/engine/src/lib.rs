@@ -24,6 +24,6 @@ pub mod stats;
 
 pub use cost::{CostModel, Estimate};
 pub use eval::{Env, EvalError, Evaluator};
-pub use physical::PhysPlan;
+pub use physical::{Partitioning, PhysPlan};
 pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};
 pub use stats::Stats;

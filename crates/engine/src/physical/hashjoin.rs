@@ -30,8 +30,27 @@ pub enum MemberShape {
     },
 }
 
+/// Stable partition hash of a composite join key. Both sides of a
+/// hash-partitioned parallel join use this function — build rows are
+/// routed to the partition table it names, and a probe key consults
+/// exactly that partition — so it must stay deterministic across
+/// workers and runs (FxHash over the canonical key values is).
+pub fn key_hash(key: &[Value]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = oodb_value::fxhash::FxHasher::default();
+    for part in key {
+        part.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// [`key_hash`] of a single membership key.
+pub fn value_hash(v: &Value) -> u64 {
+    key_hash(std::slice::from_ref(v))
+}
+
 /// Evaluates an expression under a single variable binding.
-fn eval_under(
+pub(crate) fn eval_under(
     e: &Expr,
     var: &Name,
     val: &Value,
@@ -46,7 +65,7 @@ fn eval_under(
 }
 
 /// Evaluates the composite key `keys` under `var = val`.
-fn eval_keys(
+pub(crate) fn eval_keys(
     keys: &[Expr],
     var: &Name,
     val: &Value,
@@ -131,10 +150,39 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
         Ok(JoinHashTable { map })
     }
 
+    /// Build phase over **pre-evaluated** `(key, row)` pairs. The
+    /// parallel exchange evaluates every build key once to route rows to
+    /// partitions; the per-partition build must not re-evaluate (and
+    /// re-count) them, so only the insertions are charged here.
+    pub fn from_keyed(pairs: Vec<(Vec<Value>, V)>, stats: &mut Stats) -> Self {
+        let mut map: FxHashMap<Vec<Value>, Vec<V>> = FxHashMap::default();
+        for (key, y) in pairs {
+            stats.hash_build_rows += 1;
+            map.entry(key).or_default().push(y);
+        }
+        JoinHashTable { map }
+    }
+
+    /// The partition of `tables` that owns `key` — identity for the
+    /// serial single-table case.
+    fn pick<'t>(tables: &'t [Self], key: &[Value]) -> &'t Self {
+        if tables.len() == 1 {
+            &tables[0]
+        } else {
+            &tables[(key_hash(key) % tables.len() as u64) as usize]
+        }
+    }
+
     /// Probe phase over one batch of left rows, producing output rows.
+    ///
+    /// `tables` is a single table under serial execution, or the `dop`
+    /// hash-partitioned tables of a parallel build (see
+    /// [`JoinHashTable::from_keyed`]); each probe key consults exactly
+    /// the partition [`key_hash`] assigns it to, so the partitioned
+    /// probe does the same lookups as the serial one.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_batch(
-        &self,
+        tables: &[Self],
         kind: JoinKind,
         lvar: &Name,
         rvar: &Name,
@@ -151,7 +199,7 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
             let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
             stats.hash_probes += 1;
             let mut matched = false;
-            if let Some(candidates) = self.map.get(&key) {
+            if let Some(candidates) = Self::pick(tables, &key).map.get(&key) {
                 for y in candidates {
                     let y = y.borrow();
                     if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
@@ -179,7 +227,7 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
     /// output row carrying its (possibly empty) group.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_nest_batch(
-        &self,
+        tables: &[Self],
         lvar: &Name,
         rvar: &Name,
         lkeys: &[Expr],
@@ -196,7 +244,7 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
             let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
             stats.hash_probes += 1;
             let mut group = Vec::new();
-            if let Some(candidates) = self.map.get(&key) {
+            if let Some(candidates) = Self::pick(tables, &key).map.get(&key) {
                 for y in candidates {
                     let y = y.borrow();
                     if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
@@ -227,7 +275,8 @@ pub fn hash_join(
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
     let table = JoinHashTable::build(rkeys, rvar, right.iter(), ev, env, stats)?;
-    let out = table.probe_batch(
+    let out = JoinHashTable::probe_batch(
+        std::slice::from_ref(&table),
         kind,
         lvar,
         rvar,
@@ -286,9 +335,40 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
         Ok(MemberHashTable { rows, index })
     }
 
+    /// Build phase over pre-evaluated `(keys, row)` entries — one entry
+    /// per row, carrying every index key the row is reachable under in
+    /// **this** partition (a `LeftInRightSet` row whose set elements
+    /// hash to several partitions is replicated, each replica indexed
+    /// only under its partition's elements). See
+    /// [`JoinHashTable::from_keyed`] for why insertion is charged here
+    /// and key evaluation is not.
+    pub fn from_keyed(entries: Vec<(Vec<Value>, V)>, stats: &mut Stats) -> Self {
+        let mut rows = Vec::with_capacity(entries.len());
+        let mut index: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+        for (keys, y) in entries {
+            let yi = rows.len();
+            for k in keys {
+                stats.hash_build_rows += 1;
+                index.entry(k).or_default().push(yi);
+            }
+            rows.push(y);
+        }
+        MemberHashTable { rows, index }
+    }
+
+    /// The partition of `tables` that owns probe key `p`, with its
+    /// index (for cross-partition dedupe bookkeeping).
+    fn pick<'t>(tables: &'t [Self], p: &Value) -> (usize, &'t Self) {
+        if tables.len() == 1 {
+            (0, &tables[0])
+        } else {
+            let ti = (value_hash(p) % tables.len() as u64) as usize;
+            (ti, &tables[ti])
+        }
+    }
+
     /// The probe keys one left tuple contributes.
     fn probe_keys(
-        &self,
         shape: &MemberShape,
         lvar: &Name,
         x: &Value,
@@ -307,10 +387,15 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
         })
     }
 
-    /// Probe phase over one batch of left rows.
+    /// Probe phase over one batch of left rows. Like
+    /// [`JoinHashTable::probe_batch`], `tables` is one table under
+    /// serial execution or the hash-partitioned tables of a parallel
+    /// build; every probe key consults its owning partition, and the
+    /// per-left-tuple dedupe tracks `(partition, row)` pairs so a row
+    /// matched through several set elements still joins once.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_batch(
-        &self,
+        tables: &[Self],
         kind: JoinKind,
         lvar: &Name,
         rvar: &Name,
@@ -324,22 +409,23 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
     ) -> Result<Vec<Value>, EvalError> {
         let mut out = Vec::new();
         for x in batch {
-            let probes = self.probe_keys(shape, lvar, x, ev, env, stats)?;
+            let probes = Self::probe_keys(shape, lvar, x, ev, env, stats)?;
             let mut matched = false;
-            let mut seen: Vec<usize> = Vec::new();
+            let mut seen: Vec<(usize, usize)> = Vec::new();
             'probe: for p in &probes {
                 stats.hash_probes += 1;
-                if let Some(candidates) = self.index.get(p) {
+                let (ti, table) = Self::pick(tables, p);
+                if let Some(candidates) = table.index.get(p) {
                     for &yi in candidates {
                         // A right tuple may match through several
                         // elements — dedupe per left tuple.
-                        if seen.contains(&yi) {
+                        if seen.contains(&(ti, yi)) {
                             continue;
                         }
-                        let y = self.rows[yi].borrow();
+                        let y = table.rows[yi].borrow();
                         if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
                             matched = true;
-                            seen.push(yi);
+                            seen.push((ti, yi));
                             match kind {
                                 JoinKind::Inner | JoinKind::LeftOuter => {
                                     out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?))
@@ -363,7 +449,7 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
     /// Membership nestjoin probe over one batch.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_nest_batch(
-        &self,
+        tables: &[Self],
         lvar: &Name,
         rvar: &Name,
         shape: &MemberShape,
@@ -377,19 +463,20 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
     ) -> Result<Vec<Value>, EvalError> {
         let mut out = Vec::with_capacity(batch.len());
         for x in batch {
-            let probes = self.probe_keys(shape, lvar, x, ev, env, stats)?;
+            let probes = Self::probe_keys(shape, lvar, x, ev, env, stats)?;
             let mut group = Vec::new();
-            let mut seen: Vec<usize> = Vec::new();
+            let mut seen: Vec<(usize, usize)> = Vec::new();
             for p in &probes {
                 stats.hash_probes += 1;
-                if let Some(candidates) = self.index.get(p) {
+                let (ti, table) = Self::pick(tables, p);
+                if let Some(candidates) = table.index.get(p) {
                     for &yi in candidates {
-                        if seen.contains(&yi) {
+                        if seen.contains(&(ti, yi)) {
                             continue;
                         }
-                        let y = self.rows[yi].borrow();
+                        let y = table.rows[yi].borrow();
                         if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
-                            seen.push(yi);
+                            seen.push((ti, yi));
                             group.push(collect_right(rfunc, rvar, y, ev, env, stats)?);
                         }
                     }
@@ -417,7 +504,8 @@ pub fn member_join(
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
     let table = MemberHashTable::build(shape, rvar, right.iter(), ev, env, stats)?;
-    let out = table.probe_batch(
+    let out = MemberHashTable::probe_batch(
+        std::slice::from_ref(&table),
         kind,
         lvar,
         rvar,
@@ -637,7 +725,8 @@ pub fn hash_nestjoin(
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
     let table = JoinHashTable::build(rkeys, rvar, right.iter(), ev, env, stats)?;
-    let out = table.probe_nest_batch(
+    let out = JoinHashTable::probe_nest_batch(
+        std::slice::from_ref(&table),
         lvar,
         rvar,
         lkeys,
@@ -668,7 +757,8 @@ pub fn member_nestjoin(
     stats: &mut Stats,
 ) -> Result<Value, EvalError> {
     let table = MemberHashTable::build(shape, rvar, right.iter(), ev, env, stats)?;
-    let out = table.probe_nest_batch(
+    let out = MemberHashTable::probe_nest_batch(
+        std::slice::from_ref(&table),
         lvar,
         rvar,
         shape,

@@ -17,6 +17,7 @@
 //! [`PhysPlan`] is the operator tree; [`PhysPlan::execute_on`] runs it.
 
 pub mod assembly;
+pub mod exchange;
 pub mod hashjoin;
 pub mod operator;
 pub mod pnhl;
@@ -27,6 +28,24 @@ use crate::stats::Stats;
 use oodb_adl::expr::{AggOp, Expr, JoinKind, SetOp};
 use oodb_catalog::Database;
 use oodb_value::{Name, Set, Value};
+
+/// How an [`PhysPlan::Exchange`] distributes its input across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Each worker executes a clone of the input segment with every base
+    /// scan strided round-robin over batch boundaries; each input batch
+    /// is processed by exactly one worker (morsel-driven parallelism for
+    /// per-row pipelines: filters, maps, projections, unnests,
+    /// assembly).
+    RoundRobin,
+    /// Hash-partitioned parallel build **and** probe for the hash join
+    /// family: build rows are routed by join-key hash to per-worker
+    /// partition tables (built concurrently), and probe rows are split
+    /// across workers, each probe key consulting exactly its owning
+    /// partition. The exchange's input must be a
+    /// `HashJoin`/`HashNestJoin`/`HashMemberJoin`/`MemberNestJoin` node.
+    Hash,
+}
 
 /// How a materialization operator matches set elements to inner tuples.
 #[derive(Debug, Clone)]
@@ -338,6 +357,19 @@ pub enum PhysPlan {
         class: Name,
         /// Whether `attr` is a single oid or a set of oids.
         set_valued: bool,
+    },
+    /// Exchange: evaluates `input` with `dop` workers under the given
+    /// [`Partitioning`] (see [`exchange`]). Semantically the identity —
+    /// the materialized executor runs the input serially, and the
+    /// streaming pipeline guarantees canonical-set-identical results at
+    /// every degree of parallelism.
+    Exchange {
+        /// Work distribution strategy.
+        partitioning: Partitioning,
+        /// Degree of parallelism (worker count).
+        dop: usize,
+        /// The parallelized input plan.
+        input: Box<PhysPlan>,
     },
 }
 
@@ -705,6 +737,9 @@ impl PhysPlan {
                 let s = input.exec(ev, env, stats)?.into_set()?;
                 assembly::assemble(&s, attr, class, *set_valued, ev.db(), stats)
             }
+            // The exchange is semantically the identity; the materialized
+            // reference path evaluates its input serially.
+            PhysPlan::Exchange { input, .. } => input.exec(ev, env, stats),
         }
     }
 
@@ -786,6 +821,15 @@ impl PhysPlan {
                     if *set_valued { " (set)" } else { "" }
                 )
             }
+            PhysPlan::Exchange {
+                partitioning, dop, ..
+            } => {
+                let how = match partitioning {
+                    Partitioning::RoundRobin => "round-robin",
+                    Partitioning::Hash => "hash",
+                };
+                format!("Exchange {how} dop={dop}")
+            }
         }
     }
 
@@ -802,6 +846,7 @@ impl PhysPlan {
             | PhysPlan::FlattenOp { input }
             | PhysPlan::AggNode { input, .. }
             | PhysPlan::Assemble { input, .. }
+            | PhysPlan::Exchange { input, .. }
             | PhysPlan::IndexNLJoin { left: input, .. } => vec![input],
             PhysPlan::SetOpNode { left, right, .. }
             | PhysPlan::ProductOp { left, right }

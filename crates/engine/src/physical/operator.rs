@@ -76,7 +76,10 @@ pub trait Operator {
 // ---------------------------------------------------------------------
 // Draining helpers (the explicit pipeline breakers).
 
-fn drain_rows(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, EvalError> {
+pub(crate) fn drain_rows(
+    op: &mut BoxOp,
+    ctx: &mut ExecCtx<'_, '_>,
+) -> Result<Vec<Value>, EvalError> {
     let mut rows = Vec::new();
     while let Some(b) = op.next_batch(ctx)? {
         rows.extend(b);
@@ -86,18 +89,27 @@ fn drain_rows(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, E
 
 fn drain_scalar(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Value, EvalError> {
     debug_assert!(op.scalar());
-    let rows = drain_rows(op, ctx)?;
-    debug_assert_eq!(rows.len(), 1, "scalar operators emit exactly one value");
-    Ok(rows
-        .into_iter()
-        .next()
-        .expect("scalar operator emitted a value"))
+    let mut rows = drain_rows(op, ctx)?;
+    // A scalar operator emits exactly one value. Zero means the child
+    // was already exhausted (a retry after an error, or a state-machine
+    // misuse); more than one means a non-scalar child was miswired.
+    // Both used to panic here — return a defined error instead so the
+    // pipeline can be closed and the failure reported.
+    match rows.len() {
+        1 => Ok(rows.pop().expect("len checked")),
+        0 => Err(EvalError::OperatorProtocol(
+            "scalar operator emitted no value (drained twice?)",
+        )),
+        _ => Err(EvalError::OperatorProtocol(
+            "scalar operator emitted more than one value",
+        )),
+    }
 }
 
 /// Materializes a child as a canonical set — the deduplicating boundary
 /// every blocking input goes through, mirroring `into_set()` on the
 /// materialized path (including its error on non-set scalars).
-fn drain_to_set(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Set, EvalError> {
+pub(crate) fn drain_to_set(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Set, EvalError> {
     if op.scalar() {
         let v = drain_scalar(op, ctx)?;
         Ok(v.into_set()?)
@@ -118,17 +130,17 @@ fn drain_value(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Value, EvalE
 /// Buffered rows emitted in [`BATCH_SIZE`] chunks (blocking operators'
 /// output side).
 #[derive(Debug, Default)]
-struct Buffered {
+pub(crate) struct Buffered {
     rows: Vec<Value>,
     pos: usize,
 }
 
 impl Buffered {
-    fn new(rows: Vec<Value>) -> Self {
+    pub(crate) fn new(rows: Vec<Value>) -> Self {
         Buffered { rows, pos: 0 }
     }
 
-    fn next_chunk(&mut self) -> Option<Batch> {
+    pub(crate) fn next_chunk(&mut self) -> Option<Batch> {
         if self.pos >= self.rows.len() {
             return None;
         }
@@ -147,6 +159,26 @@ impl Buffered {
 // ---------------------------------------------------------------------
 // Instrumentation.
 
+/// Lifecycle of an instrumented operator. The shim enforces the
+/// `open → next_batch* → close` protocol at one chokepoint so the inner
+/// state machines (`expect("built above")`, `expect("drained above")`)
+/// can never be reached through a misuse path: pulling before `open` or
+/// after `close` returns [`EvalError::OperatorProtocol`] instead of
+/// re-running (or panicking in) stale inner state, and an exhausted
+/// stream is fused — further pulls yield `None` without polling the
+/// inner operator again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InstrState {
+    /// Compiled, `open` not yet called.
+    Created,
+    /// Open and streaming.
+    Open,
+    /// Inner stream returned `None`; fused.
+    Exhausted,
+    /// Closed; only `open` may revive it.
+    Closed,
+}
+
 /// Wraps every compiled operator, counting rows/batches emitted and
 /// reporting them into [`Stats::operators`] when the stream ends.
 struct Instrument {
@@ -155,9 +187,21 @@ struct Instrument {
     rows_out: u64,
     batches: u64,
     reported: bool,
+    state: InstrState,
 }
 
 impl Instrument {
+    fn new(label: String, inner: BoxOp) -> Self {
+        Instrument {
+            label,
+            inner,
+            rows_out: 0,
+            batches: 0,
+            reported: false,
+            state: InstrState::Created,
+        }
+    }
+
     fn report(&mut self, ctx: &mut ExecCtx<'_, '_>) {
         if !self.reported {
             self.reported = true;
@@ -175,10 +219,21 @@ impl Operator for Instrument {
         self.rows_out = 0;
         self.batches = 0;
         self.reported = false;
+        self.state = InstrState::Open;
         self.inner.open(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
+        match self.state {
+            InstrState::Open => {}
+            InstrState::Exhausted => return Ok(None),
+            InstrState::Created => {
+                return Err(EvalError::OperatorProtocol("next_batch before open"))
+            }
+            InstrState::Closed => {
+                return Err(EvalError::OperatorProtocol("next_batch after close"))
+            }
+        }
         match self.inner.next_batch(ctx)? {
             Some(b) => {
                 self.rows_out += b.len() as u64;
@@ -186,6 +241,7 @@ impl Operator for Instrument {
                 Ok(Some(b))
             }
             None => {
+                self.state = InstrState::Exhausted;
                 self.report(ctx);
                 Ok(None)
             }
@@ -193,6 +249,7 @@ impl Operator for Instrument {
     }
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
+        self.state = InstrState::Closed;
         self.report(ctx);
         self.inner.close(ctx);
     }
@@ -206,8 +263,16 @@ impl Operator for Instrument {
 // Leaf operators.
 
 /// Base-table scan, emitted in batches.
+///
+/// `(part, parts)` is the morsel stride: worker `part` of a round-robin
+/// exchange takes exactly the [`BATCH_SIZE`]-aligned batches whose index
+/// is ≡ `part` (mod `parts`), so every row is scanned by exactly one
+/// worker and per-worker `rows_scanned` sums to the serial count.
+/// `(0, 1)` is the ordinary serial scan.
 struct ScanOp {
     table: Name,
+    part: usize,
+    parts: usize,
     buf: Option<Buffered>,
 }
 
@@ -224,8 +289,18 @@ impl Operator for ScanOp {
                 .db()
                 .table(&self.table)
                 .ok_or_else(|| EvalError::UnknownTable(self.table.clone()))?;
-            ctx.stats.rows_scanned += t.len() as u64;
-            self.buf = Some(Buffered::new(t.as_set_value().into_set()?.into_values()));
+            let all = t.as_set_value().into_set()?.into_values();
+            let rows = if self.parts <= 1 {
+                all
+            } else {
+                all.into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i / BATCH_SIZE) % self.parts == self.part)
+                    .map(|(_, v)| v)
+                    .collect()
+            };
+            ctx.stats.rows_scanned += rows.len() as u64;
+            self.buf = Some(Buffered::new(rows));
         }
         Ok(self.buf.as_mut().expect("buffered above").next_chunk())
     }
@@ -631,20 +706,45 @@ impl Operator for LetOp {
         if self.bound.is_none() {
             self.bound = Some(drain_value(&mut self.value, ctx)?);
         }
-        // Move the binding in for the pull and take it back afterwards
-        // (body pulls leave the env stack balanced), so the body streams
-        // with no buffering and no per-pull deep clone.
-        let v = self.bound.take().expect("bound above");
+        // Move the binding in for the pull and take it back afterwards,
+        // so the body streams with no buffering and no per-pull deep
+        // clone. The restore must not trust the body to have left the
+        // stack balanced: an operator failing mid-batch (e.g. a probe
+        // side erroring) may leak frames, and a panic here would tear
+        // down the whole pipeline. Instead, remember the depth of our
+        // own frame and unwind back to it.
+        let v = match self.bound.take() {
+            Some(v) => v,
+            // A previous pull failed while draining the value subplan
+            // and the caller retried: surface a defined error.
+            None => {
+                return Err(EvalError::OperatorProtocol(
+                    "let binding unavailable after a failed pull",
+                ))
+            }
+        };
+        let base = ctx.env.depth();
         ctx.env.push(&self.var, v);
         let r = self.body.next_batch(ctx);
-        let (name, v) = ctx.env.pop_binding().expect("balanced env stack");
-        debug_assert_eq!(
-            name.as_ref(),
-            self.var.as_ref(),
-            "body left the env unbalanced"
-        );
-        self.bound = Some(v);
-        r
+        // Pop any frames the body leaked above ours…
+        while ctx.env.depth() > base + 1 {
+            ctx.env.pop();
+        }
+        // …then reclaim our binding — but only if our frame is still
+        // there. An underflow (the body popped *through* our binding)
+        // must not steal an enclosing scope's frame; report it instead,
+        // preferring the body's own error.
+        if ctx.env.depth() == base + 1 {
+            if let Some((name, v)) = ctx.env.pop_binding() {
+                if name == self.var {
+                    self.bound = Some(v);
+                    return r;
+                }
+            }
+        }
+        r.and(Err(EvalError::OperatorProtocol(
+            "let body consumed the binding frame",
+        )))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
@@ -754,7 +854,8 @@ impl Operator for HashJoinOp {
                 return Ok(None);
             };
             let out = match &self.mode {
-                HashMode::Join { kind, right_attrs } => table.probe_batch(
+                HashMode::Join { kind, right_attrs } => JoinHashTable::probe_batch(
+                    std::slice::from_ref(table),
                     *kind,
                     &self.lvar,
                     &self.rvar,
@@ -766,7 +867,8 @@ impl Operator for HashJoinOp {
                     &mut ctx.env,
                     ctx.stats,
                 )?,
-                HashMode::Nest { rfunc, as_attr } => table.probe_nest_batch(
+                HashMode::Nest { rfunc, as_attr } => JoinHashTable::probe_nest_batch(
+                    std::slice::from_ref(table),
                     &self.lvar,
                     &self.rvar,
                     &self.lkeys,
@@ -829,7 +931,8 @@ impl Operator for MemberJoinOp {
                 return Ok(None);
             };
             let out = match &self.mode {
-                HashMode::Join { kind, right_attrs } => table.probe_batch(
+                HashMode::Join { kind, right_attrs } => MemberHashTable::probe_batch(
+                    std::slice::from_ref(table),
                     *kind,
                     &self.lvar,
                     &self.rvar,
@@ -841,7 +944,8 @@ impl Operator for MemberJoinOp {
                     &mut ctx.env,
                     ctx.stats,
                 )?,
-                HashMode::Nest { rfunc, as_attr } => table.probe_nest_batch(
+                HashMode::Nest { rfunc, as_attr } => MemberHashTable::probe_nest_batch(
+                    std::slice::from_ref(table),
                     &self.lvar,
                     &self.rvar,
                     &self.shape,
@@ -1057,21 +1161,45 @@ impl PhysPlan {
     /// wrapped in an instrumentation shim that records rows/batches
     /// emitted into [`Stats::operators`].
     pub fn compile(&self) -> BoxOp {
-        let label = self.op_label();
-        let inner = self.compile_node();
-        Box::new(Instrument {
-            label,
-            inner,
-            rows_out: 0,
-            batches: 0,
-            reported: false,
-        })
+        self.compile_stride(0, 1)
+    }
+
+    /// Compiles with a morsel stride: base scans in per-row segments
+    /// emit only the batches worker `part` of `parts` owns (see
+    /// [`ScanOp`]). The round-robin exchange compiles one clone of its
+    /// segment per worker through this entry point; `(0, 1)` is the
+    /// ordinary serial compilation.
+    pub(crate) fn compile_stride(&self, part: usize, parts: usize) -> BoxOp {
+        match self {
+            // A round-robin exchange runs its own instrumented workers
+            // and merges their reports by label; wrapping the exchange
+            // itself would double-count every segment operator.
+            PhysPlan::Exchange {
+                partitioning: super::Partitioning::RoundRobin,
+                ..
+            } => self.compile_node(part, parts),
+            // A hash exchange *replaces* the join node it wraps, so it
+            // reports under the join's own label — serial and parallel
+            // plans keep identical per-operator profiles.
+            PhysPlan::Exchange {
+                partitioning: super::Partitioning::Hash,
+                input,
+                ..
+            } => Box::new(Instrument::new(
+                input.op_label(),
+                self.compile_node(part, parts),
+            )),
+            _ => Box::new(Instrument::new(
+                self.op_label(),
+                self.compile_node(part, parts),
+            )),
+        }
     }
 
     /// Compiles a child whose parent consumes rows: scalar-shaped nodes
     /// are adapted so their single set value streams as elements.
-    fn compile_rows(&self) -> BoxOp {
-        let op = self.compile();
+    pub(crate) fn compile_rows(&self, part: usize, parts: usize) -> BoxOp {
+        let op = self.compile_stride(part, parts);
         if op.scalar() {
             Box::new(ScalarRows {
                 child: op,
@@ -1082,10 +1210,17 @@ impl PhysPlan {
         }
     }
 
-    fn compile_node(&self) -> BoxOp {
+    /// Compiles one node. The stride propagates only through the
+    /// operators a round-robin segment may contain (per-row transforms,
+    /// assembly, scans); everything else — joins, blocking operators,
+    /// `let`, scalars — compiles its children serially, so a stride can
+    /// never split the two sides of a join inconsistently.
+    fn compile_node(&self, part: usize, parts: usize) -> BoxOp {
         match self {
             PhysPlan::Scan(name) => Box::new(ScanOp {
                 table: name.clone(),
+                part,
+                parts,
                 buf: None,
             }),
             PhysPlan::Literal(v) => Box::new(ScalarOp {
@@ -1099,7 +1234,7 @@ impl PhysPlan {
             PhysPlan::AggNode { op, input } => Box::new(ScalarOp {
                 kind: ScalarKind::Agg {
                     op: *op,
-                    child: input.compile_rows(),
+                    child: input.compile_rows(0, 1),
                 },
                 done: false,
             }),
@@ -1108,34 +1243,34 @@ impl PhysPlan {
                     var: var.clone(),
                     pred: pred.clone(),
                 },
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
             PhysPlan::MapOp { var, body, input } => Box::new(TransformOp {
                 t: RowTransform::Map {
                     var: var.clone(),
                     body: body.clone(),
                 },
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
             PhysPlan::ProjectOp { attrs, input } => Box::new(TransformOp {
                 t: RowTransform::Project {
                     attrs: attrs.clone(),
                 },
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
             PhysPlan::RenameOp { pairs, input } => Box::new(TransformOp {
                 t: RowTransform::Rename {
                     pairs: pairs.clone(),
                 },
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
             PhysPlan::UnnestOp { attr, input } => Box::new(TransformOp {
                 t: RowTransform::Unnest { attr: attr.clone() },
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
             PhysPlan::FlattenOp { input } => Box::new(TransformOp {
                 t: RowTransform::Flatten,
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
             PhysPlan::NestOp {
                 attrs,
@@ -1145,15 +1280,15 @@ impl PhysPlan {
                 kind: BlockingKind::Nest {
                     attrs: attrs.clone(),
                     as_attr: as_attr.clone(),
-                    child: input.compile_rows(),
+                    child: input.compile_rows(0, 1),
                 },
                 buf: None,
             }),
             PhysPlan::SetOpNode { op, left, right } => Box::new(BlockingOp {
                 kind: BlockingKind::SetOp {
                     op: *op,
-                    left: left.compile_rows(),
-                    right: right.compile_rows(),
+                    left: left.compile_rows(0, 1),
+                    right: right.compile_rows(0, 1),
                 },
                 buf: None,
             }),
@@ -1165,9 +1300,9 @@ impl PhysPlan {
                 budget,
             } => Box::new(BlockingOp {
                 kind: BlockingKind::Pnhl {
-                    outer: outer.compile_rows(),
+                    outer: outer.compile_rows(0, 1),
                     set_attr: set_attr.clone(),
-                    inner: inner.compile_rows(),
+                    inner: inner.compile_rows(0, 1),
                     keys: Box::new(keys.clone()),
                     budget: *budget,
                 },
@@ -1180,9 +1315,9 @@ impl PhysPlan {
                 keys,
             } => Box::new(BlockingOp {
                 kind: BlockingKind::UnnestJoin {
-                    outer: outer.compile_rows(),
+                    outer: outer.compile_rows(0, 1),
                     set_attr: set_attr.clone(),
-                    inner: inner.compile_rows(),
+                    inner: inner.compile_rows(0, 1),
                     keys: Box::new(keys.clone()),
                 },
                 buf: None,
@@ -1194,8 +1329,8 @@ impl PhysPlan {
                 bound: None,
             }),
             PhysPlan::ProductOp { left, right } => Box::new(ProductOp {
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 right_set: None,
             }),
             PhysPlan::HashJoin {
@@ -1218,8 +1353,8 @@ impl PhysPlan {
                 lkeys: lkeys.clone(),
                 rkeys: rkeys.clone(),
                 residual: residual.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 table: None,
             }),
             PhysPlan::HashNestJoin {
@@ -1242,8 +1377,8 @@ impl PhysPlan {
                 lkeys: lkeys.clone(),
                 rkeys: rkeys.clone(),
                 residual: residual.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 table: None,
             }),
             PhysPlan::HashMemberJoin {
@@ -1264,8 +1399,8 @@ impl PhysPlan {
                 rvar: rvar.clone(),
                 shape: shape.clone(),
                 residual: residual.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 table: None,
             }),
             PhysPlan::MemberNestJoin {
@@ -1286,8 +1421,8 @@ impl PhysPlan {
                 rvar: rvar.clone(),
                 shape: shape.clone(),
                 residual: residual.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 table: None,
             }),
             PhysPlan::IndexNLJoin {
@@ -1310,7 +1445,7 @@ impl PhysPlan {
                 residual: residual.clone(),
                 right_attrs: right_attrs.clone(),
                 checked: false,
-                left: left.compile_rows(),
+                left: left.compile_rows(0, 1),
             }),
             PhysPlan::NLJoin {
                 kind,
@@ -1328,8 +1463,8 @@ impl PhysPlan {
                 lvar: lvar.clone(),
                 rvar: rvar.clone(),
                 pred: pred.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 right_set: None,
             }),
             PhysPlan::NLNestJoin {
@@ -1348,8 +1483,8 @@ impl PhysPlan {
                 lvar: lvar.clone(),
                 rvar: rvar.clone(),
                 pred: pred.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 right_set: None,
             }),
             PhysPlan::SortMergeJoin {
@@ -1366,8 +1501,8 @@ impl PhysPlan {
                 lkeys: lkeys.clone(),
                 rkeys: rkeys.clone(),
                 residual: residual.clone(),
-                left: left.compile_rows(),
-                right: right.compile_rows(),
+                left: left.compile_rows(0, 1),
+                right: right.compile_rows(0, 1),
                 state: None,
             }),
             PhysPlan::Assemble {
@@ -1380,8 +1515,13 @@ impl PhysPlan {
                 class: class.clone(),
                 set_valued: *set_valued,
                 checked: false,
-                child: input.compile_rows(),
+                child: input.compile_rows(part, parts),
             }),
+            PhysPlan::Exchange {
+                partitioning,
+                dop,
+                input,
+            } => super::exchange::compile_exchange(*partitioning, *dop, input),
         }
     }
 
@@ -1413,6 +1553,9 @@ impl PhysPlan {
             PhysPlan::Pnhl { set_attr, .. } => format!("PNHL({set_attr})"),
             PhysPlan::UnnestJoin { set_attr, .. } => format!("UnnestJoin({set_attr})"),
             PhysPlan::Assemble { attr, class, .. } => format!("Assemble({attr}->{class})"),
+            PhysPlan::Exchange {
+                partitioning, dop, ..
+            } => format!("Exchange({partitioning:?},{dop})"),
         }
     }
 }
@@ -1754,5 +1897,153 @@ mod tests {
         let materialized_err = flat.execute_on(&db, &mut s3);
         assert!(streaming_err.is_err());
         assert!(materialized_err.is_err());
+    }
+
+    #[test]
+    fn empty_aggregates_error_like_the_reference_not_panic() {
+        // Regression: an aggregate whose child yields no rows used to be
+        // able to reach `drain_scalar`'s `expect` — it must return the
+        // same defined `EmptyAggregate` error as `eval.rs`.
+        let db = supplier_part_db();
+        let empty = PhysPlan::Filter {
+            var: "p".into(),
+            pred: lit(Value::Bool(false)),
+            input: Box::new(PhysPlan::Scan("PART".into())),
+        };
+        for op in [
+            oodb_adl::AggOp::Min,
+            oodb_adl::AggOp::Max,
+            oodb_adl::AggOp::Avg,
+        ] {
+            let agg = PhysPlan::AggNode {
+                op,
+                input: Box::new(empty.clone()),
+            };
+            let mut ss = Stats::new();
+            let streaming = agg.execute_streaming_on(&db, &mut ss);
+            let mut ms = Stats::new();
+            let materialized = agg.execute_on(&db, &mut ms);
+            assert!(
+                matches!(
+                    streaming,
+                    Err(EvalError::Value(oodb_value::ValueError::EmptyAggregate(_)))
+                ),
+                "{op:?}: {streaming:?}"
+            );
+            assert_eq!(
+                format!("{}", streaming.unwrap_err()),
+                format!("{}", materialized.unwrap_err()),
+                "{op:?} diverged from the reference semantics"
+            );
+        }
+        // count and sum of nothing are defined values, not errors
+        let count = PhysPlan::AggNode {
+            op: oodb_adl::AggOp::Count,
+            input: Box::new(empty),
+        };
+        let mut ss = Stats::new();
+        assert_eq!(
+            count.execute_streaming_on(&db, &mut ss).unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn scalar_drained_twice_is_a_protocol_error_not_a_panic() {
+        let db = supplier_part_db();
+        let plan = PhysPlan::AggNode {
+            op: oodb_adl::AggOp::Count,
+            input: Box::new(PhysPlan::Scan("PART".into())),
+        };
+        let mut stats = Stats::new();
+        let mut ctx = ExecCtx {
+            ev: Evaluator::new(&db),
+            env: Env::new(),
+            stats: &mut stats,
+        };
+        let mut op = plan.compile();
+        op.open(&mut ctx).unwrap();
+        assert_eq!(drain_scalar(&mut op, &mut ctx).unwrap(), Value::Int(7));
+        // the stream is fused; draining again finds no value
+        assert!(matches!(
+            drain_scalar(&mut op, &mut ctx),
+            Err(EvalError::OperatorProtocol(_))
+        ));
+        op.close(&mut ctx);
+    }
+
+    #[test]
+    fn illegal_lifecycle_transitions_return_errors_not_panics() {
+        let db = supplier_part_db();
+        let plan = PhysPlan::Scan("PART".into());
+        let mut stats = Stats::new();
+        let mut ctx = ExecCtx {
+            ev: Evaluator::new(&db),
+            env: Env::new(),
+            stats: &mut stats,
+        };
+        // next_batch before open
+        let mut op = plan.compile();
+        assert!(matches!(
+            op.next_batch(&mut ctx),
+            Err(EvalError::OperatorProtocol(_))
+        ));
+        // next_batch after close
+        op.open(&mut ctx).unwrap();
+        op.close(&mut ctx);
+        assert!(matches!(
+            op.next_batch(&mut ctx),
+            Err(EvalError::OperatorProtocol(_))
+        ));
+        // double close is idempotent, re-open revives
+        op.close(&mut ctx);
+        op.open(&mut ctx).unwrap();
+        let batch = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(batch.len(), 7);
+        // exhausted streams are fused: pulling past None stays None
+        assert!(op.next_batch(&mut ctx).unwrap().is_none());
+        assert!(op.next_batch(&mut ctx).unwrap().is_none());
+        op.close(&mut ctx);
+    }
+
+    #[test]
+    fn let_body_error_restores_the_env_without_unwinding() {
+        let db = supplier_part_db();
+        // body errors on every row: field access on a string
+        let plan = PhysPlan::LetOp {
+            var: "n".into(),
+            value: Box::new(PhysPlan::AggNode {
+                op: oodb_adl::AggOp::Count,
+                input: Box::new(PhysPlan::Scan("PART".into())),
+            }),
+            body: Box::new(PhysPlan::Filter {
+                var: "p".into(),
+                pred: lt(var("p").field("pname").field("oops"), var("n")),
+                input: Box::new(PhysPlan::Scan("PART".into())),
+            }),
+        };
+        let mut stats = Stats::new();
+        let mut ctx = ExecCtx {
+            ev: Evaluator::new(&db),
+            env: Env::new(),
+            stats: &mut stats,
+        };
+        let mut op = plan.compile();
+        op.open(&mut ctx).unwrap();
+        let err = loop {
+            match op.next_batch(&mut ctx) {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected the body to error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, EvalError::Value(_)), "{err}");
+        // the let restored the env: nothing leaked past the failed pull
+        assert_eq!(ctx.env.depth(), 0, "env unbalanced after body error");
+        // closing after the error must not panic
+        op.close(&mut ctx);
+        // and the whole-plan entry point reports the error cleanly too
+        let mut s2 = Stats::new();
+        assert!(plan.execute_streaming_on(&db, &mut s2).is_err());
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::cost::{CostModel, Estimate};
 use crate::physical::hashjoin::MemberShape;
-use crate::physical::{MatchKeys, PhysPlan};
+use crate::physical::{exchange, MatchKeys, Partitioning, PhysPlan};
 use crate::stats::Stats;
 use oodb_adl::expr::{conjuncts, Expr, JoinKind};
 use oodb_adl::vars::free_vars;
@@ -65,6 +65,31 @@ pub struct PlannerConfig {
     /// Use secondary indexes (index nested-loop join) when the right
     /// operand is an indexed extent.
     pub use_indexes: bool,
+    /// Degree of intra-query parallelism: worker count for the
+    /// [`PhysPlan::Exchange`] operators the planner inserts at pipeline
+    /// breaker boundaries. `1` (always honored) preserves exactly the
+    /// serial pipeline; the default is the machine's available
+    /// parallelism, overridable with the `OODB_PARALLELISM` environment
+    /// variable (how CI pins both a serial and a parallel pass).
+    pub parallelism: usize,
+    /// Minimum estimated input rows before an operator is worth an
+    /// exchange — thread startup costs real time, so tiny inputs stay
+    /// serial. Estimated through [`CatalogStats`] under cost-based
+    /// planning, live table sizes otherwise.
+    pub parallel_threshold: usize,
+}
+
+/// Default worker count: the `OODB_PARALLELISM` environment variable if
+/// set (and ≥ 1), the machine's available parallelism otherwise.
+fn default_parallelism() -> usize {
+    if let Ok(v) = std::env::var("OODB_PARALLELISM") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for PlannerConfig {
@@ -76,6 +101,8 @@ impl Default for PlannerConfig {
             detect_materialize: true,
             prefer_assembly: true,
             use_indexes: true,
+            parallelism: default_parallelism(),
+            parallel_threshold: 2 * crate::physical::operator::BATCH_SIZE,
         }
     }
 }
@@ -167,14 +194,356 @@ impl<'a> Planner<'a> {
 
     /// Lowers a closed ADL expression into an executable [`Plan`].
     pub fn plan(&self, e: &Expr) -> Result<Plan<'a>, PlanError> {
+        let mut phys = self.lower(e)?;
+        if self.config.parallelism > 1 {
+            phys = self.parallelize(phys);
+        }
         Ok(Plan {
-            phys: self.lower(e)?,
+            phys,
             db: self.db,
             cost: self
                 .cost
                 .as_ref()
                 .map(|m| CostModel::with_stats(self.db, m.stats().clone())),
         })
+    }
+
+    // -----------------------------------------------------------------
+    // Exchange insertion (morsel-driven parallelism).
+
+    /// Estimated rows an extent contributes, preferring statistics.
+    fn extent_rows(&self, extent: &Name) -> f64 {
+        if let Some(m) = &self.cost {
+            if let Some(c) = m.stats().cardinality(extent) {
+                return c as f64;
+            }
+        }
+        self.db.table(extent).map(|t| t.len() as f64).unwrap_or(0.0)
+    }
+
+    /// A cheap input-cardinality bound for gating exchanges in
+    /// rule-based mode (no cost model): scans report their table size,
+    /// everything else sums its children.
+    fn approx_rows(&self, p: &PhysPlan) -> f64 {
+        match p {
+            PhysPlan::Scan(n) => self.extent_rows(n),
+            PhysPlan::Literal(v) => v.as_set().map(|s| s.len() as f64).unwrap_or(1.0),
+            other => other.children().iter().map(|c| self.approx_rows(c)).sum(),
+        }
+    }
+
+    /// Estimated rows flowing into a join (both sides).
+    fn join_input_rows(&self, left: &PhysPlan, right: &PhysPlan) -> f64 {
+        match &self.cost {
+            Some(m) => m.estimate(left).rows + m.estimate(right).rows,
+            None => self.approx_rows(left) + self.approx_rows(right),
+        }
+    }
+
+    /// The "picks serial when estimated rows are tiny" gate: thread
+    /// startup costs real time, so an exchange must move at least
+    /// `parallel_threshold` estimated input rows.
+    fn worth_exchange(&self, input_rows: f64) -> bool {
+        input_rows >= self.config.parallel_threshold as f64
+    }
+
+    /// Inserts [`PhysPlan::Exchange`] operators into a lowered plan:
+    /// maximal per-row segments over a base scan fan out round-robin
+    /// (this is where pipelines split at breaker boundaries — hash and
+    /// member build sides, sort runs, PNHL operands and aggregate
+    /// drains all pull their segment through an exchange), and
+    /// hash-family joins get hash-partitioned parallel build + probe.
+    /// Only called with `parallelism > 1`; `1` preserves the serial
+    /// plan exactly.
+    fn parallelize(&self, plan: PhysPlan) -> PhysPlan {
+        let dop = self.config.parallelism;
+        // A maximal per-row segment: wrap it whole (nothing inside a
+        // segment can parallelize on its own).
+        if let Some(extent) = exchange::segment_scan(&plan).cloned() {
+            if self.worth_exchange(self.extent_rows(&extent)) {
+                return PhysPlan::Exchange {
+                    partitioning: Partitioning::RoundRobin,
+                    dop,
+                    input: Box::new(plan),
+                };
+            }
+            return plan;
+        }
+        let plan = self.parallelize_children(plan);
+        // Hash-family joins additionally parallelize their own build +
+        // probe when enough rows flow through them.
+        let is_hash_family = matches!(
+            plan,
+            PhysPlan::HashJoin { .. }
+                | PhysPlan::HashNestJoin { .. }
+                | PhysPlan::HashMemberJoin { .. }
+                | PhysPlan::MemberNestJoin { .. }
+        );
+        if is_hash_family {
+            let (l, r) = match &plan {
+                PhysPlan::HashJoin { left, right, .. }
+                | PhysPlan::HashNestJoin { left, right, .. }
+                | PhysPlan::HashMemberJoin { left, right, .. }
+                | PhysPlan::MemberNestJoin { left, right, .. } => (left, right),
+                _ => unreachable!("matched above"),
+            };
+            if self.worth_exchange(self.join_input_rows(l, r)) {
+                return PhysPlan::Exchange {
+                    partitioning: Partitioning::Hash,
+                    dop,
+                    input: Box::new(plan),
+                };
+            }
+        }
+        plan
+    }
+
+    /// Rebuilds a node with every child parallelized.
+    fn parallelize_children(&self, plan: PhysPlan) -> PhysPlan {
+        let p = |b: Box<PhysPlan>| Box::new(self.parallelize(*b));
+        match plan {
+            leaf @ (PhysPlan::Scan(_)
+            | PhysPlan::Literal(_)
+            | PhysPlan::Eval(_)
+            | PhysPlan::Exchange { .. }) => leaf,
+            PhysPlan::Filter { var, pred, input } => PhysPlan::Filter {
+                var,
+                pred,
+                input: p(input),
+            },
+            PhysPlan::MapOp { var, body, input } => PhysPlan::MapOp {
+                var,
+                body,
+                input: p(input),
+            },
+            PhysPlan::ProjectOp { attrs, input } => PhysPlan::ProjectOp {
+                attrs,
+                input: p(input),
+            },
+            PhysPlan::RenameOp { pairs, input } => PhysPlan::RenameOp {
+                pairs,
+                input: p(input),
+            },
+            PhysPlan::UnnestOp { attr, input } => PhysPlan::UnnestOp {
+                attr,
+                input: p(input),
+            },
+            PhysPlan::NestOp {
+                attrs,
+                as_attr,
+                input,
+            } => PhysPlan::NestOp {
+                attrs,
+                as_attr,
+                input: p(input),
+            },
+            PhysPlan::FlattenOp { input } => PhysPlan::FlattenOp { input: p(input) },
+            PhysPlan::SetOpNode { op, left, right } => PhysPlan::SetOpNode {
+                op,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::AggNode { op, input } => PhysPlan::AggNode {
+                op,
+                input: p(input),
+            },
+            PhysPlan::LetOp { var, value, body } => PhysPlan::LetOp {
+                var,
+                value: p(value),
+                body: p(body),
+            },
+            PhysPlan::ProductOp { left, right } => PhysPlan::ProductOp {
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::HashJoin {
+                kind,
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                right_attrs,
+                left,
+                right,
+            } => PhysPlan::HashJoin {
+                kind,
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                right_attrs,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::HashMemberJoin {
+                kind,
+                lvar,
+                rvar,
+                shape,
+                residual,
+                right_attrs,
+                left,
+                right,
+            } => PhysPlan::HashMemberJoin {
+                kind,
+                lvar,
+                rvar,
+                shape,
+                residual,
+                right_attrs,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::IndexNLJoin {
+                kind,
+                lvar,
+                rvar,
+                lkey,
+                attr,
+                extent,
+                residual,
+                right_attrs,
+                left,
+            } => PhysPlan::IndexNLJoin {
+                kind,
+                lvar,
+                rvar,
+                lkey,
+                attr,
+                extent,
+                residual,
+                right_attrs,
+                left: p(left),
+            },
+            PhysPlan::NLJoin {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                right_attrs,
+                left,
+                right,
+            } => PhysPlan::NLJoin {
+                kind,
+                lvar,
+                rvar,
+                pred,
+                right_attrs,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::SortMergeJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                left,
+                right,
+            } => PhysPlan::SortMergeJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::HashNestJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => PhysPlan::HashNestJoin {
+                lvar,
+                rvar,
+                lkeys,
+                rkeys,
+                residual,
+                rfunc,
+                as_attr,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::MemberNestJoin {
+                lvar,
+                rvar,
+                shape,
+                residual,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => PhysPlan::MemberNestJoin {
+                lvar,
+                rvar,
+                shape,
+                residual,
+                rfunc,
+                as_attr,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::NLNestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left,
+                right,
+            } => PhysPlan::NLNestJoin {
+                lvar,
+                rvar,
+                pred,
+                rfunc,
+                as_attr,
+                left: p(left),
+                right: p(right),
+            },
+            PhysPlan::Pnhl {
+                outer,
+                set_attr,
+                inner,
+                keys,
+                budget,
+            } => PhysPlan::Pnhl {
+                outer: p(outer),
+                set_attr,
+                inner: p(inner),
+                keys,
+                budget,
+            },
+            PhysPlan::UnnestJoin {
+                outer,
+                set_attr,
+                inner,
+                keys,
+            } => PhysPlan::UnnestJoin {
+                outer: p(outer),
+                set_attr,
+                inner: p(inner),
+                keys,
+            },
+            PhysPlan::Assemble {
+                input,
+                attr,
+                class,
+                set_valued,
+            } => PhysPlan::Assemble {
+                input: p(input),
+                attr,
+                class,
+                set_valued,
+            },
+        }
     }
 
     fn lower(&self, e: &Expr) -> Result<PhysPlan, PlanError> {

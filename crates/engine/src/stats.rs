@@ -66,10 +66,54 @@ impl Stats {
         self.operators.extend(other.operators.iter().cloned());
     }
 
+    /// Adds a parallel worker's counters into `self`, **folding**
+    /// per-operator entries with the same label together instead of
+    /// appending them. Exchange workers execute clones of the same
+    /// operator segment, so their emissions are one logical operator's
+    /// work; folding (in worker-id order) keeps `operators` identical in
+    /// shape to a serial run of the same plan. Entry order follows the
+    /// first worker that reported each label.
+    pub fn absorb_worker(&mut self, other: &Stats) {
+        self.rows_scanned += other.rows_scanned;
+        self.loop_iterations += other.loop_iterations;
+        self.predicate_evals += other.predicate_evals;
+        self.hash_build_rows += other.hash_build_rows;
+        self.hash_probes += other.hash_probes;
+        self.partitions += other.partitions;
+        self.oid_lookups += other.oid_lookups;
+        self.index_probes += other.index_probes;
+        self.output_rows += other.output_rows;
+        for op in &other.operators {
+            match self.operators.iter_mut().find(|o| o.op == op.op) {
+                Some(mine) => {
+                    mine.rows_out += op.rows_out;
+                    mine.batches += op.batches;
+                }
+                None => self.operators.push(op.clone()),
+            }
+        }
+    }
+
     /// The first per-operator entry whose label starts with `prefix`
     /// (convenience for tests and reports).
     pub fn operator(&self, prefix: &str) -> Option<&OpStats> {
         self.operators.iter().find(|o| o.op.starts_with(prefix))
+    }
+
+    /// Per-label `rows_out` totals, sorted by label — the canonical
+    /// form for comparing operator profiles across runs (serial entries
+    /// and parallel workers' folded entries alike). The dop-equivalence
+    /// tests assert this is invariant under `parallelism`.
+    pub fn operator_rows_by_label(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = Vec::new();
+        for op in &self.operators {
+            match v.iter_mut().find(|(l, _)| *l == op.op) {
+                Some((_, r)) => *r += op.rows_out,
+                None => v.push((op.op.clone(), op.rows_out)),
+            }
+        }
+        v.sort();
+        v
     }
 
     /// Total batches emitted across all streaming operators.

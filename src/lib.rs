@@ -80,7 +80,12 @@ impl<'db> Pipeline<'db> {
 
     /// A pipeline with an explicit planner configuration — how the
     /// differential planner-grid suite forces every physical strategy
-    /// through the same front end.
+    /// through the same front end. `PlannerConfig::parallelism` is the
+    /// pipeline's threading knob: it defaults to the machine's
+    /// available parallelism (`OODB_PARALLELISM` overrides it), `1`
+    /// preserves the exact serial pipeline, and any setting returns
+    /// canonical-set-identical results (see the README's threading
+    /// model section).
     pub fn with_config(db: &'db Database, config: PlannerConfig) -> Self {
         let stats = config.cost_based.then(|| CatalogStats::from_database(db));
         Pipeline { db, config, stats }

@@ -113,6 +113,52 @@ fn paper_queries_agree_on_generated_databases() {
     }
 }
 
+/// Serial (dop = 1) and parallel (dop ∈ {2, 4, 7}) execution of every
+/// paper query produce identical canonical sets **and** identical merged
+/// per-operator row totals — the morsel-driven exchanges only change
+/// who does the work, never what work is done.
+#[test]
+fn parallel_execution_matches_serial_sets_and_operator_totals() {
+    let db = generate(&GenConfig {
+        empty_supplier_fraction: 0.15,
+        dangling_fraction: 0.15,
+        ..GenConfig::scaled(400)
+    });
+    let config = |dop: usize| PlannerConfig {
+        parallelism: dop,
+        // force exchanges even at this scale, so the dops are live
+        parallel_threshold: 0,
+        ..Default::default()
+    };
+    for src in paper_query_sources() {
+        if src.contains("date(") {
+            continue; // generated dates never equal the fixture constant
+        }
+        let serial = Pipeline::with_config(&db, config(1))
+            .run(src)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        for dop in [2usize, 4, 7] {
+            let parallel = Pipeline::with_config(&db, config(dop))
+                .run(src)
+                .unwrap_or_else(|e| panic!("{src} at dop {dop}: {e}"));
+            assert_eq!(
+                parallel.result.as_set().unwrap(),
+                serial.result.as_set().unwrap(),
+                "dop {dop} changed the result of {src}"
+            );
+            assert_eq!(
+                parallel.stats.operator_rows_by_label(),
+                serial.stats.operator_rows_by_label(),
+                "dop {dop} changed the operator row totals of {src}"
+            );
+            assert_eq!(
+                parallel.stats.rows_scanned, serial.stats.rows_scanned,
+                "dop {dop} re-scanned rows for {src}"
+            );
+        }
+    }
+}
+
 /// Small random database configurations.
 fn db_config() -> impl Strategy<Value = GenConfig> {
     (
@@ -347,6 +393,36 @@ proptest! {
                 let streamed = plan.execute_streaming(&mut sstats).expect("streaming");
                 prop_assert_eq!(&streamed, &reference, "algo {:?} diverged (streaming)", algo);
             }
+        }
+    }
+
+    /// Exchange-parallelized plans agree with serial streaming on
+    /// arbitrary databases and degrees of parallelism.
+    #[test]
+    fn parallel_plans_preserve_semantics(config in db_config(), dop in 2usize..8) {
+        let db = generate(&config);
+        let opt = Optimizer::default();
+        let mk = |parallelism: usize| PlannerConfig {
+            parallelism,
+            parallel_threshold: 0,
+            ..Default::default()
+        };
+        for q in query_corpus().into_iter().take(4) {
+            let rewritten = opt.optimize(&q, db.catalog()).expect("optimize succeeds");
+            let mut ss = Stats::new();
+            let serial = Planner::with_config(&db, mk(1))
+                .plan(&rewritten.expr)
+                .expect("plan")
+                .execute_streaming(&mut ss)
+                .expect("serial streaming");
+            let mut ps = Stats::new();
+            let parallel = Planner::with_config(&db, mk(dop))
+                .plan(&rewritten.expr)
+                .expect("plan")
+                .execute_streaming(&mut ps)
+                .expect("parallel streaming");
+            prop_assert_eq!(&parallel, &serial, "dop {} diverged", dop);
+            prop_assert_eq!(ps.rows_scanned, ss.rows_scanned, "dop {} re-scanned", dop);
         }
     }
 

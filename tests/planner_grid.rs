@@ -19,7 +19,12 @@ use oodb_bench::{
     run_optimized_with, run_planned_streaming,
 };
 
-/// The full configuration grid: 3 × 2 × 2 × 2 × 2 = 48 configurations.
+/// The full configuration grid: 3 × 2 × 2 × 2 × 2 × 3 dop = 144
+/// configurations. The `parallelism` axis runs every configuration
+/// serially (`1`, today's exact pipeline) and through the exchange
+/// operators at dop 2 and 4; `parallel_threshold: 0` forces exchanges
+/// to appear even at this test's small scale, so the parallel grid
+/// points are live.
 fn full_grid() -> Vec<PlannerConfig> {
     let mut grid = Vec::new();
     for join_algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
@@ -27,14 +32,18 @@ fn full_grid() -> Vec<PlannerConfig> {
             for detect_materialize in [true, false] {
                 for cost_based in [true, false] {
                     for pnhl_budget in [4usize, 1 << 14] {
-                        grid.push(PlannerConfig {
-                            cost_based,
-                            join_algo,
-                            pnhl_budget,
-                            detect_materialize,
-                            prefer_assembly: true,
-                            use_indexes,
-                        });
+                        for parallelism in [1usize, 2, 4] {
+                            grid.push(PlannerConfig {
+                                cost_based,
+                                join_algo,
+                                pnhl_budget,
+                                detect_materialize,
+                                prefer_assembly: true,
+                                use_indexes,
+                                parallelism,
+                                parallel_threshold: 0,
+                            });
+                        }
                     }
                 }
             }
