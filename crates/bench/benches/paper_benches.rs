@@ -380,8 +380,11 @@ fn bench_streaming(c: &mut Criterion) {
         );
     }
     g.finish();
+    // scale 1600 matches the report binary — and is large enough that
+    // the 64 KiB-budget columns show real spilling (PART alone encodes
+    // past the budget), so the spill columns in the artifact are live
     let rows =
-        oodb_bench::streaming_report::write_bench_json(400).expect("write BENCH_streaming.json");
+        oodb_bench::streaming_report::write_bench_json(1_600).expect("write BENCH_streaming.json");
     println!(
         "wrote BENCH_streaming.json ({} workloads, nested-loop vs materialized vs streaming)",
         rows.len()

@@ -109,6 +109,17 @@ fn perf_streaming() {
             r.streaming_p1_ms / r.streaming_p4_ms.max(1e-9),
         );
     }
+    println!("\n  External memory (same plan, 64 KiB budget, best of 3):");
+    println!(
+        "  {:<26} {:>11} {:>11} {:>12}",
+        "workload", "unbounded", "64 KiB", "spill bytes"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>9.2}ms {:>9.2}ms {:>12}",
+            r.workload, r.streaming_p1_ms, r.streaming_b64k_ms, r.spill_bytes,
+        );
+    }
     println!("  (written to BENCH_streaming.json at the workspace root)");
 }
 

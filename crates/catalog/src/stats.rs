@@ -32,6 +32,11 @@ pub struct TableStats {
     pub rows: u64,
     /// Per-attribute statistics.
     pub attrs: FxHashMap<Name, AttrStats>,
+    /// Mean encoded row width in bytes
+    /// ([`oodb_value::codec::encoded_size`]) — what the external-memory
+    /// subsystem's spill-volume estimates are denominated in. `None`
+    /// when unknown (synthetic statistics may approximate it).
+    pub avg_row_bytes: Option<f64>,
 }
 
 /// Per-extent statistics over a whole object base.
@@ -53,9 +58,11 @@ impl CatalogStats {
             let Some(table) = db.table(&class.extent) else {
                 continue;
             };
+            let total_bytes: usize = table.rows().map(oodb_value::codec::encoded_row_size).sum();
             let mut ts = TableStats {
                 rows: table.len() as u64,
                 attrs: FxHashMap::default(),
+                avg_row_bytes: (!table.is_empty()).then(|| total_bytes as f64 / table.len() as f64),
             };
             for (attr, _) in class.attrs.iter() {
                 let mut distinct: FxHashSet<&Value> = FxHashSet::default();
@@ -119,6 +126,12 @@ impl CatalogStats {
             .and_then(|a| a.avg_set_len)
     }
 
+    /// Mean encoded row width of an extent in bytes (`None` when
+    /// unknown).
+    pub fn avg_row_bytes(&self, extent: &str) -> Option<f64> {
+        self.table(extent).and_then(|t| t.avg_row_bytes)
+    }
+
     /// True when no statistics are present at all.
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
@@ -164,6 +177,7 @@ mod tests {
         let mut ts = TableStats {
             rows: 1000,
             attrs: FxHashMap::default(),
+            avg_row_bytes: None,
         };
         ts.attrs.insert(
             Name::from("k"),

@@ -89,6 +89,8 @@ impl GenConfig {
         let mut part = TableStats {
             rows: parts,
             attrs: Default::default(),
+            // fixed-schema flat tuple: oid + short name + int + color
+            avg_row_bytes: Some(64.0),
         };
         part.attrs.insert(Name::from("pid"), scalar(parts));
         part.attrs.insert(Name::from("pname"), scalar(parts));
@@ -107,6 +109,8 @@ impl GenConfig {
         let mut supplier = TableStats {
             rows: suppliers,
             attrs: Default::default(),
+            // base tuple plus ~9 encoded bytes per part reference
+            avg_row_bytes: Some(64.0 + 9.0 * avg_parts),
         };
         supplier.attrs.insert(Name::from("eid"), scalar(suppliers));
         supplier
@@ -121,6 +125,8 @@ impl GenConfig {
         let mut delivery = TableStats {
             rows: deliveries,
             attrs: Default::default(),
+            // base tuple plus a ~40-byte supply line per element
+            avg_row_bytes: Some(64.0 + 40.0 * spd),
         };
         delivery.attrs.insert(Name::from("did"), scalar(deliveries));
         delivery

@@ -78,12 +78,24 @@ const MISMATCH_FLOOR: f64 = 0.002;
 /// clone), in work units. Together with the planner's
 /// `parallel_threshold` gate this is why tiny inputs stay serial.
 const EXCHANGE_STARTUP: f64 = 64.0;
+/// Work units charged per byte moved through a spill file (each
+/// estimated spilled byte is written once and read once, so the charge
+/// is applied to 2× the spill volume). Calibrated so that, under a
+/// tight budget, the extra grace-recursion passes of a big hash build
+/// can outweigh a sort-merge join's comparison cost — giving the
+/// planner a reason to prefer external sort over grace recursion.
+const SPILL_BYTE_COST: f64 = 0.2;
+/// Estimated encoded row width when no statistics exist.
+const DEFAULT_ROW_BYTES: f64 = 64.0;
 
 /// Estimates cardinalities and work-unit costs for [`PhysPlan`] trees
 /// against one database's [`CatalogStats`].
 pub struct CostModel<'a> {
     db: &'a Database,
     stats: CatalogStats,
+    /// Memory budget in bytes (`0` = unbounded): adds the spill I/O
+    /// term to operators whose state would exceed it.
+    memory_budget: usize,
 }
 
 impl<'a> CostModel<'a> {
@@ -92,13 +104,26 @@ impl<'a> CostModel<'a> {
         CostModel {
             stats: CatalogStats::from_database(db),
             db,
+            memory_budget: 0,
         }
     }
 
     /// A model with externally supplied statistics (e.g. synthesized
     /// from generator parameters).
     pub fn with_stats(db: &'a Database, stats: CatalogStats) -> Self {
-        CostModel { db, stats }
+        CostModel {
+            db,
+            stats,
+            memory_budget: 0,
+        }
+    }
+
+    /// Prices plans under a byte memory budget (`0` = unbounded): hash
+    /// builds and sort runs that would not fit gain an I/O term for the
+    /// spill bytes and grace/merge passes they would incur.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
     }
 
     /// The statistics backing this model.
@@ -121,16 +146,133 @@ impl<'a> CostModel<'a> {
     fn explain_into(&self, plan: &PhysPlan, depth: usize, out: &mut String) {
         use std::fmt::Write;
         let e = self.est(plan);
-        let _ = writeln!(
+        let spill = self.est_spill(plan);
+        let _ = write!(
             out,
-            "{}{} (est_rows={}, est_cost={})",
+            "{}{} (est_rows={}, est_cost={}",
             "  ".repeat(depth),
             plan.node_line(),
             e.rows.round() as u64,
             e.cost.round() as u64,
         );
+        if spill > 0.0 {
+            let _ = write!(out, ", est_spill={}", spill.round() as u64);
+        }
+        let _ = writeln!(out, ")");
         for child in plan.children() {
             self.explain_into(child, depth + 1, out);
+        }
+    }
+
+    /// The byte budget as a float, `None` when unbounded.
+    fn budget_bytes(&self) -> Option<f64> {
+        (self.memory_budget > 0).then_some(self.memory_budget as f64)
+    }
+
+    /// Estimated encoded bytes of one row produced by `plan`: measured
+    /// per extent by [`CatalogStats`], summed across join sides,
+    /// defaulted elsewhere.
+    fn row_bytes(&self, plan: &PhysPlan) -> f64 {
+        match plan {
+            PhysPlan::Scan(n) => self.stats.avg_row_bytes(n).unwrap_or(DEFAULT_ROW_BYTES),
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::ProjectOp { input, .. }
+            | PhysPlan::RenameOp { input, .. }
+            | PhysPlan::UnnestOp { input, .. }
+            | PhysPlan::NestOp { input, .. }
+            | PhysPlan::Assemble { input, .. }
+            | PhysPlan::Exchange { input, .. } => self.row_bytes(input),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::HashMemberJoin { left, right, .. }
+            | PhysPlan::NLJoin { left, right, .. }
+            | PhysPlan::SortMergeJoin { left, right, .. }
+            | PhysPlan::ProductOp { left, right } => self.row_bytes(left) + self.row_bytes(right),
+            // nestjoins emit the left row plus a grouped set of right
+            // rows; PNHL/unnest-join keep the outer row's width with
+            // its set re-materialized to inner rows
+            PhysPlan::HashNestJoin { left, right, .. }
+            | PhysPlan::MemberNestJoin { left, right, .. }
+            | PhysPlan::NLNestJoin { left, right, .. } => {
+                self.row_bytes(left) + DEFAULT_SET_LEN * self.row_bytes(right)
+            }
+            PhysPlan::Pnhl {
+                outer,
+                set_attr,
+                inner,
+                ..
+            }
+            | PhysPlan::UnnestJoin {
+                outer,
+                set_attr,
+                inner,
+                ..
+            } => {
+                let o = self.est(outer);
+                self.row_bytes(outer) + self.attr_set_len(&o, set_attr) * self.row_bytes(inner)
+            }
+            _ => DEFAULT_ROW_BYTES,
+        }
+    }
+
+    /// `(io_cost, spill_bytes)` of grace-hash-joining a build side of
+    /// `build_bytes` against a probe side of `probe_bytes`: every
+    /// recursion pass re-spills both sides, so a budget deep below the
+    /// build size prices hash joins out in favor of sort-merge.
+    fn grace_io(&self, build_bytes: f64, probe_bytes: f64) -> (f64, f64) {
+        let Some(budget) = self.budget_bytes() else {
+            return (0.0, 0.0);
+        };
+        if build_bytes <= budget {
+            return (0.0, 0.0);
+        }
+        let fanout = crate::physical::spill_exec::GRACE_FANOUT as f64;
+        let passes = (build_bytes / budget).log(fanout).ceil().max(1.0);
+        let spilled = (build_bytes + probe_bytes) * passes;
+        (2.0 * spilled * SPILL_BYTE_COST, spilled)
+    }
+
+    /// `(io_cost, spill_bytes)` of externally sorting `bytes`: runs are
+    /// written once and merged back in one pass.
+    fn sort_io(&self, bytes: f64) -> (f64, f64) {
+        let Some(budget) = self.budget_bytes() else {
+            return (0.0, 0.0);
+        };
+        if bytes <= budget {
+            return (0.0, 0.0);
+        }
+        (2.0 * bytes * SPILL_BYTE_COST, bytes)
+    }
+
+    /// Estimated spill bytes this node (not its children) would write
+    /// under the configured budget — the `est_spill` EXPLAIN column.
+    fn est_spill(&self, plan: &PhysPlan) -> f64 {
+        match plan {
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::HashNestJoin { left, right, .. }
+            | PhysPlan::HashMemberJoin { left, right, .. }
+            | PhysPlan::MemberNestJoin { left, right, .. } => {
+                let build = self.est(right).rows * self.row_bytes(right);
+                let probe = self.est(left).rows * self.row_bytes(left);
+                self.grace_io(build, probe).1
+            }
+            PhysPlan::SortMergeJoin { left, right, .. } => {
+                let l = self.est(left).rows * self.row_bytes(left);
+                let r = self.est(right).rows * self.row_bytes(right);
+                self.sort_io(l).1 + self.sort_io(r).1
+            }
+            PhysPlan::Pnhl {
+                outer,
+                set_attr,
+                inner,
+                ..
+            } => {
+                let o = self.est(outer);
+                let i = self.est(inner);
+                let build = i.rows * self.row_bytes(inner);
+                let elems = o.rows * self.attr_set_len(&o, set_attr) * 16.0;
+                self.grace_io(build, elems).1
+            }
+            _ => 0.0,
         }
     }
 
@@ -357,10 +499,14 @@ impl<'a> CostModel<'a> {
                 let p_match = self.containment(ndv_l, ndv_r, r.rows);
                 let matches = pairs.max(0.0);
                 let residual_evals = if residual.is_some() { matches } else { 0.0 };
+                let (io, _) = self.grace_io(
+                    r.rows * self.row_bytes(right),
+                    l.rows * self.row_bytes(left),
+                );
                 NodeEst {
                     rows: Self::join_rows(*kind, l.rows, pairs, p_match).max(0.0),
                     // build the right side, probe with the left
-                    cost: l.cost + r.cost + BUILD_WEIGHT * r.rows + l.rows + residual_evals,
+                    cost: l.cost + r.cost + BUILD_WEIGHT * r.rows + l.rows + residual_evals + io,
                     source: None,
                 }
             }
@@ -379,9 +525,13 @@ impl<'a> CostModel<'a> {
                 let (build, probes, pairs, p_match) =
                     self.member_shape_est(shape, lvar, rvar, &l, &r);
                 let residual_evals = if residual.is_some() { pairs } else { 0.0 };
+                let (io, _) = self.grace_io(
+                    r.rows * self.row_bytes(right),
+                    l.rows * self.row_bytes(left),
+                );
                 NodeEst {
                     rows: Self::join_rows(*kind, l.rows, pairs, p_match).max(0.0),
-                    cost: l.cost + r.cost + BUILD_WEIGHT * build + probes + residual_evals,
+                    cost: l.cost + r.cost + BUILD_WEIGHT * build + probes + residual_evals + io,
                     source: None,
                 }
             }
@@ -420,10 +570,13 @@ impl<'a> CostModel<'a> {
                 let l = self.est(left);
                 let r = self.est(right);
                 let pairs = l.rows * r.rows * NL_JOIN_SEL;
+                // draining the right side to a canonical set spills runs
+                // under a bounded budget, so NL is no spill-free haven
+                let (io, _) = self.sort_io(r.rows * self.row_bytes(right));
                 NodeEst {
                     rows: Self::join_rows(*kind, l.rows, pairs, 0.5).max(0.0),
                     // every pair is iterated and the predicate evaluated
-                    cost: l.cost + r.cost + 2.0 * l.rows * r.rows,
+                    cost: l.cost + r.cost + 2.0 * l.rows * r.rows + io,
                     source: None,
                 }
             }
@@ -447,9 +600,11 @@ impl<'a> CostModel<'a> {
                         .max(1.0);
                 let sort = l.rows * l.rows.max(2.0).log2() + r.rows * r.rows.max(2.0).log2();
                 let residual_evals = if residual.is_some() { pairs } else { 0.0 };
+                let (lio, _) = self.sort_io(l.rows * self.row_bytes(left));
+                let (rio, _) = self.sort_io(r.rows * self.row_bytes(right));
                 NodeEst {
                     rows: pairs.max(0.0),
-                    cost: l.cost + r.cost + sort + pairs + residual_evals,
+                    cost: l.cost + r.cost + sort + pairs + residual_evals + lio + rio,
                     source: None,
                 }
             }
@@ -471,10 +626,14 @@ impl<'a> CostModel<'a> {
                         .unwrap_or(l.rows)
                         .max(ndv_r.unwrap_or(r.rows))
                         .max(1.0);
+                let (io, _) = self.grace_io(
+                    r.rows * self.row_bytes(right),
+                    l.rows * self.row_bytes(left),
+                );
                 NodeEst {
                     // the nestjoin emits exactly one row per left tuple
                     rows: l.rows,
-                    cost: l.cost + r.cost + BUILD_WEIGHT * r.rows + l.rows + pairs,
+                    cost: l.cost + r.cost + BUILD_WEIGHT * r.rows + l.rows + pairs + io,
                     source: None,
                 }
             }
@@ -489,18 +648,23 @@ impl<'a> CostModel<'a> {
                 let l = self.est(left);
                 let r = self.est(right);
                 let (build, probes, pairs, _) = self.member_shape_est(shape, lvar, rvar, &l, &r);
+                let (io, _) = self.grace_io(
+                    r.rows * self.row_bytes(right),
+                    l.rows * self.row_bytes(left),
+                );
                 NodeEst {
                     rows: l.rows,
-                    cost: l.cost + r.cost + BUILD_WEIGHT * build + probes + pairs,
+                    cost: l.cost + r.cost + BUILD_WEIGHT * build + probes + pairs + io,
                     source: None,
                 }
             }
             PhysPlan::NLNestJoin { left, right, .. } => {
                 let l = self.est(left);
                 let r = self.est(right);
+                let (io, _) = self.sort_io(r.rows * self.row_bytes(right));
                 NodeEst {
                     rows: l.rows,
-                    cost: l.cost + r.cost + 2.0 * l.rows * r.rows,
+                    cost: l.cost + r.cost + 2.0 * l.rows * r.rows + io,
                     source: None,
                 }
             }
@@ -514,12 +678,19 @@ impl<'a> CostModel<'a> {
                 let o = self.est(outer);
                 let i = self.est(inner);
                 let elems = o.rows * self.attr_set_len(&o, set_attr);
-                let segments = (i.rows / (*budget).max(1) as f64).ceil().max(1.0);
+                let (io, segments) = if self.memory_budget > 0 {
+                    // spill-backed PNHL: probe partitions persist, so
+                    // every element probes once; the cost moves to I/O
+                    let (io, _) = self.grace_io(i.rows * self.row_bytes(inner), elems * 16.0);
+                    (io, 1.0)
+                } else {
+                    (0.0, (i.rows / (*budget).max(1) as f64).ceil().max(1.0))
+                };
                 NodeEst {
                     rows: o.rows,
                     // the flat table is built once; every segment incurs
                     // a full probe pass over the outer elements
-                    cost: o.cost + i.cost + BUILD_WEIGHT * i.rows + segments * elems,
+                    cost: o.cost + i.cost + BUILD_WEIGHT * i.rows + segments * elems + io,
                     source: o.source,
                 }
             }

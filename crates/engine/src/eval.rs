@@ -54,6 +54,16 @@ pub enum EvalError {
     /// environment stack unbalanced. Returned instead of panicking so a
     /// failing pipeline can still be closed and reported cleanly.
     OperatorProtocol(&'static str),
+    /// Spill-file I/O failed (creating the spill directory, writing a
+    /// grace partition or sort run, reading one back). Carries what was
+    /// being attempted and the rendered `std::io::Error`; no spill path
+    /// panics on a full disk or an unwritable scratch directory.
+    Io {
+        /// What the external-memory subsystem was doing.
+        context: &'static str,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -79,6 +89,9 @@ impl fmt::Display for EvalError {
             EvalError::OperatorProtocol(what) => {
                 write!(f, "streaming operator protocol violation: {what}")
             }
+            EvalError::Io { context, message } => {
+                write!(f, "spill I/O error ({context}): {message}")
+            }
         }
     }
 }
@@ -88,6 +101,15 @@ impl std::error::Error for EvalError {}
 impl From<ValueError> for EvalError {
     fn from(e: ValueError) -> Self {
         EvalError::Value(e)
+    }
+}
+
+impl From<oodb_spill::SpillError> for EvalError {
+    fn from(e: oodb_spill::SpillError) -> Self {
+        EvalError::Io {
+            context: e.context,
+            message: e.message,
+        }
     }
 }
 

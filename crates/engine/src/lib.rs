@@ -24,6 +24,10 @@ pub mod stats;
 
 pub use cost::{CostModel, Estimate};
 pub use eval::{Env, EvalError, Evaluator};
+// The external-memory subsystem's budget handle, re-exported so callers
+// configuring `PlannerConfig::memory_budget` (or running plans under an
+// explicit budget) need not depend on `oodb-spill` directly.
+pub use oodb_spill::{MemoryBudget, SpillManager, SpillMetrics};
 pub use physical::{Partitioning, PhysPlan};
 pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};
 pub use stats::Stats;

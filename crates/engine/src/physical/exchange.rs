@@ -33,13 +33,16 @@
 
 use super::hashjoin::{self, JoinHashTable, MemberHashTable, MemberShape};
 use super::operator::{
-    drain_rows, drain_to_set, Batch, BoxOp, Buffered, ExecCtx, InstrState, Operator,
+    drain_rows, drain_to_set, Batch, BoxOp, Buffered, ExecCtx, HashMode, InstrState, Operator,
 };
-use super::{Partitioning, PhysPlan};
+use super::{spill_exec, Partitioning, PhysPlan};
 use crate::eval::{Env, EvalError, Evaluator};
 use crate::stats::Stats;
 use oodb_adl::expr::{Expr, JoinKind};
 use oodb_catalog::Database;
+#[cfg(test)]
+use oodb_spill::MemoryBudget;
+use oodb_spill::SpillMetrics;
 use oodb_value::{Name, Value};
 
 /// Compiles an `Exchange` node into its streaming operator. Called from
@@ -169,16 +172,21 @@ impl ExchangeOp {
         let env = &ctx.env;
         let plan = &self.plan;
         let dop = self.dop;
+        // Each worker's pipeline state gets an equal share of the
+        // memory budget, so the whole exchange stays within it.
+        let budget = ctx.budget.share(dop);
         let results: Vec<Result<(Vec<Value>, Stats), EvalError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..dop)
                 .map(|w| {
                     let env = env.clone();
+                    let budget = budget.clone();
                     s.spawn(move || {
                         let mut stats = Stats::new();
                         let mut wctx = ExecCtx {
                             ev: Evaluator::new(db),
                             env,
                             stats: &mut stats,
+                            budget,
                         };
                         let mut op = plan.compile_stride(w, dop);
                         op.open(&mut wctx)?;
@@ -278,6 +286,7 @@ struct ParallelHashJoinOp {
     left: BoxOp,
     right: BoxOp,
     buf: Option<Buffered>,
+    spill: SpillMetrics,
 }
 
 impl ParallelHashJoinOp {
@@ -393,7 +402,23 @@ impl ParallelHashJoinOp {
             left: left.compile_rows(0, 1),
             right: right.compile_rows(0, 1),
             buf: None,
+            spill: SpillMetrics::default(),
         })
+    }
+
+    /// The serial [`HashMode`] equivalent of this operator's output mode
+    /// (what the grace fallback executes partition-by-partition).
+    fn hash_mode(&self) -> HashMode {
+        match &self.mode {
+            OutputMode::Join { kind, right_attrs } => HashMode::Join {
+                kind: *kind,
+                right_attrs: right_attrs.clone(),
+            },
+            OutputMode::Nest { rfunc, as_attr } => HashMode::Nest {
+                rfunc: rfunc.clone(),
+                as_attr: as_attr.clone(),
+            },
+        }
     }
 
     /// Phase 1: evaluate every build row's route keys in parallel.
@@ -494,23 +519,68 @@ impl ParallelHashJoinOp {
 
     /// Runs build and probe to completion, returning the joined rows.
     fn execute(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, EvalError> {
-        // Both sides drain up front: the build side through the usual
-        // canonical-set breaker, the probe side as a raw row stream
-        // (the serial probe does not deduplicate either).
-        let build = drain_to_set(&mut self.right, ctx)?.into_values();
-        let probe = drain_rows(&mut self.left, ctx)?;
+        // The build side drains up front through the usual canonical-set
+        // breaker.
+        let build = drain_to_set(&mut self.right, &mut self.spill, ctx)?.into_values();
         let db: &Database = ctx.ev.db();
         let env = ctx.env.clone();
 
-        // Phase 1: parallel build-key evaluation; phase 2: routing.
-        let mut folded = Stats::new();
-        let keyed = match self.eval_build_keys(db, &env, build, &mut folded) {
-            Ok(keyed) => keyed,
-            Err(e) => {
-                ctx.stats.merge(&folded);
-                return Err(e);
-            }
+        // Phase 1: parallel build-key evaluation — bounded or not, the
+        // keys are needed either way (for routing, or for the grace
+        // partition files), so the budget never serializes this phase.
+        let keyed = {
+            let mut folded = Stats::new();
+            let r = self.eval_build_keys(db, &env, build, &mut folded);
+            ctx.stats.merge(&folded);
+            r?
         };
+
+        // An oversized build side falls back to the grace hash join,
+        // which partitions both sides through the SpillManager
+        // (partition-at-a-time, within the budget at any dop); the
+        // probe side is still undrained, so grace streams it straight
+        // into partition files.
+        if ctx.budget.is_bounded() {
+            let bytes: usize = keyed
+                .iter()
+                .map(|(ks, row)| spill_exec::entry_bytes(ks, row))
+                .sum();
+            if ctx.budget.exceeded_by(bytes) {
+                let mode = self.hash_mode();
+                let budget = ctx.budget.clone();
+                return match &self.family {
+                    JoinFamily::Equi { lkeys, .. } => spill_exec::grace_equi_join(
+                        &mode,
+                        &self.lvar,
+                        &self.rvar,
+                        lkeys,
+                        self.residual.as_ref(),
+                        keyed,
+                        &mut self.left,
+                        &budget,
+                        &mut self.spill,
+                        ctx,
+                    ),
+                    JoinFamily::Member { shape } => spill_exec::grace_member_join(
+                        &mode,
+                        &self.lvar,
+                        &self.rvar,
+                        shape,
+                        self.residual.as_ref(),
+                        keyed,
+                        &mut self.left,
+                        &budget,
+                        &mut self.spill,
+                        ctx,
+                    ),
+                };
+            }
+        }
+
+        // The probe side drains as a raw row stream (the serial probe
+        // does not deduplicate either). Phase 2: routing.
+        let probe = drain_rows(&mut self.left, ctx)?;
+        let mut folded = Stats::new();
         let buckets = self.partition_buckets(keyed);
 
         // Phase 3: build the partition tables concurrently.
@@ -678,6 +748,10 @@ impl Operator for ParallelHashJoinOp {
         self.left.close(ctx);
         self.right.close(ctx);
     }
+
+    fn spill_metrics(&self) -> SpillMetrics {
+        self.spill
+    }
 }
 
 #[cfg(test)]
@@ -792,6 +866,7 @@ mod tests {
             ev: Evaluator::new(&db),
             env: Env::new(),
             stats: &mut stats,
+            budget: MemoryBudget::unbounded(),
         };
         let mut op = plan.phys.compile();
         assert!(matches!(

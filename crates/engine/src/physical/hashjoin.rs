@@ -90,7 +90,7 @@ pub(crate) fn eval_keys(
 
 /// Evaluates the residual predicate under both join variables.
 #[allow(clippy::too_many_arguments)]
-fn residual_holds(
+pub(crate) fn residual_holds(
     residual: Option<&Expr>,
     lvar: &Name,
     x: &Value,
@@ -112,7 +112,7 @@ fn residual_holds(
     r?.as_bool().map_err(EvalError::Value)
 }
 
-fn null_pad(x: &Value, right_attrs: &[Name]) -> Result<Value, EvalError> {
+pub(crate) fn null_pad(x: &Value, right_attrs: &[Name]) -> Result<Value, EvalError> {
     let mut padded = x.as_tuple()?.clone();
     let updates: Vec<(Name, Value)> = right_attrs
         .iter()
@@ -221,6 +221,83 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
             }
         }
         Ok(out)
+    }
+
+    /// Probe one **pre-keyed** left row against this single table — the
+    /// grace-hash partition probe, where the key was already evaluated
+    /// to route the row to its partition file. Matching output rows are
+    /// appended to `out`; the kind-specific unmatched handling (semi /
+    /// anti / outer padding) is safe here because an equi-keyed probe
+    /// row can only ever match inside its own partition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_keyed_row(
+        &self,
+        kind: JoinKind,
+        lvar: &Name,
+        rvar: &Name,
+        key: &[Value],
+        x: &Value,
+        residual: Option<&Expr>,
+        right_attrs: &[Name],
+        out: &mut Vec<Value>,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<(), EvalError> {
+        stats.hash_probes += 1;
+        let mut matched = false;
+        if let Some(candidates) = self.map.get(key) {
+            for y in candidates {
+                let y = y.borrow();
+                if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => {
+                            out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?))
+                        }
+                        JoinKind::Semi | JoinKind::Anti => break,
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinKind::Semi if matched => out.push(x.clone()),
+            JoinKind::Anti if !matched => out.push(x.clone()),
+            JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// [`JoinHashTable::probe_keyed_row`] for the nestjoin: exactly one
+    /// output row per probe row, carrying its (possibly empty) group.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_keyed_nest_row(
+        &self,
+        lvar: &Name,
+        rvar: &Name,
+        key: &[Value],
+        x: &Value,
+        residual: Option<&Expr>,
+        rfunc: Option<&Expr>,
+        as_attr: &Name,
+        out: &mut Vec<Value>,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<(), EvalError> {
+        stats.hash_probes += 1;
+        let mut group = Vec::new();
+        if let Some(candidates) = self.map.get(key) {
+            for y in candidates {
+                let y = y.borrow();
+                if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                    group.push(collect_right(rfunc, rvar, y, ev, env, stats)?);
+                }
+            }
+        }
+        out.push(with_group(x, as_attr, group)?);
+        Ok(())
     }
 
     /// Nestjoin probe over one batch: every left row yields exactly one
@@ -367,8 +444,51 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
         }
     }
 
+    /// The distinct right rows a pre-keyed probe row reaches in this
+    /// **single** (grace-partition) table through `keys`, residual
+    /// checked, deduplicated per probe row. With `first_only` the scan
+    /// stops at the first match (semi/anti probes need only existence).
+    /// Cross-partition dedupe is unnecessary: equal key values always
+    /// land in the same partition, so one `(x, y)` pair can match in at
+    /// most one partition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn keyed_matches(
+        &self,
+        lvar: &Name,
+        rvar: &Name,
+        keys: &[Value],
+        x: &Value,
+        residual: Option<&Expr>,
+        first_only: bool,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<&Value>, EvalError> {
+        let mut seen: Vec<usize> = Vec::new();
+        let mut out = Vec::new();
+        for k in keys {
+            stats.hash_probes += 1;
+            if let Some(candidates) = self.index.get(k) {
+                for &yi in candidates {
+                    if seen.contains(&yi) {
+                        continue;
+                    }
+                    let y = self.rows[yi].borrow();
+                    if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
+                        seen.push(yi);
+                        out.push(y);
+                        if first_only {
+                            return Ok(out);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// The probe keys one left tuple contributes.
-    fn probe_keys(
+    pub(crate) fn probe_keys(
         shape: &MemberShape,
         lvar: &Name,
         x: &Value,
@@ -682,7 +802,7 @@ pub fn nl_join_batch(
 }
 
 /// Appends the collected group to a left tuple.
-fn with_group(x: &Value, as_attr: &Name, group: Vec<Value>) -> Result<Value, EvalError> {
+pub(crate) fn with_group(x: &Value, as_attr: &Name, group: Vec<Value>) -> Result<Value, EvalError> {
     let t = x.as_tuple()?.concat(&Tuple::from_pairs([(
         as_attr.as_ref(),
         Value::Set(Set::from_values(group)),
@@ -691,7 +811,7 @@ fn with_group(x: &Value, as_attr: &Name, group: Vec<Value>) -> Result<Value, Eva
 }
 
 /// Applies the optional right-tuple function of the extended nestjoin.
-fn collect_right(
+pub(crate) fn collect_right(
     rfunc: Option<&Expr>,
     rvar: &Name,
     y: &Value,

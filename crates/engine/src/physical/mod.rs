@@ -22,6 +22,7 @@ pub mod hashjoin;
 pub mod operator;
 pub mod pnhl;
 pub mod sortmerge;
+pub(crate) mod spill_exec;
 
 use crate::eval::{aggregate, nest_set, unnest_set, Env, EvalError, Evaluator};
 use crate::stats::Stats;
@@ -384,6 +385,18 @@ impl PhysPlan {
         stats: &mut Stats,
     ) -> Result<Value, EvalError> {
         operator::run(self, db, stats)
+    }
+
+    /// [`PhysPlan::execute_streaming_on`] under an explicit
+    /// [`MemoryBudget`](oodb_spill::MemoryBudget) instead of the
+    /// process default.
+    pub fn execute_streaming_budgeted(
+        &self,
+        db: &Database,
+        stats: &mut Stats,
+        budget: oodb_spill::MemoryBudget,
+    ) -> Result<Value, EvalError> {
+        operator::run_budgeted(self, db, stats, budget)
     }
 
     /// Executes the plan against `db` with whole-set materialization at

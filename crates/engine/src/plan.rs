@@ -25,6 +25,7 @@ use oodb_adl::expr::{conjuncts, Expr, JoinKind};
 use oodb_adl::vars::free_vars;
 use oodb_adl::AdlTypeError;
 use oodb_catalog::{CatalogStats, Database};
+use oodb_spill::MemoryBudget;
 use oodb_value::{CmpOp, Name, SetCmpOp, Value};
 use std::fmt;
 
@@ -77,6 +78,18 @@ pub struct PlannerConfig {
     /// serial. Estimated through [`CatalogStats`] under cost-based
     /// planning, live table sizes otherwise.
     pub parallel_threshold: usize,
+    /// Memory budget in **bytes** for pipeline state (hash-join build
+    /// tables, sort runs, PNHL segments, canonical-set boundaries),
+    /// measured as the encoded size of the buffered rows. `0` =
+    /// unbounded (the legacy all-in-memory behavior). The default comes
+    /// from the `OODB_MEMORY_BUDGET` environment variable (how CI runs
+    /// the whole suite under a 4 KiB budget); exchanges divide the
+    /// budget into per-worker shares. Bounded budgets switch oversized
+    /// hash builds to grace hash join, sorts to external merge sort,
+    /// and PNHL to spill-managed probe partitions — and feed an I/O
+    /// term into the cost model, so candidate selection can prefer,
+    /// say, sort-merge when grace recursion would be expensive.
+    pub memory_budget: usize,
 }
 
 /// Default worker count: the `OODB_PARALLELISM` environment variable if
@@ -103,8 +116,15 @@ impl Default for PlannerConfig {
             use_indexes: true,
             parallelism: default_parallelism(),
             parallel_threshold: 2 * crate::physical::operator::BATCH_SIZE,
+            memory_budget: default_memory_budget(),
         }
     }
+}
+
+/// Default memory budget: the `OODB_MEMORY_BUDGET` environment variable
+/// (bytes) if set and parseable, unbounded (`0`) otherwise.
+fn default_memory_budget() -> usize {
+    MemoryBudget::from_env().limit().unwrap_or(0)
 }
 
 /// Planning errors.
@@ -131,13 +151,18 @@ pub struct Plan<'a> {
     db: &'a Database,
     /// Cost model the plan was built with (cost-based planning only).
     cost: Option<CostModel<'a>>,
+    /// The memory budget streaming execution runs under (from
+    /// [`PlannerConfig::memory_budget`]).
+    budget: MemoryBudget,
 }
 
 impl Plan<'_> {
     /// Runs the plan through the streaming operator pipeline (the
-    /// default execution path — see [`crate::physical::operator`]).
+    /// default execution path — see [`crate::physical::operator`]),
+    /// under the planner configuration's memory budget.
     pub fn execute_streaming(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
-        self.phys.execute_streaming_on(self.db, stats)
+        self.phys
+            .execute_streaming_budgeted(self.db, stats, self.budget.clone())
     }
 
     /// Runs the plan with whole-set materialization at every operator
@@ -181,14 +206,18 @@ impl<'a> Planner<'a> {
     /// A planner with explicit configuration. When `config.cost_based`
     /// is set, statistics are collected by scanning `db`.
     pub fn with_config(db: &'a Database, config: PlannerConfig) -> Self {
-        let cost = config.cost_based.then(|| CostModel::new(db));
+        let cost = config
+            .cost_based
+            .then(|| CostModel::new(db).with_memory_budget(config.memory_budget));
         Planner { db, config, cost }
     }
 
     /// A cost-based planner with externally supplied statistics (e.g.
     /// synthesized from `oodb_datagen::GenConfig` without scanning).
     pub fn with_stats(db: &'a Database, config: PlannerConfig, stats: CatalogStats) -> Self {
-        let cost = config.cost_based.then(|| CostModel::with_stats(db, stats));
+        let cost = config
+            .cost_based
+            .then(|| CostModel::with_stats(db, stats).with_memory_budget(config.memory_budget));
         Planner { db, config, cost }
     }
 
@@ -201,10 +230,11 @@ impl<'a> Planner<'a> {
         Ok(Plan {
             phys,
             db: self.db,
-            cost: self
-                .cost
-                .as_ref()
-                .map(|m| CostModel::with_stats(self.db, m.stats().clone())),
+            cost: self.cost.as_ref().map(|m| {
+                CostModel::with_stats(self.db, m.stats().clone())
+                    .with_memory_budget(self.config.memory_budget)
+            }),
+            budget: MemoryBudget::bytes(self.config.memory_budget),
         })
     }
 
@@ -1610,6 +1640,10 @@ mod tests {
             &db,
             PlannerConfig {
                 pnhl_budget: 2,
+                // the trade-off under test is the *row*-budget probe
+                // passes; a byte budget (CI's OODB_MEMORY_BUDGET pass)
+                // prices PNHL through the spill model instead
+                memory_budget: 0,
                 ..Default::default()
             },
         );

@@ -27,6 +27,16 @@ pub struct Stats {
     pub oid_lookups: u64,
     /// Secondary-index probes (index nested-loop join).
     pub index_probes: u64,
+    /// Bytes written to spill files by the external-memory subsystem
+    /// (grace hash partitions, sort runs, PNHL probe partitions). Zero
+    /// under an unbounded memory budget.
+    pub spill_bytes: u64,
+    /// Spill partition files created.
+    pub spill_partitions: u64,
+    /// Spill passes: one per initial grace partitioning / run
+    /// generation, plus one per recursive re-partitioning of a skewed
+    /// partition.
+    pub spill_passes: u64,
     /// Tuples in the final result (top-level set cardinality).
     pub output_rows: u64,
     /// Per-operator emission profile of the streaming pipeline (one entry
@@ -44,6 +54,13 @@ pub struct OpStats {
     pub rows_out: u64,
     /// Batches the operator emitted downstream.
     pub batches: u64,
+    /// Bytes this operator wrote to spill files (see
+    /// [`Stats::spill_bytes`]).
+    pub spill_bytes: u64,
+    /// Spill partitions this operator created.
+    pub spill_partitions: u64,
+    /// Spill passes this operator performed.
+    pub spill_passes: u64,
 }
 
 impl Stats {
@@ -62,6 +79,9 @@ impl Stats {
         self.partitions += other.partitions;
         self.oid_lookups += other.oid_lookups;
         self.index_probes += other.index_probes;
+        self.spill_bytes += other.spill_bytes;
+        self.spill_partitions += other.spill_partitions;
+        self.spill_passes += other.spill_passes;
         self.output_rows += other.output_rows;
         self.operators.extend(other.operators.iter().cloned());
     }
@@ -82,12 +102,18 @@ impl Stats {
         self.partitions += other.partitions;
         self.oid_lookups += other.oid_lookups;
         self.index_probes += other.index_probes;
+        self.spill_bytes += other.spill_bytes;
+        self.spill_partitions += other.spill_partitions;
+        self.spill_passes += other.spill_passes;
         self.output_rows += other.output_rows;
         for op in &other.operators {
             match self.operators.iter_mut().find(|o| o.op == op.op) {
                 Some(mine) => {
                     mine.rows_out += op.rows_out;
                     mine.batches += op.batches;
+                    mine.spill_bytes += op.spill_bytes;
+                    mine.spill_partitions += op.spill_partitions;
+                    mine.spill_passes += op.spill_passes;
                 }
                 None => self.operators.push(op.clone()),
             }
@@ -149,6 +175,13 @@ impl fmt::Display for Stats {
             self.index_probes,
             self.output_rows
         )?;
+        if self.spill_bytes > 0 {
+            write!(
+                f,
+                " spill={}B/{}parts/{}passes",
+                self.spill_bytes, self.spill_partitions, self.spill_passes
+            )?;
+        }
         if !self.operators.is_empty() {
             write!(
                 f,

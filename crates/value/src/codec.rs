@@ -1,0 +1,294 @@
+//! Compact binary encoding of [`Value`]s for spill files.
+//!
+//! The external-memory subsystem (`oodb-spill`) persists rows to disk as
+//! length-prefixed records; this module is the row payload format. The
+//! encoding is:
+//!
+//! * **canonical** — encoding a value and decoding it yields a value that
+//!   is `==` to the original (tuples and sets keep their canonical field
+//!   and element order, floats round-trip through their canonicalised bit
+//!   pattern, so even NaN survives);
+//! * **self-delimiting** — every value starts with a one-byte tag and
+//!   fixed-width or length-prefixed payloads, so records can be
+//!   concatenated without separators;
+//! * **deterministic** — equal values produce identical byte strings,
+//!   which the spill-partition hashing and the round-trip property tests
+//!   rely on.
+//!
+//! [`encoded_size`] computes the exact byte length without allocating —
+//! it is the unit of account of the engine's `MemoryBudget`.
+
+use crate::{Name, Oid, Set, Tuple, Value, ValueError, F64};
+
+/// Value tags (first byte of every encoded value).
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const FALSE: u8 = 1;
+    pub const TRUE: u8 = 2;
+    pub const INT: u8 = 3;
+    pub const FLOAT: u8 = 4;
+    pub const STR: u8 = 5;
+    pub const DATE: u8 = 6;
+    pub const OID: u8 = 7;
+    pub const TUPLE: u8 = 8;
+    pub const SET: u8 = 9;
+}
+
+/// Appends the encoding of `v` to `out`.
+pub fn encode_into(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(tag::NULL),
+        Value::Bool(false) => out.push(tag::FALSE),
+        Value::Bool(true) => out.push(tag::TRUE),
+        Value::Int(i) => {
+            out.push(tag::INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&x.get().to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(tag::STR);
+            push_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            out.push(tag::DATE);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Oid(Oid(o)) => {
+            out.push(tag::OID);
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        Value::Tuple(t) => {
+            out.push(tag::TUPLE);
+            push_len(out, t.arity());
+            for (name, field) in t.iter() {
+                push_len(out, name.len());
+                out.extend_from_slice(name.as_bytes());
+                encode_into(field, out);
+            }
+        }
+        Value::Set(s) => {
+            out.push(tag::SET);
+            push_len(out, s.len());
+            for elem in s.iter() {
+                encode_into(elem, out);
+            }
+        }
+    }
+}
+
+/// The encoding of `v` as a fresh buffer.
+pub fn encode(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_size(v));
+    encode_into(v, &mut out);
+    out
+}
+
+/// Exact byte length [`encode`] would produce, without allocating. This
+/// is the memory-accounting unit of the spill subsystem: a hash table or
+/// sort run "holds N bytes" when the encoded sizes of its rows sum to N.
+pub fn encoded_size(v: &Value) -> usize {
+    match v {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) | Value::Date(_) | Value::Oid(_) => 9,
+        Value::Str(s) => 1 + 4 + s.len(),
+        Value::Tuple(t) => encoded_row_size(t),
+        Value::Set(s) => 1 + 4 + s.iter().map(encoded_size).sum::<usize>(),
+    }
+}
+
+/// [`encoded_size`] of a tuple-shaped row without wrapping it in a
+/// [`Value`] — statistics collectors measure whole extents, so the
+/// wrap (a deep clone) would dominate.
+pub fn encoded_row_size(t: &Tuple) -> usize {
+    1 + 4
+        + t.iter()
+            .map(|(n, f)| 4 + n.len() + encoded_size(f))
+            .sum::<usize>()
+}
+
+/// Decodes one value from the front of `bytes`, returning it and the
+/// number of bytes consumed.
+pub fn decode_prefix(bytes: &[u8]) -> Result<(Value, usize), ValueError> {
+    let mut pos = 0usize;
+    let v = decode_at(bytes, &mut pos)?;
+    Ok((v, pos))
+}
+
+/// Decodes exactly one value spanning all of `bytes`.
+pub fn decode(bytes: &[u8]) -> Result<Value, ValueError> {
+    let (v, used) = decode_prefix(bytes)?;
+    if used != bytes.len() {
+        return Err(codec_err(format!(
+            "trailing garbage: {} of {} bytes unread",
+            bytes.len() - used,
+            bytes.len()
+        )));
+    }
+    Ok(v)
+}
+
+fn codec_err(msg: String) -> ValueError {
+    ValueError::Codec(msg)
+}
+
+fn take<'b>(bytes: &'b [u8], pos: &mut usize, n: usize) -> Result<&'b [u8], ValueError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| codec_err(format!("truncated value: needed {n} bytes at {pos}")))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<usize, ValueError> {
+    let b = take(bytes, pos, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, ValueError> {
+    let b = take(bytes, pos, 8)?;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    // lengths are bounded by in-memory sizes, which fit u32 on every
+    // platform this engine targets
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+fn decode_at(bytes: &[u8], pos: &mut usize) -> Result<Value, ValueError> {
+    let t = take(bytes, pos, 1)?[0];
+    Ok(match t {
+        tag::NULL => Value::Null,
+        tag::FALSE => Value::Bool(false),
+        tag::TRUE => Value::Bool(true),
+        tag::INT => Value::Int(take_u64(bytes, pos)? as i64),
+        tag::FLOAT => {
+            // the encoder wrote the canonicalised bit pattern, so
+            // rebuilding through `F64::new` is the identity — but it
+            // keeps the canonicalisation invariant even for bytes that
+            // did not come from our encoder
+            Value::Float(F64::new(f64::from_bits(take_u64(bytes, pos)?)))
+        }
+        tag::STR => {
+            let n = take_u32(bytes, pos)?;
+            let s = std::str::from_utf8(take(bytes, pos, n)?)
+                .map_err(|e| codec_err(format!("invalid utf-8 in string: {e}")))?;
+            Value::Str(Name::from(s))
+        }
+        tag::DATE => Value::Date(take_u64(bytes, pos)? as i64),
+        tag::OID => Value::Oid(Oid(take_u64(bytes, pos)?)),
+        tag::TUPLE => {
+            let n = take_u32(bytes, pos)?;
+            let mut fields = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let nl = take_u32(bytes, pos)?;
+                let name = std::str::from_utf8(take(bytes, pos, nl)?)
+                    .map_err(|e| codec_err(format!("invalid utf-8 in field name: {e}")))?;
+                let field = decode_at(bytes, pos)?;
+                fields.push((Name::from(name), field));
+            }
+            Value::Tuple(Tuple::new(fields)?)
+        }
+        tag::SET => {
+            let n = take_u32(bytes, pos)?;
+            let mut elems = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                elems.push(decode_at(bytes, pos)?);
+            }
+            Value::Set(Set::from_values(elems))
+        }
+        other => return Err(codec_err(format!("unknown value tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let bytes = encode(v);
+        assert_eq!(bytes.len(), encoded_size(v), "size mismatch for {v}");
+        assert_eq!(&decode(&bytes).unwrap(), v, "roundtrip failed for {v}");
+    }
+
+    #[test]
+    fn atoms_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::float(3.5),
+            Value::float(-0.0),
+            Value::float(f64::NAN),
+            Value::float(f64::INFINITY),
+            Value::float(f64::NEG_INFINITY),
+            Value::float(f64::MIN_POSITIVE / 2.0), // subnormal
+            Value::str(""),
+            Value::str("héllo \"quoted\"\n"),
+            Value::Date(940101),
+            Value::Oid(Oid(u64::MAX)),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = Value::tuple([
+            ("a", Value::Int(1)),
+            (
+                "b",
+                Value::set([
+                    Value::tuple([("x", Value::str("s")), ("y", Value::empty_set())]),
+                    Value::Null,
+                ]),
+            ),
+            ("c", Value::set([])),
+        ]);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn row_size_matches_wrapped_size() {
+        let t = crate::Tuple::from_pairs([
+            ("a", Value::Int(1)),
+            ("b", Value::set([Value::str("x"), Value::Null])),
+        ]);
+        assert_eq!(encoded_row_size(&t), encoded_size(&Value::Tuple(t.clone())));
+        assert_eq!(
+            encoded_row_size(&crate::Tuple::empty()),
+            encoded_size(&Value::Tuple(crate::Tuple::empty()))
+        );
+    }
+
+    #[test]
+    fn equal_values_encode_identically() {
+        // construction order differs, canonical encoding must not
+        let a = Value::set([Value::Int(2), Value::Int(1)]);
+        let b = Value::set([Value::Int(1), Value::Int(2)]);
+        assert_eq!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error() {
+        let bytes = encode(&Value::str("hello"));
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode(&[0xFF]).is_err());
+        assert!(decode(&[]).is_err());
+        // trailing garbage after a complete value
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode(&extended).is_err());
+    }
+}

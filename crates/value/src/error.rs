@@ -34,6 +34,9 @@ pub enum ValueError {
     DivisionByZero,
     /// Integer overflow in an arithmetic expression.
     Overflow(&'static str),
+    /// Malformed bytes reached the binary [`crate::codec`] decoder
+    /// (truncated spill record, unknown tag, invalid UTF-8).
+    Codec(String),
 }
 
 impl fmt::Display for ValueError {
@@ -55,6 +58,7 @@ impl fmt::Display for ValueError {
             }
             ValueError::DivisionByZero => write!(f, "division by zero"),
             ValueError::Overflow(op) => write!(f, "integer overflow in `{op}`"),
+            ValueError::Codec(msg) => write!(f, "malformed encoded value: {msg}"),
         }
     }
 }

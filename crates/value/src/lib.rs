@@ -25,6 +25,7 @@
 //! Everything is deterministic and `Ord`-ered so query results can be
 //! compared structurally in tests and property checks.
 
+pub mod codec;
 pub mod error;
 pub mod float;
 pub mod fxhash;

@@ -85,7 +85,12 @@ impl<'db> Pipeline<'db> {
     /// available parallelism (`OODB_PARALLELISM` overrides it), `1`
     /// preserves the exact serial pipeline, and any setting returns
     /// canonical-set-identical results (see the README's threading
-    /// model section).
+    /// model section). `PlannerConfig::memory_budget` bounds pipeline
+    /// state in bytes (`OODB_MEMORY_BUDGET` supplies the default, `0`
+    /// = unbounded): oversized hash builds run as grace hash joins,
+    /// sorts go external, PNHL spills its probe partitions — same
+    /// results, different residency (see the README's memory-budget
+    /// section).
     pub fn with_config(db: &'db Database, config: PlannerConfig) -> Self {
         let stats = config.cost_based.then(|| CatalogStats::from_database(db));
         Pipeline { db, config, stats }

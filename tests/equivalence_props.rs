@@ -426,6 +426,47 @@ proptest! {
         }
     }
 
+    /// Spilling is semantically invisible: on random databases, tiny
+    /// byte budgets (small enough to force grace-hash recursion and
+    /// multi-run external sorts at this scale) produce exactly the
+    /// unbounded results, serially and through the exchanges — and an
+    /// unbounded run never touches the spill subsystem.
+    #[test]
+    fn spilling_preserves_semantics(config in db_config(), budget in 64usize..2048, dop in 2usize..6) {
+        let db = generate(&config);
+        let opt = Optimizer::default();
+        let mk = |memory_budget: usize, parallelism: usize| PlannerConfig {
+            memory_budget,
+            parallelism,
+            parallel_threshold: 0,
+            ..Default::default()
+        };
+        for q in query_corpus().into_iter().take(5) {
+            let rewritten = opt.optimize(&q, db.catalog()).expect("optimize succeeds");
+            let mut us = Stats::new();
+            let unbounded = Planner::with_config(&db, mk(0, 1))
+                .plan(&rewritten.expr)
+                .expect("plan")
+                .execute_streaming(&mut us)
+                .expect("unbounded streaming");
+            prop_assert_eq!(us.spill_bytes, 0, "unbounded run spilled");
+            let mut ss = Stats::new();
+            let spilled = Planner::with_config(&db, mk(budget, 1))
+                .plan(&rewritten.expr)
+                .expect("plan")
+                .execute_streaming(&mut ss)
+                .expect("budgeted streaming");
+            prop_assert_eq!(&spilled, &unbounded, "budget {} diverged", budget);
+            let mut ps = Stats::new();
+            let parallel = Planner::with_config(&db, mk(budget, dop))
+                .plan(&rewritten.expr)
+                .expect("plan")
+                .execute_streaming(&mut ps)
+                .expect("budgeted parallel streaming");
+            prop_assert_eq!(&parallel, &unbounded, "budget {} dop {} diverged", budget, dop);
+        }
+    }
+
     /// PNHL answers are invariant under the memory budget, and agree with
     /// both assembly and the naive evaluation of the materialize pattern.
     #[test]

@@ -19,12 +19,15 @@ use oodb_bench::{
     run_optimized_with, run_planned_streaming,
 };
 
-/// The full configuration grid: 3 × 2 × 2 × 2 × 2 × 3 dop = 144
-/// configurations. The `parallelism` axis runs every configuration
-/// serially (`1`, today's exact pipeline) and through the exchange
-/// operators at dop 2 and 4; `parallel_threshold: 0` forces exchanges
-/// to appear even at this test's small scale, so the parallel grid
-/// points are live.
+/// The full configuration grid: 3 × 2 × 2 × 2 × 2 × 3 dop × 3 budgets
+/// = 432 configurations. The `parallelism` axis runs every
+/// configuration serially (`1`, today's exact pipeline) and through the
+/// exchange operators at dop 2 and 4; `parallel_threshold: 0` forces
+/// exchanges to appear even at this test's small scale, so the parallel
+/// grid points are live. The `memory_budget` axis runs unbounded
+/// (legacy in-memory), 64 KiB (borderline: some operators spill) and
+/// 4 KiB (every sizable hash build grace-partitions, sorts go
+/// external) — spilling may change the work profile, never the answer.
 fn full_grid() -> Vec<PlannerConfig> {
     let mut grid = Vec::new();
     for join_algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
@@ -33,16 +36,19 @@ fn full_grid() -> Vec<PlannerConfig> {
                 for cost_based in [true, false] {
                     for pnhl_budget in [4usize, 1 << 14] {
                         for parallelism in [1usize, 2, 4] {
-                            grid.push(PlannerConfig {
-                                cost_based,
-                                join_algo,
-                                pnhl_budget,
-                                detect_materialize,
-                                prefer_assembly: true,
-                                use_indexes,
-                                parallelism,
-                                parallel_threshold: 0,
-                            });
+                            for memory_budget in [0usize, 64 << 10, 4 << 10] {
+                                grid.push(PlannerConfig {
+                                    cost_based,
+                                    join_algo,
+                                    pnhl_budget,
+                                    detect_materialize,
+                                    prefer_assembly: true,
+                                    use_indexes,
+                                    parallelism,
+                                    parallel_threshold: 0,
+                                    memory_budget,
+                                });
+                            }
                         }
                     }
                 }

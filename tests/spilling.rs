@@ -1,0 +1,325 @@
+//! External-memory subsystem acceptance tests.
+//!
+//! The contract of `oodb-spill` + the engine's grace/external operators:
+//! a memory budget changes **where** intermediate state lives (RAM vs
+//! spill files) and how much I/O the plan pays — never the answer. Every
+//! paper query and §7 ADL workload must return canonical-set-identical
+//! results at `memory_budget ∈ {unbounded, 64 KiB, 4 KiB}` × `dop ∈ {1,
+//! 4}`, the spill paths must *actually execute* under the 4 KiB budget
+//! (observable as per-operator `spill_bytes`), and spill-file I/O
+//! failures must surface as `EvalError::Io`, not panics.
+
+use oodb::catalog::Database;
+use oodb::core::strategy::Optimizer;
+use oodb::datagen::{generate, GenConfig};
+use oodb::engine::{EvalError, JoinAlgo, MemoryBudget, Planner, PlannerConfig, Stats};
+use oodb::Pipeline;
+use oodb_bench::{
+    materialize_query, query31_nested, query4_nested, query5_nested, query6_nested, run_naive,
+};
+
+/// Budgets of the acceptance matrix: unbounded (legacy), 64 KiB (some
+/// operators spill at this scale), 4 KiB (every sizable hash build
+/// grace-partitions, sorts go external).
+const BUDGETS: [usize; 3] = [0, 64 << 10, 4 << 10];
+
+/// The paper queries re-anchored to generator names (see
+/// `tests/planner_grid.rs`).
+const OOSQL_QUERIES: [&str; 6] = [
+    "select (sname := s.sname, \
+             pnames := select p.pname from p in PART \
+                       where p.pid in s.parts and p.color = \"red\") \
+     from s in SUPPLIER",
+    "select d from d in (select e from e in DELIVERY \
+      where e.supplier.sname = \"supplier-0\") \
+     where d.date = date(940105)",
+    "select s.sname from s in SUPPLIER \
+     where s.parts supseteq \
+       flatten(select t.parts from t in SUPPLIER where t.sname = \"supplier-0\")",
+    "select d from d in DELIVERY \
+     where exists x in d.supply : x.part.color = \"red\"",
+    "select s.eid from s in SUPPLIER \
+     where exists x in s.parts : not (exists p in PART : x = p.pid)",
+    "select s.sname from s in SUPPLIER \
+     where exists x in s.parts : \
+           exists p in PART : x = p.pid and p.color = \"red\"",
+];
+
+fn config(memory_budget: usize, dop: usize) -> PlannerConfig {
+    PlannerConfig {
+        memory_budget,
+        parallelism: dop,
+        // keep the exchanges live at test scale, so budget × dop points
+        // exercise the parallel spill composition
+        parallel_threshold: 0,
+        ..Default::default()
+    }
+}
+
+fn scaled_db(scale: usize) -> Database {
+    generate(&GenConfig {
+        empty_supplier_fraction: 0.15,
+        dangling_fraction: 0.15,
+        ..GenConfig::scaled(scale)
+    })
+}
+
+/// The acceptance matrix: every paper query at every budget × dop
+/// agrees with the unbounded serial reference — results *and* merged
+/// per-operator row totals (spilling changes the work profile, never
+/// what rows each operator emits).
+#[test]
+fn paper_queries_identical_across_budgets_and_dop() {
+    let db = scaled_db(400);
+    for q in OOSQL_QUERIES {
+        let reference = Pipeline::with_config(&db, config(0, 1))
+            .run(q)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        for budget in BUDGETS {
+            for dop in [1usize, 4] {
+                let out = Pipeline::with_config(&db, config(budget, dop))
+                    .run(q)
+                    .unwrap_or_else(|e| panic!("{q} at budget {budget} dop {dop}: {e}"));
+                assert_eq!(
+                    out.result.as_set().unwrap(),
+                    reference.result.as_set().unwrap(),
+                    "budget {budget} dop {dop} changed the result of {q}"
+                );
+                assert_eq!(
+                    out.stats.operator_rows_by_label(),
+                    reference.stats.operator_rows_by_label(),
+                    "budget {budget} dop {dop} changed operator row totals of {q}"
+                );
+            }
+        }
+    }
+}
+
+/// The §7 ADL workloads (including the §6.2 materialization map) under
+/// the same budget × dop matrix, against the naive nested-loop answer.
+#[test]
+fn adl_workloads_identical_across_budgets_and_dop() {
+    let db = scaled_db(300);
+    let workloads = [
+        ("q5", query5_nested()),
+        ("q4", query4_nested()),
+        ("q6", query6_nested()),
+        ("q31", query31_nested("supplier-0")),
+        ("materialize", materialize_query()),
+    ];
+    let opt = Optimizer::default();
+    for (label, q) in workloads {
+        let (reference, _) = run_naive(&db, &q);
+        let rewritten = opt.optimize(&q, db.catalog()).expect("optimize");
+        for budget in BUDGETS {
+            for dop in [1usize, 4] {
+                let planner = Planner::with_config(&db, config(budget, dop));
+                let plan = planner.plan(&rewritten.expr).expect("plan");
+                let mut stats = Stats::new();
+                let got = plan
+                    .execute_streaming(&mut stats)
+                    .unwrap_or_else(|e| panic!("{label} at budget {budget} dop {dop}: {e}"));
+                assert_eq!(
+                    got, reference,
+                    "{label}: budget {budget} dop {dop} diverged"
+                );
+                // an unbounded run must never touch the spill subsystem
+                if budget == 0 {
+                    assert_eq!(stats.spill_bytes, 0, "{label} spilled with no budget");
+                }
+            }
+        }
+    }
+}
+
+/// Proof the spill paths run: under the 4 KiB budget a hash-family join
+/// and a sort both report `spill_bytes > 0` in their per-operator
+/// statistics, and results still match the unbounded run.
+#[test]
+fn hash_join_and_sort_spill_under_4k() {
+    let db = scaled_db(400);
+    // q5 plans a membership hash join over PART (≫ 4 KiB encoded)
+    let hash_q = "select s.sname from s in SUPPLIER \
+                  where exists x in s.parts : \
+                        exists p in PART : x = p.pid and p.color = \"red\"";
+    let unbounded = Pipeline::with_config(&db, config(0, 1))
+        .run(hash_q)
+        .unwrap();
+    let spilled = Pipeline::with_config(&db, config(4 << 10, 1))
+        .run(hash_q)
+        .unwrap();
+    assert_eq!(spilled.result, unbounded.result);
+    let hash_op = spilled
+        .stats
+        .operators
+        .iter()
+        .find(|o| o.op.contains("Join") && o.spill_bytes > 0)
+        .unwrap_or_else(|| panic!("no spilling join in {:?}", spilled.stats.operators));
+    assert!(hash_op.spill_partitions > 0, "{hash_op:?}");
+    assert!(hash_op.spill_passes > 0, "{hash_op:?}");
+
+    // a forced sort-merge join: its runs must go external
+    let join = oodb::adl::dsl::join(
+        "s",
+        "d",
+        oodb::adl::dsl::eq(
+            oodb::adl::dsl::var("s").field("eid"),
+            oodb::adl::dsl::var("d").field("supplier"),
+        ),
+        oodb::adl::dsl::table("SUPPLIER"),
+        oodb::adl::dsl::table("DELIVERY"),
+    );
+    let smj_cfg = PlannerConfig {
+        cost_based: false,
+        join_algo: JoinAlgo::SortMerge,
+        ..config(4 << 10, 1)
+    };
+    let mut smj_stats = Stats::new();
+    let smj = Planner::with_config(&db, smj_cfg)
+        .plan(&join)
+        .expect("plan")
+        .execute_streaming(&mut smj_stats)
+        .expect("spilled sort-merge join");
+    let mut ref_stats = Stats::new();
+    let reference = Planner::with_config(&db, config(0, 1))
+        .plan(&join)
+        .expect("plan")
+        .execute_streaming(&mut ref_stats)
+        .expect("unbounded join");
+    assert_eq!(smj, reference);
+    let smj_op = smj_stats.operator("SortMergeJoin").expect("smj op");
+    assert!(
+        smj_op.spill_bytes > 0,
+        "sort runs did not spill: {smj_op:?}"
+    );
+    assert!(smj_stats.spill_bytes > 0);
+}
+
+/// A budget far below the partition fan-out's reach forces grace
+/// recursion (re-partitioning passes beyond the first).
+#[test]
+fn tiny_budgets_force_grace_recursion() {
+    let db = scaled_db(800);
+    let q = "select s.sname from s in SUPPLIER \
+             where exists x in s.parts : \
+                   exists p in PART : x = p.pid and p.color = \"red\"";
+    let reference = Pipeline::with_config(&db, config(0, 1)).run(q).unwrap();
+    let out = Pipeline::with_config(&db, config(512, 1)).run(q).unwrap();
+    assert_eq!(out.result, reference.result);
+    assert!(
+        out.stats.spill_passes >= 2,
+        "expected recursive re-partitioning: {}",
+        out.stats
+    );
+}
+
+/// The spill-backed PNHL agrees with the in-memory algorithm and
+/// reports its partitions.
+#[test]
+fn pnhl_spills_probe_partitions() {
+    let db = scaled_db(400);
+    let q = materialize_query();
+    let pnhl_cfg = |budget: usize| PlannerConfig {
+        cost_based: false,
+        prefer_assembly: false,
+        ..config(budget, 1)
+    };
+    let mut ref_stats = Stats::new();
+    let reference = Planner::with_config(&db, pnhl_cfg(0))
+        .plan(&q)
+        .expect("plan")
+        .execute_streaming(&mut ref_stats)
+        .expect("unbounded PNHL");
+    let mut stats = Stats::new();
+    let got = Planner::with_config(&db, pnhl_cfg(4 << 10))
+        .plan(&q)
+        .expect("plan")
+        .execute_streaming(&mut stats)
+        .expect("spilled PNHL");
+    assert_eq!(got, reference);
+    let op = stats.operator("PNHL").expect("PNHL op");
+    assert!(op.spill_bytes > 0, "PNHL did not spill: {op:?}");
+    assert!(stats.partitions > 1, "one partition only: {stats}");
+}
+
+/// EXPLAIN carries the estimated spill volume under a bounded budget.
+#[test]
+fn explain_surfaces_estimated_spill() {
+    let db = scaled_db(400);
+    let q = "select s.sname from s in SUPPLIER \
+             where exists x in s.parts : \
+                   exists p in PART : x = p.pid and p.color = \"red\"";
+    let out = Pipeline::with_config(&db, config(1 << 10, 1))
+        .run(q)
+        .unwrap();
+    assert!(
+        out.explain.contains("est_spill="),
+        "no est_spill in:\n{}",
+        out.explain
+    );
+    let unbounded = Pipeline::with_config(&db, config(0, 1)).run(q).unwrap();
+    assert!(
+        !unbounded.explain.contains("est_spill="),
+        "unbounded plan priced spill:\n{}",
+        unbounded.explain
+    );
+}
+
+/// Spill-file I/O failures surface as `EvalError::Io` — no panic, no
+/// partial result. The spill directory is overridden with a regular
+/// file, so creating partition files fails deterministically.
+#[test]
+fn unwritable_spill_dir_reports_io_error() {
+    let db = scaled_db(300);
+    let marker =
+        std::env::temp_dir().join(format!("oodb-not-a-dir-{}-{}", std::process::id(), line!()));
+    std::fs::write(&marker, b"regular file, not a directory").unwrap();
+    let budget = MemoryBudget::bytes(256).with_spill_dir(&marker);
+
+    // a hash-family join whose build side must spill…
+    let q = query5_nested();
+    let rewritten = Optimizer::default()
+        .optimize(&q, db.catalog())
+        .expect("optimize");
+    let plan = Planner::with_config(&db, config(256, 1))
+        .plan(&rewritten.expr)
+        .expect("plan");
+    let mut stats = Stats::new();
+    let err = plan
+        .phys
+        .execute_streaming_budgeted(&db, &mut stats, budget.clone())
+        .expect_err("spilling into a file-as-directory must fail");
+    assert!(
+        matches!(err, EvalError::Io { .. }),
+        "expected EvalError::Io, got {err:?}"
+    );
+    assert!(err.to_string().contains("spill I/O"), "{err}");
+
+    // …and a forced sort-merge join spilling its runs
+    let join = oodb::adl::dsl::join(
+        "s",
+        "d",
+        oodb::adl::dsl::eq(
+            oodb::adl::dsl::var("s").field("eid"),
+            oodb::adl::dsl::var("d").field("supplier"),
+        ),
+        oodb::adl::dsl::table("SUPPLIER"),
+        oodb::adl::dsl::table("DELIVERY"),
+    );
+    let smj_cfg = PlannerConfig {
+        cost_based: false,
+        join_algo: JoinAlgo::SortMerge,
+        ..config(256, 1)
+    };
+    let plan = Planner::with_config(&db, smj_cfg)
+        .plan(&join)
+        .expect("plan");
+    let mut stats = Stats::new();
+    let err = plan
+        .phys
+        .execute_streaming_budgeted(&db, &mut stats, budget)
+        .expect_err("run spill must fail");
+    assert!(matches!(err, EvalError::Io { .. }), "{err:?}");
+
+    std::fs::remove_file(&marker).unwrap();
+}
