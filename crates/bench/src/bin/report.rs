@@ -41,6 +41,33 @@ fn headline(s: &str) {
 }
 
 fn main() {
+    // `report --check BENCH_streaming.json` is the CI regression gate:
+    // recompute the workloads at the committed baseline's scale, print
+    // the per-workload delta table, and exit non-zero if any
+    // result_rows differs or any *_work counter regresses beyond the
+    // tolerance. No other experiment runs in this mode.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: report --check <BENCH_streaming.json>");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match oodb_bench::regression::check(&text) {
+            Ok(report) => {
+                println!("{report}");
+                return;
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("From Nested-Loop to Join Queries in OODB — reproduction report");
     println!("(Steenhagen, Apers, Blanken, de By; VLDB 1994)");
 
@@ -107,6 +134,20 @@ fn perf_streaming() {
             r.streaming_p2_ms,
             r.streaming_p4_ms,
             r.streaming_p1_ms / r.streaming_p4_ms.max(1e-9),
+        );
+    }
+    println!("\n  Batch layout (same plan, dop 1, row vs columnar, best of 3):");
+    println!(
+        "  {:<26} {:>9} {:>9} {:>10}",
+        "workload", "row", "columnar", "col/row"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>7.2}ms {:>7.2}ms {:>9.2}x",
+            r.workload,
+            r.streaming_row_ms,
+            r.streaming_col_ms,
+            r.streaming_row_ms / r.streaming_col_ms.max(1e-9),
         );
     }
     println!("\n  External memory (same plan, 64 KiB budget, best of 3):");

@@ -8,8 +8,10 @@ use oodb_adl::dsl::*;
 use oodb_adl::expr::Expr;
 use oodb_catalog::{Catalog, CatalogStats, ClassDef, Database};
 use oodb_core::strategy::{Optimized, Optimizer};
-use oodb_engine::{Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
+use oodb_engine::{BatchKind, Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
 use oodb_value::{name, Oid, SetCmpOp, Tuple, TupleType, Type, Value};
+
+pub mod regression;
 
 /// Runs the naive nested-loop evaluation.
 pub fn run_naive(db: &Database, e: &Expr) -> (Value, Stats) {
@@ -365,6 +367,14 @@ pub mod streaming_report {
         pub forced_sort_merge_work: u64,
         /// Streaming work with `join_algo` forced to nested loops.
         pub forced_nested_loop_work: u64,
+        /// Streaming wall-clock under the legacy **row** batch layout
+        /// (`batch_kind = Row`, dop 1, unbounded budget), best of
+        /// [`PARALLEL_RUNS`] runs.
+        pub streaming_row_ms: f64,
+        /// Streaming wall-clock under the **columnar** batch layout
+        /// (the default; same plan and knobs as `streaming_row_ms`), so
+        /// the row-vs-columnar delta is a first-class artifact column.
+        pub streaming_col_ms: f64,
         /// Streaming wall-clock at `parallelism = 1` (exchanges off) —
         /// best of [`PARALLEL_RUNS`] runs, like the other per-dop
         /// columns, so the speedup trajectory is comparable.
@@ -393,6 +403,26 @@ pub mod streaming_report {
                 .min(self.forced_sort_merge_work)
                 .min(self.forced_nested_loop_work)
         }
+
+        /// The deterministic columns the CI regression gate compares
+        /// against the committed baseline: result cardinality (must be
+        /// exact) and every `*_work` counter (tolerance-checked). Wall
+        /// times are deliberately excluded — they are machine noise.
+        pub fn gated_fields(&self) -> Vec<(&'static str, f64)> {
+            vec![
+                ("result_rows", self.result_rows as f64),
+                ("nested_loop_work", self.nested_loop_work as f64),
+                ("materialized_work", self.materialized_work as f64),
+                ("streaming_work", self.streaming_work as f64),
+                ("cost_based_work", self.cost_based_work as f64),
+                ("forced_hash_work", self.forced_hash_work as f64),
+                ("forced_sort_merge_work", self.forced_sort_merge_work as f64),
+                (
+                    "forced_nested_loop_work",
+                    self.forced_nested_loop_work as f64,
+                ),
+            ]
+        }
     }
 
     fn ms(f: impl FnOnce() -> (Value, Stats)) -> (Value, Stats, f64) {
@@ -404,6 +434,21 @@ pub mod streaming_report {
     /// Runs the three-way comparison on the §7 workloads at `scale`
     /// generated objects, asserting all paths agree.
     pub fn compare(scale: usize) -> Vec<CompRow> {
+        compare_with_timings(scale, true)
+    }
+
+    /// [`compare`] without the pure-timing sweeps (per-dop, per-batch-
+    /// kind, 64 KiB-budget best-of-N loops): every run that produces a
+    /// **gated** column — result cardinalities and the deterministic
+    /// `*_work` counters — still executes and is still asserted equal,
+    /// but columns the regression gate deliberately ignores are left at
+    /// zero. This is what `report --check` calls, so the CI gate costs
+    /// a fraction of a full bench pass.
+    pub fn compare_counters_only(scale: usize) -> Vec<CompRow> {
+        compare_with_timings(scale, false)
+    }
+
+    fn compare_with_timings(scale: usize, timings: bool) -> Vec<CompRow> {
         let db = generate(&oodb_datagen::GenConfig::scaled(scale));
         // collected once, outside every timed closure — the naive
         // baseline pays no statistics scan, so neither may the planner
@@ -470,6 +515,26 @@ pub mod streaming_report {
                 }
                 best
             };
+            // the same streaming plan under each batch layout (dop 1,
+            // unbounded budget), best of PARALLEL_RUNS — the
+            // row-vs-columnar wall-clock delta the report prints
+            let per_kind = |batch_kind: BatchKind| {
+                let cfg = PlannerConfig {
+                    parallelism: 1,
+                    memory_budget: 0,
+                    batch_kind,
+                    ..Default::default()
+                };
+                let mut best = f64::INFINITY;
+                for _ in 0..PARALLEL_RUNS {
+                    let (kv, _, kt) = ms(|| {
+                        run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, cfg.clone())
+                    });
+                    assert_eq!(nv, kv, "{label}: batch kind {batch_kind:?} diverged");
+                    best = best.min(kt);
+                }
+                best
+            };
             // the same streaming plan under a 64 KiB memory budget:
             // grace hash joins and external sorts where state exceeds
             // it, identical answers, measured spill volume
@@ -478,15 +543,23 @@ pub mod streaming_report {
                 memory_budget: 64 << 10,
                 ..Default::default()
             };
-            let mut b64k_best = f64::INFINITY;
+            let mut b64k_best = 0.0f64;
             let mut b64k_spill = 0u64;
-            for _ in 0..PARALLEL_RUNS {
-                let (bv, b_stats, bt) = ms(|| {
-                    run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, b64k_cfg.clone())
-                });
-                assert_eq!(nv, bv, "{label}: 64 KiB budget diverged");
-                b64k_best = b64k_best.min(bt);
-                b64k_spill = b_stats.spill_bytes;
+            if timings {
+                b64k_best = f64::INFINITY;
+                for _ in 0..PARALLEL_RUNS {
+                    let (bv, b_stats, bt) = ms(|| {
+                        run_planned_streaming_stats(
+                            &db,
+                            &cat_stats,
+                            &optimized.expr,
+                            b64k_cfg.clone(),
+                        )
+                    });
+                    assert_eq!(nv, bv, "{label}: 64 KiB budget diverged");
+                    b64k_best = b64k_best.min(bt);
+                    b64k_spill = b_stats.spill_bytes;
+                }
             }
             rows.push(CompRow {
                 workload: label.to_string(),
@@ -503,9 +576,19 @@ pub mod streaming_report {
                 forced_hash_work: forced(JoinAlgo::Hash),
                 forced_sort_merge_work: forced(JoinAlgo::SortMerge),
                 forced_nested_loop_work: forced(JoinAlgo::NestedLoop),
-                streaming_p1_ms: per_dop(1),
-                streaming_p2_ms: per_dop(2),
-                streaming_p4_ms: per_dop(4),
+                streaming_row_ms: if timings {
+                    per_kind(BatchKind::Row)
+                } else {
+                    0.0
+                },
+                streaming_col_ms: if timings {
+                    per_kind(BatchKind::Columnar)
+                } else {
+                    0.0
+                },
+                streaming_p1_ms: if timings { per_dop(1) } else { 0.0 },
+                streaming_p2_ms: if timings { per_dop(2) } else { 0.0 },
+                streaming_p4_ms: if timings { per_dop(4) } else { 0.0 },
                 streaming_b64k_ms: b64k_best,
                 spill_bytes: b64k_spill,
             });
@@ -529,6 +612,7 @@ pub mod streaming_report {
                  \"streaming_operators\": {}, \"streaming_batches\": {}, \
                  \"cost_based_work\": {}, \"forced_hash_work\": {}, \
                  \"forced_sort_merge_work\": {}, \"forced_nested_loop_work\": {}, \
+                 \"streaming_row_ms\": {:.3}, \"streaming_col_ms\": {:.3}, \
                  \"streaming_p1_ms\": {:.3}, \"streaming_p2_ms\": {:.3}, \
                  \"streaming_p4_ms\": {:.3}, \"streaming_b64k_ms\": {:.3}, \
                  \"spill_bytes\": {}}}{}\n",
@@ -546,6 +630,8 @@ pub mod streaming_report {
                 r.forced_hash_work,
                 r.forced_sort_merge_work,
                 r.forced_nested_loop_work,
+                r.streaming_row_ms,
+                r.streaming_col_ms,
                 r.streaming_p1_ms,
                 r.streaming_p2_ms,
                 r.streaming_p4_ms,

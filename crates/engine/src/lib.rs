@@ -28,6 +28,9 @@ pub use eval::{Env, EvalError, Evaluator};
 // configuring `PlannerConfig::memory_budget` (or running plans under an
 // explicit budget) need not depend on `oodb-spill` directly.
 pub use oodb_spill::{MemoryBudget, SpillManager, SpillMetrics};
+// The batch layout selector, re-exported so callers configuring
+// `PlannerConfig::batch_kind` need not depend on `oodb-value` paths.
+pub use oodb_value::BatchKind;
 pub use physical::{Partitioning, PhysPlan};
 pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};
 pub use stats::Stats;

@@ -1,0 +1,255 @@
+//! Column-at-a-time execution helpers.
+//!
+//! The streaming pipeline ships [`Batch`]es that are columnar by default
+//! (see `oodb_value::batch`). Operators stay expression-generic — any
+//! ADL sub-expression still works through the row view — but the hot
+//! shapes get a column fast path, gated by one question: *is this
+//! expression a simple attribute access over the operator's variable?*
+//!
+//! * [`simple_attr`] answers it (`x.a` with `x` the bound variable);
+//! * [`SimplePred`] compiles `x.a ⟨cmp⟩ literal` filters so selections
+//!   scan one unboxed column instead of materializing rows and
+//!   re-entering the interpreter (semantics — including `NULL`
+//!   rejection and type-mismatch errors — mirror `Evaluator`'s `Cmp`
+//!   exactly);
+//! * [`ProbeInput`] lets the join family probe either a plain row slice
+//!   (the materialized path, exchange worker chunks) or a streaming
+//!   [`Batch`], evaluating simple join keys straight off key columns
+//!   without materializing probe rows.
+//!
+//! Every fast path preserves the reference work counters: the callers
+//! keep charging `predicate_evals` / `hash_probes` per row, and a simple
+//! expression evaluates no stats-bearing operator, so row and columnar
+//! layouts produce identical [`crate::stats::Stats`].
+
+use crate::eval::EvalError;
+use oodb_adl::expr::Expr;
+use oodb_value::{Batch, CmpOp, Column, Name, Value};
+use std::borrow::Cow;
+
+/// The attribute `e` reads, when `e` is exactly `var.attr`.
+pub fn simple_attr<'e>(e: &'e Expr, var: &Name) -> Option<&'e Name> {
+    match e {
+        Expr::Field(base, attr) if matches!(base.as_ref(), Expr::Var(v) if v == var) => Some(attr),
+        _ => None,
+    }
+}
+
+/// A compiled `var.attr ⟨cmp⟩ literal` (or flipped) predicate — the
+/// filter shape that runs column-at-a-time.
+#[derive(Debug, Clone)]
+pub struct SimplePred {
+    /// The attribute the predicate reads.
+    pub attr: Name,
+    op: CmpOp,
+    rhs: Value,
+    /// True when the literal is the *left* operand (`lit ⟨cmp⟩ x.a`).
+    flipped: bool,
+}
+
+impl SimplePred {
+    /// Compiles `pred` if it has the simple shape; `None` otherwise
+    /// (the caller falls back to the row view + interpreter).
+    pub fn compile(var: &Name, pred: &Expr) -> Option<SimplePred> {
+        let Expr::Cmp(op, a, b) = pred else {
+            return None;
+        };
+        if let (Some(attr), Expr::Lit(c)) = (simple_attr(a, var), b.as_ref()) {
+            return Some(SimplePred {
+                attr: attr.clone(),
+                op: *op,
+                rhs: c.clone(),
+                flipped: false,
+            });
+        }
+        if let (Expr::Lit(c), Some(attr)) = (a.as_ref(), simple_attr(b, var)) {
+            return Some(SimplePred {
+                attr: attr.clone(),
+                op: *op,
+                rhs: c.clone(),
+                flipped: true,
+            });
+        }
+        None
+    }
+
+    /// Evaluates the predicate on one column value, with exactly the
+    /// reference `Cmp` semantics (`NULL` operands are rejected, ordering
+    /// across constructors is a type mismatch).
+    pub fn eval(&self, v: &Value) -> Result<bool, EvalError> {
+        if matches!(v, Value::Null) || matches!(self.rhs, Value::Null) {
+            return Err(EvalError::NullNotAllowed("comparison"));
+        }
+        let r = if self.flipped {
+            Value::compare(self.op, &self.rhs, v)
+        } else {
+            Value::compare(self.op, v, &self.rhs)
+        };
+        r.map_err(EvalError::Value)
+    }
+}
+
+/// What a join probe phase iterates: a borrowed row slice (materialized
+/// entry points, exchange worker chunks) or a streaming [`Batch`] whose
+/// key columns can be read without materializing rows.
+pub enum ProbeInput<'a> {
+    /// Plain rows.
+    Rows(&'a [Value]),
+    /// A pipeline batch in either layout.
+    Batch(&'a Batch),
+}
+
+impl<'a> From<&'a [Value]> for ProbeInput<'a> {
+    fn from(rows: &'a [Value]) -> Self {
+        ProbeInput::Rows(rows)
+    }
+}
+
+impl<'a> From<&'a Vec<Value>> for ProbeInput<'a> {
+    fn from(rows: &'a Vec<Value>) -> Self {
+        ProbeInput::Rows(rows)
+    }
+}
+
+impl<'a> From<&'a Batch> for ProbeInput<'a> {
+    fn from(batch: &'a Batch) -> Self {
+        ProbeInput::Batch(batch)
+    }
+}
+
+impl<'a> ProbeInput<'a> {
+    /// Probe rows available.
+    pub fn len(&self) -> usize {
+        match self {
+            ProbeInput::Rows(r) => r.len(),
+            ProbeInput::Batch(b) => b.len(),
+        }
+    }
+
+    /// True when there is nothing to probe.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row `i`: borrowed where the input owns rows, materialized from
+    /// columns otherwise. Probe loops call this lazily — only when the
+    /// full row is actually needed (residuals, output construction).
+    pub fn row_at(&self, i: usize) -> Cow<'a, Value> {
+        match self {
+            ProbeInput::Rows(r) => Cow::Borrowed(&r[i]),
+            ProbeInput::Batch(Batch::Rows(r)) => Cow::Borrowed(&r[i]),
+            ProbeInput::Batch(Batch::Columnar(cb)) => Cow::Owned(cb.row(i)),
+        }
+    }
+
+    /// The column `key` reads, when `key` is `var.attr` and the input is
+    /// a columnar batch carrying that attribute.
+    pub fn key_column(&self, key: &Expr, var: &Name) -> Option<&'a Column> {
+        let ProbeInput::Batch(Batch::Columnar(cb)) = self else {
+            return None;
+        };
+        cb.column(simple_attr(key, var)?)
+    }
+
+    /// The columns a composite key reads — `Some` only when *every* key
+    /// is a simple attribute with a live column, so the whole key vector
+    /// evaluates without materializing the row.
+    pub fn key_columns(&self, keys: &[Expr], var: &Name) -> Option<Vec<&'a Column>> {
+        keys.iter().map(|k| self.key_column(k, var)).collect()
+    }
+}
+
+/// Takes the (lazily materialized) probe row out of its cache, reading
+/// it from the input if nothing cached it yet — the "emit the probe row
+/// itself" path of semi/anti joins, with no extra clone for columnar
+/// inputs.
+pub(crate) fn take_row(
+    cache: &mut Option<Cow<'_, Value>>,
+    probe: &ProbeInput<'_>,
+    i: usize,
+) -> Value {
+    match cache.take() {
+        Some(c) => c.into_owned(),
+        None => probe.row_at(i).into_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_adl::dsl::*;
+    use oodb_value::batch::BatchKind;
+
+    fn rows() -> Vec<Value> {
+        (0..5)
+            .map(|i| {
+                Value::tuple([
+                    ("a", Value::Int(i)),
+                    ("s", Value::str(if i < 3 { "lo" } else { "hi" })),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_pred_compiles_both_orientations() {
+        let v: Name = "x".into();
+        let p = SimplePred::compile(&v, &lt(var("x").field("a"), int(3))).unwrap();
+        assert_eq!(p.attr.as_ref(), "a");
+        assert!(p.eval(&Value::Int(2)).unwrap());
+        assert!(!p.eval(&Value::Int(3)).unwrap());
+        // flipped: 3 < x.a
+        let p = SimplePred::compile(&v, &lt(int(3), var("x").field("a"))).unwrap();
+        assert!(p.eval(&Value::Int(4)).unwrap());
+        assert!(!p.eval(&Value::Int(3)).unwrap());
+        // non-simple shapes don't compile
+        assert!(SimplePred::compile(&v, &lt(var("y").field("a"), int(3))).is_none());
+        assert!(SimplePred::compile(
+            &v,
+            &and(
+                eq(var("x").field("a"), int(1)),
+                eq(var("x").field("a"), int(2))
+            )
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn simple_pred_matches_reference_error_semantics() {
+        let v: Name = "x".into();
+        let p = SimplePred::compile(&v, &lt(var("x").field("a"), int(3))).unwrap();
+        // ordering across constructors is a type mismatch, like Value::compare
+        assert!(matches!(
+            p.eval(&Value::str("oops")),
+            Err(EvalError::Value(_))
+        ));
+        // NULL operands are rejected, like the evaluator's Cmp
+        assert!(matches!(
+            p.eval(&Value::Null),
+            Err(EvalError::NullNotAllowed(_))
+        ));
+    }
+
+    #[test]
+    fn probe_input_reads_keys_off_columns() {
+        let v: Name = "x".into();
+        let batch = Batch::of(BatchKind::Columnar, rows());
+        let probe: ProbeInput = (&batch).into();
+        let cols = probe
+            .key_columns(&[var("x").field("a")], &v)
+            .expect("simple key over a live column");
+        assert_eq!(cols[0].value_at(3), Value::Int(3));
+        // a non-simple key or a missing column defeats the fast path
+        assert!(probe
+            .key_columns(&[var("x").field("missing")], &v)
+            .is_none());
+        assert!(probe
+            .key_columns(&[var("x").field("a"), lit(Value::Int(1))], &v)
+            .is_none());
+        // row batches have no columns
+        let rb = Batch::of(BatchKind::Row, rows());
+        let probe: ProbeInput = (&rb).into();
+        assert!(probe.key_columns(&[var("x").field("a")], &v).is_none());
+        assert_eq!(probe.row_at(2).as_ref(), &rows()[2]);
+    }
+}

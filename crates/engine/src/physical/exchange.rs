@@ -43,7 +43,7 @@ use oodb_catalog::Database;
 #[cfg(test)]
 use oodb_spill::MemoryBudget;
 use oodb_spill::SpillMetrics;
-use oodb_value::{Name, Value};
+use oodb_value::{BatchKind, Name, Value};
 
 /// Compiles an `Exchange` node into its streaming operator. Called from
 /// [`PhysPlan::compile`]'s node dispatch.
@@ -175,6 +175,7 @@ impl ExchangeOp {
         // Each worker's pipeline state gets an equal share of the
         // memory budget, so the whole exchange stays within it.
         let budget = ctx.budget.share(dop);
+        let batch_kind = ctx.batch_kind;
         let results: Vec<Result<(Vec<Value>, Stats), EvalError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..dop)
                 .map(|w| {
@@ -187,6 +188,7 @@ impl ExchangeOp {
                             env,
                             stats: &mut stats,
                             budget,
+                            batch_kind,
                         };
                         let mut op = plan.compile_stride(w, dop);
                         op.open(&mut wctx)?;
@@ -226,7 +228,11 @@ impl Operator for ExchangeOp {
             let rows = self.run_workers(ctx)?;
             self.buf = Some(Buffered::new(rows));
         }
-        let chunk = self.buf.as_mut().expect("gathered above").next_chunk();
+        let chunk = self
+            .buf
+            .as_mut()
+            .expect("gathered above")
+            .next_chunk(ctx.batch_kind);
         if chunk.is_none() {
             self.state = InstrState::Exhausted;
         }
@@ -642,7 +648,7 @@ impl ParallelHashJoinOp {
                                 lkeys,
                                 residual.as_ref(),
                                 right_attrs,
-                                &chunk,
+                                (&chunk).into(),
                                 &ev,
                                 &mut env,
                                 &mut stats,
@@ -658,7 +664,7 @@ impl ParallelHashJoinOp {
                                 residual.as_ref(),
                                 rfunc.as_ref(),
                                 as_attr,
-                                &chunk,
+                                (&chunk).into(),
                                 &ev,
                                 &mut env,
                                 &mut stats,
@@ -674,7 +680,7 @@ impl ParallelHashJoinOp {
                                 shape,
                                 residual.as_ref(),
                                 right_attrs,
-                                &chunk,
+                                (&chunk).into(),
                                 &ev,
                                 &mut env,
                                 &mut stats,
@@ -688,7 +694,7 @@ impl ParallelHashJoinOp {
                                     residual.as_ref(),
                                     rfunc.as_ref(),
                                     as_attr,
-                                    &chunk,
+                                    (&chunk).into(),
                                     &ev,
                                     &mut env,
                                     &mut stats,
@@ -740,7 +746,11 @@ impl Operator for ParallelHashJoinOp {
             let rows = self.execute(ctx)?;
             self.buf = Some(Buffered::new(rows));
         }
-        Ok(self.buf.as_mut().expect("joined above").next_chunk())
+        Ok(self
+            .buf
+            .as_mut()
+            .expect("joined above")
+            .next_chunk(BatchKind::Row))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
@@ -867,6 +877,7 @@ mod tests {
             env: Env::new(),
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
+            batch_kind: BatchKind::from_env(),
         };
         let mut op = plan.phys.compile();
         assert!(matches!(

@@ -5,6 +5,7 @@
 //! arbitrary ADL expressions over one side's variable; the residual
 //! predicate (non-equi conjuncts) is re-checked after a key match.
 
+use super::columnar::{take_row, ProbeInput};
 use crate::eval::{Env, EvalError, Evaluator};
 use crate::stats::Stats;
 use oodb_adl::expr::{Expr, JoinKind};
@@ -180,6 +181,11 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
     /// [`JoinHashTable::from_keyed`]); each probe key consults exactly
     /// the partition [`key_hash`] assigns it to, so the partitioned
     /// probe does the same lookups as the serial one.
+    ///
+    /// Columnar probe batches whose keys are simple attributes evaluate
+    /// the whole key vector straight off the key columns; the probe row
+    /// itself is materialized only when actually needed (residual
+    /// checks, output construction) — semi/anti misses never touch it.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_batch(
         tables: &[Self],
@@ -189,17 +195,26 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
         lkeys: &[Expr],
         residual: Option<&Expr>,
         right_attrs: &[Name],
-        batch: &[Value],
+        probe: ProbeInput<'_>,
         ev: &Evaluator<'_>,
         env: &mut Env,
         stats: &mut Stats,
     ) -> Result<Vec<Value>, EvalError> {
+        let key_cols = probe.key_columns(lkeys, lvar);
         let mut out = Vec::new();
-        for x in batch {
-            let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
+        for i in 0..probe.len() {
+            let mut xc = None;
+            let key = match &key_cols {
+                Some(cols) => cols.iter().map(|c| c.value_at(i)).collect::<Vec<_>>(),
+                None => {
+                    let x = xc.get_or_insert_with(|| probe.row_at(i));
+                    eval_keys(lkeys, lvar, x, ev, env, stats)?
+                }
+            };
             stats.hash_probes += 1;
             let mut matched = false;
             if let Some(candidates) = Self::pick(tables, &key).map.get(&key) {
+                let x = xc.get_or_insert_with(|| probe.row_at(i));
                 for y in candidates {
                     let y = y.borrow();
                     if residual_holds(residual, lvar, x, rvar, y, ev, env, stats)? {
@@ -214,9 +229,12 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
                 }
             }
             match kind {
-                JoinKind::Semi if matched => out.push(x.clone()),
-                JoinKind::Anti if !matched => out.push(x.clone()),
-                JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+                JoinKind::Semi if matched => out.push(take_row(&mut xc, &probe, i)),
+                JoinKind::Anti if !matched => out.push(take_row(&mut xc, &probe, i)),
+                JoinKind::LeftOuter if !matched => {
+                    let x = xc.get_or_insert_with(|| probe.row_at(i));
+                    out.push(null_pad(x, right_attrs)?);
+                }
                 _ => {}
             }
         }
@@ -301,7 +319,9 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
     }
 
     /// Nestjoin probe over one batch: every left row yields exactly one
-    /// output row carrying its (possibly empty) group.
+    /// output row carrying its (possibly empty) group. Simple keys read
+    /// the probe batch's key columns directly (the row itself is still
+    /// materialized once, for the output tuple).
     #[allow(clippy::too_many_arguments)]
     pub fn probe_nest_batch(
         tables: &[Self],
@@ -311,16 +331,25 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
         residual: Option<&Expr>,
         rfunc: Option<&Expr>,
         as_attr: &Name,
-        batch: &[Value],
+        probe: ProbeInput<'_>,
         ev: &Evaluator<'_>,
         env: &mut Env,
         stats: &mut Stats,
     ) -> Result<Vec<Value>, EvalError> {
-        let mut out = Vec::with_capacity(batch.len());
-        for x in batch {
-            let key = eval_keys(lkeys, lvar, x, ev, env, stats)?;
+        let key_cols = probe.key_columns(lkeys, lvar);
+        let mut out = Vec::with_capacity(probe.len());
+        for i in 0..probe.len() {
+            let mut xc = None;
+            let key = match &key_cols {
+                Some(cols) => cols.iter().map(|c| c.value_at(i)).collect::<Vec<_>>(),
+                None => {
+                    let x = xc.get_or_insert_with(|| probe.row_at(i));
+                    eval_keys(lkeys, lvar, x, ev, env, stats)?
+                }
+            };
             stats.hash_probes += 1;
             let mut group = Vec::new();
+            let x = xc.get_or_insert_with(|| probe.row_at(i));
             if let Some(candidates) = Self::pick(tables, &key).map.get(&key) {
                 for y in candidates {
                     let y = y.borrow();
@@ -360,7 +389,7 @@ pub fn hash_join(
         lkeys,
         residual,
         right_attrs,
-        left.as_slice(),
+        left.as_slice().into(),
         ev,
         env,
         stats,
@@ -507,6 +536,46 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
         })
     }
 
+    /// The expression the probe side evaluates over the left variable —
+    /// what a columnar probe batch may hold as a plain column.
+    fn probe_left_expr(shape: &MemberShape) -> &Expr {
+        match shape {
+            MemberShape::RightInLeftSet { lset, .. } => lset,
+            MemberShape::LeftInRightSet { lkey, .. } => lkey,
+        }
+    }
+
+    /// [`MemberHashTable::probe_keys`] for probe row `i` of a batch,
+    /// reading the set/key column directly when the probe side is
+    /// columnar and the expression is a simple attribute — the row is
+    /// not materialized. `cache` receives the row only when the slow
+    /// path had to build it.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_keys_at<'p>(
+        shape: &MemberShape,
+        lvar: &Name,
+        probe: &ProbeInput<'p>,
+        left_col: Option<&oodb_value::Column>,
+        i: usize,
+        cache: &mut Option<std::borrow::Cow<'p, Value>>,
+        ev: &Evaluator<'_>,
+        env: &mut Env,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        match (left_col, shape) {
+            (Some(col), MemberShape::RightInLeftSet { .. }) => Ok(col
+                .value_at(i)
+                .into_set()
+                .map_err(EvalError::Value)?
+                .into_values()),
+            (Some(col), MemberShape::LeftInRightSet { .. }) => Ok(vec![col.value_at(i)]),
+            (None, _) => {
+                let x = cache.get_or_insert_with(|| probe.row_at(i));
+                Self::probe_keys(shape, lvar, x, ev, env, stats)
+            }
+        }
+    }
+
     /// Probe phase over one batch of left rows. Like
     /// [`JoinHashTable::probe_batch`], `tables` is one table under
     /// serial execution or the hash-partitioned tables of a parallel
@@ -522,20 +591,24 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
         shape: &MemberShape,
         residual: Option<&Expr>,
         right_attrs: &[Name],
-        batch: &[Value],
+        probe: ProbeInput<'_>,
         ev: &Evaluator<'_>,
         env: &mut Env,
         stats: &mut Stats,
     ) -> Result<Vec<Value>, EvalError> {
+        let left_col = probe.key_column(Self::probe_left_expr(shape), lvar);
         let mut out = Vec::new();
-        for x in batch {
-            let probes = Self::probe_keys(shape, lvar, x, ev, env, stats)?;
+        for i in 0..probe.len() {
+            let mut xc = None;
+            let probes =
+                Self::probe_keys_at(shape, lvar, &probe, left_col, i, &mut xc, ev, env, stats)?;
             let mut matched = false;
             let mut seen: Vec<(usize, usize)> = Vec::new();
             'probe: for p in &probes {
                 stats.hash_probes += 1;
                 let (ti, table) = Self::pick(tables, p);
                 if let Some(candidates) = table.index.get(p) {
+                    let x = xc.get_or_insert_with(|| probe.row_at(i));
                     for &yi in candidates {
                         // A right tuple may match through several
                         // elements — dedupe per left tuple.
@@ -557,9 +630,12 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
                 }
             }
             match kind {
-                JoinKind::Semi if matched => out.push(x.clone()),
-                JoinKind::Anti if !matched => out.push(x.clone()),
-                JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+                JoinKind::Semi if matched => out.push(take_row(&mut xc, &probe, i)),
+                JoinKind::Anti if !matched => out.push(take_row(&mut xc, &probe, i)),
+                JoinKind::LeftOuter if !matched => {
+                    let x = xc.get_or_insert_with(|| probe.row_at(i));
+                    out.push(null_pad(x, right_attrs)?);
+                }
                 _ => {}
             }
         }
@@ -576,16 +652,20 @@ impl<V: std::borrow::Borrow<Value>> MemberHashTable<V> {
         residual: Option<&Expr>,
         rfunc: Option<&Expr>,
         as_attr: &Name,
-        batch: &[Value],
+        probe: ProbeInput<'_>,
         ev: &Evaluator<'_>,
         env: &mut Env,
         stats: &mut Stats,
     ) -> Result<Vec<Value>, EvalError> {
-        let mut out = Vec::with_capacity(batch.len());
-        for x in batch {
-            let probes = Self::probe_keys(shape, lvar, x, ev, env, stats)?;
+        let left_col = probe.key_column(Self::probe_left_expr(shape), lvar);
+        let mut out = Vec::with_capacity(probe.len());
+        for i in 0..probe.len() {
+            let mut xc = None;
+            let probes =
+                Self::probe_keys_at(shape, lvar, &probe, left_col, i, &mut xc, ev, env, stats)?;
             let mut group = Vec::new();
             let mut seen: Vec<(usize, usize)> = Vec::new();
+            let x = xc.get_or_insert_with(|| probe.row_at(i));
             for p in &probes {
                 stats.hash_probes += 1;
                 let (ti, table) = Self::pick(tables, p);
@@ -632,7 +712,7 @@ pub fn member_join(
         shape,
         residual,
         right_attrs,
-        left.as_slice(),
+        left.as_slice().into(),
         ev,
         env,
         stats,
@@ -667,7 +747,7 @@ pub fn index_nl_join(
         extent,
         residual,
         right_attrs,
-        left.as_slice(),
+        left.as_slice().into(),
         ev,
         env,
         stats,
@@ -676,6 +756,8 @@ pub fn index_nl_join(
 }
 
 /// [`index_nl_join`] over one batch of left rows, producing output rows.
+/// A simple probe key over a columnar batch reads the key column
+/// without materializing the row.
 #[allow(clippy::too_many_arguments)]
 pub fn index_nl_join_batch(
     kind: JoinKind,
@@ -686,7 +768,7 @@ pub fn index_nl_join_batch(
     extent: &Name,
     residual: Option<&Expr>,
     right_attrs: &[Name],
-    batch: &[Value],
+    probe: ProbeInput<'_>,
     ev: &Evaluator<'_>,
     env: &mut Env,
     stats: &mut Stats,
@@ -704,28 +786,42 @@ pub fn index_nl_join_batch(
             attr: attr.clone(),
         });
     }
+    let key_col = probe.key_column(lkey, lvar);
     let mut out = Vec::new();
-    for x in batch {
-        let key = eval_under(lkey, lvar, x, ev, env, stats)?;
+    for i in 0..probe.len() {
+        let mut xc = None;
+        let key = match key_col {
+            Some(col) => col.value_at(i),
+            None => {
+                let x = xc.get_or_insert_with(|| probe.row_at(i));
+                eval_under(lkey, lvar, x, ev, env, stats)?
+            }
+        };
         stats.index_probes += 1;
         let candidates = table.index_probe(attr, &key).unwrap_or_default();
         let mut matched = false;
-        for row in candidates {
-            let y = Value::Tuple(row.clone());
-            if residual_holds(residual, lvar, x, rvar, &y, ev, env, stats)? {
-                matched = true;
-                match kind {
-                    JoinKind::Inner | JoinKind::LeftOuter => {
-                        out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?))
+        if !candidates.is_empty() {
+            let x = xc.get_or_insert_with(|| probe.row_at(i));
+            for row in candidates {
+                let y = Value::Tuple(row.clone());
+                if residual_holds(residual, lvar, x, rvar, &y, ev, env, stats)? {
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => {
+                            out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?))
+                        }
+                        JoinKind::Semi | JoinKind::Anti => break,
                     }
-                    JoinKind::Semi | JoinKind::Anti => break,
                 }
             }
         }
         match kind {
-            JoinKind::Semi if matched => out.push(x.clone()),
-            JoinKind::Anti if !matched => out.push(x.clone()),
-            JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+            JoinKind::Semi if matched => out.push(take_row(&mut xc, &probe, i)),
+            JoinKind::Anti if !matched => out.push(take_row(&mut xc, &probe, i)),
+            JoinKind::LeftOuter if !matched => {
+                let x = xc.get_or_insert_with(|| probe.row_at(i));
+                out.push(null_pad(x, right_attrs)?);
+            }
             _ => {}
         }
     }
@@ -753,7 +849,7 @@ pub fn nl_join(
         rvar,
         pred,
         right_attrs,
-        left.as_slice(),
+        left.as_slice().into(),
         right,
         ev,
         env,
@@ -762,7 +858,9 @@ pub fn nl_join(
     Ok(Value::Set(Set::from_values(out)))
 }
 
-/// [`nl_join`] over one batch of left rows, producing output rows.
+/// [`nl_join`] over one batch of left rows, producing output rows. The
+/// arbitrary predicate needs the full row, so the probe input is read
+/// through its row view.
 #[allow(clippy::too_many_arguments)]
 pub fn nl_join_batch(
     kind: JoinKind,
@@ -770,14 +868,16 @@ pub fn nl_join_batch(
     rvar: &Name,
     pred: &Expr,
     right_attrs: &[Name],
-    batch: &[Value],
+    probe: ProbeInput<'_>,
     right: &Set,
     ev: &Evaluator<'_>,
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Vec<Value>, EvalError> {
     let mut out = Vec::new();
-    for x in batch {
+    for i in 0..probe.len() {
+        let mut xc = None;
+        let x = xc.get_or_insert_with(|| probe.row_at(i));
         let mut matched = false;
         for y in right.iter() {
             stats.loop_iterations += 1;
@@ -792,9 +892,12 @@ pub fn nl_join_batch(
             }
         }
         match kind {
-            JoinKind::Semi if matched => out.push(x.clone()),
-            JoinKind::Anti if !matched => out.push(x.clone()),
-            JoinKind::LeftOuter if !matched => out.push(null_pad(x, right_attrs)?),
+            JoinKind::Semi if matched => out.push(take_row(&mut xc, &probe, i)),
+            JoinKind::Anti if !matched => out.push(take_row(&mut xc, &probe, i)),
+            JoinKind::LeftOuter if !matched => {
+                let x = xc.get_or_insert_with(|| probe.row_at(i));
+                out.push(null_pad(x, right_attrs)?);
+            }
             _ => {}
         }
     }
@@ -853,7 +956,7 @@ pub fn hash_nestjoin(
         residual,
         rfunc,
         as_attr,
-        left.as_slice(),
+        left.as_slice().into(),
         ev,
         env,
         stats,
@@ -885,7 +988,7 @@ pub fn member_nestjoin(
         residual,
         rfunc,
         as_attr,
-        left.as_slice(),
+        left.as_slice().into(),
         ev,
         env,
         stats,
@@ -913,7 +1016,7 @@ pub fn nl_nestjoin(
         pred,
         rfunc,
         as_attr,
-        left.as_slice(),
+        left.as_slice().into(),
         right,
         ev,
         env,
@@ -930,14 +1033,16 @@ pub fn nl_nestjoin_batch(
     pred: &Expr,
     rfunc: Option<&Expr>,
     as_attr: &Name,
-    batch: &[Value],
+    probe: ProbeInput<'_>,
     right: &Set,
     ev: &Evaluator<'_>,
     env: &mut Env,
     stats: &mut Stats,
 ) -> Result<Vec<Value>, EvalError> {
-    let mut out = Vec::with_capacity(batch.len());
-    for x in batch {
+    let mut out = Vec::with_capacity(probe.len());
+    for i in 0..probe.len() {
+        let xc = probe.row_at(i);
+        let x = xc.as_ref();
         let mut group = Vec::new();
         for y in right.iter() {
             stats.loop_iterations += 1;

@@ -17,6 +17,7 @@
 //! [`PhysPlan`] is the operator tree; [`PhysPlan::execute_on`] runs it.
 
 pub mod assembly;
+pub mod columnar;
 pub mod exchange;
 pub mod hashjoin;
 pub mod operator;
@@ -397,6 +398,19 @@ impl PhysPlan {
         budget: oodb_spill::MemoryBudget,
     ) -> Result<Value, EvalError> {
         operator::run_budgeted(self, db, stats, budget)
+    }
+
+    /// [`PhysPlan::execute_streaming_budgeted`] with the batch layout
+    /// pinned as well — how [`crate::plan::Plan`] threads
+    /// `PlannerConfig::batch_kind` into execution.
+    pub fn execute_streaming_configured(
+        &self,
+        db: &Database,
+        stats: &mut Stats,
+        budget: oodb_spill::MemoryBudget,
+        batch_kind: oodb_value::BatchKind,
+    ) -> Result<Value, EvalError> {
+        operator::run_configured(self, db, stats, budget, batch_kind)
     }
 
     /// Executes the plan against `db` with whole-set materialization at

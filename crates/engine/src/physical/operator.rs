@@ -22,6 +22,7 @@
 //! Entry point: [`PhysPlan::execute_streaming_on`] (in
 //! [`crate::physical`]), or [`crate::plan::Plan::execute_streaming`].
 
+use super::columnar::{simple_attr, SimplePred};
 use super::hashjoin::{self, JoinHashTable, MemberHashTable, MemberShape};
 use super::sortmerge::SortMergeState;
 use super::{pnhl, spill_exec, MatchKeys, PhysPlan};
@@ -30,14 +31,16 @@ use crate::stats::{OpStats, Stats};
 use oodb_adl::expr::{AggOp, Expr, JoinKind, SetOp};
 use oodb_catalog::Database;
 use oodb_spill::{MemoryBudget, SpillMetrics};
-use oodb_value::{Name, Set, Value};
+use oodb_value::{BatchKind, Name, Set, Value};
 
 /// Rows per batch. Batches are soft-bounded: operators that expand rows
 /// (unnest, inner joins) may exceed it rather than split mid-tuple-group.
 pub const BATCH_SIZE: usize = 1024;
 
-/// One batch of rows flowing between operators.
-pub type Batch = Vec<Value>;
+/// One batch of rows flowing between operators — columnar by default,
+/// legacy `Vec<Value>` rows under `BatchKind::Row` (see
+/// [`oodb_value::batch`]).
+pub use oodb_value::Batch;
 
 /// A boxed operator node.
 pub type BoxOp = Box<dyn Operator>;
@@ -56,6 +59,15 @@ pub struct ExecCtx<'db, 's> {
     /// segments) is held to; unbounded by default, shared across the
     /// pipeline, divided into per-worker shares by the exchanges.
     pub budget: MemoryBudget,
+    /// Which layout batch *sources* (scans, scalar-set streams,
+    /// round-robin exchange gathers, spilled canonical-set runs) build
+    /// their batches in — [`BatchKind::Columnar`] by default;
+    /// `OODB_BATCH_KIND=row` preserves the legacy boxed-row batches for
+    /// differential testing, exactly like `OODB_PARALLELISM=1`
+    /// preserves the serial pipeline. Layout-preserving transforms keep
+    /// columnar batches columnar; operators that construct fresh rows
+    /// (join outputs, blocking drains) emit row batches.
+    pub batch_kind: BatchKind,
 }
 
 /// A pull-based physical operator.
@@ -95,7 +107,7 @@ pub(crate) fn drain_rows(
 ) -> Result<Vec<Value>, EvalError> {
     let mut rows = Vec::new();
     while let Some(b) = op.next_batch(ctx)? {
-        rows.extend(b);
+        rows.extend(b.into_values());
     }
     Ok(rows)
 }
@@ -162,19 +174,19 @@ impl Buffered {
         Buffered { rows, pos: 0 }
     }
 
-    pub(crate) fn next_chunk(&mut self) -> Option<Batch> {
+    pub(crate) fn next_chunk(&mut self, kind: BatchKind) -> Option<Batch> {
         if self.pos >= self.rows.len() {
             return None;
         }
         let end = (self.pos + BATCH_SIZE).min(self.rows.len());
         // Move rows out (leaving cheap `Null`s) — each buffered row is
         // emitted exactly once, so no deep clone is needed.
-        let chunk = self.rows[self.pos..end]
+        let chunk: Vec<Value> = self.rows[self.pos..end]
             .iter_mut()
             .map(|v| std::mem::replace(v, Value::Null))
             .collect();
         self.pos = end;
-        Some(chunk)
+        Some(Batch::of(kind, chunk))
     }
 }
 
@@ -332,7 +344,13 @@ impl Operator for ScanOp {
             ctx.stats.rows_scanned += rows.len() as u64;
             self.buf = Some(Buffered::new(rows));
         }
-        Ok(self.buf.as_mut().expect("buffered above").next_chunk())
+        // scans build columnar batches directly from the extent rows —
+        // the layout every operator above inherits
+        Ok(self
+            .buf
+            .as_mut()
+            .expect("buffered above")
+            .next_chunk(ctx.batch_kind))
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx<'_, '_>) {
@@ -379,7 +397,7 @@ impl Operator for ScalarOp {
                 aggregate(*op, &s)?
             }
         };
-        Ok(Some(vec![v]))
+        Ok(Some(Batch::from_rows(vec![v])))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
@@ -415,7 +433,11 @@ impl Operator for ScalarRows {
             let v = drain_scalar(&mut self.child, ctx)?;
             self.buf = Some(Buffered::new(v.into_set()?.into_values()));
         }
-        Ok(self.buf.as_mut().expect("buffered above").next_chunk())
+        Ok(self
+            .buf
+            .as_mut()
+            .expect("buffered above")
+            .next_chunk(ctx.batch_kind))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
@@ -429,10 +451,20 @@ impl Operator for ScalarRows {
 
 /// The per-row transforms that never block the pipeline.
 enum RowTransform {
-    /// `σ` — predicate filter.
-    Filter { var: Name, pred: Expr },
-    /// `α` — function application.
-    Map { var: Name, body: Expr },
+    /// `σ` — predicate filter. `simple` is the compiled column-at-a-time
+    /// form when the predicate is a `var.attr ⟨cmp⟩ literal` shape.
+    Filter {
+        var: Name,
+        pred: Expr,
+        simple: Option<SimplePred>,
+    },
+    /// `α` — function application. `simple` names the attribute when the
+    /// body is exactly `var.attr` (a column extraction).
+    Map {
+        var: Name,
+        body: Expr,
+        simple: Option<Name>,
+    },
     /// `π`.
     Project { attrs: Vec<Name> },
     /// `ρ`.
@@ -444,16 +476,64 @@ enum RowTransform {
 }
 
 /// Applies a [`RowTransform`] to each input batch as it streams past.
+///
+/// Columnar batches run column-at-a-time where the expression is a
+/// simple attribute shape (filter on `x.a ⟨cmp⟩ lit`, map to `x.a`,
+/// project, rename); anything else — or any irregularity the column
+/// fast path cannot express (missing attributes, name collisions) —
+/// falls back to the row view, which reproduces the reference
+/// semantics and error messages exactly.
 struct TransformOp {
     t: RowTransform,
     child: BoxOp,
 }
 
 impl TransformOp {
-    fn apply(&self, batch: Batch, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, EvalError> {
+    /// The columnar fast path for this batch, if the transform shape and
+    /// the batch layout both allow one. `None` falls through to
+    /// [`TransformOp::apply_rows`].
+    fn apply_columns(
+        &self,
+        batch: &Batch,
+        ctx: &mut ExecCtx<'_, '_>,
+    ) -> Result<Option<Batch>, EvalError> {
+        let Batch::Columnar(cb) = batch else {
+            return Ok(None);
+        };
+        match &self.t {
+            RowTransform::Filter {
+                simple: Some(sp), ..
+            } => {
+                let Some(col) = cb.column(&sp.attr) else {
+                    return Ok(None); // row view reports the NoSuchField
+                };
+                let mut keep = vec![false; cb.len()];
+                for (i, k) in keep.iter_mut().enumerate() {
+                    ctx.stats.predicate_evals += 1;
+                    *k = sp.eval(&col.value_at(i))?;
+                }
+                Ok(Some(Batch::Columnar(cb.filter(&keep))))
+            }
+            RowTransform::Map {
+                simple: Some(attr), ..
+            } => {
+                let Some(col) = cb.column(attr) else {
+                    return Ok(None);
+                };
+                ctx.stats.predicate_evals += cb.len() as u64;
+                let out: Vec<Value> = (0..cb.len()).map(|i| col.value_at(i)).collect();
+                Ok(Some(Batch::from_rows(out)))
+            }
+            RowTransform::Project { attrs } => Ok(cb.project(attrs).map(Batch::Columnar)),
+            RowTransform::Rename { pairs } => Ok(cb.rename(pairs).map(Batch::Columnar)),
+            _ => Ok(None),
+        }
+    }
+
+    fn apply_rows(&self, batch: Vec<Value>, ctx: &mut ExecCtx<'_, '_>) -> Result<Batch, EvalError> {
         let mut out = Vec::with_capacity(batch.len());
         match &self.t {
-            RowTransform::Filter { var, pred } => {
+            RowTransform::Filter { var, pred, .. } => {
                 for elem in batch {
                     ctx.stats.predicate_evals += 1;
                     ctx.env.push(var, elem.clone());
@@ -464,7 +544,7 @@ impl TransformOp {
                     }
                 }
             }
-            RowTransform::Map { var, body } => {
+            RowTransform::Map { var, body, .. } => {
                 for elem in batch {
                     ctx.stats.predicate_evals += 1;
                     ctx.env.push(var, elem);
@@ -505,7 +585,14 @@ impl TransformOp {
                 }
             }
         }
-        Ok(out)
+        Ok(Batch::from_rows(out))
+    }
+
+    fn apply(&self, batch: Batch, ctx: &mut ExecCtx<'_, '_>) -> Result<Batch, EvalError> {
+        if let Some(out) = self.apply_columns(&batch, ctx)? {
+            return Ok(out);
+        }
+        self.apply_rows(batch.into_values(), ctx)
     }
 }
 
@@ -561,8 +648,9 @@ impl Operator for AssembleOp {
             let Some(batch) = self.child.next_batch(ctx)? else {
                 return Ok(None);
             };
+            let rows = batch.into_values();
             let out = super::assembly::assemble_batch(
-                &batch,
+                &rows,
                 &self.attr,
                 &self.class,
                 self.set_valued,
@@ -570,7 +658,7 @@ impl Operator for AssembleOp {
                 ctx.stats,
             )?;
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(out)));
             }
         }
     }
@@ -710,7 +798,11 @@ impl Operator for BlockingOp {
             };
             self.buf = Some(Buffered::new(rows));
         }
-        Ok(self.buf.as_mut().expect("buffered above").next_chunk())
+        Ok(self
+            .buf
+            .as_mut()
+            .expect("buffered above")
+            .next_chunk(BatchKind::Row))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
@@ -834,15 +926,18 @@ impl Operator for ProductOp {
             let Some(batch) = self.left.next_batch(ctx)? else {
                 return Ok(None);
             };
-            let mut out = Vec::with_capacity(batch.len() * r.len());
-            for x in &batch {
+            // every row is concatenated |r| times: materialize the rows
+            // once up front
+            let rows = batch.into_values();
+            let mut out = Vec::with_capacity(rows.len() * r.len());
+            for x in &rows {
                 for y in r.iter() {
                     ctx.stats.loop_iterations += 1;
                     out.push(Value::Tuple(x.as_tuple()?.concat(y.as_tuple()?)?));
                 }
             }
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(out)));
             }
         }
     }
@@ -947,7 +1042,7 @@ impl Operator for HashJoinOp {
             };
         }
         let table = match &mut self.state {
-            HashJoinState::Spilled(buf) => return Ok(buf.next_chunk()),
+            HashJoinState::Spilled(buf) => return Ok(buf.next_chunk(BatchKind::Row)),
             HashJoinState::InMem(table) => table,
             HashJoinState::Pending => unreachable!("resolved above"),
         };
@@ -964,7 +1059,7 @@ impl Operator for HashJoinOp {
                     &self.lkeys,
                     self.residual.as_ref(),
                     right_attrs,
-                    &batch,
+                    (&batch).into(),
                     &ctx.ev,
                     &mut ctx.env,
                     ctx.stats,
@@ -977,14 +1072,14 @@ impl Operator for HashJoinOp {
                     self.residual.as_ref(),
                     rfunc.as_ref(),
                     as_attr,
-                    &batch,
+                    (&batch).into(),
                     &ctx.ev,
                     &mut ctx.env,
                     ctx.stats,
                 )?,
             };
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(out)));
             }
         }
     }
@@ -1062,7 +1157,7 @@ impl Operator for MemberJoinOp {
             };
         }
         let table = match &mut self.state {
-            HashJoinState::Spilled(buf) => return Ok(buf.next_chunk()),
+            HashJoinState::Spilled(buf) => return Ok(buf.next_chunk(BatchKind::Row)),
             HashJoinState::InMem(table) => table,
             HashJoinState::Pending => unreachable!("resolved above"),
         };
@@ -1079,7 +1174,7 @@ impl Operator for MemberJoinOp {
                     &self.shape,
                     self.residual.as_ref(),
                     right_attrs,
-                    &batch,
+                    (&batch).into(),
                     &ctx.ev,
                     &mut ctx.env,
                     ctx.stats,
@@ -1092,14 +1187,14 @@ impl Operator for MemberJoinOp {
                     self.residual.as_ref(),
                     rfunc.as_ref(),
                     as_attr,
-                    &batch,
+                    (&batch).into(),
                     &ctx.ev,
                     &mut ctx.env,
                     ctx.stats,
                 )?,
             };
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(out)));
             }
         }
     }
@@ -1160,13 +1255,13 @@ impl Operator for IndexNLJoinOp {
                 &self.extent,
                 self.residual.as_ref(),
                 &self.right_attrs,
-                &batch,
+                (&batch).into(),
                 &ctx.ev,
                 &mut ctx.env,
                 ctx.stats,
             )?;
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(out)));
             }
         }
     }
@@ -1212,7 +1307,7 @@ impl Operator for NLJoinOp {
                     &self.rvar,
                     &self.pred,
                     right_attrs,
-                    &batch,
+                    (&batch).into(),
                     r,
                     &ctx.ev,
                     &mut ctx.env,
@@ -1224,7 +1319,7 @@ impl Operator for NLJoinOp {
                     &self.pred,
                     rfunc.as_ref(),
                     as_attr,
-                    &batch,
+                    (&batch).into(),
                     r,
                     &ctx.ev,
                     &mut ctx.env,
@@ -1232,7 +1327,7 @@ impl Operator for NLJoinOp {
                 )?,
             };
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(out)));
             }
         }
     }
@@ -1316,16 +1411,19 @@ impl Operator for SortMergeJoinOp {
             };
         }
         match &mut self.state {
-            SmjState::External(buf) => Ok(buf.next_chunk()),
-            SmjState::InMem(state) => state.next_chunk(
-                &self.lvar,
-                &self.rvar,
-                self.residual.as_ref(),
-                BATCH_SIZE,
-                &ctx.ev,
-                &mut ctx.env,
-                ctx.stats,
-            ),
+            SmjState::External(buf) => Ok(buf.next_chunk(BatchKind::Row)),
+            SmjState::InMem(state) => {
+                let rows = state.next_chunk(
+                    &self.lvar,
+                    &self.rvar,
+                    self.residual.as_ref(),
+                    BATCH_SIZE,
+                    &ctx.ev,
+                    &mut ctx.env,
+                    ctx.stats,
+                )?;
+                Ok(rows.map(Batch::from_rows))
+            }
             SmjState::Pending => unreachable!("resolved above"),
         }
     }
@@ -1433,6 +1531,7 @@ impl PhysPlan {
                 t: RowTransform::Filter {
                     var: var.clone(),
                     pred: pred.clone(),
+                    simple: SimplePred::compile(var, pred),
                 },
                 child: input.compile_rows(part, parts),
             }),
@@ -1440,6 +1539,7 @@ impl PhysPlan {
                 t: RowTransform::Map {
                     var: var.clone(),
                     body: body.clone(),
+                    simple: simple_attr(body, var).cloned(),
                 },
                 child: input.compile_rows(part, parts),
             }),
@@ -1773,19 +1873,33 @@ pub fn run(plan: &PhysPlan, db: &Database, stats: &mut Stats) -> Result<Value, E
     run_budgeted(plan, db, stats, MemoryBudget::from_env())
 }
 
-/// [`run`] under an explicit [`MemoryBudget`] — how [`crate::plan::Plan`]
-/// threads `PlannerConfig::memory_budget` into execution.
+/// [`run`] under an explicit [`MemoryBudget`] and the process-default
+/// batch layout ([`BatchKind::from_env`]).
 pub fn run_budgeted(
     plan: &PhysPlan,
     db: &Database,
     stats: &mut Stats,
     budget: MemoryBudget,
 ) -> Result<Value, EvalError> {
+    run_configured(plan, db, stats, budget, BatchKind::from_env())
+}
+
+/// [`run`] under an explicit [`MemoryBudget`] **and** batch layout — how
+/// [`crate::plan::Plan`] threads `PlannerConfig::memory_budget` and
+/// `PlannerConfig::batch_kind` into execution.
+pub fn run_configured(
+    plan: &PhysPlan,
+    db: &Database,
+    stats: &mut Stats,
+    budget: MemoryBudget,
+    batch_kind: BatchKind,
+) -> Result<Value, EvalError> {
     let mut ctx = ExecCtx {
         ev: Evaluator::new(db),
         env: Env::new(),
         stats,
         budget,
+        batch_kind,
     };
     let mut root = plan.compile();
     root.open(&mut ctx)?;
@@ -2183,6 +2297,7 @@ mod tests {
             env: Env::new(),
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
+            batch_kind: BatchKind::from_env(),
         };
         let mut op = plan.compile();
         op.open(&mut ctx).unwrap();
@@ -2205,6 +2320,7 @@ mod tests {
             env: Env::new(),
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
+            batch_kind: BatchKind::from_env(),
         };
         // next_batch before open
         let mut op = plan.compile();
@@ -2252,6 +2368,7 @@ mod tests {
             env: Env::new(),
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
+            batch_kind: BatchKind::from_env(),
         };
         let mut op = plan.compile();
         op.open(&mut ctx).unwrap();

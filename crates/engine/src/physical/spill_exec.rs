@@ -55,6 +55,11 @@ pub(crate) const GRACE_FANOUT: usize = 8;
 /// loops).
 pub(crate) const MAX_GRACE_DEPTH: u32 = 4;
 
+/// Rows per spilled column block. Bounds the k-way merge's residency:
+/// each run's reader holds at most one decoded block, so the merge
+/// keeps `runs × SPILL_BLOCK_ROWS` rows resident instead of whole runs.
+pub(crate) const SPILL_BLOCK_ROWS: usize = 128;
+
 /// The partition a hashed key routes to at a recursion level. Levels are
 /// remixed so recursion redistributes instead of re-creating the parent
 /// partition, and so grace routing stays decorrelated from the parallel
@@ -224,7 +229,7 @@ pub(crate) fn grace_equi_join(
     // Partition the probe side as it streams past.
     let mut pw = mgr.partition_writers(GRACE_FANOUT)?;
     while let Some(batch) = probe.next_batch(ctx)? {
-        for x in batch {
+        for x in batch.into_values() {
             let keys = eval_keys(lkeys, lvar, &x, &ctx.ev, &mut ctx.env, ctx.stats)?;
             let p = partition_of(hashjoin::key_hash(&keys), 0);
             write_keyed(&mut pw[p], &keys, &x)?;
@@ -371,7 +376,7 @@ pub(crate) fn grace_member_join(
     let mut pending = (!inner_join).then(|| mgr.writer()).transpose()?;
     let mut ordinal: i64 = 0;
     while let Some(batch) = probe.next_batch(ctx)? {
-        for x in batch {
+        for x in batch.into_values() {
             let probes = MemberHashTable::<Value>::probe_keys(
                 shape,
                 lvar,
@@ -724,20 +729,35 @@ pub(crate) fn budgeted_canonical_set(
     ctx: &mut ExecCtx<'_, '_>,
 ) -> Result<Set, EvalError> {
     let budget = ctx.budget.clone();
+    let batch_kind = ctx.batch_kind;
     let mut buf: Vec<Value> = Vec::new();
     let mut bytes = 0usize;
     let mut mgr: Option<SpillManager> = None;
     let mut writers = Vec::new();
     while let Some(batch) = op.next_batch(ctx)? {
-        for v in batch {
+        for v in batch.into_values() {
             bytes += encoded_size(&v);
             buf.push(v);
             if budget.exceeded_by(bytes) {
                 let run = Set::from_values(std::mem::take(&mut buf));
                 let m = mgr.get_or_insert_with(|| SpillManager::new(&budget));
                 let mut w = m.writer()?;
-                for v in run.into_values() {
-                    w.write_record(std::slice::from_ref(&v))?;
+                // Runs persist in the pipeline's batch layout: columnar
+                // mode serializes each run as length-prefixed column
+                // blocks (dictionaries written once per block), row
+                // mode as the legacy row-by-row records. Readers are
+                // transparent to the difference, so the k-way merge
+                // below is unchanged. Blocks are **bounded** at
+                // SPILL_BLOCK_ROWS rows: a reader buffers one decoded
+                // block, and the merge holds one block per run — a
+                // whole-run block would re-materialize every run at
+                // merge time, exactly the residency the budget exists
+                // to prevent.
+                let mut rows = run.into_values();
+                while !rows.is_empty() {
+                    let tail = rows.split_off(rows.len().min(SPILL_BLOCK_ROWS));
+                    w.write_batch(&oodb_value::Batch::of(batch_kind, rows))?;
+                    rows = tail;
                 }
                 writers.push(w);
                 bytes = 0;

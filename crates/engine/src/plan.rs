@@ -26,7 +26,7 @@ use oodb_adl::vars::free_vars;
 use oodb_adl::AdlTypeError;
 use oodb_catalog::{CatalogStats, Database};
 use oodb_spill::MemoryBudget;
-use oodb_value::{CmpOp, Name, SetCmpOp, Value};
+use oodb_value::{BatchKind, CmpOp, Name, SetCmpOp, Value};
 use std::fmt;
 
 /// Which join implementation the rule-based planner prefers when keys
@@ -90,6 +90,15 @@ pub struct PlannerConfig {
     /// term into the cost model, so candidate selection can prefer,
     /// say, sort-merge when grace recursion would be expensive.
     pub memory_budget: usize,
+    /// Which layout the streaming pipeline ships batches in. Columnar
+    /// (the default) flattens uniform tuple batches into unboxed
+    /// columns with dictionary-interned strings and nested values (see
+    /// `oodb_value::batch`); `Row` preserves the legacy boxed-row
+    /// batches. The `OODB_BATCH_KIND` environment variable supplies the
+    /// process default (how CI runs a whole pass under the row layout);
+    /// results, operator row totals and classic work counters are
+    /// identical under either — only the memory layout changes.
+    pub batch_kind: BatchKind,
 }
 
 /// Default worker count: the `OODB_PARALLELISM` environment variable if
@@ -117,6 +126,7 @@ impl Default for PlannerConfig {
             parallelism: default_parallelism(),
             parallel_threshold: 2 * crate::physical::operator::BATCH_SIZE,
             memory_budget: default_memory_budget(),
+            batch_kind: BatchKind::from_env(),
         }
     }
 }
@@ -154,15 +164,19 @@ pub struct Plan<'a> {
     /// The memory budget streaming execution runs under (from
     /// [`PlannerConfig::memory_budget`]).
     budget: MemoryBudget,
+    /// The batch layout streaming execution ships rows in (from
+    /// [`PlannerConfig::batch_kind`]).
+    batch_kind: BatchKind,
 }
 
 impl Plan<'_> {
     /// Runs the plan through the streaming operator pipeline (the
     /// default execution path — see [`crate::physical::operator`]),
-    /// under the planner configuration's memory budget.
+    /// under the planner configuration's memory budget and batch
+    /// layout.
     pub fn execute_streaming(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
         self.phys
-            .execute_streaming_budgeted(self.db, stats, self.budget.clone())
+            .execute_streaming_configured(self.db, stats, self.budget.clone(), self.batch_kind)
     }
 
     /// Runs the plan with whole-set materialization at every operator
@@ -235,6 +249,7 @@ impl<'a> Planner<'a> {
                     .with_memory_budget(self.config.memory_budget)
             }),
             budget: MemoryBudget::bytes(self.config.memory_budget),
+            batch_kind: self.config.batch_kind,
         })
     }
 

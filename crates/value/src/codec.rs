@@ -135,7 +135,7 @@ fn codec_err(msg: String) -> ValueError {
     ValueError::Codec(msg)
 }
 
-fn take<'b>(bytes: &'b [u8], pos: &mut usize, n: usize) -> Result<&'b [u8], ValueError> {
+pub(crate) fn take<'b>(bytes: &'b [u8], pos: &mut usize, n: usize) -> Result<&'b [u8], ValueError> {
     let end = pos
         .checked_add(n)
         .filter(|&e| e <= bytes.len())
@@ -145,19 +145,19 @@ fn take<'b>(bytes: &'b [u8], pos: &mut usize, n: usize) -> Result<&'b [u8], Valu
     Ok(slice)
 }
 
-fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<usize, ValueError> {
+pub(crate) fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<usize, ValueError> {
     let b = take(bytes, pos, 4)?;
     Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
 }
 
-fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, ValueError> {
+pub(crate) fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, ValueError> {
     let b = take(bytes, pos, 8)?;
     Ok(u64::from_le_bytes([
         b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
     ]))
 }
 
-fn push_len(out: &mut Vec<u8>, len: usize) {
+pub(crate) fn push_len(out: &mut Vec<u8>, len: usize) {
     // lengths are bounded by in-memory sizes, which fit u32 on every
     // platform this engine targets
     out.extend_from_slice(&(len as u32).to_le_bytes());

@@ -25,6 +25,7 @@
 //! Everything is deterministic and `Ord`-ered so query results can be
 //! compared structurally in tests and property checks.
 
+pub mod batch;
 pub mod codec;
 pub mod error;
 pub mod float;
@@ -35,6 +36,7 @@ pub mod tuple;
 pub mod types;
 pub mod value;
 
+pub use batch::{Batch, BatchKind, Column, ColumnarBatch};
 pub use error::ValueError;
 pub use float::F64;
 pub use oid::{Oid, OidGenerator};

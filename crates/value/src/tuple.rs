@@ -35,6 +35,18 @@ impl Tuple {
         Ok(Tuple { fields })
     }
 
+    /// Builds a tuple from fields already in canonical (sorted, unique)
+    /// order — the hot row-materialization path of the columnar batch,
+    /// whose schema is canonical by construction. Debug builds verify
+    /// the invariant.
+    pub(crate) fn from_sorted_unchecked(fields: Vec<(Name, Value)>) -> Self {
+        debug_assert!(
+            fields.windows(2).all(|w| w[0].0 < w[1].0),
+            "fields must be sorted and unique"
+        );
+        Tuple { fields }
+    }
+
     /// Builds a tuple from `(&str, Value)` pairs; panics on duplicates.
     ///
     /// Convenience for fixtures and tests.
@@ -81,6 +93,13 @@ impl Tuple {
     /// Iterates `(name, value)` pairs in canonical (name) order.
     pub fn iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
         self.fields.iter().map(|(n, v)| (n, v))
+    }
+
+    /// Consumes the tuple into its `(name, value)` pairs in canonical
+    /// order — the zero-clone decomposition the columnar batch builder
+    /// shreds rows through.
+    pub fn into_fields(self) -> Vec<(Name, Value)> {
+        self.fields
     }
 
     /// The attribute names, in canonical order. This is the tuple-level

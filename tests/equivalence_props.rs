@@ -8,7 +8,7 @@ use oodb::adl::dsl::*;
 use oodb::adl::expr::Expr;
 use oodb::core::Optimizer;
 use oodb::datagen::{generate, GenConfig};
-use oodb::engine::{Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
+use oodb::engine::{BatchKind, Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
 use oodb::value::{SetCmpOp, Value};
 use oodb::Pipeline;
 use proptest::prelude::*;
@@ -464,6 +464,58 @@ proptest! {
                 .execute_streaming(&mut ps)
                 .expect("budgeted parallel streaming");
             prop_assert_eq!(&parallel, &unbounded, "budget {} dop {} diverged", budget, dop);
+        }
+    }
+
+    /// The batch layout is semantically invisible: on random databases,
+    /// the columnar default and the legacy row layout produce identical
+    /// canonical sets, identical per-operator row totals and identical
+    /// classic work counters — crossed with dop ∈ {1, 4} and
+    /// budget ∈ {unbounded, 4 KiB}, so the column fast paths (filters,
+    /// maps, join key columns), the exchanges and the column-block
+    /// spill codec are all exercised against their row twins.
+    #[test]
+    fn batch_layouts_agree(config in db_config()) {
+        let db = generate(&config);
+        let opt = Optimizer::default();
+        let mk = |batch_kind: BatchKind, parallelism: usize, memory_budget: usize| PlannerConfig {
+            batch_kind,
+            parallelism,
+            memory_budget,
+            parallel_threshold: 0,
+            ..Default::default()
+        };
+        for q in query_corpus().into_iter().take(5) {
+            let rewritten = opt.optimize(&q, db.catalog()).expect("optimize succeeds");
+            for dop in [1usize, 4] {
+                for budget in [0usize, 4 << 10] {
+                    let mut cs = Stats::new();
+                    let columnar = Planner::with_config(&db, mk(BatchKind::Columnar, dop, budget))
+                        .plan(&rewritten.expr)
+                        .expect("plan")
+                        .execute_streaming(&mut cs)
+                        .expect("columnar streaming");
+                    let mut rs = Stats::new();
+                    let row = Planner::with_config(&db, mk(BatchKind::Row, dop, budget))
+                        .plan(&rewritten.expr)
+                        .expect("plan")
+                        .execute_streaming(&mut rs)
+                        .expect("row streaming");
+                    prop_assert_eq!(
+                        &columnar, &row,
+                        "layouts diverged at dop {} budget {}", dop, budget
+                    );
+                    prop_assert_eq!(
+                        cs.operator_rows_by_label(),
+                        rs.operator_rows_by_label(),
+                        "operator row totals diverged at dop {} budget {}", dop, budget
+                    );
+                    prop_assert_eq!(cs.rows_scanned, rs.rows_scanned);
+                    prop_assert_eq!(cs.predicate_evals, rs.predicate_evals);
+                    prop_assert_eq!(cs.hash_probes, rs.hash_probes);
+                    prop_assert_eq!(cs.hash_build_rows, rs.hash_build_rows);
+                }
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 use oodb::catalog::Database;
 use oodb::core::strategy::Optimizer;
 use oodb::datagen::{generate, GenConfig};
-use oodb::engine::{JoinAlgo, PlannerConfig};
+use oodb::engine::{BatchKind, JoinAlgo, PlannerConfig};
 use oodb::Pipeline;
 use oodb_bench::{
     materialize_query, query31_nested, query4_nested, query5_nested, query6_nested, run_naive,
@@ -20,14 +20,17 @@ use oodb_bench::{
 };
 
 /// The full configuration grid: 3 × 2 × 2 × 2 × 2 × 3 dop × 3 budgets
-/// = 432 configurations. The `parallelism` axis runs every
-/// configuration serially (`1`, today's exact pipeline) and through the
-/// exchange operators at dop 2 and 4; `parallel_threshold: 0` forces
-/// exchanges to appear even at this test's small scale, so the parallel
-/// grid points are live. The `memory_budget` axis runs unbounded
-/// (legacy in-memory), 64 KiB (borderline: some operators spill) and
-/// 4 KiB (every sizable hash build grace-partitions, sorts go
-/// external) — spilling may change the work profile, never the answer.
+/// × 2 batch layouts = 864 configurations. The `parallelism` axis runs
+/// every configuration serially (`1`, today's exact pipeline) and
+/// through the exchange operators at dop 2 and 4; `parallel_threshold:
+/// 0` forces exchanges to appear even at this test's small scale, so
+/// the parallel grid points are live. The `memory_budget` axis runs
+/// unbounded (legacy in-memory), 64 KiB (borderline: some operators
+/// spill) and 4 KiB (every sizable hash build grace-partitions, sorts
+/// go external) — spilling may change the work profile, never the
+/// answer. The `batch_kind` axis runs every point under both the
+/// columnar default and the legacy row layout — the layout may change
+/// cache behavior, never the answer.
 fn full_grid() -> Vec<PlannerConfig> {
     let mut grid = Vec::new();
     for join_algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
@@ -37,17 +40,20 @@ fn full_grid() -> Vec<PlannerConfig> {
                     for pnhl_budget in [4usize, 1 << 14] {
                         for parallelism in [1usize, 2, 4] {
                             for memory_budget in [0usize, 64 << 10, 4 << 10] {
-                                grid.push(PlannerConfig {
-                                    cost_based,
-                                    join_algo,
-                                    pnhl_budget,
-                                    detect_materialize,
-                                    prefer_assembly: true,
-                                    use_indexes,
-                                    parallelism,
-                                    parallel_threshold: 0,
-                                    memory_budget,
-                                });
+                                for batch_kind in [BatchKind::Columnar, BatchKind::Row] {
+                                    grid.push(PlannerConfig {
+                                        cost_based,
+                                        join_algo,
+                                        pnhl_budget,
+                                        detect_materialize,
+                                        prefer_assembly: true,
+                                        use_indexes,
+                                        parallelism,
+                                        parallel_threshold: 0,
+                                        memory_budget,
+                                        batch_kind,
+                                    });
+                                }
                             }
                         }
                     }
@@ -111,14 +117,18 @@ fn oosql_paper_queries_agree_across_the_full_grid() {
                 "streaming diverged\nquery: {q}\nconfig: {cfg:?}\nplan:\n{}",
                 streamed.explain
             );
-            let materialized = pipeline
-                .run_materialized(q)
-                .unwrap_or_else(|e| panic!("{q}: {e}"));
-            assert_eq!(
-                materialized.result, reference,
-                "materialized diverged\nquery: {q}\nconfig: {cfg:?}\nplan:\n{}",
-                materialized.explain
-            );
+            // the materialized path never batches, so the batch_kind
+            // axis is a no-op for it — run it once per remaining point
+            if cfg.batch_kind == BatchKind::Columnar {
+                let materialized = pipeline
+                    .run_materialized(q)
+                    .unwrap_or_else(|e| panic!("{q}: {e}"));
+                assert_eq!(
+                    materialized.result, reference,
+                    "materialized diverged\nquery: {q}\nconfig: {cfg:?}\nplan:\n{}",
+                    materialized.explain
+                );
+            }
         }
     }
 }
@@ -143,11 +153,14 @@ fn adl_section7_workloads_agree_across_the_full_grid() {
             .optimize(&q, db.catalog())
             .expect("optimize");
         for cfg in full_grid() {
-            let (materialized, _, _) = run_optimized_with(&db, &q, cfg.clone());
-            assert_eq!(
-                materialized, reference,
-                "{label}: materialized diverged under {cfg:?}"
-            );
+            // materialized execution never batches; once per point
+            if cfg.batch_kind == BatchKind::Columnar {
+                let (materialized, _, _) = run_optimized_with(&db, &q, cfg.clone());
+                assert_eq!(
+                    materialized, reference,
+                    "{label}: materialized diverged under {cfg:?}"
+                );
+            }
             let (streamed, _) = run_planned_streaming(&db, &optimized.expr, cfg.clone());
             assert_eq!(
                 streamed, reference,
