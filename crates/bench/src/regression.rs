@@ -7,10 +7,11 @@
 //!
 //! * any workload's `result_rows` differs from the baseline — a
 //!   correctness regression dressed up as a perf number;
-//! * any `*_work` counter regresses beyond [`WORK_TOLERANCE`] — the
-//!   deterministic, hardware-independent cost proxies the paper's
-//!   argument is measured in. Wall-clock columns are deliberately *not*
-//!   gated: CI machines are noisy, work counters are not.
+//! * any `*_work` counter — or the `mask_batches` vectorization
+//!   counter — regresses beyond [`WORK_TOLERANCE`]: the deterministic,
+//!   hardware-independent cost proxies the paper's argument is measured
+//!   in. Wall-clock columns are deliberately *not* gated: CI machines
+//!   are noisy, work counters are not.
 //!
 //! Either way it prints a per-workload delta table, so a red gate says
 //! exactly which workload and which counter moved, by how much.
@@ -273,6 +274,9 @@ mod tests {
             streaming_p4_ms: 1.0,
             streaming_b64k_ms: 1.0,
             spill_bytes: 0,
+            smj_spill_bytes: 0,
+            streaming_agg_ms: 1.0,
+            mask_batches: 0,
         }
     }
 
@@ -328,7 +332,7 @@ mod tests {
         .expect("committed baseline exists");
         let base = parse_baseline(&text).expect("committed baseline parses");
         assert_eq!(base.scale, 1600);
-        assert_eq!(base.workloads.len(), 5);
+        assert_eq!(base.workloads.len(), 7);
         for w in &base.workloads {
             assert!(w.field("result_rows").is_some(), "{w:?}");
             assert!(w.field("streaming_work").is_some(), "{w:?}");

@@ -272,6 +272,12 @@ impl<'a> CostModel<'a> {
                 let elems = o.rows * self.attr_set_len(&o, set_attr) * 16.0;
                 self.grace_io(build, elems).1
             }
+            // streaming ν grace-partitions grouped state beyond the
+            // budget, like a hash build with no separate probe side
+            PhysPlan::NestOp { input, .. } => {
+                let i = self.est(input);
+                self.grace_io(i.rows * self.row_bytes(input), 0.0).1
+            }
             _ => 0.0,
         }
     }
@@ -423,9 +429,14 @@ impl<'a> CostModel<'a> {
             }
             PhysPlan::NestOp { input, .. } => {
                 let i = self.est(input);
+                // streaming hash grouping: every input row is one
+                // group-table insert (weighted like a hash build — the
+                // table also bounds memory), and grouped state beyond
+                // the budget grace-partitions to disk
+                let (io, _) = self.grace_io(i.rows * self.row_bytes(input), 0.0);
                 NodeEst {
                     rows: (i.rows / 2.0).max(i.rows.min(1.0)),
-                    cost: i.cost,
+                    cost: i.cost + BUILD_WEIGHT * i.rows + io,
                     source: None,
                 }
             }
@@ -454,7 +465,9 @@ impl<'a> CostModel<'a> {
                 let i = self.est(input);
                 NodeEst {
                     rows: 1.0,
-                    cost: i.cost,
+                    // streaming aggregation folds each row into the
+                    // running accumulator exactly once
+                    cost: i.cost + i.rows,
                     source: None,
                 }
             }

@@ -23,9 +23,25 @@
 //! layouts produce identical [`crate::stats::Stats`].
 
 use crate::eval::EvalError;
+use crate::stats::Stats;
 use oodb_adl::expr::Expr;
-use oodb_value::{Batch, CmpOp, Column, Name, Value};
+use oodb_value::{Batch, CmpOp, Column, ColumnarBatch, Name, Oid, Value};
 use std::borrow::Cow;
+
+/// The process default for the vectorized fast paths: `OODB_VECTORIZE`
+/// (`on`/`off`, `1`/`0`, `true`/`false`) if set, on otherwise. Like
+/// `OODB_BATCH_KIND`, a malformed value **panics** — CI's `off` pass
+/// must never silently run vectorized.
+pub fn vectorize_from_env() -> bool {
+    match std::env::var("OODB_VECTORIZE") {
+        Err(_) => true,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => true,
+            "off" | "0" | "false" => false,
+            other => panic!("OODB_VECTORIZE must be `on` or `off`, got {other:?}"),
+        },
+    }
+}
 
 /// The attribute `e` reads, when `e` is exactly `var.attr`.
 pub fn simple_attr<'e>(e: &'e Expr, var: &Name) -> Option<&'e Name> {
@@ -86,6 +102,295 @@ impl SimplePred {
             Value::compare(self.op, v, &self.rhs)
         };
         r.map_err(EvalError::Value)
+    }
+
+    /// Tier-1 mask kernel: evaluates the predicate over a whole column
+    /// in one chunk-friendly pass. Only sound after a witness
+    /// evaluation succeeded (see [`MaskExpr`]) — rows `expect` success.
+    fn eval_column(&self, col: &Column, len: usize) -> Vec<bool> {
+        match (col, &self.rhs) {
+            (Column::Int(xs), Value::Int(c)) => {
+                let (op, c, flipped) = (self.op, *c, self.flipped);
+                xs[..len]
+                    .iter()
+                    .map(|&x| {
+                        if flipped {
+                            cmp_scalar(op, c, x)
+                        } else {
+                            cmp_scalar(op, x, c)
+                        }
+                    })
+                    .collect()
+            }
+            (Column::Float(xs), Value::Float(c)) => {
+                let (op, c, flipped) = (self.op, *c, self.flipped);
+                xs[..len]
+                    .iter()
+                    .map(|&x| {
+                        if flipped {
+                            cmp_scalar(op, c, x)
+                        } else {
+                            cmp_scalar(op, x, c)
+                        }
+                    })
+                    .collect()
+            }
+            _ => (0..len)
+                .map(|i| self.eval(&col.value_at(i)).expect("classified infallible"))
+                .collect(),
+        }
+    }
+}
+
+/// One comparison leaf of a compiled mask tree.
+#[derive(Debug, Clone)]
+pub enum MaskLeaf {
+    /// `x.a ⟨cmp⟩ literal` (either orientation).
+    Lit(SimplePred),
+    /// `x.a ⟨cmp⟩ x.b`.
+    Cols { left: Name, op: CmpOp, right: Name },
+}
+
+/// A compiled `AND`/`OR`/`NOT` tree over simple comparison leaves
+/// (`x.a ⟨cmp⟩ lit`, `x.a ⟨cmp⟩ x.b`) — the compound-predicate shape
+/// that evaluates as fused selection masks over primitive columns.
+///
+/// Per batch, [`MaskExpr::eval_batch`] picks one of three tiers:
+///
+/// 1. **Bitmask** — every leaf binds to a live column and provably
+///    cannot error on any row of it (primitive columns are
+///    constructor-uniform and never hold `NULL`, so one witness
+///    comparison per leaf decides this). Leaves evaluate whole columns
+///    in chunk-friendly loops (`i64`/`f64` specializations), `AND`
+///    short-circuits when its left mask is all-false and `OR` when
+///    all-true.
+/// 2. **Per-row tree walk** — every leaf binds but some could error
+///    (interned columns, `NULL` literals, uncomparable constructors).
+///    Rows evaluate in order with the interpreter's exact left-to-right
+///    short-circuit, so the first error surfaced is identical.
+/// 3. **Row fallback** — a leaf's column is missing from this batch:
+///    `eval_batch` returns `None` and the caller re-enters the row
+///    interpreter, which reports the exact reference error.
+///
+/// All tiers preserve the reference counters: `predicate_evals` is
+/// charged once per row reached, exactly like the row path.
+#[derive(Debug, Clone)]
+pub enum MaskExpr {
+    /// A single comparison.
+    Leaf(MaskLeaf),
+    /// Logical conjunction, left-to-right short-circuit.
+    And(Box<MaskExpr>, Box<MaskExpr>),
+    /// Logical disjunction, left-to-right short-circuit.
+    Or(Box<MaskExpr>, Box<MaskExpr>),
+    /// Logical negation.
+    Not(Box<MaskExpr>),
+}
+
+impl MaskExpr {
+    /// Compiles `pred` when every leaf has a simple shape over `var`;
+    /// `None` otherwise (the caller keeps the row interpreter).
+    pub fn compile(var: &Name, pred: &Expr) -> Option<MaskExpr> {
+        match pred {
+            Expr::And(a, b) => Some(MaskExpr::And(
+                Box::new(MaskExpr::compile(var, a)?),
+                Box::new(MaskExpr::compile(var, b)?),
+            )),
+            Expr::Or(a, b) => Some(MaskExpr::Or(
+                Box::new(MaskExpr::compile(var, a)?),
+                Box::new(MaskExpr::compile(var, b)?),
+            )),
+            Expr::Not(e) => Some(MaskExpr::Not(Box::new(MaskExpr::compile(var, e)?))),
+            Expr::Cmp(op, a, b) => {
+                if let (Some(l), Some(r)) = (simple_attr(a, var), simple_attr(b, var)) {
+                    return Some(MaskExpr::Leaf(MaskLeaf::Cols {
+                        left: l.clone(),
+                        op: *op,
+                        right: r.clone(),
+                    }));
+                }
+                SimplePred::compile(var, pred).map(|p| MaskExpr::Leaf(MaskLeaf::Lit(p)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Binds every leaf to its column in `cb`; `None` when one is
+    /// missing (tier 3).
+    fn bind<'a>(&'a self, cb: &'a ColumnarBatch) -> Option<Bound<'a>> {
+        Some(match self {
+            MaskExpr::Leaf(MaskLeaf::Lit(pred)) => Bound::Lit {
+                pred,
+                col: cb.column(&pred.attr)?,
+            },
+            MaskExpr::Leaf(MaskLeaf::Cols { left, op, right }) => Bound::Cols {
+                op: *op,
+                left: cb.column(left)?,
+                right: cb.column(right)?,
+            },
+            MaskExpr::And(a, b) => Bound::And(Box::new(a.bind(cb)?), Box::new(b.bind(cb)?)),
+            MaskExpr::Or(a, b) => Bound::Or(Box::new(a.bind(cb)?), Box::new(b.bind(cb)?)),
+            MaskExpr::Not(e) => Bound::Not(Box::new(e.bind(cb)?)),
+        })
+    }
+
+    /// Evaluates the tree over one columnar batch: `Some(keep)` when
+    /// every leaf binds to a live column, `None` when one is missing —
+    /// the caller falls back to the row interpreter for this batch.
+    /// Charges `predicate_evals` once per row reached (all of them on
+    /// success; up to and including the erroring row on failure) and
+    /// `mask_batches` once, so row and mask paths keep identical
+    /// reference counters.
+    pub fn eval_batch(
+        &self,
+        cb: &ColumnarBatch,
+        stats: &mut Stats,
+    ) -> Option<Result<Vec<bool>, EvalError>> {
+        let bound = self.bind(cb)?;
+        stats.mask_batches += 1;
+        if bound.infallible() {
+            stats.predicate_evals += cb.len() as u64;
+            return Some(Ok(bound.eval_mask(cb.len())));
+        }
+        let mut keep = Vec::with_capacity(cb.len());
+        for i in 0..cb.len() {
+            stats.predicate_evals += 1;
+            match bound.eval_row(i) {
+                Ok(k) => keep.push(k),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(keep))
+    }
+}
+
+/// A representative value of a primitive column's constructor, or
+/// `None` for interned columns (which can hold anything, including
+/// `NULL`). Primitive columns are constructor-uniform, so whether a
+/// comparison errors is decided by one witness evaluation.
+fn witness(col: &Column) -> Option<Value> {
+    Some(match col {
+        Column::Int(_) => Value::Int(0),
+        Column::Float(_) => Value::float(0.0),
+        Column::Bool(_) => Value::Bool(false),
+        Column::Date(_) => Value::Date(0),
+        Column::Oid(_) => Value::Oid(Oid(0)),
+        Column::Str { .. } => Value::Str(Name::from("")),
+        Column::Interned { .. } => return None,
+    })
+}
+
+/// Scalar comparison on unboxed operands — the loop body of the
+/// specialized mask kernels.
+fn cmp_scalar<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// A mask tree bound to one batch's columns.
+enum Bound<'a> {
+    Lit {
+        pred: &'a SimplePred,
+        col: &'a Column,
+    },
+    Cols {
+        op: CmpOp,
+        left: &'a Column,
+        right: &'a Column,
+    },
+    And(Box<Bound<'a>>, Box<Bound<'a>>),
+    Or(Box<Bound<'a>>, Box<Bound<'a>>),
+    Not(Box<Bound<'a>>),
+}
+
+impl Bound<'_> {
+    /// True when no row of this batch can make the tree error: every
+    /// leaf's witness comparison succeeds. (`NOT`/`AND`/`OR` over
+    /// boolean leaves never error themselves.)
+    fn infallible(&self) -> bool {
+        match self {
+            Bound::Lit { pred, col } => {
+                matches!(witness(col), Some(w) if pred.eval(&w).is_ok())
+            }
+            Bound::Cols { op, left, right } => matches!(
+                (witness(left), witness(right)),
+                (Some(wl), Some(wr)) if Value::compare(*op, &wl, &wr).is_ok()
+            ),
+            Bound::And(a, b) | Bound::Or(a, b) => a.infallible() && b.infallible(),
+            Bound::Not(e) => e.infallible(),
+        }
+    }
+
+    /// Tier 1: whole-column evaluation. Only sound after
+    /// [`Bound::infallible`] holds — leaves `expect` success.
+    fn eval_mask(&self, len: usize) -> Vec<bool> {
+        match self {
+            Bound::Lit { pred, col } => pred.eval_column(col, len),
+            Bound::Cols { op, left, right } => match (left, right) {
+                (Column::Int(l), Column::Int(r)) => {
+                    (0..len).map(|i| cmp_scalar(*op, l[i], r[i])).collect()
+                }
+                (Column::Float(l), Column::Float(r)) => {
+                    (0..len).map(|i| cmp_scalar(*op, l[i], r[i])).collect()
+                }
+                _ => (0..len)
+                    .map(|i| {
+                        let (a, b) = (left.value_at(i), right.value_at(i));
+                        Value::compare(*op, &a, &b).expect("classified infallible")
+                    })
+                    .collect(),
+            },
+            Bound::And(a, b) => {
+                let mut m = a.eval_mask(len);
+                // short-circuit: an all-false left mask settles the AND
+                if m.iter().any(|&x| x) {
+                    for (x, y) in m.iter_mut().zip(b.eval_mask(len)) {
+                        *x &= y;
+                    }
+                }
+                m
+            }
+            Bound::Or(a, b) => {
+                let mut m = a.eval_mask(len);
+                // short-circuit: an all-true left mask settles the OR
+                if m.iter().any(|&x| !x) {
+                    for (x, y) in m.iter_mut().zip(b.eval_mask(len)) {
+                        *x |= y;
+                    }
+                }
+                m
+            }
+            Bound::Not(e) => {
+                let mut m = e.eval_mask(len);
+                for x in m.iter_mut() {
+                    *x = !*x;
+                }
+                m
+            }
+        }
+    }
+
+    /// Tier 2: one row, with the interpreter's exact left-to-right
+    /// short-circuit and error order.
+    fn eval_row(&self, i: usize) -> Result<bool, EvalError> {
+        match self {
+            Bound::Lit { pred, col } => pred.eval(&col.value_at(i)),
+            Bound::Cols { op, left, right } => {
+                let (a, b) = (left.value_at(i), right.value_at(i));
+                if matches!(a, Value::Null) || matches!(b, Value::Null) {
+                    return Err(EvalError::NullNotAllowed("comparison"));
+                }
+                Value::compare(*op, &a, &b).map_err(EvalError::Value)
+            }
+            Bound::And(a, b) => Ok(a.eval_row(i)? && b.eval_row(i)?),
+            Bound::Or(a, b) => Ok(a.eval_row(i)? || b.eval_row(i)?),
+            Bound::Not(e) => Ok(!e.eval_row(i)?),
+        }
     }
 }
 

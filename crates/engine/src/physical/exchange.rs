@@ -176,6 +176,7 @@ impl ExchangeOp {
         // memory budget, so the whole exchange stays within it.
         let budget = ctx.budget.share(dop);
         let batch_kind = ctx.batch_kind;
+        let vectorize = ctx.vectorize;
         let results: Vec<Result<(Vec<Value>, Stats), EvalError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..dop)
                 .map(|w| {
@@ -189,6 +190,7 @@ impl ExchangeOp {
                             stats: &mut stats,
                             budget,
                             batch_kind,
+                            vectorize,
                         };
                         let mut op = plan.compile_stride(w, dop);
                         op.open(&mut wctx)?;
@@ -878,6 +880,7 @@ mod tests {
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
+            vectorize: true,
         };
         let mut op = plan.phys.compile();
         assert!(matches!(

@@ -10,7 +10,7 @@ use crate::eval::{Env, EvalError, Evaluator};
 use crate::stats::Stats;
 use oodb_adl::expr::{Expr, JoinKind};
 use oodb_value::fxhash::FxHashMap;
-use oodb_value::{Name, Set, Tuple, Value};
+use oodb_value::{Batch, Column, ColumnarBatch, Name, Set, Tuple, Value};
 
 /// The two supported membership predicate shapes.
 #[derive(Debug, Clone)]
@@ -361,6 +361,90 @@ impl<V: std::borrow::Borrow<Value>> JoinHashTable<V> {
             out.push(with_group(x, as_attr, group)?);
         }
         Ok(out)
+    }
+}
+
+/// A columnar re-materialization of an in-memory [`JoinHashTable`]:
+/// the build rows flattened into one [`ColumnarBatch`] plus a
+/// key → row-index multimap over it. Probing produces
+/// (probe-selection, build-gather-indices) pairs materialized
+/// column-at-a-time through [`ColumnarBatch::gather`] /
+/// [`ColumnarBatch::filter`] instead of boxed row concatenation, so
+/// residual-free equi-join output never leaves columnar form.
+pub(crate) struct IndexedBuild {
+    cb: ColumnarBatch,
+    map: FxHashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl JoinHashTable<Value> {
+    /// The columnar view of this table's build rows, or `None` when
+    /// they do not form a uniform block of primitive-typed tuples. No
+    /// counters are charged — the build itself was already counted;
+    /// this only re-shapes it.
+    pub(crate) fn indexed(&self) -> Option<IndexedBuild> {
+        let mut rows = Vec::new();
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for (key, bucket) in &self.map {
+            let start = rows.len();
+            rows.extend(bucket.iter().cloned());
+            map.insert(key.clone(), (start..rows.len()).collect());
+        }
+        let cb = ColumnarBatch::try_new(rows).ok()?;
+        Some(IndexedBuild { cb, map })
+    }
+}
+
+impl IndexedBuild {
+    /// Probes one columnar batch entirely in columnar form. Only valid
+    /// for residual-free joins whose keys read straight off `key_cols`
+    /// (the caller checks both): inner joins gather matching
+    /// (probe, build) row pairs and concatenate them column-wise;
+    /// semi/anti joins reduce to a selection mask over the probe batch.
+    ///
+    /// Returns `None` for unsupported kinds or when the output schemas
+    /// collide (`concat` fails); the caller then re-probes the same
+    /// batch through the row path, which reports the exact reference
+    /// error — so `hash_probes` is charged here only on success, and
+    /// the counter totals stay identical to a pure row-probe run.
+    pub(crate) fn probe_columnar(
+        &self,
+        kind: JoinKind,
+        key_cols: &[&Column],
+        probe: &ColumnarBatch,
+        stats: &mut Stats,
+    ) -> Option<Batch> {
+        let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+        let out = match kind {
+            JoinKind::Semi | JoinKind::Anti => {
+                let want = matches!(kind, JoinKind::Semi);
+                let keep: Vec<bool> = (0..probe.len())
+                    .map(|i| {
+                        key.clear();
+                        key.extend(key_cols.iter().map(|c| c.value_at(i)));
+                        self.map.contains_key(&key) == want
+                    })
+                    .collect();
+                Batch::Columnar(probe.filter(&keep))
+            }
+            JoinKind::Inner => {
+                let (mut pidx, mut bidx) = (Vec::new(), Vec::new());
+                for i in 0..probe.len() {
+                    key.clear();
+                    key.extend(key_cols.iter().map(|c| c.value_at(i)));
+                    if let Some(matches) = self.map.get(&key) {
+                        for &j in matches {
+                            pidx.push(i);
+                            bidx.push(j);
+                        }
+                    }
+                }
+                Batch::Columnar(probe.gather(&pidx).concat(&self.cb.gather(&bidx))?)
+            }
+            // outer padding introduces `Null`s no primitive column holds
+            JoinKind::LeftOuter => return None,
+        };
+        stats.hash_probes += probe.len() as u64;
+        Some(out)
     }
 }
 

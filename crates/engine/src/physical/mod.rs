@@ -413,6 +413,22 @@ impl PhysPlan {
         operator::run_configured(self, db, stats, budget, batch_kind)
     }
 
+    /// [`PhysPlan::execute_streaming_configured`] with the
+    /// vectorization switch pinned as well (instead of read from
+    /// `OODB_VECTORIZE`) — how [`crate::plan::Plan`] threads
+    /// `PlannerConfig::vectorize` into execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_streaming_full(
+        &self,
+        db: &Database,
+        stats: &mut Stats,
+        budget: oodb_spill::MemoryBudget,
+        batch_kind: oodb_value::BatchKind,
+        vectorize: bool,
+    ) -> Result<Value, EvalError> {
+        operator::run_full(self, db, stats, budget, batch_kind, vectorize)
+    }
+
     /// Executes the plan against `db` with whole-set materialization at
     /// every operator boundary (the reference set-at-a-time semantics
     /// the streaming pipeline is checked against).

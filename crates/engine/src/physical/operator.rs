@@ -22,8 +22,8 @@
 //! Entry point: [`PhysPlan::execute_streaming_on`] (in
 //! [`crate::physical`]), or [`crate::plan::Plan::execute_streaming`].
 
-use super::columnar::{simple_attr, SimplePred};
-use super::hashjoin::{self, JoinHashTable, MemberHashTable, MemberShape};
+use super::columnar::{simple_attr, MaskExpr, ProbeInput};
+use super::hashjoin::{self, IndexedBuild, JoinHashTable, MemberHashTable, MemberShape};
 use super::sortmerge::SortMergeState;
 use super::{pnhl, spill_exec, MatchKeys, PhysPlan};
 use crate::eval::{aggregate, nest_set, unnest_value, Env, EvalError, Evaluator};
@@ -31,6 +31,7 @@ use crate::stats::{OpStats, Stats};
 use oodb_adl::expr::{AggOp, Expr, JoinKind, SetOp};
 use oodb_catalog::Database;
 use oodb_spill::{MemoryBudget, SpillMetrics};
+use oodb_value::fxhash::FxHashSet;
 use oodb_value::{BatchKind, Name, Set, Value};
 
 /// Rows per batch. Batches are soft-bounded: operators that expand rows
@@ -68,6 +69,14 @@ pub struct ExecCtx<'db, 's> {
     /// columnar batches columnar; operators that construct fresh rows
     /// (join outputs, blocking drains) emit row batches.
     pub batch_kind: BatchKind,
+    /// Master switch for the vectorized fast paths: compiled selection
+    /// masks, column-at-a-time transforms, columnar hash-join outputs
+    /// and the streaming ν/`Agg` group tables. `true` by default;
+    /// `OODB_VECTORIZE=off` (or `PlannerConfig::vectorize`) forces every
+    /// operator onto the row-interpreter / drain-to-set reference paths
+    /// for differential testing. Results and the classic work counters
+    /// are identical either way — the switch only selects the machinery.
+    pub vectorize: bool,
 }
 
 /// A pull-based physical operator.
@@ -95,6 +104,15 @@ pub trait Operator {
     /// copies it into the operator's [`OpStats`] entry.
     fn spill_metrics(&self) -> SpillMetrics {
         SpillMetrics::default()
+    }
+
+    /// Input batches a grouped breaker consumed **incrementally**
+    /// (streaming ν / streaming `Agg`); zero for everything else. The
+    /// instrumentation shim copies it into the operator's [`OpStats`]
+    /// entry so EXPLAIN shows the streaming group table instead of an
+    /// opaque drain.
+    fn in_batches(&self) -> u64 {
+        0
     }
 }
 
@@ -149,6 +167,18 @@ pub(crate) fn drain_to_set(
         spill_exec::budgeted_canonical_set(op, local, ctx)
     } else {
         Ok(Set::from_values(drain_rows(op, ctx)?))
+    }
+}
+
+/// Materializes a child as raw (possibly duplicate-bearing) rows for a
+/// consumer that performs its own set dedupe — the keyed external merge
+/// sort. Scalar children keep the set/error contract of
+/// [`drain_to_set`]; their single set value is already canonical.
+fn drain_raw(op: &mut BoxOp, ctx: &mut ExecCtx<'_, '_>) -> Result<Vec<Value>, EvalError> {
+    if op.scalar() {
+        Ok(drain_scalar(op, ctx)?.into_set()?.into_values())
+    } else {
+        drain_rows(op, ctx)
     }
 }
 
@@ -244,6 +274,7 @@ impl Instrument {
                 op: self.label.clone(),
                 rows_out: self.rows_out,
                 batches: self.batches,
+                in_batches: self.inner.in_batches(),
                 spill_bytes: spill.bytes,
                 spill_partitions: spill.partitions,
                 spill_passes: spill.passes,
@@ -298,6 +329,10 @@ impl Operator for Instrument {
 
     fn spill_metrics(&self) -> SpillMetrics {
         self.inner.spill_metrics()
+    }
+
+    fn in_batches(&self) -> u64 {
+        self.inner.in_batches()
     }
 }
 
@@ -373,11 +408,13 @@ struct ScalarOp {
     kind: ScalarKind,
     done: bool,
     spill: SpillMetrics,
+    in_batches: u64,
 }
 
 impl Operator for ScalarOp {
     fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
         self.done = false;
+        self.in_batches = 0;
         if let ScalarKind::Agg { child, .. } = &mut self.kind {
             child.open(ctx)?;
         }
@@ -393,8 +430,12 @@ impl Operator for ScalarOp {
             ScalarKind::Literal(v) => v.clone(),
             ScalarKind::Eval(e) => ctx.ev.eval(e, &mut ctx.env, ctx.stats)?,
             ScalarKind::Agg { op, child } => {
-                let s = drain_to_set(child, &mut self.spill, ctx)?;
-                aggregate(*op, &s)?
+                if ctx.vectorize {
+                    streaming_aggregate(*op, child, &mut self.in_batches, &mut self.spill, ctx)?
+                } else {
+                    let s = drain_to_set(child, &mut self.spill, ctx)?;
+                    aggregate(*op, &s)?
+                }
             }
         };
         Ok(Some(Batch::from_rows(vec![v])))
@@ -412,6 +453,78 @@ impl Operator for ScalarOp {
 
     fn spill_metrics(&self) -> SpillMetrics {
         self.spill
+    }
+
+    fn in_batches(&self) -> u64 {
+        self.in_batches
+    }
+}
+
+/// Streaming aggregation: consumes the child batch by batch instead of
+/// draining it into a canonical set first.
+///
+/// * `min`/`max` keep a running extreme under **any** budget: the
+///   extreme of the raw stream equals the extreme of its deduplicated
+///   set, and the canonical `Set` order makes the reference `min`/`max`
+///   exactly the `Value`-order extremes.
+/// * `count`/`sum`/`avg` need the **distinct** values (sets
+///   deduplicate). Under an unbounded budget they stream into an
+///   incremental distinct table; `sum`/`avg` then finish through the
+///   reference [`aggregate`] on the canonicalized distinct values,
+///   preserving its fold order (float addition is order-sensitive) and
+///   its exact error behavior. Under a bounded budget the distinct
+///   table would be unbounded state, so they keep the spill-aware
+///   canonical drain.
+fn streaming_aggregate(
+    op: AggOp,
+    child: &mut BoxOp,
+    in_batches: &mut u64,
+    spill: &mut SpillMetrics,
+    ctx: &mut ExecCtx<'_, '_>,
+) -> Result<Value, EvalError> {
+    if child.scalar() {
+        // a scalar child is one set value, not a row stream; the drain
+        // keeps its set/error contract
+        return aggregate(op, &drain_to_set(child, spill, ctx)?);
+    }
+    match op {
+        AggOp::Min | AggOp::Max => {
+            let mut best: Option<Value> = None;
+            while let Some(b) = child.next_batch(ctx)? {
+                *in_batches += 1;
+                for v in b.into_values() {
+                    let better = match &best {
+                        None => true,
+                        Some(cur) if matches!(op, AggOp::Min) => v < *cur,
+                        Some(cur) => v > *cur,
+                    };
+                    if better {
+                        best = Some(v);
+                    }
+                }
+            }
+            best.ok_or(EvalError::Value(oodb_value::ValueError::EmptyAggregate(
+                if matches!(op, AggOp::Min) {
+                    "min"
+                } else {
+                    "max"
+                },
+            )))
+        }
+        AggOp::Count | AggOp::Sum | AggOp::Avg if !ctx.budget.is_bounded() => {
+            let mut distinct: FxHashSet<Value> = FxHashSet::default();
+            while let Some(b) = child.next_batch(ctx)? {
+                *in_batches += 1;
+                for v in b.into_values() {
+                    distinct.insert(v);
+                }
+            }
+            if matches!(op, AggOp::Count) {
+                return Ok(Value::Int(distinct.len() as i64));
+            }
+            aggregate(op, &Set::from_values(distinct.into_iter().collect()))
+        }
+        _ => aggregate(op, &drain_to_set(child, spill, ctx)?),
     }
 }
 
@@ -451,12 +564,13 @@ impl Operator for ScalarRows {
 
 /// The per-row transforms that never block the pipeline.
 enum RowTransform {
-    /// `σ` — predicate filter. `simple` is the compiled column-at-a-time
-    /// form when the predicate is a `var.attr ⟨cmp⟩ literal` shape.
+    /// `σ` — predicate filter. `mask` is the compiled selection-mask
+    /// tree when the predicate is an `AND`/`OR`/`NOT` composition of
+    /// simple conjuncts (`var.attr ⟨cmp⟩ literal`, `var.a ⟨cmp⟩ var.b`).
     Filter {
         var: Name,
         pred: Expr,
-        simple: Option<SimplePred>,
+        mask: Option<MaskExpr>,
     },
     /// `α` — function application. `simple` names the attribute when the
     /// body is exactly `var.attr` (a column extraction).
@@ -497,23 +611,20 @@ impl TransformOp {
         batch: &Batch,
         ctx: &mut ExecCtx<'_, '_>,
     ) -> Result<Option<Batch>, EvalError> {
+        if !ctx.vectorize {
+            return Ok(None); // kill-switch: every batch takes the row view
+        }
         let Batch::Columnar(cb) = batch else {
             return Ok(None);
         };
         match &self.t {
             RowTransform::Filter {
-                simple: Some(sp), ..
-            } => {
-                let Some(col) = cb.column(&sp.attr) else {
-                    return Ok(None); // row view reports the NoSuchField
-                };
-                let mut keep = vec![false; cb.len()];
-                for (i, k) in keep.iter_mut().enumerate() {
-                    ctx.stats.predicate_evals += 1;
-                    *k = sp.eval(&col.value_at(i))?;
-                }
-                Ok(Some(Batch::Columnar(cb.filter(&keep))))
-            }
+                mask: Some(mask), ..
+            } => match mask.eval_batch(cb, ctx.stats) {
+                // unbound column: row view reports the NoSuchField
+                None => Ok(None),
+                Some(keep) => Ok(Some(Batch::Columnar(cb.filter(&keep?)))),
+            },
             RowTransform::Map {
                 simple: Some(attr), ..
             } => {
@@ -708,11 +819,13 @@ struct BlockingOp {
     kind: BlockingKind,
     buf: Option<Buffered>,
     spill: SpillMetrics,
+    in_batches: u64,
 }
 
 impl Operator for BlockingOp {
     fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
         self.buf = None;
+        self.in_batches = 0;
         match &mut self.kind {
             BlockingKind::Nest { child, .. } => child.open(ctx),
             BlockingKind::SetOp { left, right, .. } => {
@@ -730,14 +843,32 @@ impl Operator for BlockingOp {
     fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
         if self.buf.is_none() {
             let spill = &mut self.spill;
+            let in_batches = &mut self.in_batches;
             let rows = match &mut self.kind {
                 BlockingKind::Nest {
                     attrs,
                     as_attr,
                     child,
                 } => {
-                    let s = drain_to_set(child, spill, ctx)?;
-                    nest_set(&s, attrs, as_attr)?.into_set()?.into_values()
+                    if ctx.vectorize && !child.scalar() {
+                        // streaming ν: the group table reads the child
+                        // batch by batch — no canonical-set drain. The
+                        // final Set::from_values canonicalizes exactly
+                        // like the reference nest_set output.
+                        let budget = ctx.budget.clone();
+                        let mut nest = spill_exec::StreamingNest::new(as_attr, &budget);
+                        while let Some(b) = child.next_batch(ctx)? {
+                            *in_batches += 1;
+                            for row in b.into_values() {
+                                nest.push(&row, attrs)?;
+                            }
+                        }
+                        let grouped = nest.finish(spill, ctx.stats)?;
+                        Set::from_values(grouped).into_values()
+                    } else {
+                        let s = drain_to_set(child, spill, ctx)?;
+                        nest_set(&s, attrs, as_attr)?.into_set()?.into_values()
+                    }
                 }
                 BlockingKind::SetOp { op, left, right } => {
                     let l = drain_to_set(left, spill, ctx)?;
@@ -823,6 +954,10 @@ impl Operator for BlockingOp {
 
     fn spill_metrics(&self) -> SpillMetrics {
         self.spill
+    }
+
+    fn in_batches(&self) -> u64 {
+        self.in_batches
     }
 }
 
@@ -992,12 +1127,17 @@ struct HashJoinOp {
     left: BoxOp,
     right: BoxOp,
     state: HashJoinState<JoinHashTable>,
+    /// Columnar re-materialization of the in-memory build table, built
+    /// once per open when the vectorized probe applies (residual-free
+    /// inner/semi/anti join, batchable build rows, `ctx.vectorize`).
+    indexed: Option<IndexedBuild>,
     spill: SpillMetrics,
 }
 
 impl Operator for HashJoinOp {
     fn open(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<(), EvalError> {
         self.state = HashJoinState::Pending;
+        self.indexed = None;
         self.left.open(ctx)?;
         self.right.open(ctx)
     }
@@ -1040,6 +1180,20 @@ impl Operator for HashJoinOp {
                     HashJoinState::Spilled(Buffered::new(rows))
                 }
             };
+            if let HashJoinState::InMem(table) = &self.state {
+                if ctx.vectorize
+                    && self.residual.is_none()
+                    && matches!(
+                        self.mode,
+                        HashMode::Join {
+                            kind: JoinKind::Inner | JoinKind::Semi | JoinKind::Anti,
+                            ..
+                        }
+                    )
+                {
+                    self.indexed = table.indexed();
+                }
+            }
         }
         let table = match &mut self.state {
             HashJoinState::Spilled(buf) => return Ok(buf.next_chunk(BatchKind::Row)),
@@ -1050,6 +1204,25 @@ impl Operator for HashJoinOp {
             let Some(batch) = self.left.next_batch(ctx)? else {
                 return Ok(None);
             };
+            // columnar fast path: a residual-free equi-join over a
+            // columnar probe batch whose keys read straight off the key
+            // columns emits columnar output via gather, never building
+            // boxed rows. `None` (unsupported shape, schema collision)
+            // falls through to the row probe below, which reports the
+            // reference error and charges the counters itself.
+            if let (Some(ib), HashMode::Join { kind, .. }) = (&self.indexed, &self.mode) {
+                if let Batch::Columnar(cb) = &batch {
+                    let probe = ProbeInput::from(&batch);
+                    if let Some(cols) = probe.key_columns(&self.lkeys, &self.lvar) {
+                        if let Some(out) = ib.probe_columnar(*kind, &cols, cb, ctx.stats) {
+                            if out.is_empty() {
+                                continue;
+                            }
+                            return Ok(Some(out));
+                        }
+                    }
+                }
+            }
             let out = match &self.mode {
                 HashMode::Join { kind, right_attrs } => JoinHashTable::probe_batch(
                     std::slice::from_ref(table),
@@ -1086,6 +1259,7 @@ impl Operator for HashJoinOp {
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
         self.state = HashJoinState::Pending;
+        self.indexed = None;
         self.left.close(ctx);
         self.right.close(ctx);
     }
@@ -1379,9 +1553,14 @@ impl Operator for SortMergeJoinOp {
 
     fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
         if matches!(self.state, SmjState::Pending) {
-            let l = drain_to_set(&mut self.left, &mut self.spill, ctx)?;
-            let r = drain_to_set(&mut self.right, &mut self.spill, ctx)?;
             self.state = if ctx.budget.is_bounded() {
+                // raw drains: the canonical-set dedupe is folded into
+                // the keyed external merge (runs deduplicate before
+                // each spill, the group cursor drops cross-run
+                // duplicates), so each side spills once instead of
+                // paying a separate canonicalize-and-spill pass first
+                let l = drain_raw(&mut self.left, ctx)?;
+                let r = drain_raw(&mut self.right, ctx)?;
                 let budget = ctx.budget.clone();
                 let rows = spill_exec::external_sort_merge_join(
                     &self.lvar,
@@ -1389,14 +1568,16 @@ impl Operator for SortMergeJoinOp {
                     &self.lkeys,
                     &self.rkeys,
                     self.residual.as_ref(),
-                    l.into_values(),
-                    r.into_values(),
+                    l,
+                    r,
                     &budget,
                     &mut self.spill,
                     ctx,
                 )?;
                 SmjState::External(Buffered::new(rows))
             } else {
+                let l = drain_to_set(&mut self.left, &mut self.spill, ctx)?;
+                let r = drain_to_set(&mut self.right, &mut self.spill, ctx)?;
                 SmjState::InMem(SortMergeState::build(
                     &self.lvar,
                     &self.rvar,
@@ -1513,11 +1694,13 @@ impl PhysPlan {
                 kind: ScalarKind::Literal(v.clone()),
                 done: false,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::Eval(e) => Box::new(ScalarOp {
                 kind: ScalarKind::Eval(e.clone()),
                 done: false,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::AggNode { op, input } => Box::new(ScalarOp {
                 kind: ScalarKind::Agg {
@@ -1526,12 +1709,13 @@ impl PhysPlan {
                 },
                 done: false,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::Filter { var, pred, input } => Box::new(TransformOp {
                 t: RowTransform::Filter {
                     var: var.clone(),
                     pred: pred.clone(),
-                    simple: SimplePred::compile(var, pred),
+                    mask: MaskExpr::compile(var, pred),
                 },
                 child: input.compile_rows(part, parts),
             }),
@@ -1575,6 +1759,7 @@ impl PhysPlan {
                 },
                 buf: None,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::SetOpNode { op, left, right } => Box::new(BlockingOp {
                 kind: BlockingKind::SetOp {
@@ -1584,6 +1769,7 @@ impl PhysPlan {
                 },
                 buf: None,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::Pnhl {
                 outer,
@@ -1601,6 +1787,7 @@ impl PhysPlan {
                 },
                 buf: None,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::UnnestJoin {
                 outer,
@@ -1616,6 +1803,7 @@ impl PhysPlan {
                 },
                 buf: None,
                 spill: SpillMetrics::default(),
+                in_batches: 0,
             }),
             PhysPlan::LetOp { var, value, body } => Box::new(LetOp {
                 var: var.clone(),
@@ -1652,6 +1840,7 @@ impl PhysPlan {
                 left: left.compile_rows(0, 1),
                 right: right.compile_rows(0, 1),
                 state: HashJoinState::Pending,
+                indexed: None,
                 spill: SpillMetrics::default(),
             }),
             PhysPlan::HashNestJoin {
@@ -1677,6 +1866,7 @@ impl PhysPlan {
                 left: left.compile_rows(0, 1),
                 right: right.compile_rows(0, 1),
                 state: HashJoinState::Pending,
+                indexed: None,
                 spill: SpillMetrics::default(),
             }),
             PhysPlan::HashMemberJoin {
@@ -1894,12 +2084,34 @@ pub fn run_configured(
     budget: MemoryBudget,
     batch_kind: BatchKind,
 ) -> Result<Value, EvalError> {
+    run_full(
+        plan,
+        db,
+        stats,
+        budget,
+        batch_kind,
+        super::columnar::vectorize_from_env(),
+    )
+}
+
+/// [`run_configured`] with the vectorization switch made explicit — how
+/// `PlannerConfig::vectorize` reaches execution without going through
+/// the `OODB_VECTORIZE` environment variable.
+pub fn run_full(
+    plan: &PhysPlan,
+    db: &Database,
+    stats: &mut Stats,
+    budget: MemoryBudget,
+    batch_kind: BatchKind,
+    vectorize: bool,
+) -> Result<Value, EvalError> {
     let mut ctx = ExecCtx {
         ev: Evaluator::new(db),
         env: Env::new(),
         stats,
         budget,
         batch_kind,
+        vectorize,
     };
     let mut root = plan.compile();
     root.open(&mut ctx)?;
@@ -2298,6 +2510,7 @@ mod tests {
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
+            vectorize: true,
         };
         let mut op = plan.compile();
         op.open(&mut ctx).unwrap();
@@ -2321,6 +2534,7 @@ mod tests {
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
+            vectorize: true,
         };
         // next_batch before open
         let mut op = plan.compile();
@@ -2369,6 +2583,7 @@ mod tests {
             stats: &mut stats,
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
+            vectorize: true,
         };
         let mut op = plan.compile();
         op.open(&mut ctx).unwrap();

@@ -36,7 +36,7 @@ use oodb_adl::expr::{Expr, JoinKind};
 use oodb_spill::{MemoryBudget, SpillManager, SpillMetrics, SpillReader};
 use oodb_value::codec::encoded_size;
 use oodb_value::fxhash::{FxHashMap, FxHashSet};
-use oodb_value::{Name, Set, Value};
+use oodb_value::{Name, Set, Tuple, Value};
 
 /// An equal-key group from a merged run stream: the key and its rows.
 type KeyGroup = (Vec<Value>, Vec<Value>);
@@ -529,6 +529,177 @@ pub(crate) fn grace_member_join(
 }
 
 // ---------------------------------------------------------------------
+// Streaming ν (incremental grouping).
+
+/// Incremental group table for the streaming ν operator: rows arrive
+/// batch by batch, each contributing its `A`-projection to the group
+/// keyed by the remaining attributes (paper def. 8). Result-identical
+/// to [`crate::eval::nest_set`] over the canonical set of the same
+/// rows: duplicate inputs collapse inside each group's result `Set` and
+/// the caller canonicalizes the emitted rows, so no pre-deduplicating
+/// drain is needed.
+///
+/// Under a bounded budget a full table flushes its `(key, collected)`
+/// pairs to hash partitions through the [`SpillManager`]. Equal keys
+/// route to the same partition at every flush, so partial groups
+/// re-meet at rebuild time; a rebuilt partition that still exceeds the
+/// budget re-partitions recursively, exactly like the grace joins.
+pub(crate) struct StreamingNest {
+    as_attr: Name,
+    budget: MemoryBudget,
+    groups: FxHashMap<Value, Vec<Value>>,
+    order: Vec<Value>,
+    bytes: usize,
+    mgr: Option<SpillManager>,
+    writers: Vec<oodb_spill::SpillWriter>,
+}
+
+impl StreamingNest {
+    pub(crate) fn new(as_attr: &Name, budget: &MemoryBudget) -> Self {
+        StreamingNest {
+            as_attr: as_attr.clone(),
+            budget: budget.clone(),
+            groups: FxHashMap::default(),
+            order: Vec::new(),
+            bytes: 0,
+            mgr: None,
+            writers: Vec::new(),
+        }
+    }
+
+    /// Extracts a row's group key and collected projection (the row
+    /// minus / restricted to `attrs`) and adds it to the table,
+    /// flushing to partitions when the budget is exceeded.
+    pub(crate) fn push(&mut self, row: &Value, attrs: &[Name]) -> Result<(), EvalError> {
+        let t = row.as_tuple()?;
+        let collected = Value::Tuple(t.subscript(attrs)?);
+        let mut key = t.clone();
+        for a in attrs {
+            key = key.without(a);
+        }
+        let key = Value::Tuple(key);
+        self.bytes += encoded_size(&key) + encoded_size(&collected);
+        match self.groups.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(collected),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.order.push(key);
+                e.insert(vec![collected]);
+            }
+        }
+        if self.budget.exceeded_by(self.bytes) {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Spills every resident `(key, collected)` pair to its hash
+    /// partition and clears the table.
+    fn flush(&mut self) -> Result<(), EvalError> {
+        if self.mgr.is_none() {
+            let mut mgr = SpillManager::new(&self.budget);
+            mgr.metrics.passes += 1;
+            self.writers = mgr.partition_writers(GRACE_FANOUT)?;
+            self.mgr = Some(mgr);
+        }
+        for key in self.order.drain(..) {
+            let vals = self.groups.remove(&key).expect("group exists");
+            let p = partition_of(hashjoin::value_hash(&key), 0);
+            for v in vals {
+                write_keyed(&mut self.writers[p], std::slice::from_ref(&key), &v)?;
+            }
+        }
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Closes the table: merges spilled partials (if any) with the
+    /// resident groups and emits one row per group. Rows come out in
+    /// partition/insertion order — the caller canonicalizes.
+    pub(crate) fn finish(
+        mut self,
+        local: &mut SpillMetrics,
+        stats: &mut Stats,
+    ) -> Result<Vec<Value>, EvalError> {
+        let mut out = Vec::with_capacity(self.order.len());
+        if self.mgr.is_none() {
+            for key in self.order {
+                let vals = self.groups.remove(&key).expect("group exists");
+                emit_group(key, vals, &self.as_attr, &mut out)?;
+            }
+            return Ok(out);
+        }
+        // Something spilled: the resident partials must join their
+        // partitioned siblings, or a key split across a flush and the
+        // tail would emit two half-groups.
+        self.flush()?;
+        let mut mgr = self.mgr.take().expect("flushed above");
+        let mut work: Vec<(Option<SpillReader>, u32)> = Vec::new();
+        for w in self.writers.drain(..) {
+            work.push((mgr.seal(w)?, 0));
+        }
+        while let Some((reader, level)) = work.pop() {
+            let (entries, bytes) = read_keyed(reader)?;
+            if entries.is_empty() {
+                continue;
+            }
+            let mut groups: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+            let mut order: Vec<Value> = Vec::new();
+            for (mut keys, collected) in entries {
+                let key = keys.pop().expect("single group key");
+                match groups.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().push(collected)
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        order.push(key);
+                        e.insert(vec![collected]);
+                    }
+                }
+            }
+            if self.budget.exceeded_by(bytes) && level < MAX_GRACE_DEPTH && order.len() > 1 {
+                // skewed partition: redistribute at the next level
+                mgr.metrics.passes += 1;
+                let mut pw = mgr.partition_writers(GRACE_FANOUT)?;
+                for key in order {
+                    let vals = groups.remove(&key).expect("group exists");
+                    let p = partition_of(hashjoin::value_hash(&key), level + 1);
+                    for v in vals {
+                        write_keyed(&mut pw[p], std::slice::from_ref(&key), &v)?;
+                    }
+                }
+                for w in pw {
+                    work.push((mgr.seal(w)?, level + 1));
+                }
+                continue;
+            }
+            for key in order {
+                let vals = groups.remove(&key).expect("group exists");
+                emit_group(key, vals, &self.as_attr, &mut out)?;
+            }
+        }
+        account(local, stats, &mgr);
+        Ok(out)
+    }
+}
+
+/// One ν output row: the group key concatenated with the collected
+/// projections as a set-valued attribute (deduplicated by the `Set`
+/// constructor, exactly like the reference `nest_set`).
+fn emit_group(
+    key: Value,
+    vals: Vec<Value>,
+    as_attr: &Name,
+    out: &mut Vec<Value>,
+) -> Result<(), EvalError> {
+    let with_set = key.as_tuple()?.concat(&Tuple::from_pairs([(
+        as_attr.as_ref(),
+        Value::Set(Set::from_values(vals)),
+    )]))?;
+    out.push(Value::Tuple(with_set));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // External merge sort.
 
 /// One side of an external sort: spilled sorted runs plus the in-memory
@@ -607,7 +778,12 @@ impl KeyedRuns {
         }
     }
 
-    /// All rows of the next equal-key group.
+    /// All rows of the next equal-key group, deduplicated: every source
+    /// run is sorted and unique, so the merged `(key, row)` stream is
+    /// non-decreasing and equal rows from different runs arrive
+    /// adjacent — comparing against the group's last row suffices.
+    /// This is where the canonical-set semantics live for sort-merge
+    /// inputs (the join sides arrive raw, not pre-canonicalized).
     fn next_group(&mut self) -> Result<Option<KeyGroup>, EvalError> {
         let Some((key, row)) = self.next_entry()? else {
             return Ok(None);
@@ -622,13 +798,21 @@ impl KeyedRuns {
             if !same {
                 return Ok(Some((key, rows)));
             }
-            rows.push(self.next_entry()?.expect("peeked above").1);
+            let next = self.next_entry()?.expect("peeked above").1;
+            if rows.last() != Some(&next) {
+                rows.push(next);
+            }
         }
     }
 }
 
 /// Evaluates keys and builds bounded sorted runs for one join side,
-/// spilling each full run through `mgr`.
+/// spilling each full run through `mgr`. Each run is deduplicated
+/// before it is spilled (equal rows have equal keys, so they sort
+/// adjacent), and [`KeyedRuns::next_group`] drops the cross-run
+/// duplicates the per-run pass cannot see — together they reproduce the
+/// canonical-set semantics without the separate canonicalize-and-spill
+/// pass the inputs used to pay.
 fn build_keyed_runs(
     rows: Vec<Value>,
     keys: &[Expr],
@@ -646,6 +830,7 @@ fn build_keyed_runs(
         buf.push((key, v));
         if budget.exceeded_by(bytes) {
             buf.sort();
+            buf.dedup();
             let mut w = mgr.writer()?;
             for (k, r) in buf.drain(..) {
                 write_keyed(&mut w, &k, &r)?;
@@ -655,6 +840,7 @@ fn build_keyed_runs(
         }
     }
     buf.sort();
+    buf.dedup();
     if !writers.is_empty() {
         mgr.metrics.passes += 1;
     }
@@ -663,7 +849,10 @@ fn build_keyed_runs(
 
 /// Sort-merge join over externally sorted runs: both sides generate
 /// budget-bounded sorted runs, spill them, and the merge joins the two
-/// k-way-merged streams group by group.
+/// k-way-merged streams group by group. Inputs arrive **raw** (not
+/// canonicalized): set dedupe is folded into the keyed merge itself —
+/// per-run dedupe before each spill plus adjacent-duplicate elimination
+/// in the group cursor — so each side is spilled once instead of twice.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn external_sort_merge_join(
     lvar: &Name,

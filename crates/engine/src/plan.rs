@@ -99,6 +99,15 @@ pub struct PlannerConfig {
     /// results, operator row totals and classic work counters are
     /// identical under either — only the memory layout changes.
     pub batch_kind: BatchKind,
+    /// Whether the streaming pipeline takes its vectorized fast paths
+    /// (compiled selection masks, columnar join outputs, streaming
+    /// ν/`Agg` group tables). `false` forces every operator onto the
+    /// row-interpreter / drain-to-set reference paths. The
+    /// `OODB_VECTORIZE` environment variable supplies the process
+    /// default (`on` unless set to `off`); results, operator row totals
+    /// and classic work counters are identical either way — only the
+    /// evaluation strategy changes.
+    pub vectorize: bool,
 }
 
 /// Default worker count: the `OODB_PARALLELISM` environment variable if
@@ -127,6 +136,7 @@ impl Default for PlannerConfig {
             parallel_threshold: 2 * crate::physical::operator::BATCH_SIZE,
             memory_budget: default_memory_budget(),
             batch_kind: BatchKind::from_env(),
+            vectorize: crate::physical::columnar::vectorize_from_env(),
         }
     }
 }
@@ -167,16 +177,24 @@ pub struct Plan<'a> {
     /// The batch layout streaming execution ships rows in (from
     /// [`PlannerConfig::batch_kind`]).
     batch_kind: BatchKind,
+    /// Whether streaming execution takes the vectorized fast paths
+    /// (from [`PlannerConfig::vectorize`]).
+    vectorize: bool,
 }
 
 impl Plan<'_> {
     /// Runs the plan through the streaming operator pipeline (the
     /// default execution path — see [`crate::physical::operator`]),
-    /// under the planner configuration's memory budget and batch
-    /// layout.
+    /// under the planner configuration's memory budget, batch layout
+    /// and vectorization switch.
     pub fn execute_streaming(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
-        self.phys
-            .execute_streaming_configured(self.db, stats, self.budget.clone(), self.batch_kind)
+        self.phys.execute_streaming_full(
+            self.db,
+            stats,
+            self.budget.clone(),
+            self.batch_kind,
+            self.vectorize,
+        )
     }
 
     /// Runs the plan with whole-set materialization at every operator
@@ -250,6 +268,7 @@ impl<'a> Planner<'a> {
             }),
             budget: MemoryBudget::bytes(self.config.memory_budget),
             batch_kind: self.config.batch_kind,
+            vectorize: self.config.vectorize,
         })
     }
 

@@ -27,6 +27,12 @@ pub struct Stats {
     pub oid_lookups: u64,
     /// Secondary-index probes (index nested-loop join).
     pub index_probes: u64,
+    /// Batches whose filter predicate evaluated through the compiled
+    /// selection-mask layer (either mask tier) instead of the row
+    /// interpreter. A throughput indicator for the bench report, **not**
+    /// a work term: the mask path charges the same `predicate_evals`
+    /// as the row path, so [`Stats::work`] excludes this.
+    pub mask_batches: u64,
     /// Bytes written to spill files by the external-memory subsystem
     /// (grace hash partitions, sort runs, PNHL probe partitions). Zero
     /// under an unbounded memory budget.
@@ -54,6 +60,12 @@ pub struct OpStats {
     pub rows_out: u64,
     /// Batches the operator emitted downstream.
     pub batches: u64,
+    /// Input batches a grouped breaker consumed **incrementally**
+    /// (streaming ν / streaming `Agg`); zero for per-row operators and
+    /// for drain-to-set breakers. Shows in `Stats::operators` that the
+    /// group table read its input batch-by-batch instead of buffering
+    /// it behind an opaque drain.
+    pub in_batches: u64,
     /// Bytes this operator wrote to spill files (see
     /// [`Stats::spill_bytes`]).
     pub spill_bytes: u64,
@@ -79,6 +91,7 @@ impl Stats {
         self.partitions += other.partitions;
         self.oid_lookups += other.oid_lookups;
         self.index_probes += other.index_probes;
+        self.mask_batches += other.mask_batches;
         self.spill_bytes += other.spill_bytes;
         self.spill_partitions += other.spill_partitions;
         self.spill_passes += other.spill_passes;
@@ -102,6 +115,7 @@ impl Stats {
         self.partitions += other.partitions;
         self.oid_lookups += other.oid_lookups;
         self.index_probes += other.index_probes;
+        self.mask_batches += other.mask_batches;
         self.spill_bytes += other.spill_bytes;
         self.spill_partitions += other.spill_partitions;
         self.spill_passes += other.spill_passes;
@@ -111,6 +125,7 @@ impl Stats {
                 Some(mine) => {
                     mine.rows_out += op.rows_out;
                     mine.batches += op.batches;
+                    mine.in_batches += op.in_batches;
                     mine.spill_bytes += op.spill_bytes;
                     mine.spill_partitions += op.spill_partitions;
                     mine.spill_passes += op.spill_passes;

@@ -173,6 +173,48 @@ impl Column {
             }
         }
     }
+
+    /// The rows at `idx`, in `idx` order. Indices may repeat (an inner
+    /// join emits one output row per match) and need not be ordered.
+    /// Interned kinds re-map their dictionary to the entries the
+    /// gathered rows actually reference, like [`Column::filter`].
+    fn gather(&self, idx: &[usize]) -> Column {
+        fn pick<T: Copy>(v: &[T], idx: &[usize]) -> Vec<T> {
+            idx.iter().map(|&i| v[i]).collect()
+        }
+        /// Gathers ids and clones only the referenced dictionary
+        /// entries, renumbered in first-reference order.
+        fn pick_dict<T: Clone>(ids: &[u32], idx: &[usize], dict: &[T]) -> (Vec<u32>, Vec<T>) {
+            let mut remap: Vec<u32> = vec![u32::MAX; dict.len()];
+            let mut new_dict = Vec::new();
+            let mut new_ids = Vec::with_capacity(idx.len());
+            for &i in idx {
+                let id = ids[i];
+                let slot = &mut remap[id as usize];
+                if *slot == u32::MAX {
+                    *slot = new_dict.len() as u32;
+                    new_dict.push(dict[id as usize].clone());
+                }
+                new_ids.push(*slot);
+            }
+            (new_ids, new_dict)
+        }
+        match self {
+            Column::Int(v) => Column::Int(pick(v, idx)),
+            Column::Float(v) => Column::Float(pick(v, idx)),
+            Column::Bool(v) => Column::Bool(pick(v, idx)),
+            Column::Date(v) => Column::Date(pick(v, idx)),
+            Column::Oid(v) => Column::Oid(pick(v, idx)),
+            Column::Str { ids, dict } => {
+                let (ids, dict) = pick_dict(ids, idx, dict);
+                Column::Str { ids, dict }
+            }
+            Column::Interned { ids, dict } => {
+                let (ids, dict) = pick_dict(ids, idx, dict);
+                Column::Interned { ids, dict }
+            }
+        }
+    }
 }
 
 /// Accumulates one column, upgrading to the interned pool on the first
@@ -383,6 +425,48 @@ impl ColumnarBatch {
                 .map(|(n, c)| (n.clone(), c.filter(keep)))
                 .collect(),
         }
+    }
+
+    /// The rows at `idx`, in `idx` order — the column-at-a-time gather
+    /// a columnar join output materializes through. Indices may repeat
+    /// and need not be sorted.
+    pub fn gather(&self, idx: &[usize]) -> ColumnarBatch {
+        ColumnarBatch {
+            len: idx.len(),
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (n.clone(), c.gather(idx)))
+                .collect(),
+        }
+    }
+
+    /// Column-wise concatenation of two same-length batches — the
+    /// columnar mirror of per-row `Tuple::concat`. `None` on a name
+    /// collision or a length mismatch; callers fall back to the row
+    /// path, which reports the exact reference error.
+    pub fn concat(&self, other: &ColumnarBatch) -> Option<ColumnarBatch> {
+        if self.len != other.len {
+            return None;
+        }
+        let mut cols: Vec<(Name, Column)> = Vec::with_capacity(self.cols.len() + other.cols.len());
+        let (mut a, mut b) = (self.cols.iter().peekable(), other.cols.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((na, _)), Some((nb, _))) => match na.cmp(nb) {
+                    std::cmp::Ordering::Equal => return None,
+                    std::cmp::Ordering::Less => cols.push(a.next()?.clone()),
+                    std::cmp::Ordering::Greater => cols.push(b.next()?.clone()),
+                },
+                (Some(_), None) => cols.push(a.next()?.clone()),
+                (None, Some(_)) => cols.push(b.next()?.clone()),
+                (None, None) => break,
+            }
+        }
+        Some(ColumnarBatch {
+            len: self.len,
+            cols,
+        })
     }
 
     /// Tuple subscription `π[attrs]` as a column selection. `None` when
@@ -844,6 +928,41 @@ mod tests {
             .rename(&[(name("n"), name("tmp")), (name("tmp"), name("n"))])
             .unwrap();
         assert_eq!(chained.to_rows(), rows);
+    }
+
+    #[test]
+    fn gather_and_concat_match_row_semantics() {
+        let rows: Vec<Value> = (0..10).map(row).collect();
+        let Batch::Columnar(cb) = Batch::of(BatchKind::Columnar, rows.clone()) else {
+            panic!("columnar")
+        };
+        // gather: repeated, unsorted indices
+        let idx = [3usize, 3, 0, 7, 3, 9];
+        let g = cb.gather(&idx);
+        let want: Vec<Value> = idx.iter().map(|&i| rows[i].clone()).collect();
+        assert_eq!(g.to_rows(), want);
+        // the gathered dictionary drops unreferenced pool entries
+        match g.column("name") {
+            Some(Column::Str { dict, .. }) => assert_eq!(dict.len(), 2),
+            other => panic!("expected interned strings, got {other:?}"),
+        }
+        // concat over disjoint schemas mirrors per-row Tuple::concat
+        let left = cb.project(&[name("n")]).unwrap();
+        let right = cb.project(&[name("id"), name("name")]).unwrap();
+        let c = left.concat(&right).unwrap();
+        let want: Vec<Value> = rows
+            .iter()
+            .map(|r| {
+                let t = r.as_tuple().unwrap();
+                let l = t.subscript(&[name("n")]).unwrap();
+                let r = t.subscript(&[name("id"), name("name")]).unwrap();
+                Value::Tuple(l.concat(&r).unwrap())
+            })
+            .collect();
+        assert_eq!(c.to_rows(), want);
+        // a name collision or length mismatch defeats the fast path
+        assert!(left.concat(&left).is_none());
+        assert!(left.concat(&right.gather(&[0])).is_none());
     }
 
     #[test]

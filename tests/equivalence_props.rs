@@ -318,8 +318,105 @@ fn query_corpus() -> Vec<Expr> {
     ]
 }
 
+/// Random `AND`/`OR`/`NOT` trees over PART's primitive columns — the
+/// compound shapes `MaskExpr::compile` accepts: `x.a ⟨cmp⟩ lit` in both
+/// orientations over `Int` and `Str` columns, plus the column-column
+/// leaf `x.a ⟨cmp⟩ x.b`, composed with every connective up to three
+/// levels deep.
+fn mask_pred() -> BoxedStrategy<Expr> {
+    let leaf = (0usize..6, 0usize..4, 0i64..1_050, 0usize..5).prop_map(|(op, shape, n, s)| {
+        let cmps: [fn(Expr, Expr) -> Expr; 6] = [eq, ne, lt, le, gt, ge];
+        let cmp = cmps[op];
+        let strs = ["red", "green", "blue", "part-3", "zzz"];
+        match shape {
+            0 => cmp(var("p").field("price"), int(n)),
+            1 => cmp(int(n), var("p").field("price")),
+            2 => cmp(var("p").field("color"), str_lit(strs[s])),
+            _ => cmp(var("p").field("color"), var("p").field("pname")),
+        }
+    });
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| or(a, b)),
+            inner.clone().prop_map(not),
+            inner,
+        ]
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// The vectorized selection-mask layer is semantically invisible: on
+    /// random databases and random compound predicate trees, vectorize
+    /// on/off produce identical results, identical per-operator row
+    /// totals and identical classic work counters — crossed with
+    /// batch_kind × dop ∈ {1, 4} × budget ∈ {unbounded, 4 KiB}, so
+    /// every mask tier meets its row-interpreter twin through the
+    /// exchanges and the spill paths, and the streaming `Agg` scalar
+    /// root meets the drain-to-set reference.
+    #[test]
+    fn compound_masks_agree(config in db_config(), pred in mask_pred()) {
+        let db = generate(&config);
+        let ev = Evaluator::new(&db);
+        let queries = [
+            select("p", pred.clone(), table("PART")),
+            count(select("p", pred, table("PART"))),
+        ];
+        let mk = |vectorize: bool, batch_kind: BatchKind, dop: usize, budget: usize| {
+            PlannerConfig {
+                vectorize,
+                batch_kind,
+                parallelism: dop,
+                memory_budget: budget,
+                parallel_threshold: 0,
+                ..Default::default()
+            }
+        };
+        for q in &queries {
+            let reference = ev.eval_closed(q).expect("reference evaluation");
+            for batch_kind in [BatchKind::Columnar, BatchKind::Row] {
+                for dop in [1usize, 4] {
+                    for budget in [0usize, 4 << 10] {
+                        let mut vs = Stats::new();
+                        let vectorized = Planner::with_config(&db, mk(true, batch_kind, dop, budget))
+                            .plan(q)
+                            .expect("plan")
+                            .execute_streaming(&mut vs)
+                            .expect("vectorized streaming");
+                        let mut rs = Stats::new();
+                        let row = Planner::with_config(&db, mk(false, batch_kind, dop, budget))
+                            .plan(q)
+                            .expect("plan")
+                            .execute_streaming(&mut rs)
+                            .expect("row-interpreter streaming");
+                        prop_assert_eq!(
+                            &vectorized, &reference,
+                            "vectorized ≠ reference at {:?} dop {} budget {}",
+                            batch_kind, dop, budget
+                        );
+                        prop_assert_eq!(
+                            &vectorized, &row,
+                            "vectorize on/off diverged at {:?} dop {} budget {}",
+                            batch_kind, dop, budget
+                        );
+                        prop_assert_eq!(
+                            vs.operator_rows_by_label(),
+                            rs.operator_rows_by_label(),
+                            "operator row totals diverged at {:?} dop {} budget {}",
+                            batch_kind, dop, budget
+                        );
+                        prop_assert_eq!(vs.rows_scanned, rs.rows_scanned);
+                        prop_assert_eq!(vs.predicate_evals, rs.predicate_evals);
+                        prop_assert_eq!(vs.loop_iterations, rs.loop_iterations);
+                        prop_assert_eq!(vs.hash_probes, rs.hash_probes);
+                        prop_assert_eq!(vs.hash_build_rows, rs.hash_build_rows);
+                    }
+                }
+            }
+        }
+    }
 
     /// Optimized plans agree with the nested-loop reference on random
     /// databases, and executing them via the physical planner agrees too.

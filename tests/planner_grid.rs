@@ -20,17 +20,21 @@ use oodb_bench::{
 };
 
 /// The full configuration grid: 3 × 2 × 2 × 2 × 2 × 3 dop × 3 budgets
-/// × 2 batch layouts = 864 configurations. The `parallelism` axis runs
-/// every configuration serially (`1`, today's exact pipeline) and
-/// through the exchange operators at dop 2 and 4; `parallel_threshold:
-/// 0` forces exchanges to appear even at this test's small scale, so
-/// the parallel grid points are live. The `memory_budget` axis runs
-/// unbounded (legacy in-memory), 64 KiB (borderline: some operators
-/// spill) and 4 KiB (every sizable hash build grace-partitions, sorts
-/// go external) — spilling may change the work profile, never the
-/// answer. The `batch_kind` axis runs every point under both the
-/// columnar default and the legacy row layout — the layout may change
-/// cache behavior, never the answer.
+/// × 2 batch layouts × 2 vectorize = 1728 configurations. The
+/// `parallelism` axis runs every configuration serially (`1`, today's
+/// exact pipeline) and through the exchange operators at dop 2 and 4;
+/// `parallel_threshold: 0` forces exchanges to appear even at this
+/// test's small scale, so the parallel grid points are live. The
+/// `memory_budget` axis runs unbounded (legacy in-memory), 64 KiB
+/// (borderline: some operators spill) and 4 KiB (every sizable hash
+/// build grace-partitions, sorts go external) — spilling may change the
+/// work profile, never the answer. The `batch_kind` axis runs every
+/// point under both the columnar default and the legacy row layout —
+/// the layout may change cache behavior, never the answer. The
+/// `vectorize` axis runs every point with the vectorized fast paths
+/// (compiled selection masks, columnar join outputs, streaming ν/`Agg`)
+/// on and off — the strategy may change throughput, never the answer
+/// nor the classic work counters.
 fn full_grid() -> Vec<PlannerConfig> {
     let mut grid = Vec::new();
     for join_algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
@@ -41,18 +45,21 @@ fn full_grid() -> Vec<PlannerConfig> {
                         for parallelism in [1usize, 2, 4] {
                             for memory_budget in [0usize, 64 << 10, 4 << 10] {
                                 for batch_kind in [BatchKind::Columnar, BatchKind::Row] {
-                                    grid.push(PlannerConfig {
-                                        cost_based,
-                                        join_algo,
-                                        pnhl_budget,
-                                        detect_materialize,
-                                        prefer_assembly: true,
-                                        use_indexes,
-                                        parallelism,
-                                        parallel_threshold: 0,
-                                        memory_budget,
-                                        batch_kind,
-                                    });
+                                    for vectorize in [true, false] {
+                                        grid.push(PlannerConfig {
+                                            cost_based,
+                                            join_algo,
+                                            pnhl_budget,
+                                            detect_materialize,
+                                            prefer_assembly: true,
+                                            use_indexes,
+                                            parallelism,
+                                            parallel_threshold: 0,
+                                            memory_budget,
+                                            batch_kind,
+                                            vectorize,
+                                        });
+                                    }
                                 }
                             }
                         }

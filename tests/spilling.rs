@@ -195,6 +195,70 @@ fn hash_join_and_sort_spill_under_4k() {
     assert!(smj_stats.spill_bytes > 0);
 }
 
+/// The streaming ν group table spills under the 4 KiB budget: grouping
+/// DELIVERY's unnested supply rows back together exceeds the budget at
+/// this scale, so the incremental group table flushes key-hashed
+/// partitions through the `SpillManager` — observable as `spill_bytes`
+/// and incremental `in_batches` on the `Nest` operator — while the
+/// result stays identical to the unbounded run and to the drain-to-set
+/// reference path (`vectorize: false`).
+#[test]
+fn streaming_nest_spills_under_4k() {
+    use oodb::adl::dsl::{nest, table, unnest};
+    let db = scaled_db(400);
+    let q = nest(
+        &["part", "quantity"],
+        "supply",
+        unnest("supply", table("DELIVERY")),
+    );
+    // pin the streaming path on: this test asserts on the incremental
+    // group table specifically, so it must not inherit OODB_VECTORIZE
+    let on = |budget| PlannerConfig {
+        vectorize: true,
+        ..config(budget, 1)
+    };
+    let mut ref_stats = Stats::new();
+    let reference = Planner::with_config(&db, on(0))
+        .plan(&q)
+        .expect("plan")
+        .execute_streaming(&mut ref_stats)
+        .expect("unbounded nest");
+    let mut stats = Stats::new();
+    let got = Planner::with_config(&db, on(4 << 10))
+        .plan(&q)
+        .expect("plan")
+        .execute_streaming(&mut stats)
+        .expect("spilled nest");
+    assert_eq!(got, reference);
+    let op = stats.operator("Nest").expect("nest op");
+    assert!(op.spill_bytes > 0, "streaming ν did not spill: {op:?}");
+    assert!(op.spill_partitions > 0, "{op:?}");
+    assert!(op.in_batches > 0, "streaming ν consumed no batches: {op:?}");
+    // the unbounded run streams too (grouping incrementally, in memory)
+    let ref_op = ref_stats.operator("Nest").expect("nest op");
+    assert!(ref_op.in_batches > 0, "{ref_op:?}");
+    assert_eq!(ref_op.spill_bytes, 0, "unbounded ν spilled: {ref_op:?}");
+    // the kill switch forces the drain-to-set reference path — same
+    // answer, same per-operator row totals, no incremental consumption
+    let off_cfg = PlannerConfig {
+        vectorize: false,
+        ..config(4 << 10, 1)
+    };
+    let mut off = Stats::new();
+    let got_off = Planner::with_config(&db, off_cfg)
+        .plan(&q)
+        .expect("plan")
+        .execute_streaming(&mut off)
+        .expect("drain-to-set nest");
+    assert_eq!(got_off, reference);
+    let off_op = off.operator("Nest").expect("nest op");
+    assert_eq!(
+        off_op.in_batches, 0,
+        "kill switch still streamed: {off_op:?}"
+    );
+    assert_eq!(stats.operator_rows_by_label(), off.operator_rows_by_label());
+}
+
 /// A budget far below the partition fan-out's reach forces grace
 /// recursion (re-partitioning passes beyond the first).
 #[test]
