@@ -27,9 +27,11 @@
 pub mod display;
 pub mod dsl;
 pub mod expr;
+pub mod normalize;
 pub mod typecheck;
 pub mod vars;
 
 pub use expr::{AggOp, Expr, JoinKind, QuantKind, SetOp};
+pub use normalize::{key_hash, normal_key, normalize, referenced_classes, referenced_tables};
 pub use typecheck::{infer, infer_closed, AdlTypeError, TypeEnv};
 pub use vars::{alpha_eq, free_vars, fresh_name, is_free_in, negate, subst};

@@ -1,0 +1,340 @@
+//! Canonical alpha-normalization of ADL expressions.
+//!
+//! Two queries that differ only in bound-variable names (`select s.sname
+//! from s in SUPPLIER …` vs `select x.sname from x in SUPPLIER …`)
+//! translate to alpha-equivalent ADL and should hit the same plan-cache
+//! entry. [`normalize`] renames every binder to a canonical `%N` name in
+//! a fixed traversal order, so alpha-equivalent expressions become
+//! *syntactically equal* — their [`std::fmt::Display`] renderings can
+//! then serve as exact cache keys ([`normal_key`]).
+//!
+//! Free variables keep their names (a cache key must distinguish `x.a`
+//! from `y.a` when `x`/`y` are bound elsewhere); canonical names skip
+//! over any free name, and `%` cannot appear in parser-produced
+//! identifiers, so capture is impossible.
+
+use crate::expr::Expr;
+use crate::vars::free_vars;
+use oodb_value::fxhash::FxHashSet;
+use oodb_value::Name;
+
+/// Renames every binder in `e` to a canonical `%N` name (left-to-right,
+/// operands before the lambdas that scope over them — the same order
+/// [`crate::vars::free_vars`] walks). Alpha-equivalent expressions
+/// normalize to equal expressions:
+///
+/// ```
+/// use oodb_adl::dsl::*;
+/// use oodb_adl::{alpha_eq, normalize};
+/// let a = select("x", eq(var("x").field("a"), oodb_adl::Expr::int(1)), table("T"));
+/// let b = select("u", eq(var("u").field("a"), oodb_adl::Expr::int(1)), table("T"));
+/// assert!(alpha_eq(&a, &b));
+/// assert_eq!(normalize(&a), normalize(&b));
+/// ```
+pub fn normalize(e: &Expr) -> Expr {
+    let free = free_vars(e);
+    let mut scope: Vec<(Name, Name)> = Vec::new();
+    let mut counter = 0usize;
+    norm(e, &free, &mut scope, &mut counter)
+}
+
+/// The canonical cache key for `e`: the [`Display`](std::fmt::Display)
+/// rendering of [`normalize`]`(e)`. Exact (no hash collisions); pair it
+/// with [`key_hash`] where a compact fingerprint is wanted.
+pub fn normal_key(e: &Expr) -> String {
+    normalize(e).to_string()
+}
+
+/// FNV-1a 64-bit hash of a key string — a stable, dependency-free
+/// fingerprint for displaying / wire-encoding cache keys. Not used for
+/// lookup (the exact string is), so collisions are cosmetic.
+pub fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Every base table (extent) mentioned by `e` — via [`Expr::Table`]
+/// scans — sorted and deduplicated. [`Expr::Deref`] *classes* are
+/// reported separately by [`referenced_classes`] because mapping a class
+/// to its extent needs a catalog.
+pub fn referenced_tables(e: &Expr) -> Vec<Name> {
+    let mut out: Vec<Name> = Vec::new();
+    collect(e, &mut |x| {
+        if let Expr::Table(n) = x {
+            out.push(n.clone());
+        }
+    });
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every class whose objects `e` can reach through [`Expr::Deref`]
+/// (pointer materialization), sorted and deduplicated. Together with
+/// [`referenced_tables`] this bounds the set of extents whose contents
+/// can influence `e`'s value — the invalidation footprint of a cached
+/// result.
+pub fn referenced_classes(e: &Expr) -> Vec<Name> {
+    let mut out: Vec<Name> = Vec::new();
+    collect(e, &mut |x| {
+        if let Expr::Deref(_, class) = x {
+            out.push(class.clone());
+        }
+    });
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    e.for_each_child(&mut |c| collect(c, f));
+}
+
+fn norm(
+    e: &Expr,
+    free: &FxHashSet<Name>,
+    scope: &mut Vec<(Name, Name)>,
+    counter: &mut usize,
+) -> Expr {
+    // Next canonical binder name, skipping any that happens to occur
+    // free (parser identifiers never contain `%`, but ADL is also built
+    // programmatically and the key must be exact for arbitrary names).
+    let next = |counter: &mut usize| -> Name {
+        loop {
+            let candidate = Name::from(format!("%{}", *counter).as_str());
+            *counter += 1;
+            if !free.contains(&candidate) {
+                return candidate;
+            }
+        }
+    };
+    match e {
+        Expr::Var(n) => {
+            let renamed = scope
+                .iter()
+                .rev()
+                .find(|(orig, _)| orig == n)
+                .map(|(_, canon)| canon.clone())
+                .unwrap_or_else(|| n.clone());
+            Expr::Var(renamed)
+        }
+        Expr::Map { var, body, input } => {
+            let input = norm(input, free, scope, counter);
+            let canon = next(counter);
+            scope.push((var.clone(), canon.clone()));
+            let body = norm(body, free, scope, counter);
+            scope.pop();
+            Expr::Map {
+                var: canon,
+                body: Box::new(body),
+                input: Box::new(input),
+            }
+        }
+        Expr::Select { var, pred, input } => {
+            let input = norm(input, free, scope, counter);
+            let canon = next(counter);
+            scope.push((var.clone(), canon.clone()));
+            let pred = norm(pred, free, scope, counter);
+            scope.pop();
+            Expr::Select {
+                var: canon,
+                pred: Box::new(pred),
+                input: Box::new(input),
+            }
+        }
+        Expr::Quant {
+            q,
+            var,
+            range,
+            pred,
+        } => {
+            let range = norm(range, free, scope, counter);
+            let canon = next(counter);
+            scope.push((var.clone(), canon.clone()));
+            let pred = norm(pred, free, scope, counter);
+            scope.pop();
+            Expr::Quant {
+                q: *q,
+                var: canon,
+                range: Box::new(range),
+                pred: Box::new(pred),
+            }
+        }
+        Expr::Let { var, value, body } => {
+            let value = norm(value, free, scope, counter);
+            let canon = next(counter);
+            scope.push((var.clone(), canon.clone()));
+            let body = norm(body, free, scope, counter);
+            scope.pop();
+            Expr::Let {
+                var: canon,
+                value: Box::new(value),
+                body: Box::new(body),
+            }
+        }
+        Expr::Join {
+            kind,
+            lvar,
+            rvar,
+            pred,
+            left,
+            right,
+        } => {
+            let left = norm(left, free, scope, counter);
+            let right = norm(right, free, scope, counter);
+            let lc = next(counter);
+            let rc = next(counter);
+            scope.push((lvar.clone(), lc.clone()));
+            scope.push((rvar.clone(), rc.clone()));
+            let pred = norm(pred, free, scope, counter);
+            scope.pop();
+            scope.pop();
+            Expr::Join {
+                kind: *kind,
+                lvar: lc,
+                rvar: rc,
+                pred: Box::new(pred),
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        Expr::NestJoin {
+            lvar,
+            rvar,
+            pred,
+            rfunc,
+            as_attr,
+            left,
+            right,
+        } => {
+            let left = norm(left, free, scope, counter);
+            let right = norm(right, free, scope, counter);
+            let lc = next(counter);
+            let rc = next(counter);
+            scope.push((lvar.clone(), lc.clone()));
+            scope.push((rvar.clone(), rc.clone()));
+            let pred = norm(pred, free, scope, counter);
+            scope.pop();
+            scope.pop();
+            let rfunc = rfunc.as_ref().map(|g| {
+                scope.push((rvar.clone(), rc.clone()));
+                let g = norm(g, free, scope, counter);
+                scope.pop();
+                Box::new(g)
+            });
+            Expr::NestJoin {
+                lvar: lc,
+                rvar: rc,
+                pred: Box::new(pred),
+                rfunc,
+                as_attr: as_attr.clone(),
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        other => other
+            .clone()
+            .map_children(&mut |c| norm(&c, free, scope, counter)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::vars::alpha_eq;
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_key() {
+        let a = select(
+            "x",
+            exists(
+                "y",
+                table("T"),
+                eq(var("x").field("a"), var("y").field("b")),
+            ),
+            table("S"),
+        );
+        let b = select(
+            "p",
+            exists(
+                "q",
+                table("T"),
+                eq(var("p").field("a"), var("q").field("b")),
+            ),
+            table("S"),
+        );
+        assert!(alpha_eq(&a, &b));
+        assert_eq!(normal_key(&a), normal_key(&b));
+        assert_eq!(key_hash(&normal_key(&a)), key_hash(&normal_key(&b)));
+    }
+
+    #[test]
+    fn different_shapes_get_different_keys() {
+        let a = select("x", eq(var("x").field("a"), Expr::int(1)), table("T"));
+        let b = select("x", eq(var("x").field("b"), Expr::int(1)), table("T"));
+        let c = select("x", eq(var("x").field("a"), Expr::int(2)), table("T"));
+        assert_ne!(normal_key(&a), normal_key(&b));
+        assert_ne!(normal_key(&a), normal_key(&c));
+    }
+
+    #[test]
+    fn free_variables_survive_and_distinguish() {
+        // `f` free: keys must distinguish which free variable is used.
+        let a = select("x", eq(var("x").field("a"), var("f")), table("T"));
+        let b = select("x", eq(var("x").field("a"), var("g")), table("T"));
+        assert_ne!(normal_key(&a), normal_key(&b));
+        // Free vars are untouched by normalization.
+        assert!(normal_key(&a).contains('f'));
+    }
+
+    #[test]
+    fn canonical_names_avoid_free_collisions() {
+        // A free variable literally named `%0` must not be captured by
+        // the first canonical binder.
+        let poisoned = select("x", eq(var("x").field("a"), var("%0")), table("T"));
+        let n = normalize(&poisoned);
+        use crate::vars::free_vars;
+        assert!(free_vars(&n).iter().any(|v| v.as_ref() == "%0"));
+        let plain = select("x", eq(var("x").field("a"), var("%0")), table("T"));
+        assert_eq!(normalize(&plain), n);
+    }
+
+    #[test]
+    fn nestjoin_and_let_binders_normalize() {
+        let mk = |lv: &str, rv: &str, bound: &str| Expr::Let {
+            var: Name::from(bound),
+            value: Box::new(table("S")),
+            body: Box::new(nestjoin(
+                lv,
+                rv,
+                eq(var(lv), var(rv)),
+                "kids",
+                var(bound),
+                table("T"),
+            )),
+        };
+        let a = mk("l", "r", "u");
+        let b = mk("i", "j", "w");
+        assert_eq!(normal_key(&a), normal_key(&b));
+    }
+
+    #[test]
+    fn table_footprint_is_sorted_and_deduped() {
+        let e = set_op(
+            crate::SetOp::Union,
+            join("a", "b", eq(var("a"), var("b")), table("Z"), table("A")),
+            table("A"),
+        );
+        let names: Vec<String> = referenced_tables(&e)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        assert_eq!(names, vec!["A".to_string(), "Z".to_string()]);
+    }
+}

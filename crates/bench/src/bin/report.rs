@@ -163,6 +163,20 @@ fn perf_streaming() {
             r.workload, r.streaming_agg_ms, r.streaming_row_ms, r.mask_batches,
         );
     }
+    println!("\n  Serving layer (4 clients × 6 reps through one shared QueryServer):");
+    println!(
+        "  {:<26} {:>10} {:>10} {:>14}",
+        "workload", "p50", "p99", "p99 / stream"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>8.2}ms {:>8.2}ms {:>13.2}x",
+            r.workload,
+            r.server_p50_ms,
+            r.server_p99_ms,
+            r.server_p99_ms / r.streaming_ms.max(1e-9),
+        );
+    }
     println!("\n  External memory (same plan, 64 KiB budget, best of 3):");
     println!(
         "  {:<26} {:>11} {:>11} {:>12} {:>15}",

@@ -447,6 +447,15 @@ pub mod streaming_report {
         /// evaluation, which the gate tolerates, but growth beyond
         /// tolerance means the plan shape changed.
         pub mask_batches: u64,
+        /// Median per-query latency of the many-client serving-layer
+        /// driver: 4 concurrent sessions re-running the workload
+        /// through one shared `QueryServer` (plan cache, shared morsel
+        /// pool, admission control). Wall clock — not gated.
+        pub server_p50_ms: f64,
+        /// 99th-percentile latency of the same driver (with 24 pooled
+        /// samples, effectively the worst observed query — the one
+        /// that paid the plan-cache miss or lost the pool race).
+        pub server_p99_ms: f64,
     }
 
     /// Timed runs per degree of parallelism; the best (minimum) is
@@ -490,6 +499,49 @@ pub mod streaming_report {
         let t0 = Instant::now();
         let (v, s) = f();
         (v, s, t0.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Many-client serving-layer driver: [`SERVER_CLIENTS`] concurrent
+    /// sessions each run the workload [`SERVER_REPS`] times through one
+    /// shared `QueryServer` (plan cache, shared morsel pool), asserting
+    /// every answer against the reference; returns (p50, p99) of the
+    /// pooled per-query latencies in milliseconds.
+    fn server_percentiles(db: &Database, nested: &Expr, expect: &Value) -> (f64, f64) {
+        use oodb_server::{QueryServer, ServerConfig};
+        const SERVER_CLIENTS: usize = 4;
+        const SERVER_REPS: usize = 6;
+        let server = QueryServer::with_config(
+            db,
+            ServerConfig {
+                planner: PlannerConfig {
+                    parallel_threshold: 256,
+                    memory_budget: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let samples = std::sync::Mutex::new(Vec::with_capacity(SERVER_CLIENTS * SERVER_REPS));
+        std::thread::scope(|scope| {
+            for _ in 0..SERVER_CLIENTS {
+                let server = &server;
+                let samples = &samples;
+                scope.spawn(move || {
+                    let session = server.session();
+                    for _ in 0..SERVER_REPS {
+                        let t0 = Instant::now();
+                        let out = session.run_expr(nested.clone()).expect("server run");
+                        let dt = t0.elapsed().as_secs_f64() * 1e3;
+                        assert_eq!(&out.result, expect, "server path diverged");
+                        samples.lock().unwrap().push(dt);
+                    }
+                });
+            }
+        });
+        let mut samples = samples.into_inner().unwrap();
+        samples.sort_by(f64::total_cmp);
+        let quantile = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        (quantile(0.50), quantile(0.99))
     }
 
     /// Runs the three-way comparison on the §7 workloads at `scale`
@@ -674,6 +726,14 @@ pub mod streaming_report {
                     agg_best = agg_best.min(at);
                 }
             }
+            // the many-client serving-layer percentiles (pure timing —
+            // correctness of the served path is the concurrency suite's
+            // job, but every driver answer is still asserted)
+            let (server_p50, server_p99) = if timings {
+                server_percentiles(&db, &q, &nv)
+            } else {
+                (0.0, 0.0)
+            };
             rows.push(CompRow {
                 workload: label.to_string(),
                 result_rows: nv.as_set().map(|s| s.len()).unwrap_or(1),
@@ -707,6 +767,8 @@ pub mod streaming_report {
                 smj_spill_bytes: j_stats.spill_bytes,
                 streaming_agg_ms: agg_best,
                 mask_batches: s_stats.mask_batches,
+                server_p50_ms: server_p50,
+                server_p99_ms: server_p99,
             });
         }
         rows
@@ -732,7 +794,8 @@ pub mod streaming_report {
                  \"streaming_p1_ms\": {:.3}, \"streaming_p2_ms\": {:.3}, \
                  \"streaming_p4_ms\": {:.3}, \"streaming_b64k_ms\": {:.3}, \
                  \"spill_bytes\": {}, \"smj_spill_bytes\": {}, \
-                 \"streaming_agg_ms\": {:.3}, \"mask_batches\": {}}}{}\n",
+                 \"streaming_agg_ms\": {:.3}, \"mask_batches\": {}, \
+                 \"server_p50_ms\": {:.3}, \"server_p99_ms\": {:.3}}}{}\n",
                 r.workload,
                 r.result_rows,
                 r.nested_loop_ms,
@@ -757,6 +820,8 @@ pub mod streaming_report {
                 r.smj_spill_bytes,
                 r.streaming_agg_ms,
                 r.mask_batches,
+                r.server_p50_ms,
+                r.server_p99_ms,
                 if i + 1 == rows.len() { "" } else { "," },
             ));
         }

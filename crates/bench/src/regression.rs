@@ -277,6 +277,8 @@ mod tests {
             smj_spill_bytes: 0,
             streaming_agg_ms: 1.0,
             mask_batches: 0,
+            server_p50_ms: 1.0,
+            server_p99_ms: 1.0,
         }
     }
 

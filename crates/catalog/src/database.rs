@@ -146,6 +146,15 @@ impl Database {
             .create_index(&Name::from(attr))
     }
 
+    /// The write version of extent `name`: bumped by every successful
+    /// [`Database::insert`] / [`Database::create_index`] against it.
+    /// Unknown extents report `0` (they can only ever be read as errors,
+    /// which no cache stores). Version stamps taken from these counters
+    /// are how the serving layer invalidates cached results on writes.
+    pub fn extent_version(&self, name: &str) -> u64 {
+        self.tables.get(name).map(Table::version).unwrap_or(0)
+    }
+
     /// Pointer dereference: the object of `class` identified by `oid`
     /// (`None` for dangling pointers — which Example Query 4 hunts for).
     pub fn deref(&self, class: &str, oid: Oid) -> Option<&Tuple> {

@@ -22,6 +22,11 @@ pub struct Table {
     /// back the *index nested-loop join* the paper lists among the join
     /// implementations unnesting makes available (§6).
     secondary: FxHashMap<Name, FxHashMap<Value, Vec<usize>>>,
+    /// Monotonic write counter: bumped by every successful [`Table::insert`]
+    /// and [`Table::create_index`]. Caches keyed on query results (the
+    /// server's plan/result caches) stamp entries with the versions of the
+    /// extents they read and treat any bump as invalidation.
+    version: u64,
 }
 
 impl Table {
@@ -32,7 +37,13 @@ impl Table {
             rows: Vec::new(),
             oid_index: FxHashMap::default(),
             secondary: FxHashMap::default(),
+            version: 0,
         }
+    }
+
+    /// The extent's write version (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Builds (or rebuilds) a secondary hash index on `attr`. Rows lacking
@@ -47,6 +58,7 @@ impl Table {
             idx.entry(v.clone()).or_default().push(i);
         }
         self.secondary.insert(attr.clone(), idx);
+        self.version += 1;
         Ok(())
     }
 
@@ -106,6 +118,7 @@ impl Table {
             idx.entry(v.clone()).or_default().push(pos);
         }
         self.rows.push(row);
+        self.version += 1;
         Ok(())
     }
 

@@ -20,6 +20,7 @@ pub mod cost;
 pub mod eval;
 pub mod physical;
 pub mod plan;
+pub mod pool;
 pub mod stats;
 
 pub use cost::{CostModel, Estimate};
@@ -33,4 +34,5 @@ pub use oodb_spill::{MemoryBudget, SpillManager, SpillMetrics};
 pub use oodb_value::BatchKind;
 pub use physical::{Partitioning, PhysPlan};
 pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};
+pub use pool::WorkerPool;
 pub use stats::Stats;

@@ -37,6 +37,7 @@ use super::operator::{
 };
 use super::{spill_exec, Partitioning, PhysPlan};
 use crate::eval::{Env, EvalError, Evaluator};
+use crate::pool::WorkerPool;
 use crate::stats::Stats;
 use oodb_adl::expr::{Expr, JoinKind};
 use oodb_catalog::Database;
@@ -139,11 +140,24 @@ fn gather<T>(
     }
 }
 
-fn join_handle<T>(
-    h: std::thread::ScopedJoinHandle<'_, Result<T, EvalError>>,
-) -> Result<T, EvalError> {
-    h.join()
-        .unwrap_or_else(|_| Err(EvalError::OperatorProtocol("parallel worker panicked")))
+/// One exchange worker's closure: produces its output slice plus its
+/// private [`Stats`], or the first error it hit.
+type WorkerTask<'env, T> = Box<dyn FnOnce() -> Result<(Vec<T>, Stats), EvalError> + Send + 'env>;
+
+/// Runs `tasks` on the [shared worker pool](crate::pool), mapping
+/// per-task panics to the same error the scoped-thread implementation
+/// produced. Results come back in task-submission order — the
+/// (query, worker) key [`gather`]'s deterministic fold depends on —
+/// regardless of which pool threads (or the submitting thread itself)
+/// executed the morsels.
+fn pool_run<'env, T: Send + 'env>(
+    tasks: Vec<WorkerTask<'env, T>>,
+) -> Vec<Result<(Vec<T>, Stats), EvalError>> {
+    WorkerPool::global()
+        .scope_run(tasks)
+        .into_iter()
+        .map(|r| r.unwrap_or(Err(EvalError::OperatorProtocol("parallel worker panicked"))))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -177,31 +191,29 @@ impl ExchangeOp {
         let budget = ctx.budget.share(dop);
         let batch_kind = ctx.batch_kind;
         let vectorize = ctx.vectorize;
-        let results: Vec<Result<(Vec<Value>, Stats), EvalError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..dop)
-                .map(|w| {
-                    let env = env.clone();
-                    let budget = budget.clone();
-                    s.spawn(move || {
-                        let mut stats = Stats::new();
-                        let mut wctx = ExecCtx {
-                            ev: Evaluator::new(db),
-                            env,
-                            stats: &mut stats,
-                            budget,
-                            batch_kind,
-                            vectorize,
-                        };
-                        let mut op = plan.compile_stride(w, dop);
-                        op.open(&mut wctx)?;
-                        let rows = drain_rows(&mut op, &mut wctx);
-                        op.close(&mut wctx);
-                        rows.map(|r| (r, stats))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(join_handle).collect()
-        });
+        let tasks: Vec<WorkerTask<'_, Value>> = (0..dop)
+            .map(|w| {
+                let env = env.clone();
+                let budget = budget.clone();
+                Box::new(move || {
+                    let mut stats = Stats::new();
+                    let mut wctx = ExecCtx {
+                        ev: Evaluator::new(db),
+                        env,
+                        stats: &mut stats,
+                        budget,
+                        batch_kind,
+                        vectorize,
+                    };
+                    let mut op = plan.compile_stride(w, dop);
+                    op.open(&mut wctx)?;
+                    let rows = drain_rows(&mut op, &mut wctx);
+                    op.close(&mut wctx);
+                    rows.map(|r| (r, stats))
+                }) as WorkerTask<'_, Value>
+            })
+            .collect();
+        let results = pool_run(tasks);
         let mut folded = Stats::new();
         let gathered = gather(results, &mut folded);
         ctx.stats.merge(&folded);
@@ -443,43 +455,41 @@ impl ParallelHashJoinOp {
         let chunks = split_chunks(build, self.dop);
         let family = &self.family;
         let rvar = &self.rvar;
-        let results: Vec<Result<(Vec<Keyed>, Stats), EvalError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let env = env.clone();
-                    s.spawn(move || {
-                        let ev = Evaluator::new(db);
-                        let mut env = env;
-                        let mut stats = Stats::new();
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for y in chunk {
-                            let keys = match family {
-                                JoinFamily::Equi { rkeys, .. } => {
-                                    hashjoin::eval_keys(rkeys, rvar, &y, &ev, &mut env, &mut stats)?
+        let tasks: Vec<WorkerTask<'_, Keyed>> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let env = env.clone();
+                Box::new(move || {
+                    let ev = Evaluator::new(db);
+                    let mut env = env;
+                    let mut stats = Stats::new();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for y in chunk {
+                        let keys = match family {
+                            JoinFamily::Equi { rkeys, .. } => {
+                                hashjoin::eval_keys(rkeys, rvar, &y, &ev, &mut env, &mut stats)?
+                            }
+                            JoinFamily::Member { shape } => match shape {
+                                MemberShape::RightInLeftSet { rkey, .. } => {
+                                    vec![hashjoin::eval_under(
+                                        rkey, rvar, &y, &ev, &mut env, &mut stats,
+                                    )?]
                                 }
-                                JoinFamily::Member { shape } => match shape {
-                                    MemberShape::RightInLeftSet { rkey, .. } => {
-                                        vec![hashjoin::eval_under(
-                                            rkey, rvar, &y, &ev, &mut env, &mut stats,
-                                        )?]
-                                    }
-                                    MemberShape::LeftInRightSet { rset, .. } => {
-                                        let s = hashjoin::eval_under(
-                                            rset, rvar, &y, &ev, &mut env, &mut stats,
-                                        )?;
-                                        s.as_set()?.iter().cloned().collect()
-                                    }
-                                },
-                            };
-                            out.push((keys, y));
-                        }
-                        Ok((out, stats))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(join_handle).collect()
-        });
+                                MemberShape::LeftInRightSet { rset, .. } => {
+                                    let s = hashjoin::eval_under(
+                                        rset, rvar, &y, &ev, &mut env, &mut stats,
+                                    )?;
+                                    s.as_set()?.iter().cloned().collect()
+                                }
+                            },
+                        };
+                        out.push((keys, y));
+                    }
+                    Ok((out, stats))
+                }) as WorkerTask<'_, Keyed>
+            })
+            .collect();
+        let results = pool_run(tasks);
         Ok(gather(results, folded)?.into_iter().flatten().collect())
     }
 
@@ -592,24 +602,22 @@ impl ParallelHashJoinOp {
         let buckets = self.partition_buckets(keyed);
 
         // Phase 3: build the partition tables concurrently.
-        let build_results: Vec<Result<(Vec<Tables>, Stats), EvalError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| {
-                    let member = matches!(self.family, JoinFamily::Member { .. });
-                    s.spawn(move || {
-                        let mut stats = Stats::new();
-                        let table = if member {
-                            Tables::Member(MemberHashTable::from_keyed(bucket, &mut stats))
-                        } else {
-                            Tables::Equi(JoinHashTable::from_keyed(bucket, &mut stats))
-                        };
-                        Ok((vec![table], stats))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(join_handle).collect()
-        });
+        let build_tasks: Vec<WorkerTask<'_, Tables>> = buckets
+            .into_iter()
+            .map(|bucket| {
+                let member = matches!(self.family, JoinFamily::Member { .. });
+                Box::new(move || {
+                    let mut stats = Stats::new();
+                    let table = if member {
+                        Tables::Member(MemberHashTable::from_keyed(bucket, &mut stats))
+                    } else {
+                        Tables::Equi(JoinHashTable::from_keyed(bucket, &mut stats))
+                    };
+                    Ok((vec![table], stats))
+                }) as WorkerTask<'_, Tables>
+            })
+            .collect();
+        let build_results = pool_run(build_tasks);
         let tables: Vec<Tables> = match gather(build_results, &mut folded) {
             Ok(ts) => ts.into_iter().flatten().collect(),
             Err(e) => {
@@ -629,36 +637,33 @@ impl ParallelHashJoinOp {
             &self.residual,
         );
         let (equi_tables, member_tables) = (&equi_tables, &member_tables);
-        let probe_results: Vec<Result<(Vec<Value>, Stats), EvalError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let env = env.clone();
-                    s.spawn(move || {
-                        let ev = Evaluator::new(db);
-                        let mut env = env;
-                        let mut stats = Stats::new();
-                        let out = match (family, mode) {
-                            (
-                                JoinFamily::Equi { lkeys, .. },
-                                OutputMode::Join { kind, right_attrs },
-                            ) => JoinHashTable::probe_batch(
-                                equi_tables,
-                                *kind,
-                                lvar,
-                                rvar,
-                                lkeys,
-                                residual.as_ref(),
-                                right_attrs,
-                                (&chunk).into(),
-                                &ev,
-                                &mut env,
-                                &mut stats,
-                            )?,
-                            (
-                                JoinFamily::Equi { lkeys, .. },
-                                OutputMode::Nest { rfunc, as_attr },
-                            ) => JoinHashTable::probe_nest_batch(
+        let probe_tasks: Vec<WorkerTask<'_, Value>> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let env = env.clone();
+                Box::new(move || {
+                    let ev = Evaluator::new(db);
+                    let mut env = env;
+                    let mut stats = Stats::new();
+                    let out = match (family, mode) {
+                        (
+                            JoinFamily::Equi { lkeys, .. },
+                            OutputMode::Join { kind, right_attrs },
+                        ) => JoinHashTable::probe_batch(
+                            equi_tables,
+                            *kind,
+                            lvar,
+                            rvar,
+                            lkeys,
+                            residual.as_ref(),
+                            right_attrs,
+                            (&chunk).into(),
+                            &ev,
+                            &mut env,
+                            &mut stats,
+                        )?,
+                        (JoinFamily::Equi { lkeys, .. }, OutputMode::Nest { rfunc, as_attr }) => {
+                            JoinHashTable::probe_nest_batch(
                                 equi_tables,
                                 lvar,
                                 rvar,
@@ -670,11 +675,10 @@ impl ParallelHashJoinOp {
                                 &ev,
                                 &mut env,
                                 &mut stats,
-                            )?,
-                            (
-                                JoinFamily::Member { shape },
-                                OutputMode::Join { kind, right_attrs },
-                            ) => MemberHashTable::probe_batch(
+                            )?
+                        }
+                        (JoinFamily::Member { shape }, OutputMode::Join { kind, right_attrs }) => {
+                            MemberHashTable::probe_batch(
                                 member_tables,
                                 *kind,
                                 lvar,
@@ -686,29 +690,29 @@ impl ParallelHashJoinOp {
                                 &ev,
                                 &mut env,
                                 &mut stats,
-                            )?,
-                            (JoinFamily::Member { shape }, OutputMode::Nest { rfunc, as_attr }) => {
-                                MemberHashTable::probe_nest_batch(
-                                    member_tables,
-                                    lvar,
-                                    rvar,
-                                    shape,
-                                    residual.as_ref(),
-                                    rfunc.as_ref(),
-                                    as_attr,
-                                    (&chunk).into(),
-                                    &ev,
-                                    &mut env,
-                                    &mut stats,
-                                )?
-                            }
-                        };
-                        Ok((out, stats))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(join_handle).collect()
-        });
+                            )?
+                        }
+                        (JoinFamily::Member { shape }, OutputMode::Nest { rfunc, as_attr }) => {
+                            MemberHashTable::probe_nest_batch(
+                                member_tables,
+                                lvar,
+                                rvar,
+                                shape,
+                                residual.as_ref(),
+                                rfunc.as_ref(),
+                                as_attr,
+                                (&chunk).into(),
+                                &ev,
+                                &mut env,
+                                &mut stats,
+                            )?
+                        }
+                    };
+                    Ok((out, stats))
+                }) as WorkerTask<'_, Value>
+            })
+            .collect();
+        let probe_results = pool_run(probe_tasks);
         let gathered = gather(probe_results, &mut folded);
         ctx.stats.merge(&folded);
         Ok(gathered?.into_iter().flatten().collect())

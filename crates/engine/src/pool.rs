@@ -1,0 +1,295 @@
+//! # Shared morsel worker pool
+//!
+//! PR 3's exchanges spawned a fresh `std::thread::scope` per pipeline:
+//! every concurrent query brought its own `dop` threads, so total
+//! parallelism scaled with the number of in-flight queries — exactly
+//! what a serving layer must not do. This module replaces those scoped
+//! threads with **one process-wide pool** of persistent workers that all
+//! exchanges (round-robin segments, parallel hash-join key/build/probe
+//! phases) submit their morsel tasks to:
+//!
+//! * total execution parallelism is capped at the pool size
+//!   (`OODB_POOL_SIZE`, default [`std::thread::available_parallelism`])
+//!   no matter how many queries run concurrently;
+//! * queued task sets run in **FIFO order** — under oversubscription,
+//!   earlier-arriving queries' morsels drain first (fair scheduling, no
+//!   starvation);
+//! * the submitting thread **helps execute its own tasks** while it
+//!   waits, so a saturated pool slows queries down but can never
+//!   deadlock them, and `OODB_POOL_SIZE=0` degenerates to exact serial
+//!   execution on the caller.
+//!
+//! [`WorkerPool::scope_run`] keeps the borrow discipline of
+//! `std::thread::scope`: tasks may borrow from the caller's stack, and
+//! the call does not return until every task has finished. Results come
+//! back **in task-submission order** (slot order), which is what keeps
+//! `Stats::absorb_worker` folds deterministic now that worker identities
+//! are pool-global rather than per-pipeline: the fold key is
+//! (query, task index), never the OS thread that happened to run the
+//! morsel.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A task whose closure has been lifetime-erased for the queue. The
+/// erasure is sound because [`WorkerPool::scope_run`] blocks until every
+/// task of its set has run to completion — the borrows a task captures
+/// outlive its execution, exactly as with `std::thread::scope`.
+struct QueuedTask {
+    set: u64,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Marker for a task that panicked (the panic itself is swallowed by a
+/// `catch_unwind` inside the pool, mirroring how the scoped-thread code
+/// mapped worker panics to an error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskPanicked;
+
+struct PoolInner {
+    queue: Mutex<VecDeque<QueuedTask>>,
+    work_cv: Condvar,
+    threads: usize,
+    next_set: AtomicU64,
+}
+
+impl PoolInner {
+    fn pop_front(&self) -> QueuedTask {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(t) = q.pop_front() {
+                return t;
+            }
+            q = self.work_cv.wait(q).unwrap();
+        }
+    }
+
+    fn pop_from_set(&self, set: u64) -> Option<QueuedTask> {
+        let mut q = self.queue.lock().unwrap();
+        let pos = q.iter().position(|t| t.set == set)?;
+        q.remove(pos)
+    }
+}
+
+/// Completion latch for one `scope_run` call: counts unfinished tasks,
+/// wakes the submitting thread when the last one finishes.
+struct SetLatch {
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+impl SetLatch {
+    fn finish_one(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done_cv.wait(remaining).unwrap();
+        }
+    }
+}
+
+/// The shared pool; obtain the process-wide instance via
+/// [`WorkerPool::global`] (tests may build private pools with
+/// [`WorkerPool::with_threads`]).
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+impl WorkerPool {
+    /// A pool with exactly `threads` persistent workers (`0` = no
+    /// workers; every `scope_run` caller executes its own tasks —
+    /// exact serial execution).
+    pub fn with_threads(threads: usize) -> WorkerPool {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            threads,
+            next_set: AtomicU64::new(0),
+        });
+        for i in 0..threads {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("oodb-worker-{i}"))
+                .spawn(move || loop {
+                    let task = inner.pop_front();
+                    (task.run)();
+                })
+                .expect("spawn pool worker");
+        }
+        WorkerPool { inner }
+    }
+
+    /// The process-wide shared pool, created on first use with
+    /// `OODB_POOL_SIZE` threads (default: available parallelism). Note
+    /// the pool size caps *execution* concurrency, not correctness: any
+    /// `dop` still produces `dop` deterministic morsel tasks, they just
+    /// share the pool's threads (plus the submitting thread).
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL.get_or_init(|| {
+            let threads = match std::env::var("OODB_POOL_SIZE") {
+                Ok(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("OODB_POOL_SIZE must be a thread count, got {v:?}")),
+                Err(_) => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            };
+            WorkerPool::with_threads(threads)
+        })
+    }
+
+    /// Number of persistent worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Runs `tasks` to completion and returns their results **in
+    /// submission order**, with per-task panics captured as
+    /// [`TaskPanicked`]. Tasks may borrow from the caller's stack
+    /// (`'env`), like `std::thread::scope` closures; this call blocks
+    /// until all of them have finished, and the submitting thread works
+    /// its own task set down while it waits.
+    pub fn scope_run<'env, T: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<Result<T, TaskPanicked>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Fast path: a single task runs inline — no queue round-trip.
+        if n == 1 {
+            let task = tasks.into_iter().next().unwrap();
+            return vec![catch_unwind(AssertUnwindSafe(task)).map_err(|_| TaskPanicked)];
+        }
+        let latch = SetLatch {
+            remaining: Mutex::new(n),
+            done_cv: Condvar::new(),
+        };
+        let slots: Vec<Mutex<Option<Result<T, TaskPanicked>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let set = self.inner.next_set.fetch_add(1, Ordering::Relaxed);
+        {
+            let latch = &latch;
+            let slots = &slots;
+            let mut queue = self.inner.queue.lock().unwrap();
+            for (i, task) in tasks.into_iter().enumerate() {
+                let wrapper: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(task)).map_err(|_| TaskPanicked);
+                    *slots[i].lock().unwrap() = Some(result);
+                    latch.finish_one();
+                });
+                // SAFETY: lifetime erasure only — the closure (and every
+                // borrow of `latch`/`slots`/the caller's stack inside it)
+                // is guaranteed to finish before this function returns:
+                // we do not return (or unwind — the loop below cannot
+                // panic) until the latch has counted every task done.
+                let run: Box<dyn FnOnce() + Send + 'static> =
+                    unsafe { std::mem::transmute(wrapper) };
+                queue.push_back(QueuedTask { set, run });
+            }
+            drop(queue);
+            self.inner.work_cv.notify_all();
+        }
+        // Help drain our own set while waiting: guarantees progress even
+        // with zero pool threads or a pool saturated by other queries.
+        while let Some(task) = self.inner.pop_from_set(set) {
+            (task.run)();
+        }
+        latch.wait_done();
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap()
+                    .expect("latch counted a task that left no result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::with_threads(3);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = pool.scope_run(tasks);
+        let want: Vec<_> = (0..16usize).map(|i| Ok(i * 10)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_threads_runs_on_the_caller() {
+        let pool = WorkerPool::with_threads(0);
+        let caller = std::thread::current().id();
+        let tasks: Vec<Box<dyn FnOnce() -> std::thread::ThreadId + Send>> = (0..4)
+            .map(|_| {
+                Box::new(move || std::thread::current().id())
+                    as Box<dyn FnOnce() -> std::thread::ThreadId + Send>
+            })
+            .collect();
+        for r in pool.scope_run(tasks) {
+            assert_eq!(r.unwrap(), caller);
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_the_callers_stack() {
+        let pool = WorkerPool::with_threads(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(100).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = chunks
+            .iter()
+            .map(|c| {
+                let c: &[u64] = c;
+                Box::new(move || c.iter().sum::<u64>()) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let total: u64 = pool.scope_run(tasks).into_iter().map(|r| r.unwrap()).sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panics_are_isolated_to_their_slot() {
+        let pool = WorkerPool::with_threads(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let got = pool.scope_run(tasks);
+        assert_eq!(got, vec![Ok(1), Err(TaskPanicked), Ok(3)]);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = Arc::new(WorkerPool::with_threads(2));
+        std::thread::scope(|s| {
+            for q in 0..6u64 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8)
+                        .map(|w| Box::new(move || q * 100 + w) as Box<dyn FnOnce() -> u64 + Send>)
+                        .collect();
+                    let got = pool.scope_run(tasks);
+                    let want: Vec<_> = (0..8).map(|w| Ok(q * 100 + w)).collect();
+                    assert_eq!(got, want);
+                });
+            }
+        });
+    }
+}

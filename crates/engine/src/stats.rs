@@ -45,6 +45,16 @@ pub struct Stats {
     pub spill_passes: u64,
     /// Tuples in the final result (top-level set cardinality).
     pub output_rows: u64,
+    /// Times this query's physical plan came out of a serving-layer plan
+    /// cache instead of being rewritten + costed from scratch (`1` on a
+    /// cache-hit run, `0` otherwise; sessions accumulate). **Not** a work
+    /// term — cache hits change planning latency, never execution work,
+    /// so [`Stats::work`] excludes it.
+    pub plan_cache_hits: u64,
+    /// Times a cached (whole-query or hoisted-`let` subplan) result was
+    /// served without re-executing its pipeline. Zero unless a serving
+    /// layer with result caching enabled ran the query.
+    pub result_cache_hits: u64,
     /// Per-operator emission profile of the streaming pipeline (one entry
     /// per physical operator, in close order; empty under the
     /// materialized executor).
@@ -96,6 +106,8 @@ impl Stats {
         self.spill_partitions += other.spill_partitions;
         self.spill_passes += other.spill_passes;
         self.output_rows += other.output_rows;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.result_cache_hits += other.result_cache_hits;
         self.operators.extend(other.operators.iter().cloned());
     }
 
@@ -120,6 +132,8 @@ impl Stats {
         self.spill_partitions += other.spill_partitions;
         self.spill_passes += other.spill_passes;
         self.output_rows += other.output_rows;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.result_cache_hits += other.result_cache_hits;
         for op in &other.operators {
             match self.operators.iter_mut().find(|o| o.op == op.op) {
                 Some(mine) => {
@@ -195,6 +209,13 @@ impl fmt::Display for Stats {
                 f,
                 " spill={}B/{}parts/{}passes",
                 self.spill_bytes, self.spill_partitions, self.spill_passes
+            )?;
+        }
+        if self.plan_cache_hits > 0 || self.result_cache_hits > 0 {
+            write!(
+                f,
+                " plan_hits={} result_hits={}",
+                self.plan_cache_hits, self.result_cache_hits
             )?;
         }
         if !self.operators.is_empty() {

@@ -1,0 +1,245 @@
+//! Version-stamped plan and result caches.
+//!
+//! Both caches key on **canonical ADL text** ([`oodb_adl::normal_key`]):
+//! alpha-equivalent queries from different sessions share entries. Every
+//! entry carries a [`Stamp`] — the versions of the extents the cached
+//! artifact depends on, captured when the entry was built. Extent writes
+//! bump per-table version counters ([`oodb_catalog::Database`]), so a
+//! lookup simply compares the stamp against the live catalog: any
+//! intervening write makes the entry invisible (and a subsequent insert
+//! replaces it). There is no eager invalidation path to get wrong — a
+//! stale entry is dead weight until FIFO eviction reclaims it.
+//!
+//! The dependency footprint of an ADL expression is the set of extents
+//! it can read: base-table scans ([`oodb_adl::referenced_tables`]) plus
+//! the extents of every class it dereferences pointers into
+//! ([`oodb_adl::referenced_classes`] mapped through the catalog). The
+//! planner never introduces a table the expression does not mention —
+//! index nested-loop joins and assembly both target extents/classes
+//! already present as `Table`/`Deref` nodes — so the expression-level
+//! footprint bounds the plan's reads.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use oodb_adl::expr::Expr;
+use oodb_catalog::Database;
+use oodb_core::strategy::Optimized;
+use oodb_engine::PhysPlan;
+use oodb_value::{Name, Value};
+
+/// Extent versions at the time a cache entry was built. An entry is
+/// *current* iff every listed extent still has its recorded version.
+pub type Stamp = Vec<(Name, u64)>;
+
+/// The extents (base tables) whose contents can influence the value of
+/// any of `exprs`, sorted and deduplicated: scanned tables plus the
+/// extents of dereferenced classes.
+pub fn footprint(exprs: &[&Expr], db: &Database) -> Vec<Name> {
+    let mut out: Vec<Name> = Vec::new();
+    for e in exprs {
+        out.extend(oodb_adl::referenced_tables(e));
+        for class in oodb_adl::referenced_classes(e) {
+            if let Some(def) = db.catalog().class(class.as_ref()) {
+                out.push(def.extent.clone());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Captures the current version of each extent in `extents`.
+pub fn stamp(extents: &[Name], db: &Database) -> Stamp {
+    extents
+        .iter()
+        .map(|n| (n.clone(), db.extent_version(n.as_ref())))
+        .collect()
+}
+
+/// Whether no stamped extent has been written since the stamp was taken.
+pub fn stamp_is_current(stamp: &Stamp, db: &Database) -> bool {
+    stamp
+        .iter()
+        .all(|(n, v)| db.extent_version(n.as_ref()) == *v)
+}
+
+/// A fully planned query, reusable by any session whose planner
+/// configuration fingerprint matches the cache key. Everything here is
+/// lifetime-free: [`PhysPlan`] owns its expressions, so a cached plan
+/// can outlive the `Planner` that built it.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// Optimizer output (rewritten expression + rule trace) — replayed
+    /// into the output of cache-hit runs, which skip the optimizer.
+    pub rewrite: Optimized,
+    /// The physical plan, executed directly via
+    /// [`PhysPlan::execute_streaming_full`] on hits (skipping costing).
+    pub phys: PhysPlan,
+    /// EXPLAIN rendering captured at plan time (cost annotations
+    /// included when the planner was cost-based).
+    pub explain: String,
+    /// Dependency footprint: every extent the query can read.
+    pub extents: Vec<Name>,
+    /// Versions of `extents` when this plan was cached.
+    pub stamp: Stamp,
+}
+
+/// A cached query (or hoisted-`let` subquery) result.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The materialized value.
+    pub value: Value,
+    /// Versions of the result's extent footprint at execution time.
+    pub stamp: Stamp,
+}
+
+/// Bounded map with FIFO eviction — insertion order, not LRU, because
+/// eviction policy is not what these tests exercise and FIFO keeps the
+/// behavior deterministic under concurrency.
+struct FifoMap<V> {
+    capacity: usize,
+    map: HashMap<String, V>,
+    order: VecDeque<String>,
+}
+
+impl<V> FifoMap<V> {
+    fn new(capacity: usize) -> Self {
+        FifoMap {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: String, value: V) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Shared plan cache. Keys are `fingerprint ␟ canonical-ADL` strings
+/// (built by the session layer); values are [`CachedPlan`]s behind `Arc`
+/// so hits hand out references without holding the lock.
+pub struct PlanCache {
+    inner: Mutex<FifoMap<std::sync::Arc<CachedPlan>>>,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(FifoMap::new(capacity)),
+        }
+    }
+
+    /// The entry under `key` **if its stamp is still current** against
+    /// `db`; stale entries are invisible (the caller replans and
+    /// replaces them via [`PlanCache::insert`]).
+    pub fn get_current(&self, key: &str, db: &Database) -> Lookup<std::sync::Arc<CachedPlan>> {
+        match self.inner.lock().unwrap().get(key) {
+            Some(entry) if stamp_is_current(&entry.stamp, db) => Lookup::Hit(entry.clone()),
+            Some(_) => Lookup::Stale,
+            None => Lookup::Miss,
+        }
+    }
+
+    pub fn insert(&self, key: String, entry: std::sync::Arc<CachedPlan>) {
+        self.inner.lock().unwrap().insert(key, entry);
+    }
+}
+
+/// Shared result cache (whole-query results under `q␟…` keys, hoisted
+/// `let` values under `let␟…` keys — the session layer prefixes).
+pub struct ResultCache {
+    inner: Mutex<FifoMap<CachedResult>>,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(FifoMap::new(capacity)),
+        }
+    }
+
+    /// The cached value under `key` if its stamp is still current.
+    pub fn get_current(&self, key: &str, db: &Database) -> Option<Value> {
+        let inner = self.inner.lock().unwrap();
+        match inner.get(key) {
+            Some(entry) if stamp_is_current(&entry.stamp, db) => Some(entry.value.clone()),
+            _ => None,
+        }
+    }
+
+    pub fn insert(&self, key: String, entry: CachedResult) {
+        self.inner.lock().unwrap().insert(key, entry);
+    }
+}
+
+/// Outcome of a stamped cache lookup — distinguishing *stale* (an entry
+/// existed but a write invalidated it) from *miss* (never planned) so
+/// the server can count invalidations separately.
+pub enum Lookup<T> {
+    Hit(T),
+    Stale,
+    Miss,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_catalog::fixtures::supplier_part_db;
+
+    #[test]
+    fn fifo_map_evicts_oldest() {
+        let mut m: FifoMap<u32> = FifoMap::new(2);
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        m.insert("a".into(), 10); // re-insert must not double-count
+        m.insert("c".into(), 3);
+        assert!(m.get("a").is_none(), "oldest key evicted");
+        assert_eq!(m.get("b"), Some(&2));
+        assert_eq!(m.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn footprint_maps_classes_to_extents() {
+        use oodb_adl::dsl::*;
+        let db = supplier_part_db();
+        let class = db.catalog().classes().next().expect("fixture has classes");
+        let e = Expr::Deref(Box::new(var("x")), class.name.clone());
+        let fp = footprint(&[&e], &db);
+        assert_eq!(fp, vec![class.extent.clone()]);
+    }
+
+    #[test]
+    fn stamps_expire_on_extent_writes() {
+        let mut db = supplier_part_db();
+        let extent = Name::from("SUPPLIER");
+        let s = stamp(std::slice::from_ref(&extent), &db);
+        assert!(stamp_is_current(&s, &db));
+        let identity = db
+            .catalog()
+            .class_by_extent("SUPPLIER")
+            .expect("fixture class")
+            .identity
+            .clone();
+        db.create_index("SUPPLIER", identity.as_ref())
+            .expect("create index");
+        assert!(!stamp_is_current(&s, &db), "write bumps the version");
+    }
+}

@@ -1,0 +1,467 @@
+//! # Serving layer: multi-session query server
+//!
+//! PR 3 gave every query its own scoped threads and its own memory
+//! budget; fine for a library, wrong for a server — N concurrent clients
+//! would multiply both. This crate puts a session front end over the
+//! existing `oosql` parse → typecheck → translate → optimize → plan →
+//! execute path with three serving-layer properties:
+//!
+//! * **Shared execution resources.** All queries' exchange morsels run
+//!   on the process-wide [`oodb_engine::WorkerPool`], so total dop is
+//!   capped at the pool size regardless of client count; and each query
+//!   is *admitted* against a global [`BudgetPool`] — the sum of live
+//!   per-query memory grants never exceeds the server's byte cap, with
+//!   FIFO fairness when oversubscribed (no query starves, earlier
+//!   arrivals admit first).
+//! * **Plan caching.** Plans are cached under their canonical ADL key
+//!   ([`oodb_adl::normal_key`]) plus a planner-configuration
+//!   fingerprint: a repeated (or alpha-equivalent) query skips the
+//!   rewrite engine *and* costing entirely and goes straight to
+//!   execution ([`oodb_engine::Stats::plan_cache_hits`] reports it).
+//!   Entries are stamped with extent versions; any write to a referenced
+//!   extent makes the entry invisible, so a hit is only ever served from
+//!   a plan whose dependencies are unchanged.
+//! * **Result caching** (opt-in, [`ServerConfig::cache_results`]).
+//!   Whole-query results and hoisted-`let` subquery values are cached
+//!   under the same stamped-key regime and shared across sessions; a hit
+//!   skips execution (reported via
+//!   [`oodb_engine::Stats::result_cache_hits`]). Off by default because
+//!   serving a memoized value changes the per-operator execution profile
+//!   that the differential suites assert on.
+//!
+//! [`net`] wraps all of this in a thin TCP line protocol
+//! (thread-per-connection over one shared cache/budget state).
+
+pub mod cache;
+pub mod net;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use oodb_adl::expr::Expr;
+use oodb_catalog::{CatalogStats, Database};
+use oodb_core::strategy::{Optimized, Optimizer};
+use oodb_engine::eval::EvalError;
+use oodb_engine::{MemoryBudget, PhysPlan, Planner, PlannerConfig, Stats};
+use oodb_spill::BudgetPool;
+use oodb_value::Value;
+
+use cache::{CachedPlan, CachedResult, Lookup, PlanCache, ResultCache};
+
+/// Server-level configuration: the per-query planner configuration plus
+/// the serving-layer knobs layered on top of it.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Planner configuration applied to every session's queries.
+    /// `planner.memory_budget` is the *per-query* budget request; the
+    /// grant actually handed to execution is clamped by the global pool.
+    pub planner: PlannerConfig,
+    /// Global memory cap in bytes across all concurrently executing
+    /// queries (`0` = unbounded). Admission control blocks a query until
+    /// its budget request fits under this cap alongside the grants
+    /// already live.
+    pub global_memory_bytes: usize,
+    /// Plan cache capacity (entries; FIFO eviction).
+    pub plan_cache_capacity: usize,
+    /// Result / `let`-subquery cache capacity (entries; FIFO eviction).
+    pub result_cache_capacity: usize,
+    /// Serve memoized whole-query results and hoisted-`let` values when
+    /// their extent stamps are current. Off by default: a result hit
+    /// (correctly) skips execution, which changes `Stats::operators`.
+    pub cache_results: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            planner: PlannerConfig::default(),
+            global_memory_bytes: 0,
+            plan_cache_capacity: 128,
+            result_cache_capacity: 128,
+            cache_results: false,
+        }
+    }
+}
+
+/// Monotonic serving-layer counters (whole-server totals; per-query
+/// numbers live in [`Stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Plan-cache hits: rewrite + costing skipped.
+    pub plan_hits: u64,
+    /// Plan-cache misses with no prior entry.
+    pub plan_misses: u64,
+    /// Plan-cache lookups that found an entry invalidated by an extent
+    /// write (counted *in addition to* a miss).
+    pub plan_invalidations: u64,
+    /// Result/`let`-cache hits: execution skipped.
+    pub result_hits: u64,
+    /// Result/`let`-cache misses (only counted when result caching is
+    /// enabled).
+    pub result_misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricCells {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_invalidations: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+}
+
+/// Cache + admission state shared by every session of a server — and,
+/// via [`QueryServer::with_shared`], across *server instances*: because
+/// [`QueryServer`] borrows the database immutably, interleaving writes
+/// means dropping the server, mutating, and rebuilding it; detaching the
+/// shared state lets the caches (and their version stamps) survive that
+/// round trip so invalidation is actually exercised.
+pub struct ServerShared {
+    plan_cache: PlanCache,
+    result_cache: ResultCache,
+    pool: BudgetPool,
+    metrics: MetricCells,
+}
+
+impl ServerShared {
+    /// Fresh shared state sized by `config`.
+    pub fn new(config: &ServerConfig) -> Arc<ServerShared> {
+        Arc::new(ServerShared {
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            result_cache: ResultCache::new(config.result_cache_capacity),
+            pool: BudgetPool::new(config.global_memory_bytes),
+            metrics: MetricCells::default(),
+        })
+    }
+
+    /// The global admission-control pool (tests assert on its
+    /// high-water mark).
+    pub fn budget_pool(&self) -> &BudgetPool {
+        &self.pool
+    }
+
+    /// Snapshot of the serving-layer counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            plan_hits: self.metrics.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.metrics.plan_misses.load(Ordering::Relaxed),
+            plan_invalidations: self.metrics.plan_invalidations.load(Ordering::Relaxed),
+            result_hits: self.metrics.result_hits.load(Ordering::Relaxed),
+            result_misses: self.metrics.result_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The in-process query server: a database binding plus shared caches
+/// and admission control. Open one [`Session`] per client; sessions are
+/// cheap and each carries only a reference back here.
+pub struct QueryServer<'db> {
+    db: &'db Database,
+    config: ServerConfig,
+    /// Exact fingerprint of the planner configuration, prefixed onto
+    /// plan-cache keys: two sessions share a plan only when every
+    /// planning knob matches.
+    fingerprint: String,
+    /// Catalog statistics, collected once per server (cost-based
+    /// configurations only) — the serving loop must not re-scan the
+    /// database per query.
+    stats: Option<CatalogStats>,
+    shared: Arc<ServerShared>,
+}
+
+impl<'db> QueryServer<'db> {
+    /// A server over `db` with the default configuration.
+    pub fn new(db: &'db Database) -> Self {
+        QueryServer::with_config(db, ServerConfig::default())
+    }
+
+    /// A server with an explicit configuration and fresh shared state.
+    pub fn with_config(db: &'db Database, config: ServerConfig) -> Self {
+        let shared = ServerShared::new(&config);
+        QueryServer::with_shared(db, config, shared)
+    }
+
+    /// A server reusing existing shared state (caches + budget pool) —
+    /// how caches survive database writes between server instances, and
+    /// how every TCP connection thread shares one cache.
+    pub fn with_shared(db: &'db Database, config: ServerConfig, shared: Arc<ServerShared>) -> Self {
+        let stats = config
+            .planner
+            .cost_based
+            .then(|| CatalogStats::from_database(db));
+        let fingerprint = format!("{:?}", config.planner);
+        QueryServer {
+            db,
+            config,
+            fingerprint,
+            stats,
+            shared,
+        }
+    }
+
+    /// The shared cache/admission state, detachable for reuse via
+    /// [`QueryServer::with_shared`].
+    pub fn shared(&self) -> Arc<ServerShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Opens a client session.
+    pub fn session(&self) -> Session<'_, 'db> {
+        Session { server: self }
+    }
+}
+
+/// One client's handle on a [`QueryServer`]. Sessions hold no state of
+/// their own today (caches are deliberately global so clients benefit
+/// from each other's work); the type exists so per-session state —
+/// transactions, prepared statements — has somewhere to live.
+pub struct Session<'srv, 'db> {
+    server: &'srv QueryServer<'db>,
+}
+
+impl<'srv, 'db> Session<'srv, 'db> {
+    /// Parses, type checks and translates `oosql_text`, then executes it
+    /// through the serving path ([`Session::run_expr`]).
+    pub fn run(&self, oosql_text: &str) -> Result<ServerOutput, ServerError> {
+        let db = self.server.db;
+        let query = oodb_oosql::parse(oosql_text).map_err(ServerError::Parse)?;
+        oodb_oosql::typecheck(&query, db.catalog()).map_err(ServerError::Type)?;
+        let nested =
+            oodb_translate::translate(&query, db.catalog()).map_err(ServerError::Translate)?;
+        self.run_expr(nested)
+    }
+
+    /// Executes a translated (nested) ADL expression: plan-cache lookup
+    /// under the canonical key, rewrite + costing only on miss, global
+    /// memory admission, then streaming execution — with result /
+    /// hoisted-`let` memoization when the server enables it.
+    pub fn run_expr(&self, nested: Expr) -> Result<ServerOutput, ServerError> {
+        let server = self.server;
+        let db = server.db;
+        let shared = &server.shared;
+        let key = oodb_translate::plan_cache_key(&nested);
+        let plan_key = format!("{}\u{1f}{}", server.fingerprint, key.text);
+
+        let (entry, plan_hit) = match shared.plan_cache.get_current(&plan_key, db) {
+            Lookup::Hit(entry) => {
+                shared.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+                (entry, true)
+            }
+            outcome => {
+                if matches!(outcome, Lookup::Stale) {
+                    shared
+                        .metrics
+                        .plan_invalidations
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let rewrite = Optimizer::default()
+                    .optimize(&nested, db.catalog())
+                    .map_err(ServerError::Rewrite)?;
+                let planner = match &server.stats {
+                    Some(s) => Planner::with_stats(db, server.config.planner.clone(), s.clone()),
+                    None => Planner::with_config(db, server.config.planner.clone()),
+                };
+                let plan = planner.plan(&rewrite.expr).map_err(ServerError::Plan)?;
+                let explain = plan.explain();
+                let extents = cache::footprint(&[&nested, &rewrite.expr], db);
+                let stamp = cache::stamp(&extents, db);
+                let entry = Arc::new(CachedPlan {
+                    phys: plan.phys.clone(),
+                    rewrite,
+                    explain,
+                    extents,
+                    stamp,
+                });
+                shared.plan_cache.insert(plan_key, Arc::clone(&entry));
+                (entry, false)
+            }
+        };
+
+        let mut stats = Stats::default();
+        if plan_hit {
+            stats.plan_cache_hits = 1;
+        }
+
+        let result_key = format!("q\u{1f}{}", key.text);
+        if server.config.cache_results {
+            if let Some(value) = shared.result_cache.get_current(&result_key, db) {
+                shared.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+                stats.result_cache_hits += 1;
+                stats.output_rows = value.as_set().map(|s| s.len() as u64).unwrap_or(0);
+                return Ok(ServerOutput {
+                    nested,
+                    rewrite: entry.rewrite.clone(),
+                    result: value,
+                    explain: entry.explain.clone(),
+                    stats,
+                });
+            }
+            shared.metrics.result_misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Admission: block (FIFO-fairly) until this query's budget
+        // request fits under the global cap, then execute under the
+        // granted budget. The grant is an RAII lease — released when
+        // this function returns, waking queued queries.
+        let grant = shared.pool.grant(server.config.planner.memory_budget);
+        let budget = grant.budget();
+
+        let phys = if server.config.cache_results {
+            self.resolve_let_spine(&entry.phys, &entry.rewrite.expr, &mut stats, &budget)
+                .map_err(ServerError::Exec)?
+        } else {
+            entry.phys.clone()
+        };
+
+        let result = phys
+            .execute_streaming_full(
+                db,
+                &mut stats,
+                budget,
+                server.config.planner.batch_kind,
+                server.config.planner.vectorize,
+            )
+            .map_err(ServerError::Exec)?;
+        drop(grant);
+
+        if server.config.cache_results {
+            shared.result_cache.insert(
+                result_key,
+                CachedResult {
+                    value: result.clone(),
+                    stamp: cache::stamp(&entry.extents, db),
+                },
+            );
+        }
+
+        Ok(ServerOutput {
+            nested,
+            rewrite: entry.rewrite.clone(),
+            result,
+            explain: entry.explain.clone(),
+            stats,
+        })
+    }
+
+    /// Walks the chain of root-level `let` bindings that hoisting
+    /// produces, substituting a memoized value (or executing the value
+    /// subplan once and memoizing it) for every **closed** binding. The
+    /// physical and algebraic spines are walked in lockstep — closedness
+    /// and cache keys come from the expression, the substitution happens
+    /// in the plan — and the walk stops at the first node where they
+    /// disagree, so any plan shape the planner produces stays correct
+    /// (it just caches fewer bindings).
+    fn resolve_let_spine(
+        &self,
+        plan: &PhysPlan,
+        expr: &Expr,
+        stats: &mut Stats,
+        budget: &MemoryBudget,
+    ) -> Result<PhysPlan, EvalError> {
+        let server = self.server;
+        let db = server.db;
+        let shared = &server.shared;
+        if let (
+            PhysPlan::LetOp { var, value, body },
+            Expr::Let {
+                var: evar,
+                value: evalue,
+                body: ebody,
+            },
+        ) = (plan, expr)
+        {
+            if var == evar && oodb_adl::free_vars(evalue).is_empty() {
+                let key = format!("let\u{1f}{}", oodb_adl::normal_key(evalue));
+                let memoized = if let Some(v) = shared.result_cache.get_current(&key, db) {
+                    shared.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+                    stats.result_cache_hits += 1;
+                    v
+                } else {
+                    shared.metrics.result_misses.fetch_add(1, Ordering::Relaxed);
+                    let v = value.execute_streaming_full(
+                        db,
+                        stats,
+                        budget.clone(),
+                        server.config.planner.batch_kind,
+                        server.config.planner.vectorize,
+                    )?;
+                    let extents = cache::footprint(&[evalue], db);
+                    shared.result_cache.insert(
+                        key,
+                        CachedResult {
+                            value: v.clone(),
+                            stamp: cache::stamp(&extents, db),
+                        },
+                    );
+                    v
+                };
+                let body = self.resolve_let_spine(body, ebody, stats, budget)?;
+                return Ok(PhysPlan::LetOp {
+                    var: var.clone(),
+                    value: Box::new(PhysPlan::Literal(memoized)),
+                    body: Box::new(body),
+                });
+            }
+        }
+        Ok(plan.clone())
+    }
+}
+
+/// Everything one serving-path query produced — field-for-field the
+/// library pipeline's output, so the facade can route through the
+/// server transparently.
+#[derive(Debug)]
+pub struct ServerOutput {
+    /// The nested ADL translation of the query.
+    pub nested: Expr,
+    /// Optimizer output (from the cache on plan hits — identical to
+    /// what a fresh rewrite would produce, since the entry's stamp
+    /// guarantees nothing it depends on changed).
+    pub rewrite: Optimized,
+    /// The query result (always a set value).
+    pub result: Value,
+    /// EXPLAIN rendering of the executed plan.
+    pub explain: String,
+    /// Execution statistics; `plan_cache_hits` / `result_cache_hits`
+    /// report what the serving layer skipped.
+    pub stats: Stats,
+}
+
+/// Union of the per-phase error types, mirroring the facade's
+/// `PipelineError` so the two paths stay interchangeable.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Lexing/parsing failed.
+    Parse(oodb_oosql::ParseError),
+    /// The query does not type check against the catalog.
+    Type(oodb_oosql::TypeError),
+    /// Translation to ADL failed.
+    Translate(oodb_translate::TranslateError),
+    /// A rewrite rule misfired (internal invariant violation).
+    Rewrite(oodb_core::RewriteError),
+    /// Physical planning failed.
+    Plan(oodb_engine::plan::PlanError),
+    /// Execution failed.
+    Exec(EvalError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Parse(e) => write!(f, "parse error: {e}"),
+            ServerError::Type(e) => write!(f, "type error: {e}"),
+            ServerError::Translate(e) => write!(f, "translation error: {e}"),
+            ServerError::Rewrite(e) => write!(f, "rewrite error: {e}"),
+            ServerError::Plan(e) => write!(f, "planning error: {e}"),
+            ServerError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}

@@ -1,0 +1,188 @@
+//! Thin TCP line protocol over [`QueryServer`].
+//!
+//! One thread per connection, every connection sharing one
+//! [`ServerShared`] (caches + global admission pool) — the network layer
+//! adds transport, not semantics; everything interesting stays testable
+//! through the in-process API.
+//!
+//! Requests are single lines:
+//!
+//! | request            | response                                        |
+//! |--------------------|-------------------------------------------------|
+//! | `QUERY <oosql>`    | `OK <rows> plan_hit=<0/1>`, the result set on one line, `.` |
+//! | `EXPLAIN <oosql>`  | `OK 0 plan_hit=<0/1>`, the plan (indented lines), `.` |
+//! | `STATS`            | `OK 0`, one counters line, `.`                  |
+//! | `QUIT`             | `BYE` and the connection closes                 |
+//!
+//! Any failure is a single `ERR <message>` line (newlines flattened);
+//! the connection stays usable.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use oodb_catalog::Database;
+
+use crate::{QueryServer, ServerConfig, ServerShared};
+
+/// Handle on a listening server; dropping it (or calling
+/// [`ServeHandle::shutdown`]) stops the accept loop and joins every
+/// connection thread.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<ServerShared>,
+}
+
+impl ServeHandle {
+    /// The bound address (bind to port `0` and read the real port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cache/admission state every connection shares.
+    pub fn shared(&self) -> Arc<ServerShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Stops accepting, waits for in-flight connections to finish.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `db` until the
+/// returned handle is shut down. The database is shared immutably —
+/// this protocol is read-only by design (writes go through whoever owns
+/// the `Database`, between server lifetimes).
+pub fn serve(db: Arc<Database>, config: ServerConfig, addr: &str) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let shared = ServerShared::new(&config);
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("oodb-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let db = Arc::clone(&db);
+                    let config = config.clone();
+                    let shared = Arc::clone(&shared);
+                    let conn = std::thread::Builder::new()
+                        .name("oodb-conn".into())
+                        .spawn(move || {
+                            let server = QueryServer::with_shared(&db, config, shared);
+                            let _ = handle_connection(stream, &server);
+                        })
+                        .expect("spawn connection thread");
+                    conns.push(conn);
+                }
+                for conn in conns {
+                    let _ = conn.join();
+                }
+            })?
+    };
+    Ok(ServeHandle {
+        addr: local,
+        stop,
+        accept: Some(accept),
+        shared,
+    })
+}
+
+fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let session = server.session();
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "QUIT" => {
+                writeln!(writer, "BYE")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            "STATS" => {
+                let m = server.shared().metrics();
+                let pool = server.shared().budget_pool().high_water();
+                writeln!(writer, "OK 0")?;
+                writeln!(
+                    writer,
+                    "plan_hits={} plan_misses={} plan_invalidations={} \
+                     result_hits={} result_misses={} budget_high_water={}",
+                    m.plan_hits,
+                    m.plan_misses,
+                    m.plan_invalidations,
+                    m.result_hits,
+                    m.result_misses,
+                    pool
+                )?;
+                writeln!(writer, ".")?;
+            }
+            "QUERY" => match session.run(rest) {
+                Ok(out) => {
+                    writeln!(
+                        writer,
+                        "OK {} plan_hit={}",
+                        out.stats.output_rows, out.stats.plan_cache_hits
+                    )?;
+                    writeln!(writer, "{}", flatten(&out.result.to_string()))?;
+                    writeln!(writer, ".")?;
+                }
+                Err(e) => writeln!(writer, "ERR {}", flatten(&e.to_string()))?,
+            },
+            "EXPLAIN" => match session.run(rest) {
+                Ok(out) => {
+                    writeln!(writer, "OK 0 plan_hit={}", out.stats.plan_cache_hits)?;
+                    for l in out.explain.lines() {
+                        writeln!(writer, " {l}")?;
+                    }
+                    writeln!(writer, ".")?;
+                }
+                Err(e) => writeln!(writer, "ERR {}", flatten(&e.to_string()))?,
+            },
+            other => writeln!(writer, "ERR unknown request {other:?}")?,
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Protocol framing is line-based; make sure payloads stay one line.
+fn flatten(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}

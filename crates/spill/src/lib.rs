@@ -32,7 +32,7 @@ use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Record-header sentinel marking a **column block** instead of a row
 /// record: a row record's first `u32` is its value count, which can
@@ -173,6 +173,136 @@ impl MemoryBudget {
             Some(d) => d.as_ref().clone(),
             None => std::env::temp_dir(),
         }
+    }
+}
+
+/// A process- or server-wide pool of budget bytes shared by concurrent
+/// queries. Where [`MemoryBudget::share`] splits one query's budget
+/// among its workers, a `BudgetPool` sits one level up: each admitted
+/// query holds a [`BudgetGrant`] carved out of the global cap, and
+/// queries that would push the pool past its cap wait their turn in
+/// strict FIFO order (ticket numbers), so no query starves behind a
+/// stream of later arrivals.
+///
+/// Cheap to clone (shared state behind an `Arc`). A cap of `0` means
+/// unbounded: grants are handed out immediately at the requested size.
+#[derive(Debug, Clone)]
+pub struct BudgetPool {
+    inner: Arc<BudgetPoolInner>,
+}
+
+#[derive(Debug)]
+struct BudgetPoolInner {
+    /// Global byte cap across live grants; `0` = unbounded.
+    cap: usize,
+    state: Mutex<BudgetPoolState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BudgetPoolState {
+    /// Bytes currently held by live grants.
+    in_use: usize,
+    /// Largest `in_use` ever observed — the admission-control invariant
+    /// (`high_water <= cap`) is asserted against this.
+    high_water: usize,
+    /// Next ticket to hand to an arriving request.
+    next_ticket: u64,
+    /// Ticket currently allowed to admit (FIFO fairness: a request only
+    /// admits when it is at the head of the queue *and* fits).
+    now_serving: u64,
+}
+
+impl BudgetPool {
+    /// A pool with a global cap of `cap` bytes (`0` = unbounded).
+    pub fn new(cap: usize) -> Self {
+        BudgetPool {
+            inner: Arc::new(BudgetPoolInner {
+                cap,
+                state: Mutex::new(BudgetPoolState::default()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The global cap, `None` when unbounded.
+    pub fn cap(&self) -> Option<usize> {
+        (self.inner.cap > 0).then_some(self.inner.cap)
+    }
+
+    /// Largest sum of live grants ever observed.
+    pub fn high_water(&self) -> usize {
+        self.inner.state.lock().unwrap().high_water
+    }
+
+    /// Bytes currently held by live grants.
+    pub fn in_use(&self) -> usize {
+        self.inner.state.lock().unwrap().in_use
+    }
+
+    /// Acquires `want` bytes from the pool, blocking FIFO-fairly until
+    /// they fit under the cap. A request larger than the cap is clamped
+    /// to the cap (it can never fit otherwise and would starve itself
+    /// and everyone queued behind it); `want == 0` on a bounded pool
+    /// requests the whole cap — "an unbounded query" admitted to a
+    /// bounded pool serializes against it rather than sneaking past it.
+    pub fn grant(&self, want: usize) -> BudgetGrant {
+        let cap = self.inner.cap;
+        if cap == 0 {
+            return BudgetGrant {
+                pool: self.clone(),
+                bytes: want,
+            };
+        }
+        let req = if want == 0 { cap } else { want.min(cap) };
+        let mut state = self.inner.state.lock().unwrap();
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        while state.now_serving != ticket || state.in_use + req > cap {
+            state = self.inner.cv.wait(state).unwrap();
+        }
+        state.now_serving += 1;
+        state.in_use += req;
+        state.high_water = state.high_water.max(state.in_use);
+        // The next ticket may also fit alongside this one.
+        self.inner.cv.notify_all();
+        BudgetGrant {
+            pool: self.clone(),
+            bytes: req,
+        }
+    }
+}
+
+/// RAII lease of bytes from a [`BudgetPool`]; returns them on drop and
+/// wakes queued requests.
+#[derive(Debug)]
+pub struct BudgetGrant {
+    pool: BudgetPool,
+    bytes: usize,
+}
+
+impl BudgetGrant {
+    /// Bytes this grant holds (`0` only from an unbounded pool granting
+    /// an unbounded request).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// A per-query [`MemoryBudget`] denominated in this grant's bytes.
+    pub fn budget(&self) -> MemoryBudget {
+        MemoryBudget::bytes(self.bytes)
+    }
+}
+
+impl Drop for BudgetGrant {
+    fn drop(&mut self) {
+        if self.pool.inner.cap == 0 {
+            return;
+        }
+        let mut state = self.pool.inner.state.lock().unwrap();
+        state.in_use = state.in_use.saturating_sub(self.bytes);
+        drop(state);
+        self.pool.inner.cv.notify_all();
     }
 }
 

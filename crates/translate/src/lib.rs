@@ -70,6 +70,33 @@ pub fn translate(q: &OExpr, catalog: &Catalog) -> Result<Expr, TranslateError> {
     t.tr(q, &OEnv::new())
 }
 
+/// A plan-cache key for a translated query: the canonical
+/// alpha-normalized rendering (exact — used for lookup) plus a 64-bit
+/// FNV fingerprint (compact — used for display and the wire protocol).
+/// Queries that differ only in bound-variable names produce equal keys,
+/// so `select s.sname from s in …` and `select x.sname from x in …`
+/// share one cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical normalized ADL text (`oodb_adl::normal_key`).
+    pub text: String,
+    /// FNV-1a fingerprint of `text`.
+    pub hash: u64,
+}
+
+impl fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.hash)
+    }
+}
+
+/// The [`PlanKey`] of a translated (nested ADL) query expression.
+pub fn plan_cache_key(e: &Expr) -> PlanKey {
+    let text = oodb_adl::normal_key(e);
+    let hash = oodb_adl::key_hash(&text);
+    PlanKey { text, hash }
+}
+
 struct Translator<'a> {
     catalog: &'a Catalog,
 }

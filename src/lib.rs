@@ -29,6 +29,7 @@ pub use oodb_core as core;
 pub use oodb_datagen as datagen;
 pub use oodb_engine as engine;
 pub use oodb_oosql as oosql;
+pub use oodb_server as server;
 pub use oodb_translate as translate;
 pub use oodb_value as value;
 
@@ -69,6 +70,10 @@ pub struct Pipeline<'db> {
     /// configurations only) and reused by every query this pipeline
     /// plans — `run` in a loop must not re-scan the database per query.
     stats: Option<CatalogStats>,
+    /// The serving path (plan cache + shared-pool admission), built on
+    /// first use when `OODB_SERVER=inproc` routes streaming execution
+    /// through it (how CI runs the whole suite against the server).
+    server: std::sync::OnceLock<oodb_server::QueryServer<'db>>,
 }
 
 impl<'db> Pipeline<'db> {
@@ -93,7 +98,12 @@ impl<'db> Pipeline<'db> {
     /// section).
     pub fn with_config(db: &'db Database, config: PlannerConfig) -> Self {
         let stats = config.cost_based.then(|| CatalogStats::from_database(db));
-        Pipeline { db, config, stats }
+        Pipeline {
+            db,
+            config,
+            stats,
+            server: std::sync::OnceLock::new(),
+        }
     }
 
     /// Parses, type checks, translates, optimizes and executes an OOSQL
@@ -111,6 +121,9 @@ impl<'db> Pipeline<'db> {
     }
 
     fn run_with(&self, oosql_text: &str, mode: ExecMode) -> Result<PipelineOutput, PipelineError> {
+        if mode == ExecMode::Streaming && server_mode() {
+            return self.run_served(oosql_text);
+        }
         let query = oodb_oosql::parse(oosql_text).map_err(PipelineError::Parse)?;
         oodb_oosql::typecheck(&query, self.db.catalog()).map_err(PipelineError::Type)?;
         let nested = oodb_translate::translate(&query, self.db.catalog())
@@ -138,6 +151,36 @@ impl<'db> Pipeline<'db> {
         })
     }
 
+    /// Routes a streaming query through the in-process
+    /// [`oodb_server::QueryServer`] (built lazily, once per pipeline):
+    /// identical results and operator profile, plus plan caching and
+    /// shared-pool admission. `Stats::plan_cache_hits` reports when a
+    /// repeat of an earlier query skipped rewrite + costing.
+    fn run_served(&self, oosql_text: &str) -> Result<PipelineOutput, PipelineError> {
+        let server = self.server.get_or_init(|| {
+            let config = oodb_server::ServerConfig {
+                planner: self.config.clone(),
+                ..oodb_server::ServerConfig::default()
+            };
+            oodb_server::QueryServer::with_config(self.db, config)
+        });
+        let out = server.session().run(oosql_text).map_err(|e| match e {
+            oodb_server::ServerError::Parse(e) => PipelineError::Parse(e),
+            oodb_server::ServerError::Type(e) => PipelineError::Type(e),
+            oodb_server::ServerError::Translate(e) => PipelineError::Translate(e),
+            oodb_server::ServerError::Rewrite(e) => PipelineError::Rewrite(e),
+            oodb_server::ServerError::Plan(e) => PipelineError::Plan(e),
+            oodb_server::ServerError::Exec(e) => PipelineError::Exec(e),
+        })?;
+        Ok(PipelineOutput {
+            nested: out.nested,
+            rewrite: out.rewrite,
+            result: out.result,
+            explain: out.explain,
+            stats: out.stats,
+        })
+    }
+
     /// Executes the *unoptimized* nested translation with the reference
     /// nested-loop evaluator — the baseline the paper argues against.
     pub fn run_naive(&self, oosql_text: &str) -> Result<Value, PipelineError> {
@@ -148,6 +191,19 @@ impl<'db> Pipeline<'db> {
         let ev = Evaluator::new(self.db);
         ev.eval_closed(&nested).map_err(PipelineError::Exec)
     }
+}
+
+/// Whether `OODB_SERVER=inproc` routes streaming execution through the
+/// serving layer (read once per process — it configures a CI pass, not
+/// a per-query choice). Unset or empty means the direct library path.
+fn server_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("OODB_SERVER") {
+        Ok(v) if v.is_empty() => false,
+        Ok(v) if v == "inproc" => true,
+        Ok(v) => panic!("OODB_SERVER must be \"inproc\" or unset, got {v:?}"),
+        Err(_) => false,
+    })
 }
 
 /// Which physical execution path [`Pipeline`] uses.
