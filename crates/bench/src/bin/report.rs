@@ -115,10 +115,12 @@ fn perf_streaming() {
             r.cost_based_work,
             r.best_forced_work()
         );
-        // the equi-join workload is exempt: work() excludes sort
-        // comparisons, so its forced sort-merge counter under-reports
+        // the equi-join workloads are exempt: work() excludes sort
+        // comparisons, so their forced sort-merge counter under-reports
         assert!(
-            r.workload == "join_supplier_delivery" || r.cost_based_work <= r.best_forced_work(),
+            r.workload == "join_supplier_delivery"
+                || r.workload == "multi_join_chain"
+                || r.cost_based_work <= r.best_forced_work(),
             "{}: cost-based planning lost to a forced algorithm",
             r.workload
         );
@@ -175,6 +177,25 @@ fn perf_streaming() {
             r.server_p50_ms,
             r.server_p99_ms,
             r.server_p99_ms / r.streaming_ms.max(1e-9),
+        );
+    }
+    println!("\n  Join-order enumeration (DP vs the rewrite's association, work units):");
+    println!(
+        "  {:<26} {:>12} {:>14} {:>9}",
+        "workload", "dp work", "rewrite work", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>12} {:>14} {:>8.2}x",
+            r.workload,
+            r.join_order_work,
+            r.rewrite_order_work,
+            r.join_order_work as f64 / r.rewrite_order_work.max(1) as f64,
+        );
+        assert!(
+            r.join_order_work <= r.rewrite_order_work,
+            "{}: DP enumeration measured more work than the rewrite order",
+            r.workload
         );
     }
     println!("\n  External memory (same plan, 64 KiB budget, best of 3):");

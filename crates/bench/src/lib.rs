@@ -8,7 +8,7 @@ use oodb_adl::dsl::*;
 use oodb_adl::expr::Expr;
 use oodb_catalog::{Catalog, CatalogStats, ClassDef, Database};
 use oodb_core::strategy::{Optimized, Optimizer};
-use oodb_engine::{BatchKind, Evaluator, JoinAlgo, Planner, PlannerConfig, Stats};
+use oodb_engine::{BatchKind, Evaluator, JoinAlgo, JoinOrder, Planner, PlannerConfig, Stats};
 use oodb_value::{name, Oid, SetCmpOp, Tuple, TupleType, Type, Value};
 
 pub mod regression;
@@ -271,6 +271,28 @@ pub fn join_supplier_delivery_query() -> Expr {
     )
 }
 
+/// The multi-join chain workload: SUPPLIER ⋈ μ_supply(DELIVERY) ⋈ PART,
+/// associated left-deep the way the rewrite pipeline emits it — three
+/// relations and two equi-join edges, the smallest shape where
+/// join-order enumeration has a real choice to make. The gated
+/// `join_order_work` / `rewrite_order_work` columns run it (and every
+/// other workload) with DP enumeration on and off.
+pub fn multi_join_chain_query() -> Expr {
+    join(
+        "sd",
+        "p",
+        eq(var("sd").field("part"), var("p").field("pid")),
+        join(
+            "s",
+            "d",
+            eq(var("s").field("eid"), var("d").field("supplier")),
+            table("SUPPLIER"),
+            unnest("supply", table("DELIVERY")),
+        ),
+        table("PART"),
+    )
+}
+
 /// A scaled version of the Figure 1/2 tables: `nx` X-rows with `c` sets of
 /// size ≤ `fanout`, `ny` Y-rows, join values in `0..groups`. A fraction of
 /// X rows keeps `c = ∅` and a fraction gets an `a` matching no Y row —
@@ -440,6 +462,17 @@ pub mod streaming_report {
         /// the environment's vectorize default) to see what the
         /// vectorized layer buys on each workload.
         pub streaming_agg_ms: f64,
+        /// Streaming work units with `join_order` pinned to DP
+        /// enumeration (cost-based, serial, unbounded budget). Gated —
+        /// and `report --check` additionally asserts this column never
+        /// exceeds `rewrite_order_work`: enumeration must not pick a
+        /// plan that measures *worse* than the order the rewrite
+        /// produced.
+        pub join_order_work: u64,
+        /// Streaming work units of the same configuration with
+        /// `join_order` pinned off — the rewrite's own association,
+        /// the baseline DP is held against.
+        pub rewrite_order_work: u64,
         /// Batches whose selection predicate was evaluated through a
         /// compiled mask instead of the row interpreter, from the
         /// deterministic counters run (`Stats::mask_batches`). Gated:
@@ -488,6 +521,8 @@ pub mod streaming_report {
                     "forced_nested_loop_work",
                     self.forced_nested_loop_work as f64,
                 ),
+                ("join_order_work", self.join_order_work as f64),
+                ("rewrite_order_work", self.rewrite_order_work as f64),
                 ("mask_batches", self.mask_batches as f64),
                 ("spill_bytes", self.spill_bytes as f64),
                 ("smj_spill_bytes", self.smj_spill_bytes as f64),
@@ -574,6 +609,7 @@ pub mod streaming_report {
             ("materialize_section_6_2", materialize_query()),
             ("nu_group_supply", nu_group_query()),
             ("join_supplier_delivery", join_supplier_delivery_query()),
+            ("multi_join_chain", multi_join_chain_query()),
         ];
         let mut rows = Vec::with_capacity(workloads.len());
         // The work-unit comparisons below measure the §7 algorithmic
@@ -621,6 +657,23 @@ pub mod streaming_report {
                 assert_eq!(nv, fv, "{label}: forced {algo:?} diverged");
                 f_stats.work()
             };
+            // the same cost-based streaming plan with join-order
+            // enumeration pinned on (DP) and off (the rewrite's own
+            // association) — explicitly, not via `OODB_JOIN_ORDER`, so
+            // both gated columns are environment-independent
+            let per_order = |join_order: JoinOrder| {
+                let cfg = PlannerConfig {
+                    memory_budget: 0,
+                    join_order,
+                    ..Default::default()
+                };
+                let (ov, o_stats) =
+                    run_planned_streaming_stats(&db, &cat_stats, &optimized.expr, cfg);
+                assert_eq!(nv, ov, "{label}: join order {join_order:?} diverged");
+                o_stats.work()
+            };
+            let join_order_work = per_order(JoinOrder::Dp);
+            let rewrite_order_work = per_order(JoinOrder::Off);
             // per-dop wall clock: the same streaming plan under exchange
             // parallelism 1 / 2 / 4, best of PARALLEL_RUNS timed runs; a
             // low threshold keeps the exchanges live at this scale
@@ -765,6 +818,8 @@ pub mod streaming_report {
                 streaming_b64k_ms: b64k_best,
                 spill_bytes: b64k_spill,
                 smj_spill_bytes: j_stats.spill_bytes,
+                join_order_work,
+                rewrite_order_work,
                 streaming_agg_ms: agg_best,
                 mask_batches: s_stats.mask_batches,
                 server_p50_ms: server_p50,
@@ -794,6 +849,7 @@ pub mod streaming_report {
                  \"streaming_p1_ms\": {:.3}, \"streaming_p2_ms\": {:.3}, \
                  \"streaming_p4_ms\": {:.3}, \"streaming_b64k_ms\": {:.3}, \
                  \"spill_bytes\": {}, \"smj_spill_bytes\": {}, \
+                 \"join_order_work\": {}, \"rewrite_order_work\": {}, \
                  \"streaming_agg_ms\": {:.3}, \"mask_batches\": {}, \
                  \"server_p50_ms\": {:.3}, \"server_p99_ms\": {:.3}}}{}\n",
                 r.workload,
@@ -818,6 +874,8 @@ pub mod streaming_report {
                 r.streaming_b64k_ms,
                 r.spill_bytes,
                 r.smj_spill_bytes,
+                r.join_order_work,
+                r.rewrite_order_work,
                 r.streaming_agg_ms,
                 r.mask_batches,
                 r.server_p50_ms,
@@ -867,10 +925,10 @@ mod tests {
         let rows = streaming_report::compare(300);
         for r in &rows {
             // work() deliberately excludes sort comparisons, so on the
-            // plain equi-join workload the forced sort-merge counter
+            // plain equi-join workloads the forced sort-merge counter
             // under-reports its true cost; the cost model (which does
             // price the sort) rightly picks hash anyway
-            if r.workload == "join_supplier_delivery" {
+            if r.workload == "join_supplier_delivery" || r.workload == "multi_join_chain" {
                 continue;
             }
             assert!(

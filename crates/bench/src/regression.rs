@@ -203,10 +203,27 @@ pub fn check_rows(baseline: &Baseline, rows: &[CompRow]) -> Result<String, Strin
         }
     }
 
+    // Join-order acceptance: on every recomputed workload, the
+    // DP-enumerated plan's measured work must not exceed the
+    // rewrite-order plan's. This compares the two freshly measured
+    // columns against *each other* (not against the baseline), so a
+    // cost-model drift that makes enumeration pick a worse order fails
+    // the gate even if both columns stayed within tolerance.
+    let mut order_violations: Vec<String> = Vec::new();
+    for row in rows {
+        if row.join_order_work > row.rewrite_order_work {
+            order_violations.push(format!(
+                "  {:<26} join_order_work {} > rewrite_order_work {} << REGRESSION",
+                row.workload, row.join_order_work, row.rewrite_order_work
+            ));
+        }
+    }
+
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Bench regression gate — scale {}, tolerance {:.0}% on *_work, result_rows exact",
+        "Bench regression gate — scale {}, tolerance {:.0}% on *_work, result_rows exact, \
+         join_order_work <= rewrite_order_work",
         baseline.scale,
         WORK_TOLERANCE * 100.0
     );
@@ -230,7 +247,11 @@ pub fn check_rows(baseline: &Baseline, rows: &[CompRow]) -> Result<String, Strin
     for w in &missing {
         let _ = writeln!(out, "  {w:<26} MISSING from the recomputed workloads");
     }
-    let failures = deltas.iter().filter(|d| d.failed).count() + missing.len();
+    for v in &order_violations {
+        let _ = writeln!(out, "{v}");
+    }
+    let failures =
+        deltas.iter().filter(|d| d.failed).count() + missing.len() + order_violations.len();
     if failures == 0 {
         let _ = writeln!(out, "PASS: {} comparisons within tolerance", deltas.len());
         Ok(out)
@@ -275,6 +296,8 @@ mod tests {
             streaming_b64k_ms: 1.0,
             spill_bytes: 0,
             smj_spill_bytes: 0,
+            join_order_work: work,
+            rewrite_order_work: work,
             streaming_agg_ms: 1.0,
             mask_batches: 0,
             server_p50_ms: 1.0,
@@ -317,6 +340,20 @@ mod tests {
     }
 
     #[test]
+    fn dp_losing_to_the_rewrite_order_fails_the_gate() {
+        let base = parse_baseline(&to_json(99, &[row("alpha", 1000, 42)])).unwrap();
+        // within per-column tolerance of the baseline, but DP measured
+        // *worse* than the rewrite order — the cross-column gate fires
+        let mut bad = row("alpha", 1000, 42);
+        bad.join_order_work = 1001;
+        bad.rewrite_order_work = 1000;
+        let report = check_rows(&base, &[bad]).unwrap_err();
+        assert!(report.contains("join_order_work 1001"), "{report}");
+        // equal is fine (DP declined to reorder)
+        assert!(check_rows(&base, &[row("alpha", 1000, 42)]).is_ok());
+    }
+
+    #[test]
     fn tiny_baselines_get_absolute_slack() {
         let base = parse_baseline(&to_json(1, &[row("w", 10, 1)])).unwrap();
         // 10 → 12 is +20% but within the absolute slack of 16 units
@@ -334,10 +371,12 @@ mod tests {
         .expect("committed baseline exists");
         let base = parse_baseline(&text).expect("committed baseline parses");
         assert_eq!(base.scale, 1600);
-        assert_eq!(base.workloads.len(), 7);
+        assert_eq!(base.workloads.len(), 8);
         for w in &base.workloads {
             assert!(w.field("result_rows").is_some(), "{w:?}");
             assert!(w.field("streaming_work").is_some(), "{w:?}");
+            assert!(w.field("join_order_work").is_some(), "{w:?}");
+            assert!(w.field("rewrite_order_work").is_some(), "{w:?}");
         }
     }
 }

@@ -43,6 +43,29 @@ pub struct TableStats {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CatalogStats {
     tables: FxHashMap<Name, TableStats>,
+    /// Observed per-operator output cardinalities from executed plans,
+    /// keyed by operator label (e.g. `Scan(SUPPLIER)`, `Filter`). Fed by
+    /// [`CatalogStats::absorb_observed`], consumed by the cost model as
+    /// an override when a re-planned query contains the same operator —
+    /// the adaptive feedback loop.
+    observed: FxHashMap<String, u64>,
+}
+
+/// Two cardinalities differ *materially* when one is more than twice
+/// the other (or exactly one of them is zero) — the tolerance that
+/// decides whether absorbing an observation should trigger
+/// re-optimization. A loose band keeps the feedback loop convergent:
+/// re-planning with observed numbers reproduces the same observations,
+/// so the second absorption is a no-op and cached plans stabilize.
+fn materially_differs(old: u64, new: u64) -> bool {
+    if old == new {
+        return false;
+    }
+    if old == 0 || new == 0 {
+        return true;
+    }
+    let (lo, hi) = (old.min(new) as f64, old.max(new) as f64);
+    hi / lo > 2.0
 }
 
 impl CatalogStats {
@@ -136,6 +159,57 @@ impl CatalogStats {
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
     }
+
+    /// Folds measured per-operator output cardinalities (label →
+    /// `rows_out`, as produced by `Stats::operator_rows_by_label` after
+    /// executing a plan) back into the statistics. `Scan(EXTENT)` rows
+    /// update the extent cardinality itself; every label lands in the
+    /// observed-cardinality override map the cost model consults on the
+    /// next planning round.
+    ///
+    /// Returns `true` when any observation **materially** changed what
+    /// the statistics previously claimed (more than 2× off, or a
+    /// first-time observation of a label) — the signal that cached
+    /// plans priced on the old numbers should be invalidated. Absorbing
+    /// the same profile twice returns `false`, so the feedback loop
+    /// converges instead of invalidating forever.
+    pub fn absorb_observed<'p>(
+        &mut self,
+        profile: impl IntoIterator<Item = (&'p str, u64)>,
+    ) -> bool {
+        let mut material = false;
+        for (label, rows) in profile {
+            if let Some(extent) = label
+                .strip_prefix("Scan(")
+                .and_then(|rest| rest.strip_suffix(')'))
+            {
+                if let Some(t) = self.tables.get_mut(extent) {
+                    if materially_differs(t.rows, rows) {
+                        material = true;
+                    }
+                    t.rows = rows;
+                }
+            }
+            match self.observed.get(label) {
+                None => material = true,
+                Some(&old) if materially_differs(old, rows) => material = true,
+                Some(_) => {}
+            }
+            self.observed.insert(label.to_string(), rows);
+        }
+        material
+    }
+
+    /// The observed output cardinality previously absorbed for an
+    /// operator label, if any.
+    pub fn observed_rows(&self, label: &str) -> Option<u64> {
+        self.observed.get(label).copied()
+    }
+
+    /// Whether any execution feedback has been absorbed.
+    pub fn has_observations(&self) -> bool {
+        !self.observed.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +264,33 @@ mod tests {
         assert_eq!(s.cardinality("T"), Some(1000));
         assert_eq!(s.distinct("T", "k"), Some(1000));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn absorb_observed_updates_scans_and_converges() {
+        let mut s = CatalogStats::new();
+        s.set_table(
+            Name::from("T"),
+            TableStats {
+                rows: 1000,
+                attrs: FxHashMap::default(),
+                avg_row_bytes: None,
+            },
+        );
+        assert!(!s.has_observations());
+        // First absorption: scan cardinality corrected, new labels are
+        // material.
+        let material = s.absorb_observed([("Scan(T)", 120), ("Filter", 7)]);
+        assert!(material, "first observation is material");
+        assert_eq!(s.cardinality("T"), Some(120));
+        assert_eq!(s.observed_rows("Filter"), Some(7));
+        assert!(s.has_observations());
+        // Same profile again: converged, nothing material.
+        assert!(!s.absorb_observed([("Scan(T)", 120), ("Filter", 7)]));
+        // Small drift stays within the 2x band.
+        assert!(!s.absorb_observed([("Filter", 9)]));
+        assert_eq!(s.observed_rows("Filter"), Some(9));
+        // A >2x shift is material again.
+        assert!(s.absorb_observed([("Filter", 40)]));
     }
 }

@@ -96,6 +96,15 @@ pub struct CostModel<'a> {
     /// Memory budget in bytes (`0` = unbounded): adds the spill I/O
     /// term to operators whose state would exceed it.
     memory_budget: usize,
+    /// Observed-cardinality overrides for the plan currently being
+    /// estimated (adaptive feedback, see
+    /// [`CatalogStats::absorb_observed`]): operator label → measured
+    /// `rows_out`. Primed per [`CostModel::estimate`]/[`CostModel::explain`]
+    /// call with the labels that occur **exactly once** in that plan —
+    /// absorbed profiles are folded by label, so an ambiguous label
+    /// (two `Filter`s) carries a summed count that applies to neither
+    /// node. Empty whenever the statistics carry no observations.
+    observed: std::cell::RefCell<oodb_value::fxhash::FxHashMap<String, f64>>,
 }
 
 impl<'a> CostModel<'a> {
@@ -105,6 +114,7 @@ impl<'a> CostModel<'a> {
             stats: CatalogStats::from_database(db),
             db,
             memory_budget: 0,
+            observed: Default::default(),
         }
     }
 
@@ -115,6 +125,7 @@ impl<'a> CostModel<'a> {
             db,
             stats,
             memory_budget: 0,
+            observed: Default::default(),
         }
     }
 
@@ -133,14 +144,58 @@ impl<'a> CostModel<'a> {
 
     /// Estimated output rows and cumulative cost of `plan`.
     pub fn estimate(&self, plan: &PhysPlan) -> Estimate {
-        self.est(plan).public()
+        self.prime_observed(plan);
+        let e = self.est(plan).public();
+        self.observed.borrow_mut().clear();
+        e
     }
 
     /// EXPLAIN rendering with per-operator `est_rows`/`est_cost`.
     pub fn explain(&self, plan: &PhysPlan) -> String {
+        self.prime_observed(plan);
         let mut out = String::new();
         self.explain_into(plan, 0, &mut out);
+        self.observed.borrow_mut().clear();
         out
+    }
+
+    /// Fills the observed-cardinality override map for one
+    /// `estimate`/`explain` call: labels occurring exactly once in
+    /// `plan` that the statistics carry an absorbed observation for. A
+    /// no-op (and the common fast path) when no feedback was absorbed.
+    fn prime_observed(&self, plan: &PhysPlan) {
+        let mut map = self.observed.borrow_mut();
+        map.clear();
+        if !self.stats.has_observations() {
+            return;
+        }
+        fn count_labels(p: &PhysPlan, counts: &mut oodb_value::fxhash::FxHashMap<String, u32>) {
+            *counts.entry(p.op_label()).or_insert(0) += 1;
+            for c in p.children() {
+                count_labels(c, counts);
+            }
+        }
+        let mut counts = oodb_value::fxhash::FxHashMap::default();
+        count_labels(plan, &mut counts);
+        for (label, n) in counts {
+            if n == 1 {
+                if let Some(rows) = self.stats.observed_rows(&label) {
+                    map.insert(label, rows as f64);
+                }
+            }
+        }
+    }
+
+    /// The sort term a [`PhysPlan::SortMergeJoin`] would charge for
+    /// sorting `input` (comparisons plus external-sort I/O under the
+    /// configured budget). Join-order enumeration subtracts it when an
+    /// input already carries a matching **interesting order** — a prior
+    /// sort-merge output sorted on the same keys feeds the merge for
+    /// free instead of being re-derived.
+    pub fn smj_sort_term(&self, input: &PhysPlan) -> f64 {
+        let e = self.est(input);
+        let (io, _) = self.sort_io(e.rows * self.row_bytes(input));
+        e.rows * e.rows.max(2.0).log2() + io
     }
 
     fn explain_into(&self, plan: &PhysPlan, depth: usize, out: &mut String) {
@@ -363,6 +418,22 @@ impl<'a> CostModel<'a> {
     }
 
     fn est(&self, plan: &PhysPlan) -> NodeEst {
+        let mut e = self.est_node(plan);
+        // Adaptive feedback: a measured output cardinality beats the
+        // estimate. Only primed (non-empty) when observations exist and
+        // the label is unambiguous in the current plan.
+        {
+            let observed = self.observed.borrow();
+            if !observed.is_empty() {
+                if let Some(&rows) = observed.get(&plan.op_label()) {
+                    e.rows = rows;
+                }
+            }
+        }
+        e
+    }
+
+    fn est_node(&self, plan: &PhysPlan) -> NodeEst {
         match plan {
             PhysPlan::Scan(n) => {
                 let rows = self.extent_rows(n);

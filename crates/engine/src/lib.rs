@@ -18,6 +18,7 @@
 
 pub mod cost;
 pub mod eval;
+pub mod joinorder;
 pub mod physical;
 pub mod plan;
 pub mod pool;
@@ -33,6 +34,6 @@ pub use oodb_spill::{MemoryBudget, SpillManager, SpillMetrics};
 // `PlannerConfig::batch_kind` need not depend on `oodb-value` paths.
 pub use oodb_value::BatchKind;
 pub use physical::{Partitioning, PhysPlan};
-pub use plan::{JoinAlgo, Plan, PlanError, Planner, PlannerConfig};
+pub use plan::{JoinAlgo, JoinOrder, Plan, PlanError, Planner, PlannerConfig};
 pub use pool::WorkerPool;
 pub use stats::Stats;

@@ -1656,6 +1656,11 @@ impl PhysPlan {
                 input.op_label(),
                 self.compile_node(part, parts),
             )),
+            // A literal contributes no work of its own; leaving it
+            // uninstrumented keeps profiles identical whether a value
+            // was computed inline or substituted from a memo (the
+            // server's let-spine memoization relies on this).
+            PhysPlan::Literal(_) => self.compile_node(part, parts),
             _ => Box::new(Instrument::new(
                 self.op_label(),
                 self.compile_node(part, parts),

@@ -42,6 +42,32 @@ pub enum JoinAlgo {
     NestedLoop,
 }
 
+/// Join-order search strategy for inner equi-join chains (see
+/// [`crate::joinorder`]). Orthogonal to [`PlannerConfig::cost_based`]:
+/// enumeration needs the cost model, so it only activates when both are
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOrder {
+    /// Keep exactly the join order the rewrite produced (kill switch).
+    Off,
+    /// DPsize enumeration over connected subsets of the extracted join
+    /// graph, with interesting orders and a greedy fallback above
+    /// [`crate::joinorder::DP_RELATION_LIMIT`] relations (default).
+    Dp,
+}
+
+impl JoinOrder {
+    /// The process default: `OODB_JOIN_ORDER=off` disables enumeration
+    /// (how CI pins a rewrite-order pass); anything else — including
+    /// unset — selects DP enumeration.
+    pub fn from_env() -> JoinOrder {
+        match std::env::var("OODB_JOIN_ORDER") {
+            Ok(v) if v.eq_ignore_ascii_case("off") => JoinOrder::Off,
+            _ => JoinOrder::Dp,
+        }
+    }
+}
+
 /// Planner tuning knobs.
 #[derive(Debug, Clone)]
 pub struct PlannerConfig {
@@ -108,6 +134,15 @@ pub struct PlannerConfig {
     /// and classic work counters are identical either way — only the
     /// evaluation strategy changes.
     pub vectorize: bool,
+    /// Join-*order* search over inner equi-join chains (the cost model
+    /// alone only picks the best *algorithm* per join, in whatever
+    /// order the rewrite produced). [`JoinOrder::Dp`] (the default)
+    /// extracts a join graph and runs DPsize enumeration with
+    /// interesting orders; [`JoinOrder::Off`] keeps the rewrite order.
+    /// The `OODB_JOIN_ORDER` environment variable supplies the process
+    /// default (`off` = kill switch); results are identical either way
+    /// — only the order joins execute in changes.
+    pub join_order: JoinOrder,
 }
 
 /// Default worker count: the `OODB_PARALLELISM` environment variable if
@@ -137,6 +172,7 @@ impl Default for PlannerConfig {
             memory_budget: default_memory_budget(),
             batch_kind: BatchKind::from_env(),
             vectorize: crate::physical::columnar::vectorize_from_env(),
+            join_order: JoinOrder::from_env(),
         }
     }
 }
@@ -180,6 +216,11 @@ pub struct Plan<'a> {
     /// Whether streaming execution takes the vectorized fast paths
     /// (from [`PlannerConfig::vectorize`]).
     vectorize: bool,
+    /// One `order=` line per join-order enumeration that fired while
+    /// lowering: the chosen permutation with its estimated cost next to
+    /// the rewrite order's (see [`crate::joinorder`]). Prepended to
+    /// [`Plan::explain`].
+    order_notes: Vec<String>,
 }
 
 impl Plan<'_> {
@@ -206,10 +247,27 @@ impl Plan<'_> {
     /// EXPLAIN-style rendering. Under cost-based planning every operator
     /// line is annotated with `est_rows`/`est_cost`.
     pub fn explain(&self) -> String {
-        match &self.cost {
+        let tree = match &self.cost {
             Some(m) => m.explain(&self.phys),
             None => self.phys.explain(),
+        };
+        if self.order_notes.is_empty() {
+            tree
+        } else {
+            let mut out = String::new();
+            for note in &self.order_notes {
+                out.push_str(note);
+                out.push('\n');
+            }
+            out.push_str(&tree);
+            out
         }
+    }
+
+    /// The `order=` annotations join-order enumeration produced while
+    /// this plan was lowered (empty when enumeration never fired).
+    pub fn order_notes(&self) -> &[String] {
+        &self.order_notes
     }
 
     /// Estimated output rows and total cost of the whole plan (`None`
@@ -221,11 +279,15 @@ impl Plan<'_> {
 
 /// The physical planner.
 pub struct Planner<'a> {
-    db: &'a Database,
-    config: PlannerConfig,
+    pub(crate) db: &'a Database,
+    pub(crate) config: PlannerConfig,
     /// Cost model backing the cost-based decisions (present exactly when
     /// `config.cost_based`).
-    cost: Option<CostModel<'a>>,
+    pub(crate) cost: Option<CostModel<'a>>,
+    /// `order=` annotations accumulated while lowering (one per
+    /// join-order enumeration that fired); drained into the [`Plan`].
+    /// Interior mutability because lowering takes `&self`.
+    pub(crate) order_notes: std::cell::RefCell<Vec<String>>,
 }
 
 impl<'a> Planner<'a> {
@@ -241,7 +303,12 @@ impl<'a> Planner<'a> {
         let cost = config
             .cost_based
             .then(|| CostModel::new(db).with_memory_budget(config.memory_budget));
-        Planner { db, config, cost }
+        Planner {
+            db,
+            config,
+            cost,
+            order_notes: Default::default(),
+        }
     }
 
     /// A cost-based planner with externally supplied statistics (e.g.
@@ -250,11 +317,17 @@ impl<'a> Planner<'a> {
         let cost = config
             .cost_based
             .then(|| CostModel::with_stats(db, stats).with_memory_budget(config.memory_budget));
-        Planner { db, config, cost }
+        Planner {
+            db,
+            config,
+            cost,
+            order_notes: Default::default(),
+        }
     }
 
     /// Lowers a closed ADL expression into an executable [`Plan`].
     pub fn plan(&self, e: &Expr) -> Result<Plan<'a>, PlanError> {
+        self.order_notes.borrow_mut().clear();
         let mut phys = self.lower(e)?;
         if self.config.parallelism > 1 {
             phys = self.parallelize(phys);
@@ -269,6 +342,7 @@ impl<'a> Planner<'a> {
             budget: MemoryBudget::bytes(self.config.memory_budget),
             batch_kind: self.config.batch_kind,
             vectorize: self.config.vectorize,
+            order_notes: self.order_notes.take(),
         })
     }
 
@@ -610,7 +684,7 @@ impl<'a> Planner<'a> {
         }
     }
 
-    fn lower(&self, e: &Expr) -> Result<PhysPlan, PlanError> {
+    pub(crate) fn lower(&self, e: &Expr) -> Result<PhysPlan, PlanError> {
         Ok(match e {
             Expr::Table(n) => PhysPlan::Scan(n.clone()),
             Expr::Lit(v) => PhysPlan::Literal(v.clone()),
@@ -715,6 +789,17 @@ impl<'a> Planner<'a> {
         left: &Expr,
         right: &Expr,
     ) -> Result<PhysPlan, PlanError> {
+        // Join-*order* enumeration: an inner equi-join chain of three or
+        // more relations is collapsed into a join graph and re-ordered
+        // by DPsize (see `crate::joinorder`). Anything the extraction
+        // cannot prove safe falls through to the rewrite-order path.
+        if kind == JoinKind::Inner && self.config.join_order == JoinOrder::Dp && self.cost.is_some()
+        {
+            if let Some(plan) = crate::joinorder::try_reorder(self, lvar, rvar, pred, left, right)?
+            {
+                return Ok(plan);
+            }
+        }
         let l = Box::new(self.lower(left)?);
         let r = Box::new(self.lower(right)?);
         let right_attrs = if kind == JoinKind::LeftOuter {
@@ -819,7 +904,7 @@ impl<'a> Planner<'a> {
     /// missing index (`EvalError::MissingIndex`), so no path may
     /// construct an [`PhysPlan::IndexNLJoin`] without it.
     #[allow(clippy::too_many_arguments)]
-    fn index_nl_candidate(
+    pub(crate) fn index_nl_candidate(
         &self,
         kind: JoinKind,
         lvar: &Name,
@@ -1236,7 +1321,7 @@ impl<'a> Planner<'a> {
 
 /// The candidate with the lowest estimated cost; earlier candidates win
 /// ties, so callers list their preferred implementation first.
-fn pick_cheapest(model: &CostModel<'_>, candidates: Vec<PhysPlan>) -> PhysPlan {
+pub(crate) fn pick_cheapest(model: &CostModel<'_>, candidates: Vec<PhysPlan>) -> PhysPlan {
     debug_assert!(!candidates.is_empty(), "at least one candidate");
     candidates
         .into_iter()
@@ -1246,15 +1331,15 @@ fn pick_cheapest(model: &CostModel<'_>, candidates: Vec<PhysPlan>) -> PhysPlan {
         .expect("non-empty candidate list")
 }
 
-struct SplitPred {
-    equi: Vec<(Expr, Expr)>,
-    member: Option<MemberShape>,
-    residual: Vec<Expr>,
+pub(crate) struct SplitPred {
+    pub(crate) equi: Vec<(Expr, Expr)>,
+    pub(crate) member: Option<MemberShape>,
+    pub(crate) residual: Vec<Expr>,
 }
 
 /// Splits a join predicate into equi-key pairs, at most one membership
 /// shape, and residual conjuncts.
-fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
+pub(crate) fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
     let mut equi = Vec::new();
     let mut member: Option<MemberShape> = None;
     let mut residual = Vec::new();
@@ -1303,7 +1388,7 @@ fn split_pred(pred: &Expr, lvar: &Name, rvar: &Name) -> SplitPred {
     }
 }
 
-fn build_residual(parts: Vec<Expr>) -> Option<Expr> {
+pub(crate) fn build_residual(parts: Vec<Expr>) -> Option<Expr> {
     if parts.is_empty() {
         None
     } else {

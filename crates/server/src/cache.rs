@@ -18,6 +18,14 @@
 //! index nested-loop joins and assembly both target extents/classes
 //! already present as `Table`/`Deref` nodes — so the expression-level
 //! footprint bounds the plan's reads.
+//!
+//! Eviction differs per cache. The **plan cache** evicts by
+//! cost×frequency weight — the entry whose loss is cheapest to repair
+//! (few hits, fast to re-plan) goes first, so one burst of throwaway
+//! queries cannot flush a hot, expensive-to-optimize plan. The **result
+//! cache** stays FIFO: result values have no comparable "cost to
+//! recompute" signal at insert time, and FIFO keeps the concurrency
+//! tests deterministic.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -26,7 +34,7 @@ use std::sync::Mutex;
 use oodb_adl::expr::Expr;
 use oodb_catalog::Database;
 use oodb_core::strategy::Optimized;
-use oodb_engine::PhysPlan;
+use oodb_engine::{PhysPlan, Stats};
 use oodb_value::{Name, Value};
 
 /// Extent versions at the time a cache entry was built. An entry is
@@ -94,6 +102,13 @@ pub struct CachedResult {
     pub value: Value,
     /// Versions of the result's extent footprint at execution time.
     pub stamp: Stamp,
+    /// The execution profile recorded when the value was computed
+    /// (cache-hit counters zeroed). Replayed into the per-query `Stats`
+    /// on a hit, so a served result reports the same per-operator work
+    /// as the execution it stands in for — the differential suites can
+    /// then assert identical profiles whether or not a value came from
+    /// the cache.
+    pub profile: Stats,
 }
 
 /// Bounded map with FIFO eviction — insertion order, not LRU, because
@@ -133,23 +148,94 @@ impl<V> FifoMap<V> {
     }
 }
 
-/// Shared plan cache. Keys are `fingerprint ␟ canonical-ADL` strings
-/// (built by the session layer); values are [`CachedPlan`]s behind `Arc`
-/// so hits hand out references without holding the lock.
+/// One weighted-cache slot: the entry plus the signals eviction ranks
+/// on.
+struct Weighted<V> {
+    value: V,
+    /// Times this entry was served.
+    hits: u64,
+    /// What building the entry cost (for plans: planning wall-clock in
+    /// microseconds) — the price of evicting it wrongly.
+    cost: u64,
+    /// Insertion sequence number, the deterministic tie-breaker.
+    seq: u64,
+}
+
+/// Bounded map with cost×frequency-weighted eviction: the victim is the
+/// entry with the smallest `(1 + hits) × cost` — cheap to rebuild *and*
+/// rarely used — with ties broken oldest-first. A burst of one-off
+/// queries therefore cannot flush a hot, expensive-to-plan entry the
+/// way FIFO would.
+struct WeightedMap<V> {
+    capacity: usize,
+    next_seq: u64,
+    map: HashMap<String, Weighted<V>>,
+}
+
+impl<V> WeightedMap<V> {
+    fn new(capacity: usize) -> Self {
+        WeightedMap {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<&V> {
+        self.map.get_mut(key).map(|w| {
+            w.hits += 1;
+            &w.value
+        })
+    }
+
+    fn insert(&mut self, key: String, value: V, cost: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(
+            key.clone(),
+            Weighted {
+                value,
+                hits: 0,
+                cost,
+                seq,
+            },
+        );
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key) // the newcomer always gets its chance
+                .min_by_key(|(_, w)| ((1 + w.hits).saturating_mul(w.cost.max(1)), w.seq))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Shared plan cache. Keys are `fingerprint ␟ epoch ␟ canonical-ADL`
+/// strings (built by the session layer); values are [`CachedPlan`]s
+/// behind `Arc` so hits hand out references without holding the lock.
+/// Eviction is cost×frequency-weighted by planning time and hit count.
 pub struct PlanCache {
-    inner: Mutex<FifoMap<std::sync::Arc<CachedPlan>>>,
+    inner: Mutex<WeightedMap<std::sync::Arc<CachedPlan>>>,
 }
 
 impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         PlanCache {
-            inner: Mutex::new(FifoMap::new(capacity)),
+            inner: Mutex::new(WeightedMap::new(capacity)),
         }
     }
 
     /// The entry under `key` **if its stamp is still current** against
     /// `db`; stale entries are invisible (the caller replans and
-    /// replaces them via [`PlanCache::insert`]).
+    /// replaces them via [`PlanCache::insert`]). A hit bumps the
+    /// entry's frequency weight.
     pub fn get_current(&self, key: &str, db: &Database) -> Lookup<std::sync::Arc<CachedPlan>> {
         match self.inner.lock().unwrap().get(key) {
             Some(entry) if stamp_is_current(&entry.stamp, db) => Lookup::Hit(entry.clone()),
@@ -158,8 +244,13 @@ impl PlanCache {
         }
     }
 
-    pub fn insert(&self, key: String, entry: std::sync::Arc<CachedPlan>) {
-        self.inner.lock().unwrap().insert(key, entry);
+    /// Caches a plan; `planning_micros` (how long rewrite + costing
+    /// took) becomes its eviction cost weight.
+    pub fn insert(&self, key: String, entry: std::sync::Arc<CachedPlan>, planning_micros: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(key, entry, planning_micros);
     }
 }
 
@@ -176,11 +267,12 @@ impl ResultCache {
         }
     }
 
-    /// The cached value under `key` if its stamp is still current.
-    pub fn get_current(&self, key: &str, db: &Database) -> Option<Value> {
+    /// The cached entry (value + recorded execution profile) under
+    /// `key` if its stamp is still current.
+    pub fn get_current(&self, key: &str, db: &Database) -> Option<CachedResult> {
         let inner = self.inner.lock().unwrap();
         match inner.get(key) {
-            Some(entry) if stamp_is_current(&entry.stamp, db) => Some(entry.value.clone()),
+            Some(entry) if stamp_is_current(&entry.stamp, db) => Some(entry.clone()),
             _ => None,
         }
     }
@@ -214,6 +306,47 @@ mod tests {
         assert!(m.get("a").is_none(), "oldest key evicted");
         assert_eq!(m.get("b"), Some(&2));
         assert_eq!(m.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn weighted_map_evicts_cold_cheap_entries_first() {
+        let mut m: WeightedMap<u32> = WeightedMap::new(2);
+        m.insert("expensive".into(), 1, 1000);
+        m.insert("cheap".into(), 2, 10);
+        // Overflow: the cheap, never-hit entry goes, not the expensive
+        // one (FIFO would have evicted "expensive").
+        m.insert("new".into(), 3, 10);
+        assert!(m.get("cheap").is_none());
+        assert_eq!(m.get("expensive"), Some(&1));
+        assert_eq!(m.get("new"), Some(&3));
+    }
+
+    #[test]
+    fn weighted_map_frequency_protects_cheap_entries() {
+        let mut m: WeightedMap<u32> = WeightedMap::new(2);
+        m.insert("a".into(), 1, 10);
+        m.insert("b".into(), 2, 10);
+        // Three hits on "a" outweigh equal cost; "b" is the victim.
+        for _ in 0..3 {
+            assert!(m.get("a").is_some());
+        }
+        m.insert("c".into(), 3, 10);
+        assert!(m.get("b").is_none());
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn weighted_map_reinsert_does_not_grow_and_newcomer_survives() {
+        let mut m: WeightedMap<u32> = WeightedMap::new(2);
+        m.insert("a".into(), 1, 10);
+        m.insert("a".into(), 11, 10); // replace in place
+        assert_eq!(m.get("a"), Some(&11));
+        m.insert("b".into(), 2, 1_000_000);
+        // The newcomer is never its own victim, even at minimal weight.
+        m.insert("c".into(), 3, 1);
+        assert_eq!(m.get("c"), Some(&3));
+        assert_eq!(m.map.len(), 2);
     }
 
     #[test]

@@ -21,13 +21,23 @@
 //!   Entries are stamped with extent versions; any write to a referenced
 //!   extent makes the entry invisible, so a hit is only ever served from
 //!   a plan whose dependencies are unchanged.
-//! * **Result caching** (opt-in, [`ServerConfig::cache_results`]).
+//! * **Result caching** (on by default, [`ServerConfig::cache_results`]).
 //!   Whole-query results and hoisted-`let` subquery values are cached
 //!   under the same stamped-key regime and shared across sessions; a hit
 //!   skips execution (reported via
-//!   [`oodb_engine::Stats::result_cache_hits`]). Off by default because
-//!   serving a memoized value changes the per-operator execution profile
-//!   that the differential suites assert on.
+//!   [`oodb_engine::Stats::result_cache_hits`]) but *replays* the
+//!   execution profile recorded when the value was computed, so
+//!   `Stats::operators` reports the same per-operator work either way —
+//!   the differential suites can assert identical profiles whether or
+//!   not a value came from the cache.
+//! * **Adaptive re-optimization** (opt-in,
+//!   [`ServerConfig::adaptive_stats`]). After each executed query the
+//!   measured per-operator cardinalities are folded into a shared
+//!   statistics accumulator ([`CatalogStats::absorb_observed`]); when an
+//!   observation materially contradicts the planner's estimates the
+//!   server bumps a **staleness epoch** that is part of every plan-cache
+//!   key, so all cached plans priced on the stale numbers become
+//!   invisible at once and the next run re-plans on real cardinalities.
 //!
 //! [`net`] wraps all of this in a thin TCP line protocol
 //! (thread-per-connection over one shared cache/budget state).
@@ -61,14 +71,22 @@ pub struct ServerConfig {
     /// its budget request fits under this cap alongside the grants
     /// already live.
     pub global_memory_bytes: usize,
-    /// Plan cache capacity (entries; FIFO eviction).
+    /// Plan cache capacity (entries; cost×frequency-weighted eviction).
     pub plan_cache_capacity: usize,
     /// Result / `let`-subquery cache capacity (entries; FIFO eviction).
     pub result_cache_capacity: usize,
     /// Serve memoized whole-query results and hoisted-`let` values when
-    /// their extent stamps are current. Off by default: a result hit
-    /// (correctly) skips execution, which changes `Stats::operators`.
+    /// their extent stamps are current. On by default: a hit skips
+    /// execution but replays the recorded execution profile, so
+    /// `Stats::operators` is indistinguishable from a real run.
     pub cache_results: bool,
+    /// Fold measured per-operator cardinalities back into the planning
+    /// statistics after every executed query, re-planning (via a
+    /// staleness epoch in the plan-cache key) when an observation
+    /// materially contradicts the estimates. Off by default: feedback
+    /// deliberately changes plans between repeats of the same query,
+    /// which the plan-stability suites assert against.
+    pub adaptive_stats: bool,
 }
 
 impl Default for ServerConfig {
@@ -78,7 +96,8 @@ impl Default for ServerConfig {
             global_memory_bytes: 0,
             plan_cache_capacity: 128,
             result_cache_capacity: 128,
-            cache_results: false,
+            cache_results: true,
+            adaptive_stats: false,
         }
     }
 }
@@ -121,6 +140,18 @@ pub struct ServerShared {
     result_cache: ResultCache,
     pool: BudgetPool,
     metrics: MetricCells,
+    /// Statistics-staleness epoch, embedded in every plan-cache key.
+    /// Bumped when adaptive feedback materially changes the statistics;
+    /// all plans priced on the old numbers become unreachable at once
+    /// (they age out of the cache by weight), so a feedback round never
+    /// serves a stale pre-feedback plan.
+    stats_epoch: AtomicU64,
+    /// The adaptive statistics accumulator: the server's collected
+    /// [`CatalogStats`] plus every observation absorbed so far. `None`
+    /// until the first executed query under `adaptive_stats`. Lives in
+    /// the shared state so feedback survives server rebuilds around
+    /// database writes.
+    adaptive: std::sync::Mutex<Option<CatalogStats>>,
 }
 
 impl ServerShared {
@@ -131,7 +162,15 @@ impl ServerShared {
             result_cache: ResultCache::new(config.result_cache_capacity),
             pool: BudgetPool::new(config.global_memory_bytes),
             metrics: MetricCells::default(),
+            stats_epoch: AtomicU64::new(0),
+            adaptive: std::sync::Mutex::new(None),
         })
+    }
+
+    /// The current statistics-staleness epoch (monotonic; bumped by
+    /// material adaptive-feedback updates).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Relaxed)
     }
 
     /// The global admission-control pool (tests assert on its
@@ -245,7 +284,11 @@ impl<'srv, 'db> Session<'srv, 'db> {
         let db = server.db;
         let shared = &server.shared;
         let key = oodb_translate::plan_cache_key(&nested);
-        let plan_key = format!("{}\u{1f}{}", server.fingerprint, key.text);
+        // The staleness epoch is always part of the key (constantly 0
+        // when adaptive feedback is off): bumping it on a material
+        // statistics update makes every pre-feedback plan unreachable.
+        let epoch = shared.stats_epoch.load(Ordering::Relaxed);
+        let plan_key = format!("{}\u{1f}{}\u{1f}{}", server.fingerprint, epoch, key.text);
 
         let (entry, plan_hit) = match shared.plan_cache.get_current(&plan_key, db) {
             Lookup::Hit(entry) => {
@@ -260,11 +303,25 @@ impl<'srv, 'db> Session<'srv, 'db> {
                         .fetch_add(1, Ordering::Relaxed);
                 }
                 shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let started = std::time::Instant::now();
                 let rewrite = Optimizer::default()
                     .optimize(&nested, db.catalog())
                     .map_err(ServerError::Rewrite)?;
-                let planner = match &server.stats {
-                    Some(s) => Planner::with_stats(db, server.config.planner.clone(), s.clone()),
+                // Adaptive feedback replans on the absorbed statistics
+                // when any are present; the server's collected baseline
+                // otherwise.
+                let planner_stats = if server.config.adaptive_stats {
+                    shared
+                        .adaptive
+                        .lock()
+                        .unwrap()
+                        .clone()
+                        .or_else(|| server.stats.clone())
+                } else {
+                    server.stats.clone()
+                };
+                let planner = match planner_stats {
+                    Some(s) => Planner::with_stats(db, server.config.planner.clone(), s),
                     None => Planner::with_config(db, server.config.planner.clone()),
                 };
                 let plan = planner.plan(&rewrite.expr).map_err(ServerError::Plan)?;
@@ -278,7 +335,10 @@ impl<'srv, 'db> Session<'srv, 'db> {
                     extents,
                     stamp,
                 });
-                shared.plan_cache.insert(plan_key, Arc::clone(&entry));
+                let planning_micros = started.elapsed().as_micros() as u64;
+                shared
+                    .plan_cache
+                    .insert(plan_key, Arc::clone(&entry), planning_micros);
                 (entry, false)
             }
         };
@@ -290,14 +350,17 @@ impl<'srv, 'db> Session<'srv, 'db> {
 
         let result_key = format!("q\u{1f}{}", key.text);
         if server.config.cache_results {
-            if let Some(value) = shared.result_cache.get_current(&result_key, db) {
+            if let Some(cached) = shared.result_cache.get_current(&result_key, db) {
                 shared.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+                // Replay the profile recorded when the value was
+                // computed: a served result reports the same counters
+                // and per-operator rows as the execution it replaces.
+                stats.merge(&cached.profile);
                 stats.result_cache_hits += 1;
-                stats.output_rows = value.as_set().map(|s| s.len() as u64).unwrap_or(0);
                 return Ok(ServerOutput {
                     nested,
                     rewrite: entry.rewrite.clone(),
-                    result: value,
+                    result: cached.value,
                     explain: entry.explain.clone(),
                     stats,
                 });
@@ -331,13 +394,32 @@ impl<'srv, 'db> Session<'srv, 'db> {
         drop(grant);
 
         if server.config.cache_results {
+            // Snapshot the profile with the cache-hit counters zeroed:
+            // a future hit adds its own, and replay must report exactly
+            // what executing again would have.
+            let mut profile = stats.clone();
+            profile.plan_cache_hits = 0;
+            profile.result_cache_hits = 0;
             shared.result_cache.insert(
                 result_key,
                 CachedResult {
                     value: result.clone(),
                     stamp: cache::stamp(&entry.extents, db),
+                    profile,
                 },
             );
+        }
+
+        if server.config.adaptive_stats {
+            if let Some(baseline) = &server.stats {
+                let profile = stats.operator_rows_by_label();
+                let mut guard = shared.adaptive.lock().unwrap();
+                let acc = guard.get_or_insert_with(|| baseline.clone());
+                let material = acc.absorb_observed(profile.iter().map(|(l, r)| (l.as_str(), *r)));
+                if material {
+                    shared.stats_epoch.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
 
         Ok(ServerOutput {
@@ -378,15 +460,22 @@ impl<'srv, 'db> Session<'srv, 'db> {
         {
             if var == evar && oodb_adl::free_vars(evalue).is_empty() {
                 let key = format!("let\u{1f}{}", oodb_adl::normal_key(evalue));
-                let memoized = if let Some(v) = shared.result_cache.get_current(&key, db) {
+                let memoized = if let Some(cached) = shared.result_cache.get_current(&key, db) {
                     shared.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+                    // Replay the binding's recorded execution profile,
+                    // exactly as if the value subplan had run here.
+                    stats.merge(&cached.profile);
                     stats.result_cache_hits += 1;
-                    v
+                    cached.value
                 } else {
                     shared.metrics.result_misses.fetch_add(1, Ordering::Relaxed);
+                    // Execute under a local `Stats` so the binding's own
+                    // profile can be snapshotted for replay, then fold
+                    // it into the query's counters as before.
+                    let mut local = Stats::default();
                     let v = value.execute_streaming_full(
                         db,
-                        stats,
+                        &mut local,
                         budget.clone(),
                         server.config.planner.batch_kind,
                         server.config.planner.vectorize,
@@ -397,8 +486,10 @@ impl<'srv, 'db> Session<'srv, 'db> {
                         CachedResult {
                             value: v.clone(),
                             stamp: cache::stamp(&extents, db),
+                            profile: local.clone(),
                         },
                     );
+                    stats.merge(&local);
                     v
                 };
                 let body = self.resolve_let_spine(body, ebody, stats, budget)?;

@@ -9,18 +9,22 @@
 //! canonical result of the naive nested-loop evaluator. A plan picked by
 //! cost is allowed to be *faster*; it is never allowed to be *different*.
 
-use oodb::catalog::Database;
+use oodb::catalog::{AttrStats, CatalogStats, Database, TableStats};
 use oodb::core::strategy::Optimizer;
 use oodb::datagen::{generate, GenConfig};
-use oodb::engine::{BatchKind, JoinAlgo, PlannerConfig};
+use oodb::engine::{BatchKind, JoinAlgo, JoinOrder, PlannerConfig};
 use oodb::Pipeline;
 use oodb_bench::{
     materialize_query, query31_nested, query4_nested, query5_nested, query6_nested, run_naive,
     run_optimized_with, run_planned_streaming,
 };
+use proptest::prelude::*;
 
 /// The full configuration grid: 3 × 2 × 2 × 2 × 2 × 3 dop × 3 budgets
-/// × 2 batch layouts × 2 vectorize = 1728 configurations. The
+/// × 2 batch layouts × 2 vectorize × 2 join-order = 3456
+/// configurations. The `join_order` axis runs every point with
+/// DP-over-subsets join-order enumeration on and off — reordering may
+/// change which association executes, never the answer. The
 /// `parallelism` axis runs every configuration serially (`1`, today's
 /// exact pipeline) and through the exchange operators at dop 2 and 4;
 /// `parallel_threshold: 0` forces exchanges to appear even at this
@@ -46,19 +50,22 @@ fn full_grid() -> Vec<PlannerConfig> {
                             for memory_budget in [0usize, 64 << 10, 4 << 10] {
                                 for batch_kind in [BatchKind::Columnar, BatchKind::Row] {
                                     for vectorize in [true, false] {
-                                        grid.push(PlannerConfig {
-                                            cost_based,
-                                            join_algo,
-                                            pnhl_budget,
-                                            detect_materialize,
-                                            prefer_assembly: true,
-                                            use_indexes,
-                                            parallelism,
-                                            parallel_threshold: 0,
-                                            memory_budget,
-                                            batch_kind,
-                                            vectorize,
-                                        });
+                                        for join_order in [JoinOrder::Dp, JoinOrder::Off] {
+                                            grid.push(PlannerConfig {
+                                                cost_based,
+                                                join_algo,
+                                                pnhl_budget,
+                                                detect_materialize,
+                                                prefer_assembly: true,
+                                                use_indexes,
+                                                parallelism,
+                                                parallel_threshold: 0,
+                                                memory_budget,
+                                                batch_kind,
+                                                vectorize,
+                                                join_order,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -174,6 +181,204 @@ fn adl_section7_workloads_agree_across_the_full_grid() {
                 "{label}: streaming diverged under {cfg:?}"
             );
         }
+    }
+}
+
+/// SUPPLIER ⋈ μ_supply(DELIVERY) ⋈ PART, associated left-deep the way
+/// the rewrite pipeline emits it — the 3-relation chain the join-order
+/// satellite reorders.
+fn chain_query() -> oodb::adl::expr::Expr {
+    use oodb::adl::dsl::*;
+    join(
+        "sd",
+        "p",
+        eq(var("sd").field("part"), var("p").field("pid")),
+        join(
+            "s",
+            "d",
+            eq(var("s").field("eid"), var("d").field("supplier")),
+            table("SUPPLIER"),
+            unnest("supply", table("DELIVERY")),
+        ),
+        table("PART"),
+    )
+}
+
+/// Statistics skewed so the rewrite's first step (SUPPLIER ⋈
+/// μ(DELIVERY)) is a many-to-many blow-up while μ(DELIVERY) ⋈ PART is
+/// tiny — cheapest-first enumeration must flip the build order.
+fn skewed_chain_stats() -> CatalogStats {
+    use oodb::value::Name;
+    let attr = |distinct, avg_set_len| AttrStats {
+        distinct,
+        avg_set_len,
+    };
+    let mut s = CatalogStats::new();
+    let mut supplier = TableStats {
+        rows: 1000,
+        attrs: Default::default(),
+        avg_row_bytes: Some(64.0),
+    };
+    supplier.attrs.insert(Name::from("eid"), attr(2, None));
+    s.set_table(Name::from("SUPPLIER"), supplier);
+    let mut delivery = TableStats {
+        rows: 500,
+        attrs: Default::default(),
+        avg_row_bytes: Some(64.0),
+    };
+    delivery.attrs.insert(Name::from("supplier"), attr(2, None));
+    delivery
+        .attrs
+        .insert(Name::from("supply"), attr(2000, Some(4.0)));
+    s.set_table(Name::from("DELIVERY"), delivery);
+    let mut part = TableStats {
+        rows: 3,
+        attrs: Default::default(),
+        avg_row_bytes: Some(64.0),
+    };
+    part.attrs.insert(Name::from("pid"), attr(3, None));
+    s.set_table(Name::from("PART"), part);
+    s
+}
+
+/// Per-operator output totals, aggregated by label.
+fn op_rows(stats: &oodb::engine::Stats) -> Vec<(String, u64)> {
+    stats.operator_rows_by_label()
+}
+
+/// Satellite: the chain workload where DP provably flips the build
+/// order (cheapest pair first) — the reordered plan differs
+/// structurally, carries the `order=` EXPLAIN annotation, and still
+/// produces exactly the naive evaluator's answer.
+#[test]
+fn dp_reorders_the_join_chain_without_changing_answers() {
+    use oodb::engine::{Planner, Stats};
+    let db = grid_db(120);
+    let e = chain_query();
+    let (reference, _) = run_naive(&db, &e);
+    let mk = |join_order| PlannerConfig {
+        join_order,
+        ..Default::default()
+    };
+    let dp = Planner::with_stats(&db, mk(JoinOrder::Dp), skewed_chain_stats());
+    let off = Planner::with_stats(&db, mk(JoinOrder::Off), skewed_chain_stats());
+    let dp_plan = dp.plan(&e).unwrap();
+    let off_plan = off.plan(&e).unwrap();
+
+    assert_eq!(dp_plan.order_notes().len(), 1, "{}", dp_plan.explain());
+    let note = &dp_plan.order_notes()[0];
+    assert!(
+        !note.contains("(SUPPLIER ⋈ Unnest(supply))")
+            && !note.contains("(Unnest(supply) ⋈ SUPPLIER)"),
+        "DP must not start with the blow-up pair: {note}"
+    );
+    assert!(off_plan.order_notes().is_empty());
+    assert_ne!(dp_plan.phys.explain(), off_plan.phys.explain());
+
+    let mut dp_stats = Stats::new();
+    let mut off_stats = Stats::new();
+    let dp_v = dp_plan.execute_streaming(&mut dp_stats).unwrap();
+    let off_v = off_plan.execute_streaming(&mut off_stats).unwrap();
+    assert_eq!(dp_v, reference);
+    assert_eq!(off_v, reference);
+}
+
+/// Satellite: the `join_order` axis is *transparent* wherever DP
+/// declines to reorder (no `order=` note): identical plans, identical
+/// answers, identical per-operator row totals. Where it does reorder,
+/// the answer still matches — covered per-config by the full grid.
+#[test]
+fn join_order_axis_is_transparent_when_dp_declines() {
+    let db = grid_db(120);
+    for q in OOSQL_QUERIES {
+        for cost_based in [true, false] {
+            let mk = |join_order| PlannerConfig {
+                cost_based,
+                join_order,
+                ..Default::default()
+            };
+            let off = Pipeline::with_config(&db, mk(JoinOrder::Off))
+                .run(q)
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            let dp = Pipeline::with_config(&db, mk(JoinOrder::Dp))
+                .run(q)
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert_eq!(dp.result, off.result, "{q} (cost_based={cost_based})");
+            if !dp.explain.contains("order=") {
+                assert_eq!(dp.explain, off.explain, "{q} (cost_based={cost_based})");
+                assert_eq!(
+                    op_rows(&dp.stats),
+                    op_rows(&off.stats),
+                    "{q} (cost_based={cost_based})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Satellite: enumeration never returns a plan it priced *above*
+    /// the rewrite order. Either DP declines (plan byte-identical to
+    /// `join_order: off`) or the `order=` note's own numbers show
+    /// `est_cost <= rewrite_cost` — and the answer matches either way.
+    #[test]
+    fn dp_never_picks_a_costlier_plan_than_the_rewrite_order(
+        s_rows in 1u64..2000,
+        s_distinct in 1u64..50,
+        d_rows in 1u64..2000,
+        d_distinct in 1u64..50,
+        set_distinct in 1u64..3000,
+        set_len in 1u64..8,
+        p_rows in 1u64..2000,
+        p_distinct in 1u64..50,
+    ) {
+        use oodb::engine::{Planner, Stats};
+        use oodb::value::Name;
+        let db = oodb::catalog::fixtures::supplier_part_db();
+        let attr = |distinct, avg_set_len| AttrStats { distinct, avg_set_len };
+        let mut stats = CatalogStats::new();
+        let mut supplier = TableStats { rows: s_rows, attrs: Default::default(), avg_row_bytes: Some(64.0) };
+        supplier.attrs.insert(Name::from("eid"), attr(s_distinct.min(s_rows), None));
+        stats.set_table(Name::from("SUPPLIER"), supplier);
+        let mut delivery = TableStats { rows: d_rows, attrs: Default::default(), avg_row_bytes: Some(64.0) };
+        delivery.attrs.insert(Name::from("supplier"), attr(d_distinct.min(d_rows), None));
+        delivery.attrs.insert(Name::from("supply"), attr(set_distinct, Some(set_len as f64)));
+        stats.set_table(Name::from("DELIVERY"), delivery);
+        let mut part = TableStats { rows: p_rows, attrs: Default::default(), avg_row_bytes: Some(64.0) };
+        part.attrs.insert(Name::from("pid"), attr(p_distinct.min(p_rows), None));
+        stats.set_table(Name::from("PART"), part);
+
+        let e = chain_query();
+        let mk = |join_order| PlannerConfig { join_order, ..Default::default() };
+        let dp_plan = Planner::with_stats(&db, mk(JoinOrder::Dp), stats.clone())
+            .plan(&e)
+            .unwrap();
+        let off_plan = Planner::with_stats(&db, mk(JoinOrder::Off), stats)
+            .plan(&e)
+            .unwrap();
+        match dp_plan.order_notes().first() {
+            None => prop_assert_eq!(dp_plan.phys.explain(), off_plan.phys.explain()),
+            Some(note) => {
+                let grab = |tag: &str| -> u64 {
+                    let at = note.find(tag).unwrap_or_else(|| panic!("{tag} in {note}")) + tag.len();
+                    note[at..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .unwrap()
+                };
+                let (est, rewrite) = (grab("est_cost="), grab("rewrite_cost="));
+                prop_assert!(est <= rewrite, "DP chose {est} over rewrite {rewrite}: {note}");
+            }
+        }
+        let mut ds = Stats::new();
+        let mut os = Stats::new();
+        let dp_v = dp_plan.execute_streaming(&mut ds).unwrap();
+        let off_v = off_plan.execute_streaming(&mut os).unwrap();
+        prop_assert_eq!(dp_v, off_v);
     }
 }
 
