@@ -1,0 +1,83 @@
+//! CI smoke check for the server metrics layer.
+//!
+//! Boots a TCP server on a generated database, runs a handful of
+//! queries (including one EXPLAIN ANALYZE and one deliberate error),
+//! then prints the `METRICS` payload — Prometheus text exposition — to
+//! stdout so the CI step can grep the metric families it expects.
+//! Exits non-zero if any protocol step fails.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use oodb_datagen::{generate, GenConfig};
+use oodb_server::{net, ServerConfig};
+
+const QUERIES: [&str; 3] = [
+    "select d from d in DELIVERY where exists x in d.supply : x.part.color = \"red\"",
+    "select s.sname from s in SUPPLIER where exists x in s.parts : \
+     exists p in PART : x = p.pid and p.color = \"red\"",
+    "select p.pname from p in PART where p.color = \"red\"",
+];
+
+fn main() {
+    let db = Arc::new(generate(&GenConfig::scaled(300)));
+    let handle =
+        net::serve(db, ServerConfig::default(), "127.0.0.1:0").expect("bind metrics-smoke server");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    let mut ask = |req: &str| -> Vec<String> {
+        writeln!(writer, "{req}").expect("send request");
+        writer.flush().expect("flush request");
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read response line");
+            let line = line.trim_end().to_string();
+            let done = line == "." || line.starts_with("ERR") || line == "BYE";
+            lines.push(line);
+            if done {
+                break;
+            }
+        }
+        lines
+    };
+
+    for q in QUERIES {
+        let resp = ask(&format!("QUERY {q}"));
+        assert!(
+            resp[0].starts_with("OK "),
+            "QUERY failed: {:?}",
+            resp.first()
+        );
+    }
+    // One analyzed query (exercises the diagnostic path) and one error
+    // (exercises oodb_query_errors_total).
+    let resp = ask(&format!("EXPLAIN ANALYZE {}", QUERIES[0]));
+    assert!(
+        resp[0].starts_with("OK "),
+        "EXPLAIN ANALYZE failed: {:?}",
+        resp.first()
+    );
+    assert!(
+        resp.iter().any(|l| l.contains("actual_rows=")),
+        "analyzed plan carries no actuals"
+    );
+    let resp = ask("QUERY select x from x in NO_SUCH_CLASS");
+    assert!(
+        resp[0].starts_with("ERR"),
+        "expected ERR, got {:?}",
+        resp.first()
+    );
+
+    let metrics = ask("METRICS");
+    assert_eq!(metrics.first().map(String::as_str), Some("OK 0"));
+    assert_eq!(metrics.last().map(String::as_str), Some("."));
+    for line in &metrics[1..metrics.len() - 1] {
+        println!("{line}");
+    }
+    ask("QUIT");
+    handle.shutdown();
+}

@@ -179,6 +179,21 @@ fn perf_streaming() {
             r.server_p99_ms / r.streaming_ms.max(1e-9),
         );
     }
+    println!("\n  Phase breakdown (cold planner vs streaming execute, best of 3):");
+    println!(
+        "  {:<26} {:>9} {:>9} {:>12}",
+        "workload", "plan", "execute", "plan share"
+    );
+    for r in &rows {
+        let total = r.plan_ms + r.exec_ms;
+        println!(
+            "  {:<26} {:>7.2}ms {:>7.2}ms {:>11.1}%",
+            r.workload,
+            r.plan_ms,
+            r.exec_ms,
+            100.0 * r.plan_ms / total.max(1e-9),
+        );
+    }
     println!("\n  Join-order enumeration (DP vs the rewrite's association, work units):");
     println!(
         "  {:<26} {:>12} {:>14} {:>9}",

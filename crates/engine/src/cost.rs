@@ -152,10 +152,13 @@ impl<'a> CostModel<'a> {
 
     /// EXPLAIN rendering with per-operator `est_rows`/`est_cost`.
     pub fn explain(&self, plan: &PhysPlan) -> String {
-        self.prime_observed(plan);
         let mut out = String::new();
-        self.explain_into(plan, 0, &mut out);
-        self.observed.borrow_mut().clear();
+        for (depth, node, annot) in self.annotated_lines(plan) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&node);
+            out.push_str(&annot);
+            out.push('\n');
+        }
         out
     }
 
@@ -198,24 +201,34 @@ impl<'a> CostModel<'a> {
         e.rows * e.rows.max(2.0).log2() + io
     }
 
-    fn explain_into(&self, plan: &PhysPlan, depth: usize, out: &mut String) {
-        use std::fmt::Write;
+    /// The per-operator EXPLAIN annotations as structured
+    /// `(depth, node_line, " (est_…)")` triples in the same pre-order
+    /// `explain` renders — the cost-model half of
+    /// [`crate::plan::Plan::explain_analyze`], which appends measured
+    /// actuals to each line.
+    pub fn annotated_lines(&self, plan: &PhysPlan) -> Vec<(usize, String, String)> {
+        self.prime_observed(plan);
+        let mut out = Vec::new();
+        self.annotate_into(plan, 0, &mut out);
+        self.observed.borrow_mut().clear();
+        out
+    }
+
+    fn annotate_into(&self, plan: &PhysPlan, depth: usize, out: &mut Vec<(usize, String, String)>) {
         let e = self.est(plan);
         let spill = self.est_spill(plan);
-        let _ = write!(
-            out,
-            "{}{} (est_rows={}, est_cost={}",
-            "  ".repeat(depth),
-            plan.node_line(),
+        let mut annot = format!(
+            " (est_rows={}, est_cost={}",
             e.rows.round() as u64,
             e.cost.round() as u64,
         );
         if spill > 0.0 {
-            let _ = write!(out, ", est_spill={}", spill.round() as u64);
+            annot.push_str(&format!(", est_spill={}", spill.round() as u64));
         }
-        let _ = writeln!(out, ")");
+        annot.push(')');
+        out.push((depth, plan.node_line(), annot));
         for child in plan.children() {
-            self.explain_into(child, depth + 1, out);
+            self.annotate_into(child, depth + 1, out);
         }
     }
 

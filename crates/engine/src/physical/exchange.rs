@@ -191,6 +191,7 @@ impl ExchangeOp {
         let budget = ctx.budget.share(dop);
         let batch_kind = ctx.batch_kind;
         let vectorize = ctx.vectorize;
+        let timing = ctx.timing;
         let tasks: Vec<WorkerTask<'_, Value>> = (0..dop)
             .map(|w| {
                 let env = env.clone();
@@ -204,6 +205,7 @@ impl ExchangeOp {
                         budget,
                         batch_kind,
                         vectorize,
+                        timing,
                     };
                     let mut op = plan.compile_stride(w, dop);
                     op.open(&mut wctx)?;
@@ -885,6 +887,7 @@ mod tests {
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
             vectorize: true,
+            timing: true,
         };
         let mut op = plan.phys.compile();
         assert!(matches!(

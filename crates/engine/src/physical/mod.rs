@@ -429,6 +429,23 @@ impl PhysPlan {
         operator::run_full(self, db, stats, budget, batch_kind, vectorize)
     }
 
+    /// [`PhysPlan::execute_streaming_full`] with the per-operator
+    /// timing switch pinned as well (instead of read from
+    /// `OODB_TIMING`) — how [`crate::plan::Plan`] threads
+    /// `PlannerConfig::timing` into execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_streaming_traced(
+        &self,
+        db: &Database,
+        stats: &mut Stats,
+        budget: oodb_spill::MemoryBudget,
+        batch_kind: oodb_value::BatchKind,
+        vectorize: bool,
+        timing: bool,
+    ) -> Result<Value, EvalError> {
+        operator::run_traced(self, db, stats, budget, batch_kind, vectorize, timing)
+    }
+
     /// Executes the plan against `db` with whole-set materialization at
     /// every operator boundary (the reference set-at-a-time semantics
     /// the streaming pipeline is checked against).

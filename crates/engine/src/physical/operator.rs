@@ -27,12 +27,13 @@ use super::hashjoin::{self, IndexedBuild, JoinHashTable, MemberHashTable, Member
 use super::sortmerge::SortMergeState;
 use super::{pnhl, spill_exec, MatchKeys, PhysPlan};
 use crate::eval::{aggregate, nest_set, unnest_value, Env, EvalError, Evaluator};
-use crate::stats::{OpStats, Stats};
+use crate::stats::{OpStats, OpTiming, Stats};
 use oodb_adl::expr::{AggOp, Expr, JoinKind, SetOp};
 use oodb_catalog::Database;
 use oodb_spill::{MemoryBudget, SpillMetrics};
 use oodb_value::fxhash::FxHashSet;
 use oodb_value::{BatchKind, Name, Set, Value};
+use std::time::Instant;
 
 /// Rows per batch. Batches are soft-bounded: operators that expand rows
 /// (unnest, inner joins) may exceed it rather than split mid-tuple-group.
@@ -77,6 +78,12 @@ pub struct ExecCtx<'db, 's> {
     /// for differential testing. Results and the classic work counters
     /// are identical either way — the switch only selects the machinery.
     pub vectorize: bool,
+    /// Capture per-operator wall-clock timings (`OpStats::timing`) in
+    /// the instrumentation shim. `true` by default; `OODB_TIMING=off`
+    /// (or `PlannerConfig::timing`) skips the monotonic-clock reads on
+    /// the hot path. Results and every counter are bit-identical either
+    /// way — only the nanosecond totals stay zero when disabled.
+    pub timing: bool,
 }
 
 /// A pull-based physical operator.
@@ -252,6 +259,16 @@ struct Instrument {
     batches: u64,
     reported: bool,
     state: InstrState,
+    /// Wall-clock accumulators (see [`OpTiming`]): inclusive of the
+    /// whole subtree below this shim, Postgres-style, because the clock
+    /// brackets the inner call which recursively pulls its children.
+    /// Stay zero unless `ExecCtx::timing`.
+    timing: OpTiming,
+    /// Index of the [`OpStats`] entry `report` pushed, so `close` can
+    /// fold its own duration into an entry that was already published
+    /// at exhaustion (entries are append-only during a run, so the
+    /// index stays valid).
+    pushed: Option<usize>,
 }
 
 impl Instrument {
@@ -263,6 +280,8 @@ impl Instrument {
             batches: 0,
             reported: false,
             state: InstrState::Created,
+            timing: OpTiming::default(),
+            pushed: None,
         }
     }
 
@@ -270,6 +289,7 @@ impl Instrument {
         if !self.reported {
             self.reported = true;
             let spill = self.inner.spill_metrics();
+            self.pushed = Some(ctx.stats.operators.len());
             ctx.stats.operators.push(OpStats {
                 op: self.label.clone(),
                 rows_out: self.rows_out,
@@ -278,6 +298,7 @@ impl Instrument {
                 spill_bytes: spill.bytes,
                 spill_partitions: spill.partitions,
                 spill_passes: spill.passes,
+                timing: self.timing,
             });
         }
     }
@@ -289,7 +310,16 @@ impl Operator for Instrument {
         self.batches = 0;
         self.reported = false;
         self.state = InstrState::Open;
-        self.inner.open(ctx)
+        self.timing = OpTiming::default();
+        self.pushed = None;
+        if ctx.timing {
+            let t0 = Instant::now();
+            let r = self.inner.open(ctx);
+            self.timing.open_ns += t0.elapsed().as_nanos() as u64;
+            r
+        } else {
+            self.inner.open(ctx)
+        }
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Batch>, EvalError> {
@@ -303,7 +333,15 @@ impl Operator for Instrument {
                 return Err(EvalError::OperatorProtocol("next_batch after close"))
             }
         }
-        match self.inner.next_batch(ctx)? {
+        let next = if ctx.timing {
+            let t0 = Instant::now();
+            let r = self.inner.next_batch(ctx);
+            self.timing.next_ns += t0.elapsed().as_nanos() as u64;
+            r
+        } else {
+            self.inner.next_batch(ctx)
+        };
+        match next? {
             Some(b) => {
                 self.rows_out += b.len() as u64;
                 self.batches += 1;
@@ -319,8 +357,19 @@ impl Operator for Instrument {
 
     fn close(&mut self, ctx: &mut ExecCtx<'_, '_>) {
         self.state = InstrState::Closed;
+        // Report first (spill metrics are read before the inner state is
+        // released), then fold the close duration back into the entry.
         self.report(ctx);
-        self.inner.close(ctx);
+        if ctx.timing {
+            let t0 = Instant::now();
+            self.inner.close(ctx);
+            self.timing.close_ns += t0.elapsed().as_nanos() as u64;
+            if let Some(entry) = self.pushed.and_then(|i| ctx.stats.operators.get_mut(i)) {
+                entry.timing = self.timing;
+            }
+        } else {
+            self.inner.close(ctx);
+        }
     }
 
     fn scalar(&self) -> bool {
@@ -2101,7 +2150,9 @@ pub fn run_configured(
 
 /// [`run_configured`] with the vectorization switch made explicit — how
 /// `PlannerConfig::vectorize` reaches execution without going through
-/// the `OODB_VECTORIZE` environment variable.
+/// the `OODB_VECTORIZE` environment variable. Per-operator timing
+/// follows `OODB_TIMING` (on by default); [`run_traced`] makes it
+/// explicit.
 pub fn run_full(
     plan: &PhysPlan,
     db: &Database,
@@ -2110,6 +2161,39 @@ pub fn run_full(
     batch_kind: BatchKind,
     vectorize: bool,
 ) -> Result<Value, EvalError> {
+    run_traced(
+        plan,
+        db,
+        stats,
+        budget,
+        batch_kind,
+        vectorize,
+        timing_from_env(),
+    )
+}
+
+/// Whether the instrumentation shim should capture per-operator
+/// wall-clock timings: on unless `OODB_TIMING` is `off`/`0`/`false`.
+pub fn timing_from_env() -> bool {
+    match std::env::var("OODB_TIMING") {
+        Ok(v) => !(v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") || v == "0"),
+        Err(_) => true,
+    }
+}
+
+/// [`run_full`] with the per-operator timing switch made explicit — how
+/// `PlannerConfig::timing` reaches execution without going through the
+/// `OODB_TIMING` environment variable.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traced(
+    plan: &PhysPlan,
+    db: &Database,
+    stats: &mut Stats,
+    budget: MemoryBudget,
+    batch_kind: BatchKind,
+    vectorize: bool,
+    timing: bool,
+) -> Result<Value, EvalError> {
     let mut ctx = ExecCtx {
         ev: Evaluator::new(db),
         env: Env::new(),
@@ -2117,6 +2201,7 @@ pub fn run_full(
         budget,
         batch_kind,
         vectorize,
+        timing,
     };
     let mut root = plan.compile();
     root.open(&mut ctx)?;
@@ -2516,6 +2601,7 @@ mod tests {
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
             vectorize: true,
+            timing: true,
         };
         let mut op = plan.compile();
         op.open(&mut ctx).unwrap();
@@ -2540,6 +2626,7 @@ mod tests {
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
             vectorize: true,
+            timing: true,
         };
         // next_batch before open
         let mut op = plan.compile();
@@ -2589,6 +2676,7 @@ mod tests {
             budget: MemoryBudget::unbounded(),
             batch_kind: BatchKind::from_env(),
             vectorize: true,
+            timing: true,
         };
         let mut op = plan.compile();
         op.open(&mut ctx).unwrap();

@@ -20,7 +20,7 @@
 use crate::cost::{CostModel, Estimate};
 use crate::physical::hashjoin::MemberShape;
 use crate::physical::{exchange, MatchKeys, Partitioning, PhysPlan};
-use crate::stats::Stats;
+use crate::stats::{OpStats, Stats};
 use oodb_adl::expr::{conjuncts, Expr, JoinKind};
 use oodb_adl::vars::free_vars;
 use oodb_adl::AdlTypeError;
@@ -28,6 +28,8 @@ use oodb_catalog::{CatalogStats, Database};
 use oodb_spill::MemoryBudget;
 use oodb_value::{BatchKind, CmpOp, Name, SetCmpOp, Value};
 use std::fmt;
+
+pub use crate::physical::operator::timing_from_env;
 
 /// Which join implementation the rule-based planner prefers when keys
 /// allow it (ignored when [`PlannerConfig::cost_based`] is on).
@@ -143,6 +145,14 @@ pub struct PlannerConfig {
     /// default (`off` = kill switch); results are identical either way
     /// — only the order joins execute in changes.
     pub join_order: JoinOrder,
+    /// Whether the streaming pipeline's instrumentation shim captures
+    /// per-operator wall-clock timings (`OpStats::timing`, the numbers
+    /// behind `EXPLAIN ANALYZE`'s `actual_ms`). The `OODB_TIMING`
+    /// environment variable supplies the process default (`on` unless
+    /// set to `off`/`0`/`false`); results and every work counter are
+    /// bit-identical either way — disabling only skips the
+    /// monotonic-clock reads and leaves the nanosecond totals zero.
+    pub timing: bool,
 }
 
 /// Default worker count: the `OODB_PARALLELISM` environment variable if
@@ -173,6 +183,7 @@ impl Default for PlannerConfig {
             batch_kind: BatchKind::from_env(),
             vectorize: crate::physical::columnar::vectorize_from_env(),
             join_order: JoinOrder::from_env(),
+            timing: crate::physical::operator::timing_from_env(),
         }
     }
 }
@@ -216,6 +227,13 @@ pub struct Plan<'a> {
     /// Whether streaming execution takes the vectorized fast paths
     /// (from [`PlannerConfig::vectorize`]).
     vectorize: bool,
+    /// Whether streaming execution captures per-operator wall-clock
+    /// timings (from [`PlannerConfig::timing`]).
+    timing: bool,
+    /// Microseconds join-order enumeration spent while lowering this
+    /// plan (zero when enumeration never fired) — the `joinorder` span
+    /// in the server's query-phase traces.
+    joinorder_micros: u64,
     /// One `order=` line per join-order enumeration that fired while
     /// lowering: the chosen permutation with its estimated cost next to
     /// the rewrite order's (see [`crate::joinorder`]). Prepended to
@@ -229,12 +247,13 @@ impl Plan<'_> {
     /// under the planner configuration's memory budget, batch layout
     /// and vectorization switch.
     pub fn execute_streaming(&self, stats: &mut Stats) -> Result<Value, crate::eval::EvalError> {
-        self.phys.execute_streaming_full(
+        self.phys.execute_streaming_traced(
             self.db,
             stats,
             self.budget.clone(),
             self.batch_kind,
             self.vectorize,
+            self.timing,
         )
     }
 
@@ -275,6 +294,160 @@ impl Plan<'_> {
     pub fn estimate(&self) -> Option<Estimate> {
         self.cost.as_ref().map(|m| m.estimate(&self.phys))
     }
+
+    /// Microseconds join-order enumeration spent while this plan was
+    /// lowered (zero when enumeration never fired).
+    pub fn joinorder_micros(&self) -> u64 {
+        self.joinorder_micros
+    }
+
+    /// EXPLAIN ANALYZE: executes the plan through the streaming
+    /// pipeline (per-operator timing forced on) and renders the EXPLAIN
+    /// tree with `actual_rows`/`actual_ms` next to the estimates, plus
+    /// an `err=` estimate-error factor per operator where both are
+    /// known.
+    ///
+    /// Actuals come from [`Stats::operators`] entries matched to tree
+    /// nodes by operator label in pre-order (the order `explain` renders
+    /// and exhaustion reports agree for single-instance labels; when a
+    /// label appears on several nodes — self-join chains — each node
+    /// consumes the next entry for its label, preserving per-label
+    /// totals). Nodes with no entry (round-robin `Exchange` gathers,
+    /// whose *workers* report the segment operators below; `Literal`
+    /// leaves) render without actuals. `actual_ms` on an operator is
+    /// inclusive of its subtree, Postgres-style.
+    pub fn explain_analyze(
+        &self,
+        stats: &mut Stats,
+    ) -> Result<AnalyzedPlan, crate::eval::EvalError> {
+        let value = self.phys.execute_streaming_traced(
+            self.db,
+            stats,
+            self.budget.clone(),
+            self.batch_kind,
+            self.vectorize,
+            true,
+        )?;
+        // Per-label FIFO queues over the reported entries: explain
+        // renders pre-order and `Stats::operators` holds one entry per
+        // instrumented operator (exchange workers already folded by
+        // label), so each tree node takes the next entry for its label.
+        let mut by_label: std::collections::HashMap<&str, std::collections::VecDeque<&OpStats>> =
+            std::collections::HashMap::new();
+        for op in &stats.operators {
+            by_label.entry(op.op.as_str()).or_default().push_back(op);
+        }
+        let lines = match &self.cost {
+            Some(m) => m.annotated_lines(&self.phys),
+            None => plain_lines(&self.phys),
+        };
+        // `Stats::operators` keys by `op_label`, EXPLAIN lines by
+        // `node_line`; both walks are pre-order, so collect labels in
+        // parallel and zip.
+        let labels = op_labels(&self.phys);
+        debug_assert_eq!(labels.len(), lines.len());
+        let mut text = String::new();
+        for note in &self.order_notes {
+            text.push_str(note);
+            text.push('\n');
+        }
+        let mut ops = Vec::new();
+        for ((depth, node, est_annot), label) in lines.iter().zip(&labels) {
+            let actual = by_label.get_mut(label.as_str()).and_then(|q| q.pop_front());
+            let est_rows = est_annot
+                .split("est_rows=")
+                .nth(1)
+                .and_then(|s| s.split([',', ')']).next())
+                .and_then(|s| s.trim().parse::<f64>().ok());
+            for _ in 0..*depth {
+                text.push_str("  ");
+            }
+            text.push_str(node);
+            text.push_str(est_annot);
+            if let Some(op) = actual {
+                text.push_str(&format!(
+                    " (actual_rows={}, actual_ms={:.3}",
+                    op.rows_out,
+                    op.timing.total_ms()
+                ));
+                if let Some(est) = est_rows {
+                    // Symmetric over/under-estimate factor, 1-row floors
+                    // so empty streams don't divide by zero.
+                    let est = est.max(1.0);
+                    let act = (op.rows_out as f64).max(1.0);
+                    text.push_str(&format!(", err={:.1}x", est.max(act) / est.min(act)));
+                }
+                text.push(')');
+            }
+            ops.push(AnalyzedOp {
+                label: label.clone(),
+                est_rows,
+                actual_rows: actual.map(|op| op.rows_out),
+                actual_ns: actual.map(|op| op.timing.total_ns()),
+            });
+            text.push('\n');
+        }
+        Ok(AnalyzedPlan { text, value, ops })
+    }
+}
+
+/// One operator line of an [`AnalyzedPlan`]: the node label with its
+/// estimate (when the plan was cost-based) and measured actuals (when
+/// the node's instrumentation reported — see
+/// [`Plan::explain_analyze`] for which nodes don't).
+#[derive(Debug, Clone)]
+pub struct AnalyzedOp {
+    /// The `node_line` label (e.g. `HashJoin Inner`).
+    pub label: String,
+    /// Estimated output rows, when cost-based.
+    pub est_rows: Option<f64>,
+    /// Measured output rows, when instrumented.
+    pub actual_rows: Option<u64>,
+    /// Measured wall-clock nanoseconds (open+next+close, inclusive of
+    /// the subtree), when instrumented.
+    pub actual_ns: Option<u64>,
+}
+
+/// The result of [`Plan::explain_analyze`]: the annotated EXPLAIN text,
+/// the query result, and the per-operator rows/estimates in tree
+/// pre-order.
+#[derive(Debug)]
+pub struct AnalyzedPlan {
+    /// EXPLAIN tree with `(est_…)` and `(actual_…)` annotations.
+    pub text: String,
+    /// The query result (the pipeline really ran).
+    pub value: Value,
+    /// Per-operator annotations in explain (pre-)order.
+    pub ops: Vec<AnalyzedOp>,
+}
+
+/// `(depth, node_line, "")` triples for a plan without a cost model —
+/// same shape [`CostModel::annotated_lines`] returns, minus estimates.
+fn plain_lines(plan: &PhysPlan) -> Vec<(usize, String, String)> {
+    fn walk(p: &PhysPlan, depth: usize, out: &mut Vec<(usize, String, String)>) {
+        out.push((depth, p.node_line(), String::new()));
+        for c in p.children() {
+            walk(c, depth + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, 0, &mut out);
+    out
+}
+
+/// Pre-order `op_label`s of the whole tree — the keys
+/// `Stats::operators` entries report under, aligned index-by-index with
+/// [`plain_lines`] / [`CostModel::annotated_lines`].
+fn op_labels(plan: &PhysPlan) -> Vec<String> {
+    fn walk(p: &PhysPlan, out: &mut Vec<String>) {
+        out.push(p.op_label());
+        for c in p.children() {
+            walk(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
 }
 
 /// The physical planner.
@@ -288,6 +461,9 @@ pub struct Planner<'a> {
     /// join-order enumeration that fired); drained into the [`Plan`].
     /// Interior mutability because lowering takes `&self`.
     pub(crate) order_notes: std::cell::RefCell<Vec<String>>,
+    /// Microseconds spent in join-order enumeration while lowering;
+    /// drained into the [`Plan`] alongside `order_notes`.
+    pub(crate) joinorder_micros: std::cell::Cell<u64>,
 }
 
 impl<'a> Planner<'a> {
@@ -308,6 +484,7 @@ impl<'a> Planner<'a> {
             config,
             cost,
             order_notes: Default::default(),
+            joinorder_micros: Default::default(),
         }
     }
 
@@ -322,12 +499,14 @@ impl<'a> Planner<'a> {
             config,
             cost,
             order_notes: Default::default(),
+            joinorder_micros: Default::default(),
         }
     }
 
     /// Lowers a closed ADL expression into an executable [`Plan`].
     pub fn plan(&self, e: &Expr) -> Result<Plan<'a>, PlanError> {
         self.order_notes.borrow_mut().clear();
+        self.joinorder_micros.set(0);
         let mut phys = self.lower(e)?;
         if self.config.parallelism > 1 {
             phys = self.parallelize(phys);
@@ -342,6 +521,8 @@ impl<'a> Planner<'a> {
             budget: MemoryBudget::bytes(self.config.memory_budget),
             batch_kind: self.config.batch_kind,
             vectorize: self.config.vectorize,
+            timing: self.config.timing,
+            joinorder_micros: self.joinorder_micros.take(),
             order_notes: self.order_notes.take(),
         })
     }
@@ -795,8 +976,11 @@ impl<'a> Planner<'a> {
         // cannot prove safe falls through to the rewrite-order path.
         if kind == JoinKind::Inner && self.config.join_order == JoinOrder::Dp && self.cost.is_some()
         {
-            if let Some(plan) = crate::joinorder::try_reorder(self, lvar, rvar, pred, left, right)?
-            {
+            let t0 = std::time::Instant::now();
+            let reordered = crate::joinorder::try_reorder(self, lvar, rvar, pred, left, right)?;
+            self.joinorder_micros
+                .set(self.joinorder_micros.get() + t0.elapsed().as_micros() as u64);
+            if let Some(plan) = reordered {
                 return Ok(plan);
             }
         }

@@ -83,7 +83,62 @@ pub struct OpStats {
     pub spill_partitions: u64,
     /// Spill passes this operator performed.
     pub spill_passes: u64,
+    /// Wall-clock nanoseconds spent *inside* this operator's
+    /// `open`/`next_batch`/`close` calls (inclusive of its children —
+    /// a pull-based driver charges the whole subtree to the puller,
+    /// like `EXPLAIN ANALYZE` in Postgres). All-zero unless the run
+    /// had timing on ([`crate::plan::PlannerConfig::timing`]).
+    pub timing: OpTiming,
 }
+
+/// Per-operator timing totals. A **measurement**, not a semantic
+/// counter: two runs that did identical work at different speeds are
+/// the same run as far as every differential suite is concerned, so
+/// `PartialEq` here is intentionally always-true — `Stats`/`OpStats`
+/// equality stays timing-blind and the dop/layout/budget equivalence
+/// tests (and result-cache profile replay) keep comparing exact work,
+/// never wall clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpTiming {
+    /// Nanoseconds in `open` (usually trivial — blocking work is
+    /// deferred to the first `next_batch`).
+    pub open_ns: u64,
+    /// Nanoseconds across all `next_batch` calls (where pipelines
+    /// spend their time).
+    pub next_ns: u64,
+    /// Nanoseconds in `close`.
+    pub close_ns: u64,
+}
+
+impl OpTiming {
+    /// Total nanoseconds across the operator lifecycle.
+    pub fn total_ns(&self) -> u64 {
+        self.open_ns + self.next_ns + self.close_ns
+    }
+
+    /// Total milliseconds (the `actual_ms` EXPLAIN ANALYZE column).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns() as f64 / 1e6
+    }
+
+    /// Adds another operator instance's timing (worker folds, label
+    /// merges).
+    pub fn absorb(&mut self, other: &OpTiming) {
+        self.open_ns += other.open_ns;
+        self.next_ns += other.next_ns;
+        self.close_ns += other.close_ns;
+    }
+}
+
+impl PartialEq for OpTiming {
+    /// Timing never participates in `Stats` equality (see the type
+    /// docs): any two timings compare equal.
+    fn eq(&self, _: &OpTiming) -> bool {
+        true
+    }
+}
+
+impl Eq for OpTiming {}
 
 impl Stats {
     /// Fresh, all-zero counters.
@@ -143,6 +198,7 @@ impl Stats {
                     mine.spill_bytes += op.spill_bytes;
                     mine.spill_partitions += op.spill_partitions;
                     mine.spill_passes += op.spill_passes;
+                    mine.timing.absorb(&op.timing);
                 }
                 None => self.operators.push(op.clone()),
             }
@@ -266,5 +322,40 @@ mod tests {
     fn display_is_compact() {
         let s = Stats::default();
         assert!(s.to_string().starts_with("scan=0"));
+    }
+
+    #[test]
+    fn timing_is_equality_blind_but_folds() {
+        let timed = OpStats {
+            op: "Scan(X)".into(),
+            rows_out: 5,
+            timing: OpTiming {
+                open_ns: 1,
+                next_ns: 2,
+                close_ns: 3,
+            },
+            ..OpStats::default()
+        };
+        let untimed = OpStats {
+            op: "Scan(X)".into(),
+            rows_out: 5,
+            ..OpStats::default()
+        };
+        // identical work at different speeds is the same profile
+        assert_eq!(timed, untimed);
+        assert_eq!(timed.timing.total_ns(), 6);
+        // absorb_worker folds timing alongside the counters
+        let mut a = Stats {
+            operators: vec![timed.clone()],
+            ..Stats::default()
+        };
+        let b = Stats {
+            operators: vec![timed],
+            ..Stats::default()
+        };
+        a.absorb_worker(&b);
+        assert_eq!(a.operators.len(), 1);
+        assert_eq!(a.operators[0].rows_out, 10);
+        assert_eq!(a.operators[0].timing.total_ns(), 12);
     }
 }

@@ -53,6 +53,7 @@ use oodb_catalog::{CatalogStats, Database};
 use oodb_core::strategy::{Optimized, Optimizer};
 use oodb_engine::eval::EvalError;
 use oodb_engine::{MemoryBudget, PhysPlan, Planner, PlannerConfig, Stats};
+use oodb_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder, TraceLog};
 use oodb_spill::BudgetPool;
 use oodb_value::Value;
 
@@ -87,6 +88,11 @@ pub struct ServerConfig {
     /// deliberately changes plans between repeats of the same query,
     /// which the plan-stability suites assert against.
     pub adaptive_stats: bool,
+    /// Queries whose end-to-end latency reaches this many milliseconds
+    /// land in the slow-query log ([`ServerShared::traces`]) with their
+    /// full span tree *and* EXPLAIN text retained; faster queries only
+    /// keep their span tree in the bounded recent-trace ring.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +104,7 @@ impl Default for ServerConfig {
             result_cache_capacity: 128,
             cache_results: true,
             adaptive_stats: false,
+            slow_query_ms: 250,
         }
     }
 }
@@ -120,13 +127,88 @@ pub struct CacheMetrics {
     pub result_misses: u64,
 }
 
-#[derive(Debug, Default)]
-struct MetricCells {
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
-    plan_invalidations: AtomicU64,
-    result_hits: AtomicU64,
-    result_misses: AtomicU64,
+/// The server's metric families, registered once per [`ServerShared`]
+/// in a [`Registry`] (the `METRICS` protocol command renders it in
+/// Prometheus text exposition format) with typed handles kept for the
+/// hot-path increments. The old ad-hoc cache counters live here now;
+/// [`ServerShared::metrics`] still snapshots them as [`CacheMetrics`].
+struct ServerMetrics {
+    registry: Registry,
+    queries: Counter,
+    query_errors: Counter,
+    plan_hits: Counter,
+    plan_misses: Counter,
+    plan_invalidations: Counter,
+    result_hits: Counter,
+    result_misses: Counter,
+    /// End-to-end query latency (parse through execute), log-bucketed;
+    /// `oodb_query_latency_ms` quantiles bracket the bench suite's
+    /// measured `server_p50/p99_ms`.
+    latency: Arc<Histogram>,
+    spill_bytes: Counter,
+    rows_out: Counter,
+    /// Refreshed from the [`BudgetPool`] at render time.
+    pool_in_use: Gauge,
+    pool_queue_depth: Gauge,
+    budget_high_water: Gauge,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        ServerMetrics {
+            queries: registry.counter("oodb_queries_total", "Queries accepted by the serving path"),
+            query_errors: registry.counter(
+                "oodb_query_errors_total",
+                "Queries that failed in any phase (parse through execute)",
+            ),
+            plan_hits: registry.counter(
+                "oodb_plan_cache_hits_total",
+                "Plan-cache hits (rewrite + costing skipped)",
+            ),
+            plan_misses: registry.counter(
+                "oodb_plan_cache_misses_total",
+                "Plan-cache misses with no current entry",
+            ),
+            plan_invalidations: registry.counter(
+                "oodb_plan_cache_invalidations_total",
+                "Plan-cache lookups that found an entry invalidated by an extent write",
+            ),
+            result_hits: registry.counter(
+                "oodb_result_cache_hits_total",
+                "Result/let-cache hits (execution skipped)",
+            ),
+            result_misses: registry.counter(
+                "oodb_result_cache_misses_total",
+                "Result/let-cache misses (counted only when result caching is enabled)",
+            ),
+            latency: registry.histogram(
+                "oodb_query_latency_ms",
+                "End-to-end query latency (parse through execute), log-bucketed",
+            ),
+            spill_bytes: registry.counter(
+                "oodb_spill_bytes_total",
+                "Bytes written by the external-memory subsystem across all queries",
+            ),
+            rows_out: registry.counter(
+                "oodb_rows_out_total",
+                "Result rows produced across all queries",
+            ),
+            pool_in_use: registry.gauge(
+                "oodb_pool_in_use_bytes",
+                "Bytes currently held by live admission grants",
+            ),
+            pool_queue_depth: registry.gauge(
+                "oodb_pool_queue_depth",
+                "Queries queued for memory admission",
+            ),
+            budget_high_water: registry.gauge(
+                "oodb_budget_high_water_bytes",
+                "Largest sum of live admission grants ever observed",
+            ),
+            registry,
+        }
+    }
 }
 
 /// Cache + admission state shared by every session of a server — and,
@@ -139,7 +221,12 @@ pub struct ServerShared {
     plan_cache: PlanCache,
     result_cache: ResultCache,
     pool: BudgetPool,
-    metrics: MetricCells,
+    metrics: ServerMetrics,
+    /// Recent + slow query-phase traces (see [`Session::run`]).
+    traces: TraceLog,
+    /// Latency threshold for the slow-query log, from
+    /// [`ServerConfig::slow_query_ms`] at creation.
+    slow_query_ms: u64,
     /// Statistics-staleness epoch, embedded in every plan-cache key.
     /// Bumped when adaptive feedback materially changes the statistics;
     /// all plans priced on the old numbers become unreachable at once
@@ -161,7 +248,9 @@ impl ServerShared {
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             result_cache: ResultCache::new(config.result_cache_capacity),
             pool: BudgetPool::new(config.global_memory_bytes),
-            metrics: MetricCells::default(),
+            metrics: ServerMetrics::new(),
+            traces: TraceLog::new(128, 32),
+            slow_query_ms: config.slow_query_ms,
             stats_epoch: AtomicU64::new(0),
             adaptive: std::sync::Mutex::new(None),
         })
@@ -182,12 +271,36 @@ impl ServerShared {
     /// Snapshot of the serving-layer counters.
     pub fn metrics(&self) -> CacheMetrics {
         CacheMetrics {
-            plan_hits: self.metrics.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.metrics.plan_misses.load(Ordering::Relaxed),
-            plan_invalidations: self.metrics.plan_invalidations.load(Ordering::Relaxed),
-            result_hits: self.metrics.result_hits.load(Ordering::Relaxed),
-            result_misses: self.metrics.result_misses.load(Ordering::Relaxed),
+            plan_hits: self.metrics.plan_hits.get(),
+            plan_misses: self.metrics.plan_misses.get(),
+            plan_invalidations: self.metrics.plan_invalidations.get(),
+            result_hits: self.metrics.result_hits.get(),
+            result_misses: self.metrics.result_misses.get(),
         }
+    }
+
+    /// The whole metrics registry rendered in Prometheus text exposition
+    /// format (the `METRICS` protocol payload). Pool gauges are
+    /// refreshed from the [`BudgetPool`] first, so point-in-time values
+    /// are current as of this call.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.pool_in_use.set(self.pool.in_use() as u64);
+        self.metrics.pool_queue_depth.set(self.pool.waiting());
+        self.metrics
+            .budget_high_water
+            .set(self.pool.high_water() as u64);
+        self.metrics.registry.render()
+    }
+
+    /// The end-to-end query-latency histogram (log-bucketed
+    /// microseconds; quantile helpers report milliseconds).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.metrics.latency
+    }
+
+    /// Recent + slow query-phase traces.
+    pub fn traces(&self) -> &TraceLog {
+        &self.traces
     }
 }
 
@@ -265,21 +378,92 @@ pub struct Session<'srv, 'db> {
 
 impl<'srv, 'db> Session<'srv, 'db> {
     /// Parses, type checks and translates `oosql_text`, then executes it
-    /// through the serving path ([`Session::run_expr`]).
+    /// through the serving path ([`Session::run_expr`]) — recording a
+    /// query-phase span timeline (parse → typecheck → translate →
+    /// plan-cache lookup → rewrite → plan/joinorder → result-cache
+    /// lookup → admission → execute) into the shared [`TraceLog`] and
+    /// folding the end-to-end latency into the metrics registry.
     pub fn run(&self, oosql_text: &str) -> Result<ServerOutput, ServerError> {
-        let db = self.server.db;
-        let query = oodb_oosql::parse(oosql_text).map_err(ServerError::Parse)?;
-        oodb_oosql::typecheck(&query, db.catalog()).map_err(ServerError::Type)?;
-        let nested =
-            oodb_translate::translate(&query, db.catalog()).map_err(ServerError::Translate)?;
-        self.run_expr(nested)
+        let mut rec = SpanRecorder::start();
+        let out = self.run_recorded(oosql_text, &mut rec);
+        self.finish_trace(oosql_text, rec, &out);
+        out
     }
 
-    /// Executes a translated (nested) ADL expression: plan-cache lookup
-    /// under the canonical key, rewrite + costing only on miss, global
-    /// memory admission, then streaming execution — with result /
-    /// hoisted-`let` memoization when the server enables it.
+    fn run_recorded(
+        &self,
+        oosql_text: &str,
+        rec: &mut SpanRecorder,
+    ) -> Result<ServerOutput, ServerError> {
+        let db = self.server.db;
+        let query = rec.span("parse", || {
+            oodb_oosql::parse(oosql_text).map_err(ServerError::Parse)
+        })?;
+        rec.span("typecheck", || {
+            oodb_oosql::typecheck(&query, db.catalog()).map_err(ServerError::Type)
+        })?;
+        let nested = rec.span("translate", || {
+            oodb_translate::translate(&query, db.catalog()).map_err(ServerError::Translate)
+        })?;
+        self.run_expr_recorded(nested, rec)
+    }
+
+    /// Executes a translated (nested) ADL expression through the
+    /// serving path, tracing and metering it like [`Session::run`] (the
+    /// trace's query label is the placeholder `<expr>` — there is no
+    /// source text at this entry point).
     pub fn run_expr(&self, nested: Expr) -> Result<ServerOutput, ServerError> {
+        let mut rec = SpanRecorder::start();
+        let out = self.run_expr_recorded(nested, &mut rec);
+        self.finish_trace("<expr>", rec, &out);
+        out
+    }
+
+    /// Folds one finished query into the observability state: the
+    /// latency histogram and counters, and a [`QueryTrace`] in the
+    /// recent-trace ring — also in the slow-query log (EXPLAIN text
+    /// retained) when end-to-end latency reached
+    /// [`ServerConfig::slow_query_ms`] (a threshold of `0` slow-logs
+    /// every query, which is how tests capture full traces).
+    ///
+    /// [`QueryTrace`]: oodb_obs::QueryTrace
+    fn finish_trace(
+        &self,
+        query: &str,
+        rec: SpanRecorder,
+        out: &Result<ServerOutput, ServerError>,
+    ) {
+        let shared = &self.server.shared;
+        let m = &shared.metrics;
+        m.queries.inc();
+        let elapsed_us = rec.elapsed_us();
+        m.latency.observe_us(elapsed_us);
+        let trace = match out {
+            Ok(o) => {
+                m.spill_bytes.add(o.stats.spill_bytes);
+                m.rows_out.add(o.stats.output_rows);
+                let mut t = rec.finish(query, false);
+                t.explain = Some(o.explain.clone());
+                t
+            }
+            Err(_) => {
+                m.query_errors.inc();
+                rec.finish(query, true)
+            }
+        };
+        let slow = elapsed_us / 1000 >= shared.slow_query_ms;
+        shared.traces.record(trace, slow);
+    }
+
+    /// The serving pipeline proper: plan-cache lookup under the
+    /// canonical key, rewrite + costing only on miss, global memory
+    /// admission, then streaming execution — with result /
+    /// hoisted-`let` memoization when the server enables it.
+    fn run_expr_recorded(
+        &self,
+        nested: Expr,
+        rec: &mut SpanRecorder,
+    ) -> Result<ServerOutput, ServerError> {
         let server = self.server;
         let db = server.db;
         let shared = &server.shared;
@@ -290,23 +474,25 @@ impl<'srv, 'db> Session<'srv, 'db> {
         let epoch = shared.stats_epoch.load(Ordering::Relaxed);
         let plan_key = format!("{}\u{1f}{}\u{1f}{}", server.fingerprint, epoch, key.text);
 
-        let (entry, plan_hit) = match shared.plan_cache.get_current(&plan_key, db) {
+        let lookup = rec.span("plan_cache_lookup", || {
+            shared.plan_cache.get_current(&plan_key, db)
+        });
+        let (entry, plan_hit) = match lookup {
             Lookup::Hit(entry) => {
-                shared.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.plan_hits.inc();
                 (entry, true)
             }
             outcome => {
                 if matches!(outcome, Lookup::Stale) {
-                    shared
-                        .metrics
-                        .plan_invalidations
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.plan_invalidations.inc();
                 }
-                shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.plan_misses.inc();
                 let started = std::time::Instant::now();
-                let rewrite = Optimizer::default()
-                    .optimize(&nested, db.catalog())
-                    .map_err(ServerError::Rewrite)?;
+                let rewrite = rec.span("rewrite", || {
+                    Optimizer::default()
+                        .optimize(&nested, db.catalog())
+                        .map_err(ServerError::Rewrite)
+                })?;
                 // Adaptive feedback replans on the absorbed statistics
                 // when any are present; the server's collected baseline
                 // otherwise.
@@ -324,7 +510,15 @@ impl<'srv, 'db> Session<'srv, 'db> {
                     Some(s) => Planner::with_stats(db, server.config.planner.clone(), s),
                     None => Planner::with_config(db, server.config.planner.clone()),
                 };
+                let plan_start = rec.elapsed_us();
                 let plan = planner.plan(&rewrite.expr).map_err(ServerError::Plan)?;
+                rec.push("plan", 0, plan_start, rec.elapsed_us() - plan_start);
+                // Join-order enumeration is timed inside the planner;
+                // surface it as a child span of `plan` when it fired.
+                let joinorder_us = plan.joinorder_micros();
+                if joinorder_us > 0 {
+                    rec.push("joinorder", 1, plan_start, joinorder_us);
+                }
                 let explain = plan.explain();
                 let extents = cache::footprint(&[&nested, &rewrite.expr], db);
                 let stamp = cache::stamp(&extents, db);
@@ -350,8 +544,11 @@ impl<'srv, 'db> Session<'srv, 'db> {
 
         let result_key = format!("q\u{1f}{}", key.text);
         if server.config.cache_results {
-            if let Some(cached) = shared.result_cache.get_current(&result_key, db) {
-                shared.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+            let cached = rec.span("result_cache_lookup", || {
+                shared.result_cache.get_current(&result_key, db)
+            });
+            if let Some(cached) = cached {
+                shared.metrics.result_hits.inc();
                 // Replay the profile recorded when the value was
                 // computed: a served result reports the same counters
                 // and per-operator rows as the execution it replaces.
@@ -365,16 +562,19 @@ impl<'srv, 'db> Session<'srv, 'db> {
                     stats,
                 });
             }
-            shared.metrics.result_misses.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.result_misses.inc();
         }
 
         // Admission: block (FIFO-fairly) until this query's budget
         // request fits under the global cap, then execute under the
         // granted budget. The grant is an RAII lease — released when
         // this function returns, waking queued queries.
-        let grant = shared.pool.grant(server.config.planner.memory_budget);
+        let grant = rec.span("admission", || {
+            shared.pool.grant(server.config.planner.memory_budget)
+        });
         let budget = grant.budget();
 
+        let exec_start = rec.elapsed_us();
         let phys = if server.config.cache_results {
             self.resolve_let_spine(&entry.phys, &entry.rewrite.expr, &mut stats, &budget)
                 .map_err(ServerError::Exec)?
@@ -383,15 +583,17 @@ impl<'srv, 'db> Session<'srv, 'db> {
         };
 
         let result = phys
-            .execute_streaming_full(
+            .execute_streaming_traced(
                 db,
                 &mut stats,
                 budget,
                 server.config.planner.batch_kind,
                 server.config.planner.vectorize,
+                server.config.planner.timing,
             )
             .map_err(ServerError::Exec)?;
         drop(grant);
+        rec.push("execute", 0, exec_start, rec.elapsed_us() - exec_start);
 
         if server.config.cache_results {
             // Snapshot the profile with the cache-hit counters zeroed:
@@ -431,6 +633,45 @@ impl<'srv, 'db> Session<'srv, 'db> {
         })
     }
 
+    /// EXPLAIN ANALYZE through the serving front end: parses, type
+    /// checks, translates, rewrites and plans `oosql_text` **fresh**,
+    /// deliberately bypassing the plan and result caches (this is a
+    /// diagnostic path — it must really plan and really execute), then
+    /// runs the plan with per-operator timing forced on. Returns the
+    /// annotated plan (EXPLAIN text with `actual_rows`/`actual_ms`/
+    /// `err=` per operator, the result value, structured per-operator
+    /// rows) and the execution statistics. Global memory admission
+    /// still applies — an ANALYZE is a real query.
+    pub fn analyze(
+        &self,
+        oosql_text: &str,
+    ) -> Result<(oodb_engine::plan::AnalyzedPlan, Stats), ServerError> {
+        let server = self.server;
+        let db = server.db;
+        let query = oodb_oosql::parse(oosql_text).map_err(ServerError::Parse)?;
+        oodb_oosql::typecheck(&query, db.catalog()).map_err(ServerError::Type)?;
+        let nested =
+            oodb_translate::translate(&query, db.catalog()).map_err(ServerError::Translate)?;
+        let rewrite = Optimizer::default()
+            .optimize(&nested, db.catalog())
+            .map_err(ServerError::Rewrite)?;
+        let planner = match &server.stats {
+            Some(s) => Planner::with_stats(db, server.config.planner.clone(), s.clone()),
+            None => Planner::with_config(db, server.config.planner.clone()),
+        };
+        let plan = planner.plan(&rewrite.expr).map_err(ServerError::Plan)?;
+        let grant = server
+            .shared
+            .pool
+            .grant(server.config.planner.memory_budget);
+        let mut stats = Stats::default();
+        let analyzed = plan
+            .explain_analyze(&mut stats)
+            .map_err(ServerError::Exec)?;
+        drop(grant);
+        Ok((analyzed, stats))
+    }
+
     /// Walks the chain of root-level `let` bindings that hoisting
     /// produces, substituting a memoized value (or executing the value
     /// subplan once and memoizing it) for every **closed** binding. The
@@ -461,24 +702,25 @@ impl<'srv, 'db> Session<'srv, 'db> {
             if var == evar && oodb_adl::free_vars(evalue).is_empty() {
                 let key = format!("let\u{1f}{}", oodb_adl::normal_key(evalue));
                 let memoized = if let Some(cached) = shared.result_cache.get_current(&key, db) {
-                    shared.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.result_hits.inc();
                     // Replay the binding's recorded execution profile,
                     // exactly as if the value subplan had run here.
                     stats.merge(&cached.profile);
                     stats.result_cache_hits += 1;
                     cached.value
                 } else {
-                    shared.metrics.result_misses.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.result_misses.inc();
                     // Execute under a local `Stats` so the binding's own
                     // profile can be snapshotted for replay, then fold
                     // it into the query's counters as before.
                     let mut local = Stats::default();
-                    let v = value.execute_streaming_full(
+                    let v = value.execute_streaming_traced(
                         db,
                         &mut local,
                         budget.clone(),
                         server.config.planner.batch_kind,
                         server.config.planner.vectorize,
+                        server.config.planner.timing,
                     )?;
                     let extents = cache::footprint(&[evalue], db);
                     shared.result_cache.insert(

@@ -11,8 +11,22 @@
 //! |--------------------|-------------------------------------------------|
 //! | `QUERY <oosql>`    | `OK <rows> plan_hit=<0/1>`, the result set on one line, `.` |
 //! | `EXPLAIN <oosql>`  | `OK 0 plan_hit=<0/1>`, the plan (indented lines), `.` |
-//! | `STATS`            | `OK 0`, one counters line, `.`                  |
+//! | `EXPLAIN ANALYZE <oosql>` / `ANALYZE <oosql>` | `OK <rows> plan_hit=0`, the plan with `actual_rows`/`actual_ms`/`err=` per operator (indented lines), `.` |
+//! | `STATS`            | `OK 0`, two counter lines (below), `.`          |
+//! | `METRICS`          | `OK 0`, the metrics registry in Prometheus text exposition format, `.` |
+//! | `TRACE`            | `OK 0`, recent + slow query-phase span trees (indented lines), `.` |
 //! | `QUIT`             | `BYE` and the connection closes                 |
+//!
+//! `STATS` emits two space-separated `key=value` lines:
+//!
+//! 1. **server-wide** serving-layer counters —
+//!    `plan_hits= plan_misses= plan_invalidations= result_hits=
+//!    result_misses= budget_high_water= pool_in_use= pool_waiting=`;
+//! 2. **this connection's** accumulated execution counters across its
+//!    successful `QUERY`s — `work= rows_scanned= loop_iterations=
+//!    predicate_evals= hash_build_rows= hash_probes= partitions=
+//!    oid_lookups= index_probes= mask_batches= spill_bytes=
+//!    output_rows= plan_cache_hits= result_cache_hits=`.
 //!
 //! Any failure is a single `ERR <message>` line (newlines flattened);
 //! the connection stays usable.
@@ -120,6 +134,11 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let session = server.session();
+    // This connection's execution counters, accumulated across its
+    // successful QUERYs for the second STATS line. Only the scalar
+    // counters matter here, so the per-operator entries each merge
+    // brings along are dropped to keep long connections bounded.
+    let mut acc = oodb_engine::Stats::default();
     for line in reader.lines() {
         let line = line?;
         let line = line.trim();
@@ -130,31 +149,95 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
             Some((v, r)) => (v, r.trim()),
             None => (line, ""),
         };
-        match verb.to_ascii_uppercase().as_str() {
+        let mut verb = verb.to_ascii_uppercase();
+        let mut rest = rest;
+        if verb == "EXPLAIN" {
+            if let Some(r) = rest
+                .strip_prefix("ANALYZE ")
+                .or_else(|| rest.strip_prefix("analyze "))
+            {
+                verb = "ANALYZE".into();
+                rest = r.trim();
+            }
+        }
+        match verb.as_str() {
             "QUIT" => {
                 writeln!(writer, "BYE")?;
                 writer.flush()?;
                 return Ok(());
             }
             "STATS" => {
-                let m = server.shared().metrics();
-                let pool = server.shared().budget_pool().high_water();
+                let shared = server.shared();
+                let m = shared.metrics();
+                let pool = shared.budget_pool();
                 writeln!(writer, "OK 0")?;
                 writeln!(
                     writer,
                     "plan_hits={} plan_misses={} plan_invalidations={} \
-                     result_hits={} result_misses={} budget_high_water={}",
+                     result_hits={} result_misses={} budget_high_water={} \
+                     pool_in_use={} pool_waiting={}",
                     m.plan_hits,
                     m.plan_misses,
                     m.plan_invalidations,
                     m.result_hits,
                     m.result_misses,
-                    pool
+                    pool.high_water(),
+                    pool.in_use(),
+                    pool.waiting(),
                 )?;
+                writeln!(
+                    writer,
+                    "work={} rows_scanned={} loop_iterations={} predicate_evals={} \
+                     hash_build_rows={} hash_probes={} partitions={} oid_lookups={} \
+                     index_probes={} mask_batches={} spill_bytes={} output_rows={} \
+                     plan_cache_hits={} result_cache_hits={}",
+                    acc.work(),
+                    acc.rows_scanned,
+                    acc.loop_iterations,
+                    acc.predicate_evals,
+                    acc.hash_build_rows,
+                    acc.hash_probes,
+                    acc.partitions,
+                    acc.oid_lookups,
+                    acc.index_probes,
+                    acc.mask_batches,
+                    acc.spill_bytes,
+                    acc.output_rows,
+                    acc.plan_cache_hits,
+                    acc.result_cache_hits,
+                )?;
+                writeln!(writer, ".")?;
+            }
+            "METRICS" => {
+                writeln!(writer, "OK 0")?;
+                for l in server.shared().render_metrics().lines() {
+                    writeln!(writer, "{l}")?;
+                }
+                writeln!(writer, ".")?;
+            }
+            "TRACE" => {
+                let shared = server.shared();
+                writeln!(writer, "OK 0")?;
+                for t in shared.traces().recent() {
+                    for l in t.render().lines() {
+                        writeln!(writer, " {l}")?;
+                    }
+                }
+                let slow = shared.traces().slow();
+                if !slow.is_empty() {
+                    writeln!(writer, " slow:")?;
+                    for t in slow {
+                        for l in t.render().lines() {
+                            writeln!(writer, "  {l}")?;
+                        }
+                    }
+                }
                 writeln!(writer, ".")?;
             }
             "QUERY" => match session.run(rest) {
                 Ok(out) => {
+                    acc.merge(&out.stats);
+                    acc.operators.clear();
                     writeln!(
                         writer,
                         "OK {} plan_hit={}",
@@ -169,6 +252,16 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
                 Ok(out) => {
                     writeln!(writer, "OK 0 plan_hit={}", out.stats.plan_cache_hits)?;
                     for l in out.explain.lines() {
+                        writeln!(writer, " {l}")?;
+                    }
+                    writeln!(writer, ".")?;
+                }
+                Err(e) => writeln!(writer, "ERR {}", flatten(&e.to_string()))?,
+            },
+            "ANALYZE" => match session.analyze(rest) {
+                Ok((analyzed, stats)) => {
+                    writeln!(writer, "OK {} plan_hit=0", stats.output_rows)?;
+                    for l in analyzed.text.lines() {
                         writeln!(writer, " {l}")?;
                     }
                     writeln!(writer, ".")?;

@@ -240,6 +240,15 @@ impl BudgetPool {
         self.inner.state.lock().unwrap().in_use
     }
 
+    /// Requests currently queued for admission (tickets handed out but
+    /// not yet serving) — the pool-queue-depth gauge of the server's
+    /// metrics endpoint. Always `0` on an unbounded pool, which never
+    /// issues tickets.
+    pub fn waiting(&self) -> u64 {
+        let state = self.inner.state.lock().unwrap();
+        state.next_ticket - state.now_serving
+    }
+
     /// Acquires `want` bytes from the pool, blocking FIFO-fairly until
     /// they fit under the cap. A request larger than the cap is clamped
     /// to the cap (it can never fit otherwise and would starve itself

@@ -28,6 +28,7 @@ pub use oodb_catalog as catalog;
 pub use oodb_core as core;
 pub use oodb_datagen as datagen;
 pub use oodb_engine as engine;
+pub use oodb_obs as obs;
 pub use oodb_oosql as oosql;
 pub use oodb_server as server;
 pub use oodb_translate as translate;

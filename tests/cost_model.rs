@@ -10,24 +10,13 @@
 use oodb::catalog::Database;
 use oodb::core::strategy::Optimizer;
 use oodb::datagen::{generate, GenConfig};
-use oodb::engine::physical::PhysPlan;
-use oodb::engine::{CostModel, Planner, PlannerConfig, Stats};
+use oodb::engine::{Planner, PlannerConfig, Stats};
 use oodb::Pipeline;
-use oodb_bench::{materialize_query, query31_nested, query4_nested, query5_nested, query6_nested};
+use oodb_bench::{
+    join_supplier_delivery_query, materialize_query, multi_join_chain_query, nu_group_query,
+    query31_nested, query4_nested, query5_nested, query6_nested,
+};
 use std::collections::BTreeMap;
-
-/// Sums estimated rows per operator label (mirrors how
-/// `Stats::operators` reports actual rows per operator instance).
-fn estimated_rows_by_label(
-    model: &CostModel<'_>,
-    plan: &PhysPlan,
-    out: &mut BTreeMap<String, f64>,
-) {
-    *out.entry(plan.op_label()).or_insert(0.0) += model.estimate(plan).rows;
-    for child in plan.children() {
-        estimated_rows_by_label(model, child, out);
-    }
-}
 
 #[test]
 fn estimated_cardinalities_within_an_order_of_magnitude() {
@@ -38,6 +27,9 @@ fn estimated_cardinalities_within_an_order_of_magnitude() {
         ("q6_portfolios_nestjoin", query6_nested()),
         ("q31_superset_of_anchor", query31_nested("supplier-0")),
         ("materialize_section_6_2", materialize_query()),
+        ("nu_group", nu_group_query()),
+        ("join_supplier_delivery", join_supplier_delivery_query()),
+        ("multi_join_chain", multi_join_chain_query()),
     ];
     for (label, q) in workloads {
         let optimized = Optimizer::default()
@@ -46,15 +38,20 @@ fn estimated_cardinalities_within_an_order_of_magnitude() {
         let planner = Planner::new(&db);
         let plan = planner.plan(&optimized.expr).expect("plan");
 
-        let model = CostModel::new(&db);
-        let mut estimated = BTreeMap::new();
-        estimated_rows_by_label(&model, &plan.phys, &mut estimated);
-
+        // EXPLAIN ANALYZE pairs each node's estimate with the rows it
+        // actually produced; summing both sides per operator label
+        // mirrors how `Stats::operators` aggregates repeated instances.
         let mut stats = Stats::new();
-        plan.execute_streaming(&mut stats).expect("execute");
-        let mut actual: BTreeMap<String, f64> = BTreeMap::new();
-        for op in &stats.operators {
-            *actual.entry(op.op.clone()).or_insert(0.0) += op.rows_out as f64;
+        let analyzed = plan.explain_analyze(&mut stats).expect("analyze");
+        let mut estimated: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut actual: BTreeMap<&str, f64> = BTreeMap::new();
+        for op in &analyzed.ops {
+            if let Some(est) = op.est_rows {
+                *estimated.entry(&op.label).or_insert(0.0) += est;
+            }
+            if let Some(act) = op.actual_rows {
+                *actual.entry(&op.label).or_insert(0.0) += act as f64;
+            }
         }
 
         let mut compared = 0;
@@ -69,7 +66,7 @@ fn estimated_cardinalities_within_an_order_of_magnitude() {
             assert!(
                 est_c <= 10.0 * act_c + 10.0 && act_c <= 10.0 * est_c + 10.0,
                 "{label}: operator {op} estimated {est_c:.1} rows, measured {act_c:.1}\n{}",
-                plan.explain()
+                analyzed.text
             );
             compared += 1;
         }

@@ -1,0 +1,464 @@
+//! Observability invariants: per-operator timing capture, EXPLAIN
+//! ANALYZE exactness, the metrics registry's Prometheus exposition, the
+//! query-phase trace log, and the wire protocol around all of them.
+//!
+//! The contract under test is the one the planner documents: timing is
+//! *observation only*. Results, operator row totals, and every classic
+//! work counter must be bit-identical whether the instrumentation shim
+//! reads the clock or not — and whatever EXPLAIN ANALYZE reports as
+//! `actual_rows` must be exactly what `Stats::operators` measured, not
+//! an estimate of it.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use oodb::catalog::{CatalogStats, Database};
+use oodb::core::strategy::Optimizer;
+use oodb::datagen::{generate, GenConfig};
+use oodb::engine::{BatchKind, Planner, PlannerConfig, Stats};
+use oodb::server::{net, QueryServer, ServerConfig};
+use oodb_bench::{join_supplier_delivery_query, multi_join_chain_query, query5_nested};
+
+fn scaled_db(scale: usize) -> Database {
+    generate(&GenConfig {
+        empty_supplier_fraction: 0.15,
+        dangling_fraction: 0.15,
+        ..GenConfig::scaled(scale)
+    })
+}
+
+fn config(timing: bool, dop: usize, budget: usize, batch_kind: BatchKind) -> PlannerConfig {
+    PlannerConfig {
+        timing,
+        parallelism: dop,
+        memory_budget: budget,
+        batch_kind,
+        // keep exchanges live at test scale so dop actually exercises
+        // the worker-side timing fold
+        parallel_threshold: 0,
+        ..Default::default()
+    }
+}
+
+fn run(db: &Database, cfg: PlannerConfig, q: &oodb::adl::Expr) -> (oodb::value::Value, Stats) {
+    let optimized = Optimizer::default()
+        .optimize(q, db.catalog())
+        .expect("optimize");
+    let planner = Planner::with_stats(db, cfg, CatalogStats::from_database(db));
+    let plan = planner.plan(&optimized.expr).expect("plan");
+    let mut stats = Stats::new();
+    let v = plan.execute_streaming(&mut stats).expect("execute");
+    (v, stats)
+}
+
+/// Per-operator row totals aggregated by label.
+fn rows_by_label(stats: &Stats) -> BTreeMap<String, u64> {
+    let mut m: BTreeMap<String, u64> = BTreeMap::new();
+    for o in &stats.operators {
+        *m.entry(o.op.clone()).or_default() += o.rows_out;
+    }
+    m
+}
+
+// --------------------------------------------------------------------
+// Tentpole invariant: the timing flag observes, never perturbs.
+
+#[test]
+fn timing_flag_never_changes_results_or_counters() {
+    let db = scaled_db(240);
+    let queries = [
+        ("q5", query5_nested()),
+        ("join_sd", join_supplier_delivery_query()),
+        ("chain", multi_join_chain_query()),
+    ];
+    for (label, q) in &queries {
+        for dop in [1usize, 4] {
+            for budget in [0usize, 64 * 1024] {
+                for batch_kind in [BatchKind::Columnar, BatchKind::Row] {
+                    let (v_off, s_off) = run(&db, config(false, dop, budget, batch_kind), q);
+                    let (v_on, s_on) = run(&db, config(true, dop, budget, batch_kind), q);
+                    let point = format!("{label} dop={dop} budget={budget} {batch_kind:?}");
+                    assert_eq!(v_off, v_on, "{point}: results diverged under timing");
+                    // Stats equality is deliberately timing-blind
+                    // (OpTiming compares equal always), so this pins
+                    // every counter and per-operator row total at once.
+                    assert_eq!(s_off, s_on, "{point}: counters diverged under timing");
+                    // ...but the captured nanoseconds are not part of
+                    // equality, so check the flag actually gates them.
+                    let ns_off: u64 = s_off.operators.iter().map(|o| o.timing.total_ns()).sum();
+                    let ns_on: u64 = s_on.operators.iter().map(|o| o.timing.total_ns()).sum();
+                    assert_eq!(ns_off, 0, "{point}: timing=off still read the clock");
+                    assert!(ns_on > 0, "{point}: timing=on captured no time at all");
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// EXPLAIN ANALYZE exactness.
+
+#[test]
+fn explain_analyze_actuals_match_stats_exactly() {
+    let db = scaled_db(400);
+    let q = multi_join_chain_query();
+    let optimized = Optimizer::default()
+        .optimize(&q, db.catalog())
+        .expect("optimize");
+    for dop in [1usize, 4] {
+        let planner = Planner::with_stats(
+            &db,
+            config(true, dop, 0, BatchKind::Columnar),
+            CatalogStats::from_database(&db),
+        );
+        let plan = planner.plan(&optimized.expr).expect("plan");
+
+        let mut reference = Stats::new();
+        let expected = plan.execute_streaming(&mut reference).expect("execute");
+
+        let mut stats = Stats::new();
+        let analyzed = plan.explain_analyze(&mut stats).expect("analyze");
+        assert_eq!(
+            analyzed.value, expected,
+            "dop={dop}: ANALYZE ran a different query"
+        );
+        for needle in ["actual_rows=", "actual_ms=", "est_rows="] {
+            assert!(
+                analyzed.text.contains(needle),
+                "dop={dop}: missing {needle} in:\n{}",
+                analyzed.text
+            );
+        }
+
+        // Aggregate the annotated actuals by operator label and compare
+        // against what the very same run's Stats measured — exactly, not
+        // within tolerance: ANALYZE reports measurements, not estimates.
+        let mut annotated: BTreeMap<String, u64> = BTreeMap::new();
+        for op in &analyzed.ops {
+            if let Some(act) = op.actual_rows {
+                *annotated.entry(op.label.clone()).or_default() += act;
+            }
+        }
+        let measured = rows_by_label(&stats);
+        for (op, rows) in &annotated {
+            assert_eq!(
+                Some(rows),
+                measured.get(op),
+                "dop={dop}: ANALYZE disagrees with Stats for {op}\n{}",
+                analyzed.text
+            );
+        }
+        if dop == 1 {
+            // Serial plans have no exchange machinery: every measured
+            // operator must surface in the annotated tree.
+            assert_eq!(
+                annotated, measured,
+                "dop=1: annotated tree and Stats cover different operators\n{}",
+                analyzed.text
+            );
+        }
+        // The run behind ANALYZE is the same plan: row totals agree with
+        // the plain streaming execution too.
+        assert_eq!(
+            rows_by_label(&reference),
+            measured,
+            "dop={dop}: ANALYZE execution profile diverged from execute_streaming"
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// Metrics over the wire.
+
+/// One framed request/response exchange (response ends at `.`, `ERR`,
+/// or `BYE`).
+fn ask(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> Vec<String> {
+    writeln!(writer, "{req}").expect("send");
+    writer.flush().expect("flush");
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let line = line.trim_end().to_string();
+        let done = line == "." || line.starts_with("ERR") || line == "BYE";
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+    lines
+}
+
+/// Parses `oodb_query_latency_ms` buckets out of a Prometheus payload:
+/// `(upper_bound_ms, cumulative_count)` pairs, `+Inf` last.
+fn latency_buckets(metrics: &[String]) -> Vec<(f64, u64)> {
+    let mut out = Vec::new();
+    for l in metrics {
+        let Some(rest) = l.strip_prefix("oodb_query_latency_ms_bucket{le=\"") else {
+            continue;
+        };
+        let (bound, count) = rest.split_once("\"} ").expect("bucket line shape");
+        let bound = if bound == "+Inf" {
+            f64::INFINITY
+        } else {
+            bound.parse::<f64>().expect("bucket bound")
+        };
+        out.push((bound, count.parse::<u64>().expect("bucket count")));
+    }
+    out
+}
+
+/// Nearest-rank quantile over cumulative buckets: the upper bound of the
+/// first bucket holding the rank, and the previous bucket's bound as the
+/// lower edge.
+fn quantile_from_buckets(buckets: &[(f64, u64)], q: f64) -> (f64, f64) {
+    let total = buckets.last().expect("buckets").1;
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut lo = 0.0;
+    for &(bound, cum) in buckets {
+        if cum >= rank {
+            return (lo, bound);
+        }
+        lo = bound;
+    }
+    unreachable!("+Inf bucket holds every rank")
+}
+
+#[test]
+fn metrics_endpoint_exposes_consistent_prometheus_text() {
+    let db = Arc::new(scaled_db(240));
+    let handle = net::serve(db, ServerConfig::default(), "127.0.0.1:0").expect("serve");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let queries = [
+        "select d from d in DELIVERY where exists x in d.supply : x.part.color = \"red\"",
+        "select p.pname from p in PART where p.color = \"red\"",
+    ];
+    let mut client_ms: Vec<f64> = Vec::new();
+    for _ in 0..6 {
+        for q in queries {
+            let t0 = Instant::now();
+            let resp = ask(&mut writer, &mut reader, &format!("QUERY {q}"));
+            client_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(resp[0].starts_with("OK "), "{:?}", resp.first());
+        }
+    }
+    let n = client_ms.len() as u64; // 12 successful queries
+    client_ms.sort_by(f64::total_cmp);
+    let client_p50 = client_ms[client_ms.len() / 2];
+    let client_p99 = *client_ms.last().unwrap();
+
+    let resp = ask(&mut writer, &mut reader, "METRICS");
+    assert_eq!(resp.first().map(String::as_str), Some("OK 0"));
+    assert_eq!(resp.last().map(String::as_str), Some("."));
+    let metrics = &resp[1..resp.len() - 1];
+
+    for family in [
+        "# TYPE oodb_queries_total counter",
+        "# TYPE oodb_query_errors_total counter",
+        "# TYPE oodb_plan_cache_hits_total counter",
+        "# TYPE oodb_plan_cache_misses_total counter",
+        "# TYPE oodb_result_cache_hits_total counter",
+        "# TYPE oodb_result_cache_misses_total counter",
+        "# TYPE oodb_query_latency_ms histogram",
+        "# TYPE oodb_rows_out_total counter",
+        "# TYPE oodb_spill_bytes_total counter",
+        "# TYPE oodb_pool_in_use_bytes gauge",
+        "# TYPE oodb_pool_queue_depth gauge",
+        "# TYPE oodb_budget_high_water_bytes gauge",
+    ] {
+        assert!(
+            metrics.iter().any(|l| l == family),
+            "missing `{family}` in:\n{}",
+            metrics.join("\n")
+        );
+    }
+    let value_of = |name: &str| -> u64 {
+        metrics
+            .iter()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("no sample for {name}"))
+    };
+    assert_eq!(value_of("oodb_queries_total "), n);
+    assert_eq!(value_of("oodb_query_errors_total "), 0);
+    assert_eq!(value_of("oodb_query_latency_ms_count "), n);
+
+    let buckets = latency_buckets(metrics);
+    assert!(buckets.len() > 2, "histogram rendered no buckets");
+    assert!(
+        buckets
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0),
+        "buckets must be cumulative and ordered: {buckets:?}"
+    );
+    assert_eq!(
+        buckets.last().unwrap().1,
+        n,
+        "+Inf bucket must count everything"
+    );
+
+    // Bracketing: the server-side quantile's lower bucket edge cannot
+    // exceed the client-observed quantile — the client measurement
+    // includes the server's, plus loopback transport.
+    let (p50_lo, p50_hi) = quantile_from_buckets(&buckets, 0.50);
+    let (p99_lo, _) = quantile_from_buckets(&buckets, 0.99);
+    assert!(p50_lo < p50_hi);
+    assert!(
+        p50_lo <= client_p50 + 1e-6,
+        "server p50 bucket [{p50_lo}, {p50_hi}]ms above client p50 {client_p50}ms"
+    );
+    assert!(
+        p99_lo <= client_p99 + 1e-6,
+        "server p99 lower edge {p99_lo}ms above client p99 {client_p99}ms"
+    );
+    // The exposition mirrors the live histogram: the rendered finite
+    // buckets are a prefix of the full 40-bucket ladder (the renderer
+    // stops once a bucket holds everything, then emits `+Inf`).
+    let hist = handle.shared().latency_histogram().cumulative_buckets();
+    let live: Vec<u64> = hist.iter().map(|&(_, c)| c).collect();
+    let parsed: Vec<u64> = buckets.iter().map(|&(_, c)| c).collect();
+    let finite = &parsed[..parsed.len() - 1];
+    assert_eq!(
+        finite,
+        &live[..finite.len()],
+        "rendered buckets diverge from the live histogram"
+    );
+
+    ask(&mut writer, &mut reader, "QUIT");
+    handle.shutdown();
+}
+
+// --------------------------------------------------------------------
+// STATS + TRACE protocol round-trip.
+
+#[test]
+fn stats_and_trace_round_trip_over_the_wire() {
+    let db = Arc::new(scaled_db(240));
+    let handle = net::serve(db, ServerConfig::default(), "127.0.0.1:0").expect("serve");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let q = "select p.pname from p in PART where p.color = \"red\"";
+    for _ in 0..2 {
+        let resp = ask(&mut writer, &mut reader, &format!("QUERY {q}"));
+        assert!(resp[0].starts_with("OK "), "{:?}", resp.first());
+    }
+
+    let stats = ask(&mut writer, &mut reader, "STATS");
+    assert_eq!(stats.first().map(String::as_str), Some("OK 0"));
+    // line 1: server-wide serving counters; line 2: this connection's
+    // accumulated execution counters (documented in net.rs).
+    for key in [
+        "plan_hits=",
+        "plan_misses=",
+        "result_hits=",
+        "result_misses=",
+        "budget_high_water=",
+        "pool_in_use=",
+        "pool_waiting=",
+    ] {
+        assert!(stats[1].contains(key), "missing {key} in {:?}", stats[1]);
+    }
+    for key in ["work=", "rows_scanned=", "spill_bytes=", "output_rows="] {
+        assert!(stats[2].contains(key), "missing {key} in {:?}", stats[2]);
+    }
+    let field = |line: &str, key: &str| -> u64 {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {key} in {line:?}"))
+    };
+    // identical text twice: second run hits the plan cache
+    assert_eq!(field(&stats[1], "plan_hits="), 1);
+    assert_eq!(field(&stats[1], "plan_misses="), 1);
+    assert!(field(&stats[2], "work=") > 0, "{:?}", stats[2]);
+    assert!(field(&stats[2], "output_rows=") > 0, "{:?}", stats[2]);
+
+    let trace = ask(&mut writer, &mut reader, "TRACE");
+    assert_eq!(trace.first().map(String::as_str), Some("OK 0"));
+    let body = trace.join("\n");
+    assert_eq!(
+        trace
+            .iter()
+            .filter(|l| l.contains("query total_ms="))
+            .count(),
+        2,
+        "expected one trace per served query:\n{body}"
+    );
+    for span in ["parse", "typecheck", "translate", "plan", "execute"] {
+        assert!(
+            trace.iter().any(|l| l.trim_start().starts_with(span)),
+            "span `{span}` missing from:\n{body}"
+        );
+    }
+    // second run was a plan-cache hit: its timeline records the lookup
+    assert!(
+        trace
+            .iter()
+            .any(|l| l.trim_start().starts_with("plan_cache_lookup")),
+        "no plan_cache_lookup span in:\n{body}"
+    );
+
+    ask(&mut writer, &mut reader, "QUIT");
+    handle.shutdown();
+}
+
+// --------------------------------------------------------------------
+// Slow-query log.
+
+#[test]
+fn slow_query_log_keeps_explain_and_the_ring_drops_it() {
+    let db = scaled_db(120);
+    let q = "select p.pname from p in PART where p.color = \"red\"";
+
+    // Threshold 0 classifies every query as slow — the documented way
+    // for tests (and operators flushing a problem live) to capture the
+    // full diagnostic record without manufacturing a genuinely slow query.
+    let eager = ServerConfig {
+        slow_query_ms: 0,
+        ..Default::default()
+    };
+    let server = QueryServer::with_config(&db, eager);
+    server.session().run(q).expect("run");
+    let shared = server.shared();
+    let slow = shared.traces().slow();
+    assert_eq!(slow.len(), 1);
+    let explain = slow[0]
+        .explain
+        .as_deref()
+        .expect("slow entry keeps EXPLAIN");
+    assert!(explain.contains("Scan"), "unexpected explain: {explain}");
+    assert!(!slow[0].error);
+    assert!(slow[0].spans.iter().any(|s| s.name == "execute"));
+    // the ring sees the same query, but lean: no explain attached
+    let recent = shared.traces().recent();
+    assert_eq!(recent.len(), 1);
+    assert!(
+        recent[0].explain.is_none(),
+        "ring entries must drop EXPLAIN"
+    );
+    assert_eq!(recent[0].query, q);
+
+    // At the default threshold (250ms) this tiny query is not slow.
+    let server = QueryServer::with_config(&db, ServerConfig::default());
+    server.session().run(q).expect("run");
+    let shared = server.shared();
+    assert!(shared.traces().slow().is_empty());
+    assert_eq!(shared.traces().recent().len(), 1);
+
+    // Failures still trace (and flag the error) — the trace is often
+    // the only record of a query that never produced output.
+    assert!(server.session().run("select x from x in NO_SUCH").is_err());
+    let recent = server.shared().traces().recent();
+    assert_eq!(recent.len(), 2);
+    assert!(
+        recent[1].error,
+        "failed query must be marked error in the trace"
+    );
+}
