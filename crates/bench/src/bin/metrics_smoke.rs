@@ -11,7 +11,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 use oodb_datagen::{generate, GenConfig};
-use oodb_server::{net, ServerConfig};
+use oodb_server::{net, Protocol, ServerConfig};
 
 const QUERIES: [&str; 3] = [
     "select d from d in DELIVERY where exists x in d.supply : x.part.color = \"red\"",
@@ -22,8 +22,15 @@ const QUERIES: [&str; 3] = [
 
 fn main() {
     let db = Arc::new(generate(&GenConfig::scaled(300)));
-    let handle =
-        net::serve(db, ServerConfig::default(), "127.0.0.1:0").expect("bind metrics-smoke server");
+    let handle = net::serve(
+        db,
+        ServerConfig {
+            protocol: Protocol::Text,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind metrics-smoke server");
     let stream = TcpStream::connect(handle.addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;

@@ -179,6 +179,24 @@ fn perf_streaming() {
             r.server_p99_ms / r.streaming_ms.max(1e-9),
         );
     }
+    println!(
+        "\n  Cursor streaming (time to first chunk vs collect-all, best of {}):",
+        oodb_bench::streaming_report::PARALLEL_RUNS
+    );
+    println!(
+        "  {:<26} {:>10} {:>11} {:>8} {:>12}",
+        "workload", "ttfb", "collect-all", "chunks", "ttfb share"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:>8.2}ms {:>9.2}ms {:>8} {:>11.1}%",
+            r.workload,
+            r.server_ttfb_ms,
+            r.exec_ms,
+            r.streamed_chunks,
+            100.0 * r.server_ttfb_ms / r.exec_ms.max(1e-9),
+        );
+    }
     println!("\n  Phase breakdown (cold planner vs streaming execute, best of 3):");
     println!(
         "  {:<26} {:>9} {:>9} {:>12}",

@@ -2183,7 +2183,10 @@ pub fn timing_from_env() -> bool {
 
 /// [`run_full`] with the per-operator timing switch made explicit — how
 /// `PlannerConfig::timing` reaches execution without going through the
-/// `OODB_TIMING` environment variable.
+/// `OODB_TIMING` environment variable. Implemented as a collect-all
+/// drain of a [`ResultStream`] cursor, so the library path and the
+/// serving layer's streamed wire protocol drive the very same pipeline
+/// machinery.
 #[allow(clippy::too_many_arguments)]
 pub fn run_traced(
     plan: &PhysPlan,
@@ -2194,28 +2197,200 @@ pub fn run_traced(
     vectorize: bool,
     timing: bool,
 ) -> Result<Value, EvalError> {
-    let mut ctx = ExecCtx {
-        ev: Evaluator::new(db),
-        env: Env::new(),
-        stats,
-        budget,
-        batch_kind,
-        vectorize,
-        timing,
-    };
-    let mut root = plan.compile();
-    root.open(&mut ctx)?;
-    let result = if root.scalar() {
-        drain_scalar(&mut root, &mut ctx)
-    } else {
-        drain_rows(&mut root, &mut ctx).map(|rows| Value::Set(Set::from_values(rows)))
-    };
-    root.close(&mut ctx);
+    let mut stream = ResultStream::new(plan, db, budget, batch_kind, vectorize, timing);
+    let result = stream.drain_value();
+    stream.close();
+    stats.merge(stream.stats());
     let v = result?;
     if let Value::Set(s) = &v {
-        ctx.stats.output_rows += s.len() as u64;
+        stats.output_rows += s.len() as u64;
     }
     Ok(v)
+}
+
+/// Where a [`ResultStream`] is in its lifecycle.
+enum StreamState {
+    /// Compiled, not yet opened — the first [`ResultStream::next_chunk`]
+    /// opens the root.
+    Created,
+    /// Open and producing chunks.
+    Streaming,
+    /// Exhausted, failed, or closed; `next_chunk` returns `Ok(None)`.
+    Done,
+}
+
+/// A pull-based cursor over one plan execution — `open` (implicit on the
+/// first pull) / [`ResultStream::next_chunk`] / [`ResultStream::close`],
+/// mirroring the [`Operator`] contract one level up. This is the handoff
+/// the serving layer consumes: each call pulls exactly one batch out of
+/// the pipeline, so a consumer can ship the first chunk before the plan
+/// has finished executing — nothing here materializes the result set.
+///
+/// The stream owns its execution state ([`Stats`], [`Env`], the compiled
+/// operator tree) and borrows only the database, so it can outlive the
+/// plan it was compiled from. Chunks are *raw* pipeline output: they may
+/// carry duplicates and arrive in pipeline order — the canonical
+/// (deduplicated) set is whatever [`Set::from_values`] makes of their
+/// concatenation, which is exactly how [`run_traced`] assembles it.
+pub struct ResultStream<'db> {
+    root: BoxOp,
+    db: &'db Database,
+    env: Env,
+    stats: Stats,
+    budget: MemoryBudget,
+    batch_kind: BatchKind,
+    vectorize: bool,
+    timing: bool,
+    scalar: bool,
+    state: StreamState,
+}
+
+impl<'db> ResultStream<'db> {
+    /// Compiles `plan` into a cursor. Nothing executes until the first
+    /// [`ResultStream::next_chunk`] (which opens the root), so creation
+    /// is cheap and infallible.
+    pub fn new(
+        plan: &PhysPlan,
+        db: &'db Database,
+        budget: MemoryBudget,
+        batch_kind: BatchKind,
+        vectorize: bool,
+        timing: bool,
+    ) -> ResultStream<'db> {
+        let root = plan.compile();
+        let scalar = root.scalar();
+        ResultStream {
+            root,
+            db,
+            env: Env::new(),
+            stats: Stats::default(),
+            budget,
+            batch_kind,
+            vectorize,
+            timing,
+            scalar,
+            state: StreamState::Created,
+        }
+    }
+
+    /// True when the root produces exactly one (possibly non-set) value;
+    /// such a stream yields exactly one single-row chunk.
+    pub fn scalar(&self) -> bool {
+        self.scalar
+    }
+
+    /// True once the stream has been exhausted, failed, or closed.
+    pub fn finished(&self) -> bool {
+        matches!(self.state, StreamState::Done)
+    }
+
+    /// Execution statistics accumulated so far (complete once the stream
+    /// is finished). `output_rows` is *not* set here — only whoever
+    /// assembles the canonical result knows the deduplicated cardinality.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Builds a per-call [`ExecCtx`] around the stream's owned state and
+    /// runs `f` with it. The [`Evaluator`] is a cheap wrapper over the
+    /// database reference and [`MemoryBudget`] is stateless
+    /// configuration, so rebuilding both per pull costs nothing; the
+    /// environment is threaded through by value so bindings survive
+    /// across pulls.
+    fn with_ctx<T>(&mut self, f: impl FnOnce(&mut BoxOp, &mut ExecCtx<'_, '_>) -> T) -> T {
+        let env = std::mem::replace(&mut self.env, Env::new());
+        let mut ctx = ExecCtx {
+            ev: Evaluator::new(self.db),
+            env,
+            stats: &mut self.stats,
+            budget: self.budget.clone(),
+            batch_kind: self.batch_kind,
+            vectorize: self.vectorize,
+            timing: self.timing,
+        };
+        let out = f(&mut self.root, &mut ctx);
+        self.env = std::mem::replace(&mut ctx.env, Env::new());
+        out
+    }
+
+    /// Pulls the next non-empty chunk out of the pipeline. `Ok(None)`
+    /// once exhausted (the stream closes itself); an error also closes
+    /// the stream, and every later call returns `Ok(None)`.
+    pub fn next_chunk(&mut self) -> Result<Option<Batch>, EvalError> {
+        loop {
+            match self.state {
+                StreamState::Done => return Ok(None),
+                StreamState::Created => {
+                    match self.with_ctx(|root, ctx| root.open(ctx)) {
+                        Ok(()) => self.state = StreamState::Streaming,
+                        Err(e) => {
+                            // Parity with the historical collect-all
+                            // path: a failed open is not followed by
+                            // close (the root never opened).
+                            self.state = StreamState::Done;
+                            return Err(e);
+                        }
+                    }
+                }
+                StreamState::Streaming => {
+                    if self.scalar {
+                        let r = self.with_ctx(drain_scalar);
+                        self.close();
+                        return r.map(|v| Some(Batch::from_rows(vec![v])));
+                    }
+                    match self.with_ctx(|root, ctx| root.next_batch(ctx)) {
+                        Ok(Some(b)) if b.is_empty() => continue,
+                        Ok(Some(b)) => return Ok(Some(b)),
+                        Ok(None) => {
+                            self.close();
+                            return Ok(None);
+                        }
+                        Err(e) => {
+                            self.close();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the stream to completion, assembling the same value the
+    /// collect-all executor produces: scalar roots return their single
+    /// value, row roots a canonical (deduplicated) set.
+    pub fn drain_value(&mut self) -> Result<Value, EvalError> {
+        if self.scalar {
+            let chunk = self.next_chunk()?.ok_or(EvalError::OperatorProtocol(
+                "scalar stream yielded no chunk",
+            ))?;
+            let mut rows = chunk.into_values();
+            debug_assert_eq!(rows.len(), 1);
+            rows.pop().ok_or(EvalError::OperatorProtocol(
+                "scalar stream yielded an empty chunk",
+            ))
+        } else {
+            let mut rows = Vec::new();
+            while let Some(b) = self.next_chunk()? {
+                rows.extend(b.into_values());
+            }
+            Ok(Value::Set(Set::from_values(rows)))
+        }
+    }
+
+    /// Closes the root (releasing operator state and flushing
+    /// instrumentation) if it was opened. Idempotent; also runs on drop.
+    pub fn close(&mut self) {
+        if matches!(self.state, StreamState::Streaming) {
+            self.with_ctx(|root, ctx| root.close(ctx));
+        }
+        self.state = StreamState::Done;
+    }
+}
+
+impl Drop for ResultStream<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
 }
 
 #[cfg(test)]

@@ -39,11 +39,17 @@
 //!   key, so all cached plans priced on the stale numbers become
 //!   invisible at once and the next run re-plans on real cardinalities.
 //!
-//! [`net`] wraps all of this in a thin TCP line protocol
-//! (thread-per-connection over one shared cache/budget state).
+//! [`net`] wraps all of this in a TCP transport (thread-per-connection
+//! over one shared cache/budget state) speaking the length-prefixed
+//! binary frame protocol of [`wire`] by default — pipelined tagged
+//! requests, results streamed chunk by chunk straight out of a
+//! [`ResultCursor`] — with the legacy line-oriented text protocol kept
+//! as a compatibility layer behind [`Protocol::Text`] /
+//! `OODB_PROTOCOL=text`.
 
 pub mod cache;
 pub mod net;
+pub mod wire;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,12 +58,37 @@ use oodb_adl::expr::Expr;
 use oodb_catalog::{CatalogStats, Database};
 use oodb_core::strategy::{Optimized, Optimizer};
 use oodb_engine::eval::EvalError;
-use oodb_engine::{MemoryBudget, PhysPlan, Planner, PlannerConfig, Stats};
+use oodb_engine::{
+    MemoryBudget, PhysPlan, Planner, PlannerConfig, ResultStream, Stats, BATCH_SIZE,
+};
 use oodb_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder, TraceLog};
-use oodb_spill::BudgetPool;
-use oodb_value::Value;
+use oodb_spill::{BudgetGrant, BudgetPool};
+use oodb_value::{Batch, Set, Value};
 
 use cache::{CachedPlan, CachedResult, Lookup, PlanCache, ResultCache};
+
+/// Which protocol [`net::serve`] speaks on accepted connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The length-prefixed binary frame protocol of [`wire`]: pipelined
+    /// tagged requests, streamed result chunks. The default.
+    Binary,
+    /// The legacy line-oriented text protocol (one request line, whole
+    /// result on one line, `.` terminator) — kept as a compatibility
+    /// layer; `OODB_PROTOCOL=text` selects it process-wide.
+    Text,
+}
+
+impl Protocol {
+    /// The process-default protocol: [`Protocol::Text`] when
+    /// `OODB_PROTOCOL=text`, [`Protocol::Binary`] otherwise.
+    pub fn from_env() -> Protocol {
+        match std::env::var("OODB_PROTOCOL") {
+            Ok(v) if v.eq_ignore_ascii_case("text") => Protocol::Text,
+            _ => Protocol::Binary,
+        }
+    }
+}
 
 /// Server-level configuration: the per-query planner configuration plus
 /// the serving-layer knobs layered on top of it.
@@ -93,6 +124,10 @@ pub struct ServerConfig {
     /// full span tree *and* EXPLAIN text retained; faster queries only
     /// keep their span tree in the bounded recent-trace ring.
     pub slow_query_ms: u64,
+    /// Which protocol TCP connections speak ([`Protocol::from_env`] by
+    /// default — binary unless `OODB_PROTOCOL=text`). The in-process
+    /// API ignores it.
+    pub protocol: Protocol,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +140,7 @@ impl Default for ServerConfig {
             cache_results: true,
             adaptive_stats: false,
             slow_query_ms: 250,
+            protocol: Protocol::from_env(),
         }
     }
 }
@@ -145,8 +181,16 @@ struct ServerMetrics {
     /// `oodb_query_latency_ms` quantiles bracket the bench suite's
     /// measured `server_p50/p99_ms`.
     latency: Arc<Histogram>,
+    /// Time from admission to the first result chunk leaving the
+    /// cursor — the latency a streaming client actually experiences,
+    /// as opposed to `latency` which runs to exhaustion.
+    ttfb: Arc<Histogram>,
     spill_bytes: Counter,
     rows_out: Counter,
+    /// Result chunks handed to streaming consumers (every protocol).
+    streamed_chunks: Counter,
+    /// Encoded chunk bytes written by the binary wire protocol.
+    streamed_bytes: Counter,
     /// Refreshed from the [`BudgetPool`] at render time.
     pool_in_use: Gauge,
     pool_queue_depth: Gauge,
@@ -185,6 +229,18 @@ impl ServerMetrics {
             latency: registry.histogram(
                 "oodb_query_latency_ms",
                 "End-to-end query latency (parse through execute), log-bucketed",
+            ),
+            ttfb: registry.histogram(
+                "oodb_query_ttfb_ms",
+                "Time from admission to the first streamed result chunk, log-bucketed",
+            ),
+            streamed_chunks: registry.counter(
+                "oodb_streamed_chunks_total",
+                "Result chunks handed to streaming consumers",
+            ),
+            streamed_bytes: registry.counter(
+                "oodb_streamed_bytes_total",
+                "Encoded result-chunk bytes written by the binary wire protocol",
             ),
             spill_bytes: registry.counter(
                 "oodb_spill_bytes_total",
@@ -298,6 +354,12 @@ impl ServerShared {
         &self.metrics.latency
     }
 
+    /// The time-to-first-chunk histogram (admission to first streamed
+    /// result chunk).
+    pub fn ttfb_histogram(&self) -> &Histogram {
+        &self.metrics.ttfb
+    }
+
     /// Recent + slow query-phase traces.
     pub fn traces(&self) -> &TraceLog {
         &self.traces
@@ -378,34 +440,18 @@ pub struct Session<'srv, 'db> {
 
 impl<'srv, 'db> Session<'srv, 'db> {
     /// Parses, type checks and translates `oosql_text`, then executes it
-    /// through the serving path ([`Session::run_expr`]) — recording a
-    /// query-phase span timeline (parse → typecheck → translate →
-    /// plan-cache lookup → rewrite → plan/joinorder → result-cache
-    /// lookup → admission → execute) into the shared [`TraceLog`] and
+    /// through the serving path — recording a query-phase span timeline
+    /// (parse → typecheck → translate → plan-cache lookup → rewrite →
+    /// plan/joinorder → result-cache lookup → admission → execute, with
+    /// a `first_chunk` child span) into the shared [`TraceLog`] and
     /// folding the end-to-end latency into the metrics registry.
+    ///
+    /// A thin collect-all wrapper over [`Session::open_stream`]: it
+    /// drains the cursor and assembles the canonical result, keeping
+    /// library callers and the `OODB_SERVER=inproc` reroute
+    /// source-compatible with the pre-cursor API.
     pub fn run(&self, oosql_text: &str) -> Result<ServerOutput, ServerError> {
-        let mut rec = SpanRecorder::start();
-        let out = self.run_recorded(oosql_text, &mut rec);
-        self.finish_trace(oosql_text, rec, &out);
-        out
-    }
-
-    fn run_recorded(
-        &self,
-        oosql_text: &str,
-        rec: &mut SpanRecorder,
-    ) -> Result<ServerOutput, ServerError> {
-        let db = self.server.db;
-        let query = rec.span("parse", || {
-            oodb_oosql::parse(oosql_text).map_err(ServerError::Parse)
-        })?;
-        rec.span("typecheck", || {
-            oodb_oosql::typecheck(&query, db.catalog()).map_err(ServerError::Type)
-        })?;
-        let nested = rec.span("translate", || {
-            oodb_translate::translate(&query, db.catalog()).map_err(ServerError::Translate)
-        })?;
-        self.run_expr_recorded(nested, rec)
+        self.open_stream(oosql_text)?.into_output()
     }
 
     /// Executes a translated (nested) ADL expression through the
@@ -413,74 +459,75 @@ impl<'srv, 'db> Session<'srv, 'db> {
     /// trace's query label is the placeholder `<expr>` — there is no
     /// source text at this entry point).
     pub fn run_expr(&self, nested: Expr) -> Result<ServerOutput, ServerError> {
-        let mut rec = SpanRecorder::start();
-        let out = self.run_expr_recorded(nested, &mut rec);
-        self.finish_trace("<expr>", rec, &out);
-        out
+        self.open_expr_stream(nested)?.into_output()
     }
 
-    /// Folds one finished query into the observability state: the
-    /// latency histogram and counters, and a [`QueryTrace`] in the
-    /// recent-trace ring — also in the slow-query log (EXPLAIN text
-    /// retained) when end-to-end latency reached
-    /// [`ServerConfig::slow_query_ms`] (a threshold of `0` slow-logs
-    /// every query, which is how tests capture full traces).
-    ///
-    /// [`QueryTrace`]: oodb_obs::QueryTrace
-    fn finish_trace(
-        &self,
-        query: &str,
-        rec: SpanRecorder,
-        out: &Result<ServerOutput, ServerError>,
-    ) {
+    /// Parses, type checks and translates `oosql_text` and opens a
+    /// [`ResultCursor`] over its execution: the cursor's first
+    /// [`ResultCursor::next_chunk`] can return before the pipeline has
+    /// finished — this is the entry point of the streamed wire protocol.
+    /// Phase errors before execution are traced and metered here;
+    /// everything after the cursor opens is traced when it finishes (or
+    /// is dropped).
+    pub fn open_stream(&self, oosql_text: &str) -> Result<ResultCursor<'srv, 'db>, ServerError> {
+        let db = self.server.db;
+        let mut rec = SpanRecorder::start();
+        let translated = (|| {
+            let query = rec.span("parse", || {
+                oodb_oosql::parse(oosql_text).map_err(ServerError::Parse)
+            })?;
+            rec.span("typecheck", || {
+                oodb_oosql::typecheck(&query, db.catalog()).map_err(ServerError::Type)
+            })?;
+            rec.span("translate", || {
+                oodb_translate::translate(&query, db.catalog()).map_err(ServerError::Translate)
+            })
+        })();
+        match translated {
+            Ok(nested) => self.open_expr_recorded(nested, oosql_text.to_string(), rec),
+            Err(e) => {
+                self.trace_failure(oosql_text, rec);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Session::open_stream`] for an already-translated expression.
+    pub fn open_expr_stream(&self, nested: Expr) -> Result<ResultCursor<'srv, 'db>, ServerError> {
+        self.open_expr_recorded(nested, "<expr>".to_string(), SpanRecorder::start())
+    }
+
+    /// Records a query that failed before its cursor existed: counted,
+    /// metered, and traced as an error.
+    fn trace_failure(&self, query: &str, rec: SpanRecorder) {
         let shared = &self.server.shared;
         let m = &shared.metrics;
         m.queries.inc();
+        m.query_errors.inc();
         let elapsed_us = rec.elapsed_us();
         m.latency.observe_us(elapsed_us);
-        let trace = match out {
-            Ok(o) => {
-                m.spill_bytes.add(o.stats.spill_bytes);
-                m.rows_out.add(o.stats.output_rows);
-                let mut t = rec.finish(query, false);
-                t.explain = Some(o.explain.clone());
-                t
-            }
-            Err(_) => {
-                m.query_errors.inc();
-                rec.finish(query, true)
-            }
-        };
         let slow = elapsed_us / 1000 >= shared.slow_query_ms;
-        shared.traces.record(trace, slow);
+        shared.traces.record(rec.finish(query, true), slow);
     }
 
-    /// The serving pipeline proper: plan-cache lookup under the
-    /// canonical key, rewrite + costing only on miss, global memory
-    /// admission, then streaming execution — with result /
-    /// hoisted-`let` memoization when the server enables it.
-    fn run_expr_recorded(
+    /// Plan-cache lookup under the canonical key, rewrite + costing only
+    /// on miss — the planning phase shared by every serving-path entry.
+    fn lookup_or_plan(
         &self,
-        nested: Expr,
+        nested: &Expr,
+        plan_key: String,
         rec: &mut SpanRecorder,
-    ) -> Result<ServerOutput, ServerError> {
+    ) -> Result<(Arc<CachedPlan>, bool), ServerError> {
         let server = self.server;
         let db = server.db;
         let shared = &server.shared;
-        let key = oodb_translate::plan_cache_key(&nested);
-        // The staleness epoch is always part of the key (constantly 0
-        // when adaptive feedback is off): bumping it on a material
-        // statistics update makes every pre-feedback plan unreachable.
-        let epoch = shared.stats_epoch.load(Ordering::Relaxed);
-        let plan_key = format!("{}\u{1f}{}\u{1f}{}", server.fingerprint, epoch, key.text);
-
         let lookup = rec.span("plan_cache_lookup", || {
             shared.plan_cache.get_current(&plan_key, db)
         });
-        let (entry, plan_hit) = match lookup {
+        match lookup {
             Lookup::Hit(entry) => {
                 shared.metrics.plan_hits.inc();
-                (entry, true)
+                Ok((entry, true))
             }
             outcome => {
                 if matches!(outcome, Lookup::Stale) {
@@ -490,7 +537,7 @@ impl<'srv, 'db> Session<'srv, 'db> {
                 let started = std::time::Instant::now();
                 let rewrite = rec.span("rewrite", || {
                     Optimizer::default()
-                        .optimize(&nested, db.catalog())
+                        .optimize(nested, db.catalog())
                         .map_err(ServerError::Rewrite)
                 })?;
                 // Adaptive feedback replans on the absorbed statistics
@@ -520,7 +567,7 @@ impl<'srv, 'db> Session<'srv, 'db> {
                     rec.push("joinorder", 1, plan_start, joinorder_us);
                 }
                 let explain = plan.explain();
-                let extents = cache::footprint(&[&nested, &rewrite.expr], db);
+                let extents = cache::footprint(&[nested, &rewrite.expr], db);
                 let stamp = cache::stamp(&extents, db);
                 let entry = Arc::new(CachedPlan {
                     phys: plan.phys.clone(),
@@ -533,7 +580,39 @@ impl<'srv, 'db> Session<'srv, 'db> {
                 shared
                     .plan_cache
                     .insert(plan_key, Arc::clone(&entry), planning_micros);
-                (entry, false)
+                Ok((entry, false))
+            }
+        }
+    }
+
+    /// The serving pipeline proper, cursor-shaped: plan-cache lookup
+    /// under the canonical key, result / hoisted-`let` memoization when
+    /// the server enables it, global memory admission — and then, rather
+    /// than draining the pipeline, a [`ResultCursor`] the caller pulls
+    /// chunk by chunk. A result-cache hit is served through the same
+    /// cursor surface (its chunks replay the memoized value), so every
+    /// consumer handles the two sources identically.
+    fn open_expr_recorded(
+        &self,
+        nested: Expr,
+        query: String,
+        mut rec: SpanRecorder,
+    ) -> Result<ResultCursor<'srv, 'db>, ServerError> {
+        let server = self.server;
+        let db = server.db;
+        let shared = &server.shared;
+        let key = oodb_translate::plan_cache_key(&nested);
+        // The staleness epoch is always part of the key (constantly 0
+        // when adaptive feedback is off): bumping it on a material
+        // statistics update makes every pre-feedback plan unreachable.
+        let epoch = shared.stats_epoch.load(Ordering::Relaxed);
+        let plan_key = format!("{}\u{1f}{}\u{1f}{}", server.fingerprint, epoch, key.text);
+
+        let (entry, plan_hit) = match self.lookup_or_plan(&nested, plan_key, &mut rec) {
+            Ok(v) => v,
+            Err(e) => {
+                self.trace_failure(&query, rec);
+                return Err(e);
             }
         };
 
@@ -554,12 +633,33 @@ impl<'srv, 'db> Session<'srv, 'db> {
                 // and per-operator rows as the execution it replaces.
                 stats.merge(&cached.profile);
                 stats.result_cache_hits += 1;
-                return Ok(ServerOutput {
-                    nested,
-                    rewrite: entry.rewrite.clone(),
-                    result: cached.value,
-                    explain: entry.explain.clone(),
+                let exec_start_us = rec.elapsed_us();
+                let scalar = !matches!(cached.value, Value::Set(_));
+                let chunks: Vec<Vec<Value>> = match &cached.value {
+                    Value::Set(s) => {
+                        let rows: Vec<Value> = s.iter().cloned().collect();
+                        rows.chunks(BATCH_SIZE).map(<[Value]>::to_vec).collect()
+                    }
+                    v => vec![vec![v.clone()]],
+                };
+                return Ok(ResultCursor {
+                    server,
+                    query,
+                    rec: Some(rec),
                     stats,
+                    entry,
+                    nested: Some(nested),
+                    source: CursorSource::Replay(chunks.into_iter()),
+                    grant: None,
+                    result_key,
+                    accumulate: None,
+                    scalar,
+                    exec_start_us,
+                    ttfb_us: None,
+                    rows_streamed: 0,
+                    chunks_streamed: 0,
+                    finished: false,
+                    final_value: Some(cached.value),
                 });
             }
             shared.metrics.result_misses.inc();
@@ -567,69 +667,55 @@ impl<'srv, 'db> Session<'srv, 'db> {
 
         // Admission: block (FIFO-fairly) until this query's budget
         // request fits under the global cap, then execute under the
-        // granted budget. The grant is an RAII lease — released when
-        // this function returns, waking queued queries.
+        // granted budget. The grant is an RAII lease held by the cursor
+        // while it streams — released when the cursor finishes (or is
+        // dropped mid-stream), waking queued queries.
         let grant = rec.span("admission", || {
             shared.pool.grant(server.config.planner.memory_budget)
         });
         let budget = grant.budget();
 
-        let exec_start = rec.elapsed_us();
+        let exec_start_us = rec.elapsed_us();
         let phys = if server.config.cache_results {
-            self.resolve_let_spine(&entry.phys, &entry.rewrite.expr, &mut stats, &budget)
-                .map_err(ServerError::Exec)?
+            match self.resolve_let_spine(&entry.phys, &entry.rewrite.expr, &mut stats, &budget) {
+                Ok(p) => p,
+                Err(e) => {
+                    drop(grant);
+                    self.trace_failure(&query, rec);
+                    return Err(ServerError::Exec(e));
+                }
+            }
         } else {
             entry.phys.clone()
         };
 
-        let result = phys
-            .execute_streaming_traced(
-                db,
-                &mut stats,
-                budget,
-                server.config.planner.batch_kind,
-                server.config.planner.vectorize,
-                server.config.planner.timing,
-            )
-            .map_err(ServerError::Exec)?;
-        drop(grant);
-        rec.push("execute", 0, exec_start, rec.elapsed_us() - exec_start);
-
-        if server.config.cache_results {
-            // Snapshot the profile with the cache-hit counters zeroed:
-            // a future hit adds its own, and replay must report exactly
-            // what executing again would have.
-            let mut profile = stats.clone();
-            profile.plan_cache_hits = 0;
-            profile.result_cache_hits = 0;
-            shared.result_cache.insert(
-                result_key,
-                CachedResult {
-                    value: result.clone(),
-                    stamp: cache::stamp(&entry.extents, db),
-                    profile,
-                },
-            );
-        }
-
-        if server.config.adaptive_stats {
-            if let Some(baseline) = &server.stats {
-                let profile = stats.operator_rows_by_label();
-                let mut guard = shared.adaptive.lock().unwrap();
-                let acc = guard.get_or_insert_with(|| baseline.clone());
-                let material = acc.absorb_observed(profile.iter().map(|(l, r)| (l.as_str(), *r)));
-                if material {
-                    shared.stats_epoch.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-
-        Ok(ServerOutput {
-            nested,
-            rewrite: entry.rewrite.clone(),
-            result,
-            explain: entry.explain.clone(),
+        let stream = ResultStream::new(
+            &phys,
+            db,
+            budget,
+            server.config.planner.batch_kind,
+            server.config.planner.vectorize,
+            server.config.planner.timing,
+        );
+        let scalar = stream.scalar();
+        Ok(ResultCursor {
+            server,
+            query,
+            rec: Some(rec),
             stats,
+            entry,
+            nested: Some(nested),
+            source: CursorSource::Live(stream),
+            grant: Some(grant),
+            result_key,
+            accumulate: server.config.cache_results.then(Vec::new),
+            scalar,
+            exec_start_us,
+            ttfb_us: None,
+            rows_streamed: 0,
+            chunks_streamed: 0,
+            finished: false,
+            final_value: None,
         })
     }
 
@@ -746,6 +832,288 @@ impl<'srv, 'db> Session<'srv, 'db> {
     }
 }
 
+/// Where a [`ResultCursor`]'s chunks come from: a live streaming
+/// pipeline, or the replay of a memoized result-cache value (chunked at
+/// [`BATCH_SIZE`] so both sources look identical to the consumer).
+enum CursorSource<'db> {
+    Live(ResultStream<'db>),
+    Replay(std::vec::IntoIter<Vec<Value>>),
+}
+
+/// A server-side cursor over one executing query — the session API's
+/// analogue of the engine's `Operator` protocol. [`Session::open_stream`]
+/// is `open`; [`ResultCursor::next_chunk`] pulls one batch at a time
+/// (the first can return before the pipeline has finished, which is what
+/// the wire protocol's streamed responses and TTFB metric are built on);
+/// dropping the cursor is `close` — mid-stream abandonment (a client
+/// disconnect) releases the admission grant and records an error trace,
+/// so no pool slot leaks.
+///
+/// The cursor owns the whole post-planning query state: the span
+/// recorder, the statistics, the admission grant, and (when result
+/// caching is on) the accumulating row buffer that becomes the cached
+/// value. [`ResultCursor::into_output`] drains to completion and
+/// assembles the canonical [`ServerOutput`] — that is all the collect-all
+/// [`Session::run`] wrapper does.
+pub struct ResultCursor<'srv, 'db> {
+    server: &'srv QueryServer<'db>,
+    query: String,
+    rec: Option<SpanRecorder>,
+    stats: Stats,
+    entry: Arc<CachedPlan>,
+    nested: Option<Expr>,
+    source: CursorSource<'db>,
+    grant: Option<BudgetGrant>,
+    result_key: String,
+    /// `Some` while rows must be retained (result caching, or a
+    /// collect-all consumer); `None` on the pure streaming path — the
+    /// server then never holds a whole `Vec<Value>` result.
+    accumulate: Option<Vec<Value>>,
+    scalar: bool,
+    exec_start_us: u64,
+    ttfb_us: Option<u64>,
+    rows_streamed: u64,
+    chunks_streamed: u64,
+    finished: bool,
+    final_value: Option<Value>,
+}
+
+impl<'srv, 'db> ResultCursor<'srv, 'db> {
+    /// Whether the plan's root is scalar-valued (an aggregate): the
+    /// stream is then a single one-row chunk.
+    pub fn scalar(&self) -> bool {
+        self.scalar
+    }
+
+    /// Whether planning was served from the plan cache.
+    pub fn plan_hit(&self) -> bool {
+        self.stats.plan_cache_hits > 0
+    }
+
+    /// Whether the chunks replay a memoized result-cache value.
+    pub fn result_hit(&self) -> bool {
+        matches!(self.source, CursorSource::Replay(_))
+    }
+
+    /// EXPLAIN rendering of the (cached or fresh) plan.
+    pub fn explain(&self) -> &str {
+        &self.entry.explain
+    }
+
+    /// Statistics accumulated so far; complete once the cursor finished.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Rows pulled through the cursor so far.
+    pub fn rows_streamed(&self) -> u64 {
+        self.rows_streamed
+    }
+
+    /// Chunks pulled through the cursor so far.
+    pub fn chunks_streamed(&self) -> u64 {
+        self.chunks_streamed
+    }
+
+    /// Microseconds from execution start to the first chunk, once one
+    /// arrived — the server's TTFB measure.
+    pub fn ttfb_us(&self) -> Option<u64> {
+        self.ttfb_us
+    }
+
+    /// Whether the stream has been fully drained (or failed).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Pulls the next non-empty result chunk. `Ok(None)` marks the end
+    /// of the stream — the cursor then finalizes: merges execution
+    /// statistics, releases the admission grant, inserts into the result
+    /// cache (when enabled), and records the query's trace and metrics.
+    /// An `Err` finalizes likewise (as an error trace) and the cursor
+    /// yields nothing further.
+    pub fn next_chunk(&mut self) -> Result<Option<Batch>, ServerError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let pulled = match &mut self.source {
+            CursorSource::Live(stream) => match stream.next_chunk() {
+                Ok(b) => b,
+                Err(e) => {
+                    self.finish_error();
+                    return Err(ServerError::Exec(e));
+                }
+            },
+            CursorSource::Replay(chunks) => chunks.next().map(Batch::from_rows),
+        };
+        match pulled {
+            Some(batch) => {
+                if self.ttfb_us.is_none() {
+                    let now = self.rec.as_ref().map_or(0, SpanRecorder::elapsed_us);
+                    let ttfb = now.saturating_sub(self.exec_start_us);
+                    self.ttfb_us = Some(ttfb);
+                    self.server.shared.metrics.ttfb.observe_us(ttfb);
+                }
+                self.rows_streamed += batch.len() as u64;
+                self.chunks_streamed += 1;
+                self.server.shared.metrics.streamed_chunks.inc();
+                if let Some(acc) = &mut self.accumulate {
+                    acc.extend(batch.clone().into_values());
+                }
+                Ok(Some(batch))
+            }
+            None => {
+                self.finish_success();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Drains the remaining chunks and assembles the canonical
+    /// collect-all output (the result value, deduplicated exactly as
+    /// the library pipeline would).
+    pub fn into_output(mut self) -> Result<ServerOutput, ServerError> {
+        if self.final_value.is_none() && !self.finished && self.accumulate.is_none() {
+            self.accumulate = Some(Vec::new());
+        }
+        while self.next_chunk()?.is_some() {}
+        let nested = self.nested.take().expect("cursor consumed once");
+        Ok(ServerOutput {
+            nested,
+            rewrite: self.entry.rewrite.clone(),
+            result: self
+                .final_value
+                .take()
+                .expect("finished cursor has a value"),
+            explain: self.entry.explain.clone(),
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// End-of-stream housekeeping for the success path.
+    fn finish_success(&mut self) {
+        self.finished = true;
+        let server = self.server;
+        let shared = &server.shared;
+        match &mut self.source {
+            CursorSource::Live(stream) => {
+                stream.close();
+                self.stats.merge(stream.stats());
+                let now = self.rec.as_ref().map_or(0, SpanRecorder::elapsed_us);
+                if let Some(rec) = &mut self.rec {
+                    rec.push("execute", 0, self.exec_start_us, now - self.exec_start_us);
+                    if let Some(ttfb) = self.ttfb_us {
+                        rec.push("first_chunk", 1, self.exec_start_us, ttfb);
+                    }
+                }
+                self.grant = None;
+                if let Some(rows) = self.accumulate.take() {
+                    // Assemble the canonical value exactly as the
+                    // engine's collect-all path would: scalars pass
+                    // through, everything else becomes a deduplicating
+                    // set (so `output_rows` counts distinct results).
+                    let value = if self.scalar {
+                        rows.into_iter().next().unwrap_or(Value::Null)
+                    } else {
+                        Value::Set(Set::from_values(rows))
+                    };
+                    if let Value::Set(s) = &value {
+                        self.stats.output_rows += s.len() as u64;
+                    }
+                    if server.config.cache_results {
+                        // Snapshot the profile with the cache-hit
+                        // counters zeroed: a future hit adds its own,
+                        // and replay must report exactly what executing
+                        // again would have.
+                        let mut profile = self.stats.clone();
+                        profile.plan_cache_hits = 0;
+                        profile.result_cache_hits = 0;
+                        shared.result_cache.insert(
+                            self.result_key.clone(),
+                            CachedResult {
+                                value: value.clone(),
+                                stamp: cache::stamp(&self.entry.extents, server.db),
+                                profile,
+                            },
+                        );
+                    }
+                    self.final_value = Some(value);
+                } else {
+                    // Pure streaming: rows left as they were pulled (a
+                    // consumer that needs set semantics deduplicates on
+                    // its side); the counter reports what was streamed.
+                    self.stats.output_rows += self.rows_streamed;
+                }
+                if server.config.adaptive_stats {
+                    if let Some(baseline) = &server.stats {
+                        let profile = self.stats.operator_rows_by_label();
+                        let mut guard = shared.adaptive.lock().unwrap();
+                        let acc = guard.get_or_insert_with(|| baseline.clone());
+                        let material =
+                            acc.absorb_observed(profile.iter().map(|(l, r)| (l.as_str(), *r)));
+                        if material {
+                            shared.stats_epoch.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            CursorSource::Replay(_) => {
+                // The replayed profile was merged when the cursor
+                // opened; nothing executed here.
+            }
+        }
+        self.record_trace(false);
+    }
+
+    /// End-of-stream housekeeping for the failure path (an execution
+    /// error, or a dropped cursor): close the pipeline, release the
+    /// grant, record an error trace.
+    fn finish_error(&mut self) {
+        self.finished = true;
+        if let CursorSource::Live(stream) = &mut self.source {
+            stream.close();
+            self.stats.merge(stream.stats());
+        }
+        self.grant = None;
+        self.record_trace(true);
+    }
+
+    /// Folds the finished query into the observability state: latency
+    /// histogram and counters, and a trace in the recent-trace ring —
+    /// also in the slow-query log (EXPLAIN text retained) when
+    /// end-to-end latency reached [`ServerConfig::slow_query_ms`].
+    fn record_trace(&mut self, error: bool) {
+        let Some(rec) = self.rec.take() else { return };
+        let shared = &self.server.shared;
+        let m = &shared.metrics;
+        m.queries.inc();
+        let elapsed_us = rec.elapsed_us();
+        m.latency.observe_us(elapsed_us);
+        let trace = if error {
+            m.query_errors.inc();
+            rec.finish(&self.query, true)
+        } else {
+            m.spill_bytes.add(self.stats.spill_bytes);
+            m.rows_out.add(self.stats.output_rows);
+            let mut t = rec.finish(&self.query, false);
+            t.explain = Some(self.entry.explain.clone());
+            t
+        };
+        let slow = elapsed_us / 1000 >= shared.slow_query_ms;
+        shared.traces.record(trace, slow);
+    }
+}
+
+impl Drop for ResultCursor<'_, '_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned mid-stream (client disconnect, consumer error):
+            // close the pipeline, free the pool slot, trace as an error.
+            self.finish_error();
+        }
+    }
+}
+
 /// Everything one serving-path query produced — field-for-field the
 /// library pipeline's output, so the facade can route through the
 /// server transparently.
@@ -798,3 +1166,117 @@ impl std::fmt::Display for ServerError {
 }
 
 impl std::error::Error for ServerError {}
+
+/// Stable numeric wire error codes — the protocol-level identity of
+/// every failure the server can report. The text protocol prints them
+/// as `ERR <code> <msg>`; the binary protocol carries them as the `u16`
+/// of the error frame. Codes are append-only: 1–9 are protocol-level
+/// (no query ever ran), 10–19 are the query-compilation phases, 20+ are
+/// execution failures (one code per [`EvalError`] variant, so a client
+/// can distinguish, say, a dangling pointer from a spill I/O failure
+/// without parsing the message).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame could not be decoded (bad length, bad UTF-8).
+    Malformed = 1,
+    /// The request verb byte names no known verb.
+    UnknownVerb = 2,
+    /// Lexing/parsing failed.
+    Parse = 10,
+    /// The query does not type check.
+    Type = 11,
+    /// Translation to ADL failed.
+    Translate = 12,
+    /// A rewrite rule misfired.
+    Rewrite = 13,
+    /// Physical planning failed.
+    Plan = 14,
+    /// Execution failed (unclassified).
+    Exec = 20,
+    /// Dynamic value-level execution error.
+    ExecValue = 21,
+    /// Unbound variable at runtime.
+    ExecUnboundVar = 22,
+    /// Unknown base table.
+    ExecUnknownTable = 23,
+    /// Unknown class in a deref.
+    ExecUnknownClass = 24,
+    /// A pointer named no object.
+    ExecDanglingPointer = 25,
+    /// Division operands violated the schema condition.
+    ExecBadDivision = 26,
+    /// `NULL` reached a non-null-aware operator.
+    ExecNullNotAllowed = 27,
+    /// An index join found no secondary index.
+    ExecMissingIndex = 28,
+    /// A streaming operator was driven through an illegal transition.
+    ExecOperatorProtocol = 29,
+    /// Spill-file I/O failed.
+    ExecIo = 30,
+}
+
+impl ErrorCode {
+    /// The numeric wire representation.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire code back to the enum; unknown codes (from a
+    /// newer server) map to `None` so clients degrade gracefully.
+    pub fn from_u16(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownVerb,
+            10 => ErrorCode::Parse,
+            11 => ErrorCode::Type,
+            12 => ErrorCode::Translate,
+            13 => ErrorCode::Rewrite,
+            14 => ErrorCode::Plan,
+            20 => ErrorCode::Exec,
+            21 => ErrorCode::ExecValue,
+            22 => ErrorCode::ExecUnboundVar,
+            23 => ErrorCode::ExecUnknownTable,
+            24 => ErrorCode::ExecUnknownClass,
+            25 => ErrorCode::ExecDanglingPointer,
+            26 => ErrorCode::ExecBadDivision,
+            27 => ErrorCode::ExecNullNotAllowed,
+            28 => ErrorCode::ExecMissingIndex,
+            29 => ErrorCode::ExecOperatorProtocol,
+            30 => ErrorCode::ExecIo,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_u16())
+    }
+}
+
+impl ServerError {
+    /// The stable wire code of this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServerError::Parse(_) => ErrorCode::Parse,
+            ServerError::Type(_) => ErrorCode::Type,
+            ServerError::Translate(_) => ErrorCode::Translate,
+            ServerError::Rewrite(_) => ErrorCode::Rewrite,
+            ServerError::Plan(_) => ErrorCode::Plan,
+            ServerError::Exec(e) => match e {
+                EvalError::Value(_) => ErrorCode::ExecValue,
+                EvalError::UnboundVar(_) => ErrorCode::ExecUnboundVar,
+                EvalError::UnknownTable(_) => ErrorCode::ExecUnknownTable,
+                EvalError::UnknownClass(_) => ErrorCode::ExecUnknownClass,
+                EvalError::DanglingPointer { .. } => ErrorCode::ExecDanglingPointer,
+                EvalError::BadDivision(_) => ErrorCode::ExecBadDivision,
+                EvalError::NullNotAllowed(_) => ErrorCode::ExecNullNotAllowed,
+                EvalError::MissingIndex { .. } => ErrorCode::ExecMissingIndex,
+                EvalError::OperatorProtocol(_) => ErrorCode::ExecOperatorProtocol,
+                EvalError::Io { .. } => ErrorCode::ExecIo,
+            },
+        }
+    }
+}

@@ -1,9 +1,27 @@
-//! Thin TCP line protocol over [`QueryServer`].
+//! TCP transport over [`QueryServer`] — binary frame protocol by
+//! default, legacy text lines behind `OODB_PROTOCOL=text`.
 //!
 //! One thread per connection, every connection sharing one
 //! [`ServerShared`] (caches + global admission pool) — the network layer
 //! adds transport, not semantics; everything interesting stays testable
 //! through the in-process API.
+//!
+//! ## Binary protocol (default)
+//!
+//! Frames as specified in [`crate::wire`]: every request is a tagged
+//! frame `(u32 len, u32 tag, u8 verb, body)`; every response frame
+//! echoes the request's tag, so clients may **pipeline** requests. A
+//! `QUERY` answer **streams**: HEADER, then one CHUNK per pipeline batch
+//! — each encoded and flushed the moment the operator tree yields it, so
+//! the first chunk reaches the client while the pipeline is still
+//! running — then END with row/chunk totals. `EXPLAIN`/`ANALYZE`/
+//! `STATS`/`METRICS`/`TRACE` answer with one TEXT frame; `QUIT` with
+//! BYE. Failures are ERROR frames carrying a stable
+//! [`ErrorCode`](crate::ErrorCode) + message; a malformed frame is
+//! answered with an ERROR (tag 0) and the connection closed, since
+//! framing can no longer be trusted.
+//!
+//! ## Text protocol (`OODB_PROTOCOL=text`)
 //!
 //! Requests are single lines:
 //!
@@ -28,8 +46,9 @@
 //!    oid_lookups= index_probes= mask_batches= spill_bytes=
 //!    output_rows= plan_cache_hits= result_cache_hits=`.
 //!
-//! Any failure is a single `ERR <message>` line (newlines flattened);
-//! the connection stays usable.
+//! Any failure is a single `ERR <code> <message>` line (newlines
+//! flattened, code per [`ErrorCode`](crate::ErrorCode)); the connection
+//! stays usable.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,8 +57,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use oodb_catalog::Database;
+use oodb_engine::Stats;
 
-use crate::{QueryServer, ServerConfig, ServerShared};
+use crate::wire::{self, kind, verb};
+use crate::{ErrorCode, Protocol, QueryServer, ServerConfig, ServerShared};
 
 /// Handle on a listening server; dropping it (or calling
 /// [`ServeHandle::shutdown`]) stops the accept loop and joins every
@@ -131,6 +152,256 @@ pub fn serve(db: Arc<Database>, config: ServerConfig, addr: &str) -> std::io::Re
 }
 
 fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Result<()> {
+    match server.config.protocol {
+        Protocol::Binary => handle_binary(stream, server),
+        Protocol::Text => handle_text(stream, server),
+    }
+}
+
+/// Renders the two STATS `key=value` lines shared by both protocols.
+fn render_stats(server: &QueryServer<'_>, acc: &Stats) -> String {
+    let shared = server.shared();
+    let m = shared.metrics();
+    let pool = shared.budget_pool();
+    format!(
+        "plan_hits={} plan_misses={} plan_invalidations={} \
+         result_hits={} result_misses={} budget_high_water={} \
+         pool_in_use={} pool_waiting={}\n\
+         work={} rows_scanned={} loop_iterations={} predicate_evals={} \
+         hash_build_rows={} hash_probes={} partitions={} oid_lookups={} \
+         index_probes={} mask_batches={} spill_bytes={} output_rows={} \
+         plan_cache_hits={} result_cache_hits={}",
+        m.plan_hits,
+        m.plan_misses,
+        m.plan_invalidations,
+        m.result_hits,
+        m.result_misses,
+        pool.high_water(),
+        pool.in_use(),
+        pool.waiting(),
+        acc.work(),
+        acc.rows_scanned,
+        acc.loop_iterations,
+        acc.predicate_evals,
+        acc.hash_build_rows,
+        acc.hash_probes,
+        acc.partitions,
+        acc.oid_lookups,
+        acc.index_probes,
+        acc.mask_batches,
+        acc.spill_bytes,
+        acc.output_rows,
+        acc.plan_cache_hits,
+        acc.result_cache_hits,
+    )
+}
+
+/// Renders the recent + slow trace listing shared by both protocols.
+fn render_traces(server: &QueryServer<'_>) -> String {
+    let shared = server.shared();
+    let mut out = String::new();
+    for t in shared.traces().recent() {
+        for l in t.render().lines() {
+            out.push(' ');
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    let slow = shared.traces().slow();
+    if !slow.is_empty() {
+        out.push_str(" slow:\n");
+        for t in slow {
+            for l in t.render().lines() {
+                out.push_str("  ");
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// The binary frame protocol: read tagged request frames in order,
+/// answer each with tag-echoing response frames. Pipelining falls out of
+/// processing requests sequentially while the client is free to send
+/// ahead.
+fn handle_binary(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let session = server.session();
+    let shared = server.shared();
+    // Connection-accumulated execution counters for STATS, as in the
+    // text protocol.
+    let mut acc = Stats::default();
+    loop {
+        let frame = match wire::read_frame(&mut reader, wire::MAX_REQUEST_LEN) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF at a frame boundary: client hung up.
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Framing is broken — after a bad length prefix nothing
+                // downstream can be trusted. Report and hang up.
+                let body = wire::encode_error(ErrorCode::Malformed.as_u16(), &e.to_string());
+                wire::write_frame(&mut writer, 0, kind::ERROR, &body)?;
+                writer.flush()?;
+                return Ok(());
+            }
+            // EOF mid-frame (or a transport error): nothing to answer.
+            Err(_) => return Ok(()),
+        };
+        let tag = frame.tag;
+        // Every current verb carries UTF-8 text (possibly empty).
+        let text = match std::str::from_utf8(&frame.body) {
+            Ok(t) => t.trim(),
+            Err(e) => {
+                let body = wire::encode_error(
+                    ErrorCode::Malformed.as_u16(),
+                    &format!("request body is not utf-8: {e}"),
+                );
+                wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match frame.kind {
+            verb::QUIT => {
+                wire::write_frame(&mut writer, tag, kind::BYE, &[])?;
+                writer.flush()?;
+                return Ok(());
+            }
+            verb::QUERY => match session.open_stream(text) {
+                Ok(mut cursor) => {
+                    let mut flag_bits = 0u8;
+                    if cursor.scalar() {
+                        flag_bits |= wire::flags::SCALAR;
+                    }
+                    if cursor.plan_hit() {
+                        flag_bits |= wire::flags::PLAN_HIT;
+                    }
+                    if cursor.result_hit() {
+                        flag_bits |= wire::flags::RESULT_HIT;
+                    }
+                    wire::write_frame(&mut writer, tag, kind::HEADER, &[flag_bits])?;
+                    // Flush per frame: the client must see the first
+                    // chunk while the pipeline is still producing.
+                    writer.flush()?;
+                    let mut body = Vec::new();
+                    loop {
+                        match cursor.next_chunk() {
+                            Ok(Some(batch)) => {
+                                body.clear();
+                                wire::encode_chunk(&batch, &mut body);
+                                shared.metrics.streamed_bytes.add(body.len() as u64);
+                                wire::write_frame(&mut writer, tag, kind::CHUNK, &body)?;
+                                writer.flush()?;
+                            }
+                            Ok(None) => {
+                                acc.merge(cursor.stats());
+                                acc.operators.clear();
+                                let end = wire::encode_end(
+                                    cursor.rows_streamed(),
+                                    cursor.chunks_streamed(),
+                                );
+                                wire::write_frame(&mut writer, tag, kind::END, &end)?;
+                                writer.flush()?;
+                                break;
+                            }
+                            Err(e) => {
+                                // Mid-stream failure: the ERROR frame
+                                // terminates this tag's stream; the
+                                // connection stays usable.
+                                let body = wire::encode_error(e.code().as_u16(), &e.to_string());
+                                wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                                writer.flush()?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    let body = wire::encode_error(e.code().as_u16(), &e.to_string());
+                    wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                    writer.flush()?;
+                }
+            },
+            verb::EXPLAIN => match session.open_stream(text) {
+                Ok(mut cursor) => {
+                    // EXPLAIN executes (like the text protocol's) but
+                    // answers with the plan text only; drain so caches,
+                    // traces and the admission grant settle normally.
+                    let outcome = loop {
+                        match cursor.next_chunk() {
+                            Ok(Some(_)) => {}
+                            Ok(None) => break Ok(()),
+                            Err(e) => break Err(e),
+                        }
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            acc.merge(cursor.stats());
+                            acc.operators.clear();
+                            wire::write_frame(
+                                &mut writer,
+                                tag,
+                                kind::TEXT,
+                                cursor.explain().as_bytes(),
+                            )?;
+                        }
+                        Err(e) => {
+                            let body = wire::encode_error(e.code().as_u16(), &e.to_string());
+                            wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                        }
+                    }
+                    writer.flush()?;
+                }
+                Err(e) => {
+                    let body = wire::encode_error(e.code().as_u16(), &e.to_string());
+                    wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                    writer.flush()?;
+                }
+            },
+            verb::ANALYZE => {
+                match session.analyze(text) {
+                    Ok((analyzed, stats)) => {
+                        acc.merge(&stats);
+                        acc.operators.clear();
+                        wire::write_frame(&mut writer, tag, kind::TEXT, analyzed.text.as_bytes())?;
+                    }
+                    Err(e) => {
+                        let body = wire::encode_error(e.code().as_u16(), &e.to_string());
+                        wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                    }
+                }
+                writer.flush()?;
+            }
+            verb::STATS => {
+                let text = render_stats(server, &acc);
+                wire::write_frame(&mut writer, tag, kind::TEXT, text.as_bytes())?;
+                writer.flush()?;
+            }
+            verb::METRICS => {
+                let text = server.shared().render_metrics();
+                wire::write_frame(&mut writer, tag, kind::TEXT, text.as_bytes())?;
+                writer.flush()?;
+            }
+            verb::TRACE => {
+                let text = render_traces(server);
+                wire::write_frame(&mut writer, tag, kind::TEXT, text.as_bytes())?;
+                writer.flush()?;
+            }
+            other => {
+                let body = wire::encode_error(
+                    ErrorCode::UnknownVerb.as_u16(),
+                    &format!("unknown request verb {other}"),
+                );
+                wire::write_frame(&mut writer, tag, kind::ERROR, &body)?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+fn handle_text(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let session = server.session();
@@ -138,7 +409,7 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
     // successful QUERYs for the second STATS line. Only the scalar
     // counters matter here, so the per-operator entries each merge
     // brings along are dropped to keep long connections bounded.
-    let mut acc = oodb_engine::Stats::default();
+    let mut acc = Stats::default();
     for line in reader.lines() {
         let line = line?;
         let line = line.trim();
@@ -167,45 +438,10 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
                 return Ok(());
             }
             "STATS" => {
-                let shared = server.shared();
-                let m = shared.metrics();
-                let pool = shared.budget_pool();
                 writeln!(writer, "OK 0")?;
-                writeln!(
-                    writer,
-                    "plan_hits={} plan_misses={} plan_invalidations={} \
-                     result_hits={} result_misses={} budget_high_water={} \
-                     pool_in_use={} pool_waiting={}",
-                    m.plan_hits,
-                    m.plan_misses,
-                    m.plan_invalidations,
-                    m.result_hits,
-                    m.result_misses,
-                    pool.high_water(),
-                    pool.in_use(),
-                    pool.waiting(),
-                )?;
-                writeln!(
-                    writer,
-                    "work={} rows_scanned={} loop_iterations={} predicate_evals={} \
-                     hash_build_rows={} hash_probes={} partitions={} oid_lookups={} \
-                     index_probes={} mask_batches={} spill_bytes={} output_rows={} \
-                     plan_cache_hits={} result_cache_hits={}",
-                    acc.work(),
-                    acc.rows_scanned,
-                    acc.loop_iterations,
-                    acc.predicate_evals,
-                    acc.hash_build_rows,
-                    acc.hash_probes,
-                    acc.partitions,
-                    acc.oid_lookups,
-                    acc.index_probes,
-                    acc.mask_batches,
-                    acc.spill_bytes,
-                    acc.output_rows,
-                    acc.plan_cache_hits,
-                    acc.result_cache_hits,
-                )?;
+                for l in render_stats(server, &acc).lines() {
+                    writeln!(writer, "{l}")?;
+                }
                 writeln!(writer, ".")?;
             }
             "METRICS" => {
@@ -216,21 +452,9 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
                 writeln!(writer, ".")?;
             }
             "TRACE" => {
-                let shared = server.shared();
                 writeln!(writer, "OK 0")?;
-                for t in shared.traces().recent() {
-                    for l in t.render().lines() {
-                        writeln!(writer, " {l}")?;
-                    }
-                }
-                let slow = shared.traces().slow();
-                if !slow.is_empty() {
-                    writeln!(writer, " slow:")?;
-                    for t in slow {
-                        for l in t.render().lines() {
-                            writeln!(writer, "  {l}")?;
-                        }
-                    }
+                for l in render_traces(server).lines() {
+                    writeln!(writer, "{l}")?;
                 }
                 writeln!(writer, ".")?;
             }
@@ -246,7 +470,7 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
                     writeln!(writer, "{}", flatten(&out.result.to_string()))?;
                     writeln!(writer, ".")?;
                 }
-                Err(e) => writeln!(writer, "ERR {}", flatten(&e.to_string()))?,
+                Err(e) => writeln!(writer, "ERR {} {}", e.code(), flatten(&e.to_string()))?,
             },
             "EXPLAIN" => match session.run(rest) {
                 Ok(out) => {
@@ -256,7 +480,7 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
                     }
                     writeln!(writer, ".")?;
                 }
-                Err(e) => writeln!(writer, "ERR {}", flatten(&e.to_string()))?,
+                Err(e) => writeln!(writer, "ERR {} {}", e.code(), flatten(&e.to_string()))?,
             },
             "ANALYZE" => match session.analyze(rest) {
                 Ok((analyzed, stats)) => {
@@ -266,9 +490,13 @@ fn handle_connection(stream: TcpStream, server: &QueryServer<'_>) -> std::io::Re
                     }
                     writeln!(writer, ".")?;
                 }
-                Err(e) => writeln!(writer, "ERR {}", flatten(&e.to_string()))?,
+                Err(e) => writeln!(writer, "ERR {} {}", e.code(), flatten(&e.to_string()))?,
             },
-            other => writeln!(writer, "ERR unknown request {other:?}")?,
+            other => writeln!(
+                writer,
+                "ERR {} unknown request {other:?}",
+                ErrorCode::UnknownVerb
+            )?,
         }
         writer.flush()?;
     }

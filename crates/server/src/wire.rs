@@ -1,0 +1,462 @@
+//! # Length-prefixed binary frame protocol
+//!
+//! The wire format of the streaming TCP server. Every message — request
+//! or response — is one **frame**:
+//!
+//! ```text
+//! ┌─────────────┬─────────────┬──────────┬───────────────┐
+//! │ u32 LE len  │ u32 LE tag  │ u8 kind  │ body (len-5)  │
+//! └─────────────┴─────────────┴──────────┴───────────────┘
+//! ```
+//!
+//! `len` counts everything after itself (tag + kind + body). `tag` is a
+//! client-chosen request identifier; every response frame echoes the tag
+//! of the request it answers, which is what makes **pipelining** safe:
+//! a client may send N tagged requests without waiting, and responses —
+//! processed in order — stay attributable. `kind` is a request verb
+//! ([`verb`]) on the client→server direction and a response kind
+//! ([`kind`]) on the way back.
+//!
+//! A `QUERY` answer is a *stream*: one `HEADER` frame (scalar/cache
+//! flags), zero or more `CHUNK` frames — each one pipeline batch,
+//! encoded the moment it is pulled from the operator tree — and an `END`
+//! frame carrying row/chunk totals. Chunk bodies reuse the engine's two
+//! canonical encodings (a layout byte selects): the self-delimiting
+//! [`Value`] codec for row batches and the column-block format shared
+//! with the spill subsystem for columnar batches. Errors are `ERROR`
+//! frames carrying a stable [`ErrorCode`](crate::ErrorCode) `u16` plus a
+//! rendered message.
+
+use std::io::{self, Read, Write};
+
+use oodb_value::{codec, Batch, ColumnarBatch, Value, ValueError};
+
+/// Request verbs (the `kind` byte of a client→server frame). The body
+/// is the UTF-8 query text for `QUERY`/`EXPLAIN`/`ANALYZE` and empty for
+/// the rest — one uniform frame shape for every verb.
+pub mod verb {
+    /// Execute a query; the response is HEADER, CHUNK*, END.
+    pub const QUERY: u8 = 1;
+    /// Plan only; the response is TEXT (the EXPLAIN rendering), END.
+    pub const EXPLAIN: u8 = 2;
+    /// Plan and execute with per-operator timing; TEXT, END.
+    pub const ANALYZE: u8 = 3;
+    /// Server + session statistics; TEXT.
+    pub const STATS: u8 = 4;
+    /// Prometheus metrics exposition; TEXT.
+    pub const METRICS: u8 = 5;
+    /// Recent query traces; TEXT.
+    pub const TRACE: u8 = 6;
+    /// Close the connection; the server answers BYE and hangs up.
+    pub const QUIT: u8 = 7;
+}
+
+/// Response kinds (the `kind` byte of a server→client frame).
+pub mod kind {
+    /// Start of a query result stream; body is one flags byte
+    /// ([`super::flags`]).
+    pub const HEADER: u8 = 1;
+    /// One result chunk; body is a layout byte then the batch payload.
+    pub const CHUNK: u8 = 2;
+    /// A whole-text response (EXPLAIN/ANALYZE/STATS/METRICS/TRACE).
+    pub const TEXT: u8 = 3;
+    /// End of a stream; body is `u64 rows, u64 chunks` (LE).
+    pub const END: u8 = 4;
+    /// Failure; body is `u16 code` (LE) then the rendered message.
+    pub const ERROR: u8 = 5;
+    /// Acknowledges QUIT.
+    pub const BYE: u8 = 6;
+}
+
+/// HEADER flag bits.
+pub mod flags {
+    /// The result is scalar (a single aggregate value, not a set).
+    pub const SCALAR: u8 = 1;
+    /// Planning was served from the plan cache.
+    pub const PLAN_HIT: u8 = 1 << 1;
+    /// The chunks replay a memoized result-cache value.
+    pub const RESULT_HIT: u8 = 1 << 2;
+}
+
+/// CHUNK layout bytes — which canonical encoding the chunk body uses.
+pub mod layout {
+    /// Row batch: [`oodb_value::codec::encode_rows`].
+    pub const ROWS: u8 = 0;
+    /// Columnar batch: [`oodb_value::ColumnarBatch::encode_into`].
+    pub const COLUMNAR: u8 = 1;
+}
+
+/// Upper bound on an accepted request frame. Requests are query text;
+/// anything past this is a corrupt length prefix (or a hostile client),
+/// and reading it would let one connection allocate unboundedly.
+pub const MAX_REQUEST_LEN: u32 = 1 << 20;
+
+/// Upper bound a *client* accepts on a response frame — generous,
+/// because chunk frames carry data, but still a guard against a corrupt
+/// stream (1 GiB).
+pub const MAX_RESPONSE_LEN: u32 = 1 << 30;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Request identifier; responses echo the request's tag.
+    pub tag: u32,
+    /// Verb (requests) or response kind.
+    pub kind: u8,
+    /// Payload.
+    pub body: Vec<u8>,
+}
+
+/// Writes one frame. The caller flushes (the server flushes per frame on
+/// streamed responses so the first chunk reaches the client before the
+/// pipeline is exhausted).
+pub fn write_frame(w: &mut impl Write, tag: u32, kind: u8, body: &[u8]) -> io::Result<()> {
+    let len = 4 + 1 + body.len();
+    debug_assert!(len <= u32::MAX as usize);
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&tag.to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(body)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (EOF exactly at
+/// a frame boundary); EOF anywhere inside a frame is
+/// [`io::ErrorKind::UnexpectedEof`], and a length prefix that is too
+/// short to hold the tag and kind or exceeds `max_len` is
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first read: a clean EOF before any byte is a closed
+    // connection, not an error.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame length",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len < 5 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} cannot hold a tag and kind"),
+        ));
+    }
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {max_len}-byte limit"),
+        ));
+    }
+    let mut tag_buf = [0u8; 4];
+    r.read_exact(&mut tag_buf)?;
+    let mut kind_buf = [0u8; 1];
+    r.read_exact(&mut kind_buf)?;
+    let mut body = vec![0u8; len as usize - 5];
+    r.read_exact(&mut body)?;
+    Ok(Some(Frame {
+        tag: u32::from_le_bytes(tag_buf),
+        kind: kind_buf[0],
+        body,
+    }))
+}
+
+/// Encodes one pipeline batch as a CHUNK body: a layout byte, then the
+/// batch in its native encoding — no transposition, no materialized
+/// intermediate.
+pub fn encode_chunk(batch: &Batch, out: &mut Vec<u8>) {
+    match batch {
+        Batch::Rows(rows) => {
+            out.push(layout::ROWS);
+            codec::encode_rows(rows, out);
+        }
+        Batch::Columnar(cb) => {
+            out.push(layout::COLUMNAR);
+            cb.encode_into(out);
+        }
+    }
+}
+
+/// Decodes a CHUNK body back to rows (columnar chunks are transposed on
+/// the client side — the decode direction is allowed to materialize).
+pub fn decode_chunk(body: &[u8]) -> Result<Vec<Value>, ValueError> {
+    let (&layout_byte, rest) = body
+        .split_first()
+        .ok_or_else(|| ValueError::Codec("empty chunk body".into()))?;
+    match layout_byte {
+        layout::ROWS => codec::decode_rows(rest),
+        layout::COLUMNAR => Ok(Batch::Columnar(ColumnarBatch::decode(rest)?).into_values()),
+        other => Err(ValueError::Codec(format!("unknown chunk layout {other}"))),
+    }
+}
+
+/// Encodes an END body.
+pub fn encode_end(rows: u64, chunks: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&chunks.to_le_bytes());
+    out
+}
+
+/// Decodes an END body to `(rows, chunks)`.
+pub fn decode_end(body: &[u8]) -> Result<(u64, u64), ValueError> {
+    if body.len() != 16 {
+        return Err(ValueError::Codec(format!(
+            "END body is {} bytes, expected 16",
+            body.len()
+        )));
+    }
+    let rows = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    let chunks = u64::from_le_bytes(body[8..].try_into().expect("8 bytes"));
+    Ok((rows, chunks))
+}
+
+/// Encodes an ERROR body.
+pub fn encode_error(code: u16, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.extend_from_slice(&code.to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes an ERROR body to `(code, message)`.
+pub fn decode_error(body: &[u8]) -> Result<(u16, String), ValueError> {
+    if body.len() < 2 {
+        return Err(ValueError::Codec("ERROR body shorter than its code".into()));
+    }
+    let code = u16::from_le_bytes(body[..2].try_into().expect("2 bytes"));
+    let message = std::str::from_utf8(&body[2..])
+        .map_err(|e| ValueError::Codec(format!("invalid utf-8 in error message: {e}")))?
+        .to_string();
+    Ok((code, message))
+}
+
+/// A minimal blocking client for the binary protocol — used by the test
+/// suites, the smoke binary and the benchmark harness. It exposes the
+/// protocol's pipelining directly: [`WireClient::send`] queues a tagged
+/// request without reading anything; [`WireClient::read_frame`] pulls
+/// the next response frame, whatever request it answers.
+pub struct WireClient<S: Read + Write> {
+    stream: S,
+}
+
+impl<S: Read + Write> WireClient<S> {
+    /// Wraps an established connection.
+    pub fn new(stream: S) -> Self {
+        WireClient { stream }
+    }
+
+    /// Sends one tagged request frame and flushes.
+    pub fn send(&mut self, tag: u32, verb: u8, body: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, tag, verb, body)?;
+        self.stream.flush()
+    }
+
+    /// Sends raw bytes verbatim — the escape hatch the malformed-frame
+    /// tests use to speak protocol violations.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads the next response frame; `Ok(None)` when the server closed
+    /// the connection cleanly.
+    pub fn read_frame(&mut self) -> io::Result<Option<Frame>> {
+        read_frame(&mut self.stream, MAX_RESPONSE_LEN)
+    }
+
+    /// Drives one `QUERY` round trip to completion: sends the query,
+    /// then reads its HEADER/CHUNK*/END (or ERROR) response, asserting
+    /// every frame echoes `tag`. Returns the reassembled rows in arrival
+    /// order plus the HEADER flags, or the error `(code, message)`.
+    #[allow(clippy::type_complexity)]
+    pub fn query(
+        &mut self,
+        tag: u32,
+        text: &str,
+    ) -> io::Result<Result<(u8, Vec<Value>), (u16, String)>> {
+        self.send(tag, verb::QUERY, text.as_bytes())?;
+        self.read_query_response(tag)
+    }
+
+    /// Reads one complete `QUERY` response for `tag` (the read half of
+    /// [`WireClient::query`] — used directly when requests were
+    /// pipelined ahead).
+    #[allow(clippy::type_complexity)]
+    pub fn read_query_response(
+        &mut self,
+        tag: u32,
+    ) -> io::Result<Result<(u8, Vec<Value>), (u16, String)>> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut header_flags = None;
+        let mut rows = Vec::new();
+        let mut chunks = 0u64;
+        loop {
+            let frame = self
+                .read_frame()?
+                .ok_or_else(|| bad("connection closed mid-response".into()))?;
+            if frame.tag != tag {
+                return Err(bad(format!(
+                    "response tag {} does not echo request tag {tag}",
+                    frame.tag
+                )));
+            }
+            match frame.kind {
+                kind::HEADER => {
+                    header_flags = Some(*frame.body.first().unwrap_or(&0));
+                }
+                kind::CHUNK => {
+                    let decoded =
+                        decode_chunk(&frame.body).map_err(|e| bad(format!("bad chunk: {e}")))?;
+                    chunks += 1;
+                    rows.extend(decoded);
+                }
+                kind::END => {
+                    let (end_rows, end_chunks) =
+                        decode_end(&frame.body).map_err(|e| bad(format!("bad END: {e}")))?;
+                    if end_rows != rows.len() as u64 || end_chunks != chunks {
+                        return Err(bad(format!(
+                            "END totals ({end_rows} rows, {end_chunks} chunks) disagree with \
+                             received ({} rows, {chunks} chunks)",
+                            rows.len()
+                        )));
+                    }
+                    let flags = header_flags.ok_or_else(|| bad("END before HEADER".into()))?;
+                    return Ok(Ok((flags, rows)));
+                }
+                kind::ERROR => {
+                    let (code, msg) =
+                        decode_error(&frame.body).map_err(|e| bad(format!("bad ERROR: {e}")))?;
+                    return Ok(Err((code, msg)));
+                }
+                other => return Err(bad(format!("unexpected frame kind {other} in stream"))),
+            }
+        }
+    }
+
+    /// Drives one text-answering verb (EXPLAIN/ANALYZE/STATS/METRICS/
+    /// TRACE) to completion, returning the text or the error.
+    pub fn text_request(
+        &mut self,
+        tag: u32,
+        verb: u8,
+        body: &str,
+    ) -> io::Result<Result<String, (u16, String)>> {
+        self.send(tag, verb, body.as_bytes())?;
+        self.read_text_response(tag)
+    }
+
+    /// Reads one TEXT (or ERROR) response for `tag`.
+    pub fn read_text_response(&mut self, tag: u32) -> io::Result<Result<String, (u16, String)>> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let frame = self
+            .read_frame()?
+            .ok_or_else(|| bad("connection closed mid-response".into()))?;
+        if frame.tag != tag {
+            return Err(bad(format!(
+                "response tag {} does not echo request tag {tag}",
+                frame.tag
+            )));
+        }
+        match frame.kind {
+            kind::TEXT => {
+                let text = String::from_utf8(frame.body)
+                    .map_err(|e| bad(format!("invalid utf-8 in TEXT: {e}")))?;
+                Ok(Ok(text))
+            }
+            kind::ERROR => {
+                let (code, msg) =
+                    decode_error(&frame.body).map_err(|e| bad(format!("bad ERROR: {e}")))?;
+                Ok(Err((code, msg)))
+            }
+            other => Err(bad(format!("unexpected frame kind {other} for text verb"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, verb::QUERY, b"select!").unwrap();
+        write_frame(&mut buf, 8, verb::QUIT, b"").unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r, MAX_REQUEST_LEN).unwrap().unwrap();
+        assert_eq!(
+            (f1.tag, f1.kind, f1.body.as_slice()),
+            (7, verb::QUERY, &b"select!"[..])
+        );
+        let f2 = read_frame(&mut r, MAX_REQUEST_LEN).unwrap().unwrap();
+        assert_eq!((f2.tag, f2.kind, f2.body.len()), (8, verb::QUIT, 0));
+        assert!(read_frame(&mut r, MAX_REQUEST_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversize_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, verb::QUERY, b"hello").unwrap();
+        // EOF inside the body
+        let mut r = &buf[..buf.len() - 2];
+        assert_eq!(
+            read_frame(&mut r, MAX_REQUEST_LEN).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // EOF inside the length prefix
+        let mut r = &buf[..2];
+        assert_eq!(
+            read_frame(&mut r, MAX_REQUEST_LEN).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // length too small to hold tag + kind
+        let mut r = &[3u8, 0, 0, 0, 0xAA][..];
+        assert_eq!(
+            read_frame(&mut r, MAX_REQUEST_LEN).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // length over the cap
+        let huge = (MAX_REQUEST_LEN + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert_eq!(
+            read_frame(&mut r, MAX_REQUEST_LEN).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn chunk_bodies_round_trip_both_layouts() {
+        use oodb_value::BatchKind;
+        let rows = vec![
+            Value::tuple([("a", Value::Int(1)), ("b", Value::str("x"))]),
+            Value::tuple([("a", Value::Int(2)), ("b", Value::str("y"))]),
+        ];
+        for kind in [BatchKind::Row, BatchKind::Columnar] {
+            let batch = Batch::of(kind, rows.clone());
+            let mut body = Vec::new();
+            encode_chunk(&batch, &mut body);
+            assert_eq!(decode_chunk(&body).unwrap(), rows, "layout {kind:?}");
+        }
+        assert!(decode_chunk(&[]).is_err());
+        assert!(decode_chunk(&[9, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn end_and_error_bodies_round_trip() {
+        assert_eq!(decode_end(&encode_end(42, 7)).unwrap(), (42, 7));
+        assert!(decode_end(&[0; 15]).is_err());
+        let body = encode_error(14, "planning error: no index");
+        assert_eq!(
+            decode_error(&body).unwrap(),
+            (14, "planning error: no index".to_string())
+        );
+        assert!(decode_error(&[1]).is_err());
+    }
+}

@@ -110,6 +110,45 @@ pub fn encoded_row_size(t: &Tuple) -> usize {
             .sum::<usize>()
 }
 
+/// Encodes `rows` as a length-prefixed row block — a `u32` count
+/// followed by the concatenated self-delimiting encodings. This is the
+/// payload format of the wire protocol's row chunks: the serving layer
+/// frames each pipeline batch with this exact encoding, so the wire
+/// format and the spill format share one codec.
+pub fn encode_rows(rows: &[Value], out: &mut Vec<u8>) {
+    push_len(out, rows.len());
+    for v in rows {
+        encode_into(v, out);
+    }
+}
+
+/// Decodes a row block produced by [`encode_rows`], consuming all of
+/// `bytes`.
+pub fn decode_rows(bytes: &[u8]) -> Result<Vec<Value>, ValueError> {
+    if bytes.len() < 4 {
+        return Err(codec_err("row block shorter than its count".into()));
+    }
+    let n = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let mut pos = 4usize;
+    // Cap the preallocation: a hostile count must not allocate ahead of
+    // the bytes that back it.
+    let mut rows = Vec::with_capacity(n.min(bytes.len() / 2 + 1));
+    for _ in 0..n {
+        let mut local = pos;
+        let v = decode_at(bytes, &mut local)?;
+        pos = local;
+        rows.push(v);
+    }
+    if pos != bytes.len() {
+        return Err(codec_err(format!(
+            "trailing garbage after row block: {} of {} bytes unread",
+            bytes.len() - pos,
+            bytes.len()
+        )));
+    }
+    Ok(rows)
+}
+
 /// Decodes one value from the front of `bytes`, returning it and the
 /// number of bytes consumed.
 pub fn decode_prefix(bytes: &[u8]) -> Result<(Value, usize), ValueError> {

@@ -19,7 +19,7 @@ use oodb::catalog::{CatalogStats, Database};
 use oodb::core::strategy::Optimizer;
 use oodb::datagen::{generate, GenConfig};
 use oodb::engine::{BatchKind, Planner, PlannerConfig, Stats};
-use oodb::server::{net, QueryServer, ServerConfig};
+use oodb::server::{net, Protocol, QueryServer, ServerConfig};
 use oodb_bench::{join_supplier_delivery_query, multi_join_chain_query, query5_nested};
 
 fn scaled_db(scale: usize) -> Database {
@@ -230,7 +230,15 @@ fn quantile_from_buckets(buckets: &[(f64, u64)], q: f64) -> (f64, f64) {
 #[test]
 fn metrics_endpoint_exposes_consistent_prometheus_text() {
     let db = Arc::new(scaled_db(240));
-    let handle = net::serve(db, ServerConfig::default(), "127.0.0.1:0").expect("serve");
+    let handle = net::serve(
+        db,
+        ServerConfig {
+            protocol: Protocol::Text,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("serve");
     let stream = TcpStream::connect(handle.addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = stream;
@@ -339,7 +347,15 @@ fn metrics_endpoint_exposes_consistent_prometheus_text() {
 #[test]
 fn stats_and_trace_round_trip_over_the_wire() {
     let db = Arc::new(scaled_db(240));
-    let handle = net::serve(db, ServerConfig::default(), "127.0.0.1:0").expect("serve");
+    let handle = net::serve(
+        db,
+        ServerConfig {
+            protocol: Protocol::Text,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("serve");
     let stream = TcpStream::connect(handle.addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = stream;

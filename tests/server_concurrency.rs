@@ -27,7 +27,7 @@ use oodb::catalog::{CatalogStats, Database};
 use oodb::core::strategy::Optimizer;
 use oodb::datagen::{generate, GenConfig};
 use oodb::engine::{Planner, PlannerConfig, Stats};
-use oodb::server::{net, QueryServer, ServerConfig};
+use oodb::server::{net, Protocol, QueryServer, ServerConfig};
 use oodb::value::{Oid, Value};
 use proptest::prelude::*;
 
@@ -416,7 +416,15 @@ fn tcp_protocol_serves_concurrent_clients() {
     use std::net::TcpStream;
 
     let db = Arc::new(scaled_db(60));
-    let handle = net::serve(Arc::clone(&db), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let handle = net::serve(
+        Arc::clone(&db),
+        ServerConfig {
+            protocol: Protocol::Text,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
     let addr = handle.addr();
     let q = "select s.sname from s in SUPPLIER where exists x in s.parts : \
              exists p in PART : x = p.pid and p.color = \"red\"";

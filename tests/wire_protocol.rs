@@ -1,0 +1,510 @@
+//! Wire-protocol acceptance: the binary frame protocol must be a
+//! transparent, *streaming* transport over the same serving path as the
+//! text protocol and the library —
+//!
+//! * pipelined tagged requests route responses tag-correctly;
+//! * decoded binary results are byte-identical to the text protocol and
+//!   serial library execution across dop × budget × layout;
+//! * the first result chunk leaves the server before the pipeline is
+//!   exhausted (the cursor pin behind the `server_ttfb_ms` bench
+//!   column);
+//! * malformed / truncated frames and mid-stream client disconnects
+//!   never panic the server or leak an admission-pool slot (property
+//!   test over random interleavings).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use oodb::catalog::{CatalogStats, Database};
+use oodb::core::strategy::Optimizer;
+use oodb::datagen::{generate, GenConfig};
+use oodb::engine::{Planner, PlannerConfig, Stats, BATCH_SIZE};
+use oodb::server::wire::{self, verb, WireClient};
+use oodb::server::{net, ErrorCode, Protocol, QueryServer, ServerConfig};
+use oodb::value::{BatchKind, Set, Value};
+use proptest::prelude::*;
+
+/// The paper-query workload (same set as the server-concurrency suite).
+const QUERIES: [&str; 6] = [
+    "select (sname := s.sname, \
+             pnames := select p.pname from p in PART \
+                       where p.pid in s.parts and p.color = \"red\") \
+     from s in SUPPLIER",
+    "select d from d in (select e from e in DELIVERY \
+      where e.supplier.sname = \"supplier-0\") \
+     where d.date = date(940105)",
+    "select s.sname from s in SUPPLIER \
+     where s.parts supseteq \
+       flatten(select t.parts from t in SUPPLIER where t.sname = \"supplier-0\")",
+    "select d from d in DELIVERY \
+     where exists x in d.supply : x.part.color = \"red\"",
+    "select s.eid from s in SUPPLIER \
+     where exists x in s.parts : not (exists p in PART : x = p.pid)",
+    "select s.sname from s in SUPPLIER where exists x in s.parts : \
+     exists p in PART : x = p.pid and p.color = \"red\"",
+];
+
+fn scaled_db(scale: usize) -> Database {
+    generate(&GenConfig {
+        empty_supplier_fraction: 0.15,
+        dangling_fraction: 0.15,
+        ..GenConfig::scaled(scale)
+    })
+}
+
+/// Serial library reference (deliberately not `Pipeline`, which the
+/// `OODB_SERVER=inproc` CI pass reroutes through the server).
+fn library_run(db: &Database, config: &PlannerConfig, q: &str) -> Value {
+    let query = oodb::oosql::parse(q).unwrap();
+    oodb::oosql::typecheck(&query, db.catalog()).unwrap();
+    let nested = oodb::translate::translate(&query, db.catalog()).unwrap();
+    let rewrite = Optimizer::default()
+        .optimize(&nested, db.catalog())
+        .unwrap();
+    let planner = Planner::with_stats(db, config.clone(), CatalogStats::from_database(db));
+    let plan = planner.plan(&rewrite.expr).unwrap();
+    let mut stats = Stats::default();
+    plan.execute_streaming(&mut stats).unwrap()
+}
+
+/// Reassembles a streamed binary result the way a client consuming set
+/// semantics would: deduplicating set construction, mirroring the
+/// engine's own collect-all assembly.
+fn reassemble(flags: u8, rows: Vec<Value>) -> Value {
+    if flags & wire::flags::SCALAR != 0 {
+        rows.into_iter().next().unwrap_or(Value::Null)
+    } else {
+        Value::Set(Set::from_values(rows))
+    }
+}
+
+fn binary_client(addr: std::net::SocketAddr) -> WireClient<TcpStream> {
+    WireClient::new(TcpStream::connect(addr).unwrap())
+}
+
+/// One text-protocol round trip (the compatibility reference).
+fn ask_text(addr: std::net::SocketAddr, line: &str) -> Vec<String> {
+    use std::io::{BufRead, BufReader};
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    writeln!(stream, "{line}").unwrap();
+    let mut head = String::new();
+    reader.read_line(&mut head).unwrap();
+    let mut lines = vec![head.trim_end().to_string()];
+    if lines[0].starts_with("OK") {
+        loop {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            let l = l.trim_end().to_string();
+            if l == "." {
+                break;
+            }
+            lines.push(l);
+        }
+    }
+    writeln!(stream, "QUIT").unwrap();
+    lines
+}
+
+/// Pipelining: four QUERYs and an ANALYZE sent back-to-back before any
+/// response is read; every response frame must echo its request's tag
+/// and carry that request's result.
+#[test]
+fn pipelined_requests_route_responses_by_tag() {
+    let db = Arc::new(scaled_db(80));
+    let handle = net::serve(
+        Arc::clone(&db),
+        ServerConfig {
+            protocol: Protocol::Binary,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    let expected: Vec<String> = QUERIES[..4]
+        .iter()
+        .map(|q| library_run(&db, &PlannerConfig::default(), q).to_string())
+        .collect();
+
+    let mut client = binary_client(handle.addr());
+    // Send phase: nothing read until every request is on the wire.
+    for (i, q) in QUERIES[..4].iter().enumerate() {
+        client
+            .send(100 + i as u32, verb::QUERY, q.as_bytes())
+            .unwrap();
+    }
+    client
+        .send(999, verb::ANALYZE, QUERIES[0].as_bytes())
+        .unwrap();
+    // Read phase: responses arrive in request order, each tagged.
+    for (i, want) in expected.iter().enumerate() {
+        let (flags, rows) = client
+            .read_query_response(100 + i as u32)
+            .unwrap()
+            .unwrap_or_else(|(code, msg)| panic!("query {i} failed: {code} {msg}"));
+        assert_eq!(&reassemble(flags, rows).to_string(), want, "query {i}");
+    }
+    let analyzed = client.read_text_response(999).unwrap().unwrap();
+    assert!(
+        analyzed.contains("actual_rows"),
+        "ANALYZE text missing annotations: {analyzed:?}"
+    );
+
+    client.send(7, verb::QUIT, &[]).unwrap();
+    let bye = client.read_frame().unwrap().unwrap();
+    assert_eq!((bye.tag, bye.kind), (7, wire::kind::BYE));
+    handle.shutdown();
+}
+
+/// Byte identity: decoded binary results equal the text protocol's
+/// rendering and serial library execution at every dop × budget ×
+/// layout grid point.
+#[test]
+fn binary_results_match_text_protocol_and_library_across_grid() {
+    let db = Arc::new(scaled_db(120));
+    for &dop in &[1usize, 4] {
+        for &budget in &[0usize, 4 << 10] {
+            for &layout in &[BatchKind::Row, BatchKind::Columnar] {
+                let cfg = PlannerConfig {
+                    parallelism: dop,
+                    memory_budget: budget,
+                    parallel_threshold: 0,
+                    batch_kind: layout,
+                    ..Default::default()
+                };
+                let mk = |protocol| ServerConfig {
+                    planner: cfg.clone(),
+                    protocol,
+                    ..ServerConfig::default()
+                };
+                let bin = net::serve(Arc::clone(&db), mk(Protocol::Binary), "127.0.0.1:0").unwrap();
+                let txt = net::serve(Arc::clone(&db), mk(Protocol::Text), "127.0.0.1:0").unwrap();
+                let mut client = binary_client(bin.addr());
+                for (i, q) in QUERIES.iter().enumerate() {
+                    let lib = library_run(&db, &cfg, q).to_string();
+                    let (flags, rows) = client
+                        .query(i as u32, q)
+                        .unwrap()
+                        .unwrap_or_else(|(code, msg)| panic!("{q}: {code} {msg}"));
+                    let via_binary = reassemble(flags, rows).to_string();
+                    let text_lines = ask_text(txt.addr(), &format!("QUERY {q}"));
+                    assert!(text_lines[0].starts_with("OK "), "text: {text_lines:?}");
+                    assert_eq!(
+                        via_binary, text_lines[1],
+                        "binary vs text diverged (dop={dop} budget={budget} layout={layout:?})"
+                    );
+                    assert_eq!(
+                        via_binary, lib,
+                        "binary vs library diverged (dop={dop} budget={budget} layout={layout:?})"
+                    );
+                }
+                // Hang up before shutdown — the handle joins every
+                // connection thread, which waits on our socket's EOF.
+                drop(client);
+                bin.shutdown();
+                txt.shutdown();
+            }
+        }
+    }
+}
+
+/// The streaming pin: on a scan bigger than one batch, the cursor hands
+/// the first chunk to the consumer while the pipeline is *not* yet
+/// exhausted — the server-side TTFB precedes full drain structurally,
+/// not just on a stopwatch.
+#[test]
+fn first_chunk_arrives_before_pipeline_is_exhausted() {
+    let db = generate(&GenConfig {
+        parts: 3 * BATCH_SIZE,
+        ..GenConfig::scaled(80)
+    });
+    // No result caching: accumulation off is the pure streaming path.
+    let server = QueryServer::with_config(
+        &db,
+        ServerConfig {
+            cache_results: false,
+            ..ServerConfig::default()
+        },
+    );
+    let session = server.session();
+    let mut cursor = session
+        .open_stream("select p.pname from p in PART")
+        .unwrap();
+    let first = cursor.next_chunk().unwrap().expect("at least one chunk");
+    assert!(!first.is_empty());
+    assert!(
+        !cursor.finished(),
+        "first chunk must arrive before the stream is exhausted"
+    );
+    assert!(cursor.ttfb_us().is_some(), "TTFB recorded with chunk one");
+    let mut total = first.len() as u64;
+    while let Some(batch) = cursor.next_chunk().unwrap() {
+        total += batch.len() as u64;
+    }
+    assert!(cursor.finished());
+    assert_eq!(total, cursor.rows_streamed());
+    assert!(
+        cursor.chunks_streamed() >= 2,
+        "a {total}-row scan must stream multiple chunks"
+    );
+    assert!(
+        total as usize >= 3 * BATCH_SIZE,
+        "scan should cover the generated extent"
+    );
+    // The cursor finalizes exactly once: stats carry the execution.
+    assert!(cursor.stats().output_rows >= cursor.rows_streamed());
+}
+
+/// Error frames carry the stable numeric codes.
+#[test]
+fn error_frames_carry_stable_codes() {
+    let db = Arc::new(scaled_db(40));
+    let handle = net::serve(
+        Arc::clone(&db),
+        ServerConfig {
+            protocol: Protocol::Binary,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = binary_client(handle.addr());
+    // Parse failure → code 10.
+    let err = client
+        .query(1, "select from nonsense !!")
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(ErrorCode::from_u16(err.0), Some(ErrorCode::Parse));
+    // Unknown verb → code 2; connection stays usable.
+    client.send(2, 200, &[]).unwrap();
+    let frame = client.read_frame().unwrap().unwrap();
+    assert_eq!((frame.tag, frame.kind), (2, wire::kind::ERROR));
+    let (code, _) = wire::decode_error(&frame.body).unwrap();
+    assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::UnknownVerb));
+    // Type failure → code 11, after the unknown verb.
+    let err = client
+        .query(3, "select s.no_such_attr from s in SUPPLIER")
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(ErrorCode::from_u16(err.0), Some(ErrorCode::Type));
+    drop(client);
+    handle.shutdown();
+}
+
+/// Waits for every admission-pool slot to come home (connection threads
+/// release grants asynchronously after a disconnect).
+fn assert_pool_drains(shared: &oodb::server::ServerShared) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if shared.budget_pool().in_use() == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "admission pool slot leaked: {} bytes still in use",
+            shared.budget_pool().in_use()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A client action in the random protocol interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    Query(usize),
+    Explain(usize),
+    Stats,
+    Metrics,
+    Trace,
+    UnknownVerb,
+    BadUtf8Query,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..QUERIES.len()).prop_map(Op::Query),
+        (0..QUERIES.len()).prop_map(Op::Explain),
+        Just(Op::Stats),
+        Just(Op::Metrics),
+        Just(Op::Trace),
+        Just(Op::UnknownVerb),
+        Just(Op::BadUtf8Query),
+    ]
+}
+
+/// How the connection ends after the pipelined exchange.
+#[derive(Debug, Clone)]
+enum Ending {
+    CleanQuit,
+    /// Drop the socket with a request mid-frame on the wire.
+    TruncatedFrame,
+    /// Send a corrupt length prefix (frame too short to be real).
+    MalformedLength,
+    /// Pipeline one more query and hang up without reading its stream.
+    MidStreamDisconnect,
+}
+
+fn ending_strategy() -> impl Strategy<Value = Ending> {
+    prop_oneof![
+        Just(Ending::CleanQuit),
+        Just(Ending::TruncatedFrame),
+        Just(Ending::MalformedLength),
+        Just(Ending::MidStreamDisconnect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random pipelined interleavings — valid requests mixed with
+    /// protocol violations and abrupt disconnects. The server must
+    /// route every response to its tag, keep answering after in-band
+    /// errors, survive every ending without panicking, and return all
+    /// admission-pool bytes.
+    #[test]
+    fn random_pipelined_interleavings_are_safe(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+        ending in ending_strategy(),
+        seed_tag in 0u32..1000,
+    ) {
+        let db = Arc::new(scaled_db(40));
+        let expected: Vec<String> = QUERIES
+            .iter()
+            .map(|q| library_run(&db, &PlannerConfig::default(), q).to_string())
+            .collect();
+        let handle = net::serve(
+            Arc::clone(&db),
+            ServerConfig {
+                protocol: Protocol::Binary,
+                // Small but real budgets so a leaked grant is visible.
+                planner: PlannerConfig {
+                    memory_budget: 1 << 20,
+                    ..Default::default()
+                },
+                global_memory_bytes: 64 << 20,
+                cache_results: false,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let shared = handle.shared();
+
+        {
+            let mut client = binary_client(handle.addr());
+            // Send phase: the whole interleaving is pipelined.
+            for (i, op) in ops.iter().enumerate() {
+                let tag = seed_tag.wrapping_add(i as u32);
+                match op {
+                    Op::Query(q) => client.send(tag, verb::QUERY, QUERIES[*q].as_bytes()),
+                    Op::Explain(q) => client.send(tag, verb::EXPLAIN, QUERIES[*q].as_bytes()),
+                    Op::Stats => client.send(tag, verb::STATS, &[]),
+                    Op::Metrics => client.send(tag, verb::METRICS, &[]),
+                    Op::Trace => client.send(tag, verb::TRACE, &[]),
+                    Op::UnknownVerb => client.send(tag, 250, &[]),
+                    Op::BadUtf8Query => client.send(tag, verb::QUERY, &[0xFF, 0xFE, 0x41]),
+                }
+                .unwrap();
+            }
+            // Read phase: every response echoes its request tag, in
+            // request order.
+            for (i, op) in ops.iter().enumerate() {
+                let tag = seed_tag.wrapping_add(i as u32);
+                match op {
+                    Op::Query(q) => {
+                        let (flags, rows) = client
+                            .read_query_response(tag)
+                            .unwrap()
+                            .map_err(|(c, m)| format!("{c} {m}"))
+                            .unwrap();
+                        prop_assert_eq!(
+                            reassemble(flags, rows).to_string(),
+                            expected[*q].clone(),
+                            "query {} under interleaving {:?}",
+                            q,
+                            ops
+                        );
+                    }
+                    Op::Explain(_) => {
+                        let text = client.read_text_response(tag).unwrap().unwrap();
+                        prop_assert!(!text.is_empty());
+                    }
+                    Op::Stats => {
+                        let text = client.read_text_response(tag).unwrap().unwrap();
+                        prop_assert!(text.contains("plan_hits="));
+                    }
+                    Op::Metrics => {
+                        let text = client.read_text_response(tag).unwrap().unwrap();
+                        prop_assert!(text.contains("oodb_queries_total"));
+                    }
+                    Op::Trace => {
+                        client.read_text_response(tag).unwrap().unwrap();
+                    }
+                    Op::UnknownVerb => {
+                        let frame = client.read_frame().unwrap().unwrap();
+                        prop_assert_eq!(frame.tag, tag);
+                        prop_assert_eq!(frame.kind, wire::kind::ERROR);
+                        let (code, _) = wire::decode_error(&frame.body).unwrap();
+                        prop_assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::UnknownVerb));
+                    }
+                    Op::BadUtf8Query => {
+                        let frame = client.read_frame().unwrap().unwrap();
+                        prop_assert_eq!(frame.tag, tag);
+                        prop_assert_eq!(frame.kind, wire::kind::ERROR);
+                        let (code, _) = wire::decode_error(&frame.body).unwrap();
+                        prop_assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::Malformed));
+                    }
+                }
+            }
+            match ending {
+                Ending::CleanQuit => {
+                    client.send(u32::MAX, verb::QUIT, &[]).unwrap();
+                    let bye = client.read_frame().unwrap().unwrap();
+                    prop_assert_eq!(bye.kind, wire::kind::BYE);
+                }
+                Ending::TruncatedFrame => {
+                    // A plausible header, then silence: the body never
+                    // arrives because the socket drops here.
+                    client.send_raw(&[40, 0, 0, 0, 1, 2, 3]).unwrap();
+                }
+                Ending::MalformedLength => {
+                    client.send_raw(&2u32.to_le_bytes()).unwrap();
+                    // The server answers one Malformed ERROR (tag 0)
+                    // and hangs up.
+                    let frame = client.read_frame().unwrap().unwrap();
+                    prop_assert_eq!(frame.tag, 0);
+                    let (code, _) = wire::decode_error(&frame.body).unwrap();
+                    prop_assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::Malformed));
+                    prop_assert!(client.read_frame().unwrap().is_none());
+                }
+                Ending::MidStreamDisconnect => {
+                    client
+                        .send(424242, verb::QUERY, QUERIES[0].as_bytes())
+                        .unwrap();
+                    // Read the HEADER so the stream is known live, then
+                    // drop the connection without draining it.
+                    let frame = client.read_frame().unwrap().unwrap();
+                    prop_assert_eq!(frame.tag, 424242);
+                }
+            }
+            // client drops here — for the abrupt endings that is the
+            // disconnect itself.
+        }
+
+        // Whatever happened, the server keeps serving fresh
+        // connections and every admission grant comes home.
+        assert_pool_drains(&shared);
+        let mut probe = binary_client(handle.addr());
+        let (flags, rows) = probe.query(1, QUERIES[1]).unwrap().unwrap();
+        prop_assert_eq!(reassemble(flags, rows).to_string(), expected[1].clone());
+        drop(probe);
+        handle.shutdown();
+    }
+}
